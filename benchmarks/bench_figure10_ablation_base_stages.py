@@ -1,0 +1,38 @@
+"""Figure 10 — the Figure 4 ablation repeated at the base (1×) stage count
+(107/93 in the paper; the workload defaults here)."""
+
+from repro.core import PipeMareConfig
+from repro.experiments import make_image_workload, make_translation_workload
+from repro.experiments.ablation import run_ablation
+
+from conftest import curve, print_banner, print_series
+
+
+def test_figure10_image(run_once):
+    workload = make_image_workload("cifar")
+    variants = {
+        "sync": None,
+        "t1": PipeMareConfig.t1_only(workload.default_anneal_steps()),
+        "t1+t2": workload.default_config(),
+    }
+    results = run_once(run_ablation, workload, epochs=14, variants=variants)
+    print_banner("Figure 10 — ResNet ablation at base stage count")
+    for name, r in results.items():
+        ys = curve(r)
+        print_series(name, range(len(ys)), ys, ".1f")
+    assert results["t1"].best_metric > 60.0
+    assert results["t1+t2"].best_metric > 60.0
+
+
+def test_figure10_translation(run_once):
+    workload = make_translation_workload("iwslt")
+    variants = {
+        "t1": PipeMareConfig.t1_only(workload.default_anneal_steps()),
+        "t1+t2+t3": workload.default_config(warmup_epochs=4),
+    }
+    results = run_once(run_ablation, workload, epochs=18, variants=variants)
+    print_banner("Figure 10 — Transformer ablation at base stage count")
+    for name, r in results.items():
+        ys = curve(r)
+        print_series(name, range(len(ys)), ys, ".1f")
+    assert results["t1+t2+t3"].best_metric > results["t1"].best_metric

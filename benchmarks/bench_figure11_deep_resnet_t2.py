@@ -1,0 +1,38 @@
+"""Figure 11 — the deep ResNet (ResNet152 stand-in, finest granularity):
+T1 alone underperforms/destabilises while T1+T2 recovers toward the
+synchronous curve — the paper's key evidence that T2 is necessary at depth."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.divergence import run_deep_resnet_t2
+
+from conftest import curve, print_banner, print_series
+
+
+def test_figure11_deep_resnet_needs_t2(run_once):
+    workload = make_image_workload("resnet152")
+    stages = workload.max_stages()
+    seeds = (0, 1)
+
+    def build():
+        return {
+            seed: run_deep_resnet_t2(workload, epochs=12, seed=seed, num_stages=stages)
+            for seed in seeds
+        }
+
+    per_seed = run_once(build)
+    print_banner(f"Figure 11 — deep ResNet, P={stages}, seeds={seeds}")
+    for seed, results in per_seed.items():
+        for name, r in results.items():
+            ys = curve(r)
+            print_series(f"s{seed}/{name}", range(len(ys)), ys, ".1f")
+            print(f"   best={r.best_metric:.1f} diverged={r.diverged}")
+
+    # The paper's Figure 11 claim, at our scale: T1-only is *unstable* at
+    # this depth (it diverges outright for some seeds), while T1+T2 never
+    # diverges and does at least as well on average.
+    assert all(res["sync"].best_metric > 90.0 for res in per_seed.values())
+    assert any(res["t1"].diverged for res in per_seed.values())
+    assert not any(res["t1+t2"].diverged for res in per_seed.values())
+    mean_t1 = sum(res["t1"].best_metric for res in per_seed.values()) / len(seeds)
+    mean_t1t2 = sum(res["t1+t2"].best_metric for res in per_seed.values()) / len(seeds)
+    assert mean_t1t2 >= mean_t1

@@ -1,0 +1,24 @@
+"""Figure 12 — sensitivity to the number of annealing steps K: too small
+reverts to unstable naive async before the base LR decays; too large wastes
+the full-rate phase (and on the ResNet, overly long annealing hurts, as the
+paper's 160-epoch point shows)."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.sensitivity import sweep_anneal_steps
+
+from conftest import print_banner
+
+
+def test_figure12_anneal_sensitivity(run_once):
+    workload = make_image_workload("cifar")
+    first_phase = workload.lr_drop_epochs * workload.steps_per_epoch
+    grid = [first_phase // 8, first_phase // 2, first_phase * 2]
+    results = run_once(sweep_anneal_steps, workload, grid, epochs=16)
+    print_banner("Figure 12 — accuracy vs annealing steps K")
+    for k, r in results.items():
+        print(f"K={k:>4}: best={r.best_metric:.1f} diverged={r.diverged}")
+
+    best_by_k = {k: r.best_metric for k, r in results.items()}
+    mid = first_phase // 2
+    # the tuned middle value beats both extremes (inverted-U, Figure 12)
+    assert best_by_k[mid] >= max(best_by_k[grid[0]], best_by_k[grid[-1]]) - 1.0

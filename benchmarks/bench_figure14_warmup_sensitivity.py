@@ -1,0 +1,33 @@
+"""Figure 14 — sensitivity to the number of synchronous warmup epochs on the
+translation task: more warmup improves quality (fewer epochs to target) but
+costs throughput; the optimum balances the two."""
+
+from repro.experiments import make_translation_workload
+from repro.experiments.sensitivity import sweep_warmup_epochs
+
+from conftest import print_banner
+
+
+def test_figure14_warmup_sensitivity(run_once):
+    workload = make_translation_workload("iwslt")
+    grid = [0, 4, 10]
+    # Finest granularity: warmup only matters where asynchrony actually
+    # bites (at the 12-stage default the async run already trains fine).
+    stages = workload.max_stages()
+    out = run_once(
+        sweep_warmup_epochs, workload, grid, epochs=20, num_stages=stages
+    )
+    print_banner(
+        f"Figure 14 — BLEU / throughput / time-to-target vs warmup epochs, P={stages}"
+    )
+    for m, row in out.items():
+        print(
+            f"warmup={m:>2}: best={row['best']:.1f} tput={row['throughput']:.2f} "
+            f"epochs_to_target={row['epochs_to_target']:.0f} "
+            f"time_to_target={row['time_to_target']:.1f}"
+        )
+
+    # throughput decreases monotonically with warmup epochs
+    assert out[0]["throughput"] > out[4]["throughput"] > out[10]["throughput"]
+    # warmup improves achievable quality on the Transformer (paper's claim)
+    assert out[4]["best"] > out[0]["best"]

@@ -1,0 +1,34 @@
+"""Figure 15 — stage sweep for the ResNet/CIFAR10 stand-in (the image
+counterpart of Figure 2)."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.stage_sweep import run_stage_sweep
+
+from conftest import print_banner, print_series
+
+
+def test_figure15_stage_sweep_resnet(run_once):
+    workload = make_image_workload("cifar")
+    stage_counts = [5, 10, 21]
+    sweep = run_once(
+        run_stage_sweep, workload, stage_counts, epochs=12,
+        methods=("gpipe", "pipedream", "pipemare"),
+        train_methods=("pipemare",),
+    )
+    print_banner("Figure 15 — ResNet stage sweep")
+    for method in ("gpipe", "pipedream", "pipemare"):
+        xs, ys = sweep.series(method, "throughput")
+        print_series(f"throughput/{method}", xs, ys, ".3f")
+        xs, ys = sweep.series(method, "memory")
+        print_series(f"memory/{method}", xs, ys, ".3g")
+    xs, acc = sweep.series("pipemare", "best_metric")
+    print_series("best acc/pipemare", xs, acc, ".1f")
+
+    _, gp_t = sweep.series("gpipe", "throughput")
+    _, pd_m = sweep.series("pipedream", "memory")
+    _, pm_m = sweep.series("pipemare", "memory")
+    assert gp_t[0] > gp_t[-1]
+    assert pd_m[-1] > pd_m[0]
+    assert pm_m[0] == pm_m[-1]
+    # PipeMare reaches strong accuracy at least at the coarser granularities
+    assert max(acc) > 85.0

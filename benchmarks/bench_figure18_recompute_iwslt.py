@@ -1,0 +1,30 @@
+"""Figure 18 — PipeMare Recompute on the translation task.  The paper's key
+observation: recompute without discrepancy correction destabilises the
+Transformer, while with T2 every checkpoint count matches no-recompute."""
+
+from repro.core import PipeMareConfig
+from repro.experiments import make_translation_workload
+from repro.experiments.recompute_training import run_recompute_study
+
+from conftest import curve, print_banner, print_series
+
+
+def test_figure18_recompute_translation(run_once):
+    workload = make_translation_workload("iwslt")
+    cfg = workload.default_config(warmup_epochs=4)
+    results = run_once(
+        run_recompute_study, workload, checkpoint_grid=[None, 2, 4],
+        epochs=20, config=cfg,
+    )
+    print_banner("Figure 18 — recompute checkpoints, translation (T1+T2+T3)")
+    for name, r in results.items():
+        ys = curve(r)
+        print_series(name, range(len(ys)), ys, ".1f")
+        print(f"   best={r.best_metric:.1f} diverged={r.diverged}")
+
+    base = results["no_recompute"].best_metric
+    assert base > 10.0
+    for name, r in results.items():
+        assert not r.diverged
+        # with correction, recompute stays in the same quality band
+        assert r.best_metric > base * 0.4

@@ -1,0 +1,30 @@
+"""Figure 19 — Hogwild!-style stochastic delays (Appendix E): T1 improves
+final quality over plain Hogwild! training, approaching the synchronous
+reference."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.hogwild_study import run_hogwild_image
+
+from conftest import curve, print_banner, print_series
+
+
+def test_figure19_hogwild(run_once):
+    workload = make_image_workload("cifar")
+
+    def build():
+        sync = workload.run(method="gpipe", epochs=12, seed=0)
+        hog = run_hogwild_image(workload, epochs=12, use_t1=False, seed=0)
+        hog_t1 = run_hogwild_image(workload, epochs=12, use_t1=True, seed=0)
+        return {"sync": sync, "hogwild": hog, "hogwild+t1": hog_t1}
+
+    results = run_once(build)
+    print_banner("Figure 19 — Hogwild! asynchrony on the image task")
+    for name, r in results.items():
+        ys = curve(r)
+        print_series(name, range(len(ys)), ys, ".1f")
+        print(f"   best={r.best_metric:.1f} diverged={r.diverged}")
+
+    assert results["sync"].best_metric > 95.0
+    # T1 must not hurt, and typically helps, under stochastic delays
+    assert results["hogwild+t1"].best_metric >= results["hogwild"].best_metric - 3.0
+    assert not results["hogwild+t1"].diverged

@@ -1,0 +1,42 @@
+"""Figure 2 — impact of pipeline-stage count on throughput, weight+optimizer
+memory, best BLEU, and time-to-target for the Transformer stand-in.
+
+Paper shapes: GPipe throughput degrades ∝ 1/P while the async methods stay
+flat-per-stage (so normalized per-stage throughput grows linearly with P);
+PipeDream memory grows ∝ P; PipeMare memory is flat; PipeMare quality stays
+competitive over the sweep (at our model scale quality does fall off at the
+very finest granularity — see EXPERIMENTS.md)."""
+
+from repro.experiments import make_translation_workload
+from repro.experiments.stage_sweep import run_stage_sweep
+
+from conftest import print_banner, print_series
+
+
+def test_figure2_stage_sweep_transformer(run_once):
+    workload = make_translation_workload("iwslt")
+    stage_counts = [6, 12, 23]
+    sweep = run_once(
+        run_stage_sweep, workload, stage_counts, epochs=18,
+        methods=("gpipe", "pipedream", "pipemare"),
+        train_methods=("pipemare",),
+    )
+    print_banner("Figure 2 — Transformer stage sweep")
+    for attr in ("throughput", "memory"):
+        for method in ("gpipe", "pipedream", "pipemare"):
+            xs, ys = sweep.series(method, attr)
+            print_series(f"{attr}/{method}", xs, ys, ".3g")
+    xs, ys = sweep.series("pipemare", "best_metric")
+    print_series("best BLEU/pipemare", xs, ys, ".1f")
+    xs, yt = sweep.series("pipemare", "time_to_target")
+    print_series("time-to-target/pipemare", xs, yt, ".1f")
+
+    # hardware shapes
+    _, gp_t = sweep.series("gpipe", "throughput")
+    assert gp_t[0] > gp_t[-1]  # GPipe throughput falls with stages
+    _, pd_m = sweep.series("pipedream", "memory")
+    assert pd_m[-1] > pd_m[0]  # PipeDream memory grows with stages
+    _, pm_m = sweep.series("pipemare", "memory")
+    assert pm_m[0] == pm_m[-1]  # PipeMare memory flat
+    # statistical: PipeMare trains to a usable BLEU at moderate granularity
+    assert max(ys) > 10.0

@@ -1,0 +1,29 @@
+"""Figure 3(a) — increasing τ destabilises the quadratic model at fixed
+α = 0.2, λ = 1 (τ = 10 diverges where τ ∈ {0, 5} converge)."""
+
+import numpy as np
+
+from repro.theory import simulate_delayed_sgd
+
+from conftest import print_banner, print_series
+
+
+def test_figure3a_quadratic_divergence(run_once):
+    def build():
+        out = {}
+        for tau in (0, 5, 10):
+            out[tau] = simulate_delayed_sgd(
+                lam=1.0, alpha=0.2, tau=tau, steps=250,
+                rng=np.random.default_rng(1),
+            )
+        return out
+
+    trajs = run_once(build)
+    print_banner("Figure 3(a) — loss vs iteration, alpha=0.2, lambda=1")
+    for tau, t in trajs.items():
+        xs = range(0, 251, 50)
+        print_series(f"tau={tau}", xs, [t.losses[i] for i in xs], fmt=".3g")
+
+    assert trajs[0].final_loss < 5
+    assert trajs[5].final_loss < 5
+    assert trajs[10].final_loss > 100  # divergence under way, as in the paper

@@ -1,0 +1,35 @@
+"""Figure 3(b) — (α, τ) stability heatmap for pipeline-parallel SGD on the
+cpusmall-like regression, with the Lemma 1 curve overlaid.  The empirical
+divergence boundary must fall at slope α ∝ τ⁻¹."""
+
+import numpy as np
+
+from repro.experiments.stability_heatmap import boundary_slope_loglog, run_stability_heatmap
+
+from conftest import print_banner
+
+
+def test_figure3b_stability_heatmap(run_once):
+    # τ up to 64: beyond that, divergence detection needs step counts ≫ 10τ
+    # which the paper affords with T=10⁶ iterations but a CPU bench does not.
+    result = run_once(
+        run_stability_heatmap,
+        alphas=2.0 ** np.arange(-14, -1),
+        taus=4 ** np.arange(0, 4),  # 1..64
+        steps=4000,
+        num_samples=512,
+    )
+    print_banner("Figure 3(b) — divergence boundary vs Lemma 1 curve")
+    print(f"largest curvature lambda = {result.curvature:.2f}")
+    print(f"{'tau':>6} {'empirical boundary':>20} {'lemma1 alpha_max':>18}")
+    for i, tau in enumerate(result.taus):
+        b = result.divergence_boundary_alpha(i)
+        print(f"{tau:>6.0f} {b:>20.6f} {result.lemma1_curve[i]:>18.6f}")
+    slope = boundary_slope_loglog(result)
+    print(f"log-log boundary slope = {slope:.3f}  (Lemma 1 predicts -1)")
+
+    assert slope == np.clip(slope, -1.35, -0.65)
+    # boundary sits at/above the lemma curve (the lemma uses the largest
+    # curvature, so it is conservative for the minibatch problem)
+    for i in range(len(result.taus)):
+        assert result.divergence_boundary_alpha(i) >= result.lemma1_curve[i] * 0.4

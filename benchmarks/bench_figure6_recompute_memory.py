@@ -1,0 +1,36 @@
+"""Figure 6 — per-stage activation footprint of PipeMare Recompute for the
+paper's 16-stage / 4-segment example."""
+
+import numpy as np
+
+from repro.pipeline import recompute
+
+from conftest import print_banner, print_series
+
+
+def test_figure6_per_stage_activation_counts(run_once):
+    p, s = 16, 4
+
+    def build():
+        return (
+            recompute.per_stage_activation_counts(p),
+            recompute.per_stage_activation_counts(p, segment_size=s),
+        )
+
+    without, with_r = run_once(build)
+    print_banner("Figure 6 — cached activations per stage (16 stages, 4 segments)")
+    print_series("w/o recompute", range(p), without, ".0f")
+    print_series("w/  recompute", range(p), with_r, ".0f")
+    print(f"totals: w/o={without.sum():.0f}  w/={with_r.sum():.0f} "
+          f"(ratio {with_r.sum() / without.sum():.3f})")
+
+    # Recompute strictly reduces the total, heads carry the input caches,
+    # and within a segment the buffer requirement decays.
+    assert with_r.sum() < without.sum()
+    heads = recompute.segment_heads(p, s)
+    for h in heads:
+        assert with_r[h] == max(with_r[h : h + s])
+        inner = with_r[h + 1 : h + s]
+        assert all(a > b for a, b in zip(inner, inner[1:]))
+    # later segments need less (2(P−i) head caching shrinks), as in the plot
+    assert with_r[heads[0]] > with_r[heads[-1]]

@@ -1,0 +1,33 @@
+"""Figure 7 — anatomy of naive-async divergence on the ResNet stand-in:
+forward delay alone can destabilise at large enough delay, and
+forward-backward discrepancy exacerbates it (parameter-norm and accuracy
+trajectories)."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.divergence import run_divergence_anatomy
+
+from conftest import curve, print_banner, print_series
+
+
+def test_figure7_divergence_anatomy(run_once):
+    workload = make_image_workload("cifar")
+    results = run_once(
+        run_divergence_anatomy, workload, epochs=10, deep_multiple=4
+    )
+    print_banner("Figure 7 — param norm / accuracy under async variants")
+    for name, r in results.items():
+        norms = r.history.series("param_norm")
+        print_series(f"norm/{name}", range(len(norms)), norms, ".1f")
+    for name, r in results.items():
+        accs = curve(r)
+        if accs:
+            print_series(f"acc/{name}", range(len(accs)), accs, ".1f")
+
+    sync = results["sync"]
+    disc = results["discrepancy"]
+    nodisc = results["no_discrepancy"]
+    assert sync.best_metric > 95.0
+    # discrepancy hurts relative to the same delay without discrepancy
+    assert disc.best_metric < nodisc.best_metric
+    # and the naive-async run is far from sync quality (stall or divergence)
+    assert disc.best_metric < sync.best_metric - 10.0

@@ -1,0 +1,42 @@
+"""Figure 8 — largest stable step size vs discrepancy sensitivity Δ, with
+and without the T2 correction (τ_f=40, τ_b=10; the paper's exact setting).
+T2 consistently enlarges the stable range for Δ ≥ 0 and may not for Δ < 0."""
+
+import numpy as np
+
+from repro.theory import (
+    char_poly_discrepancy,
+    char_poly_t2,
+    max_stable_alpha,
+    t2_gamma,
+)
+
+from conftest import print_banner, print_series
+
+
+def test_figure8_stable_alpha_vs_delta(run_once):
+    tau_f, tau_b, lam = 40, 10, 1.0
+    gamma = t2_gamma(tau_f, tau_b)
+    deltas = np.array([-100.0, -30.0, -5.0, 0.5, 5.0, 30.0, 100.0])
+
+    def build():
+        orig, corr = [], []
+        for d in deltas:
+            orig.append(max_stable_alpha(
+                lambda a: char_poly_discrepancy(tau_f, tau_b, a, lam, d)))
+            corr.append(max_stable_alpha(
+                lambda a: char_poly_t2(tau_f, tau_b, a, lam, d, gamma)))
+        return np.array(orig), np.array(corr)
+
+    orig, corr = run_once(build)
+    print_banner("Figure 8 — max stable alpha vs delta (tau_f=40, tau_b=10)")
+    print_series("original", deltas, orig, ".5f")
+    print_series("T2 corrected", deltas, corr, ".5f")
+
+    pos = deltas > 0
+    assert (corr[pos] > orig[pos]).all()  # always better for Δ>0 (paper's claim)
+    # for Δ<0 the paper only observes that T2 is "not necessarily" better;
+    # both curves must at least be finite and positive there
+    assert (orig[deltas < 0] > 0).all() and (corr[deltas < 0] > 0).all()
+    # threshold shrinks as |Δ| grows on the positive side
+    assert orig[pos][-1] < orig[pos][0]

@@ -1,0 +1,45 @@
+"""Figure 9 — the larger tasks (ImageNet / WMT17 stand-ins): PipeMare
+approaches sync quality while PipeDream falls short (ImageNet) or fails
+completely (WMT)."""
+
+from repro.experiments import make_image_workload, make_translation_workload
+from repro.experiments.end_to_end import run_end_to_end
+
+from conftest import print_banner
+
+
+def test_figure9_imagenet(run_once):
+    workload = make_image_workload("imagenet")
+    rows, results = run_once(
+        run_end_to_end, workload, epochs=12,
+        methods=("pipedream", "gpipe", "pipemare"),
+    )
+    print_banner("Figure 9 (a/b) — ImageNet stand-in")
+    for r in rows:
+        print(r.format())
+    by = {r.method: r for r in rows}
+    assert by["gpipe"].best_metric > 90.0
+    assert by["pipemare"].best_metric > 70.0
+
+
+def test_figure9_wmt(run_once):
+    workload = make_translation_workload("wmt")
+    # 24 stages: enough delay that PipeDream collapses (as in the paper's
+    # 91-stage WMT run) while PipeMare's techniques keep learning.  At this
+    # model scale the finest granularity (43) degrades every async method;
+    # see EXPERIMENTS.md's asynchrony-tolerance scale note.
+    rows, results = run_once(
+        run_end_to_end, workload, epochs=20, warmup_epochs=4,
+        methods=("pipedream", "gpipe", "pipemare"), num_stages=24,
+    )
+    print_banner("Figure 9 (c/d) — WMT17 stand-in (shared embeddings), P=24")
+    for r in rows:
+        print(r.format())
+    by = {r.method: r for r in rows}
+    # paper: PipeDream BLEU ≈ 0 on WMT
+    assert by["pipedream"].best_metric < 5.0
+    assert by["gpipe"].best_metric > 25.0
+    # PipeMare clearly beats PipeDream at equal hardware cost with fewer
+    # weight copies (the full BLEU recovery needs the paper's model scale)
+    assert by["pipemare"].best_metric > 8.0
+    assert by["pipemare"].best_metric > by["pipedream"].best_metric

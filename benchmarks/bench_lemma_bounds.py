@@ -1,0 +1,51 @@
+"""Lemmas 1–3 — closed-form stability thresholds vs numerical root-finding
+across the delay range used in the paper's experiments."""
+
+import numpy as np
+
+from repro.theory import (
+    char_poly_delayed_sgd,
+    char_poly_momentum,
+    lemma1_alpha_max,
+    lemma2_alpha_bound,
+    lemma3_alpha_bound,
+    max_stable_alpha,
+    char_poly_discrepancy,
+)
+
+from conftest import print_banner, print_series
+
+
+def test_lemma1_closed_form(run_once):
+    taus = [1, 2, 5, 10, 20, 40]
+
+    def build():
+        numeric = [max_stable_alpha(lambda a: char_poly_delayed_sgd(t, a, 1.0)) for t in taus]
+        closed = [lemma1_alpha_max(t, 1.0) for t in taus]
+        return numeric, closed
+
+    numeric, closed = run_once(build)
+    print_banner("Lemma 1 — max stable alpha (lambda=1)")
+    print_series("numeric", taus, numeric, ".6f")
+    print_series("closed form", taus, closed, ".6f")
+    for n, c in zip(numeric, closed):
+        assert abs(n - c) / c < 1e-3
+
+
+def test_lemma2_bound_envelope():
+    print_banner("Lemma 2 — instability below min(2/(Δ·Δτ), lemma1)")
+    for delta in (0.5, 2.0, 10.0):
+        bound = lemma2_alpha_bound(10, 6, 1.0, delta)
+        numeric = max_stable_alpha(lambda a: char_poly_discrepancy(10, 6, a, 1.0, delta))
+        print(f"delta={delta:>5}: numeric threshold={numeric:.5f} lemma2 bound={bound:.5f}")
+        assert numeric <= bound * (1 + 1e-6)
+
+
+def test_lemma3_momentum_bound():
+    print_banner("Lemma 3 — momentum cannot beat the O(1/tau) threshold")
+    tau = 10
+    bound = lemma3_alpha_bound(tau, 1.0)
+    for beta in (0.3, 0.6, 0.9):
+        numeric = max_stable_alpha(lambda a: char_poly_momentum(tau, a, 1.0, beta))
+        print(f"beta={beta}: numeric={numeric:.5f} (lemma3 bound {bound:.5f})")
+        assert numeric <= bound * (1 + 1e-6)

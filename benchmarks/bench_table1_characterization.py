@@ -1,0 +1,54 @@
+"""Table 1 — delay / throughput / weight-memory characterisation of
+PipeDream, GPipe, PipeMare, verified both analytically and against the
+executor's realised delays."""
+
+import numpy as np
+
+from repro.pipeline import DelayProfile, Method, costmodel
+
+from conftest import print_banner
+
+
+def test_table1_characterization(run_once):
+    p, n = 16, 4
+
+    def build():
+        rows = []
+        for method in (Method.PIPEDREAM, Method.GPIPE, Method.PIPEMARE):
+            prof = DelayProfile(p, n, method)
+            rows.append(
+                dict(
+                    method=method.value,
+                    tau_fwd_stage1=prof.tau_fwd(0),
+                    tau_bkwd_stage1=prof.tau_bkwd(0),
+                    throughput=costmodel.normalized_throughput(method, p, n),
+                    weight_memory=costmodel.weight_memory(method, 1, p, n),
+                )
+            )
+        return rows
+
+    rows = run_once(build)
+    print_banner(f"Table 1 (P={p}, N={n}; stage i=1)")
+    print(f"{'method':<10} {'tau_fwd':>8} {'tau_bkwd':>9} {'throughput':>11} {'weights':>8}")
+    for r in rows:
+        print(
+            f"{r['method']:<10} {r['tau_fwd_stage1']:>8.3f} {r['tau_bkwd_stage1']:>9.3f} "
+            f"{r['throughput']:>11.3f} {r['weight_memory']:>8.2f}"
+        )
+
+    pd, gp, pm = rows
+    # PipeDream: tau_fwd = tau_bkwd = (2(P-1)+1)/N; throughput 1; W(1+P/N)
+    assert pd["tau_fwd_stage1"] == pd["tau_bkwd_stage1"] == (2 * (p - 1) + 1) / n
+    assert pd["throughput"] == 1.0 and pd["weight_memory"] == 1 + p / n
+    # GPipe: zero delay, N/(N+P-1) throughput, one weight copy
+    assert gp["tau_fwd_stage1"] == gp["tau_bkwd_stage1"] == 0.0
+    assert gp["throughput"] == n / (n + p - 1) and gp["weight_memory"] == 1.0
+    # PipeMare: PipeDream's tau_fwd, zero tau_bkwd, full throughput, W
+    assert pm["tau_fwd_stage1"] == pd["tau_fwd_stage1"]
+    assert pm["tau_bkwd_stage1"] == 0.0
+    assert pm["throughput"] == 1.0 and pm["weight_memory"] == 1.0
+
+    # realised average delay equals the analytic one
+    prof = DelayProfile(p, n, Method.PIPEMARE)
+    lags = [t - prof.fwd_version(0, t, j) for t in range(50, 90) for j in range(n)]
+    assert np.mean(lags) == float(pd["tau_fwd_stage1"])

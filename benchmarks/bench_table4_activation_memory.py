@@ -1,0 +1,57 @@
+"""Table 4 — asymptotic activation memory with and without PipeMare
+Recompute (P = L):
+
+================== ================ ====================
+mode               w/o recompute    w/ recompute
+================== ================ ====================
+GPipe              M·P·N            M·P·N^{1/2}
+PipeMare/PipeDream M·P²             M·P^{3/2}
+================== ================ ====================
+"""
+
+import numpy as np
+
+from repro.pipeline import recompute
+
+from conftest import print_banner
+
+
+def test_table4_asymptotics(run_once):
+    def build():
+        out = {}
+        for p, n in [(64, 16), (144, 16), (256, 16)]:
+            t = recompute.table4_asymptotics(p, n)
+            s_pm = recompute.optimal_segment_size(p)
+            s_gp = recompute.optimal_segment_size(p, method="gpipe", num_microbatches=n)
+            t["measured_pipemare_recompute"] = recompute.total_activation_memory(
+                p, segment_size=s_pm
+            )
+            t["measured_gpipe_recompute"] = recompute.total_activation_memory(
+                p, segment_size=s_gp, num_microbatches=n, method="gpipe"
+            )
+            t["measured_pipemare"] = recompute.total_activation_memory(p)
+            out[(p, n)] = t
+        return out
+
+    table = run_once(build)
+    print_banner("Table 4 — activation memory (units of M)")
+    hdr = f"{'P':>5} {'N':>4} {'gpipe':>9} {'gpipe+r':>9} {'pm':>9} {'pm+r':>9} {'pm meas':>9} {'pm+r meas':>10}"
+    print(hdr)
+    for (p, n), t in table.items():
+        print(
+            f"{p:>5} {n:>4} {t['gpipe']:>9.0f} {t['gpipe_recompute']:>9.0f} "
+            f"{t['pipemare']:>9.0f} {t['pipemare_recompute']:>9.0f} "
+            f"{t['measured_pipemare']:>9.0f} {t['measured_pipemare_recompute']:>10.0f}"
+        )
+
+    # Exponent checks: quadrupling P multiplies PipeMare memory by 16 and
+    # recompute memory by 8 (P^{3/2}).
+    m64 = table[(64, 16)]["measured_pipemare"]
+    m256 = table[(256, 16)]["measured_pipemare"]
+    assert m256 / m64 == 16.0
+    r64 = table[(64, 16)]["measured_pipemare_recompute"]
+    r256 = table[(256, 16)]["measured_pipemare_recompute"]
+    assert r256 / r64 == np.clip(r256 / r64, 6.5, 9.5)
+    # GPipe with recompute scales like P·sqrt(N): flat in N exponent check
+    g = table[(64, 16)]
+    assert g["measured_gpipe_recompute"] < g["gpipe"]

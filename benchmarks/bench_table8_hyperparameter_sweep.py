@@ -1,0 +1,56 @@
+"""Tables 6–9 — hyperparameter records: the paper's recipes and grids next
+to our scaled equivalents, plus a live mini-sweep over the T2 decay grid
+(Table 8's CIFAR row) to confirm the same optimum ordering."""
+
+from repro.experiments import make_image_workload
+from repro.experiments.configs import (
+    PAPER_STAGE_COUNTS,
+    TABLE6_RESNET,
+    TABLE7_TRANSFORMER,
+    TABLE8_GRIDS,
+    TABLE9_TRANSFER,
+)
+from repro.experiments.sensitivity import sweep_decay
+
+from conftest import print_banner
+
+
+def test_tables6_to_9_records(run_once):
+    def build():
+        return {
+            "t6": TABLE6_RESNET,
+            "t7": TABLE7_TRANSFORMER,
+            "t8": TABLE8_GRIDS,
+            "t9": TABLE9_TRANSFER,
+            "stages": PAPER_STAGE_COUNTS,
+        }
+
+    records = run_once(build)
+    print_banner("Tables 6-9 — paper hyperparameter records")
+    for key, recipe in records["t6"].items():
+        print(f"[T6:{key}] {recipe.task}: lr={recipe.lr}, {recipe.schedule}")
+    for key, recipe in records["t7"].items():
+        print(f"[T7:{key}] {recipe.task}: lr={recipe.lr}, micro={recipe.microbatch}")
+    for task, grids in records["t8"].items():
+        print(f"[T8:{task}] " + ", ".join(
+            f"{k}: grid={v['grid']} optimal={v['optimal']}" for k, v in grids.items()
+        ))
+    print(f"[T9] {records['t9']}")
+    print(f"[stages] {records['stages']}")
+
+    assert records["t6"]["cifar10"].lr == 0.01
+    assert records["t8"]["cifar10"]["decay"]["optimal"] == 0.5
+    assert records["stages"]["resnet50"] == 107
+
+
+def test_table8_decay_grid_live(run_once):
+    """Replay the Table 8 CIFAR decay grid {0.1, 0.5, 0.9} at our scale:
+    0.5 must be (near-)optimal, as the paper found."""
+    workload = make_image_workload("cifar")
+    results = run_once(sweep_decay, workload, [0.1, 0.5, 0.9], epochs=14)
+    print_banner("Table 8 (live) — decay grid on the image task")
+    best = {}
+    for d, r in results.items():
+        best[d] = r.best_metric
+        print(f"D={d}: best={r.best_metric:.1f}")
+    assert best[0.5] >= max(best.values()) - 2.0

@@ -1,0 +1,35 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper table or figure at CPU scale and
+prints the paper-shaped rows/series (captured with ``pytest -s`` or in the
+benchmark logs).  Quality numbers are qualitative reproductions — see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def print_series(label: str, xs, ys, fmt: str = ".2f") -> None:
+    pts = "  ".join(f"{x}:{format(float(y), fmt)}" for x, y in zip(xs, ys))
+    print(f"{label:<28} {pts}")
+
+
+def curve(result, key: str = "eval_metric"):
+    return result.history.series(key)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,69 @@
+"""Hogwild!-style stochastic asynchrony (Appendix E): per-stage delays are
+random (truncated exponential) rather than the pipeline's fixed profile,
+and T1's learning-rate rescheduling still rescues training.
+
+The paper's Figure 19 shows this on ResNet50/CIFAR10 and a Transformer;
+here we run the CPU-scale image stand-in three ways — synchronous,
+Hogwild!, and Hogwild! + T1 — and compare final quality.
+
+Run:  python examples/hogwild_asynchrony.py
+"""
+
+import numpy as np
+
+from repro.experiments.hogwild_study import run_hogwild_image
+from repro.experiments.workloads import make_image_workload
+from repro.viz import format_table, sparkline
+
+
+def main() -> None:
+    workload = make_image_workload("cifar")
+    epochs = 6
+    target = 85.0  # accuracy the stand-in reaches quickly when healthy
+
+    print("Appendix E — stochastic (Hogwild!-style) per-stage delays")
+    print(f"workload={workload.name}, epochs={epochs}, target={target}%\n")
+
+    runs = {}
+    # Synchronous reference: the same workload trained GPipe-style.
+    runs["synchronous"] = workload.run(method="gpipe", epochs=epochs, seed=0)
+    # Stochastic delays with mean equal to the pipeline τ_fwd profile.
+    runs["hogwild"] = run_hogwild_image(workload, epochs=epochs, use_t1=False, seed=0)
+    runs["hogwild + T1"] = run_hogwild_image(workload, epochs=epochs, use_t1=True, seed=0)
+
+    rows = []
+    for name, result in runs.items():
+        to_target = result.epochs_to_target(target)
+        rows.append(
+            [
+                name,
+                result.best_metric,
+                None if np.isinf(to_target) else to_target,
+                "yes" if result.diverged else "no",
+                sparkline(result.history.series("eval_metric")),
+            ]
+        )
+    print(
+        format_table(
+            ["run", "best accuracy", f"epochs to {target:.0f}%", "diverged", "curve"],
+            rows,
+            float_fmt=".2f",
+        )
+    )
+    gap_plain = runs["synchronous"].best_metric - runs["hogwild"].best_metric
+    gap_t1 = runs["synchronous"].best_metric - runs["hogwild + T1"].best_metric
+    print(
+        f"\nquality gap to synchronous after {epochs} epochs: "
+        f"{gap_plain:.2f} (hogwild) vs {gap_t1:.2f} (hogwild + T1)"
+    )
+    print(
+        "\nExpected shape (Figure 19): under stochastic staleness plain"
+        "\nHogwild! learns markedly slower (or worse) at a fixed budget;"
+        "\nadding T1's per-stage delay-aware learning rates recovers most of"
+        "\nthe gap — the technique is not specific to the fixed pipeline"
+        "\ndelay pattern it was derived for."
+    )
+
+
+if __name__ == "__main__":
+    main()

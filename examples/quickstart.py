@@ -1,0 +1,74 @@
+"""Quickstart: train one model three ways — synchronously (GPipe),
+naively asynchronously, and with PipeMare (T1+T2) — and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import PipelineExecutor, partition_model
+from repro.pipeline.executor import param_groups_from_stages
+from repro.utils import new_rng
+
+
+def make_data(rng, d=10, classes=4, n=512):
+    """A simple Gaussian-clusters classification problem."""
+    centers = rng.normal(size=(classes, d)) * 2.0
+    y = rng.integers(0, classes, size=n)
+    x = centers[y] + rng.normal(size=(n, d))
+    return x, y
+
+
+def train(method: str, config: PipeMareConfig | None, steps: int = 300) -> list[float]:
+    rng = new_rng(0)
+    x, y = make_data(rng)
+
+    # A deep, narrow MLP: 7 weight units = 7 pipeline stages at the finest
+    # granularity — enough delay for asynchrony to matter.
+    model = MLP([10, 16, 16, 16, 16, 16, 4], new_rng(42))
+    loss = CrossEntropyLoss()
+    stages = partition_model(model)  # one weight unit per stage
+    optimizer = SGD(param_groups_from_stages(stages), lr=0.1, momentum=0.5)
+
+    executor = PipelineExecutor(
+        model, loss, optimizer, stages,
+        num_microbatches=4,       # N: minibatches split 4-ways
+        method=method,            # "gpipe" | "pipedream" | "pipemare"
+        pipemare=config,
+    )
+
+    losses = []
+    for step in range(steps):
+        lo = (step % 16) * 32
+        losses.append(executor.train_step(x[lo : lo + 32], y[lo : lo + 32]))
+        if not np.isfinite(losses[-1]) or losses[-1] > 1e6:
+            break
+    return losses
+
+
+def main() -> None:
+    runs = {
+        "synchronous (GPipe)": ("gpipe", None),
+        "naive async": ("pipemare", PipeMareConfig.naive_async()),
+        "PipeMare T1+T2": ("pipemare", PipeMareConfig.t1_t2(anneal_steps=150, decay=0.5)),
+    }
+    print(f"{'run':<22} {'first loss':>11} {'final loss':>11} {'status':>10}")
+    for name, (method, cfg) in runs.items():
+        losses = train(method, cfg)
+        status = "ok" if len(losses) == 300 and np.isfinite(losses[-1]) else "DIVERGED"
+        final = np.mean(losses[-10:]) if status == "ok" else float("inf")
+        print(f"{name:<22} {losses[0]:>11.4f} {final:>11.4f} {status:>10}")
+    print(
+        "\nExpected shape: naive async degrades or diverges at a learning rate"
+        "\nwhere synchronous training is fine; PipeMare's per-stage learning-"
+        "\nrate rescheduling and discrepancy correction recover training while"
+        "\nkeeping the pipeline bubble-free with one weight copy."
+    )
+
+
+if __name__ == "__main__":
+    main()

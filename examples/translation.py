@@ -1,0 +1,48 @@
+"""Neural machine translation under pipeline parallelism — the paper's
+Transformer/IWSLT14 experiment at CPU scale.
+
+The synthetic language pair is sequence reversal with a vocabulary
+rotation, scored with real BLEU-4.  Demonstrates the paper's headline
+Transformer results: naive async and PipeDream collapse to BLEU ≈ 0,
+PipeMare's T1+T2 recovers training, and T3 synchronous warmup closes the
+remaining gap at a throughput cost.
+
+Run:  python examples/translation.py [--epochs 20]
+"""
+
+import argparse
+
+from repro.core import PipeMareConfig
+from repro.experiments import make_translation_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workload = make_translation_workload("iwslt")
+    print(
+        f"workload: reversal-translation | vocab={workload.vocab_size} "
+        f"| stages={workload.default_stages} | N={workload.num_microbatches}\n"
+    )
+
+    runs = {
+        "sync (GPipe)": dict(method="gpipe"),
+        "PipeDream": dict(method="pipedream"),
+        "naive async": dict(method="pipemare", pipemare=PipeMareConfig.naive_async()),
+        "PipeMare T1+T2": dict(method="pipemare", pipemare=workload.default_config()),
+        "PipeMare T1+T2+T3": dict(
+            method="pipemare", pipemare=workload.default_config(warmup_epochs=4)
+        ),
+    }
+    for name, kwargs in runs.items():
+        result = workload.run(epochs=args.epochs, seed=args.seed, **kwargs)
+        curve = result.history.series("eval_metric")
+        print(f"[{name:<18}] best BLEU {result.best_metric:5.1f} | "
+              + " ".join(f"{v:.0f}" for v in curve))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a full reproduction of *PipeMare: Asynchronous Pipeline Parallel
+DNN Training* (Yang et al., MLSYS 2021).
+
+The package is organised as:
+
+* :mod:`repro.nn` — numpy layer framework with explicit forward/backward so
+  different weight versions can be used in the two passes.
+* :mod:`repro.models` — MLP / ResNet / Transformer / linear-regression zoo.
+* :mod:`repro.optim` — SGD(+momentum), Adam(W), LR schedulers.
+* :mod:`repro.pipeline` — stage partitioning, delay profiles, weight-version
+  store, the GPipe/PipeDream/PipeMare executors, and the analytic
+  throughput/memory cost models.
+* :mod:`repro.core` — the paper's contribution: T1 learning-rate
+  rescheduling, T2 discrepancy correction, T3 synchronous warmup.
+* :mod:`repro.theory` — companion matrices, characteristic polynomials and
+  stability analysis (Lemmas 1–3, Appendix B/D).
+* :mod:`repro.data`, :mod:`repro.metrics`, :mod:`repro.train`,
+  :mod:`repro.hogwild`, :mod:`repro.experiments`.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,90 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each paper artifact the library can regenerate is exposed as a subcommand,
+so a user can reproduce a table or explore the theory without writing any
+code.  Commands are thin: they parse arguments, call the corresponding
+:mod:`repro.experiments` / :mod:`repro.theory` entry point, and render the
+result with :mod:`repro.viz`.
+
+========== =====================================================
+command     regenerates
+========== =====================================================
+info        package/experiment index
+delays      Table 1 delay/throughput/memory characterization
+theory      Lemma 1-3 bounds + numerical stability thresholds
+quadratic   Figure 3(a)/5(a) quadratic-model trajectories
+heatmap     Figure 3(b) α-τ stability heatmap
+train       one workload run (any method/technique combination)
+table2      Table 2 end-to-end comparison
+table3      Table 3 technique ablation
+sweep       Figure 2/15 stage-count sweeps
+recompute   Table 4/5 + Figure 6 activation-memory analysis
+hogwild     Appendix E stochastic-asynchrony study
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.cli import (
+    delays_cmd,
+    heatmap_cmd,
+    hogwild_cmd,
+    info_cmd,
+    quadratic_cmd,
+    recompute_cmd,
+    schedule_cmd,
+    sweep_cmd,
+    table_cmds,
+    theory_cmd,
+    train_cmd,
+)
+
+# Every module contributes (name, help, add_arguments, run).
+_COMMANDS = [
+    info_cmd.COMMAND,
+    delays_cmd.COMMAND,
+    schedule_cmd.COMMAND,
+    theory_cmd.COMMAND,
+    quadratic_cmd.COMMAND,
+    heatmap_cmd.COMMAND,
+    train_cmd.COMMAND,
+    table_cmds.TABLE2,
+    table_cmds.TABLE3,
+    sweep_cmd.COMMAND,
+    recompute_cmd.COMMAND,
+    hogwild_cmd.COMMAND,
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level parser with one subparser per command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PipeMare (MLSYS 2021) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", metavar="command")
+    for cmd in _COMMANDS:
+        p = sub.add_parser(cmd.name, help=cmd.help, description=cmd.help)
+        cmd.add_arguments(p)
+        p.set_defaults(_run=cmd.run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "_run", None):
+        parser.print_help()
+        return 2
+    return int(args._run(args) or 0)
+
+
+def run(argv: Sequence[str] | None = None) -> None:  # pragma: no cover
+    sys.exit(main(argv))

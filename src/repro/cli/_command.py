@@ -1,0 +1,46 @@
+"""The subcommand protocol shared by every CLI module."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand: its name, help line, and behavior."""
+
+    name: str
+    help: str
+    add_arguments: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
+
+
+def add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    """Shared ``--workload`` choice across training commands."""
+    parser.add_argument(
+        "--workload",
+        choices=["cifar", "imagenet", "iwslt", "wmt"],
+        default="cifar",
+        help="paper task stand-in (default: cifar)",
+    )
+
+
+def add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments every training-style command shares."""
+    parser.add_argument("--epochs", type=int, default=6, help="training epochs")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--stages", type=int, default=None,
+        help="pipeline stage count (default: workload's finest granularity)",
+    )
+
+
+def make_workload(name: str):
+    """Build the named workload preset."""
+    from repro.experiments.workloads import make_image_workload, make_translation_workload
+
+    if name in ("cifar", "imagenet"):
+        return make_image_workload(name)
+    return make_translation_workload(name)

@@ -1,0 +1,78 @@
+"""``repro delays`` — Table 1 for a chosen pipeline shape.
+
+Prints per-method forward/backward delays (first stage / per-stage table),
+normalized throughput, and weight(+optimizer) memory multipliers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._command import Command
+from repro.pipeline import DelayProfile, Method, costmodel
+from repro.viz import format_table
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-p", "--stages", type=int, default=8, help="pipeline stages P")
+    parser.add_argument(
+        "-n", "--microbatches", type=int, default=4, help="microbatches per minibatch N"
+    )
+    parser.add_argument(
+        "--optimizer", choices=["sgd", "adam"], default="sgd",
+        help="optimizer for the memory column",
+    )
+    parser.add_argument(
+        "--per-stage", action="store_true", help="print the per-stage delay table too"
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    p, n = args.stages, args.microbatches
+    if p < 1 or n < 1:
+        print("stages and microbatches must be >= 1")
+        return 2
+
+    rows = []
+    for method in (Method.PIPEDREAM, Method.GPIPE, Method.PIPEMARE):
+        prof = DelayProfile(p, n, method)
+        rows.append(
+            [
+                method.value,
+                float(prof.tau_fwd(0)),
+                float(prof.tau_bkwd(0)),
+                costmodel.normalized_throughput(method, p, n),
+                costmodel.memory_multiplier(
+                    method, p, n, optimizer=args.optimizer,
+                    t2=(method is Method.PIPEMARE),
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "τ_fwd(stage 1)", "τ_bkwd(stage 1)", "throughput", "W+opt mem ×"],
+            rows,
+            title=f"Table 1 — P={p} stages, N={n} microbatches, {args.optimizer}",
+            float_fmt=".3f",
+        )
+    )
+
+    if args.per_stage:
+        prof = DelayProfile(p, n, Method.PIPEMARE)
+        stage_rows = [
+            [i + 1, float(prof.tau_fwd(i)), float(prof.tau_bkwd(i))]
+            for i in range(p)
+        ]
+        print()
+        print(
+            format_table(
+                ["stage", "τ_fwd", "τ_bkwd"],
+                stage_rows,
+                title="PipeMare per-stage delays ((2(P−i)+1)/N, 0)",
+                float_fmt=".3f",
+            )
+        )
+    return 0
+
+
+COMMAND = Command("delays", "Table 1 characterization", _add_arguments, _run)

@@ -1,0 +1,47 @@
+"""``repro info`` — the experiment index: which command regenerates which
+paper artifact, plus package metadata."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro._version import __version__
+from repro.cli._command import Command
+from repro.viz import format_table
+
+_INDEX = [
+    ("Figure 1", "pipeline-mode occupancy schedules", "repro schedule"),
+    ("Table 1", "delay/throughput/memory characterization", "repro delays"),
+    ("Table 2", "end-to-end method comparison", "repro table2"),
+    ("Table 3", "technique ablation (T1/T2/T3)", "repro table3"),
+    ("Table 4/5", "activation memory w/ and w/o recompute", "repro recompute"),
+    ("Figure 2/15", "stage-count sweeps", "repro sweep"),
+    ("Figure 3a/5a", "quadratic-model divergence", "repro quadratic"),
+    ("Figure 3b", "α-τ stability heatmap", "repro heatmap"),
+    ("Figure 4/10", "technique learning curves", "repro table3 --curves"),
+    ("Figure 6", "per-stage activation profile", "repro recompute --stages-detail"),
+    ("Lemmas 1-3", "stability thresholds", "repro theory"),
+    ("Appendix E", "Hogwild!-style stochastic delays", "repro hogwild"),
+]
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    del parser  # no options
+
+
+def _run(args: argparse.Namespace) -> int:
+    del args
+    print(f"repro {__version__} — PipeMare: Asynchronous Pipeline Parallel DNN Training")
+    print("(Yang et al., MLSYS 2021; arXiv:1910.05124)\n")
+    print(
+        format_table(
+            ["artifact", "what it shows", "command"],
+            [list(row) for row in _INDEX],
+            title="Paper artifact index",
+        )
+    )
+    print("\nFull benchmark harness: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+COMMAND = Command("info", "package and experiment index", _add_arguments, _run)

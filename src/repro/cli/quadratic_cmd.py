@@ -1,0 +1,74 @@
+"""``repro quadratic`` — Figure 3(a)/5(a): loss trajectories of delayed SGD
+on the 1-D quadratic, for several delays (and optionally a discrepancy Δ).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.cli._command import Command
+from repro.theory.quadratic import simulate_delayed_sgd, simulate_discrepancy_sgd
+from repro.viz import line_plot
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--taus", type=int, nargs="+", default=[0, 5, 10],
+        help="delays to simulate (Figure 3a defaults)",
+    )
+    parser.add_argument("--alpha", type=float, default=0.2, help="step size α")
+    parser.add_argument("--lam", type=float, default=1.0, help="curvature λ")
+    parser.add_argument("--steps", type=int, default=250, help="iterations")
+    parser.add_argument(
+        "--delta", type=float, default=None,
+        help="discrepancy sensitivity Δ; switches to the Figure 5a model "
+        "(τ_fwd=max(taus), τ_bkwd sweeps over the given taus)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.alpha <= 0 or args.lam <= 0 or args.steps < 1:
+        print("alpha, lam must be positive and steps >= 1")
+        return 2
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    if args.delta is None:
+        for tau in args.taus:
+            traj = simulate_delayed_sgd(
+                args.lam, args.alpha, tau, args.steps,
+                rng=np.random.default_rng(args.seed),
+            )
+            xs = list(range(len(traj.losses)))
+            series[f"τ={tau}{' (diverged)' if traj.diverged else ''}"] = (
+                xs, traj.losses.tolist()
+            )
+        title = f"Figure 3(a) — quadratic, α={args.alpha}, λ={args.lam}"
+    else:
+        tau_fwd = max(args.taus)
+        for tau_b in sorted(set(args.taus)):
+            if tau_b > tau_fwd:
+                continue
+            traj = simulate_discrepancy_sgd(
+                args.lam, args.alpha, tau_fwd, tau_b, args.delta, args.steps,
+                rng=np.random.default_rng(args.seed),
+            )
+            series[
+                f"τb={tau_b}{' (diverged)' if traj.diverged else ''}"
+            ] = (list(range(len(traj.losses))), traj.losses.tolist())
+        title = (
+            f"Figure 5(a) — discrepancy Δ={args.delta}, τ_fwd={tau_fwd}, "
+            f"α={args.alpha}"
+        )
+    print(
+        line_plot(
+            series, title=title, ylabel="loss", xlabel="iteration", logy=True
+        )
+    )
+    return 0
+
+
+COMMAND = Command(
+    "quadratic", "Figure 3a/5a quadratic-model trajectories", _add_arguments, _run
+)

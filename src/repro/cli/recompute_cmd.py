@@ -1,0 +1,100 @@
+"""``repro recompute`` — the activation-memory analysis of Appendix A/D:
+Table 4 asymptotics, Table 5 savings ratios, and the Figure 6 per-stage
+profile as a bar chart."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._command import Command
+from repro.pipeline import Method
+from repro.pipeline.recompute import (
+    optimal_segment_size,
+    per_stage_activation_counts,
+    recompute_savings_ratio,
+    table4_asymptotics,
+    total_activation_memory,
+)
+from repro.viz import bar_chart, format_table
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-p", "--stages", type=int, default=16, help="pipeline stages P")
+    parser.add_argument(
+        "-n", "--microbatches", type=int, default=4, help="microbatches per minibatch N"
+    )
+    parser.add_argument(
+        "--segment", type=int, default=None,
+        help="recompute segment size S (default: optimal ≈ √P)",
+    )
+    parser.add_argument(
+        "--stages-detail", action="store_true",
+        help="print the Figure 6 per-stage activation bars",
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    p, n = args.stages, args.microbatches
+    if p < 1 or n < 1:
+        print("stages and microbatches must be >= 1")
+        return 2
+    if args.segment is not None and not 1 <= args.segment <= p:
+        print(f"segment must be in [1, {p}]; try {optimal_segment_size(p)}")
+        return 2
+
+    rows = []
+    segments: dict[Method, int] = {}
+    for method in (Method.GPIPE, Method.PIPEMARE):
+        # each method has its own optimum: S=√N for GPipe, S=√P otherwise
+        segment = args.segment or optimal_segment_size(p, method, n)
+        segments[method] = segment
+        plain = total_activation_memory(
+            p, segment_size=None, num_microbatches=n, method=method
+        )
+        recomp = total_activation_memory(
+            p, segment_size=segment, num_microbatches=n, method=method
+        )
+        rows.append(
+            [method.value, segment, float(plain), float(recomp), recomp / plain]
+        )
+    print(
+        format_table(
+            ["method", "S", "act. mem (no recompute)", "with recompute", "ratio"],
+            rows,
+            title=f"Tables 4/5 — P={p}, N={n} (microbatch-activation units)",
+            float_fmt=".4g",
+        )
+    )
+    segment = segments[Method.PIPEMARE]
+    print(
+        f"\nasymptotics (Table 4): {table4_asymptotics(p, n)}"
+        f"\npaper's 1/√P savings estimate: {recompute_savings_ratio(p):.4f}"
+    )
+
+    if args.stages_detail:
+        with_rc = per_stage_activation_counts(
+            p, segment_size=segment, num_microbatches=n
+        )
+        without = per_stage_activation_counts(p, segment_size=None, num_microbatches=n)
+        print()
+        print(
+            bar_chart(
+                [f"stage {i}" for i in range(p)],
+                [float(v) for v in without],
+                title="Figure 6 — cached activations per stage, no recompute",
+                fmt=".0f",
+            )
+        )
+        print()
+        print(
+            bar_chart(
+                [f"stage {i}" for i in range(p)],
+                [float(v) for v in with_rc],
+                title=f"Figure 6 — with PipeMare Recompute (S={segment})",
+                fmt=".0f",
+            )
+        )
+    return 0
+
+
+COMMAND = Command("recompute", "Table 4/5 + Figure 6 activation memory", _add_arguments, _run)

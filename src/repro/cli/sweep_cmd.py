@@ -1,0 +1,78 @@
+"""``repro sweep`` — Figure 2/15: throughput, weight+optimizer memory,
+final quality, and time-to-target as the stage count grows."""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.cli._command import Command, add_workload_arg, make_workload
+from repro.experiments.stage_sweep import run_stage_sweep
+from repro.viz import format_table, line_plot
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    add_workload_arg(parser)
+    parser.add_argument(
+        "--stage-counts", type=int, nargs="+", default=None,
+        help="stage counts to sweep (default: 4 points up to the finest)",
+    )
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--analytic-only", action="store_true",
+        help="skip training; report the analytic throughput/memory columns",
+    )
+    parser.add_argument("--plot", action="store_true", help="ASCII throughput plot")
+
+
+def _run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    if args.stage_counts:
+        counts = sorted(set(args.stage_counts))
+    else:
+        finest = workload.max_stages()
+        counts = sorted({max(2, finest // 8), max(2, finest // 4), max(2, finest // 2), finest})
+    train_methods = () if args.analytic_only else ("gpipe", "pipedream", "pipemare")
+    result = run_stage_sweep(
+        workload, counts, epochs=args.epochs, seed=args.seed,
+        train_methods=train_methods,
+    )
+    rows = []
+    for pt in result.points:
+        rows.append(
+            [
+                pt.num_stages,
+                pt.method,
+                pt.throughput,
+                pt.memory,
+                None if math.isnan(pt.best_metric) else pt.best_metric,
+                None if math.isinf(pt.time_to_target) else pt.time_to_target,
+            ]
+        )
+    print(
+        format_table(
+            ["P", "method", "throughput", "W+opt mem", "best", "time-to-target"],
+            rows,
+            title=f"Figure 2/15 sweep — {workload.name}, stages={counts}",
+            float_fmt=".3g",
+        )
+    )
+    if args.plot:
+        series = {
+            m: result.series(m, "throughput")
+            for m in ("gpipe", "pipedream", "pipemare")
+        }
+        series = {m: s for m, s in series.items() if s[0]}
+        print()
+        print(
+            line_plot(
+                series,
+                title="normalized throughput vs stage count",
+                ylabel="tput", xlabel="P",
+            )
+        )
+    return 0
+
+
+COMMAND = Command("sweep", "Figure 2/15 stage-count sweep", _add_arguments, _run)

@@ -1,0 +1,107 @@
+"""``repro table2`` and ``repro table3`` — the paper's two main tables.
+
+Table 2 compares GPipe / PipeDream / PipeMare end to end; Table 3 ablates
+T1/T2/T3.  Both print with the paper's columns (best metric, shared target,
+epochs- and speedup-to-target, throughput, memory multiplier).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.cli._command import Command, add_common_run_args, add_workload_arg, make_workload
+from repro.experiments.ablation import format_ablation_table, run_ablation
+from repro.experiments.end_to_end import run_end_to_end
+from repro.viz import format_table, sparkline
+
+
+def _none_if_inf(v: float):
+    return None if (isinstance(v, float) and (math.isinf(v) or math.isnan(v))) else v
+
+
+def _add_table2_args(parser: argparse.ArgumentParser) -> None:
+    add_workload_arg(parser)
+    add_common_run_args(parser)
+    parser.add_argument(
+        "--warmup-epochs", type=int, default=0, help="T3 epochs for the PipeMare row"
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seeds to average (paper uses 3)",
+    )
+
+
+def _run_table2(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    rows, _ = run_end_to_end(
+        workload,
+        epochs=args.epochs,
+        warmup_epochs=args.warmup_epochs,
+        seeds=tuple(args.seeds),
+        num_stages=args.stages,
+    )
+    table = [
+        [
+            r.method,
+            r.best_metric,
+            r.target_metric,
+            _none_if_inf(r.speedup_vs_gpipe),
+            _none_if_inf(r.epochs_to_target),
+            r.throughput,
+            r.memory_multiplier,
+        ]
+        for r in rows
+    ]
+    print(
+        format_table(
+            [
+                "method", "best", "target", "speedup", "epochs-to-target",
+                "throughput", "W+opt mem x",
+            ],
+            table,
+            title=f"Table 2 — {workload.name} ({workload.metric_name})",
+            float_fmt=".2f",
+        )
+    )
+    print("\n'-' = did not reach the target (the paper's PipeDream-on-Transformer case)")
+    return 0
+
+
+def _add_table3_args(parser: argparse.ArgumentParser) -> None:
+    add_workload_arg(parser)
+    add_common_run_args(parser)
+    parser.add_argument(
+        "--t3", action="store_true", help="include the T1+T2+T3 variant"
+    )
+    parser.add_argument(
+        "--warmup-epochs", type=int, default=4, help="T3 synchronous epochs"
+    )
+    parser.add_argument(
+        "--curves", action="store_true",
+        help="print per-variant eval-metric sparklines (Figure 4/10 shapes)",
+    )
+
+
+def _run_table3(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    results = run_ablation(
+        workload,
+        epochs=args.epochs,
+        include_t3=args.t3,
+        warmup_epochs=args.warmup_epochs,
+        seed=args.seed,
+        num_stages=args.stages,
+    )
+    print(f"Table 3 — {workload.name} ablation")
+    for line in format_ablation_table(workload, results):
+        print(line)
+    if args.curves:
+        print("\neval-metric curves (one char per epoch; ! = diverged):")
+        for name, r in results.items():
+            print(f"  {name:<10} {sparkline(r.history.series('eval_metric'))}")
+    return 0
+
+
+TABLE2 = Command("table2", "Table 2 end-to-end comparison", _add_table2_args, _run_table2)
+TABLE3 = Command("table3", "Table 3 technique ablation", _add_table3_args, _run_table3)

@@ -1,0 +1,104 @@
+"""``repro train`` — run one workload with any method/technique combination
+and print the learning curve plus summary row.
+
+This is the single-run workhorse behind Figures 4, 9, 10 and 17/18: pick a
+workload preset, a pipeline method, and which of T1/T2/T3 to enable.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli._command import Command, add_common_run_args, add_workload_arg, make_workload
+from repro.core import PipeMareConfig
+from repro.viz import line_plot, sparkline
+
+
+def _add_arguments(parser: argparse.ArgumentParser) -> None:
+    add_workload_arg(parser)
+    add_common_run_args(parser)
+    parser.add_argument(
+        "--method", choices=["gpipe", "pipedream", "pipemare"], default="pipemare"
+    )
+    parser.add_argument(
+        "--techniques", default="t1,t2",
+        help="comma list from {t1,t2,t3,none} (pipemare only; default t1,t2)",
+    )
+    parser.add_argument(
+        "--warmup-epochs", type=int, default=4, help="T3 synchronous epochs"
+    )
+    parser.add_argument(
+        "--recompute-segment", type=int, default=None,
+        help="activation recompute segment size (Appendix D)",
+    )
+    parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
+
+
+def parse_techniques(spec: str, workload, warmup_epochs: int) -> PipeMareConfig:
+    """Build a PipeMareConfig from a ``t1,t2,t3``-style list."""
+    picked = {t.strip().lower() for t in spec.split(",") if t.strip()}
+    unknown = picked - {"t1", "t2", "t3", "none"}
+    if unknown:
+        raise ValueError(f"unknown technique(s): {sorted(unknown)}")
+    if "none" in picked and picked != {"none"}:
+        raise ValueError("'none' cannot be combined with other techniques")
+    if picked == {"none"}:
+        return PipeMareConfig.naive_async()
+    k = workload.default_anneal_steps()
+    d = workload.tuned_decay
+    return PipeMareConfig(
+        use_t1="t1" in picked,
+        anneal_steps=k,
+        use_t2="t2" in picked,
+        decay=d,
+        use_t3="t3" in picked,
+        warmup_steps=warmup_epochs * workload.steps_per_epoch if "t3" in picked else 0,
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    cfg = None
+    if args.method == "pipemare":
+        try:
+            cfg = parse_techniques(args.techniques, workload, args.warmup_epochs)
+        except ValueError as exc:
+            print(exc)
+            return 2
+
+    desc = cfg.describe() if cfg else "synchronous"
+    print(
+        f"workload={workload.name} method={args.method} config={desc} "
+        f"epochs={args.epochs} stages="
+        f"{args.stages if args.stages else workload.max_stages()}"
+    )
+    result = workload.run(
+        method=args.method,
+        pipemare=cfg,
+        epochs=args.epochs,
+        seed=args.seed,
+        num_stages=args.stages,
+        recompute_segment=args.recompute_segment,
+    )
+    metric = result.history.series("eval_metric")
+    losses = result.history.series("train_loss")
+    print(f"\ntrain loss   {sparkline(losses)}")
+    print(f"eval metric  {sparkline(metric)}")
+    print(
+        f"\nbest {workload.metric_name} = {result.best_metric:.3f}"
+        f"   diverged = {result.diverged}"
+    )
+    if args.plot and metric:
+        print()
+        print(
+            line_plot(
+                {workload.metric_name: (list(range(len(metric))), metric)},
+                title=f"{workload.name}: {desc}",
+                ylabel=workload.metric_name,
+                xlabel="epoch",
+            )
+        )
+    return 1 if result.diverged else 0
+
+
+COMMAND = Command("train", "run one workload end to end", _add_arguments, _run)

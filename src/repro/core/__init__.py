@@ -1,0 +1,30 @@
+"""The paper's contribution: the three PipeMare techniques.
+
+* :class:`LRReschedule` — T1, per-stage step-size annealing
+  ``α_{k,i} = α_base,k · τ_i^{−p_k}``, ``p_k = 1 − min(k/K, 1)`` (§3.1, eq. 5).
+* :class:`DiscrepancyCorrector` — T2, velocity-EWMA extrapolation of the
+  forward weights for use in the backward pass (§3.2), including the
+  recompute variant of Appendix D.1.
+* :class:`WarmupSchedule` — T3, synchronous (GPipe-style) warmup epochs
+  before switching to asynchronous execution (§3.3).
+* :class:`PipeMareConfig` — bundles the three with the paper's defaults and
+  hyperparameter rules of thumb.
+"""
+
+from repro.core.lr_reschedule import LRReschedule
+from repro.core.discrepancy import DiscrepancyCorrector
+from repro.core.warmup import WarmupSchedule
+from repro.core.pipemare import (
+    PipeMareConfig,
+    anneal_steps_for_step_schedule,
+    anneal_steps_for_warmup_schedule,
+)
+
+__all__ = [
+    "LRReschedule",
+    "DiscrepancyCorrector",
+    "WarmupSchedule",
+    "PipeMareConfig",
+    "anneal_steps_for_step_schedule",
+    "anneal_steps_for_warmup_schedule",
+]

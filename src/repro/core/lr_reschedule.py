@@ -1,0 +1,73 @@
+"""T1 — learning-rate rescheduling (§3.1).
+
+Lemma 1 shows fixed-delay SGD is stable only for ``α = O(1/(λτ))``; dividing
+the step size by ``τ_i`` forever would be needlessly slow once the base
+schedule has decayed, so T1 anneals the exponent:
+
+    ``α_{k,i} = α_base,k / τ_i^{p_k}``,  ``p_k = 1 − min(k/K, 1)``.
+
+At step 0 every stage runs at ``α/τ_i`` (the stability-safe rate); by step K
+the scaling has relaxed back to the plain base schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LRReschedule:
+    """Computes per-stage learning-rate scales and drives optimizer groups.
+
+    Parameters
+    ----------
+    tau_fwd:
+        Forward delay of each stage, in optimizer steps (the paper's
+        ``τ_fwd,i = (2(P−i)+1)/N``).  Values below 1 are clamped to 1 —
+        a sub-step delay needs no damping and must not *amplify* the rate.
+    anneal_steps:
+        K of eq. (5).  The paper's rules of thumb are implemented in
+        :mod:`repro.core.pipemare`.
+    """
+
+    def __init__(self, tau_fwd: list[float] | np.ndarray, anneal_steps: int):
+        if anneal_steps <= 0:
+            raise ValueError(f"anneal_steps must be positive, got {anneal_steps}")
+        tau = np.asarray(tau_fwd, dtype=float)
+        if tau.size == 0:
+            raise ValueError("tau_fwd must be non-empty")
+        if np.any(tau < 0):
+            raise ValueError("delays must be non-negative")
+        self.tau = np.maximum(tau, 1.0)
+        self.anneal_steps = int(anneal_steps)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.tau)
+
+    def exponent(self, step: int) -> float:
+        """``p_k = 1 − min(k/K, 1)`` — decays linearly from 1 to 0."""
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        return 1.0 - min(step / self.anneal_steps, 1.0)
+
+    def scale(self, step: int, stage: int) -> float:
+        """Multiplier ``τ_i^{−p_k}`` applied on top of the base schedule."""
+        return float(self.tau[stage] ** (-self.exponent(step)))
+
+    def scales(self, step: int) -> np.ndarray:
+        """Vector of all per-stage multipliers at ``step``."""
+        return self.tau ** (-self.exponent(step))
+
+    def apply(self, optimizer, step: int) -> None:
+        """Write per-stage ``lr_scale`` into the optimizer's param groups.
+
+        The optimizer must have exactly one group per stage, in stage order
+        (this is how the pipeline trainer constructs it).
+        """
+        if len(optimizer.groups) != self.num_stages:
+            raise ValueError(
+                f"optimizer has {len(optimizer.groups)} groups but reschedule "
+                f"covers {self.num_stages} stages"
+            )
+        for stage, group in enumerate(optimizer.groups):
+            group.lr_scale = self.scale(step, stage)

@@ -1,0 +1,92 @@
+"""PipeMareConfig — composition of T1 + T2 + T3 with the paper's defaults
+and hyperparameter rules of thumb (§3.1, §3.3, Appendix C.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.discrepancy import PAPER_DEFAULT_DECAY
+
+
+def anneal_steps_for_step_schedule(first_phase_steps: int) -> int:
+    """§3.1 rule: K = one quarter of the first phase of a fixed-step
+    schedule (the ResNet recipe)."""
+    if first_phase_steps <= 0:
+        raise ValueError("first_phase_steps must be positive")
+    return max(1, first_phase_steps // 4)
+
+
+def anneal_steps_for_warmup_schedule(linear_warmup_steps: int) -> int:
+    """§3.1 rule: K = 5× the linear LR warmup steps (the Transformer
+    recipe)."""
+    if linear_warmup_steps <= 0:
+        raise ValueError("linear_warmup_steps must be positive")
+    return 5 * linear_warmup_steps
+
+
+@dataclass
+class PipeMareConfig:
+    """Which techniques to enable, and their hyperparameters.
+
+    ``use_t1=use_t2=use_t3=False`` is naive asynchronous training (diverges
+    at fine granularity — Figure 7); all three enabled is full PipeMare.
+    """
+
+    use_t1: bool = True
+    anneal_steps: int = 100
+    use_t2: bool = True
+    decay: float = PAPER_DEFAULT_DECAY
+    use_t3: bool = False
+    warmup_steps: int = 0
+
+    def __post_init__(self):
+        if self.use_t1 and self.anneal_steps <= 0:
+            raise ValueError("T1 requires positive anneal_steps")
+        if self.use_t2 and not 0.0 <= self.decay < 1.0:
+            raise ValueError("T2 decay must be in [0, 1)")
+        if self.use_t3 and self.warmup_steps <= 0:
+            raise ValueError("T3 requires positive warmup_steps")
+        if not self.use_t3:
+            self.warmup_steps = 0
+
+    @classmethod
+    def naive_async(cls) -> "PipeMareConfig":
+        return cls(use_t1=False, use_t2=False, use_t3=False)
+
+    @classmethod
+    def t1_only(cls, anneal_steps: int) -> "PipeMareConfig":
+        return cls(use_t1=True, anneal_steps=anneal_steps, use_t2=False, use_t3=False)
+
+    @classmethod
+    def t2_only(cls, decay: float = PAPER_DEFAULT_DECAY) -> "PipeMareConfig":
+        return cls(use_t1=False, use_t2=True, decay=decay, use_t3=False)
+
+    @classmethod
+    def t1_t2(cls, anneal_steps: int, decay: float = PAPER_DEFAULT_DECAY) -> "PipeMareConfig":
+        return cls(use_t1=True, anneal_steps=anneal_steps, use_t2=True, decay=decay, use_t3=False)
+
+    @classmethod
+    def full(
+        cls,
+        anneal_steps: int,
+        warmup_steps: int,
+        decay: float = PAPER_DEFAULT_DECAY,
+    ) -> "PipeMareConfig":
+        return cls(
+            use_t1=True,
+            anneal_steps=anneal_steps,
+            use_t2=True,
+            decay=decay,
+            use_t3=True,
+            warmup_steps=warmup_steps,
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.use_t1:
+            parts.append(f"T1(K={self.anneal_steps})")
+        if self.use_t2:
+            parts.append(f"T2(D={self.decay:.3g})")
+        if self.use_t3:
+            parts.append(f"T3(warmup={self.warmup_steps})")
+        return " + ".join(parts) if parts else "naive-async"

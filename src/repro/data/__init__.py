@@ -1,0 +1,21 @@
+"""Synthetic datasets standing in for the paper's workloads (see DESIGN.md
+§2 for the substitution rationale):
+
+* :func:`make_image_classification` — CIFAR10/ImageNet stand-in,
+* :func:`make_cpusmall_like` — the LIBSVM cpusmall regression of Fig. 3(b),
+* :class:`TranslationTask` — IWSLT14/WMT17 stand-in with real BLEU scoring.
+"""
+
+from repro.data.synthetic_images import ImageDataset, make_image_classification
+from repro.data.regression import make_cpusmall_like
+from repro.data.translation import TranslationBatch, TranslationTask
+from repro.data.loaders import batch_iterator
+
+__all__ = [
+    "ImageDataset",
+    "make_image_classification",
+    "make_cpusmall_like",
+    "TranslationTask",
+    "TranslationBatch",
+    "batch_iterator",
+]

@@ -1,0 +1,37 @@
+"""Minibatch iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (x_batch, y_batch) minibatches for one epoch.
+
+    ``drop_last`` defaults True so every minibatch splits into equal
+    microbatches in the pipeline executor.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(x)
+    order = np.arange(n)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        rng.shuffle(order)
+    end = n - (n % batch_size) if drop_last and n >= batch_size else n
+    for start in range(0, end, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            break
+        yield x[idx], y[idx]

@@ -1,0 +1,20 @@
+"""Experiment runners — one per paper table/figure (see DESIGN.md §5).
+
+Each runner is a plain function with CPU-scale defaults; ``benchmarks/``
+invokes them and prints paper-shaped rows, and the integration tests run
+them at reduced scale.
+"""
+
+from repro.experiments.workloads import (
+    ImageWorkload,
+    TranslationWorkload,
+    make_image_workload,
+    make_translation_workload,
+)
+
+__all__ = [
+    "ImageWorkload",
+    "TranslationWorkload",
+    "make_image_workload",
+    "make_translation_workload",
+]

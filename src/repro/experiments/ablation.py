@@ -1,0 +1,74 @@
+"""Technique ablation — Table 3 and the Figure 4/10 learning curves.
+
+Runs the paper's variants on one workload: naive async, T1 only, T2 only,
+T1+T2, and (for translation) T1+T2+T3, plus the synchronous reference.
+"""
+
+from __future__ import annotations
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import _BaseWorkload
+from repro.train.pipeline_trainer import TrainResult
+
+
+def ablation_variants(
+    workload: _BaseWorkload, include_t3: bool = False, warmup_epochs: int = 4
+) -> dict[str, PipeMareConfig | None]:
+    """The Table 3 variant grid.  ``None`` marks the synchronous baseline."""
+    k = workload.default_anneal_steps()
+    d = workload.tuned_decay
+    variants: dict[str, PipeMareConfig | None] = {
+        "sync": None,
+        "naive": PipeMareConfig.naive_async(),
+        "t1": PipeMareConfig.t1_only(k),
+        "t2": PipeMareConfig.t2_only(decay=d),
+        "t1+t2": PipeMareConfig.t1_t2(k, decay=d),
+    }
+    if include_t3:
+        variants["t1+t2+t3"] = PipeMareConfig.full(
+            k, warmup_epochs * workload.steps_per_epoch, decay=d
+        )
+    return variants
+
+
+def run_ablation(
+    workload: _BaseWorkload,
+    epochs: int,
+    include_t3: bool = False,
+    warmup_epochs: int = 4,
+    seed: int = 0,
+    num_stages: int | None = None,
+    variants: dict[str, PipeMareConfig | None] | None = None,
+) -> dict[str, TrainResult]:
+    """Run each variant; returns results keyed by variant name."""
+    if variants is None:
+        variants = ablation_variants(workload, include_t3, warmup_epochs)
+    results: dict[str, TrainResult] = {}
+    for name, cfg in variants.items():
+        if cfg is None:
+            results[name] = workload.run(
+                method="gpipe", epochs=epochs, seed=seed, num_stages=num_stages
+            )
+        else:
+            results[name] = workload.run(
+                method="pipemare", pipemare=cfg, epochs=epochs, seed=seed,
+                num_stages=num_stages,
+            )
+    return results
+
+
+def format_ablation_table(
+    workload: _BaseWorkload, results: dict[str, TrainResult]
+) -> list[str]:
+    """Table 3-style rows: variant, best metric, epochs to shared target."""
+    best_all = max(r.best_metric for r in results.values())
+    target = best_all - workload.target_slack
+    lines = [f"target = best({best_all:.2f}) - {workload.target_slack} = {target:.2f}"]
+    for name, r in results.items():
+        epochs_to = r.epochs_to_target(target)
+        e = "-" if epochs_to == float("inf") else f"{epochs_to:.0f}"
+        lines.append(
+            f"{name:<10} best={r.best_metric:7.2f} epochs_to_target={e:>4} "
+            f"diverged={r.diverged}"
+        )
+    return lines

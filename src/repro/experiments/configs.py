@@ -1,0 +1,91 @@
+"""The paper's hyperparameter records (Tables 6–9) and our scaled
+counterparts, kept as data so the table benchmarks can print both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperRecipe:
+    """One column of Table 6/7."""
+
+    task: str
+    optimizer: str
+    lr: float
+    schedule: str
+    momentum_or_betas: str
+    weight_decay: float
+    epochs: int
+    minibatch: str
+    microbatch: str
+    extras: dict = field(default_factory=dict)
+
+
+TABLE6_RESNET = {
+    "cifar10": PaperRecipe(
+        task="CIFAR10/ResNet50", optimizer="SGD+momentum", lr=0.01,
+        schedule="drop 0.1x every 80 epochs", momentum_or_betas="0.9",
+        weight_decay=5e-4, epochs=200, minibatch="64", microbatch="8",
+    ),
+    "imagenet": PaperRecipe(
+        task="ImageNet/ResNet50", optimizer="SGD+momentum", lr=0.1,
+        schedule="drop 0.1x every 30 epochs", momentum_or_betas="0.9",
+        weight_decay=1e-4, epochs=100, minibatch="256", microbatch="16",
+    ),
+}
+
+TABLE7_TRANSFORMER = {
+    "iwslt": PaperRecipe(
+        task="IWSLT14/Transformer", optimizer="AdamW", lr=5e-4,
+        schedule="linear warmup 8000 steps + inverse sqrt",
+        momentum_or_betas="(0.9, 0.98)", weight_decay=1e-4, epochs=60,
+        minibatch="3600 tokens", microbatch="245 tokens",
+        extras={"label_smoothing": 0.1, "dropout": 0.3, "grad_clip": 25,
+                "num_microbatches": 19},
+    ),
+    "wmt": PaperRecipe(
+        task="WMT17/Transformer", optimizer="AdamW", lr=7e-4,
+        schedule="linear warmup 8000 steps + inverse sqrt",
+        momentum_or_betas="(0.9, 0.98)", weight_decay=0.0, epochs=80,
+        minibatch="29000 tokens", microbatch="1792 tokens",
+        extras={"label_smoothing": 0.1, "dropout": 0.1, "num_microbatches": 19},
+    ),
+}
+
+# Table 8: PipeMare tuning grids (optimal values bolded in the paper).
+TABLE8_GRIDS = {
+    "cifar10": {
+        "annealing_epochs": {"grid": [10, 20, 40, 80, 160], "optimal": 20},
+        "decay": {"grid": [0.1, 0.5, 0.9], "optimal": 0.5},
+        "warmup_epochs": {"grid": [0], "optimal": 0},
+    },
+    "iwslt": {
+        "annealing_epochs": {"grid": [15, 30, 60], "optimal": 15},
+        "decay": {"grid": [0.01, 0.1, 0.2], "optimal": 0.1},
+        "warmup_epochs": {"grid": [3, 5, 10], "optimal": 10},
+    },
+}
+
+# Table 9: transferred PipeMare hyperparameters for the large tasks.
+TABLE9_TRANSFER = {
+    "imagenet": {"sync_warmup_epochs": 0, "decay": 0.5, "annealing_epochs": 10},
+    "wmt": {"sync_warmup_epochs": 4, "decay": 0.1, "annealing_epochs": 4},
+}
+
+# Paper stage counts (§4.1): finest granularity with ≥1 weight per stage.
+PAPER_STAGE_COUNTS = {
+    "resnet50": 107,
+    "transformer_iwslt": 93,   # independent embeddings
+    "transformer_wmt": 91,     # shared embeddings remove two stages
+    "resnet152": 150,
+}
+
+# Our scaled equivalents (see experiments.workloads presets).
+OUR_STAGE_NOTES = {
+    "cifar": "21 weight units at finest granularity (resnet_tiny)",
+    "imagenet": "~31 weight units (3-stage resnet)",
+    "iwslt": "45 weight units; default pipeline uses 12 stages",
+    "wmt": "shared embeddings reduce unit count by one embedding",
+}

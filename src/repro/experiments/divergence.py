@@ -1,0 +1,77 @@
+"""Divergence anatomy — Figures 7 and 11.
+
+Figure 7: naive asynchronous training of a ResNet diverges; the cause is
+the forward delay, exacerbated by forward-backward discrepancy.  Compared
+configurations (paper's legend):
+
+* ``sync``                          — GPipe-style baseline;
+* ``discrepancy @ P``               — PipeMare-style, τ_fwd ≠ τ_bkwd;
+* ``no discrepancy @ P``            — PipeDream-style, τ_fwd = τ_bkwd;
+* ``no discrepancy @ kP``           — PipeDream-style at k× stage count
+  (the paper's 1712 vs 107): large enough pure delay also diverges.
+
+Figure 11: a deeper ResNet (ResNet152 stand-in) where T1 alone diverges and
+T1+T2 recovers the synchronous accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import ImageWorkload
+from repro.train.pipeline_trainer import TrainResult
+
+
+def run_divergence_anatomy(
+    workload: ImageWorkload,
+    epochs: int,
+    num_stages: int | None = None,
+    deep_multiple: int = 2,
+    seed: int = 0,
+) -> dict[str, TrainResult]:
+    """Run the four Figure 7 configurations.
+
+    ``deep_multiple`` scales the delay of the "more stages" PipeDream run by
+    shrinking microbatch count (equivalent asynchrony scaling: τ ∝ P/N).
+    """
+    stages = num_stages if num_stages is not None else workload.max_stages()
+    naive = PipeMareConfig.naive_async()
+    out: dict[str, TrainResult] = {}
+    out["sync"] = workload.run(method="gpipe", epochs=epochs, seed=seed, num_stages=stages)
+    out["discrepancy"] = workload.run(
+        method="pipemare", pipemare=naive, epochs=epochs, seed=seed, num_stages=stages
+    )
+    out["no_discrepancy"] = workload.run(
+        method="pipedream", epochs=epochs, seed=seed, num_stages=stages
+    )
+    # k× the delay with PipeDream semantics: same stages, fewer microbatches
+    saved = workload.num_microbatches
+    workload.num_microbatches = max(1, saved // deep_multiple)
+    try:
+        out[f"no_discrepancy_{deep_multiple}x_delay"] = workload.run(
+            method="pipedream", epochs=epochs, seed=seed, num_stages=stages
+        )
+    finally:
+        workload.num_microbatches = saved
+    return out
+
+
+def run_deep_resnet_t2(
+    workload: ImageWorkload,
+    epochs: int,
+    seed: int = 0,
+    num_stages: int | None = None,
+) -> dict[str, TrainResult]:
+    """Figure 11: T1 only vs T1+T2 on the deep ResNet."""
+    k = workload.default_anneal_steps()
+    return {
+        "sync": workload.run(method="gpipe", epochs=epochs, seed=seed, num_stages=num_stages),
+        "t1": workload.run(
+            method="pipemare", pipemare=PipeMareConfig.t1_only(k),
+            epochs=epochs, seed=seed, num_stages=num_stages,
+        ),
+        "t1+t2": workload.run(
+            method="pipemare",
+            pipemare=PipeMareConfig.t1_t2(k, decay=workload.tuned_decay),
+            epochs=epochs, seed=seed, num_stages=num_stages,
+        ),
+    }

@@ -1,0 +1,123 @@
+"""End-to-end comparison of GPipe / PipeDream / PipeMare — Table 2 and
+Figure 9.
+
+Per method: best metric, the shared target (best-across-methods minus the
+paper's slack: 1.0 accuracy point / 0.4 BLEU), epochs-to-target, estimated
+throughput, speedup-to-target over GPipe, and weight+optimizer memory
+multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import _BaseWorkload
+from repro.pipeline import Method, costmodel
+from repro.train.pipeline_trainer import TrainResult
+
+
+@dataclass
+class MethodRow:
+    """One Table 2 row."""
+
+    method: str
+    best_metric: float
+    target_metric: float
+    epochs_to_target: float
+    throughput: float
+    time_to_target: float
+    speedup_vs_gpipe: float
+    memory_multiplier: float
+
+    def format(self) -> str:
+        def f(v, spec=".1f"):
+            return "-" if math.isinf(v) or math.isnan(v) else format(v, spec)
+
+        return (
+            f"{self.method:<10} best={f(self.best_metric)} "
+            f"target={f(self.target_metric)} epochs={f(self.epochs_to_target, '.0f')} "
+            f"tput={self.throughput:.2f}x speedup={f(self.speedup_vs_gpipe, '.2f')}x "
+            f"mem={self.memory_multiplier:.2f}x"
+        )
+
+
+def run_end_to_end(
+    workload: _BaseWorkload,
+    epochs: int,
+    methods: tuple[str, ...] = ("pipedream", "gpipe", "pipemare"),
+    warmup_epochs: int = 0,
+    seeds: tuple[int, ...] = (0,),
+    num_stages: int | None = None,
+) -> tuple[list[MethodRow], dict[str, list[TrainResult]]]:
+    """Run every method on ``workload``; returns (rows, raw results)."""
+    results: dict[str, list[TrainResult]] = {}
+    for method in methods:
+        cfg = None
+        if method == "pipemare":
+            cfg = workload.default_config(warmup_epochs=warmup_epochs)
+        results[method] = [
+            workload.run(
+                method=method, pipemare=cfg, epochs=epochs, seed=seed,
+                num_stages=num_stages,
+            )
+            for seed in seeds
+        ]
+    return summarize(workload, results, warmup_epochs, epochs, num_stages), results
+
+
+def summarize(
+    workload: _BaseWorkload,
+    results: dict[str, list[TrainResult]],
+    warmup_epochs: int,
+    epochs: int,
+    num_stages: int | None = None,
+) -> list[MethodRow]:
+    """Build Table 2 rows from raw results (seed-averaged metric curves)."""
+    p = results[next(iter(results))][0].meta["num_stages"]
+    n = results[next(iter(results))][0].meta["num_microbatches"]
+
+    best = {
+        m: float(np.mean([r.best_metric for r in rs])) for m, rs in results.items()
+    }
+    target = max(best.values()) - workload.target_slack
+
+    rows = []
+    gpipe_time = math.nan
+    for method in ("pipedream", "gpipe", "pipemare"):
+        if method not in results:
+            continue
+        rs = results[method]
+        epochs_to = float(np.mean([r.epochs_to_target(target) for r in rs]))
+        throughput = costmodel.method_throughput(
+            method, p, n,
+            warmup_epochs=warmup_epochs if method == "pipemare" else 0,
+            total_epochs=epochs,
+        )
+        time_to = costmodel.time_to_accuracy(epochs_to, throughput)
+        rows.append(
+            MethodRow(
+                method=method,
+                best_metric=best[method],
+                target_metric=target,
+                epochs_to_target=epochs_to,
+                throughput=throughput,
+                time_to_target=time_to,
+                speedup_vs_gpipe=math.nan,
+                memory_multiplier=costmodel.memory_multiplier(
+                    method, p, n,
+                    optimizer=workload.optimizer_kind,
+                    t2=(method == "pipemare"),
+                ),
+            )
+        )
+        if method == "gpipe":
+            gpipe_time = time_to
+    for row in rows:
+        row.speedup_vs_gpipe = (
+            gpipe_time / row.time_to_target if row.time_to_target > 0 else math.inf
+        )
+    return rows

@@ -1,0 +1,83 @@
+"""Hogwild!-asynchrony study — Figure 19 (Appendix E).
+
+Compares synchronous training, Hogwild!-style stochastic-delay training,
+and Hogwild! + T1 learning-rate rescheduling on the image workload.  The
+paper reports T1 lifting CIFAR accuracy 94.51 → 94.80 and Transformer BLEU
+3.6 → 33.8 under stochastic delays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import batch_iterator
+from repro.experiments.workloads import ImageWorkload
+from repro.hogwild import HogwildExecutor, TruncatedExponentialDelays
+from repro.metrics.tracker import MetricTracker
+from repro.optim import SGD
+from repro.pipeline import DelayProfile, Method, partition_model
+from repro.pipeline.executor import param_groups_from_stages
+from repro.train import evaluate_classifier
+from repro.train.pipeline_trainer import TrainResult
+from repro.train.trainer import parameter_norm
+from repro.utils.history import History
+
+
+def run_hogwild_image(
+    workload: ImageWorkload,
+    epochs: int,
+    use_t1: bool = False,
+    tau_max: int | None = None,
+    num_stages: int | None = None,
+    seed: int = 0,
+) -> TrainResult:
+    """Train the image workload under stochastic per-stage delays."""
+    model = workload.build_model(seed)
+    from repro.nn import CrossEntropyLoss
+
+    loss = CrossEntropyLoss()
+    stages = partition_model(model, workload.resolve_stages(num_stages))
+    # Delay means follow the pipeline τ_fwd profile (Appendix E).
+    profile = DelayProfile(len(stages), workload.num_microbatches, Method.PIPEMARE)
+    means = profile.tau_fwd_all()
+    if tau_max is None:
+        tau_max = int(np.ceil(3 * means.max()))
+    delays = TruncatedExponentialDelays(
+        means, tau_max, rng=np.random.default_rng((seed, 77))
+    )
+    opt = SGD(
+        param_groups_from_stages(stages),
+        lr=workload.lr,
+        momentum=workload.momentum,
+        weight_decay=workload.weight_decay,
+    )
+    executor = HogwildExecutor(
+        model, loss, opt, stages, delays,
+        anneal_steps=workload.default_anneal_steps() if use_t1 else None,
+        base_schedule=workload.base_schedule(),
+    )
+    history = History()
+    tracker = MetricTracker(mode="max")
+    diverged = False
+    for epoch in range(epochs):
+        rng = np.random.default_rng((seed, epoch))
+        losses = [
+            executor.train_step(x, y)
+            for x, y in batch_iterator(
+                workload.data.train_x, workload.data.train_y, workload.batch_size, rng
+            )
+        ]
+        mean_loss = float(np.mean(losses))
+        norm = parameter_norm(model)
+        history.log(step=epoch, train_loss=mean_loss, param_norm=norm)
+        if not np.isfinite(mean_loss) or norm > 1e6:
+            diverged = True
+            tracker.record(epoch, -np.inf, 1.0)
+            break
+        metric = evaluate_classifier(model, workload.data.test_x, workload.data.test_y)
+        history.log(step=epoch, eval_metric=metric)
+        tracker.record(epoch, metric, 1.0)
+    return TrainResult(
+        history=history, tracker=tracker, diverged=diverged,
+        meta={"mode": "hogwild", "t1": use_t1, "tau_max": tau_max},
+    )

@@ -1,0 +1,55 @@
+"""PipeMare Recompute training studies — Figures 17 and 18 (Appendix D.2).
+
+The paper sets gradient checkpoints at module boundaries ({2, 4, 17} for
+ResNet50, {2, 12, 31} for the Transformer) and shows that with discrepancy
+correction, training with recompute matches training without; without T2,
+Transformer recompute runs destabilise.
+
+In our executor a "checkpoint count" c maps to segment size S = ceil(P/c).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import _BaseWorkload
+from repro.train.pipeline_trainer import TrainResult
+
+
+def checkpoints_to_segment(num_stages: int, checkpoints: int) -> int:
+    """Segment size for a given number of gradient checkpoints."""
+    if checkpoints < 1:
+        raise ValueError(f"checkpoints must be >= 1, got {checkpoints}")
+    return max(1, math.ceil(num_stages / checkpoints))
+
+
+def run_recompute_study(
+    workload: _BaseWorkload,
+    checkpoint_grid: list[int | None],
+    epochs: int,
+    config: PipeMareConfig | None = None,
+    seed: int = 0,
+    num_stages: int | None = None,
+) -> dict[str, TrainResult]:
+    """Train PipeMare with each checkpoint count (``None`` = no recompute).
+
+    ``config`` defaults to the workload's tuned T1+T2.
+    """
+    if config is None:
+        config = workload.default_config()
+    stages = workload.resolve_stages(num_stages)
+    if stages is None:
+        stages = workload.max_stages()
+    out: dict[str, TrainResult] = {}
+    for ckpts in checkpoint_grid:
+        if ckpts is None:
+            key, segment = "no_recompute", None
+        else:
+            key = f"{ckpts}_ckpts"
+            segment = checkpoints_to_segment(stages, ckpts)
+        out[key] = workload.run(
+            method="pipemare", pipemare=config, epochs=epochs, seed=seed,
+            num_stages=stages, recompute_segment=segment,
+        )
+    return out

@@ -1,0 +1,91 @@
+"""Hyperparameter-sensitivity studies — Figures 12, 13, 14 and the
+Table 8 grids.
+
+Each sweep fixes everything except one PipeMare hyperparameter:
+
+* annealing steps K (Figure 12) — too small reverts to unstable naive async
+  before the base schedule decays; too large wastes the full-rate phase;
+* T2 decay D (Figure 13) — the paper finds D ≤ 0.5 necessary on CIFAR and
+  D ≈ 0.1 on IWSLT, with bad D worse than no correction;
+* warmup epochs M (Figure 14) — more sync epochs improve quality but cost
+  throughput (each costs 1/0.3× time).
+"""
+
+from __future__ import annotations
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import _BaseWorkload
+from repro.pipeline import costmodel
+from repro.train.pipeline_trainer import TrainResult
+
+
+def sweep_anneal_steps(
+    workload: _BaseWorkload,
+    anneal_grid: list[int],
+    epochs: int,
+    use_t2: bool = False,
+    seed: int = 0,
+) -> dict[int, TrainResult]:
+    """Figure 12: model quality vs K."""
+    out: dict[int, TrainResult] = {}
+    for k in anneal_grid:
+        cfg = (
+            PipeMareConfig.t1_t2(k, decay=workload.tuned_decay)
+            if use_t2
+            else PipeMareConfig.t1_only(k)
+        )
+        out[k] = workload.run(method="pipemare", pipemare=cfg, epochs=epochs, seed=seed)
+    return out
+
+
+def sweep_decay(
+    workload: _BaseWorkload,
+    decay_grid: list[float],
+    epochs: int,
+    seed: int = 0,
+) -> dict[float, TrainResult]:
+    """Figure 13: model quality vs T2 decay D (with tuned K)."""
+    k = workload.default_anneal_steps()
+    out: dict[float, TrainResult] = {}
+    for d in decay_grid:
+        if d == 0.0:
+            cfg = PipeMareConfig.t1_only(k)  # D=0 ⇒ no usable correction
+        else:
+            cfg = PipeMareConfig.t1_t2(k, decay=d)
+        out[d] = workload.run(method="pipemare", pipemare=cfg, epochs=epochs, seed=seed)
+    return out
+
+
+def sweep_warmup_epochs(
+    workload: _BaseWorkload,
+    warmup_grid: list[int],
+    epochs: int,
+    target: float | None = None,
+    seed: int = 0,
+    num_stages: int | None = None,
+) -> dict[int, dict]:
+    """Figure 14: quality and time-to-target vs number of sync warmup
+    epochs.  Returns per warmup count: result, amortized throughput,
+    time-to-target."""
+    out: dict[int, dict] = {}
+    results: dict[int, TrainResult] = {}
+    for m in warmup_grid:
+        cfg = workload.default_config(warmup_epochs=m)
+        results[m] = workload.run(
+            method="pipemare", pipemare=cfg, epochs=epochs, seed=seed,
+            num_stages=num_stages,
+        )
+    if target is None:
+        target = max(r.best_metric for r in results.values()) - workload.target_slack
+    for m, r in results.items():
+        tput = costmodel.method_throughput(
+            "pipemare", 1, 1, warmup_epochs=m, total_epochs=epochs
+        )
+        out[m] = {
+            "result": r,
+            "best": r.best_metric,
+            "throughput": tput,
+            "time_to_target": r.time_to_target(target),
+            "epochs_to_target": r.epochs_to_target(target),
+        }
+    return out

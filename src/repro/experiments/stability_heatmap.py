@@ -1,0 +1,89 @@
+"""Figure 3(b): the (step size α, delay τ) stability heatmap on a
+cpusmall-like linear regression, with the Lemma 1 boundary overlaid.
+
+The paper runs pipeline-parallel SGD for T=10⁶ iterations over a log-spaced
+grid and paints final losses, red = divergence; the black curve is
+``α = (2/λ)sin(π/(4τ+2))`` with λ the largest curvature of the objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import make_cpusmall_like
+from repro.models import LinearRegressionModel
+from repro.theory import lemma1_alpha_max
+from repro.theory.quadratic import simulate_delayed_least_squares
+
+
+@dataclass
+class HeatmapResult:
+    alphas: np.ndarray
+    taus: np.ndarray
+    final_loss: np.ndarray  # (len(taus), len(alphas)); inf = diverged
+    lemma1_curve: np.ndarray  # max stable alpha per tau
+    curvature: float
+
+    def divergence_boundary_alpha(self, tau_idx: int) -> float:
+        """Smallest α that diverged for the given τ row (inf if none did)."""
+        row = self.final_loss[tau_idx]
+        diverged = np.where(~np.isfinite(row))[0]
+        if len(diverged) == 0:
+            return float("inf")
+        return float(self.alphas[diverged[0]])
+
+
+def run_stability_heatmap(
+    alphas: np.ndarray | None = None,
+    taus: np.ndarray | None = None,
+    steps: int = 4000,
+    batch_size: int = 64,
+    num_samples: int = 1024,
+    seed: int = 0,
+) -> HeatmapResult:
+    """Compute the heatmap.  Defaults cover the paper's ranges
+    (α ∈ [2⁻¹², 2⁻²], τ ∈ [1, 1024]) at CPU-feasible step counts."""
+    if alphas is None:
+        alphas = 2.0 ** np.arange(-12, -1)
+    if taus is None:
+        taus = 4 ** np.arange(0, 6)  # 1 .. 1024
+    rng = np.random.default_rng(seed)
+    x, y = make_cpusmall_like(num_samples=num_samples, rng=rng)
+    lam = LinearRegressionModel.largest_curvature(x)
+
+    losses = np.zeros((len(taus), len(alphas)))
+    for i, tau in enumerate(taus):
+        for j, alpha in enumerate(alphas):
+            series, diverged = simulate_delayed_least_squares(
+                x, y, float(alpha), int(tau), steps,
+                batch_size=batch_size, rng=np.random.default_rng((seed, i, j)),
+            )
+            # flag exponential growth that hasn't yet hit the iterate cap:
+            # a short run at a mildly unstable α still paints red, as in the
+            # paper's 10⁶-step heatmap
+            unstable = diverged or series[-1] > max(1e12, 1e6 * series[0])
+            losses[i, j] = np.inf if unstable else series[-1]
+    curve = np.array([lemma1_alpha_max(float(t), lam) for t in taus])
+    return HeatmapResult(
+        alphas=np.asarray(alphas, dtype=float),
+        taus=np.asarray(taus, dtype=float),
+        final_loss=losses,
+        lemma1_curve=curve,
+        curvature=lam,
+    )
+
+
+def boundary_slope_loglog(result: HeatmapResult) -> float:
+    """Slope of log(boundary α) vs log(τ): Lemma 1 predicts −1."""
+    xs, ys = [], []
+    for i, tau in enumerate(result.taus):
+        b = result.divergence_boundary_alpha(i)
+        if np.isfinite(b) and tau >= 1:
+            xs.append(np.log(tau))
+            ys.append(np.log(b))
+    if len(xs) < 2:
+        return float("nan")
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)

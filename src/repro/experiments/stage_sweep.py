@@ -1,0 +1,88 @@
+"""Pipeline-stage sweep — Figures 2 and 15.
+
+For a list of stage counts, report per method: normalized throughput,
+weight+optimizer memory, best model quality, and time-to-target-quality.
+Throughput and memory come from the analytic cost model (as in the paper);
+quality comes from actual training runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.workloads import _BaseWorkload
+from repro.pipeline import costmodel
+from repro.train.pipeline_trainer import TrainResult
+
+
+@dataclass
+class SweepPoint:
+    """One (stage count, method) cell of Figure 2/15."""
+
+    num_stages: int
+    method: str
+    throughput: float
+    memory: float
+    best_metric: float = math.nan
+    time_to_target: float = math.inf
+
+
+@dataclass
+class StageSweepResult:
+    points: list[SweepPoint] = field(default_factory=list)
+    target: float = math.nan
+
+    def series(self, method: str, attr: str) -> tuple[list[int], list[float]]:
+        xs, ys = [], []
+        for pt in self.points:
+            if pt.method == method:
+                xs.append(pt.num_stages)
+                ys.append(getattr(pt, attr))
+        return xs, ys
+
+
+def run_stage_sweep(
+    workload: _BaseWorkload,
+    stage_counts: list[int],
+    epochs: int,
+    methods: tuple[str, ...] = ("gpipe", "pipedream", "pipemare"),
+    seed: int = 0,
+    train_methods: tuple[str, ...] = ("gpipe", "pipedream", "pipemare"),
+) -> StageSweepResult:
+    """Sweep stage counts.  Methods not in ``train_methods`` get analytic
+    throughput/memory only (quality NaN) to keep sweeps affordable."""
+    weight_elems = workload.bundle(num_stages=min(stage_counts)).model.num_parameters()
+    n = workload.num_microbatches
+    out = StageSweepResult()
+    results: dict[tuple[int, str], TrainResult] = {}
+    for p in stage_counts:
+        for method in methods:
+            tput = costmodel.method_throughput(method, p, n, gpipe_model="table1")
+            mem = costmodel.weight_optimizer_memory(
+                method, weight_elems, p, n,
+                optimizer=workload.optimizer_kind, t2=(method == "pipemare"),
+            )
+            pt = SweepPoint(num_stages=p, method=method, throughput=tput, memory=mem)
+            if method in train_methods:
+                cfg = workload.default_config() if method == "pipemare" else None
+                r = workload.run(
+                    method=method, pipemare=cfg, epochs=epochs, seed=seed,
+                    num_stages=p,
+                )
+                results[(p, method)] = r
+                pt.best_metric = r.best_metric
+            out.points.append(pt)
+
+    # Shared target: best across everything trained, minus the paper slack.
+    trained = [pt.best_metric for pt in out.points if not math.isnan(pt.best_metric)]
+    if trained:
+        out.target = max(trained) - workload.target_slack
+        for pt in out.points:
+            r = results.get((pt.num_stages, pt.method))
+            if r is not None:
+                epochs_to = r.epochs_to_target(out.target)
+                pt.time_to_target = costmodel.time_to_accuracy(epochs_to, pt.throughput)
+    return out

@@ -1,0 +1,13 @@
+"""Hogwild!-style stochastic asynchrony (Appendix E).
+
+Unlike the pipeline's fixed per-stage delays, Hogwild! delays are random per
+step and per stage.  The paper samples per-stage delays from truncated
+exponential distributions (the maximum-entropy choice, following Mitliagkas
+et al.) with stage-dependent means mirroring the pipeline's ``τ_fwd``
+profile, and shows T1 also helps in this regime (Figure 19).
+"""
+
+from repro.hogwild.delays import TruncatedExponentialDelays
+from repro.hogwild.trainer import HogwildExecutor
+
+__all__ = ["TruncatedExponentialDelays", "HogwildExecutor"]

@@ -1,0 +1,84 @@
+"""Hogwild!-style training executor (Appendix E, eq. 17).
+
+Each optimizer step samples a fresh integer delay ``τ_i`` per stage and
+computes the *whole* gradient with stage i's weights at version ``t − τ_i``
+— same weights in forward and backward (no discrepancy), unlike the
+pipeline model.  T1 learning-rate rescheduling plugs in through per-stage
+expected delays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LRReschedule
+from repro.hogwild.delays import TruncatedExponentialDelays
+from repro.nn.module import Module
+from repro.optim import Optimizer, clip_grad_norm
+from repro.optim.schedulers import LRSchedule
+from repro.pipeline.partition import Stage
+from repro.pipeline.weight_store import WeightVersionStore
+
+
+class HogwildExecutor:
+    """Stochastic-delay analogue of :class:`repro.pipeline.PipelineExecutor`.
+
+    The optimizer must have one param group per stage (same layout as the
+    pipeline executor).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Module,
+        optimizer: Optimizer,
+        stages: list[Stage],
+        delays: TruncatedExponentialDelays,
+        anneal_steps: int | None = None,
+        base_schedule: LRSchedule | None = None,
+        grad_clip: float | None = None,
+    ):
+        if delays.num_stages != len(stages):
+            raise ValueError(
+                f"delay sampler covers {delays.num_stages} stages, "
+                f"model has {len(stages)}"
+            )
+        if len(optimizer.groups) != len(stages):
+            raise ValueError("optimizer must have one group per stage")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.stages = stages
+        self.delays = delays
+        self.store = WeightVersionStore(stages, delays.tau_max + 2)
+        self.base_schedule = base_schedule
+        self.grad_clip = grad_clip
+        self.reschedule = (
+            LRReschedule(np.maximum(delays.expected_delays(), 1.0), anneal_steps)
+            if anneal_steps is not None
+            else None
+        )
+        self.t = 0
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        taus = self.delays.sample()
+        for s in range(len(self.stages)):
+            version = max(0, self.t - int(taus[s]))
+            self.store.load(s, version)
+        self.optimizer.zero_grad()
+        out = self.model(x)
+        loss = self.loss_fn(out, y)
+        # eq. (17): forward and backward both use the same stale weights,
+        # so gradients are computed before restoring the latest version.
+        self.model.backward(self.loss_fn.backward())
+        self.store.load_latest()
+        if self.grad_clip is not None:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+        if self.base_schedule is not None:
+            self.optimizer.lr = self.base_schedule(self.t)
+        if self.reschedule is not None:
+            self.reschedule.apply(self.optimizer, self.t)
+        self.optimizer.step()
+        self.store.push_current()
+        self.t += 1
+        return float(loss)

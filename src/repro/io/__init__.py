@@ -1,0 +1,25 @@
+"""Checkpointing: save and restore training state as ``.npz`` files.
+
+Long pipeline-parallel runs (the paper's are 60-200 epochs) need restartable
+training.  A checkpoint captures the full simulator state — model weights,
+optimizer state, the per-stage weight-version queues that delayed reads
+depend on, and the T2 velocity buffers — so a restored run continues
+*bit-exactly* where the original left off (verified by the resume-
+equivalence tests).
+"""
+
+from repro.io.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+    save_model,
+)
+
+__all__ = [
+    "CheckpointError",
+    "load_checkpoint",
+    "load_model",
+    "save_checkpoint",
+    "save_model",
+]

@@ -1,0 +1,225 @@
+"""Single-file ``.npz`` checkpoints.
+
+Layout: one flat array per npz entry, with structured keys
+
+* ``model/<param-name>`` — model weights,
+* ``optim/g<i>/p<j>/<key>`` — optimizer state arrays,
+* ``exec/corrector/s<i>/p<j>`` — T2 velocity buffers,
+* ``exec/store/s<i>/v<version>/p<j>`` — resident weight versions,
+* ``meta`` — a JSON string with scalars (step counters, lr scales, the
+  version window) and the user's ``extra`` dict.
+
+The nested ``state_dict`` structures live on the classes themselves
+(:meth:`Module.state_dict`, :meth:`Optimizer.state_dict`,
+:meth:`PipelineExecutor.state_dict`); this module only flattens them to
+npz entries and back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.pipeline.executor import PipelineExecutor
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, malformed, or incompatible."""
+
+
+# -- model-only convenience ----------------------------------------------------
+
+def save_model(path: str | os.PathLike, model: Module) -> None:
+    """Write just the model weights (``model/<name>`` entries)."""
+    arrays = {f"model/{name}": arr for name, arr in model.state_dict().items()}
+    arrays["meta"] = np.array(
+        json.dumps({"format_version": FORMAT_VERSION, "kind": "model"})
+    )
+    np.savez(path, **arrays)
+
+
+def load_model(path: str | os.PathLike, model: Module) -> None:
+    """Load weights saved by :func:`save_model` or :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        state = {
+            key[len("model/"):]: data[key]
+            for key in data.files
+            if key.startswith("model/")
+        }
+    if not state:
+        raise CheckpointError(f"{path}: no model entries found")
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(f"{path}: incompatible model state: {exc}") from exc
+
+
+# -- full training checkpoints ---------------------------------------------------
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    executor: PipelineExecutor | None = None,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Write a restartable training checkpoint.
+
+    ``extra`` must be JSON-serializable (epoch counters, best metric, rng
+    seeds — anything the training loop wants back on resume).
+    """
+    arrays: dict[str, np.ndarray] = {
+        f"model/{name}": arr for name, arr in model.state_dict().items()
+    }
+    meta: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "kind": "checkpoint",
+        "extra": extra or {},
+    }
+
+    if optimizer is not None:
+        ostate = optimizer.state_dict()
+        meta["optim"] = {
+            "steps": ostate["steps"],
+            "lr": ostate["lr"],
+            "lr_scales": ostate["lr_scales"],
+            "group_sizes": [len(states) for states in ostate["param_states"]],
+        }
+        for gi, states in enumerate(ostate["param_states"]):
+            for pj, pstate in enumerate(states):
+                for key, arr in pstate.items():
+                    arrays[f"optim/g{gi}/p{pj}/{key}"] = arr
+
+    if executor is not None:
+        estate = executor.state_dict()
+        store = estate["store"]
+        meta["exec"] = {
+            "t": estate["t"],
+            "store_oldest": store["oldest_version"],
+            "store_counts": [len(v) for v in store["payloads"]],
+            "has_corrector": "corrector" in estate,
+        }
+        for si, versions in enumerate(store["payloads"]):
+            for vi, weights in enumerate(versions):
+                for pj, w in enumerate(weights):
+                    arrays[f"exec/store/s{si}/v{vi}/p{pj}"] = w
+        if "corrector" in estate:
+            for si, stage in enumerate(estate["corrector"]["velocity"]):
+                for pj, v in enumerate(stage):
+                    arrays[f"exec/corrector/s{si}/p{pj}"] = v
+
+    arrays["meta"] = np.array(json.dumps(meta))
+    np.savez(path, **arrays)
+
+
+def _read_meta(data) -> dict:
+    if "meta" not in data.files:
+        raise CheckpointError("file has no 'meta' entry — not a repro checkpoint")
+    meta = json.loads(str(data["meta"]))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {meta.get('format_version')!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    return meta
+
+
+def _group_keys(files: list[str], prefix: str) -> list[str]:
+    return [k for k in files if k.startswith(prefix)]
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    executor: PipelineExecutor | None = None,
+) -> dict[str, Any]:
+    """Restore a checkpoint onto already-constructed objects.
+
+    The caller rebuilds the model/optimizer/executor with the original
+    configuration (the library keeps configuration in code, not pickles);
+    this function restores their mutable state.  Returns the ``extra`` dict
+    passed at save time.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = _read_meta(data)
+        if meta.get("kind") != "checkpoint":
+            raise CheckpointError(
+                f"{path}: kind={meta.get('kind')!r} is not a training checkpoint"
+            )
+
+        model_state = {
+            key[len("model/"):]: data[key]
+            for key in _group_keys(data.files, "model/")
+        }
+        try:
+            model.load_state_dict(model_state)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(f"{path}: incompatible model: {exc}") from exc
+
+        if optimizer is not None:
+            if "optim" not in meta:
+                raise CheckpointError(f"{path}: checkpoint has no optimizer state")
+            om = meta["optim"]
+            param_states = []
+            for gi, size in enumerate(om["group_sizes"]):
+                states = []
+                for pj in range(size):
+                    prefix = f"optim/g{gi}/p{pj}/"
+                    states.append(
+                        {
+                            key[len(prefix):]: data[key]
+                            for key in _group_keys(data.files, prefix)
+                        }
+                    )
+                param_states.append(states)
+            try:
+                optimizer.load_state_dict(
+                    {
+                        "steps": om["steps"],
+                        "lr": om["lr"],
+                        "lr_scales": om["lr_scales"],
+                        "param_states": param_states,
+                    }
+                )
+            except ValueError as exc:
+                raise CheckpointError(f"{path}: incompatible optimizer: {exc}") from exc
+
+        if executor is not None:
+            if "exec" not in meta:
+                raise CheckpointError(f"{path}: checkpoint has no executor state")
+            em = meta["exec"]
+            payloads = []
+            for si, count in enumerate(em["store_counts"]):
+                versions = []
+                for vi in range(count):
+                    prefix = f"exec/store/s{si}/v{vi}/"
+                    keys = _group_keys(data.files, prefix)
+                    keys.sort(key=lambda k: int(k.rsplit("/p", 1)[1]))
+                    versions.append([data[k] for k in keys])
+                payloads.append(versions)
+            estate: dict[str, Any] = {
+                "t": em["t"],
+                "store": {"oldest_version": em["store_oldest"], "payloads": payloads},
+            }
+            if em["has_corrector"]:
+                velocity = []
+                for si in range(len(em["store_counts"])):
+                    prefix = f"exec/corrector/s{si}/"
+                    keys = _group_keys(data.files, prefix)
+                    keys.sort(key=lambda k: int(k.rsplit("/p", 1)[1]))
+                    velocity.append([data[k] for k in keys])
+                estate["corrector"] = {"velocity": velocity}
+            try:
+                executor.load_state_dict(estate)
+            except ValueError as exc:
+                raise CheckpointError(f"{path}: incompatible executor: {exc}") from exc
+
+    return meta["extra"]

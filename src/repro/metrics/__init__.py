@@ -1,0 +1,8 @@
+"""Evaluation metrics: top-1 accuracy, BLEU-4, and the time-to-accuracy
+tracker the paper's Table 2/3 comparisons are built on."""
+
+from repro.metrics.accuracy import top1_accuracy
+from repro.metrics.bleu import corpus_bleu, sentence_bleu
+from repro.metrics.tracker import MetricTracker
+
+__all__ = ["top1_accuracy", "corpus_bleu", "sentence_bleu", "MetricTracker"]

@@ -1,0 +1,18 @@
+"""Classification accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label, in percent
+    (the paper reports test accuracy as e.g. 95.0)."""
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+    if len(logits) != len(labels):
+        raise ValueError("logits and labels disagree on length")
+    if len(labels) == 0:
+        raise ValueError("empty evaluation set")
+    pred = logits.argmax(axis=1)
+    return float((pred == labels).mean() * 100.0)

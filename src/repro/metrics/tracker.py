@@ -1,0 +1,65 @@
+"""Time-to-accuracy bookkeeping (the Table 2/3 metrics).
+
+The paper measures: best metric over training, a target metric (best across
+methods minus 1.0 accuracy point / 0.4 BLEU), epochs-to-target, and
+time-to-target = Σ per-epoch hardware times until the target epoch, where
+epoch time comes from the analytic throughput model.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class MetricTracker:
+    """Records (epoch, metric, epoch_time) triples for one training run."""
+
+    def __init__(self, mode: str = "max"):
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.mode = mode
+        self.epochs: list[int] = []
+        self.values: list[float] = []
+        self.epoch_times: list[float] = []
+
+    def record(self, epoch: int, value: float, epoch_time: float = 1.0) -> None:
+        if self.epochs and epoch <= self.epochs[-1]:
+            raise ValueError("epochs must be recorded in increasing order")
+        if epoch_time < 0:
+            raise ValueError("epoch_time must be non-negative")
+        self.epochs.append(int(epoch))
+        self.values.append(float(value))
+        self.epoch_times.append(float(epoch_time))
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def best(self) -> float:
+        if not self.values:
+            return math.nan
+        return max(self.values) if self.mode == "max" else min(self.values)
+
+    def _reaches(self, value: float, target: float) -> bool:
+        return value >= target if self.mode == "max" else value <= target
+
+    def epochs_to_target(self, target: float) -> float:
+        """First recorded epoch count reaching the target (∞ if never).
+
+        Returns epoch index + 1, i.e. "number of epochs run".
+        """
+        for epoch, value in zip(self.epochs, self.values):
+            if self._reaches(value, target):
+                return float(epoch + 1)
+        return math.inf
+
+    def time_to_target(self, target: float) -> float:
+        """Cumulative hardware time up to and including the target epoch."""
+        total = 0.0
+        for value, t in zip(self.values, self.epoch_times):
+            total += t
+            if self._reaches(value, target):
+                return total
+        return math.inf
+
+    def total_time(self) -> float:
+        return float(sum(self.epoch_times))

@@ -1,0 +1,26 @@
+"""Model zoo: the architectures the paper evaluates, at configurable scale.
+
+* :class:`ResNet` — residual CNN standing in for ResNet50/ResNet152
+  (CIFAR10/ImageNet experiments; Figures 4, 7, 10, 11, 15, 17).
+* :class:`Transformer` — encoder-decoder standing in for the 12-layer
+  fairseq Transformer (IWSLT14/WMT17 experiments; Figures 2, 4, 9, 18).
+* :class:`MLP` and :class:`LinearRegressionModel` — the quadratic/linear
+  workloads of §3 and Figure 3(b).
+"""
+
+from repro.models.mlp import MLP
+from repro.models.linear_model import LinearRegressionModel
+from repro.models.resnet import BasicBlock, ResNet, resnet_tiny, resnet_deep
+from repro.models.transformer import Transformer, TransformerConfig, transformer_tiny
+
+__all__ = [
+    "MLP",
+    "LinearRegressionModel",
+    "ResNet",
+    "BasicBlock",
+    "resnet_tiny",
+    "resnet_deep",
+    "Transformer",
+    "TransformerConfig",
+    "transformer_tiny",
+]

@@ -1,0 +1,35 @@
+"""Linear regression model used for the Figure 3(b) stability heatmap."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module
+
+
+class LinearRegressionModel(Module):
+    """``y = x @ w`` (optionally + b), the 12-dimensional cpusmall-like
+    workload of Figure 3(b).
+
+    Exposes :meth:`largest_curvature` so experiments can plug the objective's
+    largest Hessian eigenvalue into Lemma 1 (the black curve in Fig. 3b uses
+    "the largest curvature of the objective in place of λ").
+    """
+
+    def __init__(self, in_features: int, rng: np.random.Generator, bias: bool = False):
+        super().__init__()
+        self.linear = Linear(in_features, 1, rng, bias=bias)
+        self.in_features = in_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.linear(x)[:, 0]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.linear.backward(grad_out[:, None])
+
+    @staticmethod
+    def largest_curvature(x: np.ndarray) -> float:
+        """Largest eigenvalue of the MSE Hessian ``2 XᵀX / n``."""
+        n = x.shape[0]
+        hessian = 2.0 * (x.T @ x) / n
+        return float(np.linalg.eigvalsh(hessian)[-1])

@@ -1,0 +1,42 @@
+"""Multi-layer perceptron, the simplest deep workload used in tests and the
+quickstart example."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import GELU, Linear, Module, ReLU, Sequential
+
+
+class MLP(Module):
+    """Fully connected network ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    ``activation`` in {"relu", "gelu"}.  Many narrow layers make a useful
+    fine-grained pipeline workload: with one stage per weight matrix a depth-k
+    MLP has 2k pipeline stages (weights and biases pair into one stage each,
+    following the paper's partitioning rule).
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("need at least input and output dims")
+        act = {"relu": ReLU, "gelu": GELU}[activation]
+        layers = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng, gain=np.sqrt(2.0)))
+            if i < len(dims) - 2:
+                layers.append(act())
+        self.net = Sequential(*layers)
+        self.dims = list(dims)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_out)

@@ -1,0 +1,157 @@
+"""Residual CNNs standing in for ResNet50/ResNet152.
+
+The paper's vision experiments study optimisation dynamics under pipeline
+delay; what matters for reproduction is a *residual* conv net with enough
+weights to form ~100-200 pipeline stages, not ImageNet-scale capacity.
+``resnet_tiny`` / ``resnet_deep`` provide CPU-feasible configurations whose
+stage counts can be pushed to the paper's fine-grained regime.
+
+Normalisation defaults to GroupNorm because the pipeline simulator uses tiny
+microbatches (the paper itself flags BatchNorm trouble below microbatch 8,
+§4.1, and cites GroupNorm [24]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    GroupNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+def _make_norm(kind: str, channels: int) -> Module:
+    if kind == "group":
+        groups = max(1, channels // 4)
+        return GroupNorm(groups, channels)
+    if kind == "batch":
+        return BatchNorm2d(channels)
+    raise ValueError(f"unknown norm kind {kind!r} (expected 'group' or 'batch')")
+
+
+class BasicBlock(Module):
+    """conv-norm-relu-conv-norm + shortcut, with a hand-written backward."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        norm: str = "group",
+    ):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, rng, stride=stride, padding=1, bias=False)
+        self.norm1 = _make_norm(norm, out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, rng, stride=1, padding=1, bias=False)
+        self.norm2 = _make_norm(norm, out_channels)
+        self.relu_out = ReLU()
+        self.has_projection = stride != 1 or in_channels != out_channels
+        if self.has_projection:
+            self.proj = Sequential(
+                Conv2d(in_channels, out_channels, 1, rng, stride=stride, bias=False),
+                _make_norm(norm, out_channels),
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.norm1(self.conv1(x))
+        h = self.relu1(h)
+        h = self.norm2(self.conv2(h))
+        shortcut = self.proj(x) if self.has_projection else x
+        return self.relu_out(h + shortcut)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.relu_out.backward(grad_out)
+        g_shortcut = self.proj.backward(g) if self.has_projection else g
+        g_main = self.conv1.backward(
+            self.norm1.backward(self.relu1.backward(self.conv2.backward(self.norm2.backward(g))))
+        )
+        return g_main + g_shortcut
+
+
+class ResNet(Module):
+    """Stem + staged residual blocks + global pool + linear classifier.
+
+    ``blocks_per_stage`` and ``channels_per_stage`` control depth/width; each
+    stage after the first downsamples spatially by 2.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        blocks_per_stage: tuple[int, ...] = (2, 2),
+        channels_per_stage: tuple[int, ...] = (8, 16),
+        norm: str = "group",
+    ):
+        super().__init__()
+        if len(blocks_per_stage) != len(channels_per_stage):
+            raise ValueError("blocks_per_stage and channels_per_stage must align")
+        c0 = channels_per_stage[0]
+        self.stem = Sequential(
+            Conv2d(in_channels, c0, 3, rng, stride=1, padding=1, bias=False),
+            _make_norm(norm, c0),
+            ReLU(),
+        )
+        blocks: list[Module] = []
+        c_in = c0
+        for stage_idx, (n_blocks, c_out) in enumerate(
+            zip(blocks_per_stage, channels_per_stage)
+        ):
+            for block_idx in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                blocks.append(BasicBlock(c_in, c_out, rng, stride=stride, norm=norm))
+                c_in = c_out
+        self.body = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(c_in, num_classes, rng)
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.stem(x)
+        h = self.body(h)
+        h = self.pool(h)
+        return self.head(h)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad_out)
+        g = self.pool.backward(g)
+        g = self.body.backward(g)
+        return self.stem.backward(g)
+
+
+def resnet_tiny(
+    rng: np.random.Generator, num_classes: int = 10, norm: str = "group"
+) -> ResNet:
+    """ResNet50 stand-in at CPU scale: 2 stages × 2 blocks (~20 weight
+    tensors → ~20-40 pipeline stages at fine granularity)."""
+    return ResNet(
+        rng,
+        blocks_per_stage=(2, 2),
+        channels_per_stage=(8, 16),
+        num_classes=num_classes,
+        norm=norm,
+    )
+
+
+def resnet_deep(
+    rng: np.random.Generator, num_classes: int = 10, norm: str = "group"
+) -> ResNet:
+    """ResNet152 stand-in: 3 stages × 3 blocks — the Figure 11 workload where
+    T1 alone diverges and T2 is required."""
+    return ResNet(
+        rng,
+        blocks_per_stage=(3, 3, 3),
+        channels_per_stage=(8, 16, 16),
+        num_classes=num_classes,
+        norm=norm,
+    )

@@ -1,0 +1,280 @@
+"""Encoder-decoder Transformer (Vaswani et al., 2017) with explicit backward.
+
+Stands in for the paper's 12-layer fairseq Transformer on IWSLT14/WMT17.
+Supports the paper's two embedding regimes (§4.1 footnote 3): independent
+embeddings (IWSLT14-style) and shared embedding between encoder, decoder and
+output projection (WMT17-style), which changes the pipeline stage count
+(93 vs 91 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadAttention,
+    PositionalEncoding,
+    ReLU,
+    causal_mask,
+    padding_mask,
+)
+from repro.nn.module import Parameter
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture hyperparameters (defaults are the CPU-scale tiny model)."""
+
+    src_vocab: int = 32
+    tgt_vocab: int = 32
+    d_model: int = 32
+    num_heads: int = 2
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 2
+    d_ff: int = 64
+    dropout: float = 0.0
+    activation: str = "relu"
+    share_embeddings: bool = False
+    max_len: int = 64
+    pad_id: int = 0
+    bos_id: int = 1
+    eos_id: int = 2
+
+    def __post_init__(self):
+        if self.share_embeddings and self.src_vocab != self.tgt_vocab:
+            raise ValueError("shared embeddings require equal src/tgt vocab sizes")
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block with backward."""
+
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator, activation: str):
+        super().__init__()
+        self.fc1 = Linear(d_model, d_ff, rng)
+        self.act = {"relu": ReLU, "gelu": GELU}[activation]()
+        self.fc2 = Linear(d_ff, d_model, rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad_out)))
+
+
+class EncoderLayer(Module):
+    """Post-norm encoder layer: LN(x + SA(x)); LN(x + FF(x))."""
+
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.self_attn = MultiHeadAttention(cfg.d_model, cfg.num_heads, rng)
+        self.drop1 = Dropout(cfg.dropout, rng)
+        self.ln1 = LayerNorm(cfg.d_model)
+        self.ff = FeedForward(cfg.d_model, cfg.d_ff, rng, cfg.activation)
+        self.drop2 = Dropout(cfg.dropout, rng)
+        self.ln2 = LayerNorm(cfg.d_model)
+
+    def forward(self, x: np.ndarray, src_mask: np.ndarray | None) -> np.ndarray:
+        a = self.drop1(self.self_attn(x, x, x, src_mask))
+        x = self.ln1(x + a)
+        f = self.drop2(self.ff(x))
+        return self.ln2(x + f)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.ln2.backward(grad_out)
+        g_ff = self.ff.backward(self.drop2.backward(g))
+        g = g + g_ff
+        g = self.ln1.backward(g)
+        dq, dk, dv = self.self_attn.backward(self.drop1.backward(g))
+        return g + dq + dk + dv
+
+
+class DecoderLayer(Module):
+    """Post-norm decoder layer with causal self-attention and cross-attention.
+
+    ``backward`` returns ``(d_x, d_memory)``.
+    """
+
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.self_attn = MultiHeadAttention(cfg.d_model, cfg.num_heads, rng)
+        self.drop1 = Dropout(cfg.dropout, rng)
+        self.ln1 = LayerNorm(cfg.d_model)
+        self.cross_attn = MultiHeadAttention(cfg.d_model, cfg.num_heads, rng)
+        self.drop2 = Dropout(cfg.dropout, rng)
+        self.ln2 = LayerNorm(cfg.d_model)
+        self.ff = FeedForward(cfg.d_model, cfg.d_ff, rng, cfg.activation)
+        self.drop3 = Dropout(cfg.dropout, rng)
+        self.ln3 = LayerNorm(cfg.d_model)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        tgt_mask: np.ndarray | None,
+        mem_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        a = self.drop1(self.self_attn(x, x, x, tgt_mask))
+        x = self.ln1(x + a)
+        c = self.drop2(self.cross_attn(x, memory, memory, mem_mask))
+        x = self.ln2(x + c)
+        f = self.drop3(self.ff(x))
+        return self.ln3(x + f)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        g = self.ln3.backward(grad_out)
+        g = g + self.ff.backward(self.drop3.backward(g))
+        g = self.ln2.backward(g)
+        dq, dk, dv = self.cross_attn.backward(self.drop2.backward(g))
+        d_memory = dk + dv
+        g = g + dq
+        g = self.ln1.backward(g)
+        dq, dk, dv = self.self_attn.backward(self.drop1.backward(g))
+        return g + dq + dk + dv, d_memory
+
+
+class TiedProjection(Module):
+    """Output projection sharing the embedding matrix: ``logits = h Eᵀ``."""
+
+    def __init__(self, embedding_weight: Parameter):
+        super().__init__()
+        # Hold a reference without re-registering the parameter (it already
+        # belongs to the embedding module).
+        self._tied = [embedding_weight]
+        self._h: np.ndarray | None = None
+
+    @property
+    def weight(self) -> Parameter:
+        return self._tied[0]
+
+    def forward(self, h: np.ndarray) -> np.ndarray:
+        self._h = h
+        return h @ self.weight.data.T
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._h is None:
+            raise RuntimeError("backward called before forward")
+        d = self._h.shape[-1]
+        flat_h = self._h.reshape(-1, d)
+        flat_g = grad_out.reshape(-1, grad_out.shape[-1])
+        self.weight.grad += flat_g.T @ flat_h
+        return grad_out @ self.weight.data
+
+
+class Transformer(Module):
+    """Full encoder-decoder model: ``forward(src, tgt_in) -> (B, T, V)``.
+
+    ``src``/``tgt_in`` are integer token arrays; positions equal to
+    ``cfg.pad_id`` are masked out of attention.
+    """
+
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.cfg = cfg
+        self.src_embed = Embedding(cfg.src_vocab, cfg.d_model, rng, scale=True)
+        if cfg.share_embeddings:
+            self.tgt_embed = self.src_embed
+        else:
+            self.tgt_embed = Embedding(cfg.tgt_vocab, cfg.d_model, rng, scale=True)
+        self.pos = PositionalEncoding(cfg.d_model, cfg.max_len)
+        self.src_drop = Dropout(cfg.dropout, rng)
+        self.tgt_drop = Dropout(cfg.dropout, rng)
+        self.encoder_layers: list[EncoderLayer] = []
+        for i in range(cfg.num_encoder_layers):
+            self.encoder_layers.append(self.register(f"enc{i}", EncoderLayer(cfg, rng)))
+        self.decoder_layers: list[DecoderLayer] = []
+        for i in range(cfg.num_decoder_layers):
+            self.decoder_layers.append(self.register(f"dec{i}", DecoderLayer(cfg, rng)))
+        if cfg.share_embeddings:
+            self.out_proj: Module = TiedProjection(self.src_embed.weight)
+        else:
+            self.out_proj = Linear(cfg.d_model, cfg.tgt_vocab, rng, bias=False)
+        self._cache: tuple | None = None
+
+    # -- masks ---------------------------------------------------------------
+    def _masks(self, src: np.ndarray, tgt: np.ndarray):
+        src_keep = padding_mask((src != self.cfg.pad_id).sum(axis=1), src.shape[1])
+        tgt_pad = padding_mask((tgt != self.cfg.pad_id).sum(axis=1), tgt.shape[1])
+        tgt_keep = tgt_pad & causal_mask(tgt.shape[1])
+        return src_keep, tgt_keep
+
+    def forward(self, src: np.ndarray, tgt_in: np.ndarray) -> np.ndarray:
+        src_mask, tgt_mask = self._masks(src, tgt_in)
+        h = self.src_drop(self.pos(self.src_embed(src)))
+        for layer in self.encoder_layers:
+            h = layer(h, src_mask)
+        memory = h
+        d = self.tgt_drop(self.pos(self.tgt_embed(tgt_in)))
+        for layer in self.decoder_layers:
+            d = layer(d, memory, tgt_mask, src_mask)
+        self._cache = (src.shape, tgt_in.shape)
+        return self.out_proj(d)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        g = self.out_proj.backward(grad_logits)
+        d_memory_total: np.ndarray | None = None
+        for layer in reversed(self.decoder_layers):
+            g, d_mem = layer.backward(g)
+            d_memory_total = d_mem if d_memory_total is None else d_memory_total + d_mem
+        self.tgt_embed.backward(self.tgt_drop.backward(self.pos.backward(g)))
+        g = d_memory_total
+        for layer in reversed(self.encoder_layers):
+            g = layer.backward(g)
+        self.src_embed.backward(self.src_drop.backward(self.pos.backward(g)))
+        return None
+
+    # -- inference -------------------------------------------------------------
+    def greedy_decode(self, src: np.ndarray, max_len: int | None = None) -> np.ndarray:
+        """Greedy autoregressive decoding; returns (B, <=max_len) token ids
+        including BOS, stopping each row at EOS."""
+        cfg = self.cfg
+        if max_len is None:
+            max_len = min(cfg.max_len, src.shape[1] + 8)
+        was_training = self.training
+        self.eval()
+        try:
+            b = src.shape[0]
+            out = np.full((b, 1), cfg.bos_id, dtype=np.int64)
+            finished = np.zeros(b, dtype=bool)
+            for _ in range(max_len - 1):
+                logits = self.forward(src, out)
+                next_tok = logits[:, -1, :].argmax(axis=-1)
+                next_tok = np.where(finished, cfg.pad_id, next_tok)
+                out = np.concatenate([out, next_tok[:, None]], axis=1)
+                finished |= next_tok == cfg.eos_id
+                if finished.all():
+                    break
+            return out
+        finally:
+            self.train(was_training)
+
+
+def transformer_tiny(
+    rng: np.random.Generator,
+    vocab: int = 32,
+    share_embeddings: bool = False,
+    num_layers: int = 2,
+    dropout: float = 0.0,
+) -> Transformer:
+    """12-layer-Transformer stand-in at CPU scale."""
+    cfg = TransformerConfig(
+        src_vocab=vocab,
+        tgt_vocab=vocab,
+        d_model=32,
+        num_heads=2,
+        num_encoder_layers=num_layers,
+        num_decoder_layers=num_layers,
+        d_ff=64,
+        dropout=dropout,
+        share_embeddings=share_embeddings,
+    )
+    return Transformer(cfg, rng)

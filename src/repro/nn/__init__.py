@@ -1,0 +1,56 @@
+"""A small numpy neural-network framework with *explicit* backward passes.
+
+Unlike tape-based autodiff, every :class:`Module` implements ``backward``
+by hand against whatever values its parameters hold *at backward time*.
+This is exactly what asynchronous pipeline-parallel execution needs: the
+executor can swap a stage's parameters to the delayed forward version
+``u_fwd`` before ``forward`` and to a different version ``u_bkwd`` before
+``backward``, producing the backpropagation-with-different-weights gradient
+``∇f_t(u_fwd, u_bkwd)`` of PipeMare §2.1.
+"""
+
+from repro.nn.module import Module, Parameter, Residual, Sequential
+from repro.nn.linear import Linear, Bias, Flatten
+from repro.nn.activations import ReLU, GELU, Tanh, Sigmoid, Identity
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d, GroupNorm, LayerNorm
+from repro.nn.pooling import AvgPool2d, MaxPool2d, GlobalAvgPool2d
+from repro.nn.embedding import Embedding, PositionalEncoding
+from repro.nn.dropout import Dropout
+from repro.nn.attention import MultiHeadAttention, causal_mask, padding_mask
+from repro.nn.losses import (
+    CrossEntropyLoss,
+    MSELoss,
+    SequenceCrossEntropyLoss,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Residual",
+    "Sequential",
+    "causal_mask",
+    "padding_mask",
+    "Linear",
+    "Bias",
+    "Flatten",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Conv2d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Embedding",
+    "PositionalEncoding",
+    "Dropout",
+    "MultiHeadAttention",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SequenceCrossEntropyLoss",
+]

@@ -1,0 +1,93 @@
+"""Multi-head scaled dot-product attention with a hand-derived backward.
+
+The backward pass uses the cached forward activations (Q, K, V heads and
+attention weights) for activation-Jacobian products, and the *current*
+projection weights for parameter-Jacobian products — matching the
+backprop-with-different-weights gradient semantics of PipeMare §2.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+_NEG_INF = -1e9
+
+
+def causal_mask(t: int) -> np.ndarray:
+    """(1, 1, t, t) boolean mask; True where attention is allowed."""
+    return np.tril(np.ones((t, t), dtype=bool))[None, None]
+
+
+def padding_mask(lengths: np.ndarray, t: int) -> np.ndarray:
+    """(B, 1, 1, t) boolean mask: True for real tokens, False for padding."""
+    lengths = np.asarray(lengths)
+    return (np.arange(t)[None, :] < lengths[:, None])[:, None, None, :]
+
+
+class MultiHeadAttention(Module):
+    """Attention(query, key, value, mask) -> (B, Tq, d_model).
+
+    ``mask`` is boolean, broadcastable to (B, H, Tq, Tk), True = attend.
+    ``backward`` returns ``(d_query, d_key, d_value)``.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.q_proj = Linear(d_model, d_model, rng)
+        self.k_proj = Linear(d_model, d_model, rng)
+        self.v_proj = Linear(d_model, d_model, rng)
+        self.out_proj = Linear(d_model, d_model, rng)
+        self._cache: tuple | None = None
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        B, T, _ = x.shape
+        return x.reshape(B, T, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        B, H, T, D = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(B, T, H * D)
+
+    def forward(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        qh = self._split(self.q_proj(query))
+        kh = self._split(self.k_proj(key))
+        vh = self._split(self.v_proj(value))
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = (qh @ kh.transpose(0, 1, 3, 2)) * scale
+        if mask is not None:
+            scores = np.where(mask, scores, _NEG_INF)
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ vh
+        self._cache = (qh, kh, vh, attn, mask, scale)
+        return self.out_proj(self._merge(ctx))
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        qh, kh, vh, attn, mask, scale = self._cache
+        dctx = self._split(self.out_proj.backward(grad_out))
+        dattn = dctx @ vh.transpose(0, 1, 3, 2)
+        dvh = attn.transpose(0, 1, 3, 2) @ dctx
+        dscores = F.softmax_backward(attn, dattn)
+        if mask is not None:
+            dscores = np.where(mask, dscores, 0.0)
+        dqh = (dscores @ kh) * scale
+        dkh = (dscores.transpose(0, 1, 3, 2) @ qh) * scale
+        d_query = self.q_proj.backward(self._merge(dqh))
+        d_key = self.k_proj.backward(self._merge(dkh))
+        d_value = self.v_proj.backward(self._merge(dvh))
+        return d_query, d_key, d_value

@@ -1,0 +1,65 @@
+"""Token embedding and fixed sinusoidal positional encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table (vocab, d_model); input is an integer array (B, T)."""
+
+    def __init__(self, vocab_size: int, d_model: int, rng: np.random.Generator, scale: bool = False):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.d_model = d_model
+        # Transformer convention: N(0, 1/d_model) then optionally scale by sqrt(d)
+        self.weight = Parameter(rng.normal(0.0, 1.0 / np.sqrt(d_model), size=(vocab_size, d_model)))
+        self.scale = np.sqrt(d_model) if scale else 1.0
+        # A stack, not a single slot: a *shared* embedding (WMT17-style tied
+        # encoder/decoder embedding) is called twice per forward pass, and
+        # backward must pop caches in LIFO order.
+        self._idx_stack: list[np.ndarray] = []
+
+    def forward(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer indices, got dtype {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.vocab_size):
+            raise ValueError("token index out of vocabulary range")
+        if self.training:  # eval-mode forwards (e.g. greedy decoding) never backward
+            self._idx_stack.append(idx)
+        return self.weight.data[idx] * self.scale
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if not self._idx_stack:
+            raise RuntimeError("backward called before forward")
+        idx = self._idx_stack.pop()
+        flat_idx = idx.reshape(-1)
+        flat_g = grad_out.reshape(-1, self.d_model) * self.scale
+        np.add.at(self.weight.grad, flat_idx, flat_g)
+        return None  # no gradient flows into integer tokens
+
+
+class PositionalEncoding(Module):
+    """Adds fixed sinusoidal position encodings (Vaswani et al., 2017)."""
+
+    def __init__(self, d_model: int, max_len: int = 2048):
+        super().__init__()
+        position = np.arange(max_len)[:, None]
+        div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
+        pe = np.zeros((max_len, d_model))
+        pe[:, 0::2] = np.sin(position * div)
+        pe[:, 1::2] = np.cos(position * div[: pe[:, 1::2].shape[1]])
+        self.pe = pe  # not a Parameter: fixed
+        self.max_len = max_len
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        T = x.shape[1]
+        if T > self.max_len:
+            raise ValueError(f"sequence length {T} exceeds max_len {self.max_len}")
+        return x + self.pe[None, :T]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

@@ -1,0 +1,118 @@
+"""Stateless numerical kernels shared by layers: stable softmax, GELU,
+im2col/col2im for convolution, one-hot encoding.
+
+Everything is vectorised numpy; the only Python loops are over kernel
+positions (KH*KW, at most a handful of iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+_SQRT2 = np.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_backward(softmax_out: np.ndarray, grad_out: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient through softmax given its output ``s``: ``s*(g - sum(g*s))``."""
+    inner = np.sum(grad_out * softmax_out, axis=axis, keepdims=True)
+    return softmax_out * (grad_out - inner)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Exact GELU ``0.5 x (1 + erf(x/√2))``."""
+    return 0.5 * x * (1.0 + erf(x / _SQRT2))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d/dx GELU(x) = Φ(x) + x·φ(x)."""
+    cdf = 0.5 * (1.0 + erf(x / _SQRT2))
+    pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
+    return cdf + x * pdf
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """(N,) int labels -> (N, num_classes) float one-hot."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold NCHW input into columns.
+
+    Returns ``(cols, (OH, OW))`` where ``cols`` has shape
+    ``(B, C*KH*KW, OH*OW)``.
+    """
+    B, C, H, W = x.shape
+    KH, KW = kernel
+    OH = conv_output_size(H, KH, stride, padding)
+    OW = conv_output_size(W, KW, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    sB, sC, sH, sW = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(B, C, KH, KW, OH, OW),
+        strides=(sB, sC, sH, sW, sH * stride, sW * stride),
+        writeable=False,
+    )
+    cols = view.reshape(B, C * KH * KW, OH * OW)
+    return np.ascontiguousarray(cols), (OH, OW)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back into NCHW, summing overlapping contributions.
+
+    Inverse-adjoint of :func:`im2col`; used for the convolution input grad.
+    """
+    B, C, H, W = x_shape
+    KH, KW = kernel
+    OH = conv_output_size(H, KH, stride, padding)
+    OW = conv_output_size(W, KW, stride, padding)
+    cols = cols.reshape(B, C, KH, KW, OH, OW)
+    padded = np.zeros((B, C, H + 2 * padding, W + 2 * padding))
+    for kh in range(KH):
+        h_end = kh + stride * OH
+        for kw in range(KW):
+            w_end = kw + stride * OW
+            padded[:, :, kh:h_end:stride, kw:w_end:stride] += cols[:, :, kh, kw]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

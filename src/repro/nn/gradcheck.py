@@ -1,0 +1,188 @@
+"""Finite-difference verification of layer backward passes.
+
+Every module in :mod:`repro.nn` implements an explicit ``backward`` (that is
+what lets the pipeline executor feed *different weight versions* to the two
+passes), so each backward is hand-derived and deserves an independent
+check.  This module compares analytic gradients against central differences
+
+    ``dL/dx_i ≈ (L(x + εe_i) − L(x − εe_i)) / 2ε``
+
+for the scalar probe loss ``L = Σ (module(x) ⊙ R)`` with a fixed random
+matrix ``R`` (so arbitrary ``grad_out`` directions are exercised, not just
+all-ones).
+
+Caveats by construction: modules must be *deterministic* at check time (put
+``Dropout`` in eval mode), and kinked operators (ReLU, MaxPool) are checked
+at random inputs where ties/zero-crossings have probability zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+@dataclass
+class GradcheckReport:
+    """Outcome of one gradient check."""
+
+    max_abs_err: float = 0.0
+    max_rel_err: float = 0.0
+    failures: list[str] = field(default_factory=list)
+    checked_coords: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merge(self, name: str, analytic: np.ndarray, numeric: np.ndarray,
+              rtol: float, atol: float) -> None:
+        """Compare one tensor's gradients and record any violation."""
+        diff = np.abs(analytic - numeric)
+        scale = atol + rtol * np.abs(numeric)
+        self.max_abs_err = max(self.max_abs_err, float(diff.max(initial=0.0)))
+        denom = np.maximum(np.abs(numeric), 1e-12)
+        self.max_rel_err = max(self.max_rel_err, float((diff / denom).max(initial=0.0)))
+        bad = diff > scale
+        if bad.any():
+            idx = np.unravel_index(int(np.argmax(diff)), diff.shape)
+            self.failures.append(
+                f"{name}: {int(bad.sum())}/{analytic.size} coords disagree; "
+                f"worst at {idx}: analytic={analytic[idx]:.3e} "
+                f"numeric={numeric[idx]:.3e}"
+            )
+
+
+def _probe_coords(shape: tuple[int, ...], max_coords: int | None,
+                  rng: np.random.Generator) -> list[tuple[int, ...]]:
+    """All coordinates, or a random sample when the tensor is large."""
+    size = int(np.prod(shape))
+    if max_coords is None or size <= max_coords:
+        flat = range(size)
+    else:
+        flat = rng.choice(size, size=max_coords, replace=False)
+    return [np.unravel_index(int(i), shape) for i in flat]
+
+
+def _numeric_grad(loss_fn, arr: np.ndarray, coords, eps: float) -> np.ndarray:
+    grad = np.zeros_like(arr)
+    for idx in coords:
+        orig = arr[idx]
+        arr[idx] = orig + eps
+        hi = loss_fn()
+        arr[idx] = orig - eps
+        lo = loss_fn()
+        arr[idx] = orig
+        grad[idx] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def gradcheck_module(
+    module: Module,
+    x: np.ndarray,
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-7,
+    max_coords: int | None = 200,
+    check_input: bool = True,
+    check_params: bool = True,
+    seed: int = 0,
+) -> GradcheckReport:
+    """Check ``module.backward`` against central differences.
+
+    Large tensors are spot-checked at ``max_coords`` random coordinates
+    (numeric gradients cost two forwards per coordinate).  Returns a
+    :class:`GradcheckReport`; use :func:`assert_gradients_match` in tests.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.array(x)
+    if np.issubdtype(x.dtype, np.integer):
+        if check_input:
+            raise ValueError(
+                "integer inputs (e.g. token indices) cannot be perturbed; "
+                "call with check_input=False"
+            )
+    else:
+        x = x.astype(float)
+    out = module(x)
+    probe = rng.normal(size=out.shape)
+
+    def loss() -> float:
+        return float(np.sum(module(x) * probe))
+
+    report = GradcheckReport()
+
+    # analytic gradients (input + params) from one backward pass
+    module.zero_grad()
+    module(x)
+    grad_in = module.backward(probe.copy())
+
+    if check_input:
+        coords = _probe_coords(x.shape, max_coords, rng)
+        numeric = _numeric_grad(loss, x, coords, eps)
+        mask = np.zeros_like(x, dtype=bool)
+        for idx in coords:
+            mask[idx] = True
+        report.merge(
+            "input", np.where(mask, grad_in, 0.0), numeric, rtol, atol
+        )
+        report.checked_coords += len(coords)
+
+    if check_params:
+        analytic = {name: p.grad.copy() for name, p in module.named_parameters()}
+        for name, p in module.named_parameters():
+            coords = _probe_coords(p.data.shape, max_coords, rng)
+            numeric = _numeric_grad(loss, p.data, coords, eps)
+            mask = np.zeros_like(p.data, dtype=bool)
+            for idx in coords:
+                mask[idx] = True
+            report.merge(
+                name, np.where(mask, analytic[name], 0.0), numeric, rtol, atol
+            )
+            report.checked_coords += len(coords)
+    return report
+
+
+def gradcheck_loss(
+    loss_module: Module,
+    pred: np.ndarray,
+    target: np.ndarray,
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-7,
+    max_coords: int | None = 200,
+    seed: int = 0,
+) -> GradcheckReport:
+    """Check a loss module (``forward(pred, target) -> float``,
+    ``backward() -> dL/dpred``) against central differences."""
+    rng = np.random.default_rng(seed)
+    pred = np.array(pred, dtype=float)
+
+    loss_module(pred, target)
+    analytic = loss_module.backward()
+
+    def loss() -> float:
+        return float(loss_module(pred, target))
+
+    report = GradcheckReport()
+    coords = _probe_coords(pred.shape, max_coords, rng)
+    numeric = _numeric_grad(loss, pred, coords, eps)
+    mask = np.zeros_like(pred, dtype=bool)
+    for idx in coords:
+        mask[idx] = True
+    report.merge("pred", np.where(mask, analytic, 0.0), numeric, rtol, atol)
+    report.checked_coords += len(coords)
+    return report
+
+
+def assert_gradients_match(report: GradcheckReport) -> None:
+    """Raise with the report's failure detail if any coordinate disagreed."""
+    if not report.ok:
+        raise AssertionError(
+            f"gradient check failed ({len(report.failures)} tensors, "
+            f"max_abs_err={report.max_abs_err:.3e}):\n  "
+            + "\n  ".join(report.failures)
+        )

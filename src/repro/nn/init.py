@@ -1,0 +1,33 @@
+"""Weight initializers (Kaiming/Xavier), all taking an explicit Generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal init: ``N(0, gain^2 / fan_in)`` — standard for ReLU nets."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform init: ``U(-a, a)`` with ``a = sqrt(6/(fan_in+fan_out))``."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,91 @@
+"""Affine layers and shape utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """``y = x @ W + b`` over the trailing axis.
+
+    Accepts inputs of shape ``(..., in_features)``.  The backward pass uses
+    the *current* value of ``W`` for the input gradient (this is what allows
+    forward/backward weight discrepancy in pipeline simulation) and the
+    cached forward input for the weight gradient.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        gain: float | None = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if gain is None:
+            w = init.xavier_uniform((in_features, out_features), in_features, out_features, rng)
+        else:
+            w = init.kaiming_normal((in_features, out_features), in_features, rng, gain=gain)
+        self.weight = Parameter(w)
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected trailing dim {self.in_features}, got {x.shape}")
+        self._x = x
+        y = x @ self.weight.data
+        if self.use_bias:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        x2 = x.reshape(-1, self.in_features)
+        g2 = grad_out.reshape(-1, self.out_features)
+        self.weight.grad += x2.T @ g2
+        if self.use_bias:
+            self.bias.grad += g2.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+
+class Bias(Module):
+    """Standalone bias add (used to give biasless graphs trainable offsets)."""
+
+    def __init__(self, features: int):
+        super().__init__()
+        self.bias = Parameter(init.zeros((features,)))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self.bias.grad += grad_out.reshape(-1, grad_out.shape[-1]).sum(axis=0)
+        return grad_out
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)

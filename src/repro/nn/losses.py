@@ -1,0 +1,103 @@
+"""Loss modules.  ``forward(pred, target) -> float``; ``backward() -> dpred``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over (N, C) logits with optional label smoothing
+    (the Transformer recipe in the paper uses smoothing 0.1, Table 7)."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self._cache: tuple | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+        n, c = logits.shape
+        target_dist = F.one_hot(targets, c)
+        if self.label_smoothing:
+            eps = self.label_smoothing
+            target_dist = (1.0 - eps) * target_dist + eps / c
+        logp = F.log_softmax(logits, axis=-1)
+        self._cache = (F.softmax(logits, axis=-1), target_dist, n)
+        return float(-(target_dist * logp).sum() / n)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target_dist, n = self._cache
+        return (probs - target_dist) / n
+
+
+class SequenceCrossEntropyLoss(Module):
+    """Token-level cross-entropy over (B, T, V) logits, ignoring padding.
+
+    The mean is over non-pad tokens, matching fairseq's convention for the
+    Transformer experiments (Appendix C.1).
+    """
+
+    def __init__(self, pad_id: int, label_smoothing: float = 0.0):
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.pad_id = pad_id
+        self.label_smoothing = label_smoothing
+        self._cache: tuple | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 3:
+            raise ValueError(f"expected (B, T, V) logits, got {logits.shape}")
+        b, t, v = logits.shape
+        flat_logits = logits.reshape(b * t, v)
+        flat_targets = targets.reshape(b * t)
+        mask = flat_targets != self.pad_id
+        n_tokens = int(mask.sum())
+        if n_tokens == 0:
+            raise ValueError("all tokens are padding")
+        # Clamp pads to a valid class; their contribution is masked out.
+        safe_targets = np.where(mask, flat_targets, 0)
+        target_dist = F.one_hot(safe_targets, v)
+        if self.label_smoothing:
+            eps = self.label_smoothing
+            target_dist = (1.0 - eps) * target_dist + eps / v
+        target_dist *= mask[:, None]
+        logp = F.log_softmax(flat_logits, axis=-1)
+        probs = F.softmax(flat_logits, axis=-1) * mask[:, None]
+        self._cache = (probs, target_dist, n_tokens, (b, t, v))
+        return float(-(target_dist * logp).sum() / n_tokens)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target_dist, n_tokens, shape = self._cache
+        return ((probs - target_dist) / n_tokens).reshape(shape)
+
+
+class MSELoss(Module):
+    """Mean squared error ``mean((pred - target)^2)`` (linear-regression)."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache: tuple | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        diff = pred - target
+        self._cache = (diff, pred.size)
+        return float(np.mean(diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        diff, n = self._cache
+        return 2.0 * diff / n

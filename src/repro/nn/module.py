@@ -1,0 +1,188 @@
+"""Parameter and Module base classes.
+
+Design contract (relied on by :mod:`repro.pipeline`):
+
+* ``forward`` reads ``Parameter.data`` and stashes whatever it needs for the
+  backward pass in module-local caches.
+* ``backward`` reads ``Parameter.data`` *again* (it may have changed since
+  forward!), accumulates into ``Parameter.grad``, and returns the gradient
+  w.r.t. the module input.
+* Parameters are discovered in registration order, which for our models is
+  the topological order of the computation graph — the order the paper uses
+  to partition weights into pipeline stages (§4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float64
+
+
+class Parameter:
+    """A trainable array plus its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=DTYPE)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registration ------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register(self, name: str, module: "Module") -> "Module":
+        """Register a child module under an explicit name (for lists)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+        return module
+
+    # -- traversal ---------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """Parameters in registration (topological) order.
+
+        Shared parameters/modules (e.g. tied embeddings) are reported once,
+        at their first occurrence — crucial so optimizers and the pipeline
+        partitioner never see the same tensor twice.
+        """
+        out: list[tuple[str, Parameter]] = []
+        seen: set[int] = set()
+        for name, p in self._walk_parameters(prefix):
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append((name, p))
+        return out
+
+    def _walk_parameters(self, prefix: str = ""):
+        for name, p in self._parameters.items():
+            yield f"{prefix}{name}", p
+        for name, child in self._modules.items():
+            yield from child._walk_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> list["Module"]:
+        out: list[Module] = [self]
+        for child in self._modules.values():
+            out.extend(child.modules())
+        return out
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper's W, in elements)."""
+        return sum(p.size for p in self.parameters())
+
+    # -- mode / grads ------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state -------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        for name, p in params.items():
+            value = np.asarray(state[name], dtype=DTYPE)
+            if value.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {p.data.shape}")
+            p.data = value.copy()
+
+    # -- compute -----------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, grad_out):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.num_parameters()})"
+
+
+class Sequential(Module):
+    """Chain of single-input single-output modules."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.register(f"layer{i}", layer)
+
+    def append(self, layer: Module) -> None:
+        self.register(f"layer{len(self.layers)}", layer)
+        self.layers.append(layer)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out):
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class Residual(Module):
+    """``y = x + body(x)`` with the matching backward ``dx = g + body'(g)``."""
+
+    def __init__(self, body: Module):
+        super().__init__()
+        self.body = body
+
+    def forward(self, x):
+        return x + self.body(x)
+
+    def backward(self, grad_out):
+        return grad_out + self.body.backward(grad_out)

@@ -1,0 +1,85 @@
+"""Pooling layers for NCHW tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class AvgPool2d(Module):
+    """Average pooling with square kernel."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        B, C, H, W = x.shape
+        cols, (oh, ow) = F.im2col(
+            x.reshape(B * C, 1, H, W), (self.kernel_size,) * 2, self.stride, 0
+        )
+        self._cache = (x.shape, (oh, ow))
+        return cols.mean(axis=1).reshape(B, C, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        (B, C, H, W), (oh, ow) = self._cache
+        k2 = self.kernel_size * self.kernel_size
+        g = grad_out.reshape(B * C, 1, oh * ow) / k2
+        dcols = np.broadcast_to(g, (B * C, k2, oh * ow))
+        dx = F.col2im(dcols, (B * C, 1, H, W), (self.kernel_size,) * 2, self.stride, 0)
+        return dx.reshape(B, C, H, W)
+
+
+class MaxPool2d(Module):
+    """Max pooling with square kernel."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        B, C, H, W = x.shape
+        cols, (oh, ow) = F.im2col(
+            x.reshape(B * C, 1, H, W), (self.kernel_size,) * 2, self.stride, 0
+        )
+        argmax = cols.argmax(axis=1)
+        self._cache = (x.shape, (oh, ow), argmax)
+        out = np.take_along_axis(cols, argmax[:, None, :], axis=1)[:, 0, :]
+        return out.reshape(B, C, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        (B, C, H, W), (oh, ow), argmax = self._cache
+        k2 = self.kernel_size * self.kernel_size
+        dcols = np.zeros((B * C, k2, oh * ow))
+        g = grad_out.reshape(B * C, 1, oh * ow)
+        np.put_along_axis(dcols, argmax[:, None, :], g, axis=1)
+        dx = F.col2im(dcols, (B * C, 1, H, W), (self.kernel_size,) * 2, self.stride, 0)
+        return dx.reshape(B, C, H, W)
+
+
+class GlobalAvgPool2d(Module):
+    """(B,C,H,W) -> (B,C) spatial mean, as used before ResNet classifiers."""
+
+    def __init__(self):
+        super().__init__()
+        self._hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._hw = x.shape[2:]
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._hw is None:
+            raise RuntimeError("backward called before forward")
+        h, w = self._hw
+        return np.broadcast_to(grad_out[:, :, None, None] / (h * w), grad_out.shape + (h, w)).copy()

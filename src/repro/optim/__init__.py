@@ -1,0 +1,31 @@
+"""Optimizers and learning-rate schedulers.
+
+Optimizers operate on *param groups*, each with an ``lr_scale`` multiplier.
+PipeMare's T1 (learning-rate rescheduling) assigns one group per pipeline
+stage and drives each group's ``lr_scale`` as ``τ_i^{-p_k}`` (§3.1, eq. 5).
+"""
+
+from repro.optim.optimizer import Optimizer, ParamGroup, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.schedulers import (
+    ConstantLR,
+    LRSchedule,
+    StepDecayLR,
+    WarmupInverseSqrtLR,
+    WarmupLinearLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "ParamGroup",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "WarmupInverseSqrtLR",
+    "WarmupLinearLR",
+]

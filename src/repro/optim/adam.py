@@ -1,0 +1,61 @@
+"""Adam and AdamW — the Transformer optimizer (Table 7: AdamW,
+betas (0.9, 0.98), weight decay 1e-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; ``weight_decay`` is coupled (L2-style)."""
+
+    decoupled_weight_decay = False
+
+    def __init__(
+        self,
+        params,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _init_state(self, p: Parameter) -> dict[str, np.ndarray]:
+        return {"m": np.zeros_like(p.data), "v": np.zeros_like(p.data), "t": np.zeros(1)}
+
+    def _update_param(self, p: Parameter, lr: float, state: dict[str, np.ndarray]) -> None:
+        b1, b2 = self.betas
+        g = p.grad
+        if self.weight_decay and not self.decoupled_weight_decay:
+            g = g + self.weight_decay * p.data
+        state["t"] += 1
+        t = float(state["t"][0])
+        m, v = state["m"], state["v"]
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        m_hat = m / (1 - b1**t)
+        v_hat = v / (1 - b2**t)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay and self.decoupled_weight_decay:
+            update = update + self.weight_decay * p.data
+        p.data = p.data - lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    decoupled_weight_decay = True

@@ -1,0 +1,143 @@
+"""Optimizer base class with param groups and gradient clipping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+@dataclass
+class ParamGroup:
+    """A set of parameters updated with a shared ``lr_scale`` multiplier.
+
+    ``name`` typically identifies the pipeline stage.  ``lr_scale`` is
+    mutated over training by PipeMare T1.
+    """
+
+    params: list[Parameter]
+    lr_scale: float = 1.0
+    name: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+class Optimizer:
+    """Base optimizer.  Subclasses implement :meth:`_update_param`.
+
+    Construction accepts either a flat list of Parameters (one group) or a
+    list of :class:`ParamGroup`.
+    """
+
+    def __init__(self, params, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], ParamGroup):
+            self.groups: list[ParamGroup] = list(params)
+        else:
+            self.groups = [ParamGroup(params=list(params))]
+        self.lr = lr
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+        self._steps = 0
+
+    # -- state -----------------------------------------------------------
+    def state_for(self, p: Parameter) -> dict[str, np.ndarray]:
+        return self._state.setdefault(id(p), self._init_state(p))
+
+    def _init_state(self, p: Parameter) -> dict[str, np.ndarray]:
+        return {}
+
+    def state_memory_elements(self) -> int:
+        """Total optimizer-state scalar count (for the memory cost model)."""
+        total = 0
+        for group in self.groups:
+            for p in group.params:
+                total += sum(v.size for v in self.state_for(p).values())
+        return total
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot: step counter, per-group lr scales, and
+        per-parameter state arrays (in group/param order — a parameter's
+        identity across save/load is its position, not its ``id``)."""
+        return {
+            "steps": self._steps,
+            "lr": self.lr,
+            "lr_scales": [group.lr_scale for group in self.groups],
+            "param_states": [
+                [
+                    {k: v.copy() for k, v in self.state_for(p).items()}
+                    for p in group.params
+                ]
+                for group in self.groups
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` onto the same
+        parameter layout (group and param counts must match)."""
+        param_states = state["param_states"]
+        if len(param_states) != len(self.groups):
+            raise ValueError(
+                f"checkpoint has {len(param_states)} param groups, "
+                f"optimizer has {len(self.groups)}"
+            )
+        for group, scale, states in zip(self.groups, state["lr_scales"], param_states):
+            if len(states) != len(group.params):
+                raise ValueError(
+                    f"group '{group.name}' has {len(group.params)} params, "
+                    f"checkpoint has {len(states)}"
+                )
+            group.lr_scale = float(scale)
+            for p, pstate in zip(group.params, states):
+                fresh = self._init_state(p)
+                if set(pstate) != set(fresh):
+                    raise ValueError(
+                        f"state keys {sorted(pstate)} do not match optimizer "
+                        f"keys {sorted(fresh)} for {p.name}"
+                    )
+                self._state[id(p)] = {k: np.array(v) for k, v in pstate.items()}
+        self._steps = int(state["steps"])
+        self.lr = float(state["lr"])
+
+    # -- update ----------------------------------------------------------
+    def zero_grad(self) -> None:
+        for group in self.groups:
+            for p in group.params:
+                p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update to every parameter using ``lr * lr_scale``."""
+        for group in self.groups:
+            lr = self.lr * group.lr_scale
+            for p in group.params:
+                self._update_param(p, lr, self.state_for(p))
+        self._steps += 1
+
+    def _update_param(self, p: Parameter, lr: float, state: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (fairseq-style; the paper's IWSLT recipe clips
+    at 25, Table 7).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for p in params:
+        total += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm

@@ -1,0 +1,80 @@
+"""Base learning-rate schedules ``α_base,k`` (step index k, in minibatches).
+
+These are the *synchronous* schedules the paper inherits from standard
+recipes: step decay for ResNet (Table 6: drop by 0.1 every 80/30 epochs) and
+linear-warmup + inverse-sqrt for the Transformer (Table 7).  PipeMare T1
+multiplies whatever base schedule is in force by ``τ_i^{-p_k}``.
+"""
+
+from __future__ import annotations
+
+
+class LRSchedule:
+    """Maps step index -> base learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        return self.lr_at(step)
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """``lr * factor^(step // interval)`` — the ResNet recipe."""
+
+    def __init__(self, lr: float, interval_steps: int, factor: float = 0.1):
+        if lr <= 0 or interval_steps <= 0 or not 0 < factor <= 1:
+            raise ValueError("invalid StepDecayLR configuration")
+        self.lr = lr
+        self.interval_steps = interval_steps
+        self.factor = factor
+
+    def lr_at(self, step: int) -> float:
+        return self.lr * self.factor ** (step // self.interval_steps)
+
+
+class WarmupInverseSqrtLR(LRSchedule):
+    """Linear warmup from ``init_lr`` to ``peak_lr`` over ``warmup_steps``,
+    then decay ``∝ 1/sqrt(step)`` — the fairseq Transformer recipe."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, init_lr: float = 1e-7):
+        if peak_lr <= 0 or warmup_steps <= 0 or init_lr <= 0:
+            raise ValueError("invalid WarmupInverseSqrtLR configuration")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.init_lr = init_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            frac = step / self.warmup_steps
+            return self.init_lr + frac * (self.peak_lr - self.init_lr)
+        return self.peak_lr * (self.warmup_steps / step) ** 0.5
+
+
+class WarmupLinearLR(LRSchedule):
+    """Linear warmup then constant (useful for short synthetic runs)."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, init_lr: float = 1e-7):
+        if peak_lr <= 0 or warmup_steps <= 0 or init_lr <= 0:
+            raise ValueError("invalid WarmupLinearLR configuration")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.init_lr = init_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            frac = step / self.warmup_steps
+            return self.init_lr + frac * (self.peak_lr - self.init_lr)
+        return self.peak_lr

@@ -1,0 +1,37 @@
+"""Pipeline-parallel training substrate.
+
+Implements the paper's execution model (§2): a model's weights are
+partitioned in topological order into P stages; microbatches flow through a
+bubble-free pipe; each stage reads its weights at delayed versions
+
+    ``τ_fwd,i = (2(P−i)+1)/N``,  ``τ_bkwd,i ∈ {τ_fwd,i (PipeDream), 0
+    (PipeMare), 0 ≡ fwd (GPipe, synchronous)}``
+
+and applies accumulated gradients at minibatch boundaries.  The executor
+realises the *exact* microbatch-granularity version arithmetic, while the
+cost models reproduce Table 1, Table 4/5 and the Appendix A.3 throughput
+analysis.
+"""
+
+from repro.pipeline.partition import Stage, partition_model, partition_units
+from repro.pipeline.delays import DelayProfile, Method
+from repro.pipeline.weight_store import WeightVersionStore
+from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline import costmodel
+from repro.pipeline import recompute
+from repro.pipeline.schedule import ScheduleGrid, build_schedule, bubble_fraction
+
+__all__ = [
+    "Stage",
+    "partition_model",
+    "partition_units",
+    "DelayProfile",
+    "Method",
+    "WeightVersionStore",
+    "PipelineExecutor",
+    "costmodel",
+    "recompute",
+    "ScheduleGrid",
+    "build_schedule",
+    "bubble_fraction",
+]

@@ -1,0 +1,130 @@
+"""Delay profiles: which weight version each stage reads, per microbatch.
+
+Table 1 gives the *average* delays in units of optimizer steps:
+
+    =========== ======================= ==================
+    method      τ_fwd,i                 τ_bkwd,i
+    =========== ======================= ==================
+    PipeDream   (2(P−i)+1)/N            (2(P−i)+1)/N
+    GPipe       0                       0
+    PipeMare    (2(P−i)+1)/N            0
+    =========== ======================= ==================
+
+The executor needs those *fractional* delays realised exactly at microbatch
+granularity.  On a stage-local clock where the backward of microbatch j of
+minibatch t lands at slot ``tN+j``, its forward happened ``2(P−i)+1`` slots
+earlier and the stage's weights tick to version t′+1 after slot
+``t′N+N−1``.  The integer version read at forward time is therefore
+
+    ``v_fwd(i,t,j) = max(0, ceil((tN + j − 2(P−i) − N) / N))``
+
+whose average lag over j is exactly ``τ_fwd,i`` (verified in tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Method(str, enum.Enum):
+    """Pipeline-parallel training methods compared in the paper."""
+
+    GPIPE = "gpipe"
+    PIPEDREAM = "pipedream"
+    PIPEMARE = "pipemare"
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Delay arithmetic for ``num_stages`` stages and ``num_microbatches``
+    microbatches per minibatch.
+
+    Stages are 0-indexed here; the paper's 1-indexed stage i corresponds to
+    ``stage = i − 1``.
+    """
+
+    num_stages: int
+    num_microbatches: int
+    method: Method = Method.PIPEMARE
+
+    def __post_init__(self):
+        if self.num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {self.num_stages}")
+        if self.num_microbatches < 1:
+            raise ValueError(
+                f"num_microbatches must be >= 1, got {self.num_microbatches}"
+            )
+
+    # -- average (Table 1) delays, in optimizer steps -----------------------
+    def slots_fwd(self, stage: int) -> int:
+        """Microbatch slots between a weight's forward read and its update:
+        ``2(P−i)+1`` with i = stage+1."""
+        self._check_stage(stage)
+        return 2 * (self.num_stages - (stage + 1)) + 1
+
+    def tau_fwd(self, stage: int) -> float:
+        if self.method is Method.GPIPE:
+            return 0.0
+        return self.slots_fwd(stage) / self.num_microbatches
+
+    def tau_bkwd(self, stage: int) -> float:
+        if self.method is Method.PIPEDREAM:
+            return self.tau_fwd(stage)
+        return 0.0
+
+    def tau_fwd_all(self) -> np.ndarray:
+        return np.array([self.tau_fwd(s) for s in range(self.num_stages)])
+
+    def tau_bkwd_all(self) -> np.ndarray:
+        return np.array([self.tau_bkwd(s) for s in range(self.num_stages)])
+
+    def max_tau_fwd(self) -> float:
+        return self.tau_fwd(0)
+
+    # -- exact per-microbatch version indices --------------------------------
+    def fwd_version(self, stage: int, minibatch: int, microbatch: int) -> int:
+        """Integer weight version stage ``stage`` reads in the forward pass
+        of microbatch ``microbatch`` of minibatch ``minibatch``."""
+        self._check_indices(stage, minibatch, microbatch)
+        if self.method is Method.GPIPE:
+            return minibatch
+        n = self.num_microbatches
+        s_fwd_slot = minibatch * n + microbatch - self.slots_fwd(stage)
+        return max(0, _ceil_div(s_fwd_slot - n + 1, n))
+
+    def bkwd_version(self, stage: int, minibatch: int, microbatch: int) -> int:
+        """Integer weight version read in the backward pass."""
+        self._check_indices(stage, minibatch, microbatch)
+        if self.method is Method.PIPEDREAM:
+            # weight stashing: backward reuses the exact forward version
+            return self.fwd_version(stage, minibatch, microbatch)
+        # GPipe (synchronous) and PipeMare (τ_bkwd = 0) both read the
+        # current weights, which hold version ``minibatch``.
+        return minibatch
+
+    def history_needed(self) -> int:
+        """Number of versions the weight store must retain: the oldest read
+        is ``ceil((2P−1)/N)`` steps behind, plus the current version."""
+        oldest_lag = _ceil_div(2 * self.num_stages - 1, self.num_microbatches)
+        return oldest_lag + 2
+
+    # -- validation ----------------------------------------------------------
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.num_stages:
+            raise IndexError(f"stage {stage} out of range [0, {self.num_stages})")
+
+    def _check_indices(self, stage: int, minibatch: int, microbatch: int) -> None:
+        self._check_stage(stage)
+        if minibatch < 0:
+            raise ValueError(f"minibatch must be non-negative, got {minibatch}")
+        if not 0 <= microbatch < self.num_microbatches:
+            raise IndexError(
+                f"microbatch {microbatch} out of range [0, {self.num_microbatches})"
+            )

@@ -1,0 +1,266 @@
+"""The pipeline-parallel training executor (the paper's simulator).
+
+Semantics per minibatch t of N microbatches (§2.1):
+
+1. For each microbatch j, every stage i's parameters are pointed at weight
+   version ``v_fwd(i,t,j)`` before the forward pass, realising the Table 1
+   forward delay exactly (see :mod:`repro.pipeline.delays`).
+2. Before the backward pass, parameters are pointed at the method's
+   backward weights: the stashed forward version (PipeDream), the current
+   version (GPipe, PipeMare), or the T2-corrected extrapolation
+   ``w − Δτ·δ`` (PipeMare + T2).
+3. Microbatch gradients accumulate in ``Parameter.grad`` and the optimizer
+   steps once per minibatch; the new weights become version t+1.
+
+Because updates only land at minibatch boundaries, processing microbatches
+sequentially (fwd_j then bkwd_j) is numerically identical to the interleaved
+hardware schedule — all that matters is which version each phase reads,
+which the delay profile pins down.
+
+With ``recompute_segment`` set, a second forward pass regenerates
+activations at the recompute-delayed weights before backward (Appendix D's
+three-delay model); segment heads keep their originally cached inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DiscrepancyCorrector, LRReschedule, PipeMareConfig, WarmupSchedule
+from repro.nn.module import Module
+from repro.optim import Optimizer, ParamGroup, clip_grad_norm
+from repro.optim.schedulers import LRSchedule
+from repro.pipeline.delays import DelayProfile, Method, _ceil_div
+from repro.pipeline.partition import Stage
+from repro.pipeline.recompute import recompute_delay_slots, segment_heads
+from repro.pipeline.weight_store import WeightVersionStore
+
+
+def param_groups_from_stages(stages: list[Stage]) -> list[ParamGroup]:
+    """One optimizer param group per stage, in stage order — the layout
+    both T1 and the executor rely on."""
+    return [ParamGroup(params=list(s.params), name=f"stage{s.index}") for s in stages]
+
+
+class PipelineExecutor:
+    """Drives pipeline-parallel training of a model.
+
+    Parameters
+    ----------
+    model, loss_fn:
+        The model and a loss module (``forward(pred, target) -> float``,
+        ``backward() -> grad``).
+    optimizer:
+        Must have one param group per stage in stage order (use
+        :func:`param_groups_from_stages`).
+    stages:
+        Output of :func:`repro.pipeline.partition_model`.
+    num_microbatches:
+        N; the minibatch passed to :meth:`train_step` is split along axis 0.
+    method:
+        ``gpipe`` / ``pipedream`` / ``pipemare``.
+    pipemare:
+        Technique configuration (ignored for the synchronous baselines).
+    base_schedule:
+        Base learning rate ``α_base,k`` per optimizer step; ``None`` keeps
+        the optimizer's constructor lr.
+    grad_clip:
+        Optional global-norm clipping threshold.
+    recompute_segment:
+        Segment size S for PipeMare Recompute (``None`` disables).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Module,
+        optimizer: Optimizer,
+        stages: list[Stage],
+        num_microbatches: int,
+        method: Method | str = Method.PIPEMARE,
+        pipemare: PipeMareConfig | None = None,
+        base_schedule: LRSchedule | None = None,
+        grad_clip: float | None = None,
+        recompute_segment: int | None = None,
+    ):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.stages = stages
+        self.method = Method(method)
+        self.profile = DelayProfile(len(stages), num_microbatches, self.method)
+        self.store = WeightVersionStore(stages, self.profile.history_needed())
+        self.base_schedule = base_schedule
+        self.grad_clip = grad_clip
+        self.t = 0  # minibatch (optimizer-step) counter
+
+        if len(optimizer.groups) != len(stages):
+            raise ValueError(
+                f"optimizer must have one group per stage "
+                f"({len(optimizer.groups)} groups, {len(stages)} stages)"
+            )
+
+        cfg = pipemare if (pipemare is not None and self.method is Method.PIPEMARE) else None
+        self.config = cfg
+        tau_f = self.profile.tau_fwd_all()
+        tau_b = self.profile.tau_bkwd_all()
+        self.reschedule = (
+            LRReschedule(tau_f, cfg.anneal_steps) if cfg and cfg.use_t1 else None
+        )
+        self.corrector = (
+            DiscrepancyCorrector([s.params for s in stages], tau_f, tau_b, cfg.decay)
+            if cfg and cfg.use_t2
+            else None
+        )
+        self.warmup = WarmupSchedule(cfg.warmup_steps if cfg and cfg.use_t3 else 0)
+
+        self.recompute_segment = recompute_segment
+        if recompute_segment is not None:
+            self._recompute_lag = recompute_delay_slots(len(stages), recompute_segment)
+            self._segment_heads = set(segment_heads(len(stages), recompute_segment))
+        else:
+            self._recompute_lag = None
+            self._segment_heads = set()
+
+    # -- delay bookkeeping ----------------------------------------------------
+    def _is_sync_step(self) -> bool:
+        """True while T3's synchronous (GPipe-style) warmup window is active
+        or the method itself is GPipe."""
+        if self.method is Method.GPIPE:
+            return True
+        return self.warmup.is_synchronous(self.t)
+
+    def _recompute_version(self, stage: int, j: int) -> int:
+        """Weight version used to regenerate stage activations: the version
+        resident ``lag`` slots before the backward slot; segment heads reuse
+        the original forward version (their input was cached, not
+        recomputed)."""
+        if stage in self._segment_heads:
+            return self.profile.fwd_version(stage, self.t, j)
+        n = self.profile.num_microbatches
+        slot = self.t * n + j - int(self._recompute_lag[stage])
+        return max(0, _ceil_div(slot - n + 1, n))
+
+    def _load_forward_weights(self, j: int, sync: bool) -> None:
+        if sync:
+            self.store.load_latest()
+            return
+        for s in range(len(self.stages)):
+            self.store.load(s, self.profile.fwd_version(s, self.t, j))
+
+    def _load_backward_weights(self, j: int, sync: bool) -> None:
+        if sync or self.method is Method.GPIPE:
+            self.store.load_latest()
+            return
+        if self.method is Method.PIPEDREAM:
+            for s in range(len(self.stages)):
+                self.store.load(s, self.profile.bkwd_version(s, self.t, j))
+            return
+        # PipeMare: current weights, optionally T2-extrapolated toward u_fwd
+        self.store.load_latest()
+        if self.corrector is not None:
+            for s, stage in enumerate(self.stages):
+                stage.load(self.corrector.corrected_weights(s))
+
+    def _load_recompute_weights(self, j: int) -> None:
+        for s, stage in enumerate(self.stages):
+            version = self._recompute_version(s, j)
+            weights = self.store.weights(s, version)
+            if self.corrector is not None and s not in self._segment_heads:
+                # T2 for Recompute (App. D.1): extrapolate toward u_fwd
+                n = self.profile.num_microbatches
+                tau_r = self._recompute_lag[s] / n
+                dtau = max(self.profile.tau_fwd(s) - tau_r, 0.0)
+                weights = [
+                    w - dtau * v for w, v in zip(weights, self.corrector.velocity[s])
+                ]
+            stage.load(weights)
+
+    # -- training ---------------------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Run one minibatch; returns the mean microbatch training loss."""
+        n = self.profile.num_microbatches
+        if len(x) < n:
+            raise ValueError(f"minibatch of {len(x)} samples cannot form {n} microbatches")
+        xs = np.array_split(x, n)
+        ys = np.array_split(y, n)
+        total = len(x)
+        sync = self._is_sync_step()
+
+        self.optimizer.zero_grad()
+        losses = []
+        for j in range(n):
+            self._load_forward_weights(j, sync)
+            out = self.model(xs[j])
+            losses.append(self.loss_fn(out, ys[j]))
+            grad = self.loss_fn.backward()
+            # exact minibatch-mean weighting even for ragged microbatches
+            grad = grad * (len(xs[j]) * n / total)
+            if self.recompute_segment is not None and not sync:
+                self._load_recompute_weights(j)
+                self.model(xs[j])  # regenerate caches at recompute weights
+            self._load_backward_weights(j, sync)
+            self.model.backward(grad)
+        self.store.load_latest()
+
+        for p in self.model.parameters():
+            p.grad *= 1.0 / n
+        if self.grad_clip is not None:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+
+        if self.base_schedule is not None:
+            self.optimizer.lr = self.base_schedule(self.t)
+        if self.reschedule is not None and not sync:
+            self.reschedule.apply(self.optimizer, self.t)
+        else:
+            for group in self.optimizer.groups:
+                group.lr_scale = 1.0
+
+        old_weights = [s.current() for s in self.stages] if self.corrector else None
+        self.optimizer.step()
+        self.store.push_current()
+        if self.corrector is not None and old_weights is not None:
+            self.corrector.update_all(old_weights)
+        self.t += 1
+        return float(np.mean(losses))
+
+    # -- accounting --------------------------------------------------------------
+    def step_time(self) -> float:
+        """Relative hardware time of the step just configured: 1.0 for the
+        bubble-free methods, ``1/0.3`` for synchronous (GPipe-style) steps —
+        the Appendix A.3 model used for time-to-accuracy."""
+        from repro.pipeline import costmodel
+
+        if self._is_sync_step():
+            return 1.0 / costmodel.optimal_gpipe_throughput()[0]
+        return 1.0
+
+    def extra_memory_elements(self) -> int:
+        """Extra persistent memory the method needs beyond one weight copy
+        (PipeDream's stash is accounted analytically in the cost model; here
+        we report the simulator-resident T2 buffer)."""
+        return self.corrector.memory_elements() if self.corrector else 0
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything mutable beyond the model itself: the minibatch
+        counter, the per-stage weight-version window (delayed reads resume
+        exactly), and the T2 velocity buffers.  The optimizer is checkpointed
+        separately (:meth:`repro.optim.Optimizer.state_dict`)."""
+        state = {"t": self.t, "store": self.store.state_dict()}
+        if self.corrector is not None:
+            state["corrector"] = self.corrector.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.  The executor must have been
+        built with the same model partition and PipeMare configuration."""
+        if ("corrector" in state) != (self.corrector is not None):
+            raise ValueError(
+                "checkpoint and executor disagree on T2 discrepancy "
+                "correction (one has a corrector, the other does not)"
+            )
+        self.t = int(state["t"])
+        self.store.load_state_dict(state["store"])
+        if self.corrector is not None:
+            self.corrector.load_state_dict(state["corrector"])

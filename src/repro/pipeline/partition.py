@@ -1,0 +1,99 @@
+"""Partition model weights into pipeline stages.
+
+The paper's rule (§4.1): "we traverse model weights according to their
+topological order in the computation graph, always treating the weight and
+bias in the same layer as a single model weight ... we divide these model
+weights evenly into P stages."
+
+Our Module framework registers parameters in topological order, and a
+layer's weight+bias share the module prefix of their parameter names, so a
+*unit* is the group of parameters sharing a module prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a contiguous group of parameters."""
+
+    index: int
+    params: list[Parameter]
+    names: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(p.size for p in self.params)
+
+    def snapshot(self) -> list[np.ndarray]:
+        """Copies of the stage's current weights."""
+        return [p.data.copy() for p in self.params]
+
+    def load(self, weights: list[np.ndarray]) -> None:
+        """Point the stage's parameters at ``weights`` (no copy — safe
+        because optimizers rebind ``p.data`` instead of mutating it)."""
+        for p, w in zip(self.params, weights):
+            p.data = w
+
+    def current(self) -> list[np.ndarray]:
+        return [p.data for p in self.params]
+
+
+def _units_of(model: Module) -> list[tuple[str, list[tuple[str, Parameter]]]]:
+    """Group named parameters by module prefix (weight+bias stay together)."""
+    units: list[tuple[str, list[tuple[str, Parameter]]]] = []
+    by_prefix: dict[str, list[tuple[str, Parameter]]] = {}
+    for name, p in model.named_parameters():
+        prefix = name.rsplit(".", 1)[0] if "." in name else name
+        if prefix not in by_prefix:
+            by_prefix[prefix] = []
+            units.append((prefix, by_prefix[prefix]))
+        by_prefix[prefix].append((name, p))
+    return units
+
+
+def num_weight_units(model: Module) -> int:
+    """Number of weight units — the maximum fine-grained stage count
+    ("the largest number of stages with at least one model weight assigned
+    to each pipeline stage", §4.1)."""
+    return len(_units_of(model))
+
+
+def partition_units(
+    units: list[tuple[str, list[tuple[str, Parameter]]]], num_stages: int
+) -> list[Stage]:
+    """Split an ordered unit list into ``num_stages`` contiguous stages,
+    as evenly as possible (numpy array_split semantics)."""
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if num_stages > len(units):
+        raise ValueError(
+            f"cannot make {num_stages} stages from {len(units)} weight units "
+            "(each stage needs at least one unit)"
+        )
+    boundaries = np.array_split(np.arange(len(units)), num_stages)
+    stages = []
+    for idx, unit_ids in enumerate(boundaries):
+        params: list[Parameter] = []
+        names: list[str] = []
+        for uid in unit_ids:
+            for name, p in units[uid][1]:
+                params.append(p)
+                names.append(name)
+        stages.append(Stage(index=idx, params=params, names=names))
+    return stages
+
+
+def partition_model(model: Module, num_stages: int | None = None) -> list[Stage]:
+    """Partition ``model`` into stages.  ``num_stages=None`` uses the finest
+    granularity (one unit per stage)."""
+    units = _units_of(model)
+    if num_stages is None:
+        num_stages = len(units)
+    return partition_units(units, num_stages)

@@ -1,0 +1,146 @@
+"""PipeMare Recompute — segment-level activation recomputation
+(Appendix A.2 memory model, Appendix D delay model).
+
+Stages are grouped into segments of S stages; each segment caches only its
+input activations and recomputes the rest just-in-time for backward,
+overlapped with normal pipeline work.  Memory drops from ``O(M·P²)`` to
+``O(M·P^{3/2})`` at the optimal ``S = √P`` (eq. 10); GPipe's optimum is
+``S = √N`` giving ``O(M·P·√N)`` (eq. 11, Table 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.delays import Method
+
+
+def segment_heads(num_stages: int, segment_size: int) -> list[int]:
+    """0-indexed first stage of each segment."""
+    _check(num_stages, segment_size)
+    return list(range(0, num_stages, segment_size))
+
+
+def _check(num_stages: int, segment_size: int) -> None:
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if not 1 <= segment_size <= num_stages:
+        raise ValueError(
+            f"segment_size must be in [1, {num_stages}], got {segment_size}"
+        )
+
+
+def per_stage_activation_counts(
+    num_stages: int,
+    segment_size: int | None = None,
+    num_microbatches: int | None = None,
+    method: Method | str = Method.PIPEMARE,
+) -> np.ndarray:
+    """Number of cached microbatch activations per stage — the Figure 6
+    bars (16 stages / 4 segments in the paper's example).
+
+    Without recompute (``segment_size=None``) stage i caches one activation
+    per microbatch in flight between its forward and backward:
+    ``2(P−i)+1`` (1-indexed i).
+
+    With recompute, the head of the segment starting at stage h caches its
+    input for every in-flight microbatch (``2(P−h)+1``, or ``N`` for GPipe
+    which drains at minibatch boundaries), and the j-th stage inside the
+    segment holds ``2(S−j)−1`` recomputed activations (recompute of stage j
+    starts ``2(S−j)`` slots before its gradient arrives).
+    """
+    method = Method(method)
+    p = num_stages
+    if segment_size is None:
+        return np.array([2 * (p - i) + 1 for i in range(1, p + 1)], dtype=float)
+    _check(p, segment_size)
+    s = segment_size
+    counts = np.zeros(p)
+    for h in segment_heads(p, s):
+        seg = range(h, min(h + s, p))
+        seg_len = len(seg)
+        for j, stage in enumerate(seg):
+            counts[stage] = 2 * (seg_len - j) - 1
+        if method is Method.GPIPE:
+            if num_microbatches is None:
+                raise ValueError("GPipe recompute accounting needs num_microbatches")
+            counts[h] += num_microbatches
+        else:
+            counts[h] += 2 * (p - (h + 1)) + 1
+    return counts
+
+
+def total_activation_memory(
+    num_stages: int,
+    activation_per_microbatch: float = 1.0,
+    segment_size: int | None = None,
+    num_microbatches: int | None = None,
+    method: Method | str = Method.PIPEMARE,
+) -> float:
+    """Total activation memory in units of one microbatch-activation ``M``.
+
+    GPipe without recompute caches every layer for the whole minibatch:
+    ``M·N·P`` (Table 4, P=L).  All other cases sum the per-stage counts.
+    """
+    method = Method(method)
+    if method is Method.GPIPE and segment_size is None:
+        if num_microbatches is None:
+            raise ValueError("GPipe accounting needs num_microbatches")
+        return activation_per_microbatch * num_microbatches * num_stages
+    counts = per_stage_activation_counts(
+        num_stages, segment_size, num_microbatches, method
+    )
+    return activation_per_microbatch * float(counts.sum())
+
+
+def optimal_segment_size(num_stages: int, method: Method | str = Method.PIPEMARE,
+                         num_microbatches: int | None = None) -> int:
+    """``S = √P`` for PipeMare/PipeDream (eq. 10); ``S = √N`` for GPipe
+    (eq. 11), rounded to the nearest feasible integer."""
+    method = Method(method)
+    if method is Method.GPIPE:
+        if num_microbatches is None:
+            raise ValueError("GPipe optimum needs num_microbatches")
+        s = int(round(np.sqrt(num_microbatches)))
+    else:
+        s = int(round(np.sqrt(num_stages)))
+    return min(max(1, s), num_stages)
+
+
+def recompute_savings_ratio(num_stages: int) -> float:
+    """Asymptotic Table 5 ratio ``M·P^{3/2} / M·P² = 1/√P`` — the paper
+    reports 0.097 / 0.104 / 0.105 for P = 107 / 93 / 91."""
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    return 1.0 / np.sqrt(num_stages)
+
+
+def table4_asymptotics(num_stages: int, num_microbatches: int) -> dict[str, float]:
+    """Table 4's four asymptotic activation-memory entries, in units of
+    ``M`` and assuming P = L."""
+    p, n = num_stages, num_microbatches
+    return {
+        "gpipe": p * n,
+        "gpipe_recompute": p * np.sqrt(n),
+        "pipemare": p**2,
+        "pipemare_recompute": p**1.5,
+    }
+
+
+def recompute_delay_slots(num_stages: int, segment_size: int) -> np.ndarray:
+    """Microbatch-slot lag between the *recompute* read of stage i's weights
+    and its backward: stage j (0-indexed) inside a segment recomputes
+    ``2(S−j)`` slots before its gradient arrives, so its recompute weights
+    are ``2(S−j)`` slots older than its backward weights.
+
+    Segment heads use their originally cached input, so their activations
+    carry the full forward delay (handled separately by the executor).
+    """
+    _check(num_stages, segment_size)
+    lags = np.zeros(num_stages, dtype=int)
+    for h in segment_heads(num_stages, segment_size):
+        seg = range(h, min(h + segment_size, num_stages))
+        seg_len = len(seg)
+        for j, stage in enumerate(seg):
+            lags[stage] = 2 * (seg_len - j)
+    return lags

@@ -1,0 +1,92 @@
+"""Per-stage weight version queues — the paper's simulator state
+("We maintain a queue of weights for each individual pipeline stage",
+Appendix C.4).
+
+Stored versions are *references* to the arrays the parameters pointed at
+when the version was pushed.  This is safe because optimizers in this
+library always rebind ``Parameter.data`` to a fresh array rather than
+updating in place; the invariant is asserted at push time in debug mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.partition import Stage
+from repro.utils.ring_buffer import RingBuffer
+
+
+class WeightVersionStore:
+    """Holds the last ``history`` versions of every stage's weights.
+
+    Version 0 is pushed at construction (the initial weights); version t+1
+    must be pushed right after the t-th optimizer step.
+    """
+
+    def __init__(self, stages: list[Stage], history: int):
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages = stages
+        self._buffers = [RingBuffer(history) for _ in stages]
+        for stage, buf in zip(stages, self._buffers):
+            buf.append(stage.current())
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def latest_version(self) -> int:
+        return self._buffers[0].latest_version
+
+    def push_current(self) -> int:
+        """Record the stages' current weights as the next version."""
+        version = -1
+        for stage, buf in zip(self.stages, self._buffers):
+            version = buf.append(stage.current())
+        return version
+
+    def weights(self, stage: int, version: int) -> list[np.ndarray]:
+        return self._buffers[stage][version]
+
+    def load(self, stage: int, version: int) -> None:
+        """Point stage parameters at the stored version."""
+        self.stages[stage].load(self._buffers[stage][version])
+
+    def load_latest(self, stage: int | None = None) -> None:
+        if stage is None:
+            for s in range(self.num_stages):
+                self.load(s, self._buffers[s].latest_version)
+        else:
+            self.load(stage, self._buffers[stage].latest_version)
+
+    def resident_versions(self, stage: int) -> list[int]:
+        return list(self._buffers[stage].versions())
+
+    def state_dict(self) -> dict:
+        """Copies of every resident version of every stage, plus the version
+        window — everything needed to resume delayed reads exactly."""
+        return {
+            "oldest_version": self._buffers[0].oldest_version,
+            "payloads": [
+                [
+                    [w.copy() for w in buf[v]]
+                    for v in buf.versions()
+                ]
+                for buf in self._buffers
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the version window and point every stage at its latest
+        restored weights."""
+        payloads = state["payloads"]
+        if len(payloads) != len(self._buffers):
+            raise ValueError(
+                f"checkpoint has {len(payloads)} stages, store has "
+                f"{len(self._buffers)}"
+            )
+        start = int(state["oldest_version"])
+        for buf, versions in zip(self._buffers, payloads):
+            buf.seed(start, [[np.asarray(w) for w in v] for v in versions])
+        self.load_latest()

@@ -1,0 +1,77 @@
+"""Stability theory for fixed-delay asynchronous SGD on quadratics.
+
+Implements the analytical machinery of §3 and Appendices B/D:
+
+* characteristic polynomials of the update recurrences (eqs. 4, 6, 13/14,
+  the T2-corrected polynomial of App. B.5, and the recompute polynomial of
+  App. D.1);
+* companion matrices and spectral-radius stability tests;
+* the closed-form thresholds of Lemmas 1–3 and the γ/D rules of T2;
+* direct trajectory simulators for the 1-D quadratic model (Figures 3a, 5a)
+  and delayed least squares (Figure 3b).
+"""
+
+from repro.theory.polynomials import (
+    char_poly_delayed_sgd,
+    char_poly_discrepancy,
+    char_poly_momentum,
+    char_poly_recompute,
+    char_poly_t2,
+    poly_add,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+)
+from repro.theory.companion import companion_matrix, companion_from_poly
+from repro.theory.stability import (
+    double_root_alpha,
+    is_stable,
+    lemma1_alpha_max,
+    lemma1_crossing_family,
+    lemma2_alpha_bound,
+    lemma3_alpha_bound,
+    max_stable_alpha,
+    spectral_radius,
+    t2_decay_from_gamma,
+    t2_gamma,
+)
+from repro.theory.quadratic import (
+    QuadraticTrajectory,
+    simulate_delayed_least_squares,
+    simulate_delayed_sgd,
+    simulate_discrepancy_sgd,
+    simulate_momentum_sgd,
+    simulate_recompute_sgd,
+    simulate_t2_sgd,
+)
+
+__all__ = [
+    "char_poly_delayed_sgd",
+    "char_poly_discrepancy",
+    "char_poly_momentum",
+    "char_poly_recompute",
+    "char_poly_t2",
+    "poly_add",
+    "poly_eval",
+    "poly_mul",
+    "poly_scale",
+    "companion_matrix",
+    "companion_from_poly",
+    "spectral_radius",
+    "is_stable",
+    "max_stable_alpha",
+    "lemma1_alpha_max",
+    "lemma1_crossing_family",
+    "lemma2_alpha_bound",
+    "lemma3_alpha_bound",
+    "double_root_alpha",
+    "t2_gamma",
+    "t2_decay_from_gamma",
+    "QuadraticTrajectory",
+    "simulate_delayed_sgd",
+    "simulate_discrepancy_sgd",
+    "simulate_momentum_sgd",
+    "simulate_t2_sgd",
+    "simulate_recompute_sgd",
+    "simulate_delayed_least_squares",
+]

@@ -1,0 +1,44 @@
+"""Companion-matrix construction (§3.1, eq. 3).
+
+The delayed-SGD recurrence is a linear system ``W_{t+1} = C W_t + α η_t e_1``
+whose convergence is governed by the eigenvalues of ``C``; those eigenvalues
+are exactly the roots of the characteristic polynomial, which the tests
+verify numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def companion_from_poly(coeffs: np.ndarray) -> np.ndarray:
+    """Companion matrix of a (monic, possibly after normalisation) polynomial
+    given highest-degree-first coefficients."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    if len(coeffs) < 2:
+        raise ValueError("polynomial must have degree >= 1")
+    if coeffs[0] == 0:
+        raise ValueError("leading coefficient must be nonzero")
+    monic = coeffs / coeffs[0]
+    n = len(monic) - 1
+    c = np.zeros((n, n))
+    c[0, :] = -monic[1:]
+    if n > 1:
+        c[1:, :-1] = np.eye(n - 1)
+    return c
+
+
+def companion_matrix(tau: int, alpha: float, lam: float) -> np.ndarray:
+    """The explicit ``(τ+1)×(τ+1)`` companion matrix of eq. (3):
+
+    first row ``[1, 0, ..., 0, −αλ]``, subdiagonal identity.
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    n = tau + 1
+    c = np.zeros((n, n))
+    c[0, 0] = 1.0
+    c[0, -1] = -alpha * lam
+    if n > 1:
+        c[1:, :-1] = np.eye(n - 1)
+    return c

@@ -1,0 +1,168 @@
+"""Characteristic polynomials of delayed-SGD recurrences on the quadratic
+model ``f(w) = (λ/2) w²``.
+
+Polynomials are numpy coefficient arrays, highest degree first (the
+``np.roots`` convention).  The recurrence is stable iff all roots lie
+strictly inside the unit disk (§3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def poly_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Product of two coefficient arrays."""
+    return np.convolve(np.asarray(a, dtype=float), np.asarray(b, dtype=float))
+
+
+def poly_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sum of two coefficient arrays of possibly different degree."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if len(a) < len(b):
+        a, b = b, a
+    out = a.copy()
+    out[len(a) - len(b):] += b
+    return out
+
+
+def poly_scale(a: np.ndarray, c: float) -> np.ndarray:
+    return np.asarray(a, dtype=float) * c
+
+
+def poly_eval(a: np.ndarray, x: complex) -> complex:
+    """Horner evaluation (works for complex x)."""
+    out: complex = 0.0
+    for coef in np.asarray(a, dtype=float):
+        out = out * x + coef
+    return out
+
+
+def monomial(k: int) -> np.ndarray:
+    """``ω^k`` as a coefficient array."""
+    if k < 0:
+        raise ValueError(f"degree must be non-negative, got {k}")
+    out = np.zeros(k + 1)
+    out[0] = 1.0
+    return out
+
+
+def _check_common(alpha: float, lam: float) -> None:
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+
+
+def char_poly_delayed_sgd(tau: int, alpha: float, lam: float) -> np.ndarray:
+    """Eq. (4): ``p(ω) = ω^{τ+1} − ω^τ + αλ`` for
+    ``w_{t+1} = w_t − αλ w_{t−τ}``."""
+    _check_common(alpha, lam)
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    p = poly_add(monomial(tau + 1), poly_scale(monomial(tau), -1.0))
+    return poly_add(p, np.array([alpha * lam]))
+
+
+def char_poly_momentum(tau: int, alpha: float, lam: float, beta: float) -> np.ndarray:
+    """Eq. (13)/(14): ``ω^{τ+1} − (1+β)ω^τ + βω^{τ−1} + αλ`` for heavy-ball
+    momentum under fixed delay τ ≥ 1."""
+    _check_common(alpha, lam)
+    if tau < 1:
+        raise ValueError(f"momentum polynomial requires tau >= 1, got {tau}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    p = poly_add(monomial(tau + 1), poly_scale(monomial(tau), -(1.0 + beta)))
+    p = poly_add(p, poly_scale(monomial(tau - 1), beta))
+    return poly_add(p, np.array([alpha * lam]))
+
+
+def char_poly_discrepancy(
+    tau_fwd: int, tau_bkwd: int, alpha: float, lam: float, delta: float
+) -> np.ndarray:
+    """Eq. (6): ``ω^{τf}(ω−1) − αΔ ω^{τf−τb} + α(λ+Δ)`` for the
+    delay-discrepancy gradient model of §3.2."""
+    _check_common(alpha, lam)
+    if not 0 <= tau_bkwd <= tau_fwd:
+        raise ValueError(f"need 0 <= tau_bkwd <= tau_fwd, got ({tau_fwd}, {tau_bkwd})")
+    p = poly_mul(monomial(tau_fwd), np.array([1.0, -1.0]))
+    p = poly_add(p, poly_scale(monomial(tau_fwd - tau_bkwd), -alpha * delta))
+    return poly_add(p, np.array([alpha * (lam + delta)]))
+
+
+def char_poly_t2(
+    tau_fwd: int,
+    tau_bkwd: int,
+    alpha: float,
+    lam: float,
+    delta: float,
+    gamma: float,
+) -> np.ndarray:
+    """Appendix B.5 polynomial of the T2-corrected system:
+
+    ``(ω−1)(ω−γ)ω^{τf} + α(λ+Δ)(ω−γ) − αΔ ω^{τf−τb}(ω−γ)
+      + αΔ ω^{τf−τb}(τf−τb)(1−γ)(ω−1)``.
+    """
+    _check_common(alpha, lam)
+    if not 0 <= tau_bkwd <= tau_fwd:
+        raise ValueError(f"need 0 <= tau_bkwd <= tau_fwd, got ({tau_fwd}, {tau_bkwd})")
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+    w_minus_1 = np.array([1.0, -1.0])
+    w_minus_g = np.array([1.0, -gamma])
+    dtau = tau_fwd - tau_bkwd
+    p = poly_mul(poly_mul(w_minus_1, w_minus_g), monomial(tau_fwd))
+    p = poly_add(p, poly_scale(w_minus_g, alpha * (lam + delta)))
+    p = poly_add(p, poly_scale(poly_mul(monomial(dtau), w_minus_g), -alpha * delta))
+    correction = poly_scale(
+        poly_mul(monomial(dtau), w_minus_1), alpha * delta * dtau * (1.0 - gamma)
+    )
+    return poly_add(p, correction)
+
+
+def char_poly_recompute(
+    tau_fwd: int,
+    tau_recomp: int,
+    tau_bkwd: int,
+    alpha: float,
+    lam: float,
+    delta: float,
+    phi: float,
+    gamma: float,
+) -> np.ndarray:
+    """Appendix D.1 polynomial for recompute with T2 correction:
+
+    ``(ω−1)(ω−γ)ω^{τf} + α(λ+Δ)(ω−γ)
+      − α(Δ−Φ)ω^{τf−τb}(ω−γ) + α(Δ−Φ)ω^{τf−τb}(τf−τb)(1−γ)(ω−1)
+      − αΦ ω^{τf−τr}(ω−γ)     + αΦ ω^{τf−τr}(τf−τr)(1−γ)(ω−1)``.
+
+    With ``Φ = 0`` this reduces exactly to :func:`char_poly_t2`.
+    """
+    _check_common(alpha, lam)
+    if not 0 <= tau_bkwd <= tau_recomp <= tau_fwd:
+        raise ValueError(
+            f"need tau_bkwd <= tau_recomp <= tau_fwd, got "
+            f"({tau_fwd}, {tau_recomp}, {tau_bkwd})"
+        )
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+    w_minus_1 = np.array([1.0, -1.0])
+    w_minus_g = np.array([1.0, -gamma])
+    d_b = tau_fwd - tau_bkwd
+    d_r = tau_fwd - tau_recomp
+    p = poly_mul(poly_mul(w_minus_1, w_minus_g), monomial(tau_fwd))
+    p = poly_add(p, poly_scale(w_minus_g, alpha * (lam + delta)))
+    p = poly_add(p, poly_scale(poly_mul(monomial(d_b), w_minus_g), -alpha * (delta - phi)))
+    p = poly_add(
+        p,
+        poly_scale(
+            poly_mul(monomial(d_b), w_minus_1), alpha * (delta - phi) * d_b * (1.0 - gamma)
+        ),
+    )
+    p = poly_add(p, poly_scale(poly_mul(monomial(d_r), w_minus_g), -alpha * phi))
+    p = poly_add(
+        p,
+        poly_scale(poly_mul(monomial(d_r), w_minus_1), alpha * phi * d_r * (1.0 - gamma)),
+    )
+    return p

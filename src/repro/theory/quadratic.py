@@ -1,0 +1,257 @@
+"""Direct trajectory simulation of delayed SGD on the quadratic model
+``f(w) = (λ/2) w²`` and on delayed least squares.
+
+These generate the raw series behind Figures 3(a), 5(a) and the Figure 3(b)
+heatmap.  Trajectories that overflow are truncated and flagged as diverged
+(the heatmap paints those cells "∞").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# A trajectory exceeding this is unambiguously diverging; kept modest so
+# short simulations flag instability well before float overflow.
+_DIVERGE_CAP = 1e30
+
+
+@dataclass
+class QuadraticTrajectory:
+    """Result of a 1-D quadratic simulation."""
+
+    losses: np.ndarray
+    iterates: np.ndarray
+    diverged: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def final_loss(self) -> float:
+        return float(self.losses[-1])
+
+
+def _run_scalar_recurrence(step_fn, w0: float, tau_max: int, steps: int, lam: float):
+    """Drive a scalar recurrence with history buffer; returns a trajectory.
+
+    ``step_fn(t, history) -> w_{t+1}`` where ``history[k] = w_{t-k}`` for
+    ``k = 0..tau_max``.
+    """
+    history = np.full(tau_max + 1, float(w0))
+    iterates = np.empty(steps + 1)
+    iterates[0] = w0
+    diverged = False
+    for t in range(steps):
+        w_next = step_fn(t, history)
+        if not np.isfinite(w_next) or abs(w_next) > _DIVERGE_CAP:
+            diverged = True
+            iterates[t + 1:] = np.sign(w_next) * _DIVERGE_CAP if np.isfinite(w_next) else _DIVERGE_CAP
+            break
+        history = np.roll(history, 1)
+        history[0] = w_next
+        iterates[t + 1] = w_next
+    losses = 0.5 * lam * np.minimum(np.abs(iterates), _DIVERGE_CAP) ** 2
+    return QuadraticTrajectory(losses=losses, iterates=iterates, diverged=diverged)
+
+
+def simulate_delayed_sgd(
+    lam: float,
+    alpha: float,
+    tau: int,
+    steps: int,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+    w0: float = 0.0,
+) -> QuadraticTrajectory:
+    """Eq. (2): ``w_{t+1} = w_t − αλ w_{t−τ} + α η_t`` (Figure 3a)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = rng.normal(0.0, noise_std, size=steps) if noise_std > 0 else np.zeros(steps)
+
+    def step(t, h):
+        return h[0] - alpha * lam * h[tau] + alpha * noise[t]
+
+    traj = _run_scalar_recurrence(step, w0, tau, steps, lam)
+    traj.meta.update(alpha=alpha, tau=tau, lam=lam)
+    return traj
+
+
+def simulate_momentum_sgd(
+    lam: float,
+    alpha: float,
+    tau: int,
+    beta: float,
+    steps: int,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+    w0: float = 0.0,
+) -> QuadraticTrajectory:
+    """App. B.3: ``w_{t+1} − w_t = β(w_t − w_{t−1}) − αλ w_{t−τ} + αη_t``."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = rng.normal(0.0, noise_std, size=steps) if noise_std > 0 else np.zeros(steps)
+    tau_max = max(tau, 1)
+
+    def step(t, h):
+        return h[0] + beta * (h[0] - h[1]) - alpha * lam * h[tau] + alpha * noise[t]
+
+    traj = _run_scalar_recurrence(step, w0, tau_max, steps, lam)
+    traj.meta.update(alpha=alpha, tau=tau, beta=beta, lam=lam)
+    return traj
+
+
+def simulate_discrepancy_sgd(
+    lam: float,
+    alpha: float,
+    tau_fwd: int,
+    tau_bkwd: int,
+    delta: float,
+    steps: int,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+    w0: float = 0.0,
+) -> QuadraticTrajectory:
+    """§3.2 model: ``w_{t+1} = w_t − α(λ+Δ)w_{t−τf} + αΔ w_{t−τb} + αη_t``
+    (Figure 5a)."""
+    if not 0 <= tau_bkwd <= tau_fwd:
+        raise ValueError("need 0 <= tau_bkwd <= tau_fwd")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = rng.normal(0.0, noise_std, size=steps) if noise_std > 0 else np.zeros(steps)
+
+    def step(t, h):
+        return (
+            h[0]
+            - alpha * (lam + delta) * h[tau_fwd]
+            + alpha * delta * h[tau_bkwd]
+            + alpha * noise[t]
+        )
+
+    traj = _run_scalar_recurrence(step, w0, tau_fwd, steps, lam)
+    traj.meta.update(alpha=alpha, tau_fwd=tau_fwd, tau_bkwd=tau_bkwd, delta=delta)
+    return traj
+
+
+def simulate_t2_sgd(
+    lam: float,
+    alpha: float,
+    tau_fwd: int,
+    tau_bkwd: int,
+    delta: float,
+    gamma: float,
+    steps: int,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+    w0: float = 0.0,
+) -> QuadraticTrajectory:
+    """§3.2 T2-corrected dynamics: the backward weight is extrapolated by the
+    velocity EWMA, ``u_b = w_{t−τb} − (τf−τb)·δ_t``, with
+    ``δ_{t+1} = γδ_t + (1−γ)(w_{t+1} − w_t)``."""
+    if not 0 <= tau_bkwd <= tau_fwd:
+        raise ValueError("need 0 <= tau_bkwd <= tau_fwd")
+    if not 0.0 <= gamma < 1.0:
+        raise ValueError(f"gamma must be in [0, 1), got {gamma}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = rng.normal(0.0, noise_std, size=steps) if noise_std > 0 else np.zeros(steps)
+    dtau = tau_fwd - tau_bkwd
+    state = {"delta_acc": 0.0}
+
+    def step(t, h):
+        u_bkwd = h[tau_bkwd] - dtau * state["delta_acc"]
+        grad = (lam + delta) * h[tau_fwd] - delta * u_bkwd - noise[t]
+        w_next = h[0] - alpha * grad
+        state["delta_acc"] = gamma * state["delta_acc"] + (1.0 - gamma) * (w_next - h[0])
+        return w_next
+
+    traj = _run_scalar_recurrence(step, w0, tau_fwd, steps, lam)
+    traj.meta.update(alpha=alpha, tau_fwd=tau_fwd, tau_bkwd=tau_bkwd, delta=delta, gamma=gamma)
+    return traj
+
+
+def simulate_recompute_sgd(
+    lam: float,
+    alpha: float,
+    tau_fwd: int,
+    tau_recomp: int,
+    tau_bkwd: int,
+    delta: float,
+    phi: float,
+    steps: int,
+    gamma: float | None = None,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+    w0: float = 0.0,
+) -> QuadraticTrajectory:
+    """App. D.1 three-delay model
+    ``∇f = (λ+Δ)w_{t−τf} − (Δ−Φ)u_b − Φ u_r − η`` with optional T2
+    correction applied to both the backward and recompute weights."""
+    if not 0 <= tau_bkwd <= tau_recomp <= tau_fwd:
+        raise ValueError("need tau_bkwd <= tau_recomp <= tau_fwd")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    noise = rng.normal(0.0, noise_std, size=steps) if noise_std > 0 else np.zeros(steps)
+    state = {"delta_acc": 0.0}
+    corrected = gamma is not None
+    g = gamma if corrected else 0.0
+
+    def step(t, h):
+        if corrected:
+            u_b = h[tau_bkwd] - (tau_fwd - tau_bkwd) * state["delta_acc"]
+            u_r = h[tau_recomp] - (tau_fwd - tau_recomp) * state["delta_acc"]
+        else:
+            u_b = h[tau_bkwd]
+            u_r = h[tau_recomp]
+        grad = (lam + delta) * h[tau_fwd] - (delta - phi) * u_b - phi * u_r - noise[t]
+        w_next = h[0] - alpha * grad
+        if corrected:
+            state["delta_acc"] = g * state["delta_acc"] + (1.0 - g) * (w_next - h[0])
+        return w_next
+
+    traj = _run_scalar_recurrence(step, w0, tau_fwd, steps, lam)
+    traj.meta.update(
+        alpha=alpha, tau_fwd=tau_fwd, tau_recomp=tau_recomp, tau_bkwd=tau_bkwd,
+        delta=delta, phi=phi, gamma=gamma,
+    )
+    return traj
+
+
+def simulate_delayed_least_squares(
+    x: np.ndarray,
+    y: np.ndarray,
+    alpha: float,
+    tau: int,
+    steps: int,
+    batch_size: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, bool]:
+    """Pipeline-parallel SGD (uniform delay τ on every weight) on
+    ``min_w mean((Xw − y)²)`` — the Figure 3(b) workload.
+
+    Returns ``(losses, diverged)`` where losses are full-objective values
+    sampled every ``max(1, steps // 512)`` iterations.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n, d = x.shape
+    history = np.zeros((tau + 1, d))
+    stride = max(1, steps // 512)
+    losses = []
+    diverged = False
+    for t in range(steps):
+        w_delayed = history[tau]  # slots beyond t hold the initial point
+        if batch_size is not None and batch_size < n:
+            idx = rng.integers(0, n, size=batch_size)
+            xb, yb = x[idx], y[idx]
+        else:
+            xb, yb = x, y
+        grad = 2.0 * xb.T @ (xb @ w_delayed - yb) / xb.shape[0]
+        w_next = history[0] - alpha * grad
+        if not np.all(np.isfinite(w_next)) or np.abs(w_next).max() > _DIVERGE_CAP:
+            diverged = True
+            break
+        history = np.roll(history, 1, axis=0)
+        history[0] = w_next
+        if t % stride == 0:
+            residual = x @ w_next - y
+            losses.append(float(np.mean(residual**2)))
+    if not losses:
+        losses = [float("inf")]
+    out = np.asarray(losses)
+    if diverged:
+        out = np.append(out, np.inf)
+    return out, diverged

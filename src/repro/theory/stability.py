@@ -1,0 +1,152 @@
+"""Stability tests and the closed-form thresholds of Lemmas 1–3.
+
+A linear recurrence with characteristic polynomial ``p`` is stable iff every
+root of ``p`` lies strictly inside the unit disk.  :func:`max_stable_alpha`
+finds the largest stable step size for any polynomial family numerically,
+which the benchmarks compare against the lemma bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def spectral_radius(coeffs: np.ndarray) -> float:
+    """Largest root magnitude of the polynomial."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    # strip exact leading zeros so np.roots sees the true degree
+    nz = np.flatnonzero(coeffs)
+    if nz.size == 0:
+        raise ValueError("zero polynomial has no spectral radius")
+    coeffs = coeffs[nz[0]:]
+    if len(coeffs) == 1:
+        return 0.0
+    return float(np.abs(np.roots(coeffs)).max())
+
+
+def is_stable(coeffs: np.ndarray, tol: float = 1e-9) -> bool:
+    """True iff all roots are strictly inside the unit disk (with tolerance)."""
+    return spectral_radius(coeffs) < 1.0 - tol
+
+
+def max_stable_alpha(
+    poly_of_alpha: Callable[[float], np.ndarray],
+    alpha_lo: float = 1e-8,
+    alpha_hi: float = 16.0,
+    tol: float = 1e-6,
+    max_iters: int = 200,
+) -> float:
+    """Largest α for which ``poly_of_alpha(α)`` is stable, via bisection.
+
+    Assumes the system is stable at ``alpha_lo`` (raises otherwise) and
+    scans geometrically for an unstable upper bracket before bisecting.
+    Returns ``alpha_hi`` if no instability is found below it.
+    """
+    if not is_stable(poly_of_alpha(alpha_lo), tol=0.0):
+        raise ValueError(f"system already unstable at alpha_lo={alpha_lo}")
+    lo = alpha_lo
+    hi = alpha_lo
+    while hi < alpha_hi:
+        hi = min(hi * 2.0, alpha_hi)
+        if not is_stable(poly_of_alpha(hi), tol=0.0):
+            break
+        lo = hi
+    else:
+        return alpha_hi
+    if is_stable(poly_of_alpha(hi), tol=0.0):
+        return alpha_hi
+    for _ in range(max_iters):
+        mid = 0.5 * (lo + hi)
+        if is_stable(poly_of_alpha(mid), tol=0.0):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * max(1.0, lo):
+            break
+    return lo
+
+
+# -- closed forms ----------------------------------------------------------
+
+def lemma1_alpha_max(tau: float, lam: float) -> float:
+    """Lemma 1: delayed SGD is stable iff
+    ``0 ≤ α ≤ (2/λ)·sin(π/(4τ+2)) = O(1/(λτ))``."""
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    if tau < 0:
+        raise ValueError(f"tau must be non-negative, got {tau}")
+    return (2.0 / lam) * np.sin(np.pi / (4.0 * tau + 2.0))
+
+
+def lemma2_alpha_bound(tau_fwd: float, tau_bkwd: float, lam: float, delta: float) -> float:
+    """Lemma 2 upper envelope: some α below
+    ``min(2/(Δ(τf−τb)), (2/λ)sin(π/(4τf+2)))`` is already unstable."""
+    if delta <= 0:
+        raise ValueError(f"lemma 2 is stated for delta > 0, got {delta}")
+    if tau_bkwd >= tau_fwd:
+        raise ValueError("lemma 2 requires tau_fwd > tau_bkwd")
+    return min(2.0 / (delta * (tau_fwd - tau_bkwd)), lemma1_alpha_max(tau_fwd, lam))
+
+
+def lemma3_alpha_bound(tau: float, lam: float) -> float:
+    """Lemma 3: for any momentum β ∈ (0, 1] some α ≤ (4/λ)sin(π/(4τ+2))
+    is unstable — momentum cannot escape the O(1/τ) threshold."""
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    return (4.0 / lam) * np.sin(np.pi / (4.0 * tau + 2.0))
+
+
+def double_root_alpha(tau: int, lam: float) -> float:
+    """Lemma 1's isolated double-root location:
+    ``α = 1/(λ(τ+1)) · (τ/(τ+1))^τ`` with root at ``ω = τ/(τ+1)``."""
+    if tau < 1:
+        raise ValueError(f"double root requires tau >= 1, got {tau}")
+    return (1.0 / (lam * (tau + 1))) * (tau / (tau + 1)) ** tau
+
+
+def t2_gamma(tau_fwd: float, tau_bkwd: float) -> float:
+    """The Δ-cancelling decay rate ``γ = 1 − 2/(τf−τb+1)`` (App. B.5)."""
+    if tau_bkwd >= tau_fwd:
+        raise ValueError("t2_gamma requires tau_fwd > tau_bkwd")
+    return 1.0 - 2.0 / (tau_fwd - tau_bkwd + 1.0)
+
+
+def t2_decay_from_gamma(tau_fwd: float, tau_bkwd: float, gamma: float | None = None) -> float:
+    """``D = γ^{τf−τb}``; with the canonical γ this tends to e^{−2} ≈ 0.135,
+    the paper's default neighbourhood for D."""
+    if gamma is None:
+        gamma = t2_gamma(tau_fwd, tau_bkwd)
+    return float(gamma ** (tau_fwd - tau_bkwd))
+
+
+def lemma1_crossing_family(tau: int, lam: float, n: int) -> tuple[float, complex]:
+    """The n-th unit-circle root crossing from the Lemma 1 proof (App. B.2).
+
+    As α grows from 0, the τ+1 roots of ``p(ω) = ω^{τ+1} − ω^τ + αλ`` leave
+    the unit disk through the points
+
+        ``α_n = (2/λ)·sin(θ_n)``,  ``ω_n = exp(±2iθ_n)``,
+        ``θ_n = (π + 4πn)/(4τ + 2)``,
+
+    for ``n ∈ {0, 1, …, ⌊τ/2⌋}``.  ``n = 0`` gives the first (smallest-α)
+    crossing — the Lemma 1 stability threshold.  Returns ``(α_n, ω_n)`` with
+    the upper-half-plane root.
+
+    Erratum note: the proof's substitution ``ω = (1−iy)/(1+iy)`` with
+    ``Arg(1+iy) = θ_n`` gives ``Arg(ω) = −2θ_n``; the paper's in-line
+    statement "Arg(ω) = ±(π+4πn)/(4τ+2)" omits that factor of 2.  With the
+    factor restored, every family member is an *exact* unit-circle root of
+    eq. (4) (verified to machine precision in the tests); without it, none
+    are.
+    """
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    if tau < 1:
+        raise ValueError(f"crossing family requires tau >= 1, got {tau}")
+    if not 0 <= n <= tau // 2:
+        raise ValueError(f"n must be in [0, {tau // 2}] for tau={tau}, got {n}")
+    theta = (np.pi + 4.0 * np.pi * n) / (4.0 * tau + 2.0)
+    alpha = (2.0 / lam) * np.sin(theta)
+    return float(alpha), complex(np.cos(2.0 * theta), np.sin(2.0 * theta))

@@ -1,0 +1,15 @@
+"""Training loops: a plain sequential trainer (the non-pipeline baseline)
+and the epoch-level pipeline trainer wrapping
+:class:`repro.pipeline.PipelineExecutor`."""
+
+from repro.train.evaluate import evaluate_classifier, evaluate_translation
+from repro.train.trainer import SequentialTrainer
+from repro.train.pipeline_trainer import PipelineTrainer, TrainResult
+
+__all__ = [
+    "SequentialTrainer",
+    "PipelineTrainer",
+    "TrainResult",
+    "evaluate_classifier",
+    "evaluate_translation",
+]

@@ -1,0 +1,45 @@
+"""Evaluation helpers for the two task families."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.translation import TranslationTask
+from repro.metrics import corpus_bleu, top1_accuracy
+from repro.models.transformer import Transformer
+from repro.nn.module import Module
+
+
+def evaluate_classifier(
+    model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 128
+) -> float:
+    """Top-1 test accuracy (%), evaluated in eval mode."""
+    was_training = model.training
+    model.eval()
+    try:
+        logits = []
+        for start in range(0, len(x), batch_size):
+            logits.append(model(x[start : start + batch_size]))
+        return top1_accuracy(np.concatenate(logits, axis=0), y)
+    finally:
+        model.train(was_training)
+
+
+def evaluate_translation(
+    model: Transformer,
+    task: TranslationTask,
+    eval_pairs: list[tuple[np.ndarray, np.ndarray]],
+    batch_size: int = 32,
+) -> float:
+    """Corpus BLEU of greedy decodes against the exact references."""
+    candidates: list[list[int]] = []
+    references: list[list[int]] = []
+    for start in range(0, len(eval_pairs), batch_size):
+        chunk = eval_pairs[start : start + batch_size]
+        batch = task.make_batch(chunk)
+        max_len = batch.tgt_in.shape[1] + 2
+        decoded = model.greedy_decode(batch.src, max_len=max_len)
+        for row, (_, ref) in zip(decoded, chunk):
+            candidates.append(task.strip_special(row))
+            references.append([int(t) for t in ref])
+    return corpus_bleu(candidates, references)

@@ -1,0 +1,112 @@
+"""Epoch-level driver around :class:`repro.pipeline.PipelineExecutor`.
+
+Collects the paper's run-level metrics: per-epoch eval metric, parameter
+norm (the Figure 7 divergence probe), per-epoch hardware time from the
+throughput model (so T3's synchronous warmup epochs cost 1/0.3×), and the
+derived best/epochs-to-target/time-to-target numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.metrics.tracker import MetricTracker
+from repro.pipeline.executor import PipelineExecutor
+from repro.train.trainer import parameter_norm
+from repro.utils.history import History
+
+
+@dataclass
+class TrainResult:
+    """Everything the experiment harnesses need from one run."""
+
+    history: History
+    tracker: MetricTracker
+    diverged: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def best_metric(self) -> float:
+        return self.tracker.best()
+
+    def epochs_to_target(self, target: float) -> float:
+        return self.tracker.epochs_to_target(target)
+
+    def time_to_target(self, target: float) -> float:
+        return self.tracker.time_to_target(target)
+
+
+class PipelineTrainer:
+    """Runs a pipeline executor for a number of epochs with evaluation.
+
+    Parameters
+    ----------
+    executor:
+        A configured :class:`PipelineExecutor`.
+    batch_fn:
+        Called with an epoch-scoped rng, returns an iterable of (x, y)
+        minibatches for one epoch.
+    eval_fn:
+        Called with no arguments after each epoch; returns the eval metric
+        (test accuracy or BLEU).  The executor guarantees the model holds
+        the latest weights at that point.
+    divergence_norm:
+        Abort threshold on the global parameter norm.
+    """
+
+    def __init__(
+        self,
+        executor: PipelineExecutor,
+        batch_fn: Callable[[np.random.Generator], "object"],
+        eval_fn: Callable[[], float],
+        seed: int = 0,
+        divergence_norm: float = 1e6,
+    ):
+        self.executor = executor
+        self.batch_fn = batch_fn
+        self.eval_fn = eval_fn
+        self.seed = seed
+        self.divergence_norm = divergence_norm
+
+    def run(self, epochs: int, eval_every: int = 1) -> TrainResult:
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        history = History()
+        tracker = MetricTracker(mode="max")
+        diverged = False
+        for epoch in range(epochs):
+            rng = np.random.default_rng((self.seed, epoch))
+            epoch_time = 0.0
+            losses = []
+            for x, y in self.batch_fn(rng):
+                epoch_time += self.executor.step_time()
+                losses.append(self.executor.train_step(x, y))
+            mean_loss = float(np.mean(losses)) if losses else math.nan
+            norm = parameter_norm(self.executor.model)
+            history.log(step=epoch, train_loss=mean_loss, param_norm=norm)
+            if not np.isfinite(mean_loss) or norm > self.divergence_norm:
+                diverged = True
+                # a diverged run never reaches any target; record a floor
+                tracker.record(epoch, -math.inf if tracker.mode == "max" else math.inf, epoch_time)
+                break
+            if (epoch + 1) % eval_every == 0 or epoch == epochs - 1:
+                metric = self.eval_fn()
+            else:
+                metric = tracker.values[-1] if len(tracker) else -math.inf
+            history.log(step=epoch, eval_metric=metric)
+            tracker.record(epoch, metric, epoch_time)
+        return TrainResult(
+            history=history,
+            tracker=tracker,
+            diverged=diverged,
+            meta={
+                "method": self.executor.method.value,
+                "num_stages": self.executor.profile.num_stages,
+                "num_microbatches": self.executor.profile.num_microbatches,
+                "config": self.executor.config.describe() if self.executor.config else None,
+            },
+        )

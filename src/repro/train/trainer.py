@@ -1,0 +1,80 @@
+"""Plain (non-pipeline) synchronous training loop.
+
+Used as the statistical reference ("Sync." in the figures) and by T3's
+conceptual baseline; numerically identical to the pipeline executor in
+GPipe mode with the same seeds, which the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim import Optimizer, clip_grad_norm
+from repro.optim.schedulers import LRSchedule
+from repro.utils.history import History
+
+
+class SequentialTrainer:
+    """Minibatch SGD with optional microbatch gradient accumulation."""
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Module,
+        optimizer: Optimizer,
+        base_schedule: LRSchedule | None = None,
+        grad_clip: float | None = None,
+        num_microbatches: int = 1,
+    ):
+        if num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.base_schedule = base_schedule
+        self.grad_clip = grad_clip
+        self.num_microbatches = num_microbatches
+        self.history = History()
+        self.t = 0
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        n = self.num_microbatches
+        xs = np.array_split(x, n)
+        ys = np.array_split(y, n)
+        total = len(x)
+        self.optimizer.zero_grad()
+        losses = []
+        for xj, yj in zip(xs, ys):
+            out = self.model(xj)
+            losses.append(self.loss_fn(out, yj))
+            grad = self.loss_fn.backward() * (len(xj) * n / total)
+            self.model.backward(grad)
+        for p in self.model.parameters():
+            p.grad *= 1.0 / n
+        if self.grad_clip is not None:
+            clip_grad_norm(self.model.parameters(), self.grad_clip)
+        if self.base_schedule is not None:
+            self.optimizer.lr = self.base_schedule(self.t)
+        self.optimizer.step()
+        self.t += 1
+        loss = float(np.mean(losses))
+        self.history.log(step=self.t, train_loss=loss)
+        return loss
+
+    def train_epoch(self, batches) -> float:
+        """Run an iterable of (x, y) minibatches; returns mean loss."""
+        losses = [self.train_step(x, y) for x, y in batches]
+        if not losses:
+            raise ValueError("empty epoch")
+        return float(np.mean(losses))
+
+
+def parameter_norm(model: Module) -> float:
+    """Global L2 norm of all parameters — the Figure 7 divergence probe."""
+    total = 0.0
+    for p in model.parameters():
+        total += float(np.sum(p.data**2))
+    return float(np.sqrt(total))

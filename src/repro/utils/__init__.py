@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG helpers, ring buffers, metric history."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.ring_buffer import RingBuffer
+from repro.utils.history import History
+
+__all__ = ["new_rng", "spawn_rngs", "RingBuffer", "History"]

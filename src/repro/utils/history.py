@@ -1,0 +1,65 @@
+"""Lightweight append-only metric history used by trainers and experiments."""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+class History:
+    """Records named scalar series, e.g. ``history.log(epoch=3, loss=0.12)``.
+
+    Series are ragged: a key only grows when logged.  Each record also keeps
+    the global ``step`` counter so series can be aligned afterwards.
+    """
+
+    def __init__(self):
+        self._series: dict[str, list[tuple[int, float]]] = {}
+        self._step = 0
+
+    def log(self, step: int | None = None, **metrics: float) -> None:
+        """Append ``metrics`` at ``step`` (defaults to an internal counter)."""
+        if step is None:
+            step = self._step
+        self._step = max(self._step, step) + 1
+        for key, value in metrics.items():
+            self._series.setdefault(key, []).append((int(step), float(value)))
+
+    def series(self, key: str) -> list[float]:
+        """Values logged under ``key``, in order."""
+        return [v for _, v in self._series.get(key, [])]
+
+    def steps(self, key: str) -> list[int]:
+        """Steps at which ``key`` was logged."""
+        return [s for s, _ in self._series.get(key, [])]
+
+    def last(self, key: str, default: float = math.nan) -> float:
+        values = self.series(key)
+        return values[-1] if values else default
+
+    def best(self, key: str, mode: str = "max") -> float:
+        """Best value of a series (``mode`` in {"max", "min"})."""
+        values = self.series(key)
+        if not values:
+            return math.nan
+        if mode == "max":
+            return max(values)
+        if mode == "min":
+            return min(values)
+        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+
+    def keys(self) -> list[str]:
+        return list(self._series)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {k: {"steps": self.steps(k), "values": self.series(k)} for k in self._series}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)

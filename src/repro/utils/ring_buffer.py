@@ -1,0 +1,95 @@
+"""A bounded FIFO keyed by monotonically increasing version indices.
+
+Used by :class:`repro.pipeline.WeightVersionStore` to hold the last ``H``
+versions of each pipeline stage's weights — the "queue of weights for each
+individual pipeline stage" the paper's simulator maintains (Appendix C.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class RingBuffer:
+    """Maps version index ``v`` -> payload for the most recent ``capacity``
+    versions.
+
+    Versions must be appended in strictly increasing order starting at 0.
+    Reads of evicted (too-old) or not-yet-written versions raise ``KeyError``
+    so that a mis-specified delay profile fails loudly instead of silently
+    training on the wrong weights.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._slots: list[Any] = [None] * capacity
+        self._next_version = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def latest_version(self) -> int:
+        """Index of the most recently appended version (-1 when empty)."""
+        return self._next_version - 1
+
+    @property
+    def oldest_version(self) -> int:
+        """Oldest version still resident (-1 when empty)."""
+        if self._next_version == 0:
+            return -1
+        return max(0, self._next_version - self._capacity)
+
+    def append(self, payload: Any) -> int:
+        """Store ``payload`` as the next version; returns its version index."""
+        version = self._next_version
+        self._slots[version % self._capacity] = payload
+        self._next_version += 1
+        return version
+
+    def __contains__(self, version: int) -> bool:
+        return self.oldest_version <= version <= self.latest_version and version >= 0
+
+    def __getitem__(self, version: int) -> Any:
+        if version not in self:
+            raise KeyError(
+                f"version {version} not resident "
+                f"(have [{self.oldest_version}, {self.latest_version}])"
+            )
+        return self._slots[version % self._capacity]
+
+    def __len__(self) -> int:
+        return min(self._next_version, self._capacity)
+
+    def versions(self) -> Iterator[int]:
+        """Iterate resident version indices, oldest first."""
+        if self._next_version == 0:
+            return iter(())
+        return iter(range(self.oldest_version, self._next_version))
+
+    def seed(self, start_version: int, payloads: list[Any]) -> None:
+        """Reset the buffer to hold ``payloads`` as consecutive versions
+        ``start_version, start_version+1, ...`` — the checkpoint-restore
+        path.  The window must fit the capacity and be the newest prefix of
+        history (i.e. versions before ``start_version`` stay evicted)."""
+        if start_version < 0:
+            raise ValueError(f"start_version must be >= 0, got {start_version}")
+        if not payloads:
+            raise ValueError("seed needs at least one payload")
+        if len(payloads) > self._capacity:
+            raise ValueError(
+                f"{len(payloads)} payloads exceed capacity {self._capacity}"
+            )
+        end = start_version + len(payloads)
+        if start_version != max(0, end - self._capacity):
+            raise ValueError(
+                f"versions [{start_version}, {end}) are not the newest "
+                f"window for capacity {self._capacity}"
+            )
+        self._slots = [None] * self._capacity
+        self._next_version = start_version
+        for payload in payloads:
+            self.append(payload)

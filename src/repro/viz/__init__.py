@@ -1,0 +1,23 @@
+"""Terminal visualization helpers.
+
+Every benchmark and experiment in this repo reports *shapes* — loss curves,
+stability boundaries, per-stage memory profiles — and the paper presents
+them as figures.  This package renders those shapes directly in the
+terminal (no display or plotting dependency is available offline), so the
+CLI and examples can show a figure-shaped artifact next to the numbers.
+
+All functions are pure: they take data, return a ``str``, and never print.
+"""
+
+from repro.viz.bars import bar_chart, sparkline
+from repro.viz.heatmap import heatmap
+from repro.viz.plot import line_plot
+from repro.viz.table import format_table
+
+__all__ = [
+    "bar_chart",
+    "format_table",
+    "heatmap",
+    "line_plot",
+    "sparkline",
+]

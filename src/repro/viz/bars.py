@@ -1,0 +1,74 @@
+"""Horizontal bar charts and sparklines.
+
+Bar charts back the per-stage memory profiles (Figure 6) and the
+throughput/memory comparisons (Figure 2's bar-like panels); sparklines give
+one-line loss-curve summaries in CLI table rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+SPARK_RAMP = ".:-=+*#%@"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    fmt: str = ".3g",
+    fill: str = "#",
+) -> str:
+    """Render labelled values as horizontal bars scaled to ``width``.
+
+    Negative values are clamped to zero-length bars (all quantities we chart
+    — memory, throughput, delays — are non-negative by construction).
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"labels/values length mismatch: {len(labels)} vs {len(values)}")
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not labels:
+        return title or ""
+
+    vals = [float(v) for v in values]
+    if any(not math.isfinite(v) for v in vals):
+        raise ValueError("bar_chart requires finite values")
+    peak = max(max(vals), 0.0)
+    label_w = max(len(s) for s in labels)
+    val_strs = [format(v, fmt) for v in vals]
+    val_w = max(len(s) for s in val_strs)
+
+    lines = [title] if title else []
+    for label, v, vs in zip(labels, vals, val_strs):
+        n = 0 if peak == 0 else round(max(v, 0.0) / peak * width)
+        lines.append(f"{label:>{label_w}} |{fill * n:<{width}} {vs:>{val_w}}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], ramp: str = SPARK_RAMP) -> str:
+    """Compress a series into one character per point (NaN/inf -> ``!``).
+
+    Useful as a loss-curve thumbnail inside a table row; a trailing run of
+    ``!`` is the signature of a diverged run.
+    """
+    if len(ramp) < 2:
+        raise ValueError("ramp must have at least 2 characters")
+    vals = [float(v) for v in values]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not vals:
+        return ""
+    if not finite:
+        return "!" * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+
+    def cell(v: float) -> str:
+        if not math.isfinite(v):
+            return "!"
+        t = 0.5 if span == 0 else (v - lo) / span
+        return ramp[min(int(t * len(ramp)), len(ramp) - 1)]
+
+    return "".join(cell(v) for v in vals)

@@ -1,0 +1,80 @@
+"""ASCII heatmaps for the stability maps (Figure 3b's α-τ loss heatmap).
+
+Cells are shaded with a density ramp; non-finite cells (divergence) render
+as ``X`` — the analogue of the figure's red "diverged to infinity" region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+# Light to dark; chosen to read as a monotone ramp in a terminal.
+DEFAULT_RAMP = " .:-=+*#%@"
+DIVERGED_CELL = "X"
+
+
+def heatmap(
+    grid: np.ndarray | Sequence[Sequence[float]],
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str = "",
+    ramp: str = DEFAULT_RAMP,
+    cell_width: int = 2,
+) -> str:
+    """Render a 2-D array as a shaded character grid.
+
+    Values are min-max normalised over the finite cells; NaN/inf cells are
+    drawn as :data:`DIVERGED_CELL`.  ``row_labels``/``col_labels`` annotate
+    the axes (column labels are thinned to fit).
+    """
+    arr = np.asarray(grid, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D array, got shape {arr.shape}")
+    if len(ramp) < 2:
+        raise ValueError("ramp must have at least 2 characters")
+    n_rows, n_cols = arr.shape
+    if row_labels is not None and len(row_labels) != n_rows:
+        raise ValueError("row_labels length must match the number of rows")
+    if col_labels is not None and len(col_labels) != n_cols:
+        raise ValueError("col_labels length must match the number of columns")
+
+    finite = arr[np.isfinite(arr)]
+    if finite.size:
+        lo, hi = float(finite.min()), float(finite.max())
+    else:
+        lo, hi = 0.0, 1.0
+    span = hi - lo
+
+    label_w = max((len(s) for s in row_labels), default=0) if row_labels else 0
+
+    def shade(v: float) -> str:
+        if not math.isfinite(v):
+            return DIVERGED_CELL * cell_width
+        t = 0.0 if span == 0 else (v - lo) / span
+        return ramp[min(int(t * len(ramp)), len(ramp) - 1)] * cell_width
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r in range(n_rows):
+        left = f"{row_labels[r]:>{label_w}} " if row_labels else ""
+        lines.append(left + "".join(shade(arr[r, c]) for c in range(n_cols)))
+    if col_labels:
+        # Thin the column labels: print every k-th, left-aligned under its cell.
+        footer = [" "] * (n_cols * cell_width)
+        k = max(1, math.ceil(max(len(s) + 1 for s in col_labels) / cell_width))
+        for c in range(0, n_cols, k):
+            s = col_labels[c]
+            pos = c * cell_width
+            for i, ch in enumerate(s):
+                if pos + i < len(footer):
+                    footer[pos + i] = ch
+        lines.append(" " * (label_w + 1 if row_labels else 0) + "".join(footer))
+    lines.append(
+        f"scale: '{ramp[0]}'={lo:.3g} .. '{ramp[-1]}'={hi:.3g}"
+        + (f"   '{DIVERGED_CELL}'=diverged" if not np.isfinite(arr).all() else "")
+    )
+    return "\n".join(lines)

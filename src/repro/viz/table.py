@@ -1,0 +1,65 @@
+"""Aligned text tables for the paper's Tables 1-5 in CLI output.
+
+A single generic formatter; the experiment modules build their rows and the
+CLI renders them here so every command prints consistently shaped tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value, fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    float_fmt: str = ".3g",
+    min_col_width: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` with per-column alignment.
+
+    Floats are formatted with ``float_fmt``; ``None`` renders as ``-`` (the
+    paper's marker for "method failed to reach the target").  Columns whose
+    body cells are all numeric are right-aligned, text columns left-aligned.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+
+    ncols = len(headers)
+    body = [[_cell(v, float_fmt) for v in row] for row in rows]
+    numeric = [
+        all(isinstance(row[c], (int, float)) or row[c] is None for row in rows)
+        for c in range(ncols)
+    ]
+    widths = [
+        max(
+            [len(headers[c]), min_col_width]
+            + [len(body[r][c]) for r in range(len(body))]
+        )
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for c, s in enumerate(cells):
+            out.append(f"{s:>{widths[c]}}" if numeric[c] else f"{s:<{widths[c]}}")
+        return "  ".join(out).rstrip()
+
+    lines = [title] if title else []
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in body)
+    return "\n".join(lines)

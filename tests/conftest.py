@@ -1,0 +1,16 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def rng2() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,78 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+def numeric_param_grad(
+    loss_fn: Callable[[], float], p: Parameter, idx: tuple, eps: float = 1e-6
+) -> float:
+    """Central-difference derivative of ``loss_fn()`` w.r.t. ``p.data[idx]``."""
+    old = p.data[idx]
+    p.data[idx] = old + eps
+    lp = loss_fn()
+    p.data[idx] = old - eps
+    lm = loss_fn()
+    p.data[idx] = old
+    return (lp - lm) / (2 * eps)
+
+
+def check_param_grads(
+    model: Module,
+    loss_fn: Callable[[], float],
+    backward_fn: Callable[[], None],
+    rng: np.random.Generator,
+    samples_per_param: int = 3,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Compare analytic grads against central differences on random entries.
+
+    ``loss_fn`` must recompute the full forward+loss; ``backward_fn`` runs
+    one forward+backward populating ``p.grad``.
+    """
+    model.zero_grad()
+    backward_fn()
+    for name, p in model.named_parameters():
+        flat = p.data.reshape(-1)
+        k = min(samples_per_param, flat.size)
+        for j in rng.choice(flat.size, size=k, replace=False):
+            idx = np.unravel_index(j, p.data.shape)
+            num = numeric_param_grad(loss_fn, p, idx, eps)
+            ana = p.grad[idx]
+            assert abs(num - ana) <= atol + rtol * abs(num), (
+                f"grad mismatch at {name}{idx}: numeric={num:.8g} analytic={ana:.8g}"
+            )
+
+
+def check_input_grad(
+    forward_loss: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    analytic_dx: np.ndarray,
+    rng: np.random.Generator,
+    samples: int = 5,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Check the input gradient returned by a module's backward."""
+    flat = x.reshape(-1)
+    for j in rng.choice(flat.size, size=min(samples, flat.size), replace=False):
+        idx = np.unravel_index(j, x.shape)
+        old = x[idx]
+        x[idx] = old + eps
+        lp = forward_loss(x)
+        x[idx] = old - eps
+        lm = forward_loss(x)
+        x[idx] = old
+        num = (lp - lm) / (2 * eps)
+        ana = analytic_dx[idx]
+        assert abs(num - ana) <= atol + rtol * abs(num), (
+            f"input grad mismatch at {idx}: numeric={num:.8g} analytic={ana:.8g}"
+        )

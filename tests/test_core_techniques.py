@@ -1,0 +1,205 @@
+"""Tests for the PipeMare techniques: T1 rescheduling, T2 correction,
+T3 warmup, and the composed config."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DiscrepancyCorrector,
+    LRReschedule,
+    PipeMareConfig,
+    WarmupSchedule,
+    anneal_steps_for_step_schedule,
+    anneal_steps_for_warmup_schedule,
+)
+from repro.core.discrepancy import PAPER_DEFAULT_DECAY
+from repro.nn.module import Parameter
+
+
+class TestLRReschedule:
+    def test_exponent_anneals_linearly(self):
+        r = LRReschedule([4.0], anneal_steps=10)
+        assert r.exponent(0) == 1.0
+        assert r.exponent(5) == 0.5
+        assert r.exponent(10) == 0.0
+        assert r.exponent(100) == 0.0
+
+    def test_eq5_scale(self):
+        """α_{k,i} = α_base / τ_i^{p_k}."""
+        r = LRReschedule([8.0, 2.0], anneal_steps=4)
+        assert r.scale(0, 0) == pytest.approx(1 / 8)
+        assert r.scale(0, 1) == pytest.approx(1 / 2)
+        assert r.scale(2, 0) == pytest.approx(8 ** -0.5)
+        assert r.scale(4, 0) == 1.0
+
+    def test_sub_unit_delays_clamped(self):
+        """τ < 1 must not amplify the learning rate."""
+        r = LRReschedule([0.25], anneal_steps=10)
+        assert r.scale(0, 0) == 1.0
+
+    def test_scales_vector(self):
+        r = LRReschedule([9.0, 4.0, 1.0], anneal_steps=2)
+        np.testing.assert_allclose(r.scales(0), [1 / 9, 1 / 4, 1.0])
+
+    def test_apply_sets_group_scales(self):
+        from repro.optim import SGD, ParamGroup
+
+        groups = [ParamGroup(params=[Parameter(np.zeros(2))]) for _ in range(2)]
+        opt = SGD(groups, lr=0.1)
+        r = LRReschedule([4.0, 1.0], anneal_steps=10)
+        r.apply(opt, 0)
+        assert opt.groups[0].lr_scale == pytest.approx(0.25)
+        assert opt.groups[1].lr_scale == 1.0
+
+    def test_apply_rejects_group_mismatch(self):
+        from repro.optim import SGD
+
+        opt = SGD([Parameter(np.zeros(2))], lr=0.1)  # one group
+        r = LRReschedule([4.0, 1.0], anneal_steps=10)
+        with pytest.raises(ValueError):
+            r.apply(opt, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRReschedule([1.0], anneal_steps=0)
+        with pytest.raises(ValueError):
+            LRReschedule([], anneal_steps=5)
+        with pytest.raises(ValueError):
+            LRReschedule([-1.0], anneal_steps=5)
+        with pytest.raises(ValueError):
+            LRReschedule([1.0], anneal_steps=5).exponent(-1)
+
+    @given(st.floats(1.0, 100.0), st.integers(1, 50), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_scale_in_unit_interval(self, tau, k_steps, step):
+        """T1 never amplifies: scale ∈ (0, 1] always."""
+        r = LRReschedule([tau], anneal_steps=k_steps)
+        s = r.scale(step, 0)
+        assert 0 < s <= 1.0 + 1e-12
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotone_in_step(self, k_steps):
+        """Scales relax monotonically toward 1 as training proceeds."""
+        r = LRReschedule([10.0], anneal_steps=k_steps)
+        scales = [r.scale(k, 0) for k in range(2 * k_steps + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(scales, scales[1:]))
+        assert scales[-1] == pytest.approx(1.0)
+
+
+def _make_corrector(shapes=((3,), (2, 2)), tau_f=(4.0,), tau_b=(0.0,), decay=0.3):
+    params = [Parameter(np.ones(s)) for s in shapes]
+    return DiscrepancyCorrector([params], np.array(tau_f), np.array(tau_b), decay), params
+
+
+class TestDiscrepancyCorrector:
+    def test_gamma_rule(self):
+        c, _ = _make_corrector(tau_f=(4.0,), tau_b=(0.0,), decay=0.3)
+        assert c.gamma[0] == pytest.approx(0.3 ** (1 / 4))
+
+    def test_paper_default_decay_is_exp_minus_2(self):
+        assert PAPER_DEFAULT_DECAY == pytest.approx(np.exp(-2))
+
+    def test_no_correction_for_zero_gap(self):
+        params = [Parameter(np.ones(3))]
+        c = DiscrepancyCorrector([params], np.array([2.0]), np.array([2.0]), 0.3)
+        out = c.corrected_weights(0)
+        assert out[0] is params[0].data
+
+    def test_corrected_weights_extrapolate_backwards(self):
+        c, params = _make_corrector()
+        # simulate one step of +0.1 everywhere
+        old = [p.data.copy() for p in params]
+        for p in params:
+            p.data = p.data + 0.1
+        c.update(0, old)
+        corrected = c.corrected_weights(0)
+        g = c.gamma[0]
+        expected_delta = (1 - g) * 0.1
+        np.testing.assert_allclose(corrected[0], params[0].data - 4.0 * expected_delta)
+
+    def test_ewma_update(self):
+        c, params = _make_corrector(decay=0.5)
+        g = c.gamma[0]
+        deltas = [0.1, -0.2, 0.3]
+        expected = 0.0
+        for d in deltas:
+            old = [p.data.copy() for p in params]
+            for p in params:
+                p.data = p.data + d
+            c.update(0, old)
+            expected = g * expected + (1 - g) * d
+        np.testing.assert_allclose(c.velocity[0][0], np.full(3, expected))
+
+    def test_memory_is_one_weight_copy(self):
+        c, params = _make_corrector()
+        assert c.memory_elements() == sum(p.size for p in params)
+
+    def test_validation(self):
+        params = [Parameter(np.ones(2))]
+        with pytest.raises(ValueError):
+            DiscrepancyCorrector([params], np.array([1.0]), np.array([2.0]), 0.3)
+        with pytest.raises(ValueError):
+            DiscrepancyCorrector([params], np.array([2.0]), np.array([0.0]), 1.0)
+        with pytest.raises(ValueError):
+            DiscrepancyCorrector([params], np.array([1.0, 2.0]), np.array([0.0]), 0.3)
+
+
+class TestWarmupSchedule:
+    def test_window(self):
+        w = WarmupSchedule(3)
+        assert w.is_synchronous(0) and w.is_synchronous(2)
+        assert not w.is_synchronous(3)
+
+    def test_zero_warmup(self):
+        assert not WarmupSchedule(0).is_synchronous(0)
+
+    def test_amortized_throughput_iwslt(self):
+        """10 sync epochs of 35 total ⇒ ≈ 0.6× (Table 2)."""
+        t = WarmupSchedule.amortized_throughput(35, 10)
+        assert t == pytest.approx(0.6, abs=0.03)
+
+    def test_amortized_bounds(self):
+        assert WarmupSchedule.amortized_throughput(10, 0) == 1.0
+        assert WarmupSchedule.amortized_throughput(10, 10) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(-1)
+        with pytest.raises(ValueError):
+            WarmupSchedule.amortized_throughput(0, 0)
+        with pytest.raises(ValueError):
+            WarmupSchedule.amortized_throughput(5, 6)
+        with pytest.raises(ValueError):
+            WarmupSchedule(1).is_synchronous(-1)
+
+
+class TestPipeMareConfig:
+    def test_factories(self):
+        assert PipeMareConfig.naive_async().describe() == "naive-async"
+        assert "T1" in PipeMareConfig.t1_only(10).describe()
+        assert "T2" in PipeMareConfig.t2_only().describe()
+        full = PipeMareConfig.full(10, 20)
+        assert all(tag in full.describe() for tag in ("T1", "T2", "T3"))
+
+    def test_warmup_cleared_without_t3(self):
+        cfg = PipeMareConfig(use_t3=False, warmup_steps=0)
+        assert cfg.warmup_steps == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipeMareConfig(use_t1=True, anneal_steps=0)
+        with pytest.raises(ValueError):
+            PipeMareConfig(use_t2=True, decay=1.5)
+        with pytest.raises(ValueError):
+            PipeMareConfig(use_t3=True, warmup_steps=0)
+
+    def test_anneal_rules_of_thumb(self):
+        assert anneal_steps_for_step_schedule(80) == 20  # quarter of phase 1
+        assert anneal_steps_for_warmup_schedule(40) == 200  # 5× warmup
+        with pytest.raises(ValueError):
+            anneal_steps_for_step_schedule(0)
+        with pytest.raises(ValueError):
+            anneal_steps_for_warmup_schedule(0)

@@ -1,0 +1,299 @@
+"""Tests for datasets, loaders, BLEU, accuracy, trackers, history."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    TranslationTask,
+    batch_iterator,
+    make_cpusmall_like,
+    make_image_classification,
+)
+from repro.metrics import MetricTracker, corpus_bleu, sentence_bleu, top1_accuracy
+from repro.utils import History, new_rng, spawn_rngs
+
+
+class TestSyntheticImages:
+    def test_shapes(self):
+        ds = make_image_classification(num_train=64, num_test=32, image_size=8)
+        assert ds.train_x.shape == (64, 3, 8, 8)
+        assert ds.test_y.shape == (32,)
+        assert ds.num_classes == 10
+        assert len(ds) == 64
+
+    def test_reproducible(self):
+        a = make_image_classification(num_train=16, rng=np.random.default_rng(5))
+        b = make_image_classification(num_train=16, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+
+    def test_low_noise_is_linearly_separable_by_template(self):
+        ds = make_image_classification(num_train=256, num_test=64, noise=0.05)
+        # nearest-template classification should be near-perfect at low noise
+        flat = ds.test_x.reshape(len(ds.test_x), -1)
+        # build templates from train means
+        temps = np.stack([
+            ds.train_x[ds.train_y == k].mean(axis=0).reshape(-1)
+            for k in range(ds.num_classes)
+        ])
+        pred = ((flat[:, None, :] - temps[None]) ** 2).sum(-1).argmin(1)
+        assert (pred == ds.test_y).mean() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_image_classification(num_classes=1)
+        with pytest.raises(ValueError):
+            make_image_classification(num_train=2, num_classes=10)
+
+
+class TestCpusmallLike:
+    def test_shapes_and_scale_spread(self):
+        x, y = make_cpusmall_like(num_samples=256, num_features=12)
+        assert x.shape == (256, 12)
+        scales = x.std(axis=0)
+        assert scales.max() / scales.min() > 4
+
+    def test_learnable(self):
+        x, y = make_cpusmall_like(num_samples=512, noise=0.1)
+        w, *_ = np.linalg.lstsq(x, y, rcond=None)
+        residual = np.mean((x @ w - y) ** 2)
+        assert residual < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cpusmall_like(num_samples=4, num_features=12)
+        with pytest.raises(ValueError):
+            make_cpusmall_like(scale_spread=0.5)
+
+
+class TestTranslationTask:
+    def test_translate_is_reverse_and_rotate(self):
+        t = TranslationTask(vocab_size=10, rotation=2)
+        src = np.array([3, 4, 5])
+        out = t.translate(src)
+        assert out.tolist() == [(5 - 3 + 2) % 7 + 3, (4 - 3 + 2) % 7 + 3, (3 - 3 + 2) % 7 + 3]
+        assert out.tolist() == out.tolist()[::-1][::-1]
+
+    def test_batch_layout(self):
+        t = TranslationTask(vocab_size=16, min_len=3, max_len=5)
+        batch = t.sample_batch(4)
+        assert batch.src.shape[0] == 4
+        assert (batch.tgt_in[:, 0] == t.bos_id).all()
+        # tgt_out ends rows with EOS before padding
+        for row_in, row_out in zip(batch.tgt_in, batch.tgt_out):
+            content = row_out[row_out != t.pad_id]
+            assert content[-1] == t.eos_id
+
+    def test_strip_special(self):
+        t = TranslationTask(vocab_size=16)
+        assert t.strip_special(np.array([1, 5, 6, 2, 0, 0])) == [5, 6]
+        assert t.strip_special(np.array([1, 2])) == []
+
+    def test_fixed_eval_set_reproducible_and_nonconsuming(self):
+        t = TranslationTask(vocab_size=16, rng=np.random.default_rng(1))
+        e1 = t.fixed_eval_set(5)
+        s1 = t.sample_pairs(2)
+        t2 = TranslationTask(vocab_size=16, rng=np.random.default_rng(1))
+        e2 = t2.fixed_eval_set(5)
+        s2 = t2.sample_pairs(2)
+        for (a, b), (c, d) in zip(e1, e2):
+            np.testing.assert_array_equal(a, c)
+        for (a, _), (c, _) in zip(s1, s2):
+            np.testing.assert_array_equal(a, c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TranslationTask(vocab_size=3)
+        with pytest.raises(ValueError):
+            TranslationTask(min_len=5, max_len=3)
+        with pytest.raises(ValueError):
+            TranslationTask().make_batch([])
+
+    @given(st.integers(8, 32), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_translate_bijective(self, vocab, rotation):
+        """The ground-truth mapping is a bijection on content tokens."""
+        t = TranslationTask(vocab_size=vocab, rotation=rotation)
+        src = np.arange(3, vocab)
+        out = t.translate(src)
+        assert sorted(out.tolist()) == sorted(src.tolist())
+
+
+class TestBatchIterator:
+    def test_covers_all_with_drop_last(self):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)
+        batches = list(batch_iterator(x, y, 3, shuffle=False))
+        assert len(batches) == 3
+        assert all(len(b[0]) == 3 for b in batches)
+
+    def test_shuffle_reproducible(self):
+        x = np.arange(8)[:, None].astype(float)
+        y = np.arange(8)
+        b1 = [b[1].tolist() for b in batch_iterator(x, y, 4, rng=np.random.default_rng(3))]
+        b2 = [b[1].tolist() for b in batch_iterator(x, y, 4, rng=np.random.default_rng(3))]
+        assert b1 == b2
+
+    def test_labels_follow_features(self):
+        x = np.arange(8)[:, None].astype(float)
+        y = np.arange(8)
+        for xb, yb in batch_iterator(x, y, 4, rng=np.random.default_rng(0)):
+            np.testing.assert_array_equal(xb[:, 0].astype(int), yb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros(3), np.zeros(2), 1))
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros(3), np.zeros(3), 0))
+
+
+class TestBLEU:
+    def test_perfect_match_is_100(self):
+        assert corpus_bleu([[1, 2, 3, 4, 5]], [[1, 2, 3, 4, 5]]) == pytest.approx(100.0)
+
+    def test_disjoint_is_0(self):
+        assert corpus_bleu([[1, 2, 3, 4]], [[5, 6, 7, 8]]) == 0.0
+
+    def test_empty_candidate_is_0(self):
+        assert corpus_bleu([[]], [[1, 2, 3]]) == 0.0
+
+    def test_brevity_penalty(self):
+        """A correct prefix half the reference length is penalised."""
+        full = corpus_bleu([[1, 2, 3, 4, 5, 6, 7, 8]], [[1, 2, 3, 4, 5, 6, 7, 8]])
+        short = corpus_bleu([[1, 2, 3, 4]], [[1, 2, 3, 4, 5, 6, 7, 8]])
+        assert short < full
+        assert short < 100 * math.exp(1 - 2)  * 1.05  # bp ≈ e^{1−r/c}
+
+    def test_word_order_matters(self):
+        ref = [1, 2, 3, 4, 5, 6]
+        good = corpus_bleu([ref], [ref])
+        scrambled = corpus_bleu([[6, 5, 4, 3, 2, 1]], [ref])
+        assert scrambled < good
+
+    def test_partial_overlap_between_0_and_100(self):
+        s = corpus_bleu([[1, 2, 3, 9, 9]], [[1, 2, 3, 4, 5]])
+        assert 0 < s < 100
+
+    def test_corpus_aggregates_not_averages(self):
+        """BLEU pools n-gram counts across the corpus (not mean of
+        per-sentence scores)."""
+        c = corpus_bleu([[1, 2, 3, 4], [9, 9, 9, 9]], [[1, 2, 3, 4], [5, 6, 7, 8]])
+        s1 = sentence_bleu([1, 2, 3, 4], [1, 2, 3, 4])
+        assert 0 < c < s1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([[1]], [[1], [2]])
+        with pytest.raises(ValueError):
+            corpus_bleu([], [])
+        with pytest.raises(ValueError):
+            corpus_bleu([[1]], [[1]], max_n=0)
+
+    @given(st.lists(st.integers(0, 5), min_size=4, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_property_self_bleu_is_100(self, tokens):
+        assert sentence_bleu(tokens, list(tokens)) == pytest.approx(100.0)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 1.0]])
+        assert top1_accuracy(logits, np.array([0, 1, 1])) == pytest.approx(100 * 2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestMetricTracker:
+    def test_best_and_epochs_to_target(self):
+        t = MetricTracker()
+        for e, v in enumerate([10, 50, 80, 85]):
+            t.record(e, v, epoch_time=2.0)
+        assert t.best() == 85
+        assert t.epochs_to_target(80) == 3  # reached at epoch index 2 ⇒ 3 epochs
+        assert t.epochs_to_target(90) == math.inf
+
+    def test_time_to_target_sums_epoch_times(self):
+        t = MetricTracker()
+        t.record(0, 10, epoch_time=3.0)
+        t.record(1, 90, epoch_time=1.0)
+        assert t.time_to_target(50) == pytest.approx(4.0)
+        assert t.time_to_target(99) == math.inf
+        assert t.total_time() == pytest.approx(4.0)
+
+    def test_min_mode(self):
+        t = MetricTracker(mode="min")
+        t.record(0, 5.0)
+        t.record(1, 2.0)
+        assert t.best() == 2.0
+        assert t.epochs_to_target(3.0) == 2
+
+    def test_monotone_epoch_enforcement(self):
+        t = MetricTracker()
+        t.record(0, 1.0)
+        with pytest.raises(ValueError):
+            t.record(0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricTracker(mode="median")
+        t = MetricTracker()
+        with pytest.raises(ValueError):
+            t.record(0, 1.0, epoch_time=-1.0)
+        assert math.isnan(t.best())
+
+
+class TestHistory:
+    def test_log_and_series(self):
+        h = History()
+        h.log(step=0, loss=1.0, acc=50.0)
+        h.log(step=1, loss=0.5)
+        assert h.series("loss") == [1.0, 0.5]
+        assert h.steps("loss") == [0, 1]
+        assert h.series("acc") == [50.0]
+        assert "loss" in h and len(h) == 2
+
+    def test_best_and_last(self):
+        h = History()
+        for v in [3.0, 1.0, 2.0]:
+            h.log(loss=v)
+        assert h.best("loss", "min") == 1.0
+        assert h.best("loss", "max") == 3.0
+        assert h.last("loss") == 2.0
+        assert math.isnan(h.last("missing"))
+
+    def test_json_roundtrip(self):
+        import json
+
+        h = History()
+        h.log(step=0, loss=1.0)
+        data = json.loads(h.to_json())
+        assert data["loss"]["values"] == [1.0]
+
+    def test_invalid_mode(self):
+        h = History()
+        h.log(loss=1.0)
+        with pytest.raises(ValueError):
+            h.best("loss", "avg")
+
+
+class TestRngHelpers:
+    def test_new_rng_deterministic(self):
+        assert new_rng(1).integers(0, 100) == new_rng(1).integers(0, 100)
+
+    def test_spawn_independent(self):
+        rngs = spawn_rngs(0, 3)
+        vals = [r.integers(0, 10**9) for r in rngs]
+        assert len(set(vals)) == 3
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,183 @@
+"""Integration tests for the experiment runners (reduced scale).
+
+These exercise the same code paths as the paper-figure benchmarks but with
+tiny budgets, asserting structural properties rather than final quality.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.experiments import make_image_workload, make_translation_workload
+from repro.experiments.ablation import ablation_variants, format_ablation_table, run_ablation
+from repro.experiments.configs import PAPER_STAGE_COUNTS, TABLE8_GRIDS
+from repro.experiments.end_to_end import run_end_to_end
+from repro.experiments.recompute_training import checkpoints_to_segment, run_recompute_study
+from repro.experiments.stability_heatmap import boundary_slope_loglog, run_stability_heatmap
+from repro.experiments.stage_sweep import run_stage_sweep
+from repro.experiments.hogwild_study import run_hogwild_image
+
+
+@pytest.fixture(scope="module")
+def small_image():
+    return make_image_workload(
+        "cifar", num_train=128, num_test=64, batch_size=16, num_microbatches=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_translation():
+    return make_translation_workload(
+        "iwslt", batches_per_epoch=6, batch_size=16, num_microbatches=4, eval_size=16,
+    )
+
+
+class TestWorkloads:
+    def test_presets_exist(self):
+        for preset in ("cifar", "imagenet", "resnet152"):
+            make_image_workload(preset, num_train=32, num_test=16)
+        for preset in ("iwslt", "wmt"):
+            make_translation_workload(preset, eval_size=4)
+        with pytest.raises(ValueError):
+            make_image_workload("mnist")
+        with pytest.raises(ValueError):
+            make_translation_workload("fr-en")
+
+    def test_image_run_produces_result(self, small_image):
+        res = small_image.run(method="gpipe", epochs=2, seed=0)
+        assert len(res.tracker) == 2
+        assert 0 <= res.best_metric <= 100
+        assert res.meta["workload"] == "cifar"
+
+    def test_translation_run_produces_result(self, small_translation):
+        res = small_translation.run(method="gpipe", epochs=2, seed=0)
+        assert len(res.tracker) == 2
+        assert 0 <= res.best_metric <= 100
+
+    def test_default_stage_resolution(self, small_translation):
+        b = small_translation.bundle()
+        assert b.num_stages == small_translation.default_stages
+
+    def test_max_stages_counts_units(self, small_image):
+        assert small_image.max_stages() > 10
+
+    def test_anneal_rules(self, small_image, small_translation):
+        # presets carry tuned values
+        assert small_image.default_anneal_steps() == small_image.tuned_anneal_steps
+        assert small_translation.default_anneal_steps() == 200
+        # the rule-of-thumb path
+        w = make_image_workload("cifar", num_train=64, num_test=16, tuned_anneal_steps=None)
+        assert w.default_anneal_steps() == w.lr_drop_epochs * w.steps_per_epoch // 4
+
+
+class TestEndToEnd:
+    def test_rows_structure(self, small_image):
+        rows, results = run_end_to_end(
+            small_image, epochs=2, methods=("gpipe", "pipemare")
+        )
+        assert {r.method for r in rows} == {"gpipe", "pipemare"}
+        gpipe = next(r for r in rows if r.method == "gpipe")
+        pm = next(r for r in rows if r.method == "pipemare")
+        assert gpipe.throughput == pytest.approx(0.30, abs=0.01)
+        assert pm.throughput == 1.0
+        assert pm.memory_multiplier == pytest.approx(4 / 3)  # SGD + T2
+        assert gpipe.memory_multiplier == 1.0
+        for r in rows:
+            assert isinstance(r.format(), str)
+
+    def test_pipedream_memory_exceeds_others(self, small_image):
+        rows, _ = run_end_to_end(
+            small_image, epochs=1, methods=("pipedream", "gpipe")
+        )
+        pd = next(r for r in rows if r.method == "pipedream")
+        assert pd.memory_multiplier > 1.5
+
+
+class TestAblation:
+    def test_variant_grid(self, small_image):
+        v = ablation_variants(small_image, include_t3=True)
+        assert set(v) == {"sync", "naive", "t1", "t2", "t1+t2", "t1+t2+t3"}
+        assert v["sync"] is None
+        assert v["t1+t2+t3"].use_t3
+
+    def test_run_and_format(self, small_image):
+        variants = {
+            "sync": None,
+            "t1": PipeMareConfig.t1_only(16),
+        }
+        results = run_ablation(small_image, epochs=2, variants=variants)
+        lines = format_ablation_table(small_image, results)
+        assert len(lines) == 3  # header + 2 rows
+
+
+class TestStageSweep:
+    def test_shapes_and_monotonicity(self, small_image):
+        sweep = run_stage_sweep(
+            small_image, stage_counts=[4, 8], epochs=1,
+            train_methods=("pipemare",),
+        )
+        ps, tputs = sweep.series("gpipe", "throughput")
+        assert ps == [4, 8]
+        assert tputs[0] > tputs[1]  # GPipe throughput degrades with stages
+        _, mems = sweep.series("pipedream", "memory")
+        assert mems[1] > mems[0]  # PipeDream memory grows with stages
+        _, pm_mems = sweep.series("pipemare", "memory")
+        assert pm_mems[0] == pm_mems[1]  # PipeMare memory flat
+
+
+class TestStabilityHeatmap:
+    def test_boundary_scales_like_lemma1(self):
+        result = run_stability_heatmap(
+            alphas=2.0 ** np.arange(-14, 0),
+            taus=np.array([4, 16, 64]),
+            steps=1500,
+            num_samples=256,
+        )
+        slope = boundary_slope_loglog(result)
+        assert slope == pytest.approx(-1.0, abs=0.35)
+        # the lemma curve must lower-bound-ish the empirical boundary
+        for i in range(len(result.taus)):
+            b = result.divergence_boundary_alpha(i)
+            assert b >= result.lemma1_curve[i] * 0.4
+
+    def test_larger_tau_diverges_earlier(self):
+        result = run_stability_heatmap(
+            alphas=2.0 ** np.arange(-12, 0),
+            taus=np.array([2, 128]),
+            steps=800,
+            num_samples=128,
+        )
+        assert result.divergence_boundary_alpha(1) < result.divergence_boundary_alpha(0)
+
+
+class TestRecomputeStudy:
+    def test_checkpoint_mapping(self):
+        assert checkpoints_to_segment(16, 4) == 4
+        assert checkpoints_to_segment(16, 5) == 4
+        assert checkpoints_to_segment(16, 16) == 1
+        with pytest.raises(ValueError):
+            checkpoints_to_segment(16, 0)
+
+    def test_study_runs(self, small_image):
+        out = run_recompute_study(
+            small_image, checkpoint_grid=[None, 2], epochs=1,
+            config=PipeMareConfig.t1_t2(16, decay=0.5),
+        )
+        assert set(out) == {"no_recompute", "2_ckpts"}
+
+
+class TestHogwildStudy:
+    def test_runs_and_differs_from_sync(self, small_image):
+        res = run_hogwild_image(small_image, epochs=2, use_t1=True, seed=0)
+        assert len(res.tracker) <= 2
+        assert res.meta["mode"] == "hogwild"
+
+
+class TestConfigs:
+    def test_paper_records_present(self):
+        assert PAPER_STAGE_COUNTS["resnet50"] == 107
+        assert PAPER_STAGE_COUNTS["transformer_iwslt"] == 93
+        assert TABLE8_GRIDS["cifar10"]["decay"]["optimal"] == 0.5
+        assert TABLE8_GRIDS["iwslt"]["decay"]["optimal"] == 0.1

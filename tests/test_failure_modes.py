@@ -1,0 +1,138 @@
+"""Failure-injection and edge-case tests: the library must fail loudly and
+informatively when misused, and degrade gracefully where the paper's
+algorithms do."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss, Embedding, Linear, Sequential
+from repro.optim import SGD
+from repro.pipeline import (
+    DelayProfile,
+    Method,
+    PipelineExecutor,
+    WeightVersionStore,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+
+
+class TestStoreUnderprovisioning:
+    def test_too_small_history_fails_loudly(self, rng):
+        """If the weight store cannot cover the oldest read, the executor
+        must raise KeyError instead of training on wrong weights."""
+        m = MLP([4, 8, 8, 8, 3], np.random.default_rng(0))
+        stages = partition_model(m)
+        opt = SGD(param_groups_from_stages(stages), lr=0.01)
+        ex = PipelineExecutor(m, CrossEntropyLoss(), opt, stages, 1, "pipemare")
+        # sabotage: replace the store with one that holds too few versions
+        ex.store = WeightVersionStore(stages, history=2)
+        x = rng.normal(size=(8, 4))
+        y = rng.integers(0, 3, size=8)
+        with pytest.raises(KeyError):
+            for _ in range(10):
+                ex.train_step(x, y)
+
+    def test_default_history_is_sufficient(self, rng):
+        """The automatically computed history must cover a long run."""
+        m = MLP([4, 8, 8, 8, 3], np.random.default_rng(0))
+        stages = partition_model(m)
+        opt = SGD(param_groups_from_stages(stages), lr=0.001)
+        ex = PipelineExecutor(m, CrossEntropyLoss(), opt, stages, 3, "pipemare")
+        x = rng.normal(size=(9, 4))
+        y = rng.integers(0, 3, size=9)
+        for _ in range(40):  # > several pipe lengths
+            ex.train_step(x, y)
+
+
+class TestNonFiniteHandling:
+    def test_diverged_loss_propagates_not_crashes(self, rng):
+        """A diverging run must surface non-finite losses, not exceptions."""
+        m = MLP([4, 8, 8, 8, 8, 3], np.random.default_rng(0))
+        stages = partition_model(m)
+        opt = SGD(param_groups_from_stages(stages), lr=50.0, momentum=0.9)
+        ex = PipelineExecutor(m, CrossEntropyLoss(), opt, stages, 2, "pipemare")
+        x = rng.normal(size=(8, 4))
+        y = rng.integers(0, 3, size=8)
+        with np.errstate(all="ignore"):
+            vals = [ex.train_step(x, y) for _ in range(25)]
+        assert any(not np.isfinite(v) or v > 1e6 for v in vals)
+
+    def test_nan_input_produces_nan_loss(self, rng):
+        m = MLP([4, 8, 3], np.random.default_rng(0))
+        loss = CrossEntropyLoss()
+        x = np.full((2, 4), np.nan)
+        with np.errstate(all="ignore"):
+            val = loss(m(x), np.array([0, 1]))
+        assert not np.isfinite(val)
+
+
+class TestEmbeddingStackMisuse:
+    def test_double_backward_raises(self, rng):
+        e = Embedding(5, 3, rng)
+        e(np.array([[1]]))
+        e.backward(np.ones((1, 1, 3)))
+        with pytest.raises(RuntimeError):
+            e.backward(np.ones((1, 1, 3)))
+
+
+class TestConfigConflicts:
+    def test_pipemare_config_only_affects_pipemare(self, rng):
+        """Passing a PipeMare config to a synchronous method must not alter
+        its dynamics."""
+        x = rng.normal(size=(8, 4))
+        y = rng.integers(0, 3, size=8)
+        final = {}
+        for cfg in (None, PipeMareConfig.t1_t2(10)):
+            m = MLP([4, 8, 3], np.random.default_rng(0))
+            stages = partition_model(m)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05)
+            ex = PipelineExecutor(m, CrossEntropyLoss(), opt, stages, 2, "gpipe", pipemare=cfg)
+            for _ in range(5):
+                ex.train_step(x, y)
+            final[cfg is None] = np.concatenate([p.data.ravel() for p in m.parameters()])
+        np.testing.assert_array_equal(final[True], final[False])
+
+    def test_unknown_method_rejected(self, rng):
+        m = MLP([4, 8, 3], np.random.default_rng(0))
+        stages = partition_model(m)
+        opt = SGD(param_groups_from_stages(stages), lr=0.05)
+        with pytest.raises(ValueError):
+            PipelineExecutor(m, CrossEntropyLoss(), opt, stages, 2, "pipedreams")
+
+
+class TestDelayProfileEdges:
+    def test_single_stage_single_microbatch(self):
+        """The minimal pipe still has τ_fwd = 1 (its own fwd/update gap)."""
+        prof = DelayProfile(1, 1, Method.PIPEMARE)
+        assert prof.tau_fwd(0) == 1.0
+        assert prof.fwd_version(0, 5, 0) == 4
+
+    def test_many_microbatches_drive_delay_below_one(self):
+        prof = DelayProfile(2, 64, Method.PIPEMARE)
+        assert prof.tau_fwd(0) < 0.1
+        # most microbatches of a minibatch read the current version
+        current = sum(
+            prof.fwd_version(0, 10, j) == 10 for j in range(64)
+        )
+        assert current > 60
+
+    def test_first_minibatch_reads_initial_weights(self):
+        prof = DelayProfile(8, 2, Method.PIPEMARE)
+        for s in range(8):
+            for j in range(2):
+                assert prof.fwd_version(s, 0, j) == 0
+
+
+class TestSequentialEdges:
+    def test_empty_sequential_is_identity(self, rng):
+        s = Sequential()
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_array_equal(s(x), x)
+        np.testing.assert_array_equal(s.backward(x), x)
+
+    def test_single_layer(self, rng):
+        s = Sequential(Linear(3, 2, rng))
+        assert s(rng.normal(size=(4, 3))).shape == (4, 2)

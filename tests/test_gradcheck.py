@@ -1,0 +1,295 @@
+"""Finite-difference verification of every layer's hand-written backward.
+
+The explicit-backward design is the library's foundation (it is what lets
+the executor feed different weight versions to the two passes), so every
+module's gradient is independently checked against central differences via
+:mod:`repro.nn.gradcheck`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import MLP
+from repro.nn.gradcheck import (
+    GradcheckReport,
+    assert_gradients_match,
+    gradcheck_loss,
+    gradcheck_module,
+)
+from repro.utils import new_rng
+
+
+def check(module, x, **kw):
+    assert_gradients_match(gradcheck_module(module, x, **kw))
+
+
+RNG = new_rng(7)
+
+
+class TestDenseLayers:
+    def test_linear(self):
+        check(nn.Linear(5, 3, new_rng(0)), RNG.normal(size=(4, 5)))
+
+    def test_linear_no_bias(self):
+        check(nn.Linear(5, 3, new_rng(0), bias=False), RNG.normal(size=(4, 5)))
+
+    def test_linear_batched_3d_input(self):
+        check(nn.Linear(5, 3, new_rng(0)), RNG.normal(size=(2, 4, 5)))
+
+    def test_bias(self):
+        check(nn.Bias(6), RNG.normal(size=(3, 6)))
+
+    def test_flatten(self):
+        check(nn.Flatten(), RNG.normal(size=(2, 3, 4, 4)))
+
+
+class TestActivations:
+    def test_relu_away_from_kink(self):
+        x = RNG.normal(size=(4, 6))
+        x[np.abs(x) < 1e-3] = 0.5  # keep clear of the kink
+        check(nn.ReLU(), x)
+
+    def test_gelu(self):
+        check(nn.GELU(), RNG.normal(size=(4, 6)))
+
+    def test_tanh(self):
+        check(nn.Tanh(), RNG.normal(size=(4, 6)))
+
+    def test_sigmoid(self):
+        check(nn.Sigmoid(), RNG.normal(size=(4, 6)))
+
+    def test_identity(self):
+        check(nn.Identity(), RNG.normal(size=(4, 6)))
+
+    def test_dropout_eval_mode_is_identity(self):
+        drop = nn.Dropout(0.5, new_rng(0))
+        drop.eval()
+        check(drop, RNG.normal(size=(4, 6)))
+
+
+class TestConvAndPooling:
+    def test_conv2d(self):
+        check(
+            nn.Conv2d(2, 3, 3, new_rng(0), padding=1),
+            RNG.normal(size=(2, 2, 5, 5)),
+        )
+
+    def test_conv2d_strided_no_padding(self):
+        check(
+            nn.Conv2d(1, 2, 3, new_rng(0), stride=2),
+            RNG.normal(size=(2, 1, 7, 7)),
+        )
+
+    def test_conv2d_no_bias(self):
+        check(
+            nn.Conv2d(2, 2, 1, new_rng(0), bias=False),
+            RNG.normal(size=(2, 2, 4, 4)),
+        )
+
+    def test_avg_pool(self):
+        check(nn.AvgPool2d(2), RNG.normal(size=(2, 2, 6, 6)))
+
+    def test_max_pool_unique_maxima(self):
+        # random continuous inputs: ties have probability zero
+        check(nn.MaxPool2d(2), RNG.normal(size=(2, 2, 6, 6)))
+
+    def test_global_avg_pool(self):
+        check(nn.GlobalAvgPool2d(), RNG.normal(size=(2, 3, 5, 5)))
+
+
+class TestNormalization:
+    def test_batchnorm_train_mode(self):
+        check(nn.BatchNorm2d(3), RNG.normal(size=(4, 3, 5, 5)), rtol=5e-4)
+
+    def test_batchnorm_eval_backward_raises_by_design(self):
+        # Training (and therefore backward) is defined on batch statistics;
+        # an eval-mode forward clears the cache so backward fails loudly.
+        bn = nn.BatchNorm2d(3)
+        bn(RNG.normal(size=(8, 3, 5, 5)))  # populate running stats
+        bn.eval()
+        bn(RNG.normal(size=(4, 3, 5, 5)))
+        with pytest.raises(RuntimeError, match="training-mode forward"):
+            bn.backward(np.ones((4, 3, 5, 5)))
+
+    def test_groupnorm(self):
+        check(nn.GroupNorm(2, 4), RNG.normal(size=(3, 4, 5, 5)), rtol=5e-4)
+
+    def test_layernorm(self):
+        check(nn.LayerNorm(6), RNG.normal(size=(4, 6)), rtol=5e-4)
+
+    def test_layernorm_3d(self):
+        check(nn.LayerNorm(6), RNG.normal(size=(2, 3, 6)), rtol=5e-4)
+
+
+class TestEmbeddingAndAttention:
+    def test_embedding_parameter_grads(self):
+        emb = nn.Embedding(11, 4, new_rng(0))
+        idx = RNG.integers(0, 11, size=(3, 5))
+        report = gradcheck_module(emb, idx, check_input=False)
+        assert_gradients_match(report)
+
+    def test_embedding_scaled(self):
+        emb = nn.Embedding(7, 4, new_rng(0), scale=True)
+        idx = RNG.integers(0, 7, size=(2, 3))
+        assert_gradients_match(gradcheck_module(emb, idx, check_input=False))
+
+    def test_positional_encoding(self):
+        check(nn.PositionalEncoding(6, max_len=16), RNG.normal(size=(2, 5, 6)))
+
+    def test_self_attention(self):
+        class SelfAttention(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.mha = nn.MultiHeadAttention(8, 2, new_rng(0))
+
+            def forward(self, x):
+                return self.mha(x, x, x)
+
+            def backward(self, grad_out):
+                dq, dk, dv = self.mha.backward(grad_out)
+                return dq + dk + dv
+
+        check(SelfAttention(), RNG.normal(size=(2, 4, 8)), rtol=5e-4)
+
+    def test_masked_self_attention(self):
+        mask = nn.causal_mask(4)
+
+        class MaskedSelfAttention(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.mha = nn.MultiHeadAttention(8, 2, new_rng(0))
+
+            def forward(self, x):
+                return self.mha(x, x, x, mask=mask)
+
+            def backward(self, grad_out):
+                dq, dk, dv = self.mha.backward(grad_out)
+                return dq + dk + dv
+
+        check(MaskedSelfAttention(), RNG.normal(size=(2, 4, 8)), rtol=5e-4)
+
+
+class TestComposites:
+    def test_sequential_stack(self):
+        model = nn.Sequential(
+            nn.Linear(5, 8, new_rng(0)),
+            nn.Tanh(),
+            nn.Linear(8, 3, new_rng(1)),
+        )
+        check(model, RNG.normal(size=(4, 5)))
+
+    def test_residual_block(self):
+        body = nn.Sequential(nn.Linear(6, 6, new_rng(0)), nn.Tanh())
+        check(nn.Residual(body), RNG.normal(size=(3, 6)))
+
+    def test_mlp_model(self):
+        model = MLP([5, 7, 7, 3], new_rng(2))
+        check(model, RNG.normal(size=(4, 5)), max_coords=80)
+
+
+class TestLosses:
+    def test_cross_entropy(self):
+        pred = RNG.normal(size=(6, 4))
+        target = RNG.integers(0, 4, size=6)
+        assert_gradients_match(gradcheck_loss(nn.CrossEntropyLoss(), pred, target))
+
+    def test_sequence_cross_entropy_with_padding(self):
+        pred = RNG.normal(size=(2, 5, 4))
+        target = RNG.integers(1, 4, size=(2, 5))
+        target[0, -2:] = 0  # padding positions get masked out
+        loss = nn.SequenceCrossEntropyLoss(pad_id=0)
+        assert_gradients_match(gradcheck_loss(loss, pred, target))
+
+    def test_mse(self):
+        pred = RNG.normal(size=(5, 3))
+        target = RNG.normal(size=(5, 3))
+        assert_gradients_match(gradcheck_loss(nn.MSELoss(), pred, target))
+
+
+class TestCheckerItself:
+    def test_detects_wrong_backward(self):
+        class Broken(nn.Module):
+            def forward(self, x):
+                self._x = x
+                return x**2
+
+            def backward(self, grad_out):
+                return grad_out  # wrong: should be 2x * grad_out
+
+        report = gradcheck_module(Broken(), RNG.normal(size=(3, 3)))
+        assert not report.ok
+        with pytest.raises(AssertionError, match="gradient check failed"):
+            assert_gradients_match(report)
+
+    def test_sampling_respects_max_coords(self):
+        report = gradcheck_module(
+            nn.Identity(), RNG.normal(size=(10, 10)), max_coords=17
+        )
+        assert report.checked_coords == 17
+
+    def test_report_merge_accumulates_worst_error(self):
+        r = GradcheckReport()
+        r.merge("a", np.array([1.0]), np.array([1.0]), rtol=1e-4, atol=1e-7)
+        assert r.ok
+        r.merge("b", np.array([1.0]), np.array([2.0]), rtol=1e-4, atol=1e-7)
+        assert not r.ok
+        assert r.max_abs_err == 1.0
+
+
+class TestModelGradients:
+    """End-to-end gradient checks on the two paper models (spot-checked
+    coordinates — the full check would cost two forwards per weight)."""
+
+    def test_resnet_tiny_gradients(self):
+        from repro.models import resnet_tiny
+
+        model = resnet_tiny(new_rng(0), num_classes=4)
+        x = RNG.normal(size=(2, 3, 8, 8))
+        assert_gradients_match(
+            gradcheck_module(model, x, max_coords=25, rtol=1e-3, atol=1e-6)
+        )
+
+    def test_transformer_parameter_gradients(self):
+        """Central-difference check of a few Transformer parameters through
+        the full encoder-decoder + sequence loss."""
+        from repro.models import transformer_tiny
+
+        # dropout=0 → train-mode forward is deterministic (train mode is
+        # required: Embedding only caches indices for backward when training)
+        model = transformer_tiny(new_rng(0), dropout=0.0)
+        vocab = 32
+        rng = new_rng(3)
+        src = rng.integers(1, vocab, size=(2, 5))
+        tgt_in = rng.integers(1, vocab, size=(2, 5))
+        target = rng.integers(1, vocab, size=(2, 5))
+        loss_fn = nn.SequenceCrossEntropyLoss(pad_id=0)
+
+        def loss_value() -> float:
+            return float(loss_fn(model(src, tgt_in), target))
+
+        model.zero_grad()
+        loss_fn(model(src, tgt_in), target)
+        model.backward(loss_fn.backward())
+
+        eps = 1e-5
+        checked = 0
+        params = model.named_parameters()
+        for name, p in (params[0], params[len(params) // 2], params[-1]):
+            flat = p.data.reshape(-1)
+            gflat = p.grad.reshape(-1)
+            for k in np.linspace(0, flat.size - 1, 4).astype(int):
+                orig = flat[k]
+                flat[k] = orig + eps
+                hi = loss_value()
+                flat[k] = orig - eps
+                lo = loss_value()
+                flat[k] = orig
+                numeric = (hi - lo) / (2 * eps)
+                assert abs(gflat[k] - numeric) < 1e-4 + 1e-3 * abs(numeric), (
+                    f"{name}[{k}]: analytic={gflat[k]:.3e} numeric={numeric:.3e}"
+                )
+                checked += 1
+        assert checked == 12

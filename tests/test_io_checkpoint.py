@@ -1,0 +1,295 @@
+"""Tests for :mod:`repro.io` — checkpoint save/restore.
+
+The load-bearing property is *resume equivalence*: training K steps,
+checkpointing, and training K more must produce bit-identical weights to
+restoring the checkpoint into fresh objects and training the same K steps.
+This exercises every piece of mutable state (weights, optimizer moments,
+T2 velocity, the delayed weight-version window, step counters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PipeMareConfig
+from repro.io import CheckpointError, load_checkpoint, load_model, save_checkpoint, save_model
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD, Adam
+from repro.pipeline import PipelineExecutor, partition_model
+from repro.pipeline.executor import param_groups_from_stages
+from repro.utils import new_rng
+from repro.utils.ring_buffer import RingBuffer
+
+
+def make_data(seed=0, n=64, d=6, classes=3):
+    rng = new_rng(seed)
+    y = rng.integers(0, classes, size=n)
+    centers = rng.normal(size=(classes, d)) * 2.0
+    x = centers[y] + rng.normal(size=(n, d))
+    return x.astype(np.float64), y
+
+
+def build_setup(seed=0, method="pipemare", config=None, optimizer_cls=SGD,
+                recompute_segment=None, **opt_kw):
+    model = MLP([6, 8, 8, 3], new_rng(seed))
+    stages = partition_model(model)
+    opt = optimizer_cls(param_groups_from_stages(stages), lr=0.05, **opt_kw)
+    executor = PipelineExecutor(
+        model, CrossEntropyLoss(), opt, stages,
+        num_microbatches=2, method=method, pipemare=config,
+        recompute_segment=recompute_segment,
+    )
+    return model, opt, executor
+
+
+def train_steps(executor, x, y, steps):
+    for s in range(steps):
+        lo = (s % 2) * 32
+        executor.train_step(x[lo:lo + 32], y[lo:lo + 32])
+
+
+class TestModelRoundtrip:
+    def test_save_load_restores_weights(self, tmp_path):
+        m1 = MLP([4, 5, 2], new_rng(1))
+        path = tmp_path / "model.npz"
+        save_model(path, m1)
+        m2 = MLP([4, 5, 2], new_rng(2))
+        load_model(path, m2)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(path, MLP([4, 5, 2], new_rng(0)))
+        with pytest.raises(CheckpointError):
+            load_model(path, MLP([4, 6, 2], new_rng(0)))
+
+    def test_not_a_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_model(path, MLP([4, 5, 2], new_rng(0)))
+
+
+class TestOptimizerState:
+    def test_momentum_buffers_roundtrip(self, tmp_path):
+        x, y = make_data()
+        model, opt, executor = build_setup(
+            config=PipeMareConfig.naive_async(), momentum=0.9
+        )
+        train_steps(executor, x, y, 4)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt)
+
+        model2, opt2, _ = build_setup(seed=9, config=PipeMareConfig.naive_async(), momentum=0.9)
+        load_checkpoint(path, model2, optimizer=opt2)
+        assert opt2.steps == opt.steps
+        assert opt2.lr == opt.lr
+        for g1, g2 in zip(opt.groups, opt2.groups):
+            for p1, p2 in zip(g1.params, g2.params):
+                s1, s2 = opt.state_for(p1), opt2.state_for(p2)
+                assert set(s1) == set(s2)
+                for k in s1:
+                    np.testing.assert_array_equal(s1[k], s2[k])
+
+    def test_adam_moments_roundtrip(self, tmp_path):
+        x, y = make_data()
+        model, opt, executor = build_setup(
+            config=PipeMareConfig.naive_async(), optimizer_cls=Adam
+        )
+        train_steps(executor, x, y, 3)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt)
+        model2, opt2, _ = build_setup(
+            seed=7, config=PipeMareConfig.naive_async(), optimizer_cls=Adam
+        )
+        load_checkpoint(path, model2, optimizer=opt2)
+        p_last = opt2.groups[-1].params[-1]
+        state = opt2.state_for(p_last)
+        assert {"m", "v"} <= set(state) or len(state) == 2  # both moments present
+        assert any(np.any(arr != 0) for arr in state.values())
+
+    def test_missing_optimizer_section_raises(self, tmp_path):
+        model, opt, _ = build_setup()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model)  # no optimizer
+        model2, opt2, _ = build_setup(seed=3)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, model2, optimizer=opt2)
+
+    def test_group_count_mismatch_raises(self, tmp_path):
+        x, y = make_data()
+        model, opt, executor = build_setup(config=PipeMareConfig.naive_async())
+        train_steps(executor, x, y, 2)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt)
+        # same model shape, but a single flat param group
+        model2 = MLP([6, 8, 8, 3], new_rng(5))
+        opt2 = SGD(model2.parameters(), lr=0.05)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, model2, optimizer=opt2)
+
+
+@pytest.mark.parametrize(
+    "method,config,opt_cls",
+    [
+        ("pipemare", PipeMareConfig.t1_t2(anneal_steps=20, decay=0.3), SGD),
+        ("pipemare", PipeMareConfig.naive_async(), SGD),
+        ("pipedream", None, SGD),
+        ("gpipe", None, Adam),
+        ("pipemare", PipeMareConfig.full(anneal_steps=20, warmup_steps=6, decay=0.3), SGD),
+    ],
+    ids=["pipemare-t1t2", "naive-async", "pipedream", "gpipe-adam", "pipemare-t3"],
+)
+class TestResumeEquivalence:
+    def test_resume_is_bit_exact(self, tmp_path, method, config, opt_cls):
+        x, y = make_data()
+        kw = {"momentum": 0.9} if opt_cls is SGD else {}
+
+        # Reference: train 4 + 4 steps straight through.
+        model_a, opt_a, ex_a = build_setup(method=method, config=config,
+                                           optimizer_cls=opt_cls, **kw)
+        train_steps(ex_a, x, y, 4)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(path, model_a, optimizer=opt_a, executor=ex_a,
+                        extra={"step": 4})
+        train_steps(ex_a, x, y, 4)
+
+        # Restored run: fresh objects, load, train the same last 4 steps.
+        model_b, opt_b, ex_b = build_setup(seed=1234, method=method, config=config,
+                                           optimizer_cls=opt_cls, **kw)
+        extra = load_checkpoint(path, model_b, optimizer=opt_b, executor=ex_b)
+        assert extra == {"step": 4}
+        assert ex_b.t == 4
+        train_steps(ex_b, x, y, 4)
+
+        for (n1, p1), (n2, p2) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestResumeWithRecompute:
+    def test_recompute_resume_is_bit_exact(self, tmp_path):
+        """Appendix D's recompute path adds a third delayed read; the
+        version window in the checkpoint must cover it too."""
+        x, y = make_data()
+        cfg = PipeMareConfig.t1_t2(anneal_steps=20, decay=0.3)
+
+        model_a, opt_a, ex_a = build_setup(config=cfg, recompute_segment=2,
+                                           momentum=0.9)
+        train_steps(ex_a, x, y, 4)
+        path = tmp_path / "rc.npz"
+        save_checkpoint(path, model_a, optimizer=opt_a, executor=ex_a)
+        train_steps(ex_a, x, y, 4)
+
+        model_b, opt_b, ex_b = build_setup(seed=77, config=cfg,
+                                           recompute_segment=2, momentum=0.9)
+        load_checkpoint(path, model_b, optimizer=opt_b, executor=ex_b)
+        train_steps(ex_b, x, y, 4)
+
+        for p1, p2 in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestExecutorStateValidation:
+    def test_corrector_presence_mismatch_raises(self, tmp_path):
+        x, y = make_data()
+        model, opt, ex = build_setup(config=PipeMareConfig.t2_only(decay=0.3))
+        train_steps(ex, x, y, 2)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt, executor=ex)
+        model2, opt2, ex2 = build_setup(seed=2, config=PipeMareConfig.naive_async())
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, model2, optimizer=opt2, executor=ex2)
+
+    def test_missing_executor_section_raises(self, tmp_path):
+        model, opt, _ = build_setup()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt)
+        model2, opt2, ex2 = build_setup(seed=2)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, model2, optimizer=opt2, executor=ex2)
+
+    def test_extra_roundtrips_json_types(self, tmp_path):
+        model, _, _ = build_setup()
+        path = tmp_path / "ck.npz"
+        extra = {"epoch": 3, "best": 91.5, "tag": "run-a", "flags": [1, 2]}
+        save_checkpoint(path, model, extra=extra)
+        model2, _, _ = build_setup(seed=2)
+        out = load_checkpoint(path, model2)
+        assert out == extra
+
+
+class TestRingBufferSeed:
+    def test_seed_replays_window(self):
+        buf = RingBuffer(3)
+        buf.seed(5, ["a", "b", "c"])
+        assert buf.oldest_version == 5
+        assert buf.latest_version == 7
+        assert buf[6] == "b"
+        with pytest.raises(KeyError):
+            buf[4]
+
+    def test_seed_then_append_continues_versioning(self):
+        buf = RingBuffer(2)
+        buf.seed(3, ["x", "y"])
+        assert buf.append("z") == 5
+        assert buf.oldest_version == 4
+
+    def test_seed_window_must_be_newest(self):
+        buf = RingBuffer(2)
+        with pytest.raises(ValueError):
+            buf.seed(1, ["only"])  # version 0 would still be resident
+
+    def test_seed_rejects_overflow_and_empty(self):
+        buf = RingBuffer(2)
+        with pytest.raises(ValueError):
+            buf.seed(0, ["a", "b", "c"])
+        with pytest.raises(ValueError):
+            buf.seed(0, [])
+
+    @given(
+        capacity=st.integers(1, 8),
+        total=st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_seed_equals_append_history(self, capacity, total):
+        """Seeding with the resident window of an appended buffer reproduces
+        its observable state exactly."""
+        ref = RingBuffer(capacity)
+        for i in range(total):
+            ref.append(f"payload{i}")
+        clone = RingBuffer(capacity)
+        clone.seed(ref.oldest_version, [ref[v] for v in ref.versions()])
+        assert clone.oldest_version == ref.oldest_version
+        assert clone.latest_version == ref.latest_version
+        assert len(clone) == len(ref)
+        for v in ref.versions():
+            assert clone[v] == ref[v]
+
+
+class TestOptimizerStateKeys:
+    def test_state_key_mismatch_raises(self, tmp_path):
+        """A momentum-SGD checkpoint cannot restore into plain SGD: the
+        state keys differ and the mismatch must fail loudly."""
+        x, y = make_data()
+        model, opt, ex = build_setup(config=PipeMareConfig.naive_async(),
+                                     momentum=0.9)
+        train_steps(ex, x, y, 2)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model, optimizer=opt)
+
+        model2 = MLP([6, 8, 8, 3], new_rng(3))
+        from repro.pipeline import partition_model as pm
+        from repro.pipeline.executor import param_groups_from_stages as pg
+        stages = pm(model2)
+        plain = SGD(pg(stages), lr=0.05)  # momentum=0: no velocity state
+        with pytest.raises(CheckpointError, match="keys"):
+            load_checkpoint(path, model2, optimizer=plain)

@@ -1,0 +1,221 @@
+"""Model zoo tests: shapes, gradients end-to-end, shared-embedding rules."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MLP,
+    LinearRegressionModel,
+    ResNet,
+    Transformer,
+    TransformerConfig,
+    resnet_deep,
+    resnet_tiny,
+    transformer_tiny,
+)
+from repro.nn import CrossEntropyLoss, MSELoss, SequenceCrossEntropyLoss
+from tests.helpers import check_param_grads
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        m = MLP([4, 8, 3], rng)
+        assert m(rng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_rejects_short_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_end_to_end_grad_check(self, rng, rng2):
+        m = MLP([4, 6, 3], rng, activation="gelu")
+        loss = CrossEntropyLoss()
+        x = rng.normal(size=(5, 4))
+        y = np.array([0, 1, 2, 0, 1])
+
+        def loss_fn():
+            return loss(m(x), y)
+
+        def backward():
+            loss(m(x), y)
+            m.backward(loss.backward())
+
+        check_param_grads(m, loss_fn, backward, rng2)
+
+    def test_trains_on_separable_data(self, rng):
+        from repro.optim import SGD
+
+        m = MLP([2, 16, 2], rng)
+        loss = CrossEntropyLoss()
+        opt = SGD(m.parameters(), lr=0.1, momentum=0.9)
+        x = np.concatenate([rng.normal(-2, 0.5, (32, 2)), rng.normal(2, 0.5, (32, 2))])
+        y = np.array([0] * 32 + [1] * 32)
+        first = None
+        for _ in range(60):
+            opt.zero_grad()
+            val = loss(m(x), y)
+            if first is None:
+                first = val
+            m.backward(loss.backward())
+            opt.step()
+        assert val < 0.1 < first
+
+
+class TestLinearRegression:
+    def test_forward_shape(self, rng):
+        m = LinearRegressionModel(5, rng)
+        assert m(rng.normal(size=(7, 5))).shape == (7,)
+
+    def test_largest_curvature_is_hessian_eig(self, rng):
+        x = rng.normal(size=(50, 4))
+        lam = LinearRegressionModel.largest_curvature(x)
+        h = 2 * x.T @ x / 50
+        assert lam == pytest.approx(np.linalg.eigvalsh(h)[-1])
+
+    def test_grad_check(self, rng, rng2):
+        m = LinearRegressionModel(3, rng, bias=True)
+        loss = MSELoss()
+        x = rng.normal(size=(6, 3))
+        y = rng.normal(size=6)
+
+        def loss_fn():
+            return loss(m(x), y)
+
+        def backward():
+            loss(m(x), y)
+            m.backward(loss.backward())
+
+        check_param_grads(m, loss_fn, backward, rng2)
+
+
+class TestResNet:
+    def test_forward_shape(self, rng):
+        m = resnet_tiny(rng)
+        assert m(rng.normal(size=(2, 3, 8, 8))).shape == (2, 10)
+
+    def test_rejects_misaligned_config(self, rng):
+        with pytest.raises(ValueError):
+            ResNet(rng, blocks_per_stage=(1, 1), channels_per_stage=(8,))
+
+    def test_deep_variant_has_more_params(self, rng):
+        assert resnet_deep(rng).num_parameters() > resnet_tiny(rng).num_parameters()
+
+    def test_end_to_end_grad_check(self, rng, rng2):
+        m = ResNet(rng, blocks_per_stage=(1,), channels_per_stage=(4,), norm="group")
+        loss = CrossEntropyLoss()
+        x = rng.normal(size=(2, 3, 6, 6))
+        y = np.array([1, 3])
+
+        def loss_fn():
+            return loss(m(x), y)
+
+        def backward():
+            loss(m(x), y)
+            m.backward(loss.backward())
+
+        check_param_grads(m, loss_fn, backward, rng2, samples_per_param=2, atol=1e-4)
+
+    def test_batchnorm_variant_runs(self, rng):
+        m = ResNet(rng, blocks_per_stage=(1,), channels_per_stage=(4,), norm="batch")
+        out = m(rng.normal(size=(4, 3, 6, 6)))
+        loss = CrossEntropyLoss()
+        loss(out, np.array([0, 1, 2, 3]))
+        m.backward(loss.backward())  # should not raise
+
+    def test_projection_shortcut_on_downsample(self, rng):
+        m = ResNet(rng, blocks_per_stage=(1, 1), channels_per_stage=(4, 8))
+        blocks = m.body.layers
+        assert not blocks[0].has_projection
+        assert blocks[1].has_projection  # channel + stride change
+
+
+class TestTransformer:
+    def test_forward_shape(self, rng):
+        m = transformer_tiny(rng, vocab=16)
+        src = rng.integers(3, 16, size=(2, 5))
+        tgt = rng.integers(3, 16, size=(2, 4))
+        assert m(src, tgt).shape == (2, 4, 16)
+
+    def test_shared_embedding_requires_equal_vocab(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(src_vocab=8, tgt_vocab=9, share_embeddings=True)
+
+    def test_shared_embeddings_reduce_param_count(self, rng):
+        tied = transformer_tiny(np.random.default_rng(0), share_embeddings=True)
+        untied = transformer_tiny(np.random.default_rng(0), share_embeddings=False)
+        # tied removes one embedding matrix and the output projection
+        assert tied.num_parameters() < untied.num_parameters()
+
+    def test_end_to_end_grad_check_untied(self, rng, rng2):
+        cfg = TransformerConfig(
+            src_vocab=12, tgt_vocab=12, d_model=8, num_heads=2,
+            num_encoder_layers=1, num_decoder_layers=1, d_ff=16,
+        )
+        m = Transformer(cfg, rng)
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        src = np.array([[3, 4, 5]])
+        tgt_in = np.array([[1, 6, 7]])
+        tgt_out = np.array([[6, 7, 2]])
+
+        def loss_fn():
+            return loss(m(src, tgt_in), tgt_out)
+
+        def backward():
+            loss(m(src, tgt_in), tgt_out)
+            m.backward(loss.backward())
+
+        check_param_grads(m, loss_fn, backward, rng2, samples_per_param=2, atol=1e-4)
+
+    def test_end_to_end_grad_check_tied(self, rng, rng2):
+        cfg = TransformerConfig(
+            src_vocab=12, tgt_vocab=12, d_model=8, num_heads=2,
+            num_encoder_layers=1, num_decoder_layers=1, d_ff=16,
+            share_embeddings=True,
+        )
+        m = Transformer(cfg, rng)
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        src = np.array([[3, 4, 5]])
+        tgt_in = np.array([[1, 6, 7]])
+        tgt_out = np.array([[6, 7, 2]])
+
+        def loss_fn():
+            return loss(m(src, tgt_in), tgt_out)
+
+        def backward():
+            loss(m(src, tgt_in), tgt_out)
+            m.backward(loss.backward())
+
+        check_param_grads(m, loss_fn, backward, rng2, samples_per_param=2, atol=1e-4)
+
+    def test_causality(self, rng):
+        """Changing a later target token cannot change earlier logits."""
+        m = transformer_tiny(rng, vocab=16)
+        m.eval()
+        src = rng.integers(3, 16, size=(1, 5))
+        tgt = rng.integers(3, 16, size=(1, 4))
+        out1 = m(src, tgt)
+        tgt2 = tgt.copy()
+        tgt2[0, 3] = (tgt2[0, 3] - 3 + 1) % 13 + 3
+        out2 = m(src, tgt2)
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+
+    def test_greedy_decode_shape_and_bos(self, rng):
+        m = transformer_tiny(rng, vocab=16)
+        src = rng.integers(3, 16, size=(3, 5))
+        out = m.greedy_decode(src, max_len=7)
+        assert out.shape[0] == 3 and out.shape[1] <= 7
+        assert (out[:, 0] == m.cfg.bos_id).all()
+
+    def test_greedy_decode_restores_training_mode(self, rng):
+        m = transformer_tiny(rng, vocab=16)
+        m.train()
+        m.greedy_decode(rng.integers(3, 16, size=(1, 4)), max_len=5)
+        assert m.training
+
+    def test_padding_in_src_ignored(self, rng):
+        """Logits must be identical whether src padding is present or not."""
+        m = transformer_tiny(rng, vocab=16)
+        m.eval()
+        src = np.array([[3, 4, 5, 0, 0]])
+        src_short = np.array([[3, 4, 5]])
+        tgt = np.array([[1, 6]])
+        np.testing.assert_allclose(m(src, tgt), m(src_short, tgt), atol=1e-10)

@@ -1,0 +1,147 @@
+"""Unit + property tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0))
+
+    def test_stable_for_large_inputs(self):
+        s = F.softmax(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.isfinite(s).all()
+        assert s[0, 0] == pytest.approx(1.0)
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(F.softmax(x, axis=0).sum(axis=0), 1.0)
+
+    @given(arrays(np.float64, (3, 6), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_property_positive_and_normalized(self, x):
+        s = F.softmax(x)
+        assert (s > 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-10)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(F.log_softmax(x), np.log(F.softmax(x)))
+
+    def test_softmax_backward_matches_jacobian(self, rng):
+        x = rng.normal(size=(1, 4))
+        s = F.softmax(x)[0]
+        g = rng.normal(size=(1, 4))
+        jac = np.diag(s) - np.outer(s, s)
+        expected = g[0] @ jac
+        np.testing.assert_allclose(F.softmax_backward(s[None], g)[0], expected)
+
+
+class TestGelu:
+    def test_values_at_zero(self):
+        assert F.gelu(np.zeros(3)).tolist() == [0, 0, 0]
+
+    def test_asymptotics(self):
+        x = np.array([-20.0, 20.0])
+        out = F.gelu(x)
+        assert out[0] == pytest.approx(0.0, abs=1e-9)
+        assert out[1] == pytest.approx(20.0, rel=1e-9)
+
+    def test_grad_matches_numeric(self, rng):
+        x = rng.normal(size=16)
+        eps = 1e-6
+        num = (F.gelu(x + eps) - F.gelu(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(F.gelu_grad(x), num, atol=1e-7)
+
+    @given(arrays(np.float64, (8,), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_property_monotone_bound(self, x):
+        # GELU(x) is bounded between min(0, x) and max(0, x)
+        out = F.gelu(x)
+        assert (out >= np.minimum(0, x) - 1e-9).all()
+        assert (out <= np.maximum(0, x) + 1e-9).all()
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestIm2col:
+    def test_output_size_formula(self):
+        assert F.conv_output_size(8, 3, 1, 1) == 8
+        assert F.conv_output_size(8, 3, 2, 1) == 4
+        assert F.conv_output_size(5, 5, 1, 0) == 1
+
+    def test_rejects_too_large_kernel(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = F.im2col(x, (3, 3), 1, 1)
+        assert cols.shape == (2, 27, 64)
+        assert (oh, ow) == (8, 8)
+
+    def test_im2col_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols, _ = F.im2col(x, (1, 1), 1, 0)
+        np.testing.assert_allclose(cols[0, 0], x.reshape(-1))
+
+    def test_im2col_values_manual(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols, (oh, ow) = F.im2col(x, (2, 2), 2, 0)
+        assert (oh, ow) == (2, 2)
+        # patch at (0,0): [0,1,4,5] -> column 0
+        np.testing.assert_allclose(cols[0, :, 0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[0, :, 3], [10, 11, 14, 15])
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = F.im2col(x, (3, 3), 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = F.col2im(y, x.shape, (3, 3), 2, 1)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    @given(
+        st.integers(1, 3), st.integers(1, 2), st.integers(0, 1),
+        st.integers(4, 7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_adjoint(self, kernel, stride, padding, size):
+        if size + 2 * padding < kernel:
+            return
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, size, size))
+        cols, _ = F.im2col(x, (kernel, kernel), stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, (kernel, kernel), stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,116 @@
+"""Loss module tests: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss, SequenceCrossEntropyLoss
+from tests.helpers import check_input_grad
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 8))
+        y = np.array([0, 1, 2, 3])
+        assert loss(logits, y) == pytest.approx(np.log(8))
+
+    def test_perfect_prediction_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert loss(logits, np.array([1, 2])) == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_matches_numeric(self, rng, rng2):
+        loss = CrossEntropyLoss(label_smoothing=0.1)
+        logits = rng.normal(size=(3, 5))
+        y = np.array([0, 2, 4])
+        loss(logits, y)
+        g = loss.backward()
+        check_input_grad(lambda l: loss(l, y), logits, g, rng2)
+
+    def test_label_smoothing_raises_floor(self):
+        plain = CrossEntropyLoss()
+        smooth = CrossEntropyLoss(label_smoothing=0.2)
+        logits = np.full((1, 4), -50.0)
+        logits[0, 0] = 50.0
+        y = np.array([0])
+        assert smooth(logits, y) > plain(logits, y)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_rejects_3d_logits(self, rng):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(rng.normal(size=(2, 3, 4)), np.zeros(2, dtype=int))
+
+    def test_grad_sums_to_zero_per_row(self, rng):
+        """softmax-CE gradient rows sum to zero (prob simplex tangent)."""
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(4, 6))
+        loss(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestSequenceCrossEntropy:
+    def test_ignores_padding(self, rng):
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        logits = rng.normal(size=(1, 4, 6))
+        targets = np.array([[3, 2, 0, 0]])
+        val = loss(logits, targets)
+        # changing logits at padded positions must not change the loss
+        logits2 = logits.copy()
+        logits2[0, 2:] += 5.0
+        assert loss(logits2, targets) == pytest.approx(val)
+
+    def test_grad_zero_at_padding(self, rng):
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        logits = rng.normal(size=(1, 4, 6))
+        targets = np.array([[3, 2, 0, 0]])
+        loss(logits, targets)
+        g = loss.backward()
+        np.testing.assert_allclose(g[0, 2:], 0.0)
+        assert np.abs(g[0, :2]).max() > 0
+
+    def test_gradient_matches_numeric(self, rng, rng2):
+        loss = SequenceCrossEntropyLoss(pad_id=0, label_smoothing=0.1)
+        logits = rng.normal(size=(2, 3, 5))
+        targets = np.array([[3, 2, 0], [1, 4, 2]])
+        loss(logits, targets)
+        g = loss.backward()
+        check_input_grad(lambda l: loss(l, targets), logits, g, rng2)
+
+    def test_all_padding_raises(self, rng):
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(1, 2, 4)), np.zeros((1, 2), dtype=int))
+
+    def test_mean_over_tokens_not_batch(self, rng):
+        """Loss normalizes by token count so ragged batches compare fairly."""
+        loss = SequenceCrossEntropyLoss(pad_id=0)
+        logits = np.zeros((1, 2, 4))
+        t1 = loss(logits, np.array([[1, 2]]))
+        t2 = loss(np.zeros((1, 4, 4)), np.array([[1, 2, 3, 1]]))
+        assert t1 == pytest.approx(t2)
+
+
+class TestMSE:
+    def test_zero_at_match(self, rng):
+        x = rng.normal(size=(3, 2))
+        assert MSELoss()(x, x.copy()) == 0.0
+
+    def test_value(self):
+        assert MSELoss()(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+    def test_gradient_matches_numeric(self, rng, rng2):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        loss(pred, target)
+        g = loss.backward()
+        check_input_grad(lambda p: loss(p, target), pred, g, rng2)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            MSELoss()(rng.normal(size=(2, 2)), rng.normal(size=(2, 3)))

@@ -1,0 +1,127 @@
+"""Tests for Parameter/Module/Sequential plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+from repro.nn.module import Residual
+
+
+class TestParameter:
+    def test_grad_initialized_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert (p.grad == 0).all()
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_casts_to_float64(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.data.dtype == np.float64
+
+
+class TestModuleRegistration:
+    def test_parameters_in_registration_order(self, rng):
+        m = Sequential(Linear(3, 4, rng), ReLU(), Linear(4, 2, rng))
+        names = [n for n, _ in m.named_parameters()]
+        assert names == [
+            "layer0.weight", "layer0.bias", "layer2.weight", "layer2.bias",
+        ]
+
+    def test_shared_parameter_reported_once(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, rng)
+                self.b = self.a  # tied
+
+        m = Shared()
+        assert len(m.parameters()) == 2  # weight + bias, not 4
+
+    def test_num_parameters(self, rng):
+        m = Linear(3, 4, rng)
+        assert m.num_parameters() == 3 * 4 + 4
+
+    def test_train_eval_propagates(self, rng):
+        m = Sequential(Linear(2, 2, rng), ReLU())
+        m.eval()
+        assert not m.training and not m[0].training
+        m.train()
+        assert m.training and m[0].training
+
+    def test_zero_grad_recursive(self, rng):
+        m = Sequential(Linear(2, 2, rng))
+        m[0].weight.grad += 1.0
+        m.zero_grad()
+        assert (m[0].weight.grad == 0).all()
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        m1 = Sequential(Linear(3, 4, rng), ReLU(), Linear(4, 2, rng))
+        m2 = Sequential(
+            Linear(3, 4, np.random.default_rng(9)), ReLU(),
+            Linear(4, 2, np.random.default_rng(9)),
+        )
+        m2.load_state_dict(m1.state_dict())
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_state_dict_is_copy(self, rng):
+        m = Linear(2, 2, rng)
+        sd = m.state_dict()
+        sd["weight"][:] = 99.0
+        assert not (m.weight.data == 99.0).any()
+
+    def test_load_rejects_missing_key(self, rng):
+        m = Linear(2, 2, rng)
+        with pytest.raises(KeyError):
+            m.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_rejects_shape_mismatch(self, rng):
+        m = Linear(2, 2, rng)
+        sd = m.state_dict()
+        sd["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, rng):
+        m = Sequential(Linear(3, 5, rng), ReLU(), Linear(5, 2, rng))
+        x = rng.normal(size=(4, 3))
+        y = m(x)
+        assert y.shape == (4, 2)
+        dx = m.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_append(self, rng):
+        m = Sequential(Linear(2, 2, rng))
+        m.append(ReLU())
+        assert len(m) == 2
+
+    def test_getitem(self, rng):
+        l0 = Linear(2, 2, rng)
+        m = Sequential(l0)
+        assert m[0] is l0
+
+
+class TestResidual:
+    def test_forward_adds_input(self, rng):
+        body = Linear(3, 3, rng)
+        r = Residual(body)
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(r(x), x + body(x))
+
+    def test_backward_sums_paths(self, rng):
+        body = Linear(3, 3, rng)
+        r = Residual(body)
+        x = rng.normal(size=(2, 3))
+        r(x)
+        g = rng.normal(size=(2, 3))
+        dx = r.backward(g)
+        np.testing.assert_allclose(dx, g + g @ body.weight.data.T)

@@ -1,0 +1,197 @@
+"""Optimizer and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantLR,
+    ParamGroup,
+    StepDecayLR,
+    WarmupInverseSqrtLR,
+    WarmupLinearLR,
+    clip_grad_norm,
+)
+
+
+def make_param(values):
+    p = Parameter(np.asarray(values, dtype=float))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad[:] = [0.5, 0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = 1.0
+        opt.step()  # v=1, w=-1
+        p.grad[:] = 1.0
+        opt.step()  # v=1.5, w=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay_coupled(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad[:] = 0.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.1])
+
+    def test_rebinds_data_never_mutates(self):
+        """The weight-version store depends on updates rebinding .data."""
+        p = make_param([1.0])
+        old_ref = p.data
+        p.grad[:] = 1.0
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(old_ref, [1.0])  # old array untouched
+
+    def test_param_groups_lr_scale(self):
+        p1, p2 = make_param([0.0]), make_param([0.0])
+        opt = SGD(
+            [ParamGroup(params=[p1], lr_scale=1.0), ParamGroup(params=[p2], lr_scale=0.1)],
+            lr=1.0,
+        )
+        p1.grad[:] = 1.0
+        p2.grad[:] = 1.0
+        opt.step()
+        np.testing.assert_allclose(p1.data, [-1.0])
+        np.testing.assert_allclose(p2.data, [-0.1])
+
+    def test_rejects_bad_hyperparams(self):
+        p = make_param([0.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_state_memory_elements(self):
+        p = make_param(np.zeros(10))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()
+        assert opt.state_memory_elements() == 10  # one velocity buffer
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad[:] = p.data  # grad of w^2/2
+            opt.step()
+        assert abs(p.data[0]) < 1e-6
+
+
+class TestAdam:
+    def test_first_step_is_signed_lr(self):
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad[:] = 3.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-8)
+
+    def test_bias_correction_matters(self):
+        """Without correction the first step would be tiny."""
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1, betas=(0.9, 0.999))
+        p.grad[:] = 1.0
+        opt.step()
+        assert abs(p.data[0]) > 0.09
+
+    def test_adamw_decoupled_decay(self):
+        pw = make_param([1.0])
+        pa = make_param([1.0])
+        adamw = AdamW([pw], lr=0.1, weight_decay=0.5)
+        adam = Adam([pa], lr=0.1, weight_decay=0.5)
+        pw.grad[:] = 0.0
+        pa.grad[:] = 0.0
+        adamw.step()
+        adam.step()
+        # decoupled: w -= lr*wd*w exactly; coupled: goes through m/v machinery
+        np.testing.assert_allclose(pw.data, [1.0 - 0.1 * 0.5 * 1.0])
+        assert pw.data[0] != pa.data[0]
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad[:] = p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([0.0])], lr=0.1, betas=(1.0, 0.9))
+
+    def test_state_memory_elements(self):
+        p = make_param(np.zeros(10))
+        opt = Adam([p], lr=0.1)
+        opt.step()
+        assert opt.state_memory_elements() == 21  # m + v + t
+
+
+class TestClipping:
+    def test_no_clip_below_threshold(self):
+        p = make_param([0.0, 0.0])
+        p.grad[:] = [3.0, 4.0]  # norm 5
+        norm = clip_grad_norm([p], 10.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(p.grad, [3.0, 4.0])
+
+    def test_clips_above_threshold(self):
+        p = make_param([0.0, 0.0])
+        p.grad[:] = [3.0, 4.0]
+        clip_grad_norm([p], 1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_rejects_bad_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([make_param([0.0])], 0.0)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(0) == s(100) == 0.1
+
+    def test_step_decay(self):
+        s = StepDecayLR(1.0, interval_steps=10, factor=0.1)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_warmup_inverse_sqrt(self):
+        s = WarmupInverseSqrtLR(1.0, warmup_steps=10, init_lr=0.01)
+        assert s(0) == pytest.approx(0.01)
+        assert s(10) == pytest.approx(1.0)
+        assert s(40) == pytest.approx(0.5)  # sqrt(10/40)
+
+    def test_warmup_linear_flat_after(self):
+        s = WarmupLinearLR(1.0, warmup_steps=4)
+        assert s(4) == s(100) == 1.0
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.1)(-1)
+
+    @pytest.mark.parametrize("cls,args", [
+        (ConstantLR, (-1.0,)),
+        (StepDecayLR, (1.0, 0)),
+        (WarmupInverseSqrtLR, (1.0, 0)),
+        (WarmupLinearLR, (0.0, 5)),
+    ])
+    def test_invalid_configs(self, cls, args):
+        with pytest.raises(ValueError):
+            cls(*args)

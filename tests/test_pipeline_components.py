@@ -1,0 +1,242 @@
+"""Tests for partitioning, delay profiles, weight store, ring buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import MLP, resnet_tiny, transformer_tiny
+from repro.pipeline import DelayProfile, Method, WeightVersionStore, partition_model
+from repro.pipeline.partition import num_weight_units
+from repro.utils import RingBuffer
+
+
+class TestRingBuffer:
+    def test_append_and_read(self):
+        rb = RingBuffer(3)
+        for i in range(5):
+            assert rb.append(f"v{i}") == i
+        assert rb.latest_version == 4
+        assert rb.oldest_version == 2
+        assert rb[3] == "v3"
+
+    def test_evicted_read_raises(self):
+        rb = RingBuffer(2)
+        for i in range(4):
+            rb.append(i)
+        with pytest.raises(KeyError):
+            rb[1]
+
+    def test_future_read_raises(self):
+        rb = RingBuffer(2)
+        rb.append(0)
+        with pytest.raises(KeyError):
+            rb[1]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_versions_iteration(self):
+        rb = RingBuffer(3)
+        for i in range(5):
+            rb.append(i)
+        assert list(rb.versions()) == [2, 3, 4]
+
+    @given(st.integers(1, 8), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_last_k_always_readable(self, capacity, n):
+        rb = RingBuffer(capacity)
+        for i in range(n):
+            rb.append(i)
+        for v in range(max(0, n - capacity), n):
+            assert rb[v] == v
+        assert len(rb) == min(n, capacity)
+
+
+class TestPartition:
+    def test_weight_and_bias_share_stage(self, rng):
+        m = MLP([4, 5, 3], rng)
+        stages = partition_model(m)  # finest granularity
+        assert len(stages) == 2  # two Linear units
+        for stage in stages:
+            kinds = {n.rsplit(".", 1)[-1] for n in stage.names}
+            assert kinds == {"weight", "bias"}
+
+    def test_topological_order_preserved(self, rng):
+        m = MLP([4, 5, 6, 3], rng)
+        stages = partition_model(m)
+        sizes = [p.shape for s in stages for p in s.params]
+        assert sizes[0] == (4, 5)  # first layer first
+
+    def test_even_split(self, rng):
+        m = resnet_tiny(rng)
+        units = num_weight_units(m)
+        stages = partition_model(m, units // 2)
+        counts = [len(s.names) for s in stages]
+        assert sum(counts) == sum(len(s.names) for s in partition_model(m))
+        assert max(counts) - min(counts) <= 2  # near-even in units
+
+    def test_too_many_stages_rejected(self, rng):
+        m = MLP([4, 5, 3], rng)
+        with pytest.raises(ValueError):
+            partition_model(m, 10)
+
+    def test_all_params_covered_exactly_once(self, rng):
+        m = transformer_tiny(rng, vocab=16)
+        stages = partition_model(m, 7)
+        ids = [id(p) for s in stages for p in s.params]
+        assert len(ids) == len(set(ids)) == len(m.parameters())
+
+    def test_tied_embedding_counted_once(self):
+        tied = transformer_tiny(np.random.default_rng(0), share_embeddings=True)
+        untied = transformer_tiny(np.random.default_rng(0), share_embeddings=False)
+        assert num_weight_units(tied) < num_weight_units(untied)
+
+    def test_stage_snapshot_and_load(self, rng):
+        m = MLP([3, 3, 2], rng)
+        stage = partition_model(m)[0]
+        snap = stage.snapshot()
+        stage.params[0].data = stage.params[0].data + 1.0
+        stage.load(snap)
+        np.testing.assert_allclose(stage.params[0].data, snap[0])
+
+
+class TestDelayProfile:
+    def test_table1_tau_fwd(self):
+        """τ_fwd,i = (2(P−i)+1)/N (Table 1, 1-indexed i)."""
+        prof = DelayProfile(8, 4, Method.PIPEMARE)
+        assert prof.tau_fwd(0) == pytest.approx((2 * 7 + 1) / 4)
+        assert prof.tau_fwd(7) == pytest.approx(1 / 4)
+
+    def test_table1_tau_bkwd(self):
+        assert DelayProfile(8, 4, Method.PIPEMARE).tau_bkwd(0) == 0.0
+        assert DelayProfile(8, 4, Method.GPIPE).tau_fwd(0) == 0.0
+        pd = DelayProfile(8, 4, Method.PIPEDREAM)
+        assert pd.tau_bkwd(2) == pd.tau_fwd(2) > 0
+
+    @pytest.mark.parametrize("p,n", [(4, 1), (8, 4), (21, 4), (12, 8), (5, 3)])
+    def test_realized_average_fwd_delay_matches_table1(self, p, n):
+        """The integer version arithmetic realises the fractional Table 1
+        delay exactly on average — the key fidelity property."""
+        prof = DelayProfile(p, n, Method.PIPEMARE)
+        warm = 4 * p  # skip the pipe-fill transient
+        for s in range(p):
+            lags = [
+                t - prof.fwd_version(s, t, j)
+                for t in range(warm, warm + 40)
+                for j in range(n)
+            ]
+            assert np.mean(lags) == pytest.approx(prof.tau_fwd(s)), f"stage {s}"
+
+    def test_fwd_version_never_future_never_negative(self):
+        prof = DelayProfile(10, 3, Method.PIPEMARE)
+        for t in range(30):
+            for s in range(10):
+                for j in range(3):
+                    v = prof.fwd_version(s, t, j)
+                    assert 0 <= v <= t
+
+    def test_pipedream_bkwd_equals_fwd(self):
+        prof = DelayProfile(6, 2, Method.PIPEDREAM)
+        for t in range(3, 20):
+            for s in range(6):
+                for j in range(2):
+                    assert prof.bkwd_version(s, t, j) == prof.fwd_version(s, t, j)
+
+    def test_pipemare_bkwd_is_current(self):
+        prof = DelayProfile(6, 2, Method.PIPEMARE)
+        assert prof.bkwd_version(0, 7, 1) == 7
+
+    def test_gpipe_no_delay(self):
+        prof = DelayProfile(6, 2, Method.GPIPE)
+        assert prof.fwd_version(0, 7, 0) == 7
+        assert prof.bkwd_version(0, 7, 1) == 7
+
+    def test_history_covers_oldest_read(self):
+        prof = DelayProfile(20, 3, Method.PIPEMARE)
+        h = prof.history_needed()
+        for t in range(100, 140):
+            for j in range(3):
+                v = prof.fwd_version(0, t, j)
+                assert t - v < h
+
+    def test_monotone_in_stage(self):
+        """Later stages read fresher weights."""
+        prof = DelayProfile(10, 4, Method.PIPEMARE)
+        t = 50
+        versions = [prof.fwd_version(s, t, 0) for s in range(10)]
+        assert versions == sorted(versions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayProfile(0, 1)
+        with pytest.raises(ValueError):
+            DelayProfile(1, 0)
+        prof = DelayProfile(4, 2)
+        with pytest.raises(IndexError):
+            prof.tau_fwd(4)
+        with pytest.raises(IndexError):
+            prof.fwd_version(0, 1, 2)
+        with pytest.raises(ValueError):
+            prof.fwd_version(0, -1, 0)
+
+    @given(st.integers(1, 30), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_average_delay(self, p, n):
+        prof = DelayProfile(p, n, Method.PIPEMARE)
+        s = 0  # earliest stage has the largest delay
+        warm = 4 * p
+        lags = [
+            t - prof.fwd_version(s, t, j)
+            for t in range(warm, warm + 5 * n)
+            for j in range(n)
+        ]
+        assert np.mean(lags) == pytest.approx(prof.tau_fwd(s))
+
+
+class TestWeightStore:
+    def test_initial_version_zero(self, rng):
+        m = MLP([3, 3, 2], rng)
+        stages = partition_model(m)
+        store = WeightVersionStore(stages, 4)
+        assert store.latest_version == 0
+
+    def test_push_and_load_roundtrip(self, rng):
+        m = MLP([3, 3, 2], rng)
+        stages = partition_model(m)
+        store = WeightVersionStore(stages, 4)
+        v0 = [stages[0].params[0].data.copy()]
+        stages[0].params[0].data = stages[0].params[0].data + 1.0
+        store.push_current()
+        store.load(0, 0)
+        np.testing.assert_allclose(stages[0].params[0].data, v0[0])
+        store.load_latest(0)
+        np.testing.assert_allclose(stages[0].params[0].data, v0[0] + 1.0)
+
+    def test_old_versions_preserved_by_rebinding_updates(self, rng):
+        """Optimizer-style rebinding must leave stored versions intact."""
+        m = MLP([3, 3, 2], rng)
+        stages = partition_model(m)
+        store = WeightVersionStore(stages, 4)
+        original = stages[0].params[0].data.copy()
+        for _ in range(3):
+            for s in stages:
+                for p in s.params:
+                    p.data = p.data + 1.0  # rebinding, like an optimizer
+            store.push_current()
+        np.testing.assert_allclose(store.weights(0, 0)[0], original)
+        np.testing.assert_allclose(store.weights(0, 3)[0], original + 3.0)
+
+    def test_eviction_raises(self, rng):
+        m = MLP([3, 3, 2], rng)
+        stages = partition_model(m)
+        store = WeightVersionStore(stages, 2)
+        for _ in range(4):
+            store.push_current()
+        with pytest.raises(KeyError):
+            store.weights(0, 0)
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError):
+            WeightVersionStore([], 2)

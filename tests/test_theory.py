@@ -1,0 +1,365 @@
+"""Theory tests: characteristic polynomials, companion matrices, lemma
+closed forms vs numerical root-finding, and trajectory simulations matching
+the figures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    QuadraticTrajectory,
+    char_poly_delayed_sgd,
+    char_poly_discrepancy,
+    char_poly_momentum,
+    char_poly_recompute,
+    char_poly_t2,
+    companion_from_poly,
+    companion_matrix,
+    double_root_alpha,
+    is_stable,
+    lemma1_alpha_max,
+    lemma2_alpha_bound,
+    lemma3_alpha_bound,
+    max_stable_alpha,
+    simulate_delayed_least_squares,
+    simulate_delayed_sgd,
+    simulate_discrepancy_sgd,
+    simulate_momentum_sgd,
+    simulate_recompute_sgd,
+    simulate_t2_sgd,
+    spectral_radius,
+    t2_decay_from_gamma,
+    t2_gamma,
+)
+from repro.theory.polynomials import poly_add, poly_eval, poly_mul, poly_scale
+
+
+class TestPolynomials:
+    def test_delayed_sgd_coefficients(self):
+        # omega^3 - omega^2 + 0.3  for tau=2, alpha*lam=0.3
+        p = char_poly_delayed_sgd(2, 0.3, 1.0)
+        np.testing.assert_allclose(p, [1, -1, 0, 0.3])
+
+    def test_delayed_sgd_tau_zero(self):
+        # omega - 1 + alpha*lam : root at 1 - alpha*lam (plain GD)
+        p = char_poly_delayed_sgd(0, 0.5, 1.0)
+        roots = np.roots(p)
+        np.testing.assert_allclose(roots, [0.5])
+
+    def test_discrepancy_reduces_to_delayed_when_delta_zero(self):
+        p1 = char_poly_discrepancy(5, 2, 0.1, 1.0, 0.0)
+        p2 = char_poly_delayed_sgd(5, 0.1, 1.0)
+        np.testing.assert_allclose(p1, p2)
+
+    def test_t2_reduces_to_discrepancy_at_gamma_zero_large_tau(self):
+        """γ=0 makes the correction a one-step memory; the polynomial's
+        leading structure (ω−1)(ω−γ)ω^τ + ... at γ=0 differs from the raw
+        discrepancy one only by the added correction terms."""
+        p = char_poly_t2(6, 2, 0.05, 1.0, 3.0, 0.0)
+        assert len(p) == 6 + 3  # degree τf + 2
+
+    def test_recompute_reduces_to_t2_when_phi_zero(self):
+        p1 = char_poly_recompute(8, 4, 1, 0.05, 1.0, 5.0, 0.0, 0.4)
+        p2 = char_poly_t2(8, 1, 0.05, 1.0, 5.0, 0.4)
+        np.testing.assert_allclose(poly_add(p1, poly_scale(p2, -1.0)), 0.0, atol=1e-14)
+
+    def test_momentum_beta_zero_is_plain(self):
+        p1 = char_poly_momentum(4, 0.1, 1.0, 0.0)
+        p2 = char_poly_delayed_sgd(4, 0.1, 1.0)
+        # same polynomial up to a factor of omega (state augmentation)
+        np.testing.assert_allclose(np.trim_zeros(p1, "b"), p2[: len(np.trim_zeros(p1, 'b'))])
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            char_poly_delayed_sgd(-1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            char_poly_delayed_sgd(1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            char_poly_discrepancy(2, 3, 0.1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            char_poly_momentum(0, 0.1, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            char_poly_t2(5, 1, 0.1, 1.0, 1.0, 1.0)
+
+    def test_poly_helpers(self):
+        a = np.array([1.0, 2.0])       # x + 2
+        b = np.array([1.0, 0.0, 1.0])  # x^2 + 1
+        np.testing.assert_allclose(poly_mul(a, b), [1, 2, 1, 2])
+        np.testing.assert_allclose(poly_add(a, b), [1, 1, 3])
+        assert poly_eval(b, 2.0) == pytest.approx(5.0)
+        assert poly_eval(b, 1j) == pytest.approx(0.0)
+
+
+class TestCompanion:
+    def test_eigenvalues_match_roots(self):
+        p = char_poly_delayed_sgd(4, 0.1, 1.0)
+        c = companion_from_poly(p)
+        ev = np.sort_complex(np.linalg.eigvals(c))
+        rt = np.sort_complex(np.roots(p))
+        np.testing.assert_allclose(ev, rt, atol=1e-10)
+
+    def test_explicit_companion_matches_eq3(self):
+        c = companion_matrix(3, 0.2, 1.5)
+        assert c.shape == (4, 4)
+        assert c[0, 0] == 1.0
+        assert c[0, -1] == pytest.approx(-0.3)
+        p = char_poly_delayed_sgd(3, 0.2, 1.5)
+        ev = np.sort_complex(np.linalg.eigvals(c))
+        rt = np.sort_complex(np.roots(p))
+        np.testing.assert_allclose(ev, rt, atol=1e-10)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            companion_from_poly(np.array([1.0]))
+        with pytest.raises(ValueError):
+            companion_from_poly(np.array([0.0, 1.0]))
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("tau", [1, 2, 3, 5, 10, 25])
+    def test_closed_form_matches_numeric(self, tau):
+        lam = 1.0
+        closed = lemma1_alpha_max(tau, lam)
+        numeric = max_stable_alpha(lambda a: char_poly_delayed_sgd(tau, a, lam))
+        assert numeric == pytest.approx(closed, rel=1e-4)
+
+    def test_lambda_scaling(self):
+        assert lemma1_alpha_max(5, 2.0) == pytest.approx(lemma1_alpha_max(5, 1.0) / 2)
+
+    def test_tau_zero_recovers_gd(self):
+        assert lemma1_alpha_max(0, 1.0) == pytest.approx(2.0)
+
+    def test_threshold_decays_like_inverse_tau(self):
+        r = lemma1_alpha_max(100, 1.0) / lemma1_alpha_max(200, 1.0)
+        assert r == pytest.approx(2.0, rel=0.02)
+
+    def test_just_inside_stable_just_outside_not(self):
+        tau, lam = 6, 1.0
+        a = lemma1_alpha_max(tau, lam)
+        assert is_stable(char_poly_delayed_sgd(tau, a * 0.999, lam), tol=0)
+        assert not is_stable(char_poly_delayed_sgd(tau, a * 1.001, lam), tol=0)
+
+    def test_double_root_location(self):
+        """Lemma 1's double root: at α = (τ/(τ+1))^τ / (λ(τ+1)) the poly has
+        a root of multiplicity 2 at ω = τ/(τ+1)."""
+        tau, lam = 4, 1.0
+        a = double_root_alpha(tau, lam)
+        p = char_poly_delayed_sgd(tau, a, lam)
+        omega = tau / (tau + 1)
+        assert abs(poly_eval(p, omega)) < 1e-12
+        dp = np.polyder(np.poly1d(p))
+        assert abs(dp(omega)) < 1e-12
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("delta", [0.5, 2.0, 10.0])
+    def test_instability_exists_below_bound(self, delta):
+        tau_f, tau_b, lam = 10, 6, 1.0
+        bound = lemma2_alpha_bound(tau_f, tau_b, lam, delta)
+        numeric = max_stable_alpha(
+            lambda a: char_poly_discrepancy(tau_f, tau_b, a, lam, delta)
+        )
+        assert numeric <= bound * (1 + 1e-6)
+
+    def test_large_delta_shrinks_threshold(self):
+        f = lambda d: max_stable_alpha(
+            lambda a: char_poly_discrepancy(10, 6, a, 1.0, d)
+        )
+        assert f(10.0) < f(1.0) < f(0.01)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("beta", [0.1, 0.5, 0.9])
+    def test_momentum_cannot_escape_bound(self, beta):
+        tau, lam = 8, 1.0
+        bound = lemma3_alpha_bound(tau, lam)
+        numeric = max_stable_alpha(lambda a: char_poly_momentum(tau, a, lam, beta))
+        assert numeric <= bound * (1 + 1e-6)
+
+    def test_momentum_shrinks_threshold(self):
+        tau, lam = 8, 1.0
+        plain = max_stable_alpha(lambda a: char_poly_delayed_sgd(tau, a, lam))
+        mom = max_stable_alpha(lambda a: char_poly_momentum(tau, a, lam, 0.9))
+        assert mom < plain
+
+
+class TestT2Gamma:
+    def test_gamma_rule(self):
+        assert t2_gamma(10, 6) == pytest.approx(1 - 2 / 5)
+
+    def test_decay_tends_to_exp_minus_2(self):
+        d = t2_decay_from_gamma(1000, 0)
+        assert d == pytest.approx(np.exp(-2), rel=1e-2)
+
+    def test_t2_enlarges_stable_range_for_positive_delta(self):
+        """The Figure 5(b)/Appendix B.5 claim: for Δ>0 the corrected system
+        tolerates larger α (checked here over the paper's sweep range)."""
+        for tau_f, tau_b in [(10, 6), (20, 5), (40, 10)]:
+            for delta in [1.0, 5.0, 25.0]:
+                g = t2_gamma(tau_f, tau_b)
+                base = max_stable_alpha(
+                    lambda a: char_poly_discrepancy(tau_f, tau_b, a, 1.0, delta)
+                )
+                corr = max_stable_alpha(
+                    lambda a: char_poly_t2(tau_f, tau_b, a, 1.0, delta, g)
+                )
+                assert corr > base, (tau_f, tau_b, delta)
+
+    def test_gamma_requires_gap(self):
+        with pytest.raises(ValueError):
+            t2_gamma(5, 5)
+
+
+class TestTrajectories:
+    def test_figure3a_tau10_diverges_tau5_converges(self):
+        """λ=1, α=0.2: τ∈{0,5} converge, τ=10 diverges (Figure 3a)."""
+        rng = np.random.default_rng(1)
+        t0 = simulate_delayed_sgd(1.0, 0.2, 0, 300, rng=np.random.default_rng(1))
+        t5 = simulate_delayed_sgd(1.0, 0.2, 5, 300, rng=np.random.default_rng(1))
+        t10 = simulate_delayed_sgd(1.0, 0.2, 10, 300, rng=np.random.default_rng(1))
+        assert t0.final_loss < 5
+        assert t5.final_loss < 5
+        assert t10.final_loss > 100  # exponential blowup under way
+
+    def test_deterministic_convergence_matches_spectral_radius(self):
+        """Noise-free decay rate equals the spectral radius of C."""
+        tau, alpha, lam = 3, 0.1, 1.0
+        t = simulate_delayed_sgd(lam, alpha, tau, 400, noise_std=0.0, w0=1.0)
+        rho = spectral_radius(char_poly_delayed_sgd(tau, alpha, lam))
+        measured = (abs(t.iterates[-1]) / abs(t.iterates[200])) ** (1 / 199)
+        assert measured == pytest.approx(rho, rel=1e-2)
+
+    def test_figure5a_delta_divergence(self):
+        """τf=10, τb=6, λ=1: Δ=5 diverges where Δ=0 converges (Figure 5a)."""
+        kw = dict(lam=1.0, alpha=0.05, tau_fwd=10, tau_bkwd=6, steps=300)
+        t_good = simulate_discrepancy_sgd(delta=0.0, rng=np.random.default_rng(1), **kw)
+        t_bad = simulate_discrepancy_sgd(delta=5.0, rng=np.random.default_rng(1), **kw)
+        assert t_good.final_loss < 5
+        assert t_bad.final_loss > 10 * t_good.final_loss
+
+    def test_t2_simulation_stabilizes_discrepancy(self):
+        kw = dict(lam=1.0, alpha=0.05, tau_fwd=10, tau_bkwd=6, steps=400)
+        bad = simulate_discrepancy_sgd(delta=5.0, rng=np.random.default_rng(1), **kw)
+        g = t2_gamma(10, 6)
+        good = simulate_t2_sgd(delta=5.0, gamma=g, rng=np.random.default_rng(1), **kw)
+        assert good.final_loss < bad.final_loss / 10
+
+    def test_momentum_simulation_diverges_beyond_threshold(self):
+        tau, lam, beta = 5, 1.0, 0.9
+        amax = max_stable_alpha(lambda a: char_poly_momentum(tau, a, lam, beta))
+        stable = simulate_momentum_sgd(lam, amax * 0.7, tau, beta, 3000, noise_std=0.0, w0=1.0)
+        unstable = simulate_momentum_sgd(lam, amax * 1.5, tau, beta, 3000, noise_std=0.0, w0=1.0)
+        assert abs(stable.iterates[-1]) < 0.5
+        assert abs(unstable.iterates[-1]) > 10.0
+
+    def test_recompute_simulation_runs_and_matches_t2_at_phi_zero(self):
+        kw = dict(lam=1.0, alpha=0.03, tau_fwd=8, tau_bkwd=1, steps=200, noise_std=0.0, w0=1.0)
+        g = 0.4
+        t_rec = simulate_recompute_sgd(tau_recomp=4, delta=3.0, phi=0.0, gamma=g, **kw)
+        t_t2 = simulate_t2_sgd(delta=3.0, gamma=g, **kw)
+        np.testing.assert_allclose(t_rec.iterates, t_t2.iterates, atol=1e-12)
+
+    def test_divergence_flag_set(self):
+        t = simulate_delayed_sgd(1.0, 1.5, 10, 2000, noise_std=1.0)
+        assert t.diverged
+
+    def test_trajectory_validation(self):
+        with pytest.raises(ValueError):
+            simulate_discrepancy_sgd(1.0, 0.1, 2, 5, 0.0, 10)
+        with pytest.raises(ValueError):
+            simulate_t2_sgd(1.0, 0.1, 5, 2, 0.0, 1.0, 10)
+
+    def test_least_squares_boundary_scales_inverse_tau(self):
+        """The Figure 3(b) diagonal: divergence boundary α ∝ 1/τ."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(256, 4))
+        y = x @ rng.normal(size=4)
+
+        def unstable(alpha, tau):
+            series, diverged = simulate_delayed_least_squares(
+                x, y, alpha, tau, 800, rng=np.random.default_rng(1)
+            )
+            return diverged or series[-1] > 10 * series[0]
+
+        def boundary(tau):
+            lo, hi = 1e-5, 2.0
+            for _ in range(24):
+                mid = np.sqrt(lo * hi)
+                if unstable(mid, tau):
+                    hi = mid
+                else:
+                    lo = mid
+            return lo
+
+        b4, b16 = boundary(4), boundary(16)
+        assert b4 / b16 == pytest.approx(16 / 4, rel=0.35)
+
+
+class TestStabilityUtils:
+    def test_spectral_radius_strips_leading_zeros(self):
+        assert spectral_radius(np.array([0.0, 1.0, -0.5])) == pytest.approx(0.5)
+
+    def test_spectral_radius_rejects_zero_poly(self):
+        with pytest.raises(ValueError):
+            spectral_radius(np.zeros(3))
+
+    def test_max_stable_alpha_rejects_unstable_start(self):
+        with pytest.raises(ValueError):
+            max_stable_alpha(lambda a: np.array([1.0, -2.0]), alpha_lo=1.0)
+
+    def test_max_stable_alpha_hits_cap_for_always_stable(self):
+        out = max_stable_alpha(lambda a: np.array([1.0, 0.0]), alpha_hi=4.0)
+        assert out == 4.0
+
+    @given(st.integers(1, 12), st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_lemma1_boundary(self, tau, lam):
+        """Just inside the Lemma 1 threshold is always stable; just outside
+        never is."""
+        a = lemma1_alpha_max(tau, lam)
+        assert is_stable(char_poly_delayed_sgd(tau, 0.98 * a, lam), tol=0)
+        assert not is_stable(char_poly_delayed_sgd(tau, 1.02 * a, lam), tol=0)
+
+
+class TestLemma1CrossingFamily:
+    """Appendix B.2's root-counting machinery: the full family of α values
+    where roots of eq. (4) cross the unit circle (not just the first)."""
+
+    @pytest.mark.parametrize("tau", [1, 3, 10, 17])
+    def test_every_family_member_is_exact_unit_circle_root(self, tau):
+        from repro.theory import lemma1_crossing_family
+        from repro.theory.polynomials import char_poly_delayed_sgd, poly_eval
+
+        for n in range(tau // 2 + 1):
+            alpha, omega = lemma1_crossing_family(tau, 1.0, n)
+            assert abs(abs(omega) - 1.0) < 1e-12
+            val = poly_eval(char_poly_delayed_sgd(tau, alpha, 1.0), omega)
+            assert abs(val) < 1e-10, f"n={n}: |p(omega)|={abs(val):.2e}"
+            # conjugate root too (real polynomial)
+            val_c = poly_eval(char_poly_delayed_sgd(tau, alpha, 1.0), omega.conjugate())
+            assert abs(val_c) < 1e-10
+
+    def test_first_crossing_is_the_lemma1_threshold(self):
+        from repro.theory import lemma1_alpha_max, lemma1_crossing_family
+
+        for tau in (2, 5, 12):
+            alpha0, _ = lemma1_crossing_family(tau, 2.0, 0)
+            assert alpha0 == pytest.approx(lemma1_alpha_max(tau, 2.0), rel=1e-12)
+
+    def test_family_alphas_increase_with_n(self):
+        from repro.theory import lemma1_crossing_family
+
+        alphas = [lemma1_crossing_family(12, 1.0, n)[0] for n in range(7)]
+        assert alphas == sorted(alphas)
+        assert alphas[-1] <= 2.0 + 1e-12  # (2/λ)sin(θ) ≤ 2/λ
+
+    def test_invalid_arguments_rejected(self):
+        from repro.theory import lemma1_crossing_family
+
+        with pytest.raises(ValueError):
+            lemma1_crossing_family(10, -1.0, 0)
+        with pytest.raises(ValueError):
+            lemma1_crossing_family(0, 1.0, 0)
+        with pytest.raises(ValueError):
+            lemma1_crossing_family(10, 1.0, 6)  # > tau//2

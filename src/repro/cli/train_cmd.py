@@ -31,6 +31,12 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "--recompute-segment", type=int, default=None,
         help="activation recompute segment size (Appendix D)",
     )
+    parser.add_argument(
+        "--runtime", choices=["simulator", "async"], default="simulator",
+        help="pipeline backend: the sequential simulator, or the concurrent "
+        "multi-worker runtime (bit-identical trajectories; see README "
+        "'Runtime backends')",
+    )
     parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
 
 
@@ -66,10 +72,18 @@ def _run(args: argparse.Namespace) -> int:
             print(exc)
             return 2
 
+    if args.runtime not in workload.supported_runtimes():
+        print(
+            f"workload {workload.name!r} does not support --runtime "
+            f"{args.runtime} (supported: {', '.join(workload.supported_runtimes())}); "
+            "see README 'Runtime backends'"
+        )
+        return 2
+
     desc = cfg.describe() if cfg else "synchronous"
     print(
         f"workload={workload.name} method={args.method} config={desc} "
-        f"epochs={args.epochs} stages="
+        f"runtime={args.runtime} epochs={args.epochs} stages="
         f"{args.stages if args.stages else workload.max_stages()}"
     )
     result = workload.run(
@@ -79,6 +93,7 @@ def _run(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_stages=args.stages,
         recompute_segment=args.recompute_segment,
+        runtime=args.runtime,
     )
     metric = result.history.series("eval_metric")
     losses = result.history.series("train_loss")

@@ -73,13 +73,18 @@ class DiscrepancyCorrector:
 
     def corrected_weights(self, stage: int) -> list[np.ndarray]:
         """``w − Δτ·δ`` for every parameter of ``stage`` (current w)."""
+        return self.correct(stage, [p.data for p in self.stage_params[stage]])
+
+    def correct(self, stage: int, weights: list[np.ndarray]) -> list[np.ndarray]:
+        """``w − Δτ·δ`` applied to explicit ``weights`` (one array per stage
+        parameter).  Taking the base weights as an argument instead of
+        reading ``Parameter.data`` keeps the result independent of which
+        version the live parameters happen to point at — required by the
+        concurrent runtime, where version loads are per-worker."""
         dtau = self.dtau[stage]
         if dtau <= 0:
-            return [p.data for p in self.stage_params[stage]]
-        return [
-            p.data - dtau * v
-            for p, v in zip(self.stage_params[stage], self.velocity[stage])
-        ]
+            return list(weights)
+        return [w - dtau * v for w, v in zip(weights, self.velocity[stage])]
 
     def update(self, stage: int, old_weights: list[np.ndarray]) -> None:
         """Fold the step just taken (``w_new − w_old``) into the EWMA."""

@@ -28,7 +28,7 @@ from repro.nn import CrossEntropyLoss, SequenceCrossEntropyLoss
 from repro.nn.module import Module
 from repro.optim import SGD, AdamW, StepDecayLR, WarmupInverseSqrtLR
 from repro.optim.schedulers import LRSchedule
-from repro.pipeline import Method, PipelineExecutor, partition_model
+from repro.pipeline import Method, PipelineExecutor, make_backend, partition_model
 from repro.pipeline.executor import param_groups_from_stages
 from repro.pipeline.partition import num_weight_units
 from repro.train import PipelineTrainer, evaluate_classifier, evaluate_translation
@@ -37,10 +37,11 @@ from repro.train.pipeline_trainer import TrainResult
 
 @dataclass
 class WorkloadBundle:
-    """One ready-to-train instance of a workload."""
+    """One ready-to-train instance of a workload.  ``executor`` is either
+    backend (sequential simulator or concurrent async runtime)."""
 
     model: Module
-    executor: PipelineExecutor
+    executor: object
     trainer: PipelineTrainer
     num_stages: int
 
@@ -60,6 +61,10 @@ class _BaseWorkload:
     def resolve_stages(self, num_stages: int | None) -> int | None:
         return self.default_stages if num_stages is None else num_stages
 
+    def supported_runtimes(self) -> tuple[str, ...]:
+        """Pipeline backends this workload can train on."""
+        return ("simulator", "async")
+
     def max_stages(self) -> int:
         raise NotImplementedError
 
@@ -70,6 +75,7 @@ class _BaseWorkload:
         num_stages: int | None = None,
         seed: int = 0,
         recompute_segment: int | None = None,
+        runtime: str = "simulator",
     ) -> WorkloadBundle:
         raise NotImplementedError
 
@@ -82,10 +88,16 @@ class _BaseWorkload:
         seed: int = 0,
         recompute_segment: int | None = None,
         eval_every: int = 1,
+        runtime: str = "simulator",
     ) -> TrainResult:
-        b = self.bundle(method, pipemare, num_stages, seed, recompute_segment)
-        result = b.trainer.run(epochs, eval_every=eval_every)
+        b = self.bundle(method, pipemare, num_stages, seed, recompute_segment, runtime)
+        try:
+            result = b.trainer.run(epochs, eval_every=eval_every)
+        finally:
+            if hasattr(b.executor, "close"):
+                b.executor.close()
         result.meta["workload"] = self.name
+        result.meta["runtime"] = runtime
         return result
 
 
@@ -173,7 +185,7 @@ class ImageWorkload(_BaseWorkload):
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
-               seed=0, recompute_segment=None) -> WorkloadBundle:
+               seed=0, recompute_segment=None, runtime="simulator") -> WorkloadBundle:
         model = self.build_model(seed)
         loss = CrossEntropyLoss()
         stages = partition_model(model, self.resolve_stages(num_stages))
@@ -183,8 +195,8 @@ class ImageWorkload(_BaseWorkload):
             momentum=self.momentum,
             weight_decay=self.weight_decay,
         )
-        executor = PipelineExecutor(
-            model, loss, opt, stages, self.num_microbatches, method,
+        executor = make_backend(
+            runtime, model, loss, opt, stages, self.num_microbatches, method,
             pipemare=pipemare, base_schedule=self.base_schedule(),
             recompute_segment=recompute_segment,
         )
@@ -281,8 +293,22 @@ class TranslationWorkload(_BaseWorkload):
             )
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
+    def supported_runtimes(self) -> tuple[str, ...]:
+        """The Transformer's two-stream encoder/decoder dataflow and
+        training-mode dropout are not chain-sliceable (see
+        :mod:`repro.pipeline.stage_compute`), so only the simulator runs
+        translation workloads."""
+        return ("simulator",)
+
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
-               seed=0, recompute_segment=None) -> WorkloadBundle:
+               seed=0, recompute_segment=None, runtime="simulator") -> WorkloadBundle:
+        if runtime not in self.supported_runtimes():
+            raise ValueError(
+                "translation workloads require the simulator runtime: the "
+                "Transformer's two-stream encoder/decoder dataflow and "
+                "training-mode dropout are not chain-sliceable "
+                "(see repro.pipeline.stage_compute)"
+            )
         model = self.build_model(seed)
         loss = SequenceCrossEntropyLoss(
             pad_id=self.task.pad_id, label_smoothing=self.label_smoothing
@@ -317,53 +343,22 @@ class TranslationWorkload(_BaseWorkload):
 
 
 class _TranslationExecutor(PipelineExecutor):
-    """Executor variant whose samples are (src, tgt_in) tuples."""
+    """Executor variant whose samples are (src, tgt_in) tuples.  All pipeline
+    semantics come from the shared :class:`~repro.pipeline.plan.StepPlan`;
+    only the microbatch plumbing differs."""
 
-    def train_step(self, x, y):  # type: ignore[override]
+    def _split_minibatch(self, x, y, n):  # type: ignore[override]
         src, tgt_in = x
-        n = self.profile.num_microbatches
         if len(src) < n:
             raise ValueError(f"batch of {len(src)} cannot form {n} microbatches")
-        src_parts = np.array_split(src, n)
-        tgt_in_parts = np.array_split(tgt_in, n)
-        tgt_out_parts = np.array_split(y, n)
-        total = len(src)
-        sync = self._is_sync_step()
+        xs = list(zip(np.array_split(src, n), np.array_split(tgt_in, n)))
+        return xs, np.array_split(y, n)
 
-        self.optimizer.zero_grad()
-        losses = []
-        for j in range(n):
-            self._load_forward_weights(j, sync)
-            out = self.model(src_parts[j], tgt_in_parts[j])
-            losses.append(self.loss_fn(out, tgt_out_parts[j]))
-            grad = self.loss_fn.backward() * (len(src_parts[j]) * n / total)
-            if self.recompute_segment is not None and not sync:
-                self._load_recompute_weights(j)
-                self.model(src_parts[j], tgt_in_parts[j])
-            self._load_backward_weights(j, sync)
-            self.model.backward(grad)
-        self.store.load_latest()
+    def _forward(self, xj):  # type: ignore[override]
+        return self.model(*xj)
 
-        for p in self.model.parameters():
-            p.grad *= 1.0 / n
-        if self.grad_clip is not None:
-            from repro.optim import clip_grad_norm
-
-            clip_grad_norm(self.model.parameters(), self.grad_clip)
-        if self.base_schedule is not None:
-            self.optimizer.lr = self.base_schedule(self.t)
-        if self.reschedule is not None and not sync:
-            self.reschedule.apply(self.optimizer, self.t)
-        else:
-            for group in self.optimizer.groups:
-                group.lr_scale = 1.0
-        old_weights = [s.current() for s in self.stages] if self.corrector else None
-        self.optimizer.step()
-        self.store.push_current()
-        if self.corrector is not None and old_weights is not None:
-            self.corrector.update_all(old_weights)
-        self.t += 1
-        return float(np.mean(losses))
+    def _num_samples(self, xj):  # type: ignore[override]
+        return len(xj[0])
 
 
 # -- factories ----------------------------------------------------------------

@@ -40,3 +40,8 @@ class MLP(Module):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return self.net.backward(grad_out)
+
+    def pipeline_chain(self) -> list:
+        """The model as an ordered module chain, for the concurrent runtime
+        (:mod:`repro.pipeline.stage_compute`)."""
+        return [self.net]

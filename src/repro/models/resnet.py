@@ -128,6 +128,12 @@ class ResNet(Module):
         g = self.body.backward(g)
         return self.stem.backward(g)
 
+    def pipeline_chain(self) -> list:
+        """The model as an ordered module chain, for the concurrent runtime
+        (residual blocks stay atomic — their two-branch dataflow is internal
+        to one chain element)."""
+        return [self.stem, self.body, self.pool, self.head]
+
 
 def resnet_tiny(
     rng: np.random.Generator, num_classes: int = 10, norm: str = "group"

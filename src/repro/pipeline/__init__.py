@@ -16,10 +16,30 @@ analysis.
 from repro.pipeline.partition import Stage, partition_model, partition_units
 from repro.pipeline.delays import DelayProfile, Method
 from repro.pipeline.weight_store import WeightVersionStore
+from repro.pipeline.plan import StepPlan
 from repro.pipeline.executor import PipelineExecutor
+from repro.pipeline.runtime import AsyncPipelineRuntime, PipelineDeadlockError
 from repro.pipeline import costmodel
 from repro.pipeline import recompute
-from repro.pipeline.schedule import ScheduleGrid, build_schedule, bubble_fraction
+from repro.pipeline.schedule import (
+    ScheduleGrid,
+    build_schedule,
+    bubble_fraction,
+    stage_programs,
+)
+
+RUNTIME_BACKENDS = ("simulator", "async")
+
+
+def make_backend(runtime: str, *args, **kwargs):
+    """Build the requested pipeline backend ("simulator" or "async"); both
+    accept the :class:`PipelineExecutor` constructor arguments."""
+    if runtime == "simulator":
+        return PipelineExecutor(*args, **kwargs)
+    if runtime == "async":
+        return AsyncPipelineRuntime(*args, **kwargs)
+    raise ValueError(f"unknown runtime {runtime!r} (expected one of {RUNTIME_BACKENDS})")
+
 
 __all__ = [
     "Stage",
@@ -28,10 +48,16 @@ __all__ = [
     "DelayProfile",
     "Method",
     "WeightVersionStore",
+    "StepPlan",
     "PipelineExecutor",
+    "AsyncPipelineRuntime",
+    "PipelineDeadlockError",
+    "RUNTIME_BACKENDS",
+    "make_backend",
     "costmodel",
     "recompute",
     "ScheduleGrid",
     "build_schedule",
     "bubble_fraction",
+    "stage_programs",
 ]

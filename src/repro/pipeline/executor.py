@@ -1,4 +1,4 @@
-"""The pipeline-parallel training executor (the paper's simulator).
+"""The sequential pipeline-parallel training executor (the paper's simulator).
 
 Semantics per minibatch t of N microbatches (§2.1):
 
@@ -15,7 +15,11 @@ Semantics per minibatch t of N microbatches (§2.1):
 Because updates only land at minibatch boundaries, processing microbatches
 sequentially (fwd_j then bkwd_j) is numerically identical to the interleaved
 hardware schedule — all that matters is which version each phase reads,
-which the delay profile pins down.
+which the delay profile pins down.  All of that version arithmetic lives in
+the shared :class:`repro.pipeline.plan.StepPlan`;
+:class:`repro.pipeline.runtime.AsyncPipelineRuntime` executes the *same*
+plan concurrently and is differentially tested to match this simulator
+bit for bit.
 
 With ``recompute_segment`` set, a second forward pass regenerates
 activations at the recompute-delayed weights before backward (Appendix D's
@@ -26,14 +30,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DiscrepancyCorrector, LRReschedule, PipeMareConfig, WarmupSchedule
+from repro.core import PipeMareConfig
 from repro.nn.module import Module
-from repro.optim import Optimizer, ParamGroup, clip_grad_norm
+from repro.optim import Optimizer, ParamGroup
 from repro.optim.schedulers import LRSchedule
-from repro.pipeline.delays import DelayProfile, Method, _ceil_div
+from repro.pipeline.delays import Method
 from repro.pipeline.partition import Stage
-from repro.pipeline.recompute import recompute_delay_slots, segment_heads
-from repro.pipeline.weight_store import WeightVersionStore
+from repro.pipeline.plan import PipelineBackend, StepPlan
 
 
 def param_groups_from_stages(stages: list[Stage]) -> list[ParamGroup]:
@@ -42,8 +45,10 @@ def param_groups_from_stages(stages: list[Stage]) -> list[ParamGroup]:
     return [ParamGroup(params=list(s.params), name=f"stage{s.index}") for s in stages]
 
 
-class PipelineExecutor:
-    """Drives pipeline-parallel training of a model.
+class PipelineExecutor(PipelineBackend):
+    """Drives pipeline-parallel training of a model, one microbatch at a
+    time (the simulator backend; see
+    :class:`repro.pipeline.AsyncPipelineRuntime` for the concurrent one).
 
     Parameters
     ----------
@@ -83,184 +88,47 @@ class PipelineExecutor:
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
     ):
-        self.model = model
-        self.loss_fn = loss_fn
-        self.optimizer = optimizer
-        self.stages = stages
-        self.method = Method(method)
-        self.profile = DelayProfile(len(stages), num_microbatches, self.method)
-        self.store = WeightVersionStore(stages, self.profile.history_needed())
-        self.base_schedule = base_schedule
-        self.grad_clip = grad_clip
-        self.t = 0  # minibatch (optimizer-step) counter
-
-        if len(optimizer.groups) != len(stages):
-            raise ValueError(
-                f"optimizer must have one group per stage "
-                f"({len(optimizer.groups)} groups, {len(stages)} stages)"
-            )
-
-        cfg = pipemare if (pipemare is not None and self.method is Method.PIPEMARE) else None
-        self.config = cfg
-        tau_f = self.profile.tau_fwd_all()
-        tau_b = self.profile.tau_bkwd_all()
-        self.reschedule = (
-            LRReschedule(tau_f, cfg.anneal_steps) if cfg and cfg.use_t1 else None
+        super().__init__(
+            model,
+            loss_fn,
+            StepPlan(
+                params=model.parameters(),
+                optimizer=optimizer,
+                stages=stages,
+                num_microbatches=num_microbatches,
+                method=method,
+                pipemare=pipemare,
+                base_schedule=base_schedule,
+                grad_clip=grad_clip,
+                recompute_segment=recompute_segment,
+            ),
         )
-        self.corrector = (
-            DiscrepancyCorrector([s.params for s in stages], tau_f, tau_b, cfg.decay)
-            if cfg and cfg.use_t2
-            else None
-        )
-        self.warmup = WarmupSchedule(cfg.warmup_steps if cfg and cfg.use_t3 else 0)
 
-        self.recompute_segment = recompute_segment
-        if recompute_segment is not None:
-            self._recompute_lag = recompute_delay_slots(len(stages), recompute_segment)
-            self._segment_heads = set(segment_heads(len(stages), recompute_segment))
-        else:
-            self._recompute_lag = None
-            self._segment_heads = set()
-
-    # -- delay bookkeeping ----------------------------------------------------
-    def _is_sync_step(self) -> bool:
-        """True while T3's synchronous (GPipe-style) warmup window is active
-        or the method itself is GPipe."""
-        if self.method is Method.GPIPE:
-            return True
-        return self.warmup.is_synchronous(self.t)
-
-    def _recompute_version(self, stage: int, j: int) -> int:
-        """Weight version used to regenerate stage activations: the version
-        resident ``lag`` slots before the backward slot; segment heads reuse
-        the original forward version (their input was cached, not
-        recomputed)."""
-        if stage in self._segment_heads:
-            return self.profile.fwd_version(stage, self.t, j)
-        n = self.profile.num_microbatches
-        slot = self.t * n + j - int(self._recompute_lag[stage])
-        return max(0, _ceil_div(slot - n + 1, n))
-
-    def _load_forward_weights(self, j: int, sync: bool) -> None:
-        if sync:
-            self.store.load_latest()
-            return
-        for s in range(len(self.stages)):
-            self.store.load(s, self.profile.fwd_version(s, self.t, j))
-
-    def _load_backward_weights(self, j: int, sync: bool) -> None:
-        if sync or self.method is Method.GPIPE:
-            self.store.load_latest()
-            return
-        if self.method is Method.PIPEDREAM:
-            for s in range(len(self.stages)):
-                self.store.load(s, self.profile.bkwd_version(s, self.t, j))
-            return
-        # PipeMare: current weights, optionally T2-extrapolated toward u_fwd
-        self.store.load_latest()
-        if self.corrector is not None:
-            for s, stage in enumerate(self.stages):
-                stage.load(self.corrector.corrected_weights(s))
-
-    def _load_recompute_weights(self, j: int) -> None:
+    # -- weight loading -------------------------------------------------------
+    def _load_all(self, weights_for_stage) -> None:
         for s, stage in enumerate(self.stages):
-            version = self._recompute_version(s, j)
-            weights = self.store.weights(s, version)
-            if self.corrector is not None and s not in self._segment_heads:
-                # T2 for Recompute (App. D.1): extrapolate toward u_fwd
-                n = self.profile.num_microbatches
-                tau_r = self._recompute_lag[s] / n
-                dtau = max(self.profile.tau_fwd(s) - tau_r, 0.0)
-                weights = [
-                    w - dtau * v for w, v in zip(weights, self.corrector.velocity[s])
-                ]
-            stage.load(weights)
+            stage.load(weights_for_stage(s))
 
     # -- training ---------------------------------------------------------------
     def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
         """Run one minibatch; returns the mean microbatch training loss."""
-        n = self.profile.num_microbatches
-        if len(x) < n:
-            raise ValueError(f"minibatch of {len(x)} samples cannot form {n} microbatches")
-        xs = np.array_split(x, n)
-        ys = np.array_split(y, n)
-        total = len(x)
-        sync = self._is_sync_step()
+        plan = self.plan
+        n = plan.num_microbatches
+        xs, ys = self._split_minibatch(x, y, n)
+        total = sum(self._num_samples(xj) for xj in xs)
+        sync = plan.is_sync_step()
 
-        self.optimizer.zero_grad()
+        plan.begin_step()
         losses = []
         for j in range(n):
-            self._load_forward_weights(j, sync)
-            out = self.model(xs[j])
+            self._load_all(lambda s: plan.forward_weights(s, j, sync))
+            out = self._forward(xs[j])
             losses.append(self.loss_fn(out, ys[j]))
-            grad = self.loss_fn.backward()
-            # exact minibatch-mean weighting even for ragged microbatches
-            grad = grad * (len(xs[j]) * n / total)
-            if self.recompute_segment is not None and not sync:
-                self._load_recompute_weights(j)
-                self.model(xs[j])  # regenerate caches at recompute weights
-            self._load_backward_weights(j, sync)
+            grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
+            if plan.recompute_active(sync):
+                self._load_all(lambda s: plan.recompute_weights(s, j))
+                self._forward(xs[j])  # regenerate caches at recompute weights
+            self._load_all(lambda s: plan.backward_weights(s, j, sync))
             self.model.backward(grad)
-        self.store.load_latest()
-
-        for p in self.model.parameters():
-            p.grad *= 1.0 / n
-        if self.grad_clip is not None:
-            clip_grad_norm(self.model.parameters(), self.grad_clip)
-
-        if self.base_schedule is not None:
-            self.optimizer.lr = self.base_schedule(self.t)
-        if self.reschedule is not None and not sync:
-            self.reschedule.apply(self.optimizer, self.t)
-        else:
-            for group in self.optimizer.groups:
-                group.lr_scale = 1.0
-
-        old_weights = [s.current() for s in self.stages] if self.corrector else None
-        self.optimizer.step()
-        self.store.push_current()
-        if self.corrector is not None and old_weights is not None:
-            self.corrector.update_all(old_weights)
-        self.t += 1
+        plan.finish_step(sync)
         return float(np.mean(losses))
-
-    # -- accounting --------------------------------------------------------------
-    def step_time(self) -> float:
-        """Relative hardware time of the step just configured: 1.0 for the
-        bubble-free methods, ``1/0.3`` for synchronous (GPipe-style) steps —
-        the Appendix A.3 model used for time-to-accuracy."""
-        from repro.pipeline import costmodel
-
-        if self._is_sync_step():
-            return 1.0 / costmodel.optimal_gpipe_throughput()[0]
-        return 1.0
-
-    def extra_memory_elements(self) -> int:
-        """Extra persistent memory the method needs beyond one weight copy
-        (PipeDream's stash is accounted analytically in the cost model; here
-        we report the simulator-resident T2 buffer)."""
-        return self.corrector.memory_elements() if self.corrector else 0
-
-    # -- checkpointing -----------------------------------------------------------
-    def state_dict(self) -> dict:
-        """Everything mutable beyond the model itself: the minibatch
-        counter, the per-stage weight-version window (delayed reads resume
-        exactly), and the T2 velocity buffers.  The optimizer is checkpointed
-        separately (:meth:`repro.optim.Optimizer.state_dict`)."""
-        state = {"t": self.t, "store": self.store.state_dict()}
-        if self.corrector is not None:
-            state["corrector"] = self.corrector.state_dict()
-        return state
-
-    def load_state_dict(self, state: dict) -> None:
-        """Restore :meth:`state_dict` output.  The executor must have been
-        built with the same model partition and PipeMare configuration."""
-        if ("corrector" in state) != (self.corrector is not None):
-            raise ValueError(
-                "checkpoint and executor disagree on T2 discrepancy "
-                "correction (one has a corrector, the other does not)"
-            )
-        self.t = int(state["t"])
-        self.store.load_state_dict(state["store"])
-        if self.corrector is not None:
-            self.corrector.load_state_dict(state["corrector"])

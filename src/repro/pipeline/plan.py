@@ -1,0 +1,340 @@
+"""The per-minibatch step plan shared by both pipeline backends.
+
+:class:`StepPlan` owns every decision the paper's semantics pin down for one
+optimizer step — which weight version each stage reads at each forward /
+backward / recompute slot, how microbatch gradients are weighted and
+accumulated, and everything that happens at the optimizer-step boundary
+(grad scaling, clipping, T1 rescheduling, the step itself, pushing the new
+version, T2 velocity updates).
+
+Both the sequential simulator (:class:`repro.pipeline.PipelineExecutor`) and
+the concurrent runtime (:class:`repro.pipeline.AsyncPipelineRuntime`)
+delegate to one ``StepPlan``, which is what makes their trajectories
+bit-for-bit identical: the backends differ only in *when* (wall-clock) each
+(stage, microbatch) work item runs, never in *what* it computes.
+
+All weight lookups resolve against the :class:`WeightVersionStore` rather
+than live ``Parameter.data`` so the answers are independent of which version
+the parameters currently point at — a hard requirement once stages execute
+concurrently on worker threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DiscrepancyCorrector, LRReschedule, PipeMareConfig, WarmupSchedule
+from repro.nn.module import Parameter
+from repro.optim import Optimizer, clip_grad_norm
+from repro.optim.schedulers import LRSchedule
+from repro.pipeline.delays import DelayProfile, Method, _ceil_div
+from repro.pipeline.partition import Stage
+from repro.pipeline.recompute import recompute_delay_slots, segment_heads
+from repro.pipeline.weight_store import WeightVersionStore
+
+
+class StepPlan:
+    """Delay-slot resolution + optimizer-step boundary for one pipeline.
+
+    Parameters mirror :class:`repro.pipeline.PipelineExecutor`; ``params``
+    is the full flat parameter list (model order) used for gradient scaling
+    and clipping.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        optimizer: Optimizer,
+        stages: list[Stage],
+        num_microbatches: int,
+        method: Method | str = Method.PIPEMARE,
+        pipemare: PipeMareConfig | None = None,
+        base_schedule: LRSchedule | None = None,
+        grad_clip: float | None = None,
+        recompute_segment: int | None = None,
+    ):
+        self.params = params
+        self.optimizer = optimizer
+        self.stages = stages
+        self.method = Method(method)
+        self.profile = DelayProfile(len(stages), num_microbatches, self.method)
+        self.store = WeightVersionStore(stages, self.profile.history_needed())
+        self.base_schedule = base_schedule
+        self.grad_clip = grad_clip
+        self.t = 0  # minibatch (optimizer-step) counter
+
+        if len(optimizer.groups) != len(stages):
+            raise ValueError(
+                f"optimizer must have one group per stage "
+                f"({len(optimizer.groups)} groups, {len(stages)} stages)"
+            )
+
+        cfg = pipemare if (pipemare is not None and self.method is Method.PIPEMARE) else None
+        self.config = cfg
+        tau_f = self.profile.tau_fwd_all()
+        tau_b = self.profile.tau_bkwd_all()
+        self.reschedule = (
+            LRReschedule(tau_f, cfg.anneal_steps) if cfg and cfg.use_t1 else None
+        )
+        self.corrector = (
+            DiscrepancyCorrector([s.params for s in stages], tau_f, tau_b, cfg.decay)
+            if cfg and cfg.use_t2
+            else None
+        )
+        self.warmup = WarmupSchedule(cfg.warmup_steps if cfg and cfg.use_t3 else 0)
+
+        self.recompute_segment = recompute_segment
+        if recompute_segment is not None:
+            self._recompute_lag = recompute_delay_slots(len(stages), recompute_segment)
+            self._segment_heads = set(segment_heads(len(stages), recompute_segment))
+        else:
+            self._recompute_lag = None
+            self._segment_heads = set()
+
+    # -- step-level predicates -----------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_microbatches(self) -> int:
+        return self.profile.num_microbatches
+
+    def is_sync_step(self) -> bool:
+        """True while T3's synchronous (GPipe-style) warmup window is active
+        or the method itself is GPipe."""
+        if self.method is Method.GPIPE:
+            return True
+        return self.warmup.is_synchronous(self.t)
+
+    def recompute_active(self, sync: bool) -> bool:
+        return self.recompute_segment is not None and not sync
+
+    # -- weight-version resolution (store-based, execution-order free) -------
+    def forward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
+        """Arrays stage ``stage`` must read in the forward of microbatch j."""
+        if sync:
+            return self.store.weights(stage, self.store.latest_version)
+        return self.store.weights(stage, self.profile.fwd_version(stage, self.t, j))
+
+    def backward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
+        """Arrays read in the backward pass: the stashed forward version
+        (PipeDream), the current version (GPipe, PipeMare), or the
+        T2-corrected extrapolation ``w − Δτ·δ`` (PipeMare + T2)."""
+        if not sync and self.method is Method.PIPEDREAM:
+            return self.store.weights(stage, self.profile.bkwd_version(stage, self.t, j))
+        latest = self.store.weights(stage, self.store.latest_version)
+        if sync or self.corrector is None:
+            return latest
+        return self.corrector.correct(stage, latest)
+
+    def _recompute_version(self, stage: int, j: int) -> int:
+        """Weight version used to regenerate stage activations: the version
+        resident ``lag`` slots before the backward slot; segment heads reuse
+        the original forward version (their input was cached, not
+        recomputed)."""
+        if stage in self._segment_heads:
+            return self.profile.fwd_version(stage, self.t, j)
+        n = self.profile.num_microbatches
+        slot = self.t * n + j - int(self._recompute_lag[stage])
+        return max(0, _ceil_div(slot - n + 1, n))
+
+    def recompute_weights(self, stage: int, j: int) -> list[np.ndarray]:
+        """Arrays used to regenerate activations before backward (Appendix
+        D's three-delay model), with the T2 extrapolation toward ``u_fwd``
+        applied to non-head stages (App. D.1)."""
+        weights = self.store.weights(stage, self._recompute_version(stage, j))
+        if self.corrector is not None and stage not in self._segment_heads:
+            n = self.profile.num_microbatches
+            tau_r = self._recompute_lag[stage] / n
+            dtau = max(self.profile.tau_fwd(stage) - tau_r, 0.0)
+            weights = [
+                w - dtau * v for w, v in zip(weights, self.corrector.velocity[stage])
+            ]
+        return weights
+
+    # -- gradient weighting ---------------------------------------------------
+    def grad_scale(self, microbatch_len: int, total: int) -> float:
+        """Loss-gradient multiplier giving the exact minibatch mean even for
+        ragged microbatches (combined with the final ``1/N`` in
+        :meth:`finish_step`)."""
+        return microbatch_len * self.profile.num_microbatches / total
+
+    # -- optimizer-step boundary ----------------------------------------------
+    def begin_step(self) -> None:
+        self.optimizer.zero_grad()
+
+    def finish_step(self, sync: bool) -> None:
+        """Everything that happens once all N microbatch gradients are in:
+        restore latest weights, normalize/clip grads, apply LR schedules
+        (T1 only on async steps), step, push version t+1, update T2."""
+        self.store.load_latest()
+
+        n = self.profile.num_microbatches
+        for p in self.params:
+            p.grad *= 1.0 / n
+        if self.grad_clip is not None:
+            clip_grad_norm(self.params, self.grad_clip)
+
+        if self.base_schedule is not None:
+            self.optimizer.lr = self.base_schedule(self.t)
+        if self.reschedule is not None and not sync:
+            self.reschedule.apply(self.optimizer, self.t)
+        else:
+            for group in self.optimizer.groups:
+                group.lr_scale = 1.0
+
+        old_weights = [s.current() for s in self.stages] if self.corrector else None
+        self.optimizer.step()
+        self.store.push_current()
+        if self.corrector is not None and old_weights is not None:
+            self.corrector.update_all(old_weights)
+        self.t += 1
+
+    # -- accounting --------------------------------------------------------------
+    def step_time(self) -> float:
+        """Relative hardware time of the step about to run: 1.0 for the
+        bubble-free methods, ``1/0.3`` for synchronous (GPipe-style) steps —
+        the Appendix A.3 model used for time-to-accuracy."""
+        from repro.pipeline import costmodel
+
+        if self.is_sync_step():
+            return 1.0 / costmodel.optimal_gpipe_throughput()[0]
+        return 1.0
+
+    def extra_memory_elements(self) -> int:
+        """Extra persistent memory beyond one weight copy (the simulator-
+        resident T2 buffer; PipeDream's stash is accounted analytically)."""
+        return self.corrector.memory_elements() if self.corrector else 0
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything mutable beyond the model itself: the minibatch
+        counter, the per-stage weight-version window (delayed reads resume
+        exactly), and the T2 velocity buffers.  The optimizer is checkpointed
+        separately (:meth:`repro.optim.Optimizer.state_dict`)."""
+        state = {"t": self.t, "store": self.store.state_dict()}
+        if self.corrector is not None:
+            state["corrector"] = self.corrector.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.  The plan must have been built
+        with the same model partition and PipeMare configuration."""
+        if ("corrector" in state) != (self.corrector is not None):
+            raise ValueError(
+                "checkpoint and executor disagree on T2 discrepancy "
+                "correction (one has a corrector, the other does not)"
+            )
+        self.t = int(state["t"])
+        self.store.load_state_dict(state["store"])
+        if self.corrector is not None:
+            self.corrector.load_state_dict(state["corrector"])
+
+
+class PipelineBackend:
+    """Shared surface of the two pipeline backends: plan delegation,
+    microbatch plumbing hooks, accounting, and checkpointing.
+
+    Subclasses (:class:`repro.pipeline.PipelineExecutor`,
+    :class:`repro.pipeline.AsyncPipelineRuntime`) construct ``self.plan``
+    and implement ``train_step``; multi-input models override the
+    ``_split_minibatch`` / ``_forward`` / ``_num_samples`` hooks once and
+    the override works against either backend."""
+
+    def __init__(self, model, loss_fn, plan: StepPlan):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.plan = plan
+
+    # -- plan delegation ------------------------------------------------------
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.plan.optimizer
+
+    @property
+    def stages(self) -> list[Stage]:
+        return self.plan.stages
+
+    @property
+    def method(self) -> Method:
+        return self.plan.method
+
+    @property
+    def profile(self) -> DelayProfile:
+        return self.plan.profile
+
+    @property
+    def store(self) -> WeightVersionStore:
+        return self.plan.store
+
+    @store.setter
+    def store(self, value: WeightVersionStore) -> None:
+        self.plan.store = value
+
+    @property
+    def config(self) -> PipeMareConfig | None:
+        return self.plan.config
+
+    @property
+    def corrector(self):
+        return self.plan.corrector
+
+    @property
+    def reschedule(self):
+        return self.plan.reschedule
+
+    @property
+    def warmup(self) -> WarmupSchedule:
+        return self.plan.warmup
+
+    @property
+    def base_schedule(self) -> LRSchedule | None:
+        return self.plan.base_schedule
+
+    @property
+    def grad_clip(self) -> float | None:
+        return self.plan.grad_clip
+
+    @property
+    def recompute_segment(self) -> int | None:
+        return self.plan.recompute_segment
+
+    @property
+    def t(self) -> int:
+        return self.plan.t
+
+    @t.setter
+    def t(self, value: int) -> None:
+        self.plan.t = value
+
+    # -- microbatch plumbing (overridable for multi-input models) -------------
+    def _split_minibatch(self, x, y, n: int) -> tuple[list, list]:
+        """Split (x, y) into N microbatches along axis 0."""
+        if len(x) < n:
+            raise ValueError(f"minibatch of {len(x)} samples cannot form {n} microbatches")
+        return np.array_split(x, n), np.array_split(y, n)
+
+    def _forward(self, xj):
+        return self.model(xj)
+
+    def _num_samples(self, xj) -> int:
+        return len(xj)
+
+    # -- training ---------------------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # -- accounting --------------------------------------------------------------
+    def step_time(self) -> float:
+        return self.plan.step_time()
+
+    def extra_memory_elements(self) -> int:
+        return self.plan.extra_memory_elements()
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        return self.plan.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.plan.load_state_dict(state)

@@ -1,0 +1,334 @@
+"""Concurrent asynchronous pipeline runtime.
+
+Where :class:`repro.pipeline.PipelineExecutor` *simulates* pipeline delay by
+processing microbatches one at a time, this runtime actually runs the
+pipeline: every stage slice executes on its own worker thread with inbound
+activation/gradient queues, following the interleaved occupancy schedule
+from :mod:`repro.pipeline.schedule` for real — 1F1B for the asynchronous
+methods, fill/drain for GPipe and T3 warmup steps.  Weight versions are
+read through the shared :class:`~repro.pipeline.plan.StepPlan` at the exact
+``v_fwd`` / ``v_bkwd`` / recompute slots the delay profile prescribes, so
+the per-step losses and final weights are **bit-for-bit identical** to the
+sequential simulator (enforced by ``tests/test_runtime_equivalence.py``).
+
+Why equivalence holds despite concurrency:
+
+* every weight version a minibatch reads already exists at the minibatch
+  boundary (the newest version any slot resolves to is the current one), so
+  no read races an optimizer step;
+* each parameter belongs to exactly one worker, which processes backwards
+  in microbatch order — gradient accumulation order per parameter matches
+  the simulator exactly;
+* per-microbatch forward caches are snapshotted/restored around the many
+  in-flight microbatches a worker interleaves;
+* NumPy kernels are deterministic, and they release the GIL, which is where
+  the wall-clock overlap comes from on multi-core hosts.
+
+The optimizer still steps once per minibatch on the driver thread (the
+paper's semantics — updates land at minibatch boundaries), so a train step
+is: broadcast the step context, let the workers drain the schedule, then
+run the shared optimizer-boundary logic from the plan.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import PipeMareConfig
+from repro.nn.dropout import Dropout
+from repro.nn.module import Module
+from repro.optim import Optimizer
+from repro.optim.schedulers import LRSchedule
+from repro.pipeline.delays import Method
+from repro.pipeline.partition import Stage
+from repro.pipeline.plan import PipelineBackend, StepPlan
+from repro.pipeline.schedule import stage_programs
+from repro.pipeline.stage_compute import WorkerCompute, build_worker_computes
+
+
+class PipelineDeadlockError(RuntimeError):
+    """A worker waited longer than ``deadlock_timeout`` for an activation or
+    gradient that never arrived — the schedule's dataflow stalled."""
+
+
+@dataclass
+class _StepContext:
+    """Everything one train step shares between driver and workers."""
+
+    sync: bool
+    xs: list
+    ys: list
+    scales: list[float]
+    programs: list[list[tuple[str, int]]]
+    losses: list[float]
+    # queue[w] feeds worker w; w=0 reads straight from xs.
+    act_q: list[queue.SimpleQueue]
+    grad_q: list[queue.SimpleQueue]
+    rec_q: list[queue.SimpleQueue]
+
+
+@dataclass
+class RuntimeStats:
+    """Wall-clock accounting for the last :meth:`train_step` (and running
+    totals) — the raw material for measured bubble fractions."""
+
+    steps: int = 0
+    last_wall: float = 0.0
+    total_wall: float = 0.0
+    last_busy: list[float] = field(default_factory=list)
+    total_busy: list[float] = field(default_factory=list)
+
+    def bubble_fraction(self) -> float:
+        """1 − busy/(wall × workers) over all steps so far: the measured
+        share of worker-time spent idle (queue waits + fill/drain)."""
+        if not self.total_busy or self.total_wall <= 0:
+            return 0.0
+        denom = self.total_wall * len(self.total_busy)
+        return max(0.0, 1.0 - sum(self.total_busy) / denom)
+
+
+class AsyncPipelineRuntime(PipelineBackend):
+    """Event-driven multi-worker pipeline backend.
+
+    Accepts the same arguments as :class:`~repro.pipeline.PipelineExecutor`
+    plus ``deadlock_timeout`` (seconds a worker may wait on a queue before
+    the step is aborted with :class:`PipelineDeadlockError` — a wedged pipe
+    fails fast instead of hanging).
+
+    The model must be sliceable into a chain (see
+    :mod:`repro.pipeline.stage_compute`); stochastic-forward modules
+    (Dropout in training mode) are rejected because their draw order would
+    depend on wall-clock scheduling.
+
+    Use as a context manager, or call :meth:`close`, to shut the worker
+    threads down promptly; they are daemons, so leaking one cannot hang
+    interpreter exit.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Module,
+        optimizer: Optimizer,
+        stages: list[Stage],
+        num_microbatches: int,
+        method: Method | str = Method.PIPEMARE,
+        pipemare: PipeMareConfig | None = None,
+        base_schedule: LRSchedule | None = None,
+        grad_clip: float | None = None,
+        recompute_segment: int | None = None,
+        deadlock_timeout: float = 30.0,
+    ):
+        super().__init__(
+            model,
+            loss_fn,
+            StepPlan(
+                params=model.parameters(),
+                optimizer=optimizer,
+                stages=stages,
+                num_microbatches=num_microbatches,
+                method=method,
+                pipemare=pipemare,
+                base_schedule=base_schedule,
+                grad_clip=grad_clip,
+                recompute_segment=recompute_segment,
+            ),
+        )
+        self.deadlock_timeout = deadlock_timeout
+        self.workers: list[WorkerCompute] = build_worker_computes(model, stages)
+        for w in self.workers:
+            for m in w.all_modules:
+                if isinstance(m, Dropout) and m.p > 0:
+                    raise ValueError(
+                        "AsyncPipelineRuntime does not support training-mode "
+                        "Dropout: its RNG draw order would depend on thread "
+                        "scheduling; use the simulator backend"
+                    )
+        k, n = len(self.workers), num_microbatches
+        recompute = recompute_segment is not None
+        # Worker programs come straight off the occupancy grids: the
+        # schedule module's Figure 1 cartoons, executed for real.  (For the
+        # GPipe method is_sync_step() is always True, so only the sync
+        # program is ever used there.)
+        self._programs = {
+            True: stage_programs(Method.GPIPE, k, n, recompute=False),
+            False: stage_programs(self.plan.method, k, n, recompute=recompute),
+        }
+        self.stats = RuntimeStats(
+            last_busy=[0.0] * k, total_busy=[0.0] * k
+        )
+
+        self._cmd: list[queue.SimpleQueue] = [queue.SimpleQueue() for _ in range(k)]
+        self._done: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._wedged = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(w,), name=f"pipe-worker-{w}", daemon=True
+            )
+            for w in range(k)
+        ]
+        for th in self._threads:
+            th.start()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    # -- training ---------------------------------------------------------------
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Run one minibatch through the concurrent pipe; returns the mean
+        microbatch training loss (bit-identical to the simulator's)."""
+        if self._closed:
+            raise RuntimeError("runtime is closed")
+        if self._wedged:
+            raise RuntimeError(
+                "runtime is wedged after a deadlock (a worker never reported "
+                "back); build a fresh runtime"
+            )
+        plan = self.plan
+        n = plan.num_microbatches
+        xs, ys = self._split_minibatch(x, y, n)
+        total = sum(self._num_samples(xj) for xj in xs)
+        sync = plan.is_sync_step()
+        k = self.num_workers
+
+        plan.begin_step()
+        ctx = _StepContext(
+            sync=sync,
+            xs=xs,
+            ys=ys,
+            scales=[plan.grad_scale(self._num_samples(xj), total) for xj in xs],
+            programs=self._programs[True] if sync else self._programs[False],
+            losses=[0.0] * n,
+            act_q=[queue.SimpleQueue() for _ in range(k)],
+            grad_q=[queue.SimpleQueue() for _ in range(k)],
+            rec_q=[queue.SimpleQueue() for _ in range(k)],
+        )
+        start = time.perf_counter()
+        for cq in self._cmd:
+            cq.put(ctx)
+
+        errors = []
+        for _ in range(k):
+            try:
+                w, err, busy = self._done.get(timeout=self.deadlock_timeout + 10.0)
+            except queue.Empty:
+                # A worker never reported back even after its own queue
+                # timeout window: don't reuse the runtime, but close() can
+                # still deliver shutdown sentinels.
+                self._wedged = True
+                raise PipelineDeadlockError(
+                    f"pipeline stalled: a worker did not finish within "
+                    f"{self.deadlock_timeout + 10.0:.0f}s"
+                ) from None
+            self.stats.last_busy[w] = busy
+            if err is not None:
+                errors.append((w, err))
+        wall = time.perf_counter() - start
+        self.stats.steps += 1
+        self.stats.last_wall = wall
+        self.stats.total_wall += wall
+        for w in range(k):
+            self.stats.total_busy[w] += self.stats.last_busy[w]
+        if errors:
+            w, err = errors[0]
+            if isinstance(err, queue.Empty):
+                raise PipelineDeadlockError(
+                    f"worker {w} waited >{self.deadlock_timeout}s for an "
+                    f"activation/gradient that never arrived"
+                ) from None
+            raise err
+
+        plan.finish_step(sync)
+        return float(np.mean(ctx.losses))
+
+    # -- worker side ------------------------------------------------------------
+    def _worker_loop(self, w: int) -> None:
+        while True:
+            ctx = self._cmd[w].get()
+            if ctx is None:
+                return
+            busy = 0.0
+            err = None
+            try:
+                busy = self._run_program(w, ctx)
+            except BaseException as exc:  # noqa: BLE001 — relayed to driver
+                err = exc
+            self._done.put((w, err, busy))
+
+    def _run_program(self, w: int, ctx: _StepContext) -> float:
+        plan = self.plan
+        compute = self.workers[w]
+        first = w == 0
+        last = w == self.num_workers - 1
+        timeout = self.deadlock_timeout
+        snapshots: dict[int, list[dict]] = {}
+        grads: dict[int, np.ndarray] = {}
+        recompute = plan.recompute_active(ctx.sync)
+        busy = 0.0
+
+        for op, j in ctx.programs[w]:
+            if op == "F":
+                xj = ctx.xs[j] if first else ctx.act_q[w].get(timeout=timeout)
+                t0 = time.perf_counter()
+                compute.load_weights(lambda s: plan.forward_weights(s, j, ctx.sync))
+                out = compute.forward(xj)
+                if last:
+                    ctx.losses[j] = self.loss_fn(out, ctx.ys[j])
+                    grads[j] = self.loss_fn.backward() * ctx.scales[j]
+                if not recompute:
+                    snapshots[j] = compute.cache_state()
+                busy += time.perf_counter() - t0
+                if not last:
+                    ctx.act_q[w + 1].put(out)
+            elif op == "R":
+                xj = ctx.xs[j] if first else ctx.rec_q[w].get(timeout=timeout)
+                t0 = time.perf_counter()
+                compute.load_weights(lambda s: plan.recompute_weights(s, j))
+                out = compute.forward(xj)
+                snapshots[j] = compute.cache_state()
+                busy += time.perf_counter() - t0
+                if not last:
+                    ctx.rec_q[w + 1].put(out)
+            else:  # "B"
+                gj = grads.pop(j) if last else ctx.grad_q[w].get(timeout=timeout)
+                t0 = time.perf_counter()
+                compute.load_cache_state(snapshots.pop(j))
+                compute.load_weights(lambda s: plan.backward_weights(s, j, ctx.sync))
+                gout = compute.backward(gj)
+                busy += time.perf_counter() - t0
+                if not first:
+                    ctx.grad_q[w - 1].put(gout)
+        return busy
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker threads (idempotent).  Safe after a deadlock:
+        the shutdown sentinel is consumed once a stalled worker's own queue
+        timeout returns it to its command loop."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for cq in getattr(self, "_cmd", []):
+            cq.put(None)
+        for th in getattr(self, "_threads", []):
+            th.join(timeout=1.0)
+
+    def __enter__(self) -> "AsyncPipelineRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; threads are daemons regardless
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -104,3 +104,41 @@ def build_schedule(
             grid[s, 2 * m + s] = FORWARD
             grid[s, 2 * m + (2 * p - 1 - s)] = BACKWARD
     return ScheduleGrid(grid=grid, method=method, num_microbatches=n)
+
+
+def stage_programs(
+    method: Method | str,
+    num_stages: int,
+    num_microbatches: int,
+    recompute: bool = False,
+) -> list[list[tuple[str, int]]]:
+    """Per-stage ordered work lists for one minibatch, read off the grid.
+
+    Returns ``programs[stage] = [(op, microbatch), ...]`` with op ∈
+    {"F", "B"} (plus "R" when ``recompute``), in the slot order the
+    occupancy grid prescribes.  This is the program each worker of the
+    concurrent runtime executes verbatim: occurrences of F (resp. B) in a
+    row are microbatches 0..N−1 in order, so the grid *is* the schedule.
+
+    With ``recompute``, a recompute pass "R" for microbatch j is inserted
+    directly after its forward — the recompute wave chases the forward wave
+    down the pipe (stage s's R_j input is stage s−1's R_j output), which
+    keeps the dataflow deadlock-free while matching the simulator's
+    fwd_j → recompute_j → bkwd_j ordering per stage.
+    """
+    schedule = build_schedule(method, num_stages, num_microbatches, num_minibatches=1)
+    programs: list[list[tuple[str, int]]] = []
+    for s in range(num_stages):
+        ops: list[tuple[str, int]] = []
+        next_f = next_b = 0
+        for cell in schedule.grid[s]:
+            if cell == FORWARD:
+                ops.append(("F", next_f))
+                if recompute:
+                    ops.append(("R", next_f))
+                next_f += 1
+            elif cell == BACKWARD:
+                ops.append(("B", next_b))
+                next_b += 1
+        programs.append(ops)
+    return programs

@@ -1,0 +1,217 @@
+"""Slice a model into per-worker computational chains for the concurrent
+runtime.
+
+The partitioner (:mod:`repro.pipeline.partition`) splits *parameters* into
+stages; to actually run stages concurrently we also need the *computation*
+split into pieces a worker thread can own.  A model is sliceable when its
+forward is a chain of single-input single-output modules whose parameter
+registration order matches the chain order (true for every topologically
+ordered model in this library).  Models expose the chain via a
+``pipeline_chain()`` method; ``Sequential`` containers flatten
+automatically; anything else is treated as one atomic element.
+
+Chain elements are grouped into workers along the stage boundaries.  An
+element whose parameters span a stage boundary (e.g. a residual block split
+mid-way by a fine partition) is executed whole by the worker of its first
+stage — each of its parameters still reads the weight version of *its own*
+stage, so the delay semantics are untouched; only the available concurrency
+shrinks.  In the degenerate case (un-sliceable model) a single worker runs
+everything, which is still bit-for-bit correct, just not concurrent.
+
+Workers interleave many in-flight microbatches on the same modules, so the
+per-microbatch forward caches (the ``_``-prefixed attributes every layer
+stashes for its backward, per the :mod:`repro.nn.module` contract) are
+snapshotted after each forward and restored before the matching backward.
+Persistent state (BatchNorm running stats, RNGs — no leading underscore) is
+deliberately *not* snapshotted: it mutates in stage-local microbatch order,
+exactly as in the sequential simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.module import Module, Parameter, Sequential
+
+
+def flatten_chain(model: Module) -> list[Module]:
+    """Flatten ``model`` into an ordered list of chain elements.
+
+    Preference order: an explicit ``pipeline_chain()`` method, then
+    ``Sequential`` flattening, then the module itself as one atomic element.
+    """
+    chain = getattr(model, "pipeline_chain", None)
+    if callable(chain):
+        out: list[Module] = []
+        for element in chain():
+            out.extend(flatten_chain(element))
+        return out
+    if isinstance(model, Sequential):
+        out = []
+        for layer in model.layers:
+            out.extend(flatten_chain(layer))
+        return out
+    return [model]
+
+
+_CACHE_EXCLUDED = ("_parameters", "_modules")
+
+
+def _is_cache_attr(name: str) -> bool:
+    return name.startswith("_") and name not in _CACHE_EXCLUDED
+
+
+@dataclass
+class _StageBinding:
+    """Where one worker's parameters live in the weight store: for stage
+    ``stage`` the worker owns the parameters at ``positions`` within the
+    stage's parameter list."""
+
+    stage: int
+    positions: list[int]
+    params: list[Parameter]
+
+
+class WorkerCompute:
+    """One worker's slice of the model: a chain of modules plus the store
+    coordinates of every parameter the slice reads."""
+
+    def __init__(self, index: int, elements: list[Module], bindings: list[_StageBinding]):
+        self.index = index
+        self.elements = elements
+        self.bindings = bindings
+        # Every descendant module, for cache snapshot/restore.
+        seen: set[int] = set()
+        self.all_modules: list[Module] = []
+        for element in elements:
+            for m in element.modules():
+                if id(m) not in seen:
+                    seen.add(id(m))
+                    self.all_modules.append(m)
+
+    @property
+    def stages(self) -> list[int]:
+        return [b.stage for b in self.bindings]
+
+    def forward(self, x):
+        for element in self.elements:
+            x = element(x)
+        return x
+
+    def backward(self, grad):
+        for element in reversed(self.elements):
+            grad = element.backward(grad)
+        return grad
+
+    def load_weights(self, weights_for_stage) -> None:
+        """Point this worker's parameters at the arrays
+        ``weights_for_stage(stage)`` prescribes (whole-stage list; the
+        worker picks its positions — a stage may be shared with an adjacent
+        worker, on disjoint parameter sets)."""
+        for b in self.bindings:
+            arrays = weights_for_stage(b.stage)
+            for pos, p in zip(b.positions, b.params):
+                p.data = arrays[pos]
+
+    def cache_state(self) -> list[dict]:
+        """Snapshot of every per-microbatch forward cache in the slice (the
+        ``_``-prefixed module attributes).  Mutable containers are copied one
+        level deep: caches like Embedding's index stack are mutated in place
+        by backward, so a reference snapshot would alias across the many
+        in-flight microbatches; the arrays inside are never mutated (the
+        module contract), so one level suffices."""
+        return [
+            {
+                k: (v.copy() if isinstance(v, (list, dict, set)) else v)
+                for k, v in m.__dict__.items()
+                if _is_cache_attr(k)
+            }
+            for m in self.all_modules
+        ]
+
+    def load_cache_state(self, state: list[dict]) -> None:
+        for m, attrs in zip(self.all_modules, state):
+            for k, v in attrs.items():
+                object.__setattr__(m, k, v)
+
+
+def build_worker_computes(model: Module, stages) -> list[WorkerCompute]:
+    """Slice ``model`` along the stage partition into worker computes.
+
+    Raises ``ValueError`` if the chain does not cover the model's parameters
+    exactly (a model whose forward falls outside its declared chain would
+    otherwise train silently wrong).
+    """
+    elements = flatten_chain(model)
+
+    locator: dict[int, tuple[int, int]] = {}
+    for s, stage in enumerate(stages):
+        for pos, p in enumerate(stage.params):
+            locator[id(p)] = (s, pos)
+
+    model_param_ids = {id(p) for p in model.parameters()}
+    chain_param_ids: set[int] = set()
+
+    # Assign each element a primary stage: the first stage of its own
+    # parameters, else (param-free glue like activations) the stage of the
+    # preceding element — bitwise equivalent wherever it runs, since it
+    # reads no weights.
+    primaries: list[int] = []
+    current = 0
+    for element in elements:
+        element_stages: list[int] = []
+        for p in element.parameters():
+            if id(p) not in locator:
+                raise ValueError(
+                    f"chain element {type(element).__name__} has parameter "
+                    f"{p.name!r} outside the stage partition"
+                )
+            if id(p) in chain_param_ids:
+                raise ValueError(
+                    f"parameter {p.name!r} appears in more than one chain element"
+                )
+            chain_param_ids.add(id(p))
+            element_stages.append(locator[id(p)][0])
+        if element_stages:
+            current = min(element_stages)
+        primaries.append(current)
+
+    if chain_param_ids != model_param_ids:
+        missing = len(model_param_ids - chain_param_ids)
+        raise ValueError(
+            f"pipeline chain covers {len(chain_param_ids)} of the model's "
+            f"{len(model_param_ids)} parameters ({missing} missing) — "
+            "the model's pipeline_chain() must span its whole forward"
+        )
+    if any(b > a for a, b in zip(primaries[1:], primaries)):
+        raise ValueError(
+            "chain elements are not in stage order; the partition does not "
+            "follow the model's topological parameter order"
+        )
+
+    workers: list[WorkerCompute] = []
+    group: list[Module] = []
+    group_primary: int | None = None
+
+    def flush() -> None:
+        if not group:
+            return
+        by_stage: dict[int, _StageBinding] = {}
+        for element in group:
+            for p in element.parameters():
+                s, pos = locator[id(p)]
+                binding = by_stage.setdefault(s, _StageBinding(s, [], []))
+                binding.positions.append(pos)
+                binding.params.append(p)
+        workers.append(
+            WorkerCompute(len(workers), list(group), [by_stage[s] for s in sorted(by_stage)])
+        )
+        group.clear()
+
+    for element, primary in zip(elements, primaries):
+        if group_primary is None or primary != group_primary:
+            flush()
+            group_primary = primary
+        group.append(element)
+    flush()
+    return workers

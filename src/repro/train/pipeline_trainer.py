@@ -15,7 +15,6 @@ from typing import Callable
 import numpy as np
 
 from repro.metrics.tracker import MetricTracker
-from repro.pipeline.executor import PipelineExecutor
 from repro.train.trainer import parameter_norm
 from repro.utils.history import History
 
@@ -46,7 +45,10 @@ class PipelineTrainer:
     Parameters
     ----------
     executor:
-        A configured :class:`PipelineExecutor`.
+        A configured pipeline backend — either the sequential
+        :class:`repro.pipeline.PipelineExecutor` or the concurrent
+        :class:`repro.pipeline.AsyncPipelineRuntime` (the two are
+        differentially tested to produce identical trajectories).
     batch_fn:
         Called with an epoch-scoped rng, returns an iterable of (x, y)
         minibatches for one epoch.
@@ -60,7 +62,7 @@ class PipelineTrainer:
 
     def __init__(
         self,
-        executor: PipelineExecutor,
+        executor,
         batch_fn: Callable[[np.random.Generator], "object"],
         eval_fn: Callable[[], float],
         seed: int = 0,

@@ -1,16 +1,89 @@
-"""Shared fixtures."""
+"""Shared fixtures.
+
+Seeding policy
+--------------
+Every test that draws randomness must route it through the canonical ``rng``
+fixture (or a stream spawned from it, like ``rng2``) — never through the
+legacy ``numpy.random`` global state or ad-hoc module-level generators.
+Each test gets a *fresh* generator, so no test can perturb another's stream
+(cross-test seed bleed), and the ``_isolate_global_rng`` autouse fixture
+restores ``numpy.random``'s global state after every test so even code that
+does touch the legacy API cannot leak between tests.
+
+Explicit model-init seeds inside tests (``np.random.default_rng(7)``) are
+fine: they are self-contained, not shared state.
+
+Timeouts
+--------
+``@pytest.mark.timeout(seconds)`` is honored even without the
+``pytest-timeout`` plugin: when the plugin is absent, a SIGALRM-based
+fallback aborts the test with ``Failed`` instead of letting a deadlocked
+queue hang CI forever.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
 
+from helpers import make_rng
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(0)
+    """The canonical per-test random stream (seed 0, PCG64)."""
+    return make_rng(0)
 
 
 @pytest.fixture
-def rng2() -> np.random.Generator:
-    return np.random.default_rng(12345)
+def rng2(rng) -> np.random.Generator:
+    """A second, independent stream derived from the canonical fixture
+    (used e.g. to pick which entries a gradcheck samples)."""
+    return rng.spawn(1)[0]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_rng():
+    """Snapshot/restore ``numpy.random``'s legacy global state around every
+    test, so nothing can bleed seeds across tests through the global RNG."""
+    state = np.random.get_state()
+    yield
+    np.random.set_state(state)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(enforced via SIGALRM when pytest-timeout is not installed)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _enforce_timeout_marker(request):
+    """Fallback enforcement of ``@pytest.mark.timeout`` without the plugin."""
+    marker = request.node.get_closest_marker("timeout")
+    if (
+        marker is None
+        or not marker.args
+        or request.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = float(marker.args[0])
+
+    def _alarm(signum, frame):
+        raise pytest.fail.Exception(f"test exceeded timeout of {seconds:g}s")
+
+    old = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)

@@ -1,4 +1,4 @@
-"""Shared test utilities: numerical gradient checking."""
+"""Shared test utilities: seeded generators and numerical gradient checking."""
 
 from __future__ import annotations
 
@@ -7,6 +7,12 @@ from typing import Callable
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    """The one way test code builds a Generator — all test randomness flows
+    through the ``rng`` fixture (see ``conftest.py``), which calls this."""
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
 
 
 def numeric_param_grad(

@@ -1,0 +1,143 @@
+"""Property-based tests for the delay arithmetic and occupancy schedules.
+
+Randomized (P, N) configurations drawn from the canonical ``rng`` fixture
+check the invariants the runtime relies on:
+
+* delay slots are positive and strictly monotone (decreasing) in stage
+  index; fractional delays match Table 1; version indices are sane;
+* schedule grids conserve work — every microbatch appears exactly once as F
+  and once as B per stage, in microbatch order, with F before its B;
+* the GPipe bubble fraction matches the closed form ``(P−1)/(N+P−1)``;
+* the per-stage programs read off the grid are exactly executable: a
+  topological replay respecting queue dataflow never stalls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import Method, build_schedule, bubble_fraction, stage_programs
+from repro.pipeline.delays import DelayProfile
+
+
+def random_configs(rng, k=25, max_p=12, max_n=12):
+    return [
+        (int(rng.integers(1, max_p + 1)), int(rng.integers(1, max_n + 1)))
+        for _ in range(k)
+    ]
+
+
+class TestDelayProperties:
+    def test_slots_positive_and_monotone_in_stage(self, rng):
+        for p, n in random_configs(rng):
+            profile = DelayProfile(p, n, Method.PIPEMARE)
+            slots = [profile.slots_fwd(s) for s in range(p)]
+            assert all(s >= 1 for s in slots)
+            # earlier stages wait longer: strictly decreasing by 2 per stage
+            assert all(a - b == 2 for a, b in zip(slots, slots[1:]))
+            taus = profile.tau_fwd_all()
+            assert np.all(taus >= 0)
+            assert np.all(np.diff(taus) <= 0)
+
+    @pytest.mark.parametrize("method", list(Method))
+    def test_versions_nonnegative_and_at_most_current(self, rng, method):
+        for p, n in random_configs(rng, k=10, max_p=6, max_n=6):
+            profile = DelayProfile(p, n, method)
+            for t in (0, 1, 5):
+                for s in range(p):
+                    for j in range(n):
+                        vf = profile.fwd_version(s, t, j)
+                        vb = profile.bkwd_version(s, t, j)
+                        assert 0 <= vf <= t
+                        assert vf <= vb <= t
+                        # fwd version monotone in stage: later stages read fresher
+                        if s + 1 < p:
+                            assert profile.fwd_version(s + 1, t, j) >= vf
+
+    def test_average_lag_matches_table1(self, rng):
+        """Empirical mean of ``t − v_fwd`` over a long run equals τ_fwd."""
+        for p, n in random_configs(rng, k=8, max_p=6, max_n=6):
+            profile = DelayProfile(p, n, Method.PIPEMARE)
+            t0, t1 = 2 * p + 2, 2 * p + 2 + 50  # steady state only
+            for s in range(p):
+                lags = [
+                    t - profile.fwd_version(s, t, j)
+                    for t in range(t0, t1)
+                    for j in range(n)
+                ]
+                assert np.mean(lags) == pytest.approx(profile.tau_fwd(s))
+
+
+class TestScheduleConservation:
+    @pytest.mark.parametrize("method", list(Method))
+    def test_grid_conserves_work(self, rng, method):
+        """Every microbatch appears exactly once as F and once as B per
+        stage, for randomized P, N."""
+        from repro.pipeline.schedule import BACKWARD, FORWARD
+
+        for p, n in random_configs(rng, k=10, max_p=8, max_n=8):
+            grid = build_schedule(method, p, n, num_minibatches=2).grid
+            for s in range(p):
+                assert int((grid[s] == FORWARD).sum()) == 2 * n
+                assert int((grid[s] == BACKWARD).sum()) == 2 * n
+
+    @pytest.mark.parametrize("method", list(Method))
+    def test_programs_conserve_and_order(self, rng, method):
+        for p, n in random_configs(rng, k=10, max_p=8, max_n=8):
+            programs = stage_programs(method, p, n)
+            for ops in programs:
+                fs = [j for op, j in ops if op == "F"]
+                bs = [j for op, j in ops if op == "B"]
+                assert fs == list(range(n))  # once each, in order
+                assert bs == list(range(n))
+                for j in range(n):
+                    assert ops.index(("F", j)) < ops.index(("B", j))
+
+    def test_recompute_inserted_after_forward(self, rng):
+        p, n = 4, int(rng.integers(1, 9))
+        programs = stage_programs(Method.PIPEMARE, p, n, recompute=True)
+        for ops in programs:
+            for j in range(n):
+                i = ops.index(("F", j))
+                assert ops[i + 1] == ("R", j)
+
+    @pytest.mark.parametrize("method", list(Method))
+    def test_programs_replay_without_stalling(self, rng, method):
+        """Topological replay: executing every stage's program against queue
+        dataflow (F_j needs upstream F_j, B_j needs downstream B_j) must
+        drain completely — the deadlock-freedom the runtime relies on."""
+        for p, n in random_configs(rng, k=6, max_p=6, max_n=6):
+            programs = [list(ops) for ops in stage_programs(method, p, n, recompute=True)]
+            done: set[tuple[str, int, int]] = set()
+            progressed = True
+            while progressed and any(programs):
+                progressed = False
+                for s in range(p):
+                    while programs[s]:
+                        op, j = programs[s][0]
+                        needs = {
+                            "F": ("F", s - 1, j) if s > 0 else None,
+                            "R": ("R", s - 1, j) if s > 0 else None,
+                            "B": ("B", s + 1, j) if s < p - 1 else None,
+                        }[op]
+                        if needs is not None and needs not in done:
+                            break
+                        done.add((op, s, j))
+                        programs[s].pop(0)
+                        progressed = True
+            assert not any(programs), f"schedule stalled at P={p}, N={n}"
+
+
+class TestBubbleFractions:
+    def test_gpipe_bubble_matches_closed_form(self, rng):
+        """GPipe idle fraction is exactly (P−1)/(N+P−1) for random P, N."""
+        for p, n in random_configs(rng, k=20, max_p=12, max_n=16):
+            schedule = build_schedule(Method.GPIPE, p, n, num_minibatches=3)
+            expected = (p - 1) / (n + p - 1)
+            assert bubble_fraction(schedule) == pytest.approx(expected, abs=1e-12)
+
+    def test_async_steady_state_is_bubble_free(self, rng):
+        for p, n in random_configs(rng, k=10, max_p=8, max_n=8):
+            schedule = build_schedule(Method.PIPEMARE, p, n, num_minibatches=6)
+            assert bubble_fraction(schedule, steady_state_only=True) < 0.35

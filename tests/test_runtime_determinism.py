@@ -1,0 +1,71 @@
+"""Determinism regression: the same pipemare config must produce identical
+metrics run-to-run, on both backends, and across backends.
+
+The async runs are ``@pytest.mark.timeout``-guarded (with a SIGALRM fallback
+when pytest-timeout is absent — see ``conftest.py``) and the runtime itself
+carries a ``deadlock_timeout``, so a wedged queue fails fast instead of
+hanging CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import AsyncPipelineRuntime, PipelineExecutor, partition_model
+from repro.pipeline.executor import param_groups_from_stages
+
+from helpers import make_rng
+
+
+def run_training(cls, steps=12, **backend_kw):
+    """One fixed pipemare training run; returns (losses, flat_weights)."""
+    data_rng = make_rng(99)
+    c = 3
+    centers = data_rng.normal(size=(c, 6)) * 2
+    y = data_rng.integers(0, c, size=96)
+    x = centers[y] + data_rng.normal(size=(96, 6))
+
+    model = MLP([6, 8, 8, 8, 3], np.random.default_rng(5))
+    stages = partition_model(model, 4)
+    opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+    cfg = PipeMareConfig.full(anneal_steps=40, warmup_steps=2, decay=0.5)
+    backend = cls(
+        model, CrossEntropyLoss(), opt, stages, 2, "pipemare", pipemare=cfg,
+        **backend_kw,
+    )
+    losses = []
+    try:
+        for i in range(steps):
+            b = slice((i % 6) * 16, ((i % 6) + 1) * 16)
+            losses.append(backend.train_step(x[b], y[b]))
+    finally:
+        if hasattr(backend, "close"):
+            backend.close()
+    return losses, np.concatenate([p.data.ravel() for p in model.parameters()])
+
+
+class TestDeterminism:
+    def test_simulator_is_deterministic(self):
+        l1, w1 = run_training(PipelineExecutor)
+        l2, w2 = run_training(PipelineExecutor)
+        assert l1 == l2
+        np.testing.assert_array_equal(w1, w2)
+
+    @pytest.mark.timeout(60)
+    def test_async_runtime_is_deterministic(self):
+        l1, w1 = run_training(AsyncPipelineRuntime, deadlock_timeout=20.0)
+        l2, w2 = run_training(AsyncPipelineRuntime, deadlock_timeout=20.0)
+        assert l1 == l2
+        np.testing.assert_array_equal(w1, w2)
+
+    @pytest.mark.timeout(60)
+    def test_backends_agree(self):
+        l1, w1 = run_training(PipelineExecutor)
+        l2, w2 = run_training(AsyncPipelineRuntime, deadlock_timeout=20.0)
+        assert l1 == l2
+        np.testing.assert_array_equal(w1, w2)

@@ -1,0 +1,260 @@
+"""Differential tests: the concurrent async runtime must be bit-for-bit
+identical to the sequential simulator.
+
+The two backends share one :class:`repro.pipeline.plan.StepPlan`, so any
+divergence means the runtime executed a different computation — wrong weight
+version, wrong gradient accumulation order, clobbered activation caches.
+Every case trains the same model twice (same seed, same data) and asserts
+per-step losses compare equal as floats and final weights are bitwise equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.models.resnet import resnet_tiny
+from repro.nn import CrossEntropyLoss, Dropout, Sequential
+from repro.optim import SGD, AdamW
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    PipelineExecutor,
+    make_backend,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+
+
+def toy_classification(rng, d=6, c=3, n=96):
+    centers = rng.normal(size=(c, d)) * 2
+    y = rng.integers(0, c, size=n)
+    x = centers[y] + rng.normal(size=(n, d))
+    return x, y
+
+
+def build_mlp_backend(cls, method, *, num_stages, num_microbatches, cfg=None,
+                      seed=7, lr=0.05, momentum=0.9, dims=(6, 8, 8, 8, 3), **kw):
+    model = MLP(list(dims), np.random.default_rng(seed))
+    stages = partition_model(model, num_stages)
+    opt = SGD(param_groups_from_stages(stages), lr=lr, momentum=momentum)
+    backend = cls(
+        model, CrossEntropyLoss(), opt, stages, num_microbatches, method,
+        pipemare=cfg, **kw,
+    )
+    return model, backend
+
+
+def assert_equivalent(m1, ex, m2, rt, x, y, steps=6, batch=16):
+    for i in range(steps):
+        b = slice((i * batch) % (len(x) - batch + 1), (i * batch) % (len(x) - batch + 1) + batch)
+        l1 = ex.train_step(x[b], y[b])
+        l2 = rt.train_step(x[b], y[b])
+        assert l1 == l2, f"step {i}: simulator loss {l1!r} != runtime loss {l2!r}"
+    for p1, p2 in zip(m1.parameters(), m2.parameters()):
+        np.testing.assert_array_equal(p1.data, p2.data)
+
+
+# The differential grid: method × stages × microbatches × technique/recompute.
+TECHNIQUES = {
+    "plain": dict(cfg=None, kw={}),
+    "t1": dict(cfg=PipeMareConfig.t1_only(anneal_steps=50), kw={}),
+    "t2": dict(cfg=PipeMareConfig.t2_only(decay=0.5), kw={}),
+    "t1t2": dict(cfg=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5), kw={}),
+    "t3": dict(
+        cfg=PipeMareConfig.full(anneal_steps=50, warmup_steps=2, decay=0.5), kw={}
+    ),
+    "recompute": dict(
+        cfg=PipeMareConfig.t2_only(decay=0.5), kw={"recompute_segment": 2}
+    ),
+}
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("method", ["gpipe", "pipedream", "pipemare"])
+    @pytest.mark.parametrize("num_stages,num_microbatches", [(2, 2), (4, 2), (4, 4), (3, 4)])
+    def test_methods_match_bitwise(self, rng, method, num_stages, num_microbatches):
+        x, y = toy_classification(rng)
+        m1, ex = build_mlp_backend(
+            PipelineExecutor, method,
+            num_stages=num_stages, num_microbatches=num_microbatches,
+        )
+        m2, rt = build_mlp_backend(
+            AsyncPipelineRuntime, method,
+            num_stages=num_stages, num_microbatches=num_microbatches,
+        )
+        with rt:
+            assert rt.num_workers == num_stages
+            assert_equivalent(m1, ex, m2, rt, x, y)
+
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    def test_pipemare_techniques_match_bitwise(self, rng, technique):
+        x, y = toy_classification(rng)
+        spec = TECHNIQUES[technique]
+        m1, ex = build_mlp_backend(
+            PipelineExecutor, "pipemare", num_stages=4, num_microbatches=2,
+            cfg=spec["cfg"], **spec["kw"],
+        )
+        m2, rt = build_mlp_backend(
+            AsyncPipelineRuntime, "pipemare", num_stages=4, num_microbatches=2,
+            cfg=spec["cfg"], **spec["kw"],
+        )
+        with rt:
+            assert_equivalent(m1, ex, m2, rt, x, y, steps=8)
+
+    def test_ragged_microbatches_match(self, rng):
+        """10 samples into 4 microbatches: the per-microbatch grad weighting
+        must agree across backends."""
+        x, y = toy_classification(rng, n=10)
+        m1, ex = build_mlp_backend(PipelineExecutor, "pipemare", num_stages=4, num_microbatches=4)
+        m2, rt = build_mlp_backend(AsyncPipelineRuntime, "pipemare", num_stages=4, num_microbatches=4)
+        with rt:
+            for _ in range(4):
+                assert ex.train_step(x, y) == rt.train_step(x, y)
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_adamw_backend_matches(self, rng):
+        """Optimizer state (moments) must evolve identically too."""
+        x, y = toy_classification(rng)
+        models, backends = [], []
+        for cls in (PipelineExecutor, AsyncPipelineRuntime):
+            model = MLP([6, 8, 8, 3], np.random.default_rng(3))
+            stages = partition_model(model, 3)
+            opt = AdamW(param_groups_from_stages(stages), lr=0.01, weight_decay=0.01)
+            backends.append(cls(model, CrossEntropyLoss(), opt, stages, 2, "pipemare"))
+            models.append(model)
+        m1, m2 = models
+        ex, rt = backends
+        with rt:
+            assert_equivalent(m1, ex, m2, rt, x, y)
+
+
+class TestResNetSlicing:
+    @pytest.mark.parametrize("num_stages", [3, 8])
+    def test_resnet_matches_even_when_blocks_split(self, rng, num_stages):
+        """stages=8 splits residual blocks across stage boundaries; the
+        block executes whole on one worker while each parameter still reads
+        its own stage's version."""
+        x = rng.normal(size=(16, 3, 8, 8))
+        y = rng.integers(0, 10, size=16)
+        models, backends = [], []
+        for cls in (PipelineExecutor, AsyncPipelineRuntime):
+            model = resnet_tiny(np.random.default_rng(1))
+            stages = partition_model(model, num_stages)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+            backends.append(cls(model, CrossEntropyLoss(), opt, stages, 4, "pipemare"))
+            models.append(model)
+        ex, rt = backends
+        with rt:
+            if num_stages == 8:
+                # fine partition cuts through blocks → fewer workers than stages
+                assert rt.num_workers < num_stages
+            for _ in range(3):
+                assert ex.train_step(x, y) == rt.train_step(x, y)
+            for p1, p2 in zip(models[0].parameters(), models[1].parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestInPlaceCaches:
+    def test_embedding_stack_cache_matches(self, rng):
+        """Embedding mutates its cache *in place* (``_idx_stack`` append/pop),
+        so the runtime's snapshots must copy containers — with many in-flight
+        microbatches an aliased stack would scatter gradients to the wrong
+        token indices."""
+        from repro.nn import GELU, Embedding, Linear
+
+        vocab, d = 11, 8
+        x = rng.integers(0, vocab, size=(48,))
+        y = rng.integers(0, 3, size=48)
+        models, backends = [], []
+        for cls in (PipelineExecutor, AsyncPipelineRuntime):
+            r = np.random.default_rng(13)
+            model = Sequential(
+                Embedding(vocab, d, r), Linear(d, d, r), GELU(), Linear(d, 3, r)
+            )
+            stages = partition_model(model, 3)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+            backends.append(cls(model, CrossEntropyLoss(), opt, stages, 4, "pipemare"))
+            models.append(model)
+        ex, rt = backends
+        with rt:
+            assert rt.num_workers == 3
+            for i in range(5):
+                b = slice(i * 8, i * 8 + 16)
+                assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+            for p1, p2 in zip(models[0].parameters(), models[1].parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestRuntimeContract:
+    def test_checkpoint_roundtrip_across_backends(self, rng):
+        """A simulator checkpoint restored into the async runtime continues
+        the exact same trajectory (shared StepPlan state format)."""
+        x, y = toy_classification(rng)
+        m1, ex = build_mlp_backend(PipelineExecutor, "pipemare", num_stages=4, num_microbatches=2)
+        for i in range(3):
+            ex.train_step(x[i * 16:(i + 1) * 16], y[i * 16:(i + 1) * 16])
+        state = ex.state_dict()
+        opt_state = ex.optimizer.state_dict()
+
+        m2, rt = build_mlp_backend(AsyncPipelineRuntime, "pipemare", num_stages=4, num_microbatches=2)
+        with rt:
+            m2.load_state_dict(m1.state_dict())
+            rt.optimizer.load_state_dict(opt_state)
+            rt.load_state_dict(state)
+            assert rt.t == ex.t
+            for i in range(3, 6):
+                b = slice(i * 16, (i + 1) * 16)
+                assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+
+    def test_latest_weights_live_after_step(self, rng):
+        """Eval between steps must see version t (same guarantee the
+        simulator gives the trainer)."""
+        x, y = toy_classification(rng)
+        m, rt = build_mlp_backend(AsyncPipelineRuntime, "pipemare", num_stages=4, num_microbatches=2)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            for s, stage in enumerate(rt.stages):
+                for p, stored in zip(stage.params, rt.store.weights(s, rt.store.latest_version)):
+                    assert p.data is stored
+
+    def test_minibatch_smaller_than_microbatches_rejected(self, rng):
+        m, rt = build_mlp_backend(AsyncPipelineRuntime, "pipemare", num_stages=2, num_microbatches=8)
+        with rt:
+            with pytest.raises(ValueError):
+                rt.train_step(np.zeros((4, 6)), np.zeros(4, dtype=int))
+
+    def test_training_dropout_rejected(self, rng):
+        from repro.nn import Linear
+
+        model = Sequential(
+            Linear(6, 8, np.random.default_rng(0)),
+            Dropout(0.5, np.random.default_rng(1)),
+            Linear(8, 3, np.random.default_rng(2)),
+        )
+        stages = partition_model(model, 2)
+        opt = SGD(param_groups_from_stages(stages), lr=0.05)
+        with pytest.raises(ValueError, match="Dropout"):
+            AsyncPipelineRuntime(model, CrossEntropyLoss(), opt, stages, 2, "pipemare")
+
+    def test_closed_runtime_rejects_steps(self, rng):
+        x, y = toy_classification(rng)
+        m, rt = build_mlp_backend(AsyncPipelineRuntime, "pipemare", num_stages=2, num_microbatches=2)
+        rt.close()
+        rt.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            rt.train_step(x[:16], y[:16])
+
+    def test_make_backend_dispatch(self, rng):
+        m1, ex = build_mlp_backend(PipelineExecutor, "pipemare", num_stages=2, num_microbatches=2)
+        assert isinstance(ex, PipelineExecutor)
+        model = MLP([6, 8, 3], np.random.default_rng(0))
+        stages = partition_model(model, 2)
+        opt = SGD(param_groups_from_stages(stages), lr=0.05)
+        rt = make_backend("async", model, CrossEntropyLoss(), opt, stages, 2, "pipemare")
+        assert isinstance(rt, AsyncPipelineRuntime)
+        rt.close()
+        with pytest.raises(ValueError, match="unknown runtime"):
+            make_backend("hardware", model, CrossEntropyLoss(), opt, stages, 2, "pipemare")

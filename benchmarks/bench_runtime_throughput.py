@@ -1,21 +1,26 @@
 #!/usr/bin/env python
-"""Throughput benchmark: concurrent async runtime vs. sequential simulator.
+"""Throughput benchmark: thread and process pipeline runtimes vs. the
+sequential simulator.
 
 Runs the same training workload (4-stage MLP, N=8 microbatches, stage
-compute dominated by GIL-releasing BLAS matmuls, no sleeps anywhere) on
-both pipeline backends and reports:
+compute dominated by BLAS matmuls, no sleeps anywhere) on all three
+pipeline backends and reports:
 
-* wall-clock microbatches/sec for each backend and their ratio — this is
-  the number that should exceed 2× on a host with >= num_stages cores,
-  where the worker threads' BLAS kernels genuinely overlap;
-* the measured bubble fraction of the async execution (worker idle time
-  from the runtime's own busy/wall accounting);
+* wall-clock microbatches/sec for each backend and the concurrent/simulator
+  ratios — these should exceed 2× on a host with >= num_stages cores, where
+  the workers' kernels genuinely overlap (threads overlap only where NumPy
+  releases the GIL; processes sidestep the GIL entirely);
+* the measured bubble fraction of each concurrent execution (worker idle
+  time from the runtime's own busy/wall accounting);
+* the process backend's transport overhead — the share of worker active
+  time (compute + copies) spent moving activations/gradients through the
+  shared-memory rings, from the runtime's transfer accounting;
 * the schedule-limited speedup — total compute slots / critical-path slots
   of the interleaved 1F1B schedule actually executed, i.e. the wall-clock
   ratio an unconstrained-core host converges to;
-* a loss-equivalence check (the two backends must match bit for bit).
+* a loss-equivalence check (all three backends must match bit for bit).
 
-On a single-core host (CI smoke) the wall-clock ratio degrades to ~1× by
+On a single-core host (CI smoke) the wall-clock ratios degrade to ~1× by
 physics — there is no second core to overlap on — so the report prints the
 detected core count next to the numbers.
 
@@ -132,35 +137,45 @@ def main(argv=None) -> int:
     )
     sim_wall, sim_losses = measure(sim, x, y, steps, warmup)
 
-    _, rt = build_backend(
-        AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
-        method=args.method, seed=42,
-    )
-    try:
-        rt_wall, rt_losses = measure(rt, x, y, steps, warmup)
-        bubble = rt.stats.bubble_fraction()
-        workers = rt.num_workers
-    finally:
-        rt.close()
+    concurrent = {}
+    for backend in ("thread", "process"):
+        _, rt = build_backend(
+            AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
+            method=args.method, seed=42, backend=backend,
+        )
+        try:
+            wall, losses = measure(rt, x, y, steps, warmup)
+            concurrent[backend] = dict(
+                wall=wall,
+                losses=losses,
+                bubble=rt.stats.bubble_fraction(),
+                transport=rt.stats.transport_fraction(),
+                workers=rt.num_workers,
+            )
+        finally:
+            rt.close()
 
-    equivalent = sim_losses == rt_losses
+    equivalent = all(sim_losses == c["losses"] for c in concurrent.values())
     micro = steps * n
     sim_tput = micro / sim_wall
-    rt_tput = micro / rt_wall
+    workers = concurrent["thread"]["workers"]
     sched = schedule_speedup(
         "gpipe" if args.method == "gpipe" else args.method, workers, n
     )
     gpipe_bubble = (p - 1) / (n + p - 1)
 
     print(f"  simulator : {sim_tput:9.1f} microbatches/sec  ({sim_wall:.3f}s)")
-    print(f"  async     : {rt_tput:9.1f} microbatches/sec  ({rt_wall:.3f}s)  "
-          f"workers={workers}")
-    print(f"  wall-clock speedup          : {rt_tput / sim_tput:.2f}x")
+    for backend, c in concurrent.items():
+        tput = micro / c["wall"]
+        print(f"  {backend:<10s}: {tput:9.1f} microbatches/sec  "
+              f"({c['wall']:.3f}s)  workers={c['workers']}  "
+              f"speedup={tput / sim_tput:.2f}x  bubble={c['bubble']:.3f}  "
+              f"transport={c['transport']:.1%} of active")
     print(f"  schedule-limited speedup    : {sched:.2f}x  "
           f"(wall-clock ceiling with >= {workers} cores)")
-    print(f"  measured bubble fraction    : {bubble:.3f}")
     print(f"  gpipe closed-form bubble    : {gpipe_bubble:.3f}  ((P-1)/(N+P-1))")
-    print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}")
+    print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
+          f"  (simulator == thread == process)")
 
     if not equivalent:
         print("ERROR: backends diverged", file=sys.stderr)

@@ -32,10 +32,10 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         help="activation recompute segment size (Appendix D)",
     )
     parser.add_argument(
-        "--runtime", choices=["simulator", "async"], default="simulator",
-        help="pipeline backend: the sequential simulator, or the concurrent "
-        "multi-worker runtime (bit-identical trajectories; see README "
-        "'Runtime backends')",
+        "--runtime", choices=["simulator", "async", "process"], default="simulator",
+        help="pipeline backend: the sequential simulator, the concurrent "
+        "thread-worker runtime, or the multi-process shared-memory runtime "
+        "(all bit-identical trajectories; see README 'Runtime backends')",
     )
     parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
 

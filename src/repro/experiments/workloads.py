@@ -37,8 +37,9 @@ from repro.train.pipeline_trainer import TrainResult
 
 @dataclass
 class WorkloadBundle:
-    """One ready-to-train instance of a workload.  ``executor`` is either
-    backend (sequential simulator or concurrent async runtime)."""
+    """One ready-to-train instance of a workload.  ``executor`` is any
+    pipeline backend (sequential simulator, thread-worker async runtime, or
+    the multi-process shared-memory runtime)."""
 
     model: Module
     executor: object
@@ -62,8 +63,10 @@ class _BaseWorkload:
         return self.default_stages if num_stages is None else num_stages
 
     def supported_runtimes(self) -> tuple[str, ...]:
-        """Pipeline backends this workload can train on."""
-        return ("simulator", "async")
+        """Pipeline backends this workload can train on.  Chain-sliceable
+        models run on all three; the process backend rebuilds the model in
+        each worker from a pickled snapshot (``ModelSpec.from_model``)."""
+        return ("simulator", "async", "process")
 
     def max_stages(self) -> int:
         raise NotImplementedError

@@ -15,10 +15,17 @@ analysis.
 
 from repro.pipeline.partition import Stage, partition_model, partition_units
 from repro.pipeline.delays import DelayProfile, Method
-from repro.pipeline.weight_store import WeightVersionStore
-from repro.pipeline.plan import StepPlan
+from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
+from repro.pipeline.plan import ResolverSpec, StepPlan, WorkerPlanMirror
 from repro.pipeline.executor import PipelineExecutor
-from repro.pipeline.runtime import AsyncPipelineRuntime, PipelineDeadlockError
+from repro.pipeline.stage_compute import ModelSpec
+from repro.pipeline.transport import ShmRing, TransportTimeout
+from repro.pipeline.runtime import (
+    AsyncPipelineRuntime,
+    PipelineDeadlockError,
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+)
 from repro.pipeline import costmodel
 from repro.pipeline import recompute
 from repro.pipeline.schedule import (
@@ -28,16 +35,23 @@ from repro.pipeline.schedule import (
     stage_programs,
 )
 
-RUNTIME_BACKENDS = ("simulator", "async")
+RUNTIME_BACKENDS = ("simulator", "async", "process")
 
 
 def make_backend(runtime: str, *args, **kwargs):
-    """Build the requested pipeline backend ("simulator" or "async"); both
-    accept the :class:`PipelineExecutor` constructor arguments."""
+    """Build the requested pipeline backend: the sequential ``simulator``,
+    the thread-worker ``async`` runtime, or the multi-process
+    shared-memory ``process`` runtime.  All accept the
+    :class:`PipelineExecutor` constructor arguments; the concurrent pair
+    additionally accept the :class:`AsyncPipelineRuntime` tuning knobs
+    (``deadlock_timeout``, and for ``process`` also ``model_spec``,
+    ``start_method``, ``transport_slot_bytes``)."""
     if runtime == "simulator":
         return PipelineExecutor(*args, **kwargs)
     if runtime == "async":
         return AsyncPipelineRuntime(*args, **kwargs)
+    if runtime == "process":
+        return AsyncPipelineRuntime(*args, backend="process", **kwargs)
     raise ValueError(f"unknown runtime {runtime!r} (expected one of {RUNTIME_BACKENDS})")
 
 
@@ -48,10 +62,18 @@ __all__ = [
     "DelayProfile",
     "Method",
     "WeightVersionStore",
+    "SharedWeightMirror",
     "StepPlan",
+    "ResolverSpec",
+    "WorkerPlanMirror",
     "PipelineExecutor",
     "AsyncPipelineRuntime",
+    "ThreadWorkerPool",
+    "ProcessWorkerPool",
     "PipelineDeadlockError",
+    "ModelSpec",
+    "ShmRing",
+    "TransportTimeout",
     "RUNTIME_BACKENDS",
     "make_backend",
     "costmodel",

@@ -17,9 +17,18 @@ All weight lookups resolve against the :class:`WeightVersionStore` rather
 than live ``Parameter.data`` so the answers are independent of which version
 the parameters currently point at — a hard requirement once stages execute
 concurrently on worker threads.
+
+The version *arithmetic* (delay slot → store version → arrays) lives in the
+:class:`WeightResolver` base so it can run away from the driver: process
+workers build a :class:`WorkerPlanMirror` — the same resolver over a
+:class:`~repro.pipeline.weight_store.SharedWeightMirror` instead of the
+in-process store — from a small picklable :class:`ResolverSpec`, and resolve
+the exact same slots the driver's :class:`StepPlan` would.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,10 +39,94 @@ from repro.optim.schedulers import LRSchedule
 from repro.pipeline.delays import DelayProfile, Method, _ceil_div
 from repro.pipeline.partition import Stage
 from repro.pipeline.recompute import recompute_delay_slots, segment_heads
-from repro.pipeline.weight_store import WeightVersionStore
+from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
 
 
-class StepPlan:
+class WeightResolver:
+    """Delay-slot → weight-array resolution, independent of where the
+    version payloads live.
+
+    Subclasses provide: ``profile`` (:class:`DelayProfile`), ``method``,
+    ``store`` (anything with ``weights(stage, version)`` and
+    ``latest_version`` — the in-process :class:`WeightVersionStore` or a
+    worker's :class:`~repro.pipeline.weight_store.SharedWeightMirror`),
+    ``corrector`` (``None`` or an object with ``correct(stage, weights)``
+    and ``velocity[stage]``), ``recompute_segment`` / ``_recompute_lag`` /
+    ``_segment_heads``, and the minibatch counter ``t``.
+    """
+
+    profile: DelayProfile
+    method: Method
+    corrector = None
+    recompute_segment: int | None = None
+    t: int = 0
+
+    # -- step-level predicates -----------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return self.profile.num_stages
+
+    @property
+    def num_microbatches(self) -> int:
+        return self.profile.num_microbatches
+
+    def recompute_active(self, sync: bool) -> bool:
+        return self.recompute_segment is not None and not sync
+
+    # -- weight-version resolution (store-based, execution-order free) -------
+    def forward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
+        """Arrays stage ``stage`` must read in the forward of microbatch j."""
+        if sync:
+            return self.store.weights(stage, self.store.latest_version)
+        return self.store.weights(stage, self.profile.fwd_version(stage, self.t, j))
+
+    def backward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
+        """Arrays read in the backward pass: the stashed forward version
+        (PipeDream), the current version (GPipe, PipeMare), or the
+        T2-corrected extrapolation ``w − Δτ·δ`` (PipeMare + T2)."""
+        if not sync and self.method is Method.PIPEDREAM:
+            return self.store.weights(stage, self.profile.bkwd_version(stage, self.t, j))
+        latest = self.store.weights(stage, self.store.latest_version)
+        if sync or self.corrector is None:
+            return latest
+        return self.corrector.correct(stage, latest)
+
+    def _recompute_version(self, stage: int, j: int) -> int:
+        """Weight version used to regenerate stage activations: the version
+        resident ``lag`` slots before the backward slot; segment heads reuse
+        the original forward version (their input was cached, not
+        recomputed)."""
+        if stage in self._segment_heads:
+            return self.profile.fwd_version(stage, self.t, j)
+        n = self.profile.num_microbatches
+        slot = self.t * n + j - int(self._recompute_lag[stage])
+        return max(0, _ceil_div(slot - n + 1, n))
+
+    def recompute_weights(self, stage: int, j: int) -> list[np.ndarray]:
+        """Arrays used to regenerate activations before backward (Appendix
+        D's three-delay model), with the T2 extrapolation toward ``u_fwd``
+        applied to non-head stages (App. D.1)."""
+        weights = self.store.weights(stage, self._recompute_version(stage, j))
+        if self.corrector is not None and stage not in self._segment_heads:
+            n = self.profile.num_microbatches
+            tau_r = self._recompute_lag[stage] / n
+            dtau = max(self.profile.tau_fwd(stage) - tau_r, 0.0)
+            weights = [
+                w - dtau * v for w, v in zip(weights, self.corrector.velocity[stage])
+            ]
+        return weights
+
+    def _init_recompute(self, recompute_segment: int | None) -> None:
+        self.recompute_segment = recompute_segment
+        if recompute_segment is not None:
+            self._recompute_lag = recompute_delay_slots(self.num_stages, recompute_segment)
+            self._segment_heads = set(segment_heads(self.num_stages, recompute_segment))
+        else:
+            self._recompute_lag = None
+            self._segment_heads = set()
+
+
+class StepPlan(WeightResolver):
     """Delay-slot resolution + optimizer-step boundary for one pipeline.
 
     Parameters mirror :class:`repro.pipeline.PipelineExecutor`; ``params``
@@ -82,23 +175,7 @@ class StepPlan:
             else None
         )
         self.warmup = WarmupSchedule(cfg.warmup_steps if cfg and cfg.use_t3 else 0)
-
-        self.recompute_segment = recompute_segment
-        if recompute_segment is not None:
-            self._recompute_lag = recompute_delay_slots(len(stages), recompute_segment)
-            self._segment_heads = set(segment_heads(len(stages), recompute_segment))
-        else:
-            self._recompute_lag = None
-            self._segment_heads = set()
-
-    # -- step-level predicates -----------------------------------------------
-    @property
-    def num_stages(self) -> int:
-        return len(self.stages)
-
-    @property
-    def num_microbatches(self) -> int:
-        return self.profile.num_microbatches
+        self._init_recompute(recompute_segment)
 
     def is_sync_step(self) -> bool:
         """True while T3's synchronous (GPipe-style) warmup window is active
@@ -107,51 +184,17 @@ class StepPlan:
             return True
         return self.warmup.is_synchronous(self.t)
 
-    def recompute_active(self, sync: bool) -> bool:
-        return self.recompute_segment is not None and not sync
-
-    # -- weight-version resolution (store-based, execution-order free) -------
-    def forward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
-        """Arrays stage ``stage`` must read in the forward of microbatch j."""
-        if sync:
-            return self.store.weights(stage, self.store.latest_version)
-        return self.store.weights(stage, self.profile.fwd_version(stage, self.t, j))
-
-    def backward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
-        """Arrays read in the backward pass: the stashed forward version
-        (PipeDream), the current version (GPipe, PipeMare), or the
-        T2-corrected extrapolation ``w − Δτ·δ`` (PipeMare + T2)."""
-        if not sync and self.method is Method.PIPEDREAM:
-            return self.store.weights(stage, self.profile.bkwd_version(stage, self.t, j))
-        latest = self.store.weights(stage, self.store.latest_version)
-        if sync or self.corrector is None:
-            return latest
-        return self.corrector.correct(stage, latest)
-
-    def _recompute_version(self, stage: int, j: int) -> int:
-        """Weight version used to regenerate stage activations: the version
-        resident ``lag`` slots before the backward slot; segment heads reuse
-        the original forward version (their input was cached, not
-        recomputed)."""
-        if stage in self._segment_heads:
-            return self.profile.fwd_version(stage, self.t, j)
-        n = self.profile.num_microbatches
-        slot = self.t * n + j - int(self._recompute_lag[stage])
-        return max(0, _ceil_div(slot - n + 1, n))
-
-    def recompute_weights(self, stage: int, j: int) -> list[np.ndarray]:
-        """Arrays used to regenerate activations before backward (Appendix
-        D's three-delay model), with the T2 extrapolation toward ``u_fwd``
-        applied to non-head stages (App. D.1)."""
-        weights = self.store.weights(stage, self._recompute_version(stage, j))
-        if self.corrector is not None and stage not in self._segment_heads:
-            n = self.profile.num_microbatches
-            tau_r = self._recompute_lag[stage] / n
-            dtau = max(self.profile.tau_fwd(stage) - tau_r, 0.0)
-            weights = [
-                w - dtau * v for w, v in zip(weights, self.corrector.velocity[stage])
-            ]
-        return weights
+    def resolver_spec(self) -> "ResolverSpec":
+        """The picklable recipe a process worker uses to rebuild this plan's
+        version arithmetic against the shared-memory mirror."""
+        return ResolverSpec(
+            num_stages=self.num_stages,
+            num_microbatches=self.num_microbatches,
+            method=self.method.value,
+            recompute_segment=self.recompute_segment,
+            use_t2=self.corrector is not None,
+            history=self.profile.history_needed(),
+        )
 
     # -- gradient weighting ---------------------------------------------------
     def grad_scale(self, microbatch_len: int, total: int) -> float:
@@ -230,6 +273,66 @@ class StepPlan:
         self.store.load_state_dict(state["store"])
         if self.corrector is not None:
             self.corrector.load_state_dict(state["corrector"])
+
+
+@dataclass(frozen=True)
+class ResolverSpec:
+    """Everything a spawned worker needs to rebuild a :class:`StepPlan`'s
+    version arithmetic — plain scalars only, so it pickles under any
+    multiprocessing start method."""
+
+    num_stages: int
+    num_microbatches: int
+    method: str
+    recompute_segment: int | None
+    use_t2: bool
+    history: int
+
+
+class _MirrorCorrector:
+    """Worker-side stand-in for :class:`~repro.core.DiscrepancyCorrector`:
+    the same ``w − Δτ·δ`` extrapolation, with the velocity EWMAs read from
+    the shared mirror instead of process-local buffers.  Only the driver
+    *updates* velocities (at the optimizer boundary); workers are pure
+    readers."""
+
+    class _Velocity:
+        def __init__(self, mirror: SharedWeightMirror):
+            self._mirror = mirror
+
+        def __getitem__(self, stage: int) -> list[np.ndarray]:
+            return self._mirror.velocity(stage)
+
+    def __init__(self, mirror: SharedWeightMirror, dtau: np.ndarray):
+        self.dtau = dtau
+        self.velocity = self._Velocity(mirror)
+
+    def correct(self, stage: int, weights: list[np.ndarray]) -> list[np.ndarray]:
+        dtau = self.dtau[stage]
+        if dtau <= 0:
+            return list(weights)
+        return [w - dtau * v for w, v in zip(weights, self.velocity[stage])]
+
+
+class WorkerPlanMirror(WeightResolver):
+    """The resolver a process worker executes against: identical arithmetic
+    to the driver's :class:`StepPlan` (same base class), weights and T2
+    velocities read from the :class:`SharedWeightMirror`.  ``t`` and the
+    sync flag arrive with each step's command message."""
+
+    def __init__(self, spec: ResolverSpec, mirror: SharedWeightMirror):
+        self.method = Method(spec.method)
+        self.profile = DelayProfile(spec.num_stages, spec.num_microbatches, self.method)
+        self.store = mirror
+        self.corrector = (
+            _MirrorCorrector(
+                mirror, self.profile.tau_fwd_all() - self.profile.tau_bkwd_all()
+            )
+            if spec.use_t2
+            else None
+        )
+        self.t = 0
+        self._init_recompute(spec.recompute_segment)
 
 
 class PipelineBackend:

@@ -2,14 +2,31 @@
 
 Where :class:`repro.pipeline.PipelineExecutor` *simulates* pipeline delay by
 processing microbatches one at a time, this runtime actually runs the
-pipeline: every stage slice executes on its own worker thread with inbound
-activation/gradient queues, following the interleaved occupancy schedule
-from :mod:`repro.pipeline.schedule` for real — 1F1B for the asynchronous
-methods, fill/drain for GPipe and T3 warmup steps.  Weight versions are
-read through the shared :class:`~repro.pipeline.plan.StepPlan` at the exact
-``v_fwd`` / ``v_bkwd`` / recompute slots the delay profile prescribes, so
-the per-step losses and final weights are **bit-for-bit identical** to the
-sequential simulator (enforced by ``tests/test_runtime_equivalence.py``).
+pipeline: every stage slice executes on its own worker, following the
+interleaved occupancy schedule from :mod:`repro.pipeline.schedule` for real
+— 1F1B for the asynchronous methods, fill/drain for GPipe and T3 warmup
+steps.  Weight versions are read at the exact ``v_fwd`` / ``v_bkwd`` /
+recompute slots the delay profile prescribes, so the per-step losses and
+final weights are **bit-for-bit identical** to the sequential simulator
+(enforced by ``tests/test_runtime_equivalence.py`` and
+``tests/test_runtime_process.py``).
+
+Two worker backends share one scheduler loop (:meth:`train_step`):
+
+* :class:`ThreadWorkerPool` (``backend="thread"``, the ``async`` runtime) —
+  per-stage worker threads with in-process activation/gradient queues.
+  NumPy kernels release the GIL, which is where the wall-clock overlap
+  comes from; Python-level glue still serialises on it.
+* :class:`ProcessWorkerPool` (``backend="process"``) — per-stage worker
+  *processes*, sidestepping the GIL entirely.  Each worker rebuilds its
+  model slice from a picklable :class:`~repro.pipeline.stage_compute.ModelSpec`
+  (nothing live is shipped), reads weight versions from a
+  :class:`~repro.pipeline.weight_store.SharedWeightMirror` the driver
+  republishes after every optimizer step, and exchanges activations /
+  gradients with its neighbours over the pickle-free shared-memory ring
+  buffers of :mod:`repro.pipeline.transport`.  Accumulated gradients return
+  through a :class:`~repro.pipeline.transport.SharedGradMailbox` and the
+  optimizer still steps once per minibatch on the driver.
 
 Why equivalence holds despite concurrency:
 
@@ -21,20 +38,25 @@ Why equivalence holds despite concurrency:
   the simulator exactly;
 * per-microbatch forward caches are snapshotted/restored around the many
   in-flight microbatches a worker interleaves;
-* NumPy kernels are deterministic, and they release the GIL, which is where
-  the wall-clock overlap comes from on multi-core hosts.
+* NumPy kernels are deterministic, and shared-memory copies are bit-exact,
+  so where a value is computed (thread, process) never changes what is
+  computed.
 
-The optimizer still steps once per minibatch on the driver thread (the
-paper's semantics — updates land at minibatch boundaries), so a train step
-is: broadcast the step context, let the workers drain the schedule, then
-run the shared optimizer-boundary logic from the plan.
+The optimizer steps once per minibatch on the driver (the paper's semantics
+— updates land at minibatch boundaries), so a train step is: broadcast the
+step context, let the workers drain the schedule, then run the shared
+optimizer-boundary logic from the plan.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 import queue
 import threading
 import time
+import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,9 +68,19 @@ from repro.optim import Optimizer
 from repro.optim.schedulers import LRSchedule
 from repro.pipeline.delays import Method
 from repro.pipeline.partition import Stage
-from repro.pipeline.plan import PipelineBackend, StepPlan
+from repro.pipeline.plan import PipelineBackend, ResolverSpec, StepPlan, WorkerPlanMirror
 from repro.pipeline.schedule import stage_programs
-from repro.pipeline.stage_compute import WorkerCompute, build_worker_computes
+from repro.pipeline.stage_compute import (
+    ModelSpec,
+    WorkerCompute,
+    build_worker_computes,
+)
+from repro.pipeline.transport import (
+    SharedGradMailbox,
+    ShmRing,
+    TransportTimeout,
+)
+from repro.pipeline.weight_store import SharedWeightMirror
 
 
 class PipelineDeadlockError(RuntimeError):
@@ -58,7 +90,8 @@ class PipelineDeadlockError(RuntimeError):
 
 @dataclass
 class _StepContext:
-    """Everything one train step shares between driver and workers."""
+    """Everything one train step shares between the driver and thread
+    workers."""
 
     sync: bool
     xs: list
@@ -75,39 +108,801 @@ class _StepContext:
 @dataclass
 class RuntimeStats:
     """Wall-clock accounting for the last :meth:`train_step` (and running
-    totals) — the raw material for measured bubble fractions."""
+    totals) — the raw material for measured bubble fractions.
+
+    Stats are committed **atomically and only for completed steps**: an
+    aborted step (worker exception, deadlock) contributes nothing, so busy
+    time from a partial step can never be mixed with wall time that
+    excludes it.
+
+    ``busy`` is compute time (channel waits and payload copies excluded);
+    ``transport`` is the time the process backend spent copying payloads
+    through shared memory (zero for threads).  The two are disjoint, so a
+    worker's *active* time is their sum — that is the quantity
+    :meth:`bubble_fraction` treats as non-idle and
+    :meth:`transport_fraction` takes its share of."""
 
     steps: int = 0
     last_wall: float = 0.0
     total_wall: float = 0.0
     last_busy: list[float] = field(default_factory=list)
     total_busy: list[float] = field(default_factory=list)
+    last_transport: list[float] = field(default_factory=list)
+    total_transport: list[float] = field(default_factory=list)
+
+    def commit(self, wall: float, busy: list[float], transport: list[float]) -> None:
+        """Fold one *completed* step into the running totals."""
+        self.steps += 1
+        self.last_wall = wall
+        self.total_wall += wall
+        self.last_busy = list(busy)
+        self.last_transport = list(transport)
+        for w, b in enumerate(busy):
+            self.total_busy[w] += b
+        for w, x in enumerate(transport):
+            self.total_transport[w] += x
 
     def bubble_fraction(self) -> float:
-        """1 − busy/(wall × workers) over all steps so far: the measured
-        share of worker-time spent idle (queue waits + fill/drain)."""
+        """1 − active/(wall × workers) over all steps so far: the measured
+        share of worker-time spent idle (queue waits + fill/drain).  Active
+        time includes transport copies — moving an activation is work, not
+        bubble."""
         if not self.total_busy or self.total_wall <= 0:
             return 0.0
         denom = self.total_wall * len(self.total_busy)
-        return max(0.0, 1.0 - sum(self.total_busy) / denom)
+        active = sum(self.total_busy) + sum(self.total_transport)
+        return max(0.0, 1.0 - active / denom)
+
+    def transport_fraction(self) -> float:
+        """Share of worker *active* time (compute + copies) spent copying
+        payloads through the shared-memory transport."""
+        active = sum(self.total_busy) + sum(self.total_transport)
+        if active <= 0:
+            return 0.0
+        return sum(self.total_transport) / active
+
+
+@dataclass
+class _StepResult:
+    losses: list[float]
+    busy: list[float]
+    transport: list[float]
+
+
+# -- the shared per-worker program interpreter --------------------------------
+
+
+def _execute_program(
+    compute: WorkerCompute,
+    program: list[tuple[str, int]],
+    resolver,
+    sync: bool,
+    chans,
+    first: bool,
+    last: bool,
+    loss_fn,
+    xs,
+    ys,
+    scales,
+    losses,
+) -> float:
+    """Run one worker's (op, microbatch) list for one step.
+
+    Identical for both backends: only ``chans`` (queue- or ring-backed) and
+    ``resolver`` (driver :class:`StepPlan` or a worker's
+    :class:`WorkerPlanMirror`) differ.  Returns busy seconds (time spent
+    computing, excluding channel waits).
+    """
+    snapshots: dict[int, list[dict]] = {}
+    grads: dict[int, np.ndarray] = {}
+    recompute = resolver.recompute_active(sync)
+    busy = 0.0
+
+    for op, j in program:
+        if op == "F":
+            xj = xs[j] if first else chans.recv_act()
+            t0 = time.perf_counter()
+            compute.load_weights(lambda s: resolver.forward_weights(s, j, sync))
+            out = compute.forward(xj)
+            if last:
+                losses[j] = loss_fn(out, ys[j])
+                grads[j] = loss_fn.backward() * scales[j]
+            if not recompute:
+                snapshots[j] = compute.cache_state()
+            busy += time.perf_counter() - t0
+            if not last:
+                chans.send_act(out)
+        elif op == "R":
+            xj = xs[j] if first else chans.recv_rec()
+            t0 = time.perf_counter()
+            compute.load_weights(lambda s: resolver.recompute_weights(s, j))
+            out = compute.forward(xj)
+            snapshots[j] = compute.cache_state()
+            busy += time.perf_counter() - t0
+            if not last:
+                chans.send_rec(out)
+        else:  # "B"
+            gj = grads.pop(j) if last else chans.recv_grad()
+            t0 = time.perf_counter()
+            compute.load_cache_state(snapshots.pop(j))
+            compute.load_weights(lambda s: resolver.backward_weights(s, j, sync))
+            gout = compute.backward(gj)
+            busy += time.perf_counter() - t0
+            if not first:
+                chans.send_grad(gout)
+    return busy
+
+
+class _QueueChannels:
+    """Thread-backend channel set: the per-step in-process SimpleQueues."""
+
+    def __init__(self, ctx: _StepContext, w: int, timeout: float):
+        self._ctx = ctx
+        self._w = w
+        self._timeout = timeout
+
+    def _get(self, q: queue.SimpleQueue, what: str):
+        try:
+            return q.get(timeout=self._timeout)
+        except queue.Empty:
+            raise TransportTimeout(
+                f"worker {self._w} waited >{self._timeout}s for {what} "
+                "that never arrived"
+            ) from None
+
+    def recv_act(self):
+        return self._get(self._ctx.act_q[self._w], "an activation")
+
+    def recv_rec(self):
+        return self._get(self._ctx.rec_q[self._w], "a recompute activation")
+
+    def recv_grad(self):
+        return self._get(self._ctx.grad_q[self._w], "a gradient")
+
+    def send_act(self, arr) -> None:
+        self._ctx.act_q[self._w + 1].put(arr)
+
+    def send_rec(self, arr) -> None:
+        self._ctx.rec_q[self._w + 1].put(arr)
+
+    def send_grad(self, arr) -> None:
+        self._ctx.grad_q[self._w - 1].put(arr)
+
+
+class _RingChannels:
+    """Process-backend channel set: shared-memory rings to the neighbours.
+
+    Messages are tagged with the driver's step sequence; a tag older than
+    the current step is residue from an aborted step and is discarded, so
+    the channels self-heal after an error without any flush handshake.
+    """
+
+    def __init__(
+        self,
+        act_in: ShmRing | None,
+        act_out: ShmRing | None,
+        rec_in: ShmRing | None,
+        rec_out: ShmRing | None,
+        grad_in: ShmRing | None,
+        grad_out: ShmRing | None,
+        timeout: float,
+    ):
+        self.act_in, self.act_out = act_in, act_out
+        self.rec_in, self.rec_out = rec_in, rec_out
+        self.grad_in, self.grad_out = grad_in, grad_out
+        self._timeout = timeout
+        self.step = 0
+
+    def _all(self):
+        return (
+            self.act_in, self.act_out, self.rec_in, self.rec_out,
+            self.grad_in, self.grad_out,
+        )
+
+    def xfer_seconds(self) -> float:
+        return sum(r.xfer_seconds for r in self._all() if r is not None)
+
+    def _recv(self, ring: ShmRing):
+        while True:
+            tag, arr = ring.recv(self._timeout)
+            if tag == self.step:
+                return arr
+            # stale message from an aborted step — drop and keep looking
+
+    def recv_act(self):
+        return self._recv(self.act_in)
+
+    def recv_rec(self):
+        return self._recv(self.rec_in)
+
+    def recv_grad(self):
+        return self._recv(self.grad_in)
+
+    def send_act(self, arr) -> None:
+        self.act_out.send(arr, self.step, self._timeout)
+
+    def send_rec(self, arr) -> None:
+        self.rec_out.send(arr, self.step, self._timeout)
+
+    def send_grad(self, arr) -> None:
+        self.grad_out.send(arr, self.step, self._timeout)
+
+    def close(self) -> None:
+        for r in self._all():
+            if r is not None:
+                r.close()
+
+
+# -- worker pools --------------------------------------------------------------
+
+
+def _build_programs(
+    method: Method, num_workers: int, num_microbatches: int, recompute: bool
+) -> dict[bool, list[list[tuple[str, int]]]]:
+    """Worker programs, straight off the occupancy grids: the schedule
+    module's Figure 1 cartoons, executed for real.  Keyed by the step's
+    sync flag — GPipe-style fill/drain for synchronous steps (T3 warmup;
+    for the GPipe method ``is_sync_step()`` is always True), the method's
+    own interleaved schedule otherwise.  Thread pools build this on the
+    driver; process workers rebuild the identical dict from the resolver
+    spec inside their own interpreter."""
+    return {
+        True: stage_programs(Method.GPIPE, num_workers, num_microbatches, recompute=False),
+        False: stage_programs(method, num_workers, num_microbatches, recompute=recompute),
+    }
+
+
+class _WorkerPoolBase:
+    """Shared driver-side collection loop of the two pools.
+
+    Done messages are ``(worker, kind, busy, transport, payload)`` with kind
+    in {"ok", "error", "deadlock"} (plus "ready"/"init_error" during process
+    startup).  ``_collect`` gathers all workers' reports into locals and
+    raises on failure **without mutating any runtime state**, which is what
+    lets :meth:`AsyncPipelineRuntime.train_step` commit stats atomically for
+    completed steps only.
+    """
+
+    kind: str = ""
+
+    def __init__(self, num_workers: int, deadlock_timeout: float, done_grace: float):
+        self.num_workers = num_workers
+        self.deadlock_timeout = deadlock_timeout
+        self.done_grace = done_grace
+        self.wedged = False
+
+    def _get_done(self, timeout: float):
+        raise NotImplementedError
+
+    def _peer_failure(self) -> str | None:
+        """Process pools report a worker that died without a message (killed,
+        segfaulted); threads cannot die silently."""
+        return None
+
+    def _next_done(self, deadline: float):
+        """One done message, failing fast on dead peers.  A worker that will
+        never report wedges the pool: don't reuse it, but close() can still
+        deliver shutdown sentinels / terminate stragglers."""
+        while True:
+            try:
+                return self._get_done(min(0.2, self.deadlock_timeout + self.done_grace))
+            except queue.Empty:
+                dead = self._peer_failure()
+                if dead is not None:
+                    self.wedged = True
+                    raise PipelineDeadlockError(dead) from None
+                if time.perf_counter() > deadline:
+                    self.wedged = True
+                    raise PipelineDeadlockError(
+                        f"pipeline stalled: a worker did not finish within "
+                        f"{self.deadlock_timeout + self.done_grace:.0f}s"
+                    ) from None
+
+    def _collect(self) -> tuple[list[float], list[float], dict[int, object]]:
+        k = self.num_workers
+        busys = [0.0] * k
+        xfers = [0.0] * k
+        extras: dict[int, object] = {}
+        errors: list[tuple[int, BaseException]] = []
+        deadlocks: list[tuple[int, str]] = []
+        for _ in range(k):
+            # Each report gets its own full timeout window: a worker whose
+            # final (secondary) channel wait starts late in the step must
+            # still get to report its TransportTimeout, otherwise the real
+            # worker exception already collected would be masked by a
+            # spurious wedge.
+            deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
+            w, kind, busy, xfer, payload = self._next_done(deadline)
+            busys[w] = busy
+            xfers[w] = xfer
+            if kind == "error":
+                errors.append((w, payload))
+            elif kind == "deadlock":
+                deadlocks.append((w, payload))
+            else:
+                extras[w] = payload
+        if errors:
+            # Real exceptions outrank the secondary starvation timeouts they
+            # cause in neighbouring workers.
+            raise errors[0][1]
+        if deadlocks:
+            raise PipelineDeadlockError(
+                f"worker {deadlocks[0][0]} reported: {deadlocks[0][1]}"
+            )
+        return busys, xfers, extras
+
+    def run_step(self, sync, xs, ys, scales) -> _StepResult:
+        raise NotImplementedError
+
+    def publish_plan_state(self) -> None:
+        """Called after the optimizer boundary; process pools push the new
+        weight version (and T2 velocities) into the shared mirror."""
+
+    def full_resync(self) -> None:
+        """Called after a checkpoint restore rewrote the version window."""
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class ThreadWorkerPool(_WorkerPoolBase):
+    """Per-stage worker threads with in-process queues (PR 1 semantics)."""
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        workers: list[WorkerCompute],
+        plan: StepPlan,
+        loss_fn,
+        deadlock_timeout: float,
+        done_grace: float,
+    ):
+        super().__init__(len(workers), deadlock_timeout, done_grace)
+        self.workers = workers
+        self.plan = plan
+        self._programs = _build_programs(
+            plan.method, len(workers), plan.num_microbatches,
+            plan.recompute_segment is not None,
+        )
+        self.loss_fn = loss_fn
+        self._cmd: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(self.num_workers)
+        ]
+        self._done: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(w,), name=f"pipe-worker-{w}", daemon=True
+            )
+            for w in range(self.num_workers)
+        ]
+        for th in self._threads:
+            th.start()
+
+    def _get_done(self, timeout: float):
+        return self._done.get(timeout=timeout)
+
+    def run_step(self, sync, xs, ys, scales) -> _StepResult:
+        k = self.num_workers
+        ctx = _StepContext(
+            sync=sync,
+            xs=xs,
+            ys=ys,
+            scales=scales,
+            programs=self._programs[bool(sync)],
+            losses=[0.0] * len(xs),
+            act_q=[queue.SimpleQueue() for _ in range(k)],
+            grad_q=[queue.SimpleQueue() for _ in range(k)],
+            rec_q=[queue.SimpleQueue() for _ in range(k)],
+        )
+        for cq in self._cmd:
+            cq.put(ctx)
+        busys, xfers, _ = self._collect()
+        return _StepResult(losses=list(ctx.losses), busy=busys, transport=xfers)
+
+    def _worker_loop(self, w: int) -> None:
+        k = self.num_workers
+        while True:
+            ctx = self._cmd[w].get()
+            if ctx is None:
+                return
+            busy = 0.0
+            kind, payload = "ok", None
+            chans = _QueueChannels(ctx, w, self.deadlock_timeout)
+            try:
+                busy = _execute_program(
+                    self.workers[w], ctx.programs[w], self.plan, ctx.sync, chans,
+                    w == 0, w == k - 1, self.loss_fn, ctx.xs, ctx.ys, ctx.scales,
+                    ctx.losses,
+                )
+            except TransportTimeout as exc:
+                kind, payload = "deadlock", str(exc)
+            except BaseException as exc:  # noqa: BLE001 — relayed to driver
+                kind, payload = "error", exc
+            self._done.put((w, kind, busy, 0.0, payload))
+
+    def close(self) -> None:
+        for cq in self._cmd:
+            cq.put(None)
+        for th in self._threads:
+            th.join(timeout=1.0)
+
+
+def _picklable_exc(exc: BaseException) -> BaseException:
+    """Exceptions cross the done queue by pickle; anything that cannot make
+    the trip is flattened to a RuntimeError carrying the formatted
+    traceback."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        )
+
+
+def _default_start_method() -> str:
+    """fork where the platform offers it (cheap, inherits the loaded NumPy),
+    else spawn.  Workers rebuild their state from picklable specs either
+    way, so the start method is a pure performance knob."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _process_worker_main(w: int, conn, done, init: dict) -> None:
+    """Entry point of one spawned stage worker.
+
+    Constructs everything locally from the picklable ``init`` payload —
+    model replica via :class:`ModelSpec`, partition, resolver over the
+    attached weight mirror, ring endpoints — then serves step commands until
+    the ``None`` sentinel (or a closed pipe) arrives.
+    """
+    k = init["k"]
+    n = init["num_microbatches"]
+    base = init["base"]
+    spec: ResolverSpec = init["resolver_spec"]
+    timeout = init["deadlock_timeout"]
+    chans = None
+    mirror = mailbox = None
+    try:
+        model, stages = init["model_spec"].build()
+        names = [list(s.names) for s in stages]
+        if names != init["stage_names"]:
+            raise ValueError(
+                f"worker {w}: model spec rebuilt a different partition than "
+                f"the driver's (stage parameter names differ)"
+            )
+        computes = build_worker_computes(model, stages)
+        if len(computes) != k:
+            raise ValueError(
+                f"worker {w}: spec yields {len(computes)} worker slices, "
+                f"driver has {k}"
+            )
+        compute = computes[w]
+        stage_shapes = init["stage_shapes"]
+        mirror = SharedWeightMirror(
+            f"{base}w", stage_shapes, spec.history, spec.use_t2, readonly=True
+        )
+        resolver = WorkerPlanMirror(spec, mirror)
+        mailbox = SharedGradMailbox(f"{base}g0", stage_shapes)
+        loss_fn = pickle.loads(init["loss_pickle"]) if w == k - 1 else None
+        slots = init["slots"]
+
+        def ring(tag: str, b: int, role: str) -> ShmRing:
+            return ShmRing(f"{base}{tag}{b}", slots=slots, role=role)
+
+        chans = _RingChannels(
+            act_in=ring("a", w, "recv") if w > 0 else None,
+            act_out=ring("a", w + 1, "send") if w < k - 1 else None,
+            rec_in=ring("r", w, "recv") if w > 0 else None,
+            rec_out=ring("r", w + 1, "send") if w < k - 1 else None,
+            grad_in=ring("g", w + 1, "recv") if w < k - 1 else None,
+            grad_out=ring("g", w, "send") if w > 0 else None,
+            timeout=timeout,
+        )
+        programs = _build_programs(
+            Method(spec.method), k, n, spec.recompute_segment is not None
+        )
+        has_pstate = compute.has_persistent_state()
+        if init["pstate"][w] is not None:
+            compute.load_persistent_state(init["pstate"][w])
+    except BaseException as exc:  # noqa: BLE001 — reported to driver
+        done.put((w, "init_error", 0.0, 0.0, _picklable_exc(exc)))
+        return
+    done.put((w, "ready", 0.0, 0.0, None))
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg is None:
+                break
+            if msg[0] == "__pstate__":
+                # Driver pushed fresh persistent state (checkpoint restore).
+                compute.load_persistent_state(msg[1])
+                continue
+            step_seq, t, sync, scales, xs, ys = msg
+            resolver.t = t
+            chans.step = step_seq
+            losses = [0.0] * n
+            busy = 0.0
+            kind, payload = "ok", None
+            xfer0 = chans.xfer_seconds()
+            try:
+                for b in compute.bindings:
+                    for p in b.params:
+                        p.grad.fill(0.0)
+                busy = _execute_program(
+                    compute, programs[bool(sync)][w], resolver, sync, chans,
+                    w == 0, w == k - 1, loss_fn, xs, ys, scales, losses,
+                )
+                for b in compute.bindings:
+                    for pos, p in zip(b.positions, b.params):
+                        mailbox.write(b.stage, pos, p.grad)
+                payload = (
+                    losses if w == k - 1 else None,
+                    compute.persistent_state() if has_pstate else None,
+                )
+            except TransportTimeout as exc:
+                kind, payload = "deadlock", str(exc)
+            except BaseException as exc:  # noqa: BLE001 — relayed to driver
+                kind, payload = "error", _picklable_exc(exc)
+            done.put((w, kind, busy, chans.xfer_seconds() - xfer0, payload))
+    finally:
+        if chans is not None:
+            chans.close()
+        if mirror is not None:
+            mirror.close()
+        if mailbox is not None:
+            mailbox.close()
+
+
+class ProcessWorkerPool(_WorkerPoolBase):
+    """Per-stage worker processes over the shared-memory transport."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        *,
+        driver_workers: list[WorkerCompute],
+        plan: StepPlan,
+        stages: list[Stage],
+        loss_fn,
+        model_spec: ModelSpec,
+        num_microbatches: int,
+        deadlock_timeout: float,
+        done_grace: float,
+        start_method: str | None = None,
+        transport_slot_bytes: int = 1 << 16,
+    ):
+        k = len(driver_workers)
+        super().__init__(k, deadlock_timeout, done_grace)
+        self.driver_workers = driver_workers
+        self.plan = plan
+        self.stages = stages
+        self._step_seq = 0
+        # Cleanup state first: close() must be safe however far construction
+        # got, so a failure mid-way (e.g. /dev/shm full after the mirror was
+        # created) cannot leak segments for the driver's lifetime.
+        self.mirror: SharedWeightMirror | None = None
+        self.mailbox: SharedGradMailbox | None = None
+        self._rings: list[ShmRing] = []
+        self._conns = []
+        self._procs = []
+        base = f"pm{os.getpid():x}{os.urandom(3).hex()}"
+        self._base = base
+        try:
+            stage_shapes = [[tuple(p.shape) for p in s.params] for s in stages]
+            history = plan.profile.history_needed()
+            self.mirror = SharedWeightMirror(
+                f"{base}w", stage_shapes, history, plan.corrector is not None,
+                create=True,
+            )
+            self.mirror.sync_from_store(plan.store, plan.corrector)
+            self.mailbox = SharedGradMailbox(f"{base}g0", stage_shapes, create=True)
+            # One aborted step can leave up to N unconsumed messages in a
+            # ring; 2N slots let the next step proceed while recv discards
+            # the residue.
+            slots = max(2 * num_microbatches, 2)
+            for b in range(1, k):
+                for tag in ("a", "r", "g"):
+                    self._rings.append(
+                        ShmRing(
+                            f"{base}{tag}{b}", slots=slots,
+                            slot_bytes=transport_slot_bytes, create=True,
+                        )
+                    )
+            ctx = multiprocessing.get_context(start_method or _default_start_method())
+            self._done = ctx.Queue()
+            init = {
+                "base": base,
+                "k": k,
+                "slots": slots,
+                "num_microbatches": num_microbatches,
+                "stage_shapes": stage_shapes,
+                "stage_names": [list(s.names) for s in stages],
+                "resolver_spec": plan.resolver_spec(),
+                "model_spec": model_spec,
+                "loss_pickle": pickle.dumps(loss_fn),
+                "deadlock_timeout": deadlock_timeout,
+                # Seed each replica with the driver's *current* persistent
+                # state (BatchNorm running stats): a factory spec rebuilds a
+                # fresh model, whose pristine stats must not clobber stats
+                # that already evolved driver-side.
+                "pstate": [
+                    w.persistent_state() if w.has_persistent_state() else None
+                    for w in driver_workers
+                ],
+            }
+            for w in range(k):
+                recv_end, send_end = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_process_worker_main,
+                    args=(w, recv_end, self._done, init),
+                    name=f"pipe-proc-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                recv_end.close()  # worker's end; driver keeps the sender
+                self._conns.append(send_end)
+                self._procs.append(proc)
+            self._await_ready(k)
+        except BaseException:
+            self.close()
+            raise
+
+    def _await_ready(self, k: int) -> None:
+        """Block until every worker rebuilt its slice and attached the
+        transport, so spec/partition mismatches fail at construction."""
+        ready = 0
+        deadline = time.perf_counter() + max(120.0, self.done_grace)
+        while ready < k:
+            try:
+                w, kind, _, _, payload = self._done.get(timeout=0.2)
+            except queue.Empty:
+                dead = self._peer_failure()
+                if dead is not None:
+                    raise PipelineDeadlockError(
+                        f"process worker failed to start: {dead}"
+                    ) from None
+                if time.perf_counter() > deadline:
+                    raise PipelineDeadlockError(
+                        "process workers did not come up in time"
+                    ) from None
+                continue
+            if kind == "init_error":
+                raise payload
+            if kind == "ready":
+                ready += 1
+
+    def _peer_failure(self) -> str | None:
+        for proc in self._procs:
+            if not proc.is_alive() and proc.exitcode != 0:
+                return (
+                    f"pipeline worker {proc.name} died with exit code "
+                    f"{proc.exitcode} before reporting back"
+                )
+        return None
+
+    def _get_done(self, timeout: float):
+        return self._done.get(timeout=timeout)
+
+    def run_step(self, sync, xs, ys, scales) -> _StepResult:
+        k = self.num_workers
+        self._step_seq += 1
+        for w, conn in enumerate(self._conns):
+            try:
+                conn.send((
+                    self._step_seq,
+                    self.plan.t,
+                    sync,
+                    scales,
+                    xs if w == 0 else None,
+                    ys if w == k - 1 else None,
+                ))
+            except OSError as exc:
+                # The worker's end of the pipe is gone — it died between
+                # steps.  Same contract as a mid-step death: wedge the pool.
+                self.wedged = True
+                raise PipelineDeadlockError(
+                    f"pipeline worker {w} is gone ({exc}); build a fresh runtime"
+                ) from None
+        busys, xfers, extras = self._collect()
+        losses, _ = extras[k - 1]
+        for w, (_, pstate) in extras.items():
+            if pstate is not None:
+                self.driver_workers[w].load_persistent_state(pstate)
+        for s, stage in enumerate(self.stages):
+            for pos, p in enumerate(stage.params):
+                p.grad[...] = self.mailbox.read(s, pos)
+        return _StepResult(losses=list(losses), busy=busys, transport=xfers)
+
+    def publish_plan_state(self) -> None:
+        store = self.plan.store
+        v = store.latest_version
+        self.mirror.publish_version(
+            v, [store.weights(s, v) for s in range(store.num_stages)]
+        )
+        if self.plan.corrector is not None:
+            self.mirror.publish_velocity(self.plan.corrector.velocity)
+
+    def full_resync(self) -> None:
+        self.mirror.sync_from_store(self.plan.store, self.plan.corrector)
+        # Push driver-side persistent state (e.g. restored BatchNorm running
+        # stats) down to the worker replicas; the pipe is FIFO, so workers
+        # apply it before any subsequent step command.
+        for w, (conn, compute) in enumerate(zip(self._conns, self.driver_workers)):
+            if compute.has_persistent_state():
+                try:
+                    conn.send(("__pstate__", compute.persistent_state()))
+                except OSError as exc:
+                    self.wedged = True
+                    raise PipelineDeadlockError(
+                        f"pipeline worker {w} is gone ({exc}); build a fresh runtime"
+                    ) from None
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for ring in self._rings:
+            ring.unlink()
+        if self.mirror is not None:
+            self.mirror.unlink()
+        if self.mailbox is not None:
+            self.mailbox.unlink()
 
 
 class AsyncPipelineRuntime(PipelineBackend):
     """Event-driven multi-worker pipeline backend.
 
     Accepts the same arguments as :class:`~repro.pipeline.PipelineExecutor`
-    plus ``deadlock_timeout`` (seconds a worker may wait on a queue before
-    the step is aborted with :class:`PipelineDeadlockError` — a wedged pipe
-    fails fast instead of hanging).
+    plus:
+
+    backend:
+        ``"thread"`` (default; the CLI's ``async`` runtime) or
+        ``"process"`` (the CLI's ``process`` runtime — stage workers in
+        separate processes over shared-memory transport).
+    deadlock_timeout:
+        Seconds a worker may wait on a channel before the step is aborted
+        with :class:`PipelineDeadlockError` — a wedged pipe fails fast
+        instead of hanging.
+    model_spec:
+        Process backend only: picklable
+        :class:`~repro.pipeline.stage_compute.ModelSpec` each worker
+        rebuilds its slice from.  Defaults to a pickled snapshot of
+        ``model`` (``ModelSpec.from_model``) partitioned into
+        ``len(stages)`` stages.
+    start_method, transport_slot_bytes, done_grace:
+        Process-backend tuning: multiprocessing start method (default fork
+        where available), initial ring-slot capacity (rings grow on
+        demand), and the extra driver-side wait beyond ``deadlock_timeout``
+        before a silent worker wedges the runtime.
 
     The model must be sliceable into a chain (see
     :mod:`repro.pipeline.stage_compute`); stochastic-forward modules
     (Dropout in training mode) are rejected because their draw order would
     depend on wall-clock scheduling.
 
-    Use as a context manager, or call :meth:`close`, to shut the worker
-    threads down promptly; they are daemons, so leaking one cannot hang
-    interpreter exit.
+    Use as a context manager, or call :meth:`close`, to shut the workers
+    down promptly; thread workers are daemons and process workers are
+    daemonic child processes, so leaking one cannot hang interpreter exit.
     """
 
     def __init__(
@@ -123,6 +918,11 @@ class AsyncPipelineRuntime(PipelineBackend):
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
         deadlock_timeout: float = 30.0,
+        backend: str = "thread",
+        model_spec: ModelSpec | None = None,
+        start_method: str | None = None,
+        transport_slot_bytes: int = 1 << 16,
+        done_grace: float = 10.0,
     ):
         super().__init__(
             model,
@@ -139,6 +939,9 @@ class AsyncPipelineRuntime(PipelineBackend):
                 recompute_segment=recompute_segment,
             ),
         )
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown worker backend {backend!r}")
+        self.backend = backend
         self.deadlock_timeout = deadlock_timeout
         self.workers: list[WorkerCompute] = build_worker_computes(model, stages)
         for w in self.workers:
@@ -146,35 +949,38 @@ class AsyncPipelineRuntime(PipelineBackend):
                 if isinstance(m, Dropout) and m.p > 0:
                     raise ValueError(
                         "AsyncPipelineRuntime does not support training-mode "
-                        "Dropout: its RNG draw order would depend on thread "
+                        "Dropout: its RNG draw order would depend on worker "
                         "scheduling; use the simulator backend"
                     )
         k, n = len(self.workers), num_microbatches
-        recompute = recompute_segment is not None
-        # Worker programs come straight off the occupancy grids: the
-        # schedule module's Figure 1 cartoons, executed for real.  (For the
-        # GPipe method is_sync_step() is always True, so only the sync
-        # program is ever used there.)
-        self._programs = {
-            True: stage_programs(Method.GPIPE, k, n, recompute=False),
-            False: stage_programs(self.plan.method, k, n, recompute=recompute),
-        }
         self.stats = RuntimeStats(
-            last_busy=[0.0] * k, total_busy=[0.0] * k
+            last_busy=[0.0] * k,
+            total_busy=[0.0] * k,
+            last_transport=[0.0] * k,
+            total_transport=[0.0] * k,
         )
-
-        self._cmd: list[queue.SimpleQueue] = [queue.SimpleQueue() for _ in range(k)]
-        self._done: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
-        self._wedged = False
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop, args=(w,), name=f"pipe-worker-{w}", daemon=True
+        if backend == "process":
+            self.pool: _WorkerPoolBase = ProcessWorkerPool(
+                driver_workers=self.workers,
+                plan=self.plan,
+                stages=stages,
+                loss_fn=loss_fn,
+                model_spec=(
+                    model_spec
+                    if model_spec is not None
+                    else ModelSpec.from_model(model, num_stages=len(stages))
+                ),
+                num_microbatches=n,
+                deadlock_timeout=deadlock_timeout,
+                done_grace=done_grace,
+                start_method=start_method,
+                transport_slot_bytes=transport_slot_bytes,
             )
-            for w in range(k)
-        ]
-        for th in self._threads:
-            th.start()
+        else:
+            self.pool = ThreadWorkerPool(
+                self.workers, self.plan, loss_fn, deadlock_timeout, done_grace,
+            )
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -187,7 +993,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         microbatch training loss (bit-identical to the simulator's)."""
         if self._closed:
             raise RuntimeError("runtime is closed")
-        if self._wedged:
+        if self.pool.wedged:
             raise RuntimeError(
                 "runtime is wedged after a deadlock (a worker never reported "
                 "back); build a fresh runtime"
@@ -196,130 +1002,45 @@ class AsyncPipelineRuntime(PipelineBackend):
         n = plan.num_microbatches
         xs, ys = self._split_minibatch(x, y, n)
         total = sum(self._num_samples(xj) for xj in xs)
+        scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
         sync = plan.is_sync_step()
-        k = self.num_workers
 
         plan.begin_step()
-        ctx = _StepContext(
-            sync=sync,
-            xs=xs,
-            ys=ys,
-            scales=[plan.grad_scale(self._num_samples(xj), total) for xj in xs],
-            programs=self._programs[True] if sync else self._programs[False],
-            losses=[0.0] * n,
-            act_q=[queue.SimpleQueue() for _ in range(k)],
-            grad_q=[queue.SimpleQueue() for _ in range(k)],
-            rec_q=[queue.SimpleQueue() for _ in range(k)],
-        )
         start = time.perf_counter()
-        for cq in self._cmd:
-            cq.put(ctx)
-
-        errors = []
-        for _ in range(k):
-            try:
-                w, err, busy = self._done.get(timeout=self.deadlock_timeout + 10.0)
-            except queue.Empty:
-                # A worker never reported back even after its own queue
-                # timeout window: don't reuse the runtime, but close() can
-                # still deliver shutdown sentinels.
-                self._wedged = True
-                raise PipelineDeadlockError(
-                    f"pipeline stalled: a worker did not finish within "
-                    f"{self.deadlock_timeout + 10.0:.0f}s"
-                ) from None
-            self.stats.last_busy[w] = busy
-            if err is not None:
-                errors.append((w, err))
+        try:
+            result = self.pool.run_step(sync, xs, ys, scales)
+        except BaseException:
+            # However the step died, leave the live parameters on the latest
+            # weight version: thread workers may have re-pointed them at
+            # historical arrays mid-step, and evaluation or checkpointing
+            # after a caught error must not silently read delayed weights.
+            plan.store.load_latest()
+            raise
         wall = time.perf_counter() - start
-        self.stats.steps += 1
-        self.stats.last_wall = wall
-        self.stats.total_wall += wall
-        for w in range(k):
-            self.stats.total_busy[w] += self.stats.last_busy[w]
-        if errors:
-            w, err = errors[0]
-            if isinstance(err, queue.Empty):
-                raise PipelineDeadlockError(
-                    f"worker {w} waited >{self.deadlock_timeout}s for an "
-                    f"activation/gradient that never arrived"
-                ) from None
-            raise err
-
+        # Stats commit atomically, and only for completed steps — aborted
+        # steps contribute neither busy nor wall time.
+        self.stats.commit(wall, result.busy, result.transport)
         plan.finish_step(sync)
-        return float(np.mean(ctx.losses))
+        self.pool.publish_plan_state()
+        return float(np.mean(result.losses))
 
-    # -- worker side ------------------------------------------------------------
-    def _worker_loop(self, w: int) -> None:
-        while True:
-            ctx = self._cmd[w].get()
-            if ctx is None:
-                return
-            busy = 0.0
-            err = None
-            try:
-                busy = self._run_program(w, ctx)
-            except BaseException as exc:  # noqa: BLE001 — relayed to driver
-                err = exc
-            self._done.put((w, err, busy))
-
-    def _run_program(self, w: int, ctx: _StepContext) -> float:
-        plan = self.plan
-        compute = self.workers[w]
-        first = w == 0
-        last = w == self.num_workers - 1
-        timeout = self.deadlock_timeout
-        snapshots: dict[int, list[dict]] = {}
-        grads: dict[int, np.ndarray] = {}
-        recompute = plan.recompute_active(ctx.sync)
-        busy = 0.0
-
-        for op, j in ctx.programs[w]:
-            if op == "F":
-                xj = ctx.xs[j] if first else ctx.act_q[w].get(timeout=timeout)
-                t0 = time.perf_counter()
-                compute.load_weights(lambda s: plan.forward_weights(s, j, ctx.sync))
-                out = compute.forward(xj)
-                if last:
-                    ctx.losses[j] = self.loss_fn(out, ctx.ys[j])
-                    grads[j] = self.loss_fn.backward() * ctx.scales[j]
-                if not recompute:
-                    snapshots[j] = compute.cache_state()
-                busy += time.perf_counter() - t0
-                if not last:
-                    ctx.act_q[w + 1].put(out)
-            elif op == "R":
-                xj = ctx.xs[j] if first else ctx.rec_q[w].get(timeout=timeout)
-                t0 = time.perf_counter()
-                compute.load_weights(lambda s: plan.recompute_weights(s, j))
-                out = compute.forward(xj)
-                snapshots[j] = compute.cache_state()
-                busy += time.perf_counter() - t0
-                if not last:
-                    ctx.rec_q[w + 1].put(out)
-            else:  # "B"
-                gj = grads.pop(j) if last else ctx.grad_q[w].get(timeout=timeout)
-                t0 = time.perf_counter()
-                compute.load_cache_state(snapshots.pop(j))
-                compute.load_weights(lambda s: plan.backward_weights(s, j, ctx.sync))
-                gout = compute.backward(gj)
-                busy += time.perf_counter() - t0
-                if not first:
-                    ctx.grad_q[w - 1].put(gout)
-        return busy
+    # -- checkpointing -----------------------------------------------------------
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.pool.full_resync()
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
-        """Stop the worker threads (idempotent).  Safe after a deadlock:
-        the shutdown sentinel is consumed once a stalled worker's own queue
-        timeout returns it to its command loop."""
+        """Stop the workers (idempotent).  Safe after a deadlock: thread
+        workers consume the shutdown sentinel once their own channel timeout
+        returns them to the command loop, and process workers are terminated
+        if they do not exit in time."""
         if getattr(self, "_closed", False):
             return
         self._closed = True
-        for cq in getattr(self, "_cmd", []):
-            cq.put(None)
-        for th in getattr(self, "_threads", []):
-            th.join(timeout=1.0)
+        pool = getattr(self, "pool", None)
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "AsyncPipelineRuntime":
         return self
@@ -327,7 +1048,7 @@ class AsyncPipelineRuntime(PipelineBackend):
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def __del__(self):  # best-effort; threads are daemons regardless
+    def __del__(self):  # best-effort; workers are daemons regardless
         try:
             self.close()
         except Exception:

@@ -48,13 +48,18 @@ class ScheduleGrid:
 def bubble_fraction(schedule: ScheduleGrid, steady_state_only: bool = False) -> float:
     """Fraction of (stage, slot) cells that are idle.
 
-    ``steady_state_only`` drops the initial fill region (first 2P slots) so
-    bubble-free methods measure exactly 0 in steady state.
+    ``steady_state_only`` drops the fill region (first 2P slots) *and* the
+    drain region (last 2P slots) so bubble-free methods measure exactly 0
+    in steady state.  A grid too small to have a steady-state region at all
+    (N + P small: the pipe never leaves fill/drain) reports 0.0 rather than
+    measuring a lone fill or drain slot as a spurious bubble.
     """
     grid = schedule.grid
     if steady_state_only:
-        start = min(2 * schedule.num_stages, grid.shape[1] - 1)
-        grid = grid[:, start:]
+        edge = 2 * schedule.num_stages
+        if grid.shape[1] <= 2 * edge:
+            return 0.0  # no steady-state region exists
+        grid = grid[:, edge:-edge]
     if grid.size == 0:
         return 0.0
     return float((grid == IDLE).mean())

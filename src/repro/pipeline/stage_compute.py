@@ -29,7 +29,11 @@ exactly as in the sequential simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import importlib
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.nn.module import Module, Parameter, Sequential
 
@@ -59,6 +63,57 @@ _CACHE_EXCLUDED = ("_parameters", "_modules")
 
 def _is_cache_attr(name: str) -> bool:
     return name.startswith("_") and name not in _CACHE_EXCLUDED
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable recipe for rebuilding a model (and its stage partition)
+    inside a spawned worker process.
+
+    The process backend never ships live module objects to workers — a
+    worker calls :meth:`build` to construct its own replica, then reads
+    every weight it uses from the shared-memory mirror, so only the
+    *shapes* (and any persistent non-parameter state, e.g. BatchNorm
+    running statistics) of the replica matter.
+
+    ``factory`` is either a picklable callable (a class or module-level
+    function) or an import-path string ``"pkg.mod:attr"``; ``args`` /
+    ``kwargs`` must pickle (NumPy ``Generator`` objects do, state and all,
+    so seeded-rng constructor arguments reproduce the driver's build
+    exactly).  ``num_stages=None`` means the finest partition granularity,
+    as in :func:`repro.pipeline.partition_model`.
+    """
+
+    factory: object
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    num_stages: int | None = None
+
+    @classmethod
+    def from_model(cls, model: Module, num_stages: int | None = None) -> "ModelSpec":
+        """Spec that rebuilds ``model`` from a pickled snapshot — the
+        convenience path when no module-level factory exists.  The snapshot
+        is taken now, so later driver-side mutation is not reflected."""
+        return cls(factory=pickle.loads, args=(pickle.dumps(model),), num_stages=num_stages)
+
+    def build_model(self) -> Module:
+        factory = self.factory
+        if isinstance(factory, str):
+            mod_name, sep, attr = factory.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"string factory must look like 'pkg.mod:attr', got {factory!r}"
+                )
+            factory = getattr(importlib.import_module(mod_name), attr)
+        return factory(*self.args, **dict(self.kwargs))
+
+    def build(self):
+        """Construct ``(model, stages)`` — the worker-side mirror of the
+        driver's ``partition_model(model, num_stages)``."""
+        from repro.pipeline.partition import partition_model
+
+        model = self.build_model()
+        return model, partition_model(model, self.num_stages)
 
 
 @dataclass
@@ -133,6 +188,31 @@ class WorkerCompute:
         for m, attrs in zip(self.all_modules, state):
             for k, v in attrs.items():
                 object.__setattr__(m, k, v)
+
+    # -- persistent (non-cache) module state -----------------------------------
+    def has_persistent_state(self) -> bool:
+        """Whether any module in the slice carries persistent array state
+        (BatchNorm running statistics and the like) that mutates during
+        training.  Thread workers share the driver's modules so nothing
+        extra is needed; process workers mutate their local replica and ship
+        this state back to the driver each step."""
+        return any(s for s in self.persistent_state())
+
+    def persistent_state(self) -> list[dict]:
+        """Non-underscore ndarray attributes per module: state that persists
+        across microbatches (running stats), as opposed to the ``_`` caches
+        (per-microbatch) and Parameters (versioned through the store)."""
+        return [
+            {
+                k: v
+                for k, v in m.__dict__.items()
+                if not k.startswith("_") and isinstance(v, np.ndarray)
+            }
+            for m in self.all_modules
+        ]
+
+    def load_persistent_state(self, state: list[dict]) -> None:
+        self.load_cache_state(state)  # same per-module attr restore
 
 
 def build_worker_computes(model: Module, stages) -> list[WorkerCompute]:

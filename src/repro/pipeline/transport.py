@@ -1,0 +1,482 @@
+"""Shared-memory transport for the multi-process pipeline backend.
+
+Process workers cannot share ``Parameter`` objects or Python queues the way
+the thread backend does, so everything that crosses a process boundary per
+microbatch goes through ``multiprocessing.shared_memory`` segments managed
+here:
+
+* :class:`ShmRing` — a single-producer single-consumer ring buffer carrying
+  activation / recompute / gradient arrays between adjacent stage workers.
+  Slots are handed off seqlock-style through per-slot publication (``pub``)
+  and consumption (``ack``) counters living in a small control segment;
+  payload bytes are copied straight between NumPy buffers, so after the
+  capacity of a channel is negotiated (at the first send of a step, growing
+  when shapes change) **no pickling happens on the microbatch path**.
+* :class:`SharedGradMailbox` — one weight-shaped float64 block per stage
+  parameter.  Each worker owns a disjoint set of (stage, position) slots and
+  writes its accumulated minibatch gradients there once per step; the driver
+  copies them into the live ``Parameter.grad`` buffers after all workers
+  report done (the done message is the synchronisation point, so the mailbox
+  itself needs no flags).
+
+Ring protocol (one writer, one reader, ``slots`` slots):
+
+* message ``m`` uses slot ``i = m % slots``; the writer waits until
+  ``ack[i] == pub[i]`` (slot free), writes the header + payload, then
+  publishes ``pub[i] = m + 1``; the reader waits for ``pub[i] == m + 1``,
+  copies the payload out, then releases ``ack[i] = m + 1``.
+* every message is tagged with the driver's step sequence number.  After an
+  aborted step (worker exception / deadlock) readers may find stale
+  messages from the old step in their rings; :meth:`ShmRing.recv` returns
+  the tag so callers can discard them, which self-heals the channel without
+  any cross-process flush coordination.
+* when a payload outgrows the data segment the writer waits for all
+  outstanding messages to be consumed, unlinks the old segment and creates
+  generation ``g+1`` with a larger slot capacity; the reader re-attaches
+  when it observes the generation counter change.  Data segment names are
+  derived from the channel name and generation, so no names travel through
+  the ring.
+
+Counter updates are aligned 8-byte stores read/written through NumPy int64
+views; the seqlock ordering (payload before ``pub``, copy before ``ack``)
+relies on the total-store-order guarantee of x86/x86-64.  Pure Python has
+no portable memory fence, so on weakly-ordered architectures (aarch64,
+ppc64le) the ``pub`` store could in principle become visible before the
+payload bytes; :class:`ShmRing` emits a one-time warning there rather than
+failing silently — use the thread backend (or contribute a fenced
+transport) on such hosts.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+import warnings
+from multiprocessing import shared_memory
+
+import numpy as np
+
+_TSO_MACHINES = {"x86_64", "amd64", "i386", "i686", "x86"}
+_warned_weak_order = False
+
+
+def _check_memory_order() -> None:
+    global _warned_weak_order
+    machine = platform.machine().lower()
+    if machine in _TSO_MACHINES or _warned_weak_order:
+        return
+    _warned_weak_order = True
+    warnings.warn(
+        f"shared-memory ring transport assumes x86 total store order; on "
+        f"{machine!r} the slot handoff is not guaranteed race-free — prefer "
+        f"the thread backend on this host",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class TransportTimeout(RuntimeError):
+    """A shared-memory channel operation exceeded its deadline — the
+    process-pipeline analogue of ``queue.Empty``: the schedule's dataflow
+    stalled (peer crashed, wedged, or never produced the message)."""
+
+
+# Names this process created (and therefore legitimately tracks); attaching
+# to one of our own segments must not unregister it from the tracker.
+_created_here: set[str] = set()
+
+
+def create_shm(name: str, size: int) -> shared_memory.SharedMemory:
+    """Create a segment and remember local ownership for :func:`attach_shm`."""
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _created_here.add(shm._name)  # noqa: SLF001 — the tracker-registered name
+    return shm
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup ownership.
+
+    On CPython < 3.13 every ``SharedMemory`` handle registers with the
+    process-local ``resource_tracker``, so an attaching worker's exit would
+    spuriously unlink segments the driver still owns (and spam "leaked
+    shared_memory" warnings).  Only the creating process should track a
+    segment; attachers unregister immediately.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if shm._name in _created_here:  # noqa: SLF001
+        return shm
+    try:  # pragma: no cover - depends on interpreter version internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+    return shm
+
+
+def unlink_quietly(shm: shared_memory.SharedMemory | None) -> None:
+    """close() + unlink() ignoring races with peers that already unlinked."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+# Payload dtypes a ring can carry; the code is the index.  float64 covers
+# every activation/gradient in this library (nn.module.DTYPE); the integer
+# types cover token/index inputs entering stage 0.
+_RING_DTYPES: tuple[np.dtype, ...] = tuple(
+    np.dtype(d)
+    for d in (
+        np.float64, np.float32, np.int64, np.int32, np.int16, np.int8,
+        np.uint8, np.bool_,
+    )
+)
+_DTYPE_CODE = {d: i for i, d in enumerate(_RING_DTYPES)}
+
+_MAX_DIMS = 8
+# Per-slot header int64s:
+# [step, nbytes, dtype_code, ndim, shape*_MAX_DIMS, perm*_MAX_DIMS].
+# ``perm`` is the axis order that makes the payload C-contiguous: arrays
+# cross the ring in their *own* memory layout, not normalised to C order.
+# NumPy kernels downstream are bit-deterministic only for a fixed memory
+# layout (BLAS picks different accumulation orders for transposed inputs),
+# and the thread backend hands successors the original array object — so
+# layout preservation is part of the bit-for-bit equivalence contract.
+_HDR_INTS = 4 + 2 * _MAX_DIMS
+_HDR_BYTES = 8 * _HDR_INTS
+
+# Control segment int64s before the pub/ack arrays: [generation, slot_bytes].
+_CTL_GEN = 0
+_CTL_SLOT_BYTES = 1
+_CTL_FIXED = 2
+
+_SPIN_ROUNDS = 200  # hot-spin iterations before backing off to sleeps
+_POLL_SLEEP = 1e-4
+
+
+def _round_slot_bytes(nbytes: int) -> int:
+    """Slot capacities are multiples of 8 so float64 payload views stay
+    aligned, with minimum room for a scalar."""
+    return max(64, (int(nbytes) + 7) // 8 * 8)
+
+
+def _layout_perm(array: np.ndarray) -> tuple[int, ...] | None:
+    """Axis order under which ``array`` is C-contiguous, or ``None``.
+
+    Covers every permuted-contiguous layout (C, Fortran, transposed NCHW
+    intermediates, …): transposing by the returned permutation yields a
+    C-contiguous view, so the payload can cross the ring without changing
+    the element order in memory.  Genuinely strided views (slices with
+    gaps, broadcasts) return ``None`` and fall back to a C-order copy.
+    """
+    if array.flags.c_contiguous:
+        return tuple(range(array.ndim))
+    perm = tuple(int(i) for i in np.argsort(
+        [-s for s in array.strides], kind="stable"
+    ))
+    if array.transpose(perm).flags.c_contiguous:
+        return perm
+    return None
+
+
+class ShmRing:
+    """One directional SPSC array channel (see module docstring).
+
+    Exactly one side constructs with ``create=True`` (the driver, which
+    preallocates the control segment and the generation-1 data segment) and
+    each worker endpoint attaches by name with ``role`` "send" or "recv".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        slots: int,
+        slot_bytes: int = 1 << 16,
+        create: bool = False,
+        role: str | None = None,
+    ):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        _check_memory_order()
+        self.name = name
+        self.slots = slots
+        self.role = role
+        self._msg = 0  # next message number on this endpoint
+        self._gen = 1
+        self.xfer_seconds = 0.0  # cumulative time spent copying payloads
+        ctl_size = 8 * (_CTL_FIXED + 2 * slots)
+        if create:
+            self._ctl = create_shm(self._ctl_name(), ctl_size)
+            self._ctl_ints = np.ndarray(
+                (_CTL_FIXED + 2 * slots,), dtype=np.int64, buffer=self._ctl.buf
+            )
+            self._ctl_ints[:] = 0
+            self._ctl_ints[_CTL_GEN] = 1
+            self._ctl_ints[_CTL_SLOT_BYTES] = _round_slot_bytes(slot_bytes)
+            self._slot_bytes = _round_slot_bytes(slot_bytes)
+            self._data = create_shm(
+                self._data_name(1), slots * (_HDR_BYTES + self._slot_bytes)
+            )
+        else:
+            self._ctl = attach_shm(self._ctl_name())
+            self._ctl_ints = np.ndarray(
+                (_CTL_FIXED + 2 * slots,), dtype=np.int64, buffer=self._ctl.buf
+            )
+            self._gen = int(self._ctl_ints[_CTL_GEN])
+            self._slot_bytes = int(self._ctl_ints[_CTL_SLOT_BYTES])
+            self._data = attach_shm(self._data_name(self._gen))
+        self._pub = self._ctl_ints[_CTL_FIXED:_CTL_FIXED + slots]
+        self._ack = self._ctl_ints[_CTL_FIXED + slots:]
+
+    # -- naming ----------------------------------------------------------------
+    def _ctl_name(self) -> str:
+        return f"{self.name}c"
+
+    def _data_name(self, gen: int) -> str:
+        return f"{self.name}d{gen}"
+
+    @property
+    def slot_bytes(self) -> int:
+        """Capacity of the currently attached data generation.  Cached per
+        attach: the live control value may already describe a newer
+        generation this endpoint has not switched to yet."""
+        return self._slot_bytes
+
+    # -- waiting ---------------------------------------------------------------
+    @staticmethod
+    def _wait(predicate, deadline: float, what: str) -> None:
+        spins = 0
+        while not predicate():
+            spins += 1
+            if spins < _SPIN_ROUNDS:
+                continue
+            if time.perf_counter() > deadline:
+                raise TransportTimeout(what)
+            time.sleep(_POLL_SLEEP)
+
+    # -- writer side ----------------------------------------------------------
+    def send(self, array: np.ndarray, step: int, timeout: float) -> None:
+        """Copy ``array`` into the next free slot, tagged with ``step``."""
+        deadline = time.perf_counter() + timeout
+        m = self._msg
+        i = m % self.slots
+        self._wait(
+            lambda: self._ack[i] == self._pub[i], deadline,
+            f"ring {self.name}: peer never freed slot {i} (message {m})",
+        )
+        array = np.asarray(array)
+        if array.ndim > _MAX_DIMS:
+            raise ValueError(f"array rank {array.ndim} exceeds {_MAX_DIMS}")
+        code = _DTYPE_CODE.get(array.dtype)
+        if code is None:
+            raise TypeError(f"unsupported ring dtype {array.dtype}")
+        if array.nbytes > self.slot_bytes:
+            self._grow(array.nbytes, deadline)
+        perm = _layout_perm(array)
+        if perm is None:  # strided view with gaps: C-copy is the best we can do
+            perm = tuple(range(array.ndim))
+        payload = array.transpose(perm)  # C-contiguous in memory order
+        base = i * (_HDR_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_HDR_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        hdr[0] = step
+        hdr[1] = array.nbytes
+        hdr[2] = code
+        hdr[3] = array.ndim
+        hdr[4:4 + array.ndim] = payload.shape
+        hdr[4 + _MAX_DIMS:4 + _MAX_DIMS + array.ndim] = perm
+        t0 = time.perf_counter()
+        dst = np.ndarray(
+            payload.shape, dtype=array.dtype, buffer=self._data.buf,
+            offset=base + _HDR_BYTES,
+        )
+        np.copyto(dst, payload)
+        self.xfer_seconds += time.perf_counter() - t0
+        self._pub[i] = m + 1  # publish last: payload is complete
+        self._msg = m + 1
+
+    def _grow(self, nbytes: int, deadline: float) -> None:
+        """Replace the data segment with a roomier generation.  Waits for the
+        reader to drain everything in flight first, so no message ever spans
+        two generations."""
+        self._wait(
+            lambda: bool((self._ack[:] == self._pub[:]).all()), deadline,
+            f"ring {self.name}: cannot grow while peer holds unread messages",
+        )
+        new_bytes = _round_slot_bytes(max(2 * nbytes, 2 * self.slot_bytes))
+        unlink_quietly(self._data)
+        gen = self._gen + 1
+        self._data = create_shm(
+            self._data_name(gen), self.slots * (_HDR_BYTES + new_bytes)
+        )
+        # slot_bytes must be visible no later than the generation bump.
+        self._ctl_ints[_CTL_SLOT_BYTES] = new_bytes
+        self._ctl_ints[_CTL_GEN] = gen
+        self._gen = gen
+        self._slot_bytes = new_bytes
+
+    # -- reader side ----------------------------------------------------------
+    def recv(self, timeout: float) -> tuple[int, np.ndarray]:
+        """Return ``(step_tag, array)`` for the next message, copying the
+        payload out of shared memory.  Callers discard tags from aborted
+        steps (see module docstring)."""
+        deadline = time.perf_counter() + timeout
+        m = self._msg
+        i = m % self.slots
+        self._wait(
+            lambda: self._pub[i] == m + 1, deadline,
+            f"ring {self.name}: message {m} never arrived",
+        )
+        if self._ctl_ints[_CTL_GEN] != self._gen:
+            self._reattach()
+        base = i * (_HDR_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_HDR_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        step = int(hdr[0])
+        dtype = _RING_DTYPES[int(hdr[2])]
+        ndim = int(hdr[3])
+        shape = tuple(int(d) for d in hdr[4:4 + ndim])
+        perm = tuple(int(d) for d in hdr[4 + _MAX_DIMS:4 + _MAX_DIMS + ndim])
+        t0 = time.perf_counter()
+        src = np.ndarray(shape, dtype=dtype, buffer=self._data.buf, offset=base + _HDR_BYTES)
+        out = src.copy()
+        self.xfer_seconds += time.perf_counter() - t0
+        self._ack[i] = m + 1  # release after the copy is complete
+        self._msg = m + 1
+        # Undo the send-side transpose: the result has the sender's exact
+        # shape *and* memory layout (see _layout_perm).
+        inv = np.argsort(perm) if ndim else ()
+        return step, out.transpose(inv)
+
+    def _reattach(self) -> None:
+        # Seqlock read of (gen, slot_bytes): retry if the writer swapped
+        # generations between the two loads.
+        while True:
+            gen = int(self._ctl_ints[_CTL_GEN])
+            if gen == self._gen:
+                return
+            try:
+                data = attach_shm(self._data_name(gen))
+            except FileNotFoundError:
+                continue  # writer is mid-swap; its next store publishes gen
+            slot_bytes = int(self._ctl_ints[_CTL_SLOT_BYTES])
+            if int(self._ctl_ints[_CTL_GEN]) != gen:
+                data.close()
+                continue
+            self._data.close()
+            self._data = data
+            self._gen = gen
+            self._slot_bytes = slot_bytes
+            return
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this endpoint (does not unlink)."""
+        for shm in (self._data, self._ctl):
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segments (driver-side, after workers exited).  The
+        current data generation is read from the control header so segments
+        grown by a worker are reclaimed too.  The grown segment is attached
+        with a *plain* ``SharedMemory`` (not :func:`attach_shm`): attach
+        registers it with the resource tracker and ``unlink`` unregisters
+        it, which balances; routing through ``attach_shm`` would unregister
+        twice and spray KeyError tracebacks at interpreter exit."""
+        try:
+            gen = int(self._ctl_ints[_CTL_GEN])
+        except Exception:
+            gen = self._gen
+        if gen != self._gen:
+            try:
+                self._data.close()
+                self._data = shared_memory.SharedMemory(name=self._data_name(gen))
+            except Exception:
+                pass
+        unlink_quietly(self._data)
+        unlink_quietly(self._ctl)
+
+
+# -- per-stage parameter-shaped blocks ----------------------------------------
+
+
+def stage_block_layout(
+    stage_shapes: list[list[tuple[int, ...]]],
+) -> tuple[list[list[int]], int]:
+    """Byte offsets of one float64 array per (stage, param), 8-aligned, plus
+    the total block size.  The same layout function is used by the gradient
+    mailbox and the shared weight mirror so driver and workers always agree.
+    """
+    offsets: list[list[int]] = []
+    cursor = 0
+    for shapes in stage_shapes:
+        row = []
+        for shape in shapes:
+            row.append(cursor)
+            cursor += int(np.prod(shape, dtype=np.int64)) * 8
+        offsets.append(row)
+    return offsets, cursor
+
+
+def block_views(
+    buf, stage_shapes: list[list[tuple[int, ...]]], base: int,
+    offsets: list[list[int]],
+) -> list[list[np.ndarray]]:
+    """float64 views over one stage-block at byte ``base`` of ``buf``."""
+    views: list[list[np.ndarray]] = []
+    for shapes, offs in zip(stage_shapes, offsets):
+        views.append([
+            np.ndarray(shape, dtype=np.float64, buffer=buf, offset=base + off)
+            for shape, off in zip(shapes, offs)
+        ])
+    return views
+
+
+class SharedGradMailbox:
+    """Per-parameter gradient hand-off from process workers to the driver.
+
+    Workers write their accumulated gradients for the (stage, position)
+    slots they own; the driver copies every slot into ``Parameter.grad``
+    once all workers reported done.  Ownership is disjoint by construction
+    (each parameter belongs to exactly one worker compute), so no locking is
+    needed beyond the done-queue barrier.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stage_shapes: list[list[tuple[int, ...]]],
+        create: bool = False,
+    ):
+        self.name = name
+        self.stage_shapes = stage_shapes
+        offsets, total = stage_block_layout(stage_shapes)
+        if create:
+            self._shm = create_shm(name, max(total, 8))
+        else:
+            self._shm = attach_shm(name)
+        self._views = block_views(self._shm.buf, stage_shapes, 0, offsets)
+
+    def write(self, stage: int, pos: int, grad: np.ndarray) -> None:
+        np.copyto(self._views[stage][pos], grad)
+
+    def read(self, stage: int, pos: int) -> np.ndarray:
+        return self._views[stage][pos]
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        unlink_quietly(self._shm)

@@ -6,6 +6,12 @@ Stored versions are *references* to the arrays the parameters pointed at
 when the version was pushed.  This is safe because optimizers in this
 library always rebind ``Parameter.data`` to a fresh array rather than
 updating in place; the invariant is asserted at push time in debug mode.
+
+:class:`SharedWeightMirror` is the multi-process projection of the same
+state: a ``multiprocessing.shared_memory`` image of the version window (and
+the T2 velocity buffers) that the driver republishes after every optimizer
+step, so process workers resolve the exact ``StepPlan`` delay slots through
+zero-copy views instead of deserializing arrays per microbatch.
 """
 
 from __future__ import annotations
@@ -13,6 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pipeline.partition import Stage
+from repro.pipeline.transport import (
+    attach_shm,
+    block_views,
+    create_shm,
+    stage_block_layout,
+    unlink_quietly,
+)
 from repro.utils.ring_buffer import RingBuffer
 
 
@@ -90,3 +103,136 @@ class WeightVersionStore:
         for buf, versions in zip(self._buffers, payloads):
             buf.seed(start, [[np.asarray(w) for w in v] for v in versions])
         self.load_latest()
+
+
+class SharedWeightMirror:
+    """Shared-memory image of a :class:`WeightVersionStore` window.
+
+    Layout: an int64 header ``[latest_version, has_velocity]`` followed by
+    ``history`` version slots (version ``v`` lives at slot ``v % history``),
+    each holding one float64 array per (stage, parameter), and — when the
+    plan runs T2 — one extra block mirroring the
+    :class:`~repro.core.DiscrepancyCorrector` velocity buffers.
+
+    The driver (``readonly=False``, ``create=True``) copies the new version
+    in after every optimizer step, *then* bumps ``latest_version``; workers
+    only ever resolve versions ``> latest − history``, and the slot of
+    version ``v`` is not rewritten until version ``v + history`` is pushed —
+    which happens strictly after every worker finished the step reading
+    ``v`` — so readers and the single writer never overlap on a slot.
+
+    Worker endpoints (``readonly=True``) get views with the writeable flag
+    cleared; a stray in-place update in a worker fails loudly instead of
+    silently corrupting every other worker's weights.
+    """
+
+    _HDR_INTS = 2
+
+    def __init__(
+        self,
+        name: str,
+        stage_shapes: list[list[tuple[int, ...]]],
+        history: int,
+        with_velocity: bool,
+        create: bool = False,
+        readonly: bool = False,
+    ):
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.name = name
+        self.stage_shapes = stage_shapes
+        self.history = history
+        self.with_velocity = with_velocity
+        offsets, block = stage_block_layout(stage_shapes)
+        hdr_bytes = 8 * self._HDR_INTS
+        total = hdr_bytes + history * block + (block if with_velocity else 0)
+        if create:
+            self._shm = create_shm(name, max(total, 8))
+        else:
+            self._shm = attach_shm(name)
+        self._hdr = np.ndarray((self._HDR_INTS,), dtype=np.int64, buffer=self._shm.buf)
+        if create:
+            self._hdr[0] = -1  # no version published yet
+            self._hdr[1] = int(with_velocity)
+        elif bool(self._hdr[1]) != with_velocity:
+            raise ValueError(
+                "mirror and worker disagree on T2 velocity (one side has a "
+                "corrector, the other does not)"
+            )
+        self._slot_views = [
+            block_views(self._shm.buf, stage_shapes, hdr_bytes + s * block, offsets)
+            for s in range(history)
+        ]
+        self._vel_views = (
+            block_views(self._shm.buf, stage_shapes, hdr_bytes + history * block, offsets)
+            if with_velocity
+            else None
+        )
+        if readonly:
+            for slot in self._slot_views:
+                for stage in slot:
+                    for v in stage:
+                        v.setflags(write=False)
+            if self._vel_views is not None:
+                for stage in self._vel_views:
+                    for v in stage:
+                        v.setflags(write=False)
+
+    # -- driver side ----------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_shapes)
+
+    @property
+    def latest_version(self) -> int:
+        return int(self._hdr[0])
+
+    def publish_version(self, version: int, arrays_per_stage: list[list[np.ndarray]]) -> None:
+        """Copy one full version in, then advertise it as latest."""
+        slot = self._slot_views[version % self.history]
+        for stage_views, arrays in zip(slot, arrays_per_stage):
+            for view, arr in zip(stage_views, arrays):
+                np.copyto(view, arr)
+        self._hdr[0] = version  # publish last
+
+    def publish_velocity(self, velocity_per_stage: list[list[np.ndarray]]) -> None:
+        for stage_views, arrays in zip(self._vel_views, velocity_per_stage):
+            for view, arr in zip(stage_views, arrays):
+                np.copyto(view, arr)
+
+    def sync_from_store(self, store: WeightVersionStore, corrector=None) -> None:
+        """Republish every resident version (oldest first, so the header
+        lands on the true latest) — the checkpoint-restore path."""
+        for v in store.resident_versions(0):
+            self.publish_version(
+                v, [store.weights(s, v) for s in range(store.num_stages)]
+            )
+        if corrector is not None and self.with_velocity:
+            self.publish_velocity(corrector.velocity)
+
+    # -- worker side ----------------------------------------------------------
+    def weights(self, stage: int, version: int) -> list[np.ndarray]:
+        """Views of ``version``'s arrays for ``stage`` (the worker-side dual
+        of :meth:`WeightVersionStore.weights`)."""
+        latest = self.latest_version
+        if version < 0 or version <= latest - self.history or version > latest:
+            raise KeyError(
+                f"version {version} not resident in mirror "
+                f"(have ({latest - self.history}, {latest}])"
+            )
+        return self._slot_views[version % self.history][stage]
+
+    def velocity(self, stage: int) -> list[np.ndarray]:
+        if self._vel_views is None:
+            raise RuntimeError("mirror was built without velocity buffers")
+        return self._vel_views[stage]
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        unlink_quietly(self._shm)

@@ -199,7 +199,17 @@ class TestSchedule:
     def test_bubble_free_methods_have_no_steady_state_bubbles(self):
         for method in ("pipemare", "pipedream"):
             sched = build_schedule(method, 4, 8, num_minibatches=4)
-            assert bubble_fraction(sched, steady_state_only=True) < 0.25
+            assert bubble_fraction(sched, steady_state_only=True) == 0.0
+
+    def test_tiny_grids_report_no_spurious_steady_state_bubble(self):
+        """Regression: grids too small to have a steady-state region used to
+        clamp the fill cutoff to the last slot and measure a lone — often
+        drain — slot, reporting a nonzero bubble for bubble-free 1F1B."""
+        for p, n, m in [(3, 1, 1), (2, 1, 1), (4, 2, 1), (2, 2, 2), (8, 1, 6)]:
+            for method in ("pipemare", "pipedream"):
+                sched = build_schedule(method, p, n, num_minibatches=m)
+                frac = bubble_fraction(sched, steady_state_only=True)
+                assert frac == 0.0, f"{method} P={p} N={n} M={m}: {frac}"
 
     def test_every_microbatch_appears_in_every_stage(self):
         sched = build_schedule("pipemare", 3, 4, num_minibatches=2)

@@ -1,0 +1,165 @@
+"""Error-path regressions for the concurrent runtime (thread backend).
+
+Covers the bugfixes shipped with the process-backend PR:
+
+* a worker exception mid-step used to re-raise without restoring the
+  latest weight version, leaving ``Parameter.data`` aliased to whatever
+  historical version the failing slice last loaded — evaluation or
+  checkpointing after a caught error silently read delayed weights;
+* the deadlock path used to overwrite ``stats.last_busy`` for workers that
+  did report while never updating ``last_wall``/``total_wall``/``steps``,
+  so measured bubble fractions mixed busy time from aborted steps with
+  wall time that excluded them.  Stats now commit atomically, for
+  completed steps only;
+* ``close()`` after a deadlock must join all workers without hanging.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    PipelineDeadlockError,
+    PipelineExecutor,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+
+
+def toy_data(rng, n=96):
+    centers = rng.normal(size=(3, 6)) * 2
+    y = rng.integers(0, 3, size=n)
+    x = centers[y] + rng.normal(size=(n, 6))
+    return x, y
+
+
+def build(cls, seed=7, **kw):
+    model = MLP([6, 8, 8, 8, 3], np.random.default_rng(seed))
+    stages = partition_model(model, 4)
+    opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+    return model, cls(model, CrossEntropyLoss(), opt, stages, 2, "pipemare", **kw)
+
+
+def assert_stats_untouched(rt):
+    assert rt.stats.steps == 0
+    assert rt.stats.total_wall == 0.0
+    assert rt.stats.last_wall == 0.0
+    assert all(b == 0.0 for b in rt.stats.total_busy)
+    assert all(b == 0.0 for b in rt.stats.last_busy)
+
+
+class TestWorkerExceptionPath:
+    @pytest.mark.timeout(60)
+    def test_exception_restores_latest_weights(self, rng):
+        """Regression: after a caught worker error every parameter must
+        point at the latest stored version, not a delayed one."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=5.0)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            with pytest.raises(Exception):
+                rt.train_step(x[:16, :4], y[:16])  # wrong feature dim
+            for s, stage in enumerate(rt.stages):
+                for p, stored in zip(
+                    stage.params, rt.store.weights(s, rt.store.latest_version)
+                ):
+                    assert p.data is stored, (
+                        f"stage {s}: Parameter.data aliases a historical "
+                        "version after a worker exception"
+                    )
+
+    @pytest.mark.timeout(60)
+    def test_exception_commits_no_stats_and_runtime_stays_usable(self, rng):
+        """An aborted step contributes neither busy nor wall time, and the
+        runtime continues bit-identical to the simulator afterwards."""
+        x, y = toy_data(rng)
+        m1, ex = build(PipelineExecutor)
+        m2, rt = build(AsyncPipelineRuntime, deadlock_timeout=5.0)
+        with rt:
+            with pytest.raises(Exception):
+                rt.train_step(x[:16, :4], y[:16])
+            assert_stats_untouched(rt)
+            for i in range(3):
+                b = slice(i * 16, (i + 1) * 16)
+                assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+            assert rt.stats.steps == 3
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestDeadlockPath:
+    @pytest.mark.timeout(60)
+    def test_starved_worker_raises_and_commits_no_stats(self, rng):
+        """A program whose dataflow can never be satisfied (worker 0 waits
+        for a gradient nobody sends) must abort with PipelineDeadlockError
+        after the worker's own channel timeout — with stats untouched
+        (regression: the old code recorded last_busy for reporting workers
+        while skipping wall/steps)."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=5.0)
+        with rt:
+            good_programs = rt.pool._programs
+            rt.pool._programs = {
+                False: [[("B", 0)]] + [[] for _ in range(rt.num_workers - 1)],
+                True: good_programs[True],
+            }
+            with pytest.raises(PipelineDeadlockError):
+                rt.train_step(x[:16], y[:16])
+            assert_stats_untouched(rt)
+            assert not rt.pool.wedged  # every worker reported; pool is intact
+            # restore the real schedule: the runtime keeps working
+            rt.pool._programs = good_programs
+            loss = rt.train_step(x[:16], y[:16])
+            assert np.isfinite(loss)
+            assert rt.stats.steps == 1
+
+    @pytest.mark.timeout(60)
+    def test_silent_worker_wedges_and_close_returns(self, rng):
+        """A worker that never reports back (here: stuck in a long compute)
+        wedges the runtime: the driver gives up after deadlock_timeout +
+        done_grace, close() still joins without hanging, and further steps
+        are rejected explicitly."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=0.5)
+        inner_forward = rt.workers[1].forward
+
+        def slow_forward(xj):
+            time.sleep(3.0)
+            return inner_forward(xj)
+
+        rt.workers[1].forward = slow_forward
+        with pytest.raises(PipelineDeadlockError):
+            rt.train_step(x[:16], y[:16])
+        assert rt.pool.wedged
+        assert_stats_untouched(rt)
+        with pytest.raises(RuntimeError, match="wedged"):
+            rt.train_step(x[:16], y[:16])
+        t0 = time.perf_counter()
+        rt.close()
+        assert time.perf_counter() - t0 < 5.0, "close() hung after a deadlock"
+
+    @pytest.mark.timeout(60)
+    def test_deadlock_restores_latest_weights(self, rng):
+        """The weight-restore guarantee holds on the deadlock path too."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=5.0)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            rt.pool._programs = {
+                False: [[("B", 0)]] + [[] for _ in range(rt.num_workers - 1)],
+                True: rt.pool._programs[True],
+            }
+            with pytest.raises(PipelineDeadlockError):
+                rt.train_step(x[:16], y[:16])
+            for s, stage in enumerate(rt.stages):
+                for p, stored in zip(
+                    stage.params, rt.store.weights(s, rt.store.latest_version)
+                ):
+                    assert p.data is stored

@@ -1,0 +1,209 @@
+"""Unit tests for the shared-memory transport primitives.
+
+These run the rings in-process (writer/reader endpoints over the same
+segments, sometimes on a helper thread) — the cross-process behaviour is
+exercised end-to-end by ``tests/test_runtime_process.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.pipeline.transport import (
+    SharedGradMailbox,
+    ShmRing,
+    TransportTimeout,
+    stage_block_layout,
+)
+from repro.pipeline.weight_store import SharedWeightMirror
+
+
+def unique(name):
+    """Per-run shared-memory name: a segment leaked by a killed run (or a
+    concurrent session) must not collide with this one."""
+    return f"{name}-{os.urandom(4).hex()}"
+
+
+def make_ring(name, slots=8, slot_bytes=128):
+    name = unique(name)
+    owner = ShmRing(name, slots=slots, slot_bytes=slot_bytes, create=True)
+    w = ShmRing(name, slots=slots, role="send")
+    r = ShmRing(name, slots=slots, role="recv")
+    return owner, w, r
+
+
+class TestShmRing:
+    def test_roundtrip_preserves_value_shape_dtype(self, rng):
+        owner, w, r = make_ring("tring-a")
+        try:
+            for dtype in (np.float64, np.int64, np.int32, np.bool_):
+                arr = (rng.normal(size=(3, 4)) * 10).astype(dtype)
+                w.send(arr, step=1, timeout=2.0)
+                tag, out = r.recv(2.0)
+                assert tag == 1
+                assert out.dtype == arr.dtype
+                np.testing.assert_array_equal(out, arr)
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_layout_preserved_for_transposed_arrays(self, rng):
+        """Bit-for-bit equivalence depends on payloads keeping their memory
+        layout: BLAS kernels downstream accumulate in a different order for
+        transposed inputs (this is how BatchNorm's NCHW intermediates cross
+        stage boundaries)."""
+        owner, w, r = make_ring("tring-b", slot_bytes=8192)
+        try:
+            base = rng.normal(size=(4, 6, 5))
+            for arr in (base, base.transpose(1, 0, 2), np.asfortranarray(base[0])):
+                w.send(arr, step=1, timeout=2.0)
+                _, out = r.recv(2.0)
+                np.testing.assert_array_equal(out, arr)
+                assert out.strides == arr.strides, "memory layout must survive"
+            # strided view with gaps: values survive via the C-copy fallback
+            view = base[:, ::2, :]
+            w.send(view, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, view)
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_capacity_grows_for_large_payloads(self, rng):
+        owner, w, r = make_ring("tring-c", slot_bytes=64)
+        try:
+            small = rng.normal(size=(4,))
+            big = rng.normal(size=(300,))  # 2400 bytes >> 64
+            w.send(small, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, small)
+            w.send(big, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, big)
+            assert w.slot_bytes >= big.nbytes
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_recv_timeout_raises(self):
+        owner, w, r = make_ring("tring-d")
+        try:
+            with pytest.raises(TransportTimeout):
+                r.recv(0.05)
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_wraparound_under_concurrency(self, rng):
+        """Many messages through few slots, with interleaved growth."""
+        owner, w, r = make_ring("tring-e", slots=4, slot_bytes=64)
+        try:
+            def writer():
+                g = np.random.default_rng(7)
+                for m in range(100):
+                    w.send(g.normal(size=(1 + m % 37,)), step=2, timeout=5.0)
+
+            th = threading.Thread(target=writer)
+            th.start()
+            g = np.random.default_rng(7)
+            for m in range(100):
+                tag, out = r.recv(5.0)
+                assert tag == 2
+                np.testing.assert_array_equal(out, g.normal(size=(1 + m % 37,)))
+            th.join()
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_step_tags_allow_discarding_stale_messages(self, rng):
+        """After an aborted step the reader finds old-step residue; the tag
+        lets it drop those and resynchronise — the self-healing property the
+        process pool relies on."""
+        owner, w, r = make_ring("tring-f")
+        try:
+            w.send(np.zeros(3), step=1, timeout=2.0)  # stale: never consumed in step 1
+            w.send(np.ones(3), step=2, timeout=2.0)
+            tag, _ = r.recv(2.0)
+            assert tag == 1
+            tag, out = r.recv(2.0)
+            assert tag == 2
+            np.testing.assert_array_equal(out, np.ones(3))
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+
+class TestStageBlocks:
+    def test_layout_offsets_are_aligned_and_disjoint(self):
+        shapes = [[(3, 2), (2,)], [(4,)], [(5, 1), (1,)]]
+        offsets, total = stage_block_layout(shapes)
+        flat = sorted(
+            (off, int(np.prod(sh)) * 8)
+            for row, srow in zip(offsets, shapes)
+            for off, sh in zip(row, srow)
+        )
+        assert all(off % 8 == 0 for off, _ in flat)
+        end = 0
+        for off, size in flat:
+            assert off >= end
+            end = off + size
+        assert total == end
+
+    def test_grad_mailbox_roundtrip(self, rng):
+        shapes = [[(3, 2), (2,)], [(4,)]]
+        name = unique("tmb-a")
+        owner = SharedGradMailbox(name, shapes, create=True)
+        peer = SharedGradMailbox(name, shapes)
+        try:
+            g = rng.normal(size=(3, 2))
+            peer.write(0, 0, g)
+            np.testing.assert_array_equal(owner.read(0, 0), g)
+        finally:
+            peer.close(); owner.unlink()
+
+
+class TestSharedWeightMirror:
+    def test_publish_and_window_validation(self, rng):
+        shapes = [[(3, 2)], [(2,)]]
+        name = unique("tmir-a")
+        owner = SharedWeightMirror(name, shapes, history=3, with_velocity=False, create=True)
+        reader = SharedWeightMirror(name, shapes, history=3, with_velocity=False, readonly=True)
+        try:
+            versions = {}
+            for v in range(5):
+                arrays = [[rng.normal(size=(3, 2))], [rng.normal(size=(2,))]]
+                versions[v] = arrays
+                owner.publish_version(v, arrays)
+                assert reader.latest_version == v
+            # resident window is the last `history` versions
+            for v in (2, 3, 4):
+                np.testing.assert_array_equal(reader.weights(0, v)[0], versions[v][0][0])
+            with pytest.raises(KeyError):
+                reader.weights(0, 1)  # evicted
+            with pytest.raises(KeyError):
+                reader.weights(0, 5)  # not yet published
+        finally:
+            reader.close(); owner.unlink()
+
+    def test_reader_views_are_readonly(self, rng):
+        shapes = [[(2, 2)]]
+        name = unique("tmir-b")
+        owner = SharedWeightMirror(name, shapes, history=2, with_velocity=True, create=True)
+        reader = SharedWeightMirror(name, shapes, history=2, with_velocity=True, readonly=True)
+        try:
+            owner.publish_version(0, [[np.eye(2)]])
+            owner.publish_velocity([[np.ones((2, 2))]])
+            view = reader.weights(0, 0)[0]
+            with pytest.raises((ValueError, RuntimeError)):
+                view[0, 0] = 99.0
+            np.testing.assert_array_equal(reader.velocity(0)[0], np.ones((2, 2)))
+        finally:
+            reader.close(); owner.unlink()
+
+    def test_velocity_flag_mismatch_rejected(self):
+        shapes = [[(2,)]]
+        name = unique("tmir-c")
+        owner = SharedWeightMirror(name, shapes, history=2, with_velocity=False, create=True)
+        try:
+            with pytest.raises(ValueError, match="velocity"):
+                SharedWeightMirror(name, shapes, history=2, with_velocity=True)
+        finally:
+            owner.unlink()

@@ -2,9 +2,11 @@
 """Throughput benchmark: thread and process pipeline runtimes vs. the
 sequential simulator.
 
-Runs the same training workload (4-stage MLP, N=8 microbatches, stage
-compute dominated by BLAS matmuls, no sleeps anywhere) on all three
-pipeline backends and reports:
+Runs two training workloads on all three pipeline backends — a 4-stage MLP
+(N=8 microbatches, stage compute dominated by BLAS matmuls, no sleeps
+anywhere) and the two-stream translation Transformer (encoder/decoder
+sliced through its stage graph, thread vs process microbatches/sec) — and
+reports:
 
 * wall-clock microbatches/sec for each backend and the concurrent/simulator
   ratios — these should exceed 2× on a host with >= num_stages cores, where
@@ -103,6 +105,66 @@ def measure(backend, x, y, steps: int, warmup: int) -> tuple[float, list[float]]
     return time.perf_counter() - t0, losses
 
 
+def measure_translation(quick: bool, method: str) -> bool:
+    """Translation rows: the two-stream Transformer on all three backends.
+    Returns the bitwise loss-equivalence verdict."""
+    from repro.experiments.workloads import make_translation_workload
+
+    batch = 16 if quick else 64
+    n = 4 if quick else 8
+    steps = 2 if quick else 8
+    warmup = 1
+    workload = make_translation_workload(
+        "iwslt", batch_size=batch, num_microbatches=n, batches_per_epoch=2,
+        eval_size=4,
+    )
+    rng = np.random.default_rng(0)
+    saved = workload.task.rng
+    workload.task.rng = rng
+    batches = [workload.task.sample_batch(batch) for _ in range(steps + warmup)]
+    workload.task.rng = saved
+
+    print(f"\ntranslation throughput: two-stream Transformer "
+          f"stages={workload.default_stages} N={n} batch={batch} steps={steps}")
+    results = {}
+    for runtime in ("simulator", "async", "process"):
+        bundle = workload.bundle(method=method, runtime=runtime, seed=0)
+        ex = bundle.executor
+        try:
+            losses = []
+            for bt in batches[:warmup]:
+                ex.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+            t0 = time.perf_counter()
+            for bt in batches[warmup:]:
+                losses.append(ex.train_step((bt.src, bt.tgt_in), bt.tgt_out))
+            wall = time.perf_counter() - t0
+            stats = getattr(ex, "stats", None)
+            results[runtime] = dict(
+                wall=wall, losses=losses,
+                workers=getattr(ex, "num_workers", None),
+                bubble=stats.bubble_fraction() if stats else None,
+                transport=stats.transport_fraction() if stats else None,
+            )
+        finally:
+            if hasattr(ex, "close"):
+                ex.close()
+    micro = steps * n
+    sim_tput = micro / results["simulator"]["wall"]
+    for runtime, r in results.items():
+        tput = micro / r["wall"]
+        extra = ""
+        if r["workers"] is not None:
+            extra = (f"  workers={r['workers']}  speedup={tput / sim_tput:.2f}x  "
+                     f"bubble={r['bubble']:.3f}  transport={r['transport']:.1%} of active")
+        print(f"  {runtime:<10s}: {tput:9.1f} microbatches/sec  ({r['wall']:.3f}s){extra}")
+    equivalent = all(
+        r["losses"] == results["simulator"]["losses"] for r in results.values()
+    )
+    print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
+          f"  (simulator == thread == process)")
+    return equivalent
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke: tiny sizes")
@@ -113,6 +175,10 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=None)
     parser.add_argument(
         "--method", choices=["gpipe", "pipedream", "pipemare"], default="pipemare"
+    )
+    parser.add_argument(
+        "--skip-translation", action="store_true",
+        help="MLP rows only (skip the two-stream Transformer section)",
     )
     args = parser.parse_args(argv)
 
@@ -177,7 +243,11 @@ def main(argv=None) -> int:
     print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
           f"  (simulator == thread == process)")
 
-    if not equivalent:
+    translation_ok = True
+    if not args.skip_translation:
+        translation_ok = measure_translation(args.quick, args.method)
+
+    if not equivalent or not translation_ok:
         print("ERROR: backends diverged", file=sys.stderr)
         return 1
     if sched < 2.0 and p >= 4 and n >= 8:

@@ -7,7 +7,12 @@ Transformer results: naive async and PipeDream collapse to BLEU ≈ 0,
 PipeMare's T1+T2 recovers training, and T3 synchronous warmup closes the
 remaining gap at a throughput cost.
 
-Run:  python examples/translation.py [--epochs 20]
+All three pipeline backends train this workload with bit-identical
+trajectories; pick one with ``--runtime`` (the Transformer slices onto
+concurrent workers through its two-stream stage graph — see
+docs/ARCHITECTURE.md).
+
+Run:  python examples/translation.py [--epochs 20] [--runtime async]
 """
 
 import argparse
@@ -20,12 +25,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--epochs", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--runtime", choices=["simulator", "async", "process"], default="simulator",
+        help="pipeline backend (all bit-identical; async/process run the "
+        "stages concurrently)",
+    )
     args = parser.parse_args()
 
     workload = make_translation_workload("iwslt")
     print(
         f"workload: reversal-translation | vocab={workload.vocab_size} "
-        f"| stages={workload.default_stages} | N={workload.num_microbatches}\n"
+        f"| stages={workload.default_stages} | N={workload.num_microbatches} "
+        f"| runtime={args.runtime}\n"
     )
 
     runs = {
@@ -38,7 +49,9 @@ def main() -> None:
         ),
     }
     for name, kwargs in runs.items():
-        result = workload.run(epochs=args.epochs, seed=args.seed, **kwargs)
+        result = workload.run(
+            epochs=args.epochs, seed=args.seed, runtime=args.runtime, **kwargs
+        )
         curve = result.history.series("eval_metric")
         print(f"[{name:<18}] best BLEU {result.best_metric:5.1f} | "
               + " ".join(f"{v:.0f}" for v in curve))

@@ -21,9 +21,10 @@ def add_workload_arg(parser: argparse.ArgumentParser) -> None:
     """Shared ``--workload`` choice across training commands."""
     parser.add_argument(
         "--workload",
-        choices=["cifar", "imagenet", "iwslt", "wmt"],
+        choices=["cifar", "imagenet", "iwslt", "wmt", "translation"],
         default="cifar",
-        help="paper task stand-in (default: cifar)",
+        help="paper task stand-in (default: cifar; 'translation' is an "
+        "alias for the iwslt preset)",
     )
 
 
@@ -43,4 +44,4 @@ def make_workload(name: str):
 
     if name in ("cifar", "imagenet"):
         return make_image_workload(name)
-    return make_translation_workload(name)
+    return make_translation_workload("iwslt" if name == "translation" else name)

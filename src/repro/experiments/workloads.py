@@ -28,7 +28,14 @@ from repro.nn import CrossEntropyLoss, SequenceCrossEntropyLoss
 from repro.nn.module import Module
 from repro.optim import SGD, AdamW, StepDecayLR, WarmupInverseSqrtLR
 from repro.optim.schedulers import LRSchedule
-from repro.pipeline import Method, PipelineExecutor, make_backend, partition_model
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    Method,
+    ModelSpec,
+    PipelineExecutor,
+    make_backend,
+    partition_model,
+)
 from repro.pipeline.executor import param_groups_from_stages
 from repro.pipeline.partition import num_weight_units
 from repro.train import PipelineTrainer, evaluate_classifier, evaluate_translation
@@ -63,9 +70,11 @@ class _BaseWorkload:
         return self.default_stages if num_stages is None else num_stages
 
     def supported_runtimes(self) -> tuple[str, ...]:
-        """Pipeline backends this workload can train on.  Chain-sliceable
-        models run on all three; the process backend rebuilds the model in
-        each worker from a pickled snapshot (``ModelSpec.from_model``)."""
+        """Pipeline backends this workload can train on.  Every workload —
+        including the two-stream Transformer, which slices through its
+        stage-program graph (:mod:`repro.pipeline.stage_compute`) — runs on
+        all three; the process backend rebuilds the model in each worker
+        from a picklable :class:`~repro.pipeline.ModelSpec`."""
         return ("simulator", "async", "process")
 
     def max_stages(self) -> int:
@@ -218,7 +227,14 @@ class ImageWorkload(_BaseWorkload):
 
 class TranslationWorkload(_BaseWorkload):
     """Transformer on the reversal task, AdamW + warmup/inverse-sqrt
-    (Table 7)."""
+    (Table 7).
+
+    Runs on all three pipeline backends: the two-stream encoder/decoder
+    dataflow slices through the stage-program graph
+    (:meth:`repro.models.Transformer.pipeline_graph`), and training-mode
+    dropout (``dropout > 0``) uses counter-based masks so every backend
+    derives identical draws (see :mod:`repro.nn.dropout`).
+    """
 
     metric_name = "bleu"
     target_slack = 0.4  # BLEU points
@@ -244,8 +260,10 @@ class TranslationWorkload(_BaseWorkload):
         tuned_anneal_steps: int | None = None,
         tuned_decay: float = 0.1,
         default_stages: int | None = None,
+        dropout: float = 0.0,
     ):
         self.name = name
+        self.dropout = dropout
         self.tuned_anneal_steps = tuned_anneal_steps
         self.tuned_decay = tuned_decay
         self.default_stages = default_stages
@@ -266,12 +284,29 @@ class TranslationWorkload(_BaseWorkload):
         )
         self.eval_pairs = self.task.fixed_eval_set(eval_size)
 
-    def build_model(self, seed: int) -> Transformer:
-        return transformer_tiny(
-            np.random.default_rng(seed),
+    def _model_kwargs(self, seed: int) -> dict:
+        kwargs = dict(
             vocab=self.vocab_size,
             share_embeddings=self.share_embeddings,
             num_layers=self.num_layers,
+            dropout=self.dropout,
+        )
+        if self.dropout > 0:
+            kwargs["dropout_seed"] = seed  # counter-based masks: runtime-safe
+        return kwargs
+
+    def build_model(self, seed: int) -> Transformer:
+        return transformer_tiny(np.random.default_rng(seed), **self._model_kwargs(seed))
+
+    def model_spec(self, seed: int, num_stages: int | None) -> ModelSpec:
+        """Factory-based spec for process workers: replicas rebuild from the
+        constructor recipe instead of a pickled snapshot, so only shapes and
+        deterministic attributes (dropout layer ids) matter."""
+        return ModelSpec(
+            factory="repro.models.transformer:transformer_tiny",
+            args=(np.random.default_rng(seed),),
+            kwargs=self._model_kwargs(seed),
+            num_stages=num_stages,
         )
 
     def max_stages(self) -> int:
@@ -296,21 +331,12 @@ class TranslationWorkload(_BaseWorkload):
             )
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
-    def supported_runtimes(self) -> tuple[str, ...]:
-        """The Transformer's two-stream encoder/decoder dataflow and
-        training-mode dropout are not chain-sliceable (see
-        :mod:`repro.pipeline.stage_compute`), so only the simulator runs
-        translation workloads."""
-        return ("simulator",)
-
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator") -> WorkloadBundle:
         if runtime not in self.supported_runtimes():
             raise ValueError(
-                "translation workloads require the simulator runtime: the "
-                "Transformer's two-stream encoder/decoder dataflow and "
-                "training-mode dropout are not chain-sliceable "
-                "(see repro.pipeline.stage_compute)"
+                f"unknown runtime {runtime!r} for translation workloads "
+                f"(supported: {', '.join(self.supported_runtimes())})"
             )
         model = self.build_model(seed)
         loss = SequenceCrossEntropyLoss(
@@ -323,11 +349,21 @@ class TranslationWorkload(_BaseWorkload):
             betas=(0.9, 0.98),
             weight_decay=self.weight_decay,
         )
-        executor = _TranslationExecutor(
-            model, loss, opt, stages, self.num_microbatches, method,
+        common = dict(
             pipemare=pipemare, base_schedule=self.base_schedule(),
             grad_clip=self.grad_clip, recompute_segment=recompute_segment,
         )
+        if runtime == "simulator":
+            executor: object = _TranslationExecutor(
+                model, loss, opt, stages, self.num_microbatches, method, **common
+            )
+        else:
+            if runtime == "process":
+                common["backend"] = "process"
+                common["model_spec"] = self.model_spec(seed, len(stages))
+            executor = _TranslationRuntime(
+                model, loss, opt, stages, self.num_microbatches, method, **common
+            )
         task = self.task
 
         def batch_fn(rng):
@@ -345,10 +381,11 @@ class TranslationWorkload(_BaseWorkload):
         return WorkloadBundle(model, executor, trainer, len(stages))
 
 
-class _TranslationExecutor(PipelineExecutor):
-    """Executor variant whose samples are (src, tgt_in) tuples.  All pipeline
+class _TranslationBatching:
+    """Microbatch plumbing for (src, tgt_in) sample tuples.  All pipeline
     semantics come from the shared :class:`~repro.pipeline.plan.StepPlan`;
-    only the microbatch plumbing differs."""
+    the same overrides work against any backend (the concurrent runtimes
+    transpose the tuples into per-graph-input streams themselves)."""
 
     def _split_minibatch(self, x, y, n):  # type: ignore[override]
         src, tgt_in = x
@@ -362,6 +399,15 @@ class _TranslationExecutor(PipelineExecutor):
 
     def _num_samples(self, xj):  # type: ignore[override]
         return len(xj[0])
+
+
+class _TranslationExecutor(_TranslationBatching, PipelineExecutor):
+    """Sequential simulator over (src, tgt_in) samples."""
+
+
+class _TranslationRuntime(_TranslationBatching, AsyncPipelineRuntime):
+    """Concurrent runtime (thread or process workers) over (src, tgt_in)
+    samples: the Transformer slices through its two-stream stage graph."""
 
 
 # -- factories ----------------------------------------------------------------

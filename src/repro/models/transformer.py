@@ -31,7 +31,15 @@ from repro.nn.module import Parameter
 
 @dataclass
 class TransformerConfig:
-    """Architecture hyperparameters (defaults are the CPU-scale tiny model)."""
+    """Architecture hyperparameters (defaults are the CPU-scale tiny model).
+
+    ``dropout_seed`` switches every dropout in the model to counter-based
+    mask generation (:mod:`repro.nn.dropout`): masks become pure functions
+    of (seed, layer, optimizer step, microbatch), which is what allows
+    training-mode dropout on the concurrent pipeline runtimes — every
+    backend and worker count derives bit-identical masks.  ``None`` keeps
+    the legacy stream-mode draws (simulator only).
+    """
 
     src_vocab: int = 32
     tgt_vocab: int = 32
@@ -47,6 +55,7 @@ class TransformerConfig:
     pad_id: int = 0
     bos_id: int = 1
     eos_id: int = 2
+    dropout_seed: int | None = None
 
     def __post_init__(self):
         if self.share_embeddings and self.src_vocab != self.tgt_vocab:
@@ -141,7 +150,31 @@ class DecoderLayer(Module):
 
 
 class TiedProjection(Module):
-    """Output projection sharing the embedding matrix: ``logits = h Eᵀ``."""
+    """Output projection sharing the embedding matrix: ``logits = h Eᵀ``.
+
+    The tied matrix lives in the embedding's pipeline stage but is *used*
+    at the end of the decoder, so under stage-graph slicing this module
+    runs on a different worker than the parameter's owner.  Two protocols
+    (see :mod:`repro.pipeline.stage_compute`) make that bit-exact:
+
+    * ``pipeline_borrows`` / ``load_borrowed`` — the worker hands this
+      module the correctly versioned weight array for each forward /
+      backward / recompute slot instead of rebinding the shared
+      ``Parameter`` (which the owning worker may concurrently point at a
+      different version).  Outside sliced execution (``_active_weight``
+      unset, or eval-mode decoding) the live ``weight.data`` is read.
+    * ``deferred_grads`` — while deferral is active (the pipeline backends
+      enable it for the duration of each train step and disable it at the
+      fold), the projection's gradient contribution accumulates in the
+      module-local ``tied_grad`` buffer and is folded into ``weight.grad``
+      once per minibatch, after all microbatches.  The fold order is
+      identical in the simulator and both runtimes, which keeps tied-weight
+      gradients bitwise equal even though the embedding and projection
+      contributions are computed on different workers.  Outside a train
+      step (plain ``model.backward`` use, e.g. gradcheck — including after
+      the model trained on a pipeline backend), gradients flow straight
+      into ``weight.grad`` as usual.
+    """
 
     def __init__(self, embedding_weight: Parameter):
         super().__init__()
@@ -149,14 +182,45 @@ class TiedProjection(Module):
         # belongs to the embedding module).
         self._tied = [embedding_weight]
         self._h: np.ndarray | None = None
+        self._active_weight: np.ndarray | None = None
+        self._defer = False
+        self.tied_grad = np.zeros_like(embedding_weight.data)
 
     @property
     def weight(self) -> Parameter:
         return self._tied[0]
 
+    def _w(self) -> np.ndarray:
+        if self.training and self._active_weight is not None:
+            return self._active_weight
+        return self.weight.data
+
+    # -- stage-graph protocols -------------------------------------------------
+    def pipeline_borrows(self) -> list[Parameter]:
+        return [self.weight]
+
+    def load_borrowed(self, arrays: list[np.ndarray]) -> None:
+        self._active_weight = arrays[0]
+
+    def unload_borrowed(self) -> None:
+        """Back to the live ``weight.data`` — called once sliced execution
+        finishes, so later monolithic forwards never read a stale version
+        array."""
+        self._active_weight = None
+
+    def enable_deferred_grads(self) -> None:
+        self._defer = True
+
+    def disable_deferred_grads(self) -> None:
+        self._defer = False
+
+    def deferred_grads(self) -> list[tuple[Parameter, np.ndarray]]:
+        return [(self.weight, self.tied_grad)]
+
+    # -- compute ---------------------------------------------------------------
     def forward(self, h: np.ndarray) -> np.ndarray:
         self._h = h
-        return h @ self.weight.data.T
+        return h @ self._w().T
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._h is None:
@@ -164,8 +228,9 @@ class TiedProjection(Module):
         d = self._h.shape[-1]
         flat_h = self._h.reshape(-1, d)
         flat_g = grad_out.reshape(-1, grad_out.shape[-1])
-        self.weight.grad += flat_g.T @ flat_h
-        return grad_out @ self.weight.data
+        target = self.tied_grad if self._defer else self.weight.grad
+        target += flat_g.T @ flat_h
+        return grad_out @ self._w()
 
 
 class Transformer(Module):
@@ -197,6 +262,13 @@ class Transformer(Module):
         else:
             self.out_proj = Linear(cfg.d_model, cfg.tgt_vocab, rng, bias=False)
         self._cache: tuple | None = None
+        if cfg.dropout_seed is not None:
+            # Counter-based masks: every dropout keyed by its position in
+            # the (deterministic) module traversal, so a process worker's
+            # rebuilt replica derives the same layer ids as the driver.
+            drops = [m for m in self.modules() if isinstance(m, Dropout)]
+            for i, m in enumerate(drops):
+                m.to_counter(cfg.dropout_seed, i)
 
     # -- masks ---------------------------------------------------------------
     def _masks(self, src: np.ndarray, tgt: np.ndarray):
@@ -232,6 +304,29 @@ class Transformer(Module):
         self.src_embed.backward(self.src_drop.backward(self.pos.backward(g)))
         return None
 
+    # -- pipeline slicing -------------------------------------------------------
+    def pipeline_graph(self):
+        """The two-stream stage-program graph (see
+        :mod:`repro.pipeline.stage_compute`): the encoder and the target
+        embedding run as parallel chains that merge at the decoder's
+        cross-attention join; the decoder chain carries
+        ``(d, memory, tgt_keep, src_keep)`` so every decoder slice can
+        attend over the encoder memory, and the memory gradient accumulates
+        back along the chain in the exact order of :meth:`backward`.
+        """
+        from repro.pipeline.stage_compute import GraphNode, StageGraph
+
+        enc: list[Module] = [_SrcStream(self)]
+        enc.extend(_EncoderSlice(layer) for layer in self.encoder_layers)
+        dec: list[Module] = [_DecoderJoin()]
+        dec.extend(_DecoderSlice(layer) for layer in self.decoder_layers)
+        dec.append(_OutputSlice(self.out_proj))
+        return StageGraph([
+            GraphNode("encoder", tuple(enc), ("ext:0",)),
+            GraphNode("tgt-embed", (_TgtStream(self),), ("ext:1",)),
+            GraphNode("decoder", tuple(dec), ("tgt-embed", "encoder")),
+        ])
+
     # -- inference -------------------------------------------------------------
     def greedy_decode(self, src: np.ndarray, max_len: int | None = None) -> np.ndarray:
         """Greedy autoregressive decoding; returns (B, <=max_len) token ids
@@ -258,12 +353,135 @@ class Transformer(Module):
             self.train(was_training)
 
 
+# -- stage-graph elements ------------------------------------------------------
+#
+# Thin wrappers over the model's own submodules (no parameters of their own
+# beyond what they wrap) that give each piece of the two-stream forward a
+# single-payload chain signature.  Masks are computed once at the stream
+# sources and travel inside the payloads, so every slice sees bit-identical
+# mask arrays to the monolithic forward.
+
+
+class _SrcStream(Module):
+    """``src tokens → (h, src_keep)``: source embedding + positions + dropout
+    and the padding mask every attention downstream reuses."""
+
+    def __init__(self, model: Transformer):
+        super().__init__()
+        self.embed = model.src_embed
+        self.pos = model.pos
+        self.drop = model.src_drop
+        self.pad_id = model.cfg.pad_id
+
+    def forward(self, src: np.ndarray):
+        src_keep = padding_mask((src != self.pad_id).sum(axis=1), src.shape[1])
+        h = self.drop(self.pos(self.embed(src)))
+        return h, src_keep
+
+    def backward(self, grad: np.ndarray):
+        self.embed.backward(self.drop.backward(self.pos.backward(grad)))
+        return None  # no gradient flows into integer tokens
+
+
+class _TgtStream(Module):
+    """``tgt tokens → (d, tgt_keep)``: target embedding stream plus the
+    causal+padding mask.  With shared embeddings this reuses the *same*
+    embedding module as :class:`_SrcStream`; the slicer keeps both call
+    sites on one worker so the cache-stack LIFO and gradient order match
+    the monolithic backward."""
+
+    def __init__(self, model: Transformer):
+        super().__init__()
+        self.embed = model.tgt_embed
+        self.pos = model.pos
+        self.drop = model.tgt_drop
+        self.pad_id = model.cfg.pad_id
+
+    def forward(self, tgt_in: np.ndarray):
+        tgt_pad = padding_mask((tgt_in != self.pad_id).sum(axis=1), tgt_in.shape[1])
+        tgt_keep = tgt_pad & causal_mask(tgt_in.shape[1])
+        d = self.drop(self.pos(self.embed(tgt_in)))
+        return d, tgt_keep
+
+    def backward(self, grad: np.ndarray):
+        self.embed.backward(self.drop.backward(self.pos.backward(grad)))
+        return None
+
+
+class _EncoderSlice(Module):
+    """One encoder layer on the ``(h, src_keep)`` payload."""
+
+    def __init__(self, layer: EncoderLayer):
+        super().__init__()
+        self.layer = layer
+
+    def forward(self, payload):
+        h, src_keep = payload
+        return self.layer(h, src_keep), src_keep
+
+    def backward(self, grad: np.ndarray):
+        return self.layer.backward(grad)
+
+
+class _DecoderJoin(Module):
+    """The cross-attention join: merges the target stream and the encoder
+    output into the decoder payload.  Backward splits the gradient back
+    per input, in node-input order (tgt stream, encoder)."""
+
+    def forward(self, tgt_payload, enc_payload):
+        d, tgt_keep = tgt_payload
+        memory, src_keep = enc_payload
+        return d, memory, tgt_keep, src_keep
+
+    def backward(self, grad):
+        g_d, g_mem = grad
+        return g_d, g_mem
+
+
+class _DecoderSlice(Module):
+    """One decoder layer on the ``(d, memory, tgt_keep, src_keep)`` payload.
+    The backward payload is ``(g_d, g_mem)``; each slice folds its
+    cross-attention memory gradient into the running total with the same
+    operand order as :meth:`Transformer.backward`."""
+
+    def __init__(self, layer: DecoderLayer):
+        super().__init__()
+        self.layer = layer
+
+    def forward(self, payload):
+        d, memory, tgt_keep, src_keep = payload
+        return self.layer(d, memory, tgt_keep, src_keep), memory, tgt_keep, src_keep
+
+    def backward(self, grad):
+        g_d, g_mem = grad
+        g_d, d_mem = self.layer.backward(g_d)
+        return g_d, (d_mem if g_mem is None else g_mem + d_mem)
+
+
+class _OutputSlice(Module):
+    """The output projection: decoder payload → logits (the graph sink).
+    Starts the backward payload with no memory gradient, mirroring the
+    ``d_memory_total = None`` start of :meth:`Transformer.backward`."""
+
+    def __init__(self, proj: Module):
+        super().__init__()
+        self.proj = proj
+
+    def forward(self, payload):
+        d, memory, tgt_keep, src_keep = payload
+        return self.proj(d)
+
+    def backward(self, grad_logits: np.ndarray):
+        return self.proj.backward(grad_logits), None
+
+
 def transformer_tiny(
     rng: np.random.Generator,
     vocab: int = 32,
     share_embeddings: bool = False,
     num_layers: int = 2,
     dropout: float = 0.0,
+    dropout_seed: int | None = None,
 ) -> Transformer:
     """12-layer-Transformer stand-in at CPU scale."""
     cfg = TransformerConfig(
@@ -276,5 +494,6 @@ def transformer_tiny(
         d_ff=64,
         dropout=dropout,
         share_embeddings=share_embeddings,
+        dropout_seed=dropout_seed,
     )
     return Transformer(cfg, rng)

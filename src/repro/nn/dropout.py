@@ -1,4 +1,24 @@
-"""Inverted dropout."""
+"""Inverted dropout, in two mask-generation modes.
+
+*Stream mode* (the original): masks are drawn from a ``numpy.random.Generator``
+in forward-call order.  Fine for the sequential simulator, but unusable in the
+concurrent pipeline runtimes — the draw order there depends on wall-clock
+worker scheduling, so two runs (or two backends) would disagree.
+
+*Counter mode*: the mask for each (layer, optimizer step, microbatch) is a
+pure function of ``(seed, layer_id, step, microbatch)``, generated through a
+counter-based Philox bit stream.  No RNG state is carried between calls, so
+every backend — simulator, thread workers, process workers — derives
+bit-identical masks without sharing any generator, regardless of how many
+workers execute the model or in which order.  This is what makes
+training-mode dropout safe on :class:`repro.pipeline.AsyncPipelineRuntime`,
+and it also makes activation recompute exact: the recompute pass regenerates
+the *same* mask its forward drew, where a stream-mode redraw would diverge.
+
+The pipeline backends advance the ``(step, microbatch)`` slot via
+:meth:`Dropout.set_slot` before each microbatch forward (see
+``PipelineBackend`` and ``WorkerCompute``).
+"""
 
 from __future__ import annotations
 
@@ -7,24 +27,74 @@ import numpy as np
 from repro.nn.module import Module
 
 
+def counter_mask(
+    seed: int, layer_id: int, step: int, microbatch: int, shape, keep: float
+) -> np.ndarray:
+    """The counter-mode dropout mask: a Philox stream keyed by
+    ``(seed, layer_id)`` with counter ``(step, microbatch)``, so the draw is
+    a pure function of its coordinates — identical on every backend, worker
+    count, and recompute pass."""
+    bits = np.random.Philox(
+        key=np.array([seed, layer_id], dtype=np.uint64),
+        counter=np.array([step, microbatch, 0, 0], dtype=np.uint64),
+    )
+    return (np.random.Generator(bits).random(shape) < keep) / keep
+
+
 class Dropout(Module):
     """Zeroes activations with probability ``p`` in training mode, scaling
-    survivors by ``1/(1-p)`` so evaluation needs no rescaling."""
+    survivors by ``1/(1-p)`` so evaluation needs no rescaling.
 
-    def __init__(self, p: float, rng: np.random.Generator):
+    ``Dropout(p, rng)`` is stream mode; ``Dropout(p, seed=s, layer_id=i)``
+    is counter mode (see module docstring).  A stream-mode instance can be
+    switched with :meth:`to_counter` — :class:`repro.models.Transformer`
+    does this for all its dropouts when ``cfg.dropout_seed`` is set.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        rng: np.random.Generator | None = None,
+        *,
+        seed: int | None = None,
+        layer_id: int = 0,
+    ):
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        if rng is None and seed is None and p > 0.0:
+            raise ValueError("Dropout needs an rng (stream mode) or a seed (counter mode)")
         self.p = p
         self.rng = rng
+        self.seed = seed
+        self.layer_id = layer_id
+        self._slot = (0, 0)  # (optimizer step, microbatch), set by the backends
         self._mask: np.ndarray | None = None
+
+    @property
+    def counter_based(self) -> bool:
+        return self.seed is not None
+
+    def to_counter(self, seed: int, layer_id: int) -> "Dropout":
+        """Switch this instance to counter mode (idempotent re-keying)."""
+        self.seed = int(seed)
+        self.layer_id = int(layer_id)
+        return self
+
+    def set_slot(self, step: int, microbatch: int) -> None:
+        """Position the counter for the next forward.  No-op in stream mode."""
+        self._slot = (step, microbatch)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        if self.counter_based:
+            t, j = self._slot
+            self._mask = counter_mask(self.seed, self.layer_id, t, j, x.shape, keep)
+        else:
+            self._mask = (self.rng.random(x.shape) < keep) / keep
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -45,6 +45,11 @@ class Embedding(Module):
 class PositionalEncoding(Module):
     """Adds fixed sinusoidal position encodings (Vaswani et al., 2017)."""
 
+    # ``pe`` is deterministic from the constructor arguments and never
+    # written after __init__ — pipeline workers must not treat it as
+    # mutable persistent state (see WorkerCompute.persistent_state).
+    pipeline_constant_attrs = ("pe",)
+
     def __init__(self, d_model: int, max_len: int = 2048):
         super().__init__()
         position = np.arange(max_len)[:, None]

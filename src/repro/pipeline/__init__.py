@@ -18,7 +18,13 @@ from repro.pipeline.delays import DelayProfile, Method
 from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
 from repro.pipeline.plan import ResolverSpec, StepPlan, WorkerPlanMirror
 from repro.pipeline.executor import PipelineExecutor
-from repro.pipeline.stage_compute import ModelSpec
+from repro.pipeline.stage_compute import (
+    GraphNode,
+    ModelSpec,
+    StageGraph,
+    WorkerGraph,
+    build_worker_graph,
+)
 from repro.pipeline.transport import ShmRing, TransportTimeout
 from repro.pipeline.runtime import (
     AsyncPipelineRuntime,
@@ -72,6 +78,10 @@ __all__ = [
     "ProcessWorkerPool",
     "PipelineDeadlockError",
     "ModelSpec",
+    "StageGraph",
+    "GraphNode",
+    "WorkerGraph",
+    "build_worker_graph",
     "ShmRing",
     "TransportTimeout",
     "RUNTIME_BACKENDS",

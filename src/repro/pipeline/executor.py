@@ -119,16 +119,27 @@ class PipelineExecutor(PipelineBackend):
         sync = plan.is_sync_step()
 
         plan.begin_step()
+        self._begin_deferred_grads()
         losses = []
-        for j in range(n):
-            self._load_all(lambda s: plan.forward_weights(s, j, sync))
-            out = self._forward(xs[j])
-            losses.append(self.loss_fn(out, ys[j]))
-            grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
-            if plan.recompute_active(sync):
-                self._load_all(lambda s: plan.recompute_weights(s, j))
-                self._forward(xs[j])  # regenerate caches at recompute weights
-            self._load_all(lambda s: plan.backward_weights(s, j, sync))
-            self.model.backward(grad)
+        try:
+            for j in range(n):
+                self._set_dropout_slot(j)
+                self._load_all(lambda s: plan.forward_weights(s, j, sync))
+                out = self._forward(xs[j])
+                losses.append(self.loss_fn(out, ys[j]))
+                grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
+                if plan.recompute_active(sync):
+                    # Counter-based dropout makes this second forward exact:
+                    # the (step, microbatch) slot is unchanged, so the
+                    # regenerated activations use the same masks the first
+                    # forward drew.
+                    self._load_all(lambda s: plan.recompute_weights(s, j))
+                    self._forward(xs[j])  # regenerate caches at recompute weights
+                self._load_all(lambda s: plan.backward_weights(s, j, sync))
+                self.model.backward(grad)
+        except BaseException:
+            self._abort_deferred_grads()
+            raise
+        self._fold_deferred_grads()
         plan.finish_step(sync)
         return float(np.mean(losses))

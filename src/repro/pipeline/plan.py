@@ -23,7 +23,18 @@ The version *arithmetic* (delay slot → store version → arrays) lives in the
 workers build a :class:`WorkerPlanMirror` — the same resolver over a
 :class:`~repro.pipeline.weight_store.SharedWeightMirror` instead of the
 in-process store — from a small picklable :class:`ResolverSpec`, and resolve
-the exact same slots the driver's :class:`StepPlan` would.
+the exact same slots the driver's :class:`StepPlan` would.  The resolver is
+stage-indexed, not worker-indexed, so a worker may resolve *any* stage's
+slots — which is how borrowed tied weights (a projection reading the
+embedding stage's version) stay exact on whichever worker uses them.
+
+:class:`PipelineBackend` is the shared surface of all backends.  Besides
+plan delegation and the microbatch plumbing hooks it drives two module
+protocols that keep weight-tied and stochastic models bit-for-bit equal
+across backends: deferred tied gradients (``enable_deferred_grads`` /
+``deferred_grads`` — buffers folded into ``Parameter.grad`` once per
+minibatch, in a fixed order) and counter-based dropout slots
+(``_set_dropout_slot`` — see :mod:`repro.nn.dropout`).
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import DiscrepancyCorrector, LRReschedule, PipeMareConfig, WarmupSchedule
+from repro.nn.dropout import Dropout
 from repro.nn.module import Parameter
 from repro.optim import Optimizer, clip_grad_norm
 from repro.optim.schedulers import LRSchedule
@@ -349,6 +361,52 @@ class PipelineBackend:
         self.model = model
         self.loss_fn = loss_fn
         self.plan = plan
+        # Backend-driven module protocols, discovered once:
+        # * deferred tied gradients (e.g. a tied output projection):
+        #   *scoped* to each train step — enabled at step start, folded
+        #   into Parameter.grad and disabled at the minibatch boundary, in
+        #   the same order on every backend (bit-for-bit requirement).
+        #   Outside a step the module behaves plainly, so gradcheck-style
+        #   model.backward use keeps working on a backend-trained model;
+        # * counter-based dropouts get their (step, microbatch) slot
+        #   positioned before every microbatch forward.
+        self._deferred_modules = []
+        self._counter_dropouts = []
+        for m in model.modules():
+            if hasattr(m, "deferred_grads"):
+                self._deferred_modules.append(m)
+            if isinstance(m, Dropout) and m.counter_based:
+                self._counter_dropouts.append(m)
+
+    # -- stochastic-forward + tied-gradient hooks -----------------------------
+    def _set_dropout_slot(self, j: int) -> None:
+        """Position counter-mode dropout masks for microbatch ``j`` of the
+        current optimizer step (see :mod:`repro.nn.dropout`)."""
+        for m in self._counter_dropouts:
+            m.set_slot(self.plan.t, j)
+
+    def _begin_deferred_grads(self) -> None:
+        """Enter deferred tied-gradient mode for this step, with clean
+        buffers."""
+        for m in self._deferred_modules:
+            m.enable_deferred_grads()
+            for _, buf in m.deferred_grads():
+                buf.fill(0.0)
+
+    def _fold_deferred_grads(self) -> None:
+        """Fold deferred tied-gradient buffers into ``Parameter.grad`` once
+        all microbatch gradients are in (before :meth:`StepPlan.finish_step`
+        normalizes and clips), and leave deferred mode."""
+        for m in self._deferred_modules:
+            for p, buf in m.deferred_grads():
+                p.grad += buf
+            m.disable_deferred_grads()
+
+    def _abort_deferred_grads(self) -> None:
+        """Leave deferred mode without folding (the step died mid-way), so
+        later plain ``model.backward`` use is not silently mis-routed."""
+        for m in self._deferred_modules:
+            m.disable_deferred_grads()
 
     # -- plan delegation ------------------------------------------------------
     @property

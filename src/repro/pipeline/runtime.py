@@ -8,25 +8,39 @@ interleaved occupancy schedule from :mod:`repro.pipeline.schedule` for real
 steps.  Weight versions are read at the exact ``v_fwd`` / ``v_bkwd`` /
 recompute slots the delay profile prescribes, so the per-step losses and
 final weights are **bit-for-bit identical** to the sequential simulator
-(enforced by ``tests/test_runtime_equivalence.py`` and
-``tests/test_runtime_process.py``).
+(enforced by ``tests/test_runtime_equivalence.py``,
+``tests/test_runtime_process.py`` and ``tests/test_runtime_translation.py``).
+
+The model is sliced along the stage partition into a **worker graph**
+(:func:`repro.pipeline.stage_compute.build_worker_graph`): each worker owns
+one or more segments of the model's stage-program graph, and every dataflow
+edge between workers gets its own activation / recompute / gradient
+channel.  Purely linear models degenerate to the familiar chain (worker w
+talks only to w±1); two-stream models like the Transformer add skip edges —
+the target-embedding output jumps from the embedding worker straight to the
+cross-attention join, and the encoder output follows — with the same
+worker programs, because every edge flows forward through the worker order
+(validated at build time), which keeps 1F1B and fill/drain deadlock-free.
 
 Two worker backends share one scheduler loop (:meth:`train_step`):
 
 * :class:`ThreadWorkerPool` (``backend="thread"``, the ``async`` runtime) —
-  per-stage worker threads with in-process activation/gradient queues.
+  per-stage worker threads with one in-process queue per graph edge.
   NumPy kernels release the GIL, which is where the wall-clock overlap
   comes from; Python-level glue still serialises on it.
 * :class:`ProcessWorkerPool` (``backend="process"``) — per-stage worker
   *processes*, sidestepping the GIL entirely.  Each worker rebuilds its
-  model slice from a picklable :class:`~repro.pipeline.stage_compute.ModelSpec`
-  (nothing live is shipped), reads weight versions from a
+  slice of the worker graph from a picklable
+  :class:`~repro.pipeline.stage_compute.ModelSpec` (nothing live is
+  shipped), reads weight versions from a
   :class:`~repro.pipeline.weight_store.SharedWeightMirror` the driver
-  republishes after every optimizer step, and exchanges activations /
-  gradients with its neighbours over the pickle-free shared-memory ring
-  buffers of :mod:`repro.pipeline.transport`.  Accumulated gradients return
-  through a :class:`~repro.pipeline.transport.SharedGradMailbox` and the
-  optimizer still steps once per minibatch on the driver.
+  republishes after every optimizer step, and exchanges edge payloads with
+  its peers over the pickle-free shared-memory ring buffers of
+  :mod:`repro.pipeline.transport` (one ring per graph edge per direction;
+  multi-part messages carry tuple payloads such as the decoder's
+  ``(d, memory, masks…)``).  Accumulated gradients return through a
+  :class:`~repro.pipeline.transport.SharedGradMailbox` and the optimizer
+  still steps once per minibatch on the driver.
 
 Why equivalence holds despite concurrency:
 
@@ -35,7 +49,14 @@ Why equivalence holds despite concurrency:
   no read races an optimizer step;
 * each parameter belongs to exactly one worker, which processes backwards
   in microbatch order — gradient accumulation order per parameter matches
-  the simulator exactly;
+  the simulator exactly.  Weight-tied modules either share the owner's
+  worker (tied embeddings) or accumulate into a module-local deferred
+  buffer folded at the minibatch boundary (tied output projections), in
+  the same order on every backend;
+* stochastic forwards use counter-based dropout
+  (:mod:`repro.nn.dropout`): masks are pure functions of
+  (seed, layer, step, microbatch), so draw order cannot depend on worker
+  scheduling.  Stream-mode training dropout is rejected at construction;
 * per-microbatch forward caches are snapshotted/restored around the many
   in-flight microbatches a worker interleaves;
 * NumPy kernels are deterministic, and shared-memory copies are bit-exact,
@@ -73,7 +94,8 @@ from repro.pipeline.schedule import stage_programs
 from repro.pipeline.stage_compute import (
     ModelSpec,
     WorkerCompute,
-    build_worker_computes,
+    WorkerGraph,
+    build_worker_graph,
 )
 from repro.pipeline.transport import (
     SharedGradMailbox,
@@ -91,18 +113,18 @@ class PipelineDeadlockError(RuntimeError):
 @dataclass
 class _StepContext:
     """Everything one train step shares between the driver and thread
-    workers."""
+    workers.  ``ext[i][j]`` is external model input i for microbatch j;
+    the per-kind queue dicts are keyed by cross-worker edge index."""
 
     sync: bool
-    xs: list
+    ext: list
     ys: list
     scales: list[float]
     programs: list[list[tuple[str, int]]]
     losses: list[float]
-    # queue[w] feeds worker w; w=0 reads straight from xs.
-    act_q: list[queue.SimpleQueue]
-    grad_q: list[queue.SimpleQueue]
-    rec_q: list[queue.SimpleQueue]
+    act_q: dict[int, queue.SimpleQueue]
+    rec_q: dict[int, queue.SimpleQueue]
+    grad_q: dict[int, queue.SimpleQueue]
 
 
 @dataclass
@@ -178,10 +200,8 @@ def _execute_program(
     resolver,
     sync: bool,
     chans,
-    first: bool,
-    last: bool,
     loss_fn,
-    xs,
+    ext,
     ys,
     scales,
     losses,
@@ -190,147 +210,141 @@ def _execute_program(
 
     Identical for both backends: only ``chans`` (queue- or ring-backed) and
     ``resolver`` (driver :class:`StepPlan` or a worker's
-    :class:`WorkerPlanMirror`) differ.  Returns busy seconds (time spent
-    computing, excluding channel waits).
+    :class:`WorkerPlanMirror`) differ.  Each op walks the worker's segments
+    in graph order (forward) or reverse (backward); same-worker edges hand
+    payloads off through a local dict, cross-worker edges through the
+    channel of that edge.  Returns busy seconds (time spent computing,
+    excluding channel waits).
     """
     snapshots: dict[int, list[dict]] = {}
     grads: dict[int, np.ndarray] = {}
     recompute = resolver.recompute_active(sync)
     busy = 0.0
 
-    for op, j in program:
-        if op == "F":
-            xj = xs[j] if first else chans.recv_act()
+    def run_wave(kind: str, j: int, weights_for_stage) -> None:
+        """One forward-style pass (op F on "act", op R on "rec")."""
+        nonlocal busy
+        local: dict[int, object] = {}
+        loaded = False
+        for seg in compute.segments:
+            ins = []
+            for e in seg.in_edges:
+                if e.src is None:
+                    ins.append(ext[e.ext_index][j])
+                elif e.local:
+                    ins.append(local.pop(e.index))
+                else:
+                    ins.append(chans.recv(kind, e.index))
             t0 = time.perf_counter()
-            compute.load_weights(lambda s: resolver.forward_weights(s, j, sync))
-            out = compute.forward(xj)
-            if last:
+            if not loaded:
+                compute.load_weights(weights_for_stage)
+                compute.set_dropout_slot(resolver.t, j)
+                loaded = True
+            out = seg.forward(ins)
+            if seg.is_sink and kind == "act":
                 losses[j] = loss_fn(out, ys[j])
                 grads[j] = loss_fn.backward() * scales[j]
-            if not recompute:
-                snapshots[j] = compute.cache_state()
             busy += time.perf_counter() - t0
-            if not last:
-                chans.send_act(out)
-        elif op == "R":
-            xj = xs[j] if first else chans.recv_rec()
+            if seg.out_edge is not None:
+                e = seg.out_edge
+                if e.local:
+                    local[e.index] = out
+                else:
+                    chans.send(kind, e.index, out)
+        if kind == "rec" or not recompute:
             t0 = time.perf_counter()
-            compute.load_weights(lambda s: resolver.recompute_weights(s, j))
-            out = compute.forward(xj)
             snapshots[j] = compute.cache_state()
             busy += time.perf_counter() - t0
-            if not last:
-                chans.send_rec(out)
-        else:  # "B"
-            gj = grads.pop(j) if last else chans.recv_grad()
+
+    def run_backward(j: int) -> None:
+        nonlocal busy
+        local: dict[int, object] = {}
+        restored = False
+        for seg in reversed(compute.segments):
+            if seg.is_sink:
+                g = grads.pop(j)
+            elif seg.out_edge.local:
+                g = local.pop(seg.out_edge.index)
+            else:
+                g = chans.recv("grad", seg.out_edge.index)
             t0 = time.perf_counter()
-            compute.load_cache_state(snapshots.pop(j))
-            compute.load_weights(lambda s: resolver.backward_weights(s, j, sync))
-            gout = compute.backward(gj)
+            if not restored:
+                compute.load_cache_state(snapshots.pop(j))
+                compute.load_weights(lambda s: resolver.backward_weights(s, j, sync))
+                restored = True
+            gins = seg.backward(g)
             busy += time.perf_counter() - t0
-            if not first:
-                chans.send_grad(gout)
+            for e, gi in zip(seg.in_edges, gins):
+                if e.src is None:
+                    continue
+                if e.local:
+                    local[e.index] = gi
+                else:
+                    chans.send("grad", e.index, gi)
+
+    for op, j in program:
+        if op == "F":
+            run_wave("act", j, lambda s: resolver.forward_weights(s, j, sync))
+        elif op == "R":
+            run_wave("rec", j, lambda s: resolver.recompute_weights(s, j))
+        else:  # "B"
+            run_backward(j)
     return busy
 
 
 class _QueueChannels:
-    """Thread-backend channel set: the per-step in-process SimpleQueues."""
+    """Thread-backend channel set: one per-step in-process SimpleQueue per
+    cross-worker edge and payload kind."""
 
     def __init__(self, ctx: _StepContext, w: int, timeout: float):
-        self._ctx = ctx
+        self._by_kind = {"act": ctx.act_q, "rec": ctx.rec_q, "grad": ctx.grad_q}
         self._w = w
         self._timeout = timeout
 
-    def _get(self, q: queue.SimpleQueue, what: str):
+    def recv(self, kind: str, edge: int):
         try:
-            return q.get(timeout=self._timeout)
+            return self._by_kind[kind][edge].get(timeout=self._timeout)
         except queue.Empty:
             raise TransportTimeout(
-                f"worker {self._w} waited >{self._timeout}s for {what} "
-                "that never arrived"
+                f"worker {self._w} waited >{self._timeout}s for a {kind} "
+                f"payload on edge {edge} that never arrived"
             ) from None
 
-    def recv_act(self):
-        return self._get(self._ctx.act_q[self._w], "an activation")
-
-    def recv_rec(self):
-        return self._get(self._ctx.rec_q[self._w], "a recompute activation")
-
-    def recv_grad(self):
-        return self._get(self._ctx.grad_q[self._w], "a gradient")
-
-    def send_act(self, arr) -> None:
-        self._ctx.act_q[self._w + 1].put(arr)
-
-    def send_rec(self, arr) -> None:
-        self._ctx.rec_q[self._w + 1].put(arr)
-
-    def send_grad(self, arr) -> None:
-        self._ctx.grad_q[self._w - 1].put(arr)
+    def send(self, kind: str, edge: int, payload) -> None:
+        self._by_kind[kind][edge].put(payload)
 
 
 class _RingChannels:
-    """Process-backend channel set: shared-memory rings to the neighbours.
+    """Process-backend channel set: one shared-memory ring per cross-worker
+    edge and payload kind.
 
     Messages are tagged with the driver's step sequence; a tag older than
     the current step is residue from an aborted step and is discarded, so
     the channels self-heal after an error without any flush handshake.
     """
 
-    def __init__(
-        self,
-        act_in: ShmRing | None,
-        act_out: ShmRing | None,
-        rec_in: ShmRing | None,
-        rec_out: ShmRing | None,
-        grad_in: ShmRing | None,
-        grad_out: ShmRing | None,
-        timeout: float,
-    ):
-        self.act_in, self.act_out = act_in, act_out
-        self.rec_in, self.rec_out = rec_in, rec_out
-        self.grad_in, self.grad_out = grad_in, grad_out
+    def __init__(self, rings: dict[tuple[str, int], ShmRing], timeout: float):
+        self._rings = rings
         self._timeout = timeout
         self.step = 0
 
-    def _all(self):
-        return (
-            self.act_in, self.act_out, self.rec_in, self.rec_out,
-            self.grad_in, self.grad_out,
-        )
-
     def xfer_seconds(self) -> float:
-        return sum(r.xfer_seconds for r in self._all() if r is not None)
+        return sum(r.xfer_seconds for r in self._rings.values())
 
-    def _recv(self, ring: ShmRing):
+    def recv(self, kind: str, edge: int):
+        ring = self._rings[(kind, edge)]
         while True:
-            tag, arr = ring.recv(self._timeout)
+            tag, payload = ring.recv_msg(self._timeout)
             if tag == self.step:
-                return arr
+                return payload
             # stale message from an aborted step — drop and keep looking
 
-    def recv_act(self):
-        return self._recv(self.act_in)
-
-    def recv_rec(self):
-        return self._recv(self.rec_in)
-
-    def recv_grad(self):
-        return self._recv(self.grad_in)
-
-    def send_act(self, arr) -> None:
-        self.act_out.send(arr, self.step, self._timeout)
-
-    def send_rec(self, arr) -> None:
-        self.rec_out.send(arr, self.step, self._timeout)
-
-    def send_grad(self, arr) -> None:
-        self.grad_out.send(arr, self.step, self._timeout)
+    def send(self, kind: str, edge: int, payload) -> None:
+        self._rings[(kind, edge)].send_msg(payload, self.step, self._timeout)
 
     def close(self) -> None:
-        for r in self._all():
-            if r is not None:
-                r.close()
+        for r in self._rings.values():
+            r.close()
 
 
 # -- worker pools --------------------------------------------------------------
@@ -431,7 +445,7 @@ class _WorkerPoolBase:
             )
         return busys, xfers, extras
 
-    def run_step(self, sync, xs, ys, scales) -> _StepResult:
+    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
         raise NotImplementedError
 
     def publish_plan_state(self) -> None:
@@ -446,25 +460,27 @@ class _WorkerPoolBase:
 
 
 class ThreadWorkerPool(_WorkerPoolBase):
-    """Per-stage worker threads with in-process queues (PR 1 semantics)."""
+    """Per-stage worker threads with in-process per-edge queues."""
 
     kind = "thread"
 
     def __init__(
         self,
-        workers: list[WorkerCompute],
+        graph: WorkerGraph,
         plan: StepPlan,
         loss_fn,
         deadlock_timeout: float,
         done_grace: float,
     ):
-        super().__init__(len(workers), deadlock_timeout, done_grace)
-        self.workers = workers
+        super().__init__(graph.num_workers, deadlock_timeout, done_grace)
+        self.graph = graph
+        self.workers = graph.workers
         self.plan = plan
         self._programs = _build_programs(
-            plan.method, len(workers), plan.num_microbatches,
+            plan.method, graph.num_workers, plan.num_microbatches,
             plan.recompute_segment is not None,
         )
+        self._cross = [e.index for e in graph.cross_edges()]
         self.loss_fn = loss_fn
         self._cmd: list[queue.SimpleQueue] = [
             queue.SimpleQueue() for _ in range(self.num_workers)
@@ -482,18 +498,17 @@ class ThreadWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def run_step(self, sync, xs, ys, scales) -> _StepResult:
-        k = self.num_workers
+    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
         ctx = _StepContext(
             sync=sync,
-            xs=xs,
+            ext=ext,
             ys=ys,
             scales=scales,
             programs=self._programs[bool(sync)],
-            losses=[0.0] * len(xs),
-            act_q=[queue.SimpleQueue() for _ in range(k)],
-            grad_q=[queue.SimpleQueue() for _ in range(k)],
-            rec_q=[queue.SimpleQueue() for _ in range(k)],
+            losses=[0.0] * num_microbatches,
+            act_q={e: queue.SimpleQueue() for e in self._cross},
+            rec_q={e: queue.SimpleQueue() for e in self._cross},
+            grad_q={e: queue.SimpleQueue() for e in self._cross},
         )
         for cq in self._cmd:
             cq.put(ctx)
@@ -501,7 +516,6 @@ class ThreadWorkerPool(_WorkerPoolBase):
         return _StepResult(losses=list(ctx.losses), busy=busys, transport=xfers)
 
     def _worker_loop(self, w: int) -> None:
-        k = self.num_workers
         while True:
             ctx = self._cmd[w].get()
             if ctx is None:
@@ -512,8 +526,7 @@ class ThreadWorkerPool(_WorkerPoolBase):
             try:
                 busy = _execute_program(
                     self.workers[w], ctx.programs[w], self.plan, ctx.sync, chans,
-                    w == 0, w == k - 1, self.loss_fn, ctx.xs, ctx.ys, ctx.scales,
-                    ctx.losses,
+                    self.loss_fn, ctx.ext, ctx.ys, ctx.scales, ctx.losses,
                 )
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
@@ -548,13 +561,31 @@ def _default_start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+def _worker_rings(
+    graph: WorkerGraph, w: int, base: str, slots: int
+) -> dict[tuple[str, int], ShmRing]:
+    """Attach worker ``w``'s endpoints: for each cross-worker edge it sits
+    on, activations/recomputes flow src→dst and gradients dst→src."""
+    rings: dict[tuple[str, int], ShmRing] = {}
+    for e in graph.cross_edges():
+        if e.dst.worker == w:
+            rings[("act", e.index)] = ShmRing(f"{base}a{e.index}", slots=slots, role="recv")
+            rings[("rec", e.index)] = ShmRing(f"{base}r{e.index}", slots=slots, role="recv")
+            rings[("grad", e.index)] = ShmRing(f"{base}g{e.index}", slots=slots, role="send")
+        elif e.src_worker == w:
+            rings[("act", e.index)] = ShmRing(f"{base}a{e.index}", slots=slots, role="send")
+            rings[("rec", e.index)] = ShmRing(f"{base}r{e.index}", slots=slots, role="send")
+            rings[("grad", e.index)] = ShmRing(f"{base}g{e.index}", slots=slots, role="recv")
+    return rings
+
+
 def _process_worker_main(w: int, conn, done, init: dict) -> None:
     """Entry point of one spawned stage worker.
 
     Constructs everything locally from the picklable ``init`` payload —
-    model replica via :class:`ModelSpec`, partition, resolver over the
-    attached weight mirror, ring endpoints — then serves step commands until
-    the ``None`` sentinel (or a closed pipe) arrives.
+    model replica via :class:`ModelSpec`, partition, worker graph, resolver
+    over the attached weight mirror, ring endpoints — then serves step
+    commands until the ``None`` sentinel (or a closed pipe) arrives.
     """
     k = init["k"]
     n = init["num_microbatches"]
@@ -571,34 +602,27 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 f"worker {w}: model spec rebuilt a different partition than "
                 f"the driver's (stage parameter names differ)"
             )
-        computes = build_worker_computes(model, stages)
-        if len(computes) != k:
+        graph = build_worker_graph(model, stages)
+        if graph.num_workers != k or graph.edge_spec() != init["edges"]:
             raise ValueError(
-                f"worker {w}: spec yields {len(computes)} worker slices, "
-                f"driver has {k}"
+                f"worker {w}: model spec rebuilt a different worker graph "
+                f"than the driver's ({graph.num_workers} workers, edges "
+                f"{graph.edge_spec()!r} vs {init['edges']!r})"
             )
-        compute = computes[w]
+        compute = graph.workers[w]
+        # The replica only ever runs sliced steps, so tied modules stay in
+        # deferred-gradient mode for its whole lifetime (the driver's own
+        # modules are scoped per step by PipelineBackend instead).
+        compute.enable_deferred()
         stage_shapes = init["stage_shapes"]
         mirror = SharedWeightMirror(
             f"{base}w", stage_shapes, spec.history, spec.use_t2, readonly=True
         )
         resolver = WorkerPlanMirror(spec, mirror)
-        mailbox = SharedGradMailbox(f"{base}g0", stage_shapes)
-        loss_fn = pickle.loads(init["loss_pickle"]) if w == k - 1 else None
-        slots = init["slots"]
-
-        def ring(tag: str, b: int, role: str) -> ShmRing:
-            return ShmRing(f"{base}{tag}{b}", slots=slots, role=role)
-
-        chans = _RingChannels(
-            act_in=ring("a", w, "recv") if w > 0 else None,
-            act_out=ring("a", w + 1, "send") if w < k - 1 else None,
-            rec_in=ring("r", w, "recv") if w > 0 else None,
-            rec_out=ring("r", w + 1, "send") if w < k - 1 else None,
-            grad_in=ring("g", w + 1, "recv") if w < k - 1 else None,
-            grad_out=ring("g", w, "send") if w > 0 else None,
-            timeout=timeout,
-        )
+        mailbox = SharedGradMailbox(f"{base}mb", stage_shapes)
+        is_sink_worker = w == k - 1
+        loss_fn = pickle.loads(init["loss_pickle"]) if is_sink_worker else None
+        chans = _RingChannels(_worker_rings(graph, w, base, init["slots"]), timeout)
         programs = _build_programs(
             Method(spec.method), k, n, spec.recompute_segment is not None
         )
@@ -622,7 +646,7 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 # Driver pushed fresh persistent state (checkpoint restore).
                 compute.load_persistent_state(msg[1])
                 continue
-            step_seq, t, sync, scales, xs, ys = msg
+            step_seq, t, sync, scales, ext, ys = msg
             resolver.t = t
             chans.step = step_seq
             losses = [0.0] * n
@@ -633,15 +657,16 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 for b in compute.bindings:
                     for p in b.params:
                         p.grad.fill(0.0)
+                compute.zero_deferred()
                 busy = _execute_program(
                     compute, programs[bool(sync)][w], resolver, sync, chans,
-                    w == 0, w == k - 1, loss_fn, xs, ys, scales, losses,
+                    loss_fn, ext, ys, scales, losses,
                 )
                 for b in compute.bindings:
                     for pos, p in zip(b.positions, b.params):
                         mailbox.write(b.stage, pos, p.grad)
                 payload = (
-                    losses if w == k - 1 else None,
+                    losses if is_sink_worker else None,
                     compute.persistent_state() if has_pstate else None,
                 )
             except TransportTimeout as exc:
@@ -666,7 +691,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
     def __init__(
         self,
         *,
-        driver_workers: list[WorkerCompute],
+        graph: WorkerGraph,
         plan: StepPlan,
         stages: list[Stage],
         loss_fn,
@@ -677,9 +702,10 @@ class ProcessWorkerPool(_WorkerPoolBase):
         start_method: str | None = None,
         transport_slot_bytes: int = 1 << 16,
     ):
-        k = len(driver_workers)
+        k = graph.num_workers
         super().__init__(k, deadlock_timeout, done_grace)
-        self.driver_workers = driver_workers
+        self.graph = graph
+        self.driver_workers = graph.workers
         self.plan = plan
         self.stages = stages
         self._step_seq = 0
@@ -701,16 +727,16 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 create=True,
             )
             self.mirror.sync_from_store(plan.store, plan.corrector)
-            self.mailbox = SharedGradMailbox(f"{base}g0", stage_shapes, create=True)
+            self.mailbox = SharedGradMailbox(f"{base}mb", stage_shapes, create=True)
             # One aborted step can leave up to N unconsumed messages in a
             # ring; 2N slots let the next step proceed while recv discards
             # the residue.
             slots = max(2 * num_microbatches, 2)
-            for b in range(1, k):
+            for e in graph.cross_edges():
                 for tag in ("a", "r", "g"):
                     self._rings.append(
                         ShmRing(
-                            f"{base}{tag}{b}", slots=slots,
+                            f"{base}{tag}{e.index}", slots=slots,
                             slot_bytes=transport_slot_bytes, create=True,
                         )
                     )
@@ -723,6 +749,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 "num_microbatches": num_microbatches,
                 "stage_shapes": stage_shapes,
                 "stage_names": [list(s.names) for s in stages],
+                "edges": graph.edge_spec(),
                 "resolver_spec": plan.resolver_spec(),
                 "model_spec": model_spec,
                 "loss_pickle": pickle.dumps(loss_fn),
@@ -733,9 +760,12 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 # that already evolved driver-side.
                 "pstate": [
                     w.persistent_state() if w.has_persistent_state() else None
-                    for w in driver_workers
+                    for w in graph.workers
                 ],
             }
+            # External model inputs are routed per step to exactly the
+            # workers whose graph segments consume them.
+            self._ext_needs = [graph.ext_needs(w) for w in range(k)]
             for w in range(k):
                 recv_end, send_end = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
@@ -789,7 +819,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def run_step(self, sync, xs, ys, scales) -> _StepResult:
+    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
         k = self.num_workers
         self._step_seq += 1
         for w, conn in enumerate(self._conns):
@@ -799,7 +829,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
                     self.plan.t,
                     sync,
                     scales,
-                    xs if w == 0 else None,
+                    {i: ext[i] for i in self._ext_needs[w]},
                     ys if w == k - 1 else None,
                 ))
             except OSError as exc:
@@ -895,10 +925,10 @@ class AsyncPipelineRuntime(PipelineBackend):
         demand), and the extra driver-side wait beyond ``deadlock_timeout``
         before a silent worker wedges the runtime.
 
-    The model must be sliceable into a chain (see
-    :mod:`repro.pipeline.stage_compute`); stochastic-forward modules
-    (Dropout in training mode) are rejected because their draw order would
-    depend on wall-clock scheduling.
+    The model must be sliceable into a stage-program graph (see
+    :mod:`repro.pipeline.stage_compute`); training-mode Dropout must be
+    counter-based (:mod:`repro.nn.dropout`) — stream-mode dropout is
+    rejected because its draw order would depend on wall-clock scheduling.
 
     Use as a context manager, or call :meth:`close`, to shut the workers
     down promptly; thread workers are daemons and process workers are
@@ -943,14 +973,17 @@ class AsyncPipelineRuntime(PipelineBackend):
             raise ValueError(f"unknown worker backend {backend!r}")
         self.backend = backend
         self.deadlock_timeout = deadlock_timeout
-        self.workers: list[WorkerCompute] = build_worker_computes(model, stages)
+        self.graph: WorkerGraph = build_worker_graph(model, stages)
+        self.workers: list[WorkerCompute] = self.graph.workers
         for w in self.workers:
             for m in w.all_modules:
-                if isinstance(m, Dropout) and m.p > 0:
+                if isinstance(m, Dropout) and m.p > 0 and not m.counter_based:
                     raise ValueError(
-                        "AsyncPipelineRuntime does not support training-mode "
-                        "Dropout: its RNG draw order would depend on worker "
-                        "scheduling; use the simulator backend"
+                        "AsyncPipelineRuntime does not support stream-mode "
+                        "training Dropout: its RNG draw order would depend "
+                        "on worker scheduling; switch the model to "
+                        "counter-based dropout (Dropout(p, seed=...), see "
+                        "repro.nn.dropout) or use the simulator backend"
                     )
         k, n = len(self.workers), num_microbatches
         self.stats = RuntimeStats(
@@ -962,7 +995,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         self._closed = False
         if backend == "process":
             self.pool: _WorkerPoolBase = ProcessWorkerPool(
-                driver_workers=self.workers,
+                graph=self.graph,
                 plan=self.plan,
                 stages=stages,
                 loss_fn=loss_fn,
@@ -979,7 +1012,7 @@ class AsyncPipelineRuntime(PipelineBackend):
             )
         else:
             self.pool = ThreadWorkerPool(
-                self.workers, self.plan, loss_fn, deadlock_timeout, done_grace,
+                self.graph, self.plan, loss_fn, deadlock_timeout, done_grace,
             )
 
     # -- introspection ---------------------------------------------------------
@@ -1004,22 +1037,38 @@ class AsyncPipelineRuntime(PipelineBackend):
         total = sum(self._num_samples(xj) for xj in xs)
         scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
         sync = plan.is_sync_step()
+        # Route each external model input to the graph edges that consume
+        # it: multi-input models (the two-stream Transformer) yield tuple
+        # microbatches, transposed here into per-input streams.
+        if self.graph.num_external == 1:
+            ext = [xs]
+        else:
+            ext = [[xs[j][i] for j in range(n)] for i in range(self.graph.num_external)]
 
         plan.begin_step()
+        self._begin_deferred_grads()
         start = time.perf_counter()
         try:
-            result = self.pool.run_step(sync, xs, ys, scales)
+            result = self.pool.run_step(sync, ext, ys, scales, n)
         except BaseException:
-            # However the step died, leave the live parameters on the latest
-            # weight version: thread workers may have re-pointed them at
-            # historical arrays mid-step, and evaluation or checkpointing
-            # after a caught error must not silently read delayed weights.
+            # However the step died, leave the model usable monolithically:
+            # live parameters back on the latest weight version (thread
+            # workers may have re-pointed them at historical arrays
+            # mid-step) and tied modules out of deferred mode — evaluation
+            # or checkpointing after a caught error must not silently read
+            # delayed weights or mis-route gradients.
+            self._abort_deferred_grads()
             plan.store.load_latest()
             raise
+        finally:
+            # Borrowed per-slot version arrays are step-local state.
+            for w in self.workers:
+                w.unload_borrowed()
         wall = time.perf_counter() - start
         # Stats commit atomically, and only for completed steps — aborted
         # steps contribute neither busy nor wall time.
         self.stats.commit(wall, result.busy, result.transport)
+        self._fold_deferred_grads()
         plan.finish_step(sync)
         self.pool.publish_plan_state()
         return float(np.mean(result.losses))
@@ -1041,6 +1090,11 @@ class AsyncPipelineRuntime(PipelineBackend):
         pool = getattr(self, "pool", None)
         if pool is not None:
             pool.close()
+        # A straggler thread on the deadlock path may have re-loaded a
+        # borrowed version array after train_step's own unload; now that
+        # every worker has stopped, detach them for good.
+        for w in getattr(self, "workers", []):
+            w.unload_borrowed()
 
     def __enter__(self) -> "AsyncPipelineRuntime":
         return self

@@ -125,6 +125,14 @@ def stage_programs(
     concurrent runtime executes verbatim: occurrences of F (resp. B) in a
     row are microbatches 0..N−1 in order, so the grid *is* the schedule.
 
+    The same programs drive stage-*graph* workers (multi-node models like
+    the two-stream Transformer): a worker's "F"/"R" runs all its graph
+    segments in topological order and its "B" runs them in reverse, and
+    because every graph edge flows forward through the worker order
+    (enforced by :func:`repro.pipeline.stage_compute.build_worker_graph`),
+    each dependency points from an earlier grid slot to a later one — the
+    dataflow stays deadlock-free with skip edges, exactly as for chains.
+
     With ``recompute``, a recompute pass "R" for microbatch j is inserted
     directly after its forward — the recompute wave chases the forward wave
     down the pipe (stage s's R_j input is stage s−1's R_j output), which

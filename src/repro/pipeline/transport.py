@@ -6,30 +6,48 @@ microbatch goes through ``multiprocessing.shared_memory`` segments managed
 here:
 
 * :class:`ShmRing` — a single-producer single-consumer ring buffer carrying
-  activation / recompute / gradient arrays between adjacent stage workers.
-  Slots are handed off seqlock-style through per-slot publication (``pub``)
-  and consumption (``ack``) counters living in a small control segment;
-  payload bytes are copied straight between NumPy buffers, so after the
-  capacity of a channel is negotiated (at the first send of a step, growing
-  when shapes change) **no pickling happens on the microbatch path**.
+  one pipeline dataflow edge's payloads (activations, recompute
+  activations, or gradients) between two stage workers — for linear models
+  that means adjacent workers; for stage-*graph* models (the two-stream
+  Transformer) each edge of the worker graph, skip edges included, gets its
+  own ring per payload kind.  Slots are handed off seqlock-style through
+  per-slot publication (``pub``) and consumption (``ack``) counters living
+  in a small control segment; payload bytes are copied straight between
+  NumPy buffers, so after the capacity of a channel is negotiated (at the
+  first send of a step, growing when shapes change) **no pickling happens
+  on the microbatch path**.
 * :class:`SharedGradMailbox` — one weight-shaped float64 block per stage
   parameter.  Each worker owns a disjoint set of (stage, position) slots and
   writes its accumulated minibatch gradients there once per step; the driver
   copies them into the live ``Parameter.grad`` buffers after all workers
   report done (the done message is the synchronisation point, so the mailbox
-  itself needs no flags).
+  itself needs no flags).  Lifecycle: the driver creates the segment, every
+  worker attaches without adopting cleanup ownership (see
+  :func:`attach_shm`), and only the driver unlinks — after the workers have
+  exited — so a crashing worker can never reap a segment its peers still
+  read.  Deferred tied-gradient buffers (weights read on a worker that does
+  not own them) do *not* go through the mailbox; they ride the
+  persistent-state payload of the done message instead.
 
 Ring protocol (one writer, one reader, ``slots`` slots):
 
 * message ``m`` uses slot ``i = m % slots``; the writer waits until
-  ``ack[i] == pub[i]`` (slot free), writes the header + payload, then
+  ``ack[i] == pub[i]`` (slot free), writes the headers + payload, then
   publishes ``pub[i] = m + 1``; the reader waits for ``pub[i] == m + 1``,
-  copies the payload out, then releases ``ack[i] = m + 1``.
+  copies the payload out, then releases ``ack[i] = m + 1``.  This is the
+  seqlock slot-handoff invariant: payload bytes are complete before ``pub``
+  advances, and fully copied out before ``ack`` does, so neither side ever
+  reads (or overwrites) a half-written slot.
+* messages are **multi-part**: :meth:`ShmRing.send_msg` accepts a bare
+  array or a tuple of arrays/None (a stage-graph edge payload, e.g. the
+  Transformer decoder's ``(d, memory, tgt_keep, src_keep)``), packed into
+  one slot with one part header per component — still one pub/ack hand-off
+  per logical payload.
 * every message is tagged with the driver's step sequence number.  After an
   aborted step (worker exception / deadlock) readers may find stale
-  messages from the old step in their rings; :meth:`ShmRing.recv` returns
-  the tag so callers can discard them, which self-heals the channel without
-  any cross-process flush coordination.
+  messages from the old step in their rings; :meth:`ShmRing.recv_msg`
+  returns the tag so callers can discard them, which self-heals the channel
+  without any cross-process flush coordination.
 * when a payload outgrows the data segment the writer waits for all
   outstanding messages to be consumed, unlinks the old segment and creates
   generation ``g+1`` with a larger slot capacity; the reader re-attaches
@@ -141,16 +159,28 @@ _RING_DTYPES: tuple[np.dtype, ...] = tuple(
 _DTYPE_CODE = {d: i for i, d in enumerate(_RING_DTYPES)}
 
 _MAX_DIMS = 8
-# Per-slot header int64s:
-# [step, nbytes, dtype_code, ndim, shape*_MAX_DIMS, perm*_MAX_DIMS].
+# Messages are *multi-part*: one payload per graph edge hand-off, holding a
+# bare array or a tuple of arrays/None (the stage-graph payloads, e.g. the
+# Transformer decoder's ``(d, memory, tgt_keep, src_keep)``).  Per-slot base
+# header int64s: [step, kind (0 = bare array, 1 = tuple), nparts, reserved];
+# the data region then carries one part header per component —
+# [present, dtype_code, ndim, nbytes, shape*_MAX_DIMS, perm*_MAX_DIMS] —
+# followed by the 8-aligned payload blocks.
+#
 # ``perm`` is the axis order that makes the payload C-contiguous: arrays
 # cross the ring in their *own* memory layout, not normalised to C order.
 # NumPy kernels downstream are bit-deterministic only for a fixed memory
 # layout (BLAS picks different accumulation orders for transposed inputs),
 # and the thread backend hands successors the original array object — so
 # layout preservation is part of the bit-for-bit equivalence contract.
-_HDR_INTS = 4 + 2 * _MAX_DIMS
-_HDR_BYTES = 8 * _HDR_INTS
+_BASE_INTS = 4
+_BASE_BYTES = 8 * _BASE_INTS
+_PART_INTS = 4 + 2 * _MAX_DIMS
+_PART_BYTES = 8 * _PART_INTS
+
+
+def _align8(n: int) -> int:
+    return (int(n) + 7) // 8 * 8
 
 # Control segment int64s before the pub/ack arrays: [generation, slot_bytes].
 _CTL_GEN = 0
@@ -223,7 +253,7 @@ class ShmRing:
             self._ctl_ints[_CTL_SLOT_BYTES] = _round_slot_bytes(slot_bytes)
             self._slot_bytes = _round_slot_bytes(slot_bytes)
             self._data = create_shm(
-                self._data_name(1), slots * (_HDR_BYTES + self._slot_bytes)
+                self._data_name(1), slots * (_BASE_BYTES + self._slot_bytes)
             )
         else:
             self._ctl = attach_shm(self._ctl_name())
@@ -263,8 +293,13 @@ class ShmRing:
             time.sleep(_POLL_SLEEP)
 
     # -- writer side ----------------------------------------------------------
-    def send(self, array: np.ndarray, step: int, timeout: float) -> None:
-        """Copy ``array`` into the next free slot, tagged with ``step``."""
+    def send_msg(
+        self, payload: "np.ndarray | tuple", step: int, timeout: float
+    ) -> None:
+        """Copy one message — a bare array, or a tuple of arrays/None (a
+        stage-graph edge payload) — into the next free slot, tagged with
+        ``step``.  The whole message occupies one slot, so the pub/ack
+        hand-off stays one-per-payload however many components it has."""
         deadline = time.perf_counter() + timeout
         m = self._msg
         i = m % self.slots
@@ -272,35 +307,65 @@ class ShmRing:
             lambda: self._ack[i] == self._pub[i], deadline,
             f"ring {self.name}: peer never freed slot {i} (message {m})",
         )
-        array = np.asarray(array)
-        if array.ndim > _MAX_DIMS:
-            raise ValueError(f"array rank {array.ndim} exceeds {_MAX_DIMS}")
-        code = _DTYPE_CODE.get(array.dtype)
-        if code is None:
-            raise TypeError(f"unsupported ring dtype {array.dtype}")
-        if array.nbytes > self.slot_bytes:
-            self._grow(array.nbytes, deadline)
-        perm = _layout_perm(array)
-        if perm is None:  # strided view with gaps: C-copy is the best we can do
-            perm = tuple(range(array.ndim))
-        payload = array.transpose(perm)  # C-contiguous in memory order
-        base = i * (_HDR_BYTES + self.slot_bytes)
-        hdr = np.ndarray((_HDR_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        kind = 1 if isinstance(payload, tuple) else 0
+        parts = list(payload) if kind else [payload]
+        prepared: list[tuple | None] = []  # (array, code, perm) per present part
+        need = _PART_BYTES * len(parts)
+        for part in parts:
+            if part is None:
+                prepared.append(None)
+                continue
+            array = np.asarray(part)
+            if array.ndim > _MAX_DIMS:
+                raise ValueError(f"array rank {array.ndim} exceeds {_MAX_DIMS}")
+            code = _DTYPE_CODE.get(array.dtype)
+            if code is None:
+                raise TypeError(f"unsupported ring dtype {array.dtype}")
+            perm = _layout_perm(array)
+            if perm is None:  # strided view with gaps: C-copy is the best we can do
+                perm = tuple(range(array.ndim))
+            prepared.append((array, code, perm))
+            need = _align8(need) + array.nbytes
+        if need > self.slot_bytes:
+            self._grow(need, deadline)
+        base = i * (_BASE_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_BASE_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
         hdr[0] = step
-        hdr[1] = array.nbytes
-        hdr[2] = code
-        hdr[3] = array.ndim
-        hdr[4:4 + array.ndim] = payload.shape
-        hdr[4 + _MAX_DIMS:4 + _MAX_DIMS + array.ndim] = perm
-        t0 = time.perf_counter()
-        dst = np.ndarray(
-            payload.shape, dtype=array.dtype, buffer=self._data.buf,
-            offset=base + _HDR_BYTES,
-        )
-        np.copyto(dst, payload)
-        self.xfer_seconds += time.perf_counter() - t0
+        hdr[1] = kind
+        hdr[2] = len(parts)
+        hdr[3] = 0
+        off = _PART_BYTES * len(parts)
+        for p, item in enumerate(prepared):
+            phdr = np.ndarray(
+                (_PART_INTS,), dtype=np.int64, buffer=self._data.buf,
+                offset=base + _BASE_BYTES + p * _PART_BYTES,
+            )
+            if item is None:
+                phdr[:] = 0
+                continue
+            array, code, perm = item
+            view = array.transpose(perm)  # C-contiguous in memory order
+            off = _align8(off)
+            phdr[0] = 1
+            phdr[1] = code
+            phdr[2] = array.ndim
+            phdr[3] = off
+            phdr[4:4 + array.ndim] = view.shape
+            phdr[4 + _MAX_DIMS:4 + _MAX_DIMS + array.ndim] = perm
+            t0 = time.perf_counter()
+            dst = np.ndarray(
+                view.shape, dtype=array.dtype, buffer=self._data.buf,
+                offset=base + _BASE_BYTES + off,
+            )
+            np.copyto(dst, view)
+            self.xfer_seconds += time.perf_counter() - t0
+            off += array.nbytes
         self._pub[i] = m + 1  # publish last: payload is complete
         self._msg = m + 1
+
+    def send(self, array: np.ndarray, step: int, timeout: float) -> None:
+        """Single-array convenience wrapper over :meth:`send_msg`."""
+        self.send_msg(np.asarray(array), step, timeout)
 
     def _grow(self, nbytes: int, deadline: float) -> None:
         """Replace the data segment with a roomier generation.  Waits for the
@@ -314,7 +379,7 @@ class ShmRing:
         unlink_quietly(self._data)
         gen = self._gen + 1
         self._data = create_shm(
-            self._data_name(gen), self.slots * (_HDR_BYTES + new_bytes)
+            self._data_name(gen), self.slots * (_BASE_BYTES + new_bytes)
         )
         # slot_bytes must be visible no later than the generation bump.
         self._ctl_ints[_CTL_SLOT_BYTES] = new_bytes
@@ -323,9 +388,9 @@ class ShmRing:
         self._slot_bytes = new_bytes
 
     # -- reader side ----------------------------------------------------------
-    def recv(self, timeout: float) -> tuple[int, np.ndarray]:
-        """Return ``(step_tag, array)`` for the next message, copying the
-        payload out of shared memory.  Callers discard tags from aborted
+    def recv_msg(self, timeout: float) -> tuple[int, "np.ndarray | tuple"]:
+        """Return ``(step_tag, payload)`` for the next message, copying every
+        component out of shared memory.  Callers discard tags from aborted
         steps (see module docstring)."""
         deadline = time.perf_counter() + timeout
         m = self._msg
@@ -336,23 +401,42 @@ class ShmRing:
         )
         if self._ctl_ints[_CTL_GEN] != self._gen:
             self._reattach()
-        base = i * (_HDR_BYTES + self.slot_bytes)
-        hdr = np.ndarray((_HDR_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        base = i * (_BASE_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_BASE_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
         step = int(hdr[0])
-        dtype = _RING_DTYPES[int(hdr[2])]
-        ndim = int(hdr[3])
-        shape = tuple(int(d) for d in hdr[4:4 + ndim])
-        perm = tuple(int(d) for d in hdr[4 + _MAX_DIMS:4 + _MAX_DIMS + ndim])
-        t0 = time.perf_counter()
-        src = np.ndarray(shape, dtype=dtype, buffer=self._data.buf, offset=base + _HDR_BYTES)
-        out = src.copy()
-        self.xfer_seconds += time.perf_counter() - t0
-        self._ack[i] = m + 1  # release after the copy is complete
+        kind = int(hdr[1])
+        nparts = int(hdr[2])
+        parts: list[np.ndarray | None] = []
+        for p in range(nparts):
+            phdr = np.ndarray(
+                (_PART_INTS,), dtype=np.int64, buffer=self._data.buf,
+                offset=base + _BASE_BYTES + p * _PART_BYTES,
+            )
+            if int(phdr[0]) == 0:
+                parts.append(None)
+                continue
+            dtype = _RING_DTYPES[int(phdr[1])]
+            ndim = int(phdr[2])
+            off = int(phdr[3])
+            shape = tuple(int(d) for d in phdr[4:4 + ndim])
+            perm = tuple(int(d) for d in phdr[4 + _MAX_DIMS:4 + _MAX_DIMS + ndim])
+            t0 = time.perf_counter()
+            src = np.ndarray(
+                shape, dtype=dtype, buffer=self._data.buf, offset=base + _BASE_BYTES + off
+            )
+            out = src.copy()
+            self.xfer_seconds += time.perf_counter() - t0
+            # Undo the send-side transpose: the result has the sender's
+            # exact shape *and* memory layout (see _layout_perm).
+            inv = np.argsort(perm) if ndim else ()
+            parts.append(out.transpose(inv))
+        self._ack[i] = m + 1  # release after the copies are complete
         self._msg = m + 1
-        # Undo the send-side transpose: the result has the sender's exact
-        # shape *and* memory layout (see _layout_perm).
-        inv = np.argsort(perm) if ndim else ()
-        return step, out.transpose(inv)
+        return step, (tuple(parts) if kind else parts[0])
+
+    def recv(self, timeout: float) -> tuple[int, np.ndarray]:
+        """Single-array convenience wrapper over :meth:`recv_msg`."""
+        return self.recv_msg(timeout)  # type: ignore[return-value]
 
     def _reattach(self) -> None:
         # Seqlock read of (gen, slot_bytes): retry if the writer swapped

@@ -12,6 +12,24 @@ state: a ``multiprocessing.shared_memory`` image of the version window (and
 the T2 velocity buffers) that the driver republishes after every optimizer
 step, so process workers resolve the exact ``StepPlan`` delay slots through
 zero-copy views instead of deserializing arrays per microbatch.
+
+The **version-window republish invariant** that makes the mirror safe with
+no per-read locking: version ``v`` lives in slot ``v % history``; the
+driver copies the full payload in first and bumps the ``latest_version``
+header *last*, and workers only ever resolve versions in
+``(latest − history, latest]``.  Slot ``v % history`` is next rewritten
+when version ``v + history`` is pushed — which happens strictly after
+every worker finished the step that could still read ``v`` (the done-queue
+barrier at each minibatch) — so the single writer and the many readers
+never overlap on a slot.  Worker endpoints attach read-only: their views
+have the writeable flag cleared, so a stray in-place update fails loudly
+instead of corrupting every other worker's weights.  The same guarantee
+covers *readers of stages they do not own* (e.g. a tied output projection
+borrowing the embedding stage's weights on the last worker).
+
+On checkpoint restore the whole resident window is republished oldest
+version first (:meth:`SharedWeightMirror.sync_from_store`), so the header
+lands on the true latest and delayed reads resume exactly.
 """
 
 from __future__ import annotations

@@ -1,0 +1,55 @@
+"""Documentation link hygiene: every repo-relative path that README.md,
+ROADMAP.md, or a file under docs/ points at must exist.
+
+CI runs this as part of tier-1 (plus a dedicated link-check step), so a
+renamed test file or a promised-but-missing guide fails fast instead of
+rotting in the docs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [REPO / "README.md", REPO / "ROADMAP.md"] + sorted(
+    (REPO / "docs").glob("*.md")
+)
+
+# Repo-relative paths referenced in prose or backticks: src/..., tests/...,
+# docs/..., benchmarks/..., examples/... plus markdown link targets.
+_PATH_RE = re.compile(
+    r"(?:src|tests|docs|benchmarks|examples)/[\w./-]+\.(?:py|md|yml)"
+)
+_MD_LINK_RE = re.compile(r"\]\(([^)#:\s]+)\)")
+
+
+def referenced_paths(text: str) -> set[str]:
+    paths = set(_PATH_RE.findall(text))
+    for target in _MD_LINK_RE.findall(text):
+        if "://" not in target:
+            paths.add(target)
+    return paths
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_referenced_files_exist(doc):
+    assert doc.exists(), f"{doc} listed but missing"
+    missing = sorted(
+        path
+        for path in referenced_paths(doc.read_text())
+        if not (REPO / path).exists()
+    )
+    assert not missing, f"{doc.name} references missing files: {missing}"
+
+
+def test_architecture_guide_exists_and_is_linked():
+    """The runtime-stack guide must exist and be reachable from both README
+    and ROADMAP."""
+    guide = REPO / "docs" / "ARCHITECTURE.md"
+    assert guide.exists()
+    assert "docs/ARCHITECTURE.md" in (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in (REPO / "ROADMAP.md").read_text()

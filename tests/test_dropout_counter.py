@@ -1,0 +1,147 @@
+"""Counter-based dropout: masks are pure functions of
+(seed, layer, optimizer step, microbatch) — the property that makes
+training-mode dropout safe on the concurrent pipeline runtimes
+(:mod:`repro.nn.dropout`).
+
+Covered here: mask determinism and coordinate sensitivity, recompute
+exactness (same slot → same mask on a second forward), invariance to the
+number of pipeline workers, and bitwise equality of dropout-regularised
+training across all three runtimes (the cross-runtime grid also runs in
+``tests/test_runtime_translation.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, Dropout, Linear, ReLU, Sequential
+from repro.nn.dropout import counter_mask
+from repro.optim import SGD
+from repro.pipeline import AsyncPipelineRuntime, PipelineExecutor, partition_model
+from repro.pipeline.executor import param_groups_from_stages
+
+
+class TestCounterMask:
+    def test_same_coordinates_same_mask(self):
+        a = counter_mask(7, 3, step=11, microbatch=2, shape=(4, 5), keep=0.8)
+        b = counter_mask(7, 3, step=11, microbatch=2, shape=(4, 5), keep=0.8)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("delta", [
+        dict(seed=8), dict(layer_id=4), dict(step=12), dict(microbatch=3),
+    ])
+    def test_any_coordinate_changes_mask(self, delta):
+        base = dict(seed=7, layer_id=3, step=11, microbatch=2)
+        a = counter_mask(**base, shape=(16, 16), keep=0.8)
+        base.update(delta)
+        b = counter_mask(**base, shape=(16, 16), keep=0.8)
+        assert not np.array_equal(a, b)
+
+    def test_keep_rate_is_respected(self):
+        mask = counter_mask(0, 0, step=0, microbatch=0, shape=(200, 200), keep=0.7)
+        assert abs((mask > 0).mean() - 0.7) < 0.02
+        # inverted scaling: survivors are 1/keep
+        assert np.allclose(mask[mask > 0], 1.0 / 0.7)
+
+
+class TestCounterDropoutModule:
+    def test_forward_is_reproducible_at_fixed_slot(self):
+        """The recompute-pass property: a second forward at the same
+        (step, microbatch) slot regenerates the identical mask, where a
+        stream-mode dropout would redraw."""
+        d = Dropout(0.5, seed=3, layer_id=1)
+        d.set_slot(4, 2)
+        x = np.ones((6, 6))
+        first = d(x)
+        second = d(x)
+        np.testing.assert_array_equal(first, second)
+        d.set_slot(4, 3)
+        assert not np.array_equal(first, d(x))
+
+    def test_stream_mode_needs_rng_counter_mode_does_not(self):
+        with pytest.raises(ValueError, match="rng .*or a seed"):
+            Dropout(0.5)
+        Dropout(0.5, seed=1)  # fine
+        Dropout(0.0)  # p == 0 never draws
+
+    def test_backward_uses_cached_mask(self):
+        d = Dropout(0.5, seed=3)
+        d.set_slot(0, 0)
+        x = np.ones((4, 4))
+        out = d(x)
+        g = d.backward(np.ones_like(x))
+        np.testing.assert_array_equal(g, out)  # mask applied to ones twice
+
+    def test_runtime_accepts_counter_rejects_stream(self):
+        def build(drop):
+            r = np.random.default_rng(0)
+            model = Sequential(Linear(6, 8, r), drop, ReLU(), Linear(8, 3, r))
+            stages = partition_model(model, 2)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05)
+            return AsyncPipelineRuntime(model, CrossEntropyLoss(), opt, stages, 2)
+
+        rt = build(Dropout(0.5, seed=9))
+        rt.close()
+        with pytest.raises(ValueError, match="stream-mode"):
+            build(Dropout(0.5, np.random.default_rng(1)))
+
+
+def build_dropout_backend(cls, *, num_stages, seed=7, **kw):
+    r = np.random.default_rng(seed)
+    model = Sequential(
+        Linear(6, 16, r), Dropout(0.3, seed=11, layer_id=0), ReLU(),
+        Linear(16, 16, r), Dropout(0.3, seed=11, layer_id=1), ReLU(),
+        Linear(16, 3, r),
+    )
+    stages = partition_model(model, num_stages)
+    opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+    return model, cls(model, CrossEntropyLoss(), opt, stages, 4, "gpipe", **kw)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.timeout(120)
+    def test_masks_invariant_to_worker_count_and_runtime(self, rng):
+        """GPipe (synchronous, delay-free) trajectories depend only on the
+        math, not the partition — so with counter-based dropout the same
+        losses must appear for every stage count and every backend.  A
+        scheduling-dependent draw order would break this immediately."""
+        x = rng.normal(size=(32, 6))
+        y = rng.integers(0, 3, size=32)
+        losses = {}
+        finals = {}
+        for num_stages in (1, 2, 3):
+            for cls, label in (
+                (PipelineExecutor, f"sim-{num_stages}"),
+                (AsyncPipelineRuntime, f"thread-{num_stages}"),
+            ):
+                model, backend = build_dropout_backend(cls, num_stages=num_stages)
+                try:
+                    losses[label] = [backend.train_step(x, y) for _ in range(4)]
+                    finals[label] = [p.data.copy() for p in model.parameters()]
+                finally:
+                    if hasattr(backend, "close"):
+                        backend.close()
+        reference = losses["sim-1"]
+        for label, series in losses.items():
+            assert series == reference, f"{label} diverged: {series} != {reference}"
+        for label, params in finals.items():
+            for p, q in zip(params, finals["sim-1"]):
+                np.testing.assert_array_equal(p, q, err_msg=label)
+
+    @pytest.mark.timeout(120)
+    def test_process_backend_derives_identical_masks(self, rng):
+        """Process workers rebuild Dropout modules from the spec and must
+        derive the driver's masks with no RNG state shared."""
+        x = rng.normal(size=(32, 6))
+        y = rng.integers(0, 3, size=32)
+        m1, sim = build_dropout_backend(PipelineExecutor, num_stages=3)
+        m2, proc = build_dropout_backend(
+            AsyncPipelineRuntime, num_stages=3, backend="process",
+            deadlock_timeout=15.0,
+        )
+        with proc:
+            for _ in range(3):
+                assert sim.train_step(x, y) == proc.train_step(x, y)
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)

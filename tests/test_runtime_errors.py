@@ -128,13 +128,13 @@ class TestDeadlockPath:
         are rejected explicitly."""
         x, y = toy_data(rng)
         m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=0.5)
-        inner_forward = rt.workers[1].forward
+        inner_forward = rt.workers[1].segments[0].forward
 
-        def slow_forward(xj):
+        def slow_forward(ins):
             time.sleep(3.0)
-            return inner_forward(xj)
+            return inner_forward(ins)
 
-        rt.workers[1].forward = slow_forward
+        rt.workers[1].segments[0].forward = slow_forward
         with pytest.raises(PipelineDeadlockError):
             rt.train_step(x[:16], y[:16])
         assert rt.pool.wedged

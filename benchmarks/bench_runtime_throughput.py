@@ -1,12 +1,11 @@
 #!/usr/bin/env python
 """Throughput benchmark: thread and process pipeline runtimes vs. the
-sequential simulator.
+sequential simulator, with the overlapped optimizer boundary on and off.
 
 Runs two training workloads on all three pipeline backends — a 4-stage MLP
 (N=8 microbatches, stage compute dominated by BLAS matmuls, no sleeps
 anywhere) and the two-stream translation Transformer (encoder/decoder
-sliced through its stage graph, thread vs process microbatches/sec) — and
-reports:
+sliced through its stage graph) — and reports:
 
 * wall-clock microbatches/sec for each backend and the concurrent/simulator
   ratios — these should exceed 2× on a host with >= num_stages cores, where
@@ -17,21 +16,33 @@ reports:
 * the process backend's transport overhead — the share of worker active
   time (compute + copies) spent moving activations/gradients through the
   shared-memory rings, from the runtime's transfer accounting;
+* the measured **boundary stall** — the share of worker-time lost to the
+  minibatch boundary (non-overlapped driver fold/step/publish plus
+  version-gate waits).  Barrier mode pays this every step; the overlapped
+  boundary (``overlap=on``, the runtime default) should drive it to ~0 and
+  never lose throughput;
 * the schedule-limited speedup — total compute slots / critical-path slots
   of the interleaved 1F1B schedule actually executed, i.e. the wall-clock
   ratio an unconstrained-core host converges to;
-* a loss-equivalence check (all three backends must match bit for bit).
+* a loss-equivalence check (every row must match the simulator bit for
+  bit, overlap on or off).
 
 On a single-core host (CI smoke) the wall-clock ratios degrade to ~1× by
 physics — there is no second core to overlap on — so the report prints the
 detected core count next to the numbers.
 
-Usage:  PYTHONPATH=src python benchmarks/bench_runtime_throughput.py [--quick]
+``--json PATH`` additionally emits every row as machine-readable records
+(the repo keeps a committed snapshot in ``BENCH_runtime.json``; CI uploads
+a ``--quick`` run as a non-gating artifact to track the trajectory).
+
+Usage:  PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+            [--quick] [--json PATH] [--overlap {on,off,both}]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -96,16 +107,39 @@ def schedule_speedup(method: str, num_stages: int, num_microbatches: int) -> flo
 
 
 def measure(backend, x, y, steps: int, warmup: int) -> tuple[float, list[float]]:
+    """Timed steps; the final sync() (a no-op in barrier mode) charges the
+    overlapped runtime for its last pending boundary, so modes compare
+    fairly."""
     losses = []
     for _ in range(warmup):
         backend.train_step(x, y)
+    if hasattr(backend, "sync"):
+        backend.sync()
     t0 = time.perf_counter()
     for _ in range(steps):
         losses.append(backend.train_step(x, y))
+    if hasattr(backend, "sync"):
+        backend.sync()
     return time.perf_counter() - t0, losses
 
 
-def measure_translation(quick: bool, method: str) -> bool:
+def concurrent_variants(overlap: str):
+    """(backend, overlap-flag) grid for the requested --overlap mode."""
+    flags = {"on": [True], "off": [False], "both": [False, True]}[overlap]
+    return [(b, f) for b in ("thread", "process") for f in flags]
+
+
+def row_label(backend: str, overlap_flag: bool | None) -> str:
+    if overlap_flag is None:
+        return backend
+    return f"{backend}/{'overlap' if overlap_flag else 'barrier'}"
+
+
+def print_row(label, tput, wall, extra=""):
+    print(f"  {label:<16s}: {tput:9.1f} microbatches/sec  ({wall:.3f}s){extra}")
+
+
+def measure_translation(quick: bool, method: str, overlap: str, rows: list) -> bool:
     """Translation rows: the two-stream Transformer on all three backends.
     Returns the bitwise loss-equivalence verdict."""
     from repro.experiments.workloads import make_translation_workload
@@ -126,42 +160,61 @@ def measure_translation(quick: bool, method: str) -> bool:
 
     print(f"\ntranslation throughput: two-stream Transformer "
           f"stages={workload.default_stages} N={n} batch={batch} steps={steps}")
+    variants = [("simulator", None)] + concurrent_variants(overlap)
     results = {}
-    for runtime in ("simulator", "async", "process"):
-        bundle = workload.bundle(method=method, runtime=runtime, seed=0)
+    for runtime, overlap_flag in variants:
+        # The workload factory names the thread backend "async".
+        bundle = workload.bundle(
+            method=method, seed=0, overlap_boundary=overlap_flag,
+            runtime={"thread": "async"}.get(runtime, runtime),
+        )
         ex = bundle.executor
         try:
             losses = []
             for bt in batches[:warmup]:
                 ex.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+            if hasattr(ex, "sync"):
+                ex.sync()
             t0 = time.perf_counter()
             for bt in batches[warmup:]:
                 losses.append(ex.train_step((bt.src, bt.tgt_in), bt.tgt_out))
+            if hasattr(ex, "sync"):
+                ex.sync()
             wall = time.perf_counter() - t0
             stats = getattr(ex, "stats", None)
-            results[runtime] = dict(
+            results[row_label(runtime, overlap_flag)] = dict(
+                backend=runtime, overlap=overlap_flag,
                 wall=wall, losses=losses,
                 workers=getattr(ex, "num_workers", None),
                 bubble=stats.bubble_fraction() if stats else None,
                 transport=stats.transport_fraction() if stats else None,
+                boundary_stall=stats.boundary_stall_fraction() if stats else None,
             )
         finally:
             if hasattr(ex, "close"):
                 ex.close()
     micro = steps * n
     sim_tput = micro / results["simulator"]["wall"]
-    for runtime, r in results.items():
+    for label, r in results.items():
         tput = micro / r["wall"]
         extra = ""
         if r["workers"] is not None:
             extra = (f"  workers={r['workers']}  speedup={tput / sim_tput:.2f}x  "
-                     f"bubble={r['bubble']:.3f}  transport={r['transport']:.1%} of active")
-        print(f"  {runtime:<10s}: {tput:9.1f} microbatches/sec  ({r['wall']:.3f}s){extra}")
+                     f"bubble={r['bubble']:.3f}  transport={r['transport']:.1%}"
+                     f"  boundary-stall={r['boundary_stall']:.3f}")
+        print_row(label, tput, r["wall"], extra)
+        rows.append(dict(
+            workload="translation", backend=r["backend"], overlap=r["overlap"],
+            microbatches_per_sec=tput, speedup_vs_simulator=tput / sim_tput,
+            bubble_fraction=r["bubble"], transport_fraction=r["transport"],
+            boundary_stall_fraction=r["boundary_stall"], workers=r["workers"],
+            equivalent=r["losses"] == results["simulator"]["losses"],
+        ))
     equivalent = all(
         r["losses"] == results["simulator"]["losses"] for r in results.values()
     )
     print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
-          f"  (simulator == thread == process)")
+          f"  (simulator == every concurrent row)")
     return equivalent
 
 
@@ -175,6 +228,16 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=None)
     parser.add_argument(
         "--method", choices=["gpipe", "pipedream", "pipemare"], default="pipemare"
+    )
+    parser.add_argument(
+        "--overlap", choices=["on", "off", "both"], default="both",
+        help="which boundary modes to measure for the concurrent backends "
+        "(default both: the barrier baseline and the overlapped boundary)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write every measured row as JSON (machine-readable perf "
+        "trajectory; see BENCH_runtime.json)",
     )
     parser.add_argument(
         "--skip-translation", action="store_true",
@@ -197,6 +260,7 @@ def main(argv=None) -> int:
           f"width={width} batch={batch} steps={steps} "
           f"cores={os.cpu_count()} (BLAS pinned to 1 thread)")
 
+    rows: list[dict] = []
     _, sim = build_backend(
         PipelineExecutor, dims=dims, num_stages=p, num_microbatches=n,
         method=args.method, seed=42,
@@ -204,18 +268,22 @@ def main(argv=None) -> int:
     sim_wall, sim_losses = measure(sim, x, y, steps, warmup)
 
     concurrent = {}
-    for backend in ("thread", "process"):
+    for backend, overlap_flag in concurrent_variants(args.overlap):
         _, rt = build_backend(
             AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
             method=args.method, seed=42, backend=backend,
+            overlap_boundary=overlap_flag,
         )
         try:
             wall, losses = measure(rt, x, y, steps, warmup)
-            concurrent[backend] = dict(
+            concurrent[row_label(backend, overlap_flag)] = dict(
+                backend=backend,
+                overlap=overlap_flag,
                 wall=wall,
                 losses=losses,
                 bubble=rt.stats.bubble_fraction(),
                 transport=rt.stats.transport_fraction(),
+                boundary_stall=rt.stats.boundary_stall_fraction(),
                 workers=rt.num_workers,
             )
         finally:
@@ -224,28 +292,57 @@ def main(argv=None) -> int:
     equivalent = all(sim_losses == c["losses"] for c in concurrent.values())
     micro = steps * n
     sim_tput = micro / sim_wall
-    workers = concurrent["thread"]["workers"]
+    workers = next(iter(concurrent.values()))["workers"]
     sched = schedule_speedup(
         "gpipe" if args.method == "gpipe" else args.method, workers, n
     )
     gpipe_bubble = (p - 1) / (n + p - 1)
 
-    print(f"  simulator : {sim_tput:9.1f} microbatches/sec  ({sim_wall:.3f}s)")
-    for backend, c in concurrent.items():
+    print_row("simulator", sim_tput, sim_wall)
+    rows.append(dict(
+        workload="mlp", backend="simulator", overlap=None,
+        microbatches_per_sec=sim_tput, speedup_vs_simulator=1.0,
+        bubble_fraction=None, transport_fraction=None,
+        boundary_stall_fraction=None, workers=None, equivalent=True,
+    ))
+    for label, c in concurrent.items():
         tput = micro / c["wall"]
-        print(f"  {backend:<10s}: {tput:9.1f} microbatches/sec  "
-              f"({c['wall']:.3f}s)  workers={c['workers']}  "
-              f"speedup={tput / sim_tput:.2f}x  bubble={c['bubble']:.3f}  "
-              f"transport={c['transport']:.1%} of active")
+        print_row(
+            label, tput, c["wall"],
+            f"  workers={c['workers']}  speedup={tput / sim_tput:.2f}x  "
+            f"bubble={c['bubble']:.3f}  transport={c['transport']:.1%}  "
+            f"boundary-stall={c['boundary_stall']:.3f}",
+        )
+        rows.append(dict(
+            workload="mlp", backend=c["backend"], overlap=c["overlap"],
+            microbatches_per_sec=tput, speedup_vs_simulator=tput / sim_tput,
+            bubble_fraction=c["bubble"], transport_fraction=c["transport"],
+            boundary_stall_fraction=c["boundary_stall"], workers=c["workers"],
+            equivalent=sim_losses == c["losses"],
+        ))
     print(f"  schedule-limited speedup    : {sched:.2f}x  "
           f"(wall-clock ceiling with >= {workers} cores)")
     print(f"  gpipe closed-form bubble    : {gpipe_bubble:.3f}  ((P-1)/(N+P-1))")
     print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
-          f"  (simulator == thread == process)")
+          f"  (simulator == every concurrent row)")
 
     translation_ok = True
     if not args.skip_translation:
-        translation_ok = measure_translation(args.quick, args.method)
+        translation_ok = measure_translation(args.quick, args.method, args.overlap, rows)
+
+    if args.json:
+        payload = dict(
+            config=dict(
+                method=args.method, stages=p, microbatches=n, width=width,
+                batch=batch, steps=steps, quick=args.quick,
+                cores=os.cpu_count(),
+            ),
+            rows=rows,
+        )
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {len(rows)} rows to {args.json}")
 
     if not equivalent or not translation_ok:
         print("ERROR: backends diverged", file=sys.stderr)

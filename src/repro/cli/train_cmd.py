@@ -37,6 +37,13 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "thread-worker runtime, or the multi-process shared-memory runtime "
         "(all bit-identical trajectories; see README 'Runtime backends')",
     )
+    parser.add_argument(
+        "--overlap-boundary", choices=["on", "off"], default="on",
+        help="concurrent runtimes only: overlap the optimizer boundary of "
+        "step t with step t+1's pipeline fill via version-gated weight "
+        "reads (default on; trajectories stay bit-identical either way; "
+        "ignored by the simulator)",
+    )
     parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
 
 
@@ -94,6 +101,7 @@ def _run(args: argparse.Namespace) -> int:
         num_stages=args.stages,
         recompute_segment=args.recompute_segment,
         runtime=args.runtime,
+        overlap_boundary=args.overlap_boundary == "on",
     )
     metric = result.history.series("eval_metric")
     losses = result.history.series("train_loss")

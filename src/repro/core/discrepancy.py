@@ -99,6 +99,28 @@ class DiscrepancyCorrector:
         for stage, old in enumerate(old_weights_per_stage):
             self.update(stage, old)
 
+    def update_arrays(
+        self, stage: int, old_weights: list[np.ndarray], new_weights: list[np.ndarray]
+    ) -> None:
+        """:meth:`update` with the post-step weights passed explicitly
+        instead of read from ``Parameter.data`` — the overlapped optimizer
+        boundary computes the step detached from the live parameters (which
+        the next minibatch's workers are already re-pointing)."""
+        g = self.gamma[stage]
+        if self.dtau[stage] <= 0:
+            return
+        for v, old, new in zip(self.velocity[stage], old_weights, new_weights):
+            v *= g
+            v += (1.0 - g) * (new - old)
+
+    def update_all_arrays(
+        self,
+        old_per_stage: list[list[np.ndarray]],
+        new_per_stage: list[list[np.ndarray]],
+    ) -> None:
+        for stage, (old, new) in enumerate(zip(old_per_stage, new_per_stage)):
+            self.update_arrays(stage, old, new)
+
     def memory_elements(self) -> int:
         """Extra scalar storage: exactly one weight-sized buffer."""
         return sum(v.size for stage in self.velocity for v in stage)

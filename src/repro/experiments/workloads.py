@@ -36,6 +36,7 @@ from repro.pipeline import (
     make_backend,
     partition_model,
 )
+from repro.pipeline.plan import split_views
 from repro.pipeline.executor import param_groups_from_stages
 from repro.pipeline.partition import num_weight_units
 from repro.train import PipelineTrainer, evaluate_classifier, evaluate_translation
@@ -88,6 +89,7 @@ class _BaseWorkload:
         seed: int = 0,
         recompute_segment: int | None = None,
         runtime: str = "simulator",
+        overlap_boundary: bool | None = None,
     ) -> WorkloadBundle:
         raise NotImplementedError
 
@@ -101,8 +103,12 @@ class _BaseWorkload:
         recompute_segment: int | None = None,
         eval_every: int = 1,
         runtime: str = "simulator",
+        overlap_boundary: bool | None = None,
     ) -> TrainResult:
-        b = self.bundle(method, pipemare, num_stages, seed, recompute_segment, runtime)
+        b = self.bundle(
+            method, pipemare, num_stages, seed, recompute_segment, runtime,
+            overlap_boundary,
+        )
         try:
             result = b.trainer.run(epochs, eval_every=eval_every)
         finally:
@@ -197,7 +203,8 @@ class ImageWorkload(_BaseWorkload):
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
-               seed=0, recompute_segment=None, runtime="simulator") -> WorkloadBundle:
+               seed=0, recompute_segment=None, runtime="simulator",
+               overlap_boundary=None) -> WorkloadBundle:
         model = self.build_model(seed)
         loss = CrossEntropyLoss()
         stages = partition_model(model, self.resolve_stages(num_stages))
@@ -210,7 +217,7 @@ class ImageWorkload(_BaseWorkload):
         executor = make_backend(
             runtime, model, loss, opt, stages, self.num_microbatches, method,
             pipemare=pipemare, base_schedule=self.base_schedule(),
-            recompute_segment=recompute_segment,
+            recompute_segment=recompute_segment, overlap_boundary=overlap_boundary,
         )
 
         def batch_fn(rng):
@@ -332,7 +339,8 @@ class TranslationWorkload(_BaseWorkload):
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
-               seed=0, recompute_segment=None, runtime="simulator") -> WorkloadBundle:
+               seed=0, recompute_segment=None, runtime="simulator",
+               overlap_boundary=None) -> WorkloadBundle:
         if runtime not in self.supported_runtimes():
             raise ValueError(
                 f"unknown runtime {runtime!r} for translation workloads "
@@ -358,6 +366,7 @@ class TranslationWorkload(_BaseWorkload):
                 model, loss, opt, stages, self.num_microbatches, method, **common
             )
         else:
+            common["overlap_boundary"] = overlap_boundary
             if runtime == "process":
                 common["backend"] = "process"
                 common["model_spec"] = self.model_spec(seed, len(stages))
@@ -391,8 +400,8 @@ class _TranslationBatching:
         src, tgt_in = x
         if len(src) < n:
             raise ValueError(f"batch of {len(src)} cannot form {n} microbatches")
-        xs = list(zip(np.array_split(src, n), np.array_split(tgt_in, n)))
-        return xs, np.array_split(y, n)
+        xs = list(zip(split_views(src, n), split_views(tgt_in, n)))
+        return xs, split_views(y, n)
 
     def _forward(self, xj):  # type: ignore[override]
         return self.model(*xj)

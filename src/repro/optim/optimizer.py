@@ -120,8 +120,50 @@ class Optimizer:
                 self._update_param(p, lr, self.state_for(p))
         self._steps += 1
 
+    def step_detached(
+        self, weights_per_group: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Like :meth:`step`, but read the base weights from
+        ``weights_per_group`` (one array per parameter, in group order) and
+        return the updated arrays instead of rebinding ``Parameter.data``.
+
+        Gradients and per-parameter state still come from the real
+        parameters, and ``_update_param`` runs unchanged on a shim exposing
+        the supplied base array — so the arithmetic (and the state
+        mutation) is bit-for-bit the regular :meth:`step` whenever
+        ``weights_per_group`` holds the arrays ``Parameter.data`` would
+        have pointed at.  Used by the overlapped optimizer boundary, which
+        must not touch live parameter pointers while the next minibatch's
+        workers re-point them.
+        """
+        new: list[list[np.ndarray]] = []
+        for group, weights in zip(self.groups, weights_per_group):
+            lr = self.lr * group.lr_scale
+            row = []
+            for p, w in zip(group.params, weights):
+                shim = _DetachedParam(w, p.grad, p.name)
+                self._update_param(shim, lr, self.state_for(p))
+                row.append(shim.data)
+            new.append(row)
+        self._steps += 1
+        return new
+
     def _update_param(self, p: Parameter, lr: float, state: dict[str, np.ndarray]) -> None:
         raise NotImplementedError
+
+
+class _DetachedParam:
+    """Parameter shim for :meth:`Optimizer.step_detached`: the real
+    gradient, an explicit base-weight array, and nothing else —
+    ``_update_param`` rebinding ``data`` lands the update here instead of
+    on the live parameter."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, grad: np.ndarray, name: str):
+        self.data = data
+        self.grad = grad
+        self.name = name
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:

@@ -50,9 +50,13 @@ def make_backend(runtime: str, *args, **kwargs):
     shared-memory ``process`` runtime.  All accept the
     :class:`PipelineExecutor` constructor arguments; the concurrent pair
     additionally accept the :class:`AsyncPipelineRuntime` tuning knobs
-    (``deadlock_timeout``, and for ``process`` also ``model_spec``,
-    ``start_method``, ``transport_slot_bytes``)."""
+    (``overlap_boundary``, ``deadlock_timeout``, and for ``process`` also
+    ``model_spec``, ``start_method``, ``transport_slot_bytes``).  The
+    simulator has no minibatch barrier to overlap, so ``overlap_boundary``
+    is accepted and ignored there — callers can pass one backend-agnostic
+    kwargs dict."""
     if runtime == "simulator":
+        kwargs.pop("overlap_boundary", None)
         return PipelineExecutor(*args, **kwargs)
     if runtime == "async":
         return AsyncPipelineRuntime(*args, **kwargs)

@@ -121,10 +121,11 @@ class PipelineExecutor(PipelineBackend):
         plan.begin_step()
         self._begin_deferred_grads()
         losses = []
+        t = plan.t
         try:
             for j in range(n):
                 self._set_dropout_slot(j)
-                self._load_all(lambda s: plan.forward_weights(s, j, sync))
+                self._load_all(lambda s: plan.forward_weights(s, t, j, sync))
                 out = self._forward(xs[j])
                 losses.append(self.loss_fn(out, ys[j]))
                 grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
@@ -133,9 +134,9 @@ class PipelineExecutor(PipelineBackend):
                     # the (step, microbatch) slot is unchanged, so the
                     # regenerated activations use the same masks the first
                     # forward drew.
-                    self._load_all(lambda s: plan.recompute_weights(s, j))
+                    self._load_all(lambda s: plan.recompute_weights(s, t, j))
                     self._forward(xs[j])  # regenerate caches at recompute weights
-                self._load_all(lambda s: plan.backward_weights(s, j, sync))
+                self._load_all(lambda s: plan.backward_weights(s, t, j, sync))
                 self.model.backward(grad)
         except BaseException:
             self._abort_deferred_grads()

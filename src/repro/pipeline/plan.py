@@ -59,12 +59,19 @@ class WeightResolver:
     version payloads live.
 
     Subclasses provide: ``profile`` (:class:`DelayProfile`), ``method``,
-    ``store`` (anything with ``weights(stage, version)`` and
-    ``latest_version`` — the in-process :class:`WeightVersionStore` or a
-    worker's :class:`~repro.pipeline.weight_store.SharedWeightMirror`),
+    ``store`` (anything with ``weights(stage, version)``,
+    ``latest_version`` and ``wait_version`` — the in-process
+    :class:`WeightVersionStore` or a worker's
+    :class:`~repro.pipeline.weight_store.SharedWeightMirror`),
     ``corrector`` (``None`` or an object with ``correct(stage, weights)``
     and ``velocity[stage]``), ``recompute_segment`` / ``_recompute_lag`` /
     ``_segment_heads``, and the minibatch counter ``t``.
+
+    Every lookup takes the minibatch index ``t`` explicitly so a resolver
+    can serve a step the driver has not finalized yet: with the overlapped
+    optimizer boundary, workers execute minibatch t+1 while the resolver's
+    own ``t`` attribute (and the store's latest version) still describe
+    minibatch t.
     """
 
     profile: DelayProfile
@@ -86,39 +93,47 @@ class WeightResolver:
         return self.recompute_segment is not None and not sync
 
     # -- weight-version resolution (store-based, execution-order free) -------
-    def forward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
-        """Arrays stage ``stage`` must read in the forward of microbatch j."""
+    def forward_weights(self, stage: int, t: int, j: int, sync: bool) -> list[np.ndarray]:
+        """Arrays stage ``stage`` must read in the forward of microbatch j
+        of minibatch t."""
         if sync:
-            return self.store.weights(stage, self.store.latest_version)
-        return self.store.weights(stage, self.profile.fwd_version(stage, self.t, j))
+            return self.store.weights(stage, t)
+        return self.store.weights(stage, self.profile.fwd_version(stage, t, j))
 
-    def backward_weights(self, stage: int, j: int, sync: bool) -> list[np.ndarray]:
+    def backward_weights(self, stage: int, t: int, j: int, sync: bool) -> list[np.ndarray]:
         """Arrays read in the backward pass: the stashed forward version
         (PipeDream), the current version (GPipe, PipeMare), or the
-        T2-corrected extrapolation ``w − Δτ·δ`` (PipeMare + T2)."""
+        T2-corrected extrapolation ``w − Δτ·δ`` (PipeMare + T2).
+
+        "Current" weights during minibatch t hold version t (version t+1 is
+        only pushed at t's own boundary), so the version is addressed
+        directly instead of through ``latest_version`` — with the
+        overlapped boundary the store's latest may already be ahead of a
+        step still draining.
+        """
         if not sync and self.method is Method.PIPEDREAM:
-            return self.store.weights(stage, self.profile.bkwd_version(stage, self.t, j))
-        latest = self.store.weights(stage, self.store.latest_version)
+            return self.store.weights(stage, self.profile.bkwd_version(stage, t, j))
+        latest = self.store.weights(stage, t)
         if sync or self.corrector is None:
             return latest
         return self.corrector.correct(stage, latest)
 
-    def _recompute_version(self, stage: int, j: int) -> int:
+    def _recompute_version(self, stage: int, t: int, j: int) -> int:
         """Weight version used to regenerate stage activations: the version
         resident ``lag`` slots before the backward slot; segment heads reuse
         the original forward version (their input was cached, not
         recomputed)."""
         if stage in self._segment_heads:
-            return self.profile.fwd_version(stage, self.t, j)
+            return self.profile.fwd_version(stage, t, j)
         n = self.profile.num_microbatches
-        slot = self.t * n + j - int(self._recompute_lag[stage])
+        slot = t * n + j - int(self._recompute_lag[stage])
         return max(0, _ceil_div(slot - n + 1, n))
 
-    def recompute_weights(self, stage: int, j: int) -> list[np.ndarray]:
+    def recompute_weights(self, stage: int, t: int, j: int) -> list[np.ndarray]:
         """Arrays used to regenerate activations before backward (Appendix
         D's three-delay model), with the T2 extrapolation toward ``u_fwd``
         applied to non-head stages (App. D.1)."""
-        weights = self.store.weights(stage, self._recompute_version(stage, j))
+        weights = self.store.weights(stage, self._recompute_version(stage, t, j))
         if self.corrector is not None and stage not in self._segment_heads:
             n = self.profile.num_microbatches
             tau_r = self._recompute_lag[stage] / n
@@ -127,6 +142,44 @@ class WeightResolver:
                 w - dtau * v for w, v in zip(weights, self.corrector.velocity[stage])
             ]
         return weights
+
+    # -- per-wave version gating ----------------------------------------------
+    def required_version(self, op: str, stage: int, t: int, j: int, sync: bool) -> int:
+        """Minimum published store version the (op, stage, microbatch) wave
+        of minibatch t needs before it may execute — the gate the overlapped
+        boundary is built on.
+
+        * Synchronous steps read the current version (t) everywhere.
+        * Backward waves require version t even when their weight read is
+          older (PipeDream's stash): version t's publication marks the
+          completion of boundary t−1 — gradient accumulators zeroed, T2
+          velocities advanced — i.e. minibatch t's gradient epoch is open.
+        * T2 recompute waves on non-head stages extrapolate with the
+          boundary-(t−1) velocity, so they gate on version t as well even
+          though the raw weight version they read is older.
+        """
+        if sync or op == "B":
+            return t
+        if op == "F":
+            return self.profile.fwd_version(stage, t, j)
+        # op == "R"
+        if self.corrector is not None and stage not in self._segment_heads:
+            return t
+        return self._recompute_version(stage, t, j)
+
+    def wave_gate_version(
+        self, op: str, stages: list[int], t: int, j: int, sync: bool
+    ) -> int:
+        """Gate version for a worker wave touching ``stages`` (owned stages
+        plus borrowed tied-weight stages): the max of each stage's
+        requirement."""
+        return max(self.required_version(op, s, t, j, sync) for s in stages)
+
+    def wait_version(self, version: int, timeout: float) -> None:
+        """Block until ``version`` is published (no-op when it already is);
+        raises :class:`~repro.pipeline.transport.TransportTimeout` on
+        expiry.  Both store kinds implement the wait."""
+        self.store.wait_version(version, timeout)
 
     def _init_recompute(self, recompute_segment: int | None) -> None:
         self.recompute_segment = recompute_segment
@@ -192,9 +245,15 @@ class StepPlan(WeightResolver):
     def is_sync_step(self) -> bool:
         """True while T3's synchronous (GPipe-style) warmup window is active
         or the method itself is GPipe."""
+        return self.is_sync_step_at(self.t)
+
+    def is_sync_step_at(self, t: int) -> bool:
+        """Sync predicate for an explicit minibatch index — needed when a
+        step is issued while the previous boundary is still pending (the
+        plan's own ``t`` then lags the step being admitted)."""
         if self.method is Method.GPIPE:
             return True
-        return self.warmup.is_synchronous(self.t)
+        return self.warmup.is_synchronous(t)
 
     def resolver_spec(self) -> "ResolverSpec":
         """The picklable recipe a process worker uses to rebuild this plan's
@@ -246,14 +305,71 @@ class StepPlan(WeightResolver):
             self.corrector.update_all(old_weights)
         self.t += 1
 
+    def finish_step_detached(self, sync: bool) -> None:
+        """:meth:`finish_step` without ever touching live ``Parameter.data``
+        — the overlapped-boundary variant.
+
+        While this runs, worker threads of the *next* minibatch are already
+        re-pointing the shared parameters at historical versions for their
+        fill waves, so the boundary must read version t's weights straight
+        from the store, compute the update into fresh arrays
+        (:meth:`~repro.optim.Optimizer.step_detached`), and publish them —
+        leaving the live parameter pointers to the workers.  Gradients are
+        safe to consume: backward waves of the next step gate on version
+        t+1, which this method publishes *last* (the release operation the
+        gates observe).  Bit-for-bit identical to :meth:`finish_step`: same
+        arrays in, same expressions, same optimizer state mutation — only
+        where the result lands differs.
+        """
+        n = self.profile.num_microbatches
+        for p in self.params:
+            p.grad *= 1.0 / n
+        if self.grad_clip is not None:
+            clip_grad_norm(self.params, self.grad_clip)
+
+        if self.base_schedule is not None:
+            self.optimizer.lr = self.base_schedule(self.t)
+        if self.reschedule is not None and not sync:
+            self.reschedule.apply(self.optimizer, self.t)
+        else:
+            for group in self.optimizer.groups:
+                group.lr_scale = 1.0
+
+        v = self.store.latest_version
+        old = [list(self.store.weights(s, v)) for s in range(self.num_stages)]
+        new = self.optimizer.step_detached(old)
+        if self.corrector is not None:
+            self.corrector.update_all_arrays(old, new)
+        # Open minibatch t+1's gradient epoch before the publish below
+        # releases its gated backward waves.
+        self.optimizer.zero_grad()
+        self.store.push_arrays(new)
+        self.t += 1
+
+    def resolvable_versions(self) -> list[int]:
+        """Store versions any wave of the *next* step can still resolve —
+        what a republish (checkpoint restore) actually needs to push.  The
+        oldest read of minibatch t is ``t − (history − 2)`` (the deepest
+        forward/recompute delay slot), so the last resident version is dead
+        weight on the wire; see :meth:`DelayProfile.history_needed`."""
+        latest = self.store.latest_version
+        oldest_needed = max(0, latest - (self.profile.history_needed() - 2))
+        return [v for v in self.store.resident_versions(0) if v >= oldest_needed]
+
     # -- accounting --------------------------------------------------------------
     def step_time(self) -> float:
         """Relative hardware time of the step about to run: 1.0 for the
         bubble-free methods, ``1/0.3`` for synchronous (GPipe-style) steps —
         the Appendix A.3 model used for time-to-accuracy."""
+        return self.step_time_at(self.t)
+
+    def step_time_at(self, t: int) -> float:
+        """Like :meth:`step_time` for an explicit minibatch index (the next
+        step to issue may be one ahead of ``self.t`` under the overlapped
+        boundary)."""
         from repro.pipeline import costmodel
 
-        if self.is_sync_step():
+        if self.is_sync_step_at(t):
             return 1.0 / costmodel.optimal_gpipe_throughput()[0]
         return 1.0
 
@@ -285,6 +401,24 @@ class StepPlan(WeightResolver):
         self.store.load_state_dict(state["store"])
         if self.corrector is not None:
             self.corrector.load_state_dict(state["corrector"])
+
+
+def split_views(arr, n: int) -> list:
+    """Split ``arr`` into ``n`` view chunks along axis 0 with
+    ``np.array_split`` semantics (first ``len(arr) % n`` chunks one
+    longer).  ``np.array_split`` also returns views; this is just its
+    division arithmetic inlined to plain basic slicing, shaving the
+    wrapper overhead off the per-step hot path.  That every worker input
+    is a window into the caller's minibatch — never a per-step copy — is
+    pinned by the overlap suite's no-copy test."""
+    size, extra = divmod(len(arr), n)
+    out = []
+    lo = 0
+    for i in range(n):
+        hi = lo + size + (1 if i < extra else 0)
+        out.append(arr[lo:hi])
+        lo = hi
+    return out
 
 
 @dataclass(frozen=True)
@@ -471,10 +605,11 @@ class PipelineBackend:
 
     # -- microbatch plumbing (overridable for multi-input models) -------------
     def _split_minibatch(self, x, y, n: int) -> tuple[list, list]:
-        """Split (x, y) into N microbatches along axis 0."""
+        """Split (x, y) into N microbatch *views* along axis 0 (no
+        copies; see :func:`split_views`)."""
         if len(x) < n:
             raise ValueError(f"minibatch of {len(x)} samples cannot form {n} microbatches")
-        return np.array_split(x, n), np.array_split(y, n)
+        return split_views(x, n), split_views(y, n)
 
     def _forward(self, xj):
         return self.model(xj)

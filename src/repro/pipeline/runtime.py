@@ -63,10 +63,28 @@ Why equivalence holds despite concurrency:
   so where a value is computed (thread, process) never changes what is
   computed.
 
-The optimizer steps once per minibatch on the driver (the paper's semantics
-— updates land at minibatch boundaries), so a train step is: broadcast the
-step context, let the workers drain the schedule, then run the shared
-optimizer-boundary logic from the plan.
+The optimizer steps once per minibatch on the driver (the paper's
+semantics — updates land at minibatch boundaries), but with the
+**overlapped optimizer boundary** (``overlap_boundary=True``, the default)
+the boundary no longer drains the pipe: minibatch t+1 is issued to the
+workers *first*, and the driver folds gradients, steps the optimizer and
+publishes version t+1 while t+1's fill waves are already running.
+Bit-for-bit equivalence is preserved by **version-gated weight reads**
+(:meth:`~repro.pipeline.plan.WeightResolver.required_version`): every
+wave waits until the newest weight version it resolves is published —
+early forward waves read old versions and start immediately; backward
+waves (and T2 recompute waves) gate on version t+1, whose publication is
+the boundary's release operation (after gradients are re-zeroed and T2
+velocities advanced).  The boundary itself runs *detached* from the live
+parameters (:meth:`~repro.pipeline.plan.StepPlan.finish_step_detached`):
+it reads version t from the store, writes version t+1 into fresh arrays,
+and never touches ``Parameter.data`` — which thread workers of the next
+step are concurrently re-pointing.  Between ``train_step`` calls the live
+model consequently lags one optimizer step; :meth:`AsyncPipelineRuntime.sync`
+(called automatically by ``state_dict`` / ``load_state_dict`` / ``close``
+and by the trainer before evaluation) completes the pending boundary and
+restores the latest weights.  With ``overlap_boundary=False`` every step
+barriers at the boundary exactly as before.
 """
 
 from __future__ import annotations
@@ -113,9 +131,15 @@ class PipelineDeadlockError(RuntimeError):
 @dataclass
 class _StepContext:
     """Everything one train step shares between the driver and thread
-    workers.  ``ext[i][j]`` is external model input i for microbatch j;
-    the per-kind queue dicts are keyed by cross-worker edge index."""
+    workers.  ``seq`` is the pool's step sequence (tags done reports),
+    ``t`` the plan's minibatch index for this step — passed explicitly
+    because with the overlapped boundary the plan's own counter still
+    describes the *previous* step while this one runs.  ``ext[i][j]`` is
+    external model input i for microbatch j; the per-kind queue dicts are
+    keyed by cross-worker edge index."""
 
+    seq: int
+    t: int
     sync: bool
     ext: list
     ys: list
@@ -142,7 +166,21 @@ class RuntimeStats:
     through shared memory (zero for threads).  The two are disjoint, so a
     worker's *active* time is their sum — that is the quantity
     :meth:`bubble_fraction` treats as non-idle and
-    :meth:`transport_fraction` takes its share of."""
+    :meth:`transport_fraction` takes its share of.
+
+    Two boundary-stall measurements were added with the overlapped
+    optimizer boundary:
+
+    * ``stall`` — per-worker seconds spent blocked on a version gate
+      (waiting for the driver to publish a weight version the wave
+      resolves).  Zero in barrier mode, where every version a step reads
+      exists before the step is issued.
+    * ``boundary`` — driver seconds spent at the optimizer boundary while
+      *no* worker compute was in flight (every worker idles for its
+      duration).  The barrier-mode cost the overlap erases; an overlapped
+      boundary runs inside the next step's wall window and contributes 0
+      here.
+    """
 
     steps: int = 0
     last_wall: float = 0.0
@@ -151,18 +189,37 @@ class RuntimeStats:
     total_busy: list[float] = field(default_factory=list)
     last_transport: list[float] = field(default_factory=list)
     total_transport: list[float] = field(default_factory=list)
+    last_stall: list[float] = field(default_factory=list)
+    total_stall: list[float] = field(default_factory=list)
+    last_boundary: float = 0.0
+    total_boundary: float = 0.0
 
-    def commit(self, wall: float, busy: list[float], transport: list[float]) -> None:
+    def commit(
+        self,
+        wall: float,
+        busy: list[float],
+        transport: list[float],
+        stall: list[float] | None = None,
+        boundary: float = 0.0,
+    ) -> None:
         """Fold one *completed* step into the running totals."""
         self.steps += 1
         self.last_wall = wall
         self.total_wall += wall
         self.last_busy = list(busy)
         self.last_transport = list(transport)
+        stall = [0.0] * len(busy) if stall is None else list(stall)
+        self.last_stall = stall
+        if not self.total_stall:
+            self.total_stall = [0.0] * len(busy)
+        self.last_boundary = boundary
+        self.total_boundary += boundary
         for w, b in enumerate(busy):
             self.total_busy[w] += b
         for w, x in enumerate(transport):
             self.total_transport[w] += x
+        for w, s in enumerate(stall):
+            self.total_stall[w] += s
 
     def bubble_fraction(self) -> float:
         """1 − active/(wall × workers) over all steps so far: the measured
@@ -183,12 +240,26 @@ class RuntimeStats:
             return 0.0
         return sum(self.total_transport) / active
 
+    def boundary_stall_fraction(self) -> float:
+        """Share of total worker-time lost to the minibatch boundary: the
+        driver's non-overlapped boundary work (every worker idles for its
+        full duration) plus the workers' measured version-gate stalls.
+        This is the specific slice of :meth:`bubble_fraction` the
+        overlapped boundary attacks — near zero in steady state with
+        overlap on."""
+        if not self.total_busy or self.total_wall <= 0:
+            return 0.0
+        k = len(self.total_busy)
+        lost = self.total_boundary * k + sum(self.total_stall)
+        return max(0.0, min(1.0, lost / (self.total_wall * k)))
+
 
 @dataclass
 class _StepResult:
     losses: list[float]
     busy: list[float]
     transport: list[float]
+    stall: list[float]
 
 
 # -- the shared per-worker program interpreter --------------------------------
@@ -198,6 +269,7 @@ def _execute_program(
     compute: WorkerCompute,
     program: list[tuple[str, int]],
     resolver,
+    t: int,
     sync: bool,
     chans,
     loss_fn,
@@ -205,25 +277,48 @@ def _execute_program(
     ys,
     scales,
     losses,
-) -> float:
-    """Run one worker's (op, microbatch) list for one step.
+    gate_timeout: float,
+) -> tuple[float, float]:
+    """Run one worker's (op, microbatch) list for minibatch ``t``.
 
     Identical for both backends: only ``chans`` (queue- or ring-backed) and
     ``resolver`` (driver :class:`StepPlan` or a worker's
     :class:`WorkerPlanMirror`) differ.  Each op walks the worker's segments
     in graph order (forward) or reverse (backward); same-worker edges hand
     payloads off through a local dict, cross-worker edges through the
-    channel of that edge.  Returns busy seconds (time spent computing,
-    excluding channel waits).
+    channel of that edge.
+
+    Every wave is **version-gated**: before loading weights it waits until
+    the newest version it resolves (over all stages this worker reads,
+    borrowed tied weights included) is published — the admission rule that
+    lets a step run while the previous step's optimizer boundary is still
+    in flight.  In barrier mode every requirement is already satisfied and
+    the gate is a branch on the store's latest version.
+
+    Returns ``(busy, stall)`` seconds: compute time (channel waits and
+    payload copies excluded) and version-gate wait time.
     """
     snapshots: dict[int, list[dict]] = {}
     grads: dict[int, np.ndarray] = {}
     recompute = resolver.recompute_active(sync)
     busy = 0.0
+    stall = 0.0
+    gate_stages = compute.read_stages
+
+    def gate(op: str, j: int) -> None:
+        nonlocal stall
+        if not gate_stages:
+            return
+        v = resolver.wave_gate_version(op, gate_stages, t, j, sync)
+        if v > resolver.store.latest_version:
+            t0 = time.perf_counter()
+            resolver.wait_version(v, gate_timeout)
+            stall += time.perf_counter() - t0
 
     def run_wave(kind: str, j: int, weights_for_stage) -> None:
         """One forward-style pass (op F on "act", op R on "rec")."""
         nonlocal busy
+        gate("F" if kind == "act" else "R", j)
         local: dict[int, object] = {}
         loaded = False
         for seg in compute.segments:
@@ -238,7 +333,7 @@ def _execute_program(
             t0 = time.perf_counter()
             if not loaded:
                 compute.load_weights(weights_for_stage)
-                compute.set_dropout_slot(resolver.t, j)
+                compute.set_dropout_slot(t, j)
                 loaded = True
             out = seg.forward(ins)
             if seg.is_sink and kind == "act":
@@ -258,6 +353,7 @@ def _execute_program(
 
     def run_backward(j: int) -> None:
         nonlocal busy
+        gate("B", j)
         local: dict[int, object] = {}
         restored = False
         for seg in reversed(compute.segments):
@@ -270,7 +366,7 @@ def _execute_program(
             t0 = time.perf_counter()
             if not restored:
                 compute.load_cache_state(snapshots.pop(j))
-                compute.load_weights(lambda s: resolver.backward_weights(s, j, sync))
+                compute.load_weights(lambda s: resolver.backward_weights(s, t, j, sync))
                 restored = True
             gins = seg.backward(g)
             busy += time.perf_counter() - t0
@@ -284,12 +380,12 @@ def _execute_program(
 
     for op, j in program:
         if op == "F":
-            run_wave("act", j, lambda s: resolver.forward_weights(s, j, sync))
+            run_wave("act", j, lambda s: resolver.forward_weights(s, t, j, sync))
         elif op == "R":
-            run_wave("rec", j, lambda s: resolver.recompute_weights(s, j))
+            run_wave("rec", j, lambda s: resolver.recompute_weights(s, t, j))
         else:  # "B"
             run_backward(j)
-    return busy
+    return busy, stall
 
 
 class _QueueChannels:
@@ -367,13 +463,24 @@ def _build_programs(
 
 
 class _WorkerPoolBase:
-    """Shared driver-side collection loop of the two pools.
+    """Shared driver-side issue/collect machinery of the two pools.
 
-    Done messages are ``(worker, kind, busy, transport, payload)`` with kind
-    in {"ok", "error", "deadlock"} (plus "ready"/"init_error" during process
-    startup).  ``_collect`` gathers all workers' reports into locals and
-    raises on failure **without mutating any runtime state**, which is what
-    lets :meth:`AsyncPipelineRuntime.train_step` commit stats atomically for
+    A step is **issued** (commands broadcast; workers may begin as soon as
+    their version gates allow) and later **collected** (all done reports
+    gathered) as two separate driver actions, so the scheduler can slide
+    the previous step's optimizer boundary between them — that gap is the
+    whole overlapped-boundary mechanism.  At most one step is issued and
+    uncollected at a time; what overlaps it is the *driver's* boundary
+    work for the step before.
+
+    Done messages are ``(worker, step_seq, kind, busy, transport, stall,
+    payload)`` with kind in {"ok", "error", "deadlock"} (plus
+    "ready"/"init_error" during process startup).  The step-sequence tag
+    guards the queue against residue from aborted steps: stale tags are
+    discarded, a tag from the future is a protocol bug and fails loudly.
+    ``_collect`` gathers all workers' reports into locals and raises on
+    failure **without mutating any runtime state**, which is what lets
+    :meth:`AsyncPipelineRuntime.train_step` commit stats atomically for
     completed steps only.
     """
 
@@ -384,6 +491,7 @@ class _WorkerPoolBase:
         self.deadlock_timeout = deadlock_timeout
         self.done_grace = done_grace
         self.wedged = False
+        self._seq = 0  # step sequence; tags commands, done reports, mailbox
 
     def _get_done(self, timeout: float):
         raise NotImplementedError
@@ -412,23 +520,36 @@ class _WorkerPoolBase:
                         f"{self.deadlock_timeout + self.done_grace:.0f}s"
                     ) from None
 
-    def _collect(self) -> tuple[list[float], list[float], dict[int, object]]:
+    def _collect(
+        self, seq: int
+    ) -> tuple[list[float], list[float], list[float], dict[int, object]]:
         k = self.num_workers
         busys = [0.0] * k
         xfers = [0.0] * k
+        stalls = [0.0] * k
         extras: dict[int, object] = {}
         errors: list[tuple[int, BaseException]] = []
         deadlocks: list[tuple[int, str]] = []
-        for _ in range(k):
+        got = 0
+        while got < k:
             # Each report gets its own full timeout window: a worker whose
             # final (secondary) channel wait starts late in the step must
             # still get to report its TransportTimeout, otherwise the real
             # worker exception already collected would be masked by a
             # spurious wedge.
             deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
-            w, kind, busy, xfer, payload = self._next_done(deadline)
+            w, msg_seq, kind, busy, xfer, stall, payload = self._next_done(deadline)
+            if msg_seq < seq:
+                continue  # residue from an aborted step — discard
+            if msg_seq > seq:
+                raise RuntimeError(
+                    f"worker {w} reported step {msg_seq} while the driver is "
+                    f"collecting step {seq} — issue/collect protocol violated"
+                )
+            got += 1
             busys[w] = busy
             xfers[w] = xfer
+            stalls[w] = stall
             if kind == "error":
                 errors.append((w, payload))
             elif kind == "deadlock":
@@ -443,10 +564,22 @@ class _WorkerPoolBase:
             raise PipelineDeadlockError(
                 f"worker {deadlocks[0][0]} reported: {deadlocks[0][1]}"
             )
-        return busys, xfers, extras
+        return busys, xfers, stalls, extras
 
-    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
+        """Broadcast one step's commands; workers start as their version
+        gates allow.  Must be followed by exactly one :meth:`collect`."""
         raise NotImplementedError
+
+    def collect(self) -> _StepResult:
+        """Gather the issued step's done reports (and, for processes, its
+        mailbox gradients)."""
+        raise NotImplementedError
+
+    def run_step(self, t, sync, ext, ys, scales, num_microbatches) -> _StepResult:
+        """Barrier-mode convenience: issue then immediately collect."""
+        self.issue(t, sync, ext, ys, scales, num_microbatches)
+        return self.collect()
 
     def publish_plan_state(self) -> None:
         """Called after the optimizer boundary; process pools push the new
@@ -482,6 +615,7 @@ class ThreadWorkerPool(_WorkerPoolBase):
         )
         self._cross = [e.index for e in graph.cross_edges()]
         self.loss_fn = loss_fn
+        self._inflight: _StepContext | None = None
         self._cmd: list[queue.SimpleQueue] = [
             queue.SimpleQueue() for _ in range(self.num_workers)
         ]
@@ -498,8 +632,11 @@ class ThreadWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
+        self._seq += 1
         ctx = _StepContext(
+            seq=self._seq,
+            t=t,
             sync=sync,
             ext=ext,
             ys=ys,
@@ -510,29 +647,37 @@ class ThreadWorkerPool(_WorkerPoolBase):
             rec_q={e: queue.SimpleQueue() for e in self._cross},
             grad_q={e: queue.SimpleQueue() for e in self._cross},
         )
+        self._inflight = ctx
         for cq in self._cmd:
             cq.put(ctx)
-        busys, xfers, _ = self._collect()
-        return _StepResult(losses=list(ctx.losses), busy=busys, transport=xfers)
+
+    def collect(self) -> _StepResult:
+        ctx = self._inflight
+        self._inflight = None
+        busys, xfers, stalls, _ = self._collect(ctx.seq)
+        return _StepResult(
+            losses=list(ctx.losses), busy=busys, transport=xfers, stall=stalls
+        )
 
     def _worker_loop(self, w: int) -> None:
         while True:
             ctx = self._cmd[w].get()
             if ctx is None:
                 return
-            busy = 0.0
+            busy = stall = 0.0
             kind, payload = "ok", None
             chans = _QueueChannels(ctx, w, self.deadlock_timeout)
             try:
-                busy = _execute_program(
-                    self.workers[w], ctx.programs[w], self.plan, ctx.sync, chans,
-                    self.loss_fn, ctx.ext, ctx.ys, ctx.scales, ctx.losses,
+                busy, stall = _execute_program(
+                    self.workers[w], ctx.programs[w], self.plan, ctx.t, ctx.sync,
+                    chans, self.loss_fn, ctx.ext, ctx.ys, ctx.scales, ctx.losses,
+                    self.deadlock_timeout,
                 )
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed to driver
                 kind, payload = "error", exc
-            self._done.put((w, kind, busy, 0.0, payload))
+            self._done.put((w, ctx.seq, kind, busy, 0.0, stall, payload))
 
     def close(self) -> None:
         for cq in self._cmd:
@@ -630,9 +775,9 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
         if init["pstate"][w] is not None:
             compute.load_persistent_state(init["pstate"][w])
     except BaseException as exc:  # noqa: BLE001 — reported to driver
-        done.put((w, "init_error", 0.0, 0.0, _picklable_exc(exc)))
+        done.put((w, 0, "init_error", 0.0, 0.0, 0.0, _picklable_exc(exc)))
         return
-    done.put((w, "ready", 0.0, 0.0, None))
+    done.put((w, 0, "ready", 0.0, 0.0, 0.0, None))
 
     try:
         while True:
@@ -650,7 +795,7 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
             resolver.t = t
             chans.step = step_seq
             losses = [0.0] * n
-            busy = 0.0
+            busy = stall = 0.0
             kind, payload = "ok", None
             xfer0 = chans.xfer_seconds()
             try:
@@ -658,13 +803,18 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                     for p in b.params:
                         p.grad.fill(0.0)
                 compute.zero_deferred()
-                busy = _execute_program(
-                    compute, programs[bool(sync)][w], resolver, sync, chans,
-                    loss_fn, ext, ys, scales, losses,
+                busy, stall = _execute_program(
+                    compute, programs[bool(sync)][w], resolver, t, sync, chans,
+                    loss_fn, ext, ys, scales, losses, timeout,
                 )
                 for b in compute.bindings:
                     for pos, p in zip(b.positions, b.params):
                         mailbox.write(b.stage, pos, p.grad)
+                for s in {b.stage for b in compute.bindings}:
+                    # Stamp after the writes: the driver folds this stage
+                    # block only when the stamp matches the step it
+                    # collects.
+                    mailbox.stamp(s, step_seq)
                 payload = (
                     losses if is_sink_worker else None,
                     compute.persistent_state() if has_pstate else None,
@@ -673,7 +823,7 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 kind, payload = "deadlock", str(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed to driver
                 kind, payload = "error", _picklable_exc(exc)
-            done.put((w, kind, busy, chans.xfer_seconds() - xfer0, payload))
+            done.put((w, step_seq, kind, busy, chans.xfer_seconds() - xfer0, stall, payload))
     finally:
         if chans is not None:
             chans.close()
@@ -708,7 +858,6 @@ class ProcessWorkerPool(_WorkerPoolBase):
         self.driver_workers = graph.workers
         self.plan = plan
         self.stages = stages
-        self._step_seq = 0
         # Cleanup state first: close() must be safe however far construction
         # got, so a failure mid-way (e.g. /dev/shm full after the mirror was
         # created) cannot leak segments for the driver's lifetime.
@@ -726,7 +875,9 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 f"{base}w", stage_shapes, history, plan.corrector is not None,
                 create=True,
             )
-            self.mirror.sync_from_store(plan.store, plan.corrector)
+            self.mirror.sync_from_store(
+                plan.store, plan.corrector, versions=plan.resolvable_versions()
+            )
             self.mailbox = SharedGradMailbox(f"{base}mb", stage_shapes, create=True)
             # One aborted step can leave up to N unconsumed messages in a
             # ring; 2N slots let the next step proceed while recv discards
@@ -790,7 +941,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
         deadline = time.perf_counter() + max(120.0, self.done_grace)
         while ready < k:
             try:
-                w, kind, _, _, payload = self._done.get(timeout=0.2)
+                w, _, kind, _, _, _, payload = self._done.get(timeout=0.2)
             except queue.Empty:
                 dead = self._peer_failure()
                 if dead is not None:
@@ -819,14 +970,14 @@ class ProcessWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def run_step(self, sync, ext, ys, scales, num_microbatches) -> _StepResult:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
         k = self.num_workers
-        self._step_seq += 1
+        self._seq += 1
         for w, conn in enumerate(self._conns):
             try:
                 conn.send((
-                    self._step_seq,
-                    self.plan.t,
+                    self._seq,
+                    t,
                     sync,
                     scales,
                     {i: ext[i] for i in self._ext_needs[w]},
@@ -839,27 +990,42 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 raise PipelineDeadlockError(
                     f"pipeline worker {w} is gone ({exc}); build a fresh runtime"
                 ) from None
-        busys, xfers, extras = self._collect()
+
+    def collect(self) -> _StepResult:
+        k = self.num_workers
+        busys, xfers, stalls, extras = self._collect(self._seq)
         losses, _ = extras[k - 1]
         for w, (_, pstate) in extras.items():
             if pstate is not None:
                 self.driver_workers[w].load_persistent_state(pstate)
+        # Workers stamped their stage blocks after writing; a mismatch
+        # would mean a block was overwritten before this fold read it.
+        self.mailbox.check_stamps(self._seq)
         for s, stage in enumerate(self.stages):
             for pos, p in enumerate(stage.params):
                 p.grad[...] = self.mailbox.read(s, pos)
-        return _StepResult(losses=list(losses), busy=busys, transport=xfers)
+        return _StepResult(
+            losses=list(losses), busy=busys, transport=xfers, stall=stalls
+        )
 
     def publish_plan_state(self) -> None:
+        # Velocity first: the version-header bump below is the release the
+        # workers' version gates observe, and a wave admitted for version v
+        # must see the velocities of v's boundary.
+        if self.plan.corrector is not None:
+            self.mirror.publish_velocity(self.plan.corrector.velocity)
         store = self.plan.store
         v = store.latest_version
         self.mirror.publish_version(
             v, [store.weights(s, v) for s in range(store.num_stages)]
         )
-        if self.plan.corrector is not None:
-            self.mirror.publish_velocity(self.plan.corrector.velocity)
 
     def full_resync(self) -> None:
-        self.mirror.sync_from_store(self.plan.store, self.plan.corrector)
+        self.mirror.sync_from_store(
+            self.plan.store,
+            self.plan.corrector,
+            versions=self.plan.resolvable_versions(),
+        )
         # Push driver-side persistent state (e.g. restored BatchNorm running
         # stats) down to the worker replicas; the pipe is FIFO, so workers
         # apply it before any subsequent step command.
@@ -909,10 +1075,20 @@ class AsyncPipelineRuntime(PipelineBackend):
         ``"thread"`` (default; the CLI's ``async`` runtime) or
         ``"process"`` (the CLI's ``process`` runtime — stage workers in
         separate processes over shared-memory transport).
+    overlap_boundary:
+        ``True`` (default): the optimizer boundary of step t is deferred
+        and executed while step t+1's fill is already running, with every
+        worker wave version-gated for bit-for-bit equivalence (see the
+        module docstring).  Between steps the live model then lags one
+        optimizer update until :meth:`sync` runs (automatic on
+        ``state_dict`` / ``load_state_dict`` / ``close``, and the trainer
+        syncs before evaluating).  ``False``: barrier at every minibatch
+        boundary (the pre-overlap behaviour; live weights are current
+        after every ``train_step``).
     deadlock_timeout:
-        Seconds a worker may wait on a channel before the step is aborted
-        with :class:`PipelineDeadlockError` — a wedged pipe fails fast
-        instead of hanging.
+        Seconds a worker may wait on a channel (or a version gate) before
+        the step is aborted with :class:`PipelineDeadlockError` — a wedged
+        pipe fails fast instead of hanging.
     model_spec:
         Process backend only: picklable
         :class:`~repro.pipeline.stage_compute.ModelSpec` each worker
@@ -949,6 +1125,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         recompute_segment: int | None = None,
         deadlock_timeout: float = 30.0,
         backend: str = "thread",
+        overlap_boundary: bool | None = None,
         model_spec: ModelSpec | None = None,
         start_method: str | None = None,
         transport_slot_bytes: int = 1 << 16,
@@ -972,6 +1149,11 @@ class AsyncPipelineRuntime(PipelineBackend):
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown worker backend {backend!r}")
         self.backend = backend
+        self.overlap = True if overlap_boundary is None else bool(overlap_boundary)
+        # Boundary-overlap bookkeeping (set before pool construction so a
+        # failed constructor can still run close()/__del__ safely).
+        self._pending_sync: bool | None = None
+        self._deferred_on = False
         self.deadlock_timeout = deadlock_timeout
         self.graph: WorkerGraph = build_worker_graph(model, stages)
         self.workers: list[WorkerCompute] = self.graph.workers
@@ -1036,57 +1218,180 @@ class AsyncPipelineRuntime(PipelineBackend):
         xs, ys = self._split_minibatch(x, y, n)
         total = sum(self._num_samples(xj) for xj in xs)
         scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
-        sync = plan.is_sync_step()
+        # The minibatch index of the step being admitted: one ahead of the
+        # plan's counter while the previous boundary is still pending.
+        t = plan.t + (1 if self._pending_sync is not None else 0)
+        sync = plan.is_sync_step_at(t)
         # Route each external model input to the graph edges that consume
         # it: multi-input models (the two-stream Transformer) yield tuple
-        # microbatches, transposed here into per-input streams.
+        # microbatches, transposed here into per-input streams.  The
+        # microbatches themselves are views of the caller's arrays — no
+        # copies on this path (the process backend copies once, into the
+        # command pipe).
         if self.graph.num_external == 1:
             ext = [xs]
         else:
             ext = [[xs[j][i] for j in range(n)] for i in range(self.graph.num_external)]
 
-        plan.begin_step()
-        self._begin_deferred_grads()
+        if self._pending_sync is None:
+            # Opening a fresh pipeline epoch (first step, or first after a
+            # sync): no boundary will run before this step's backward
+            # waves, so the gradient accumulators must be clean *before*
+            # any worker starts.
+            plan.begin_step()
+        if not self._deferred_on:
+            self._begin_deferred_grads()
+            self._deferred_on = True
+
         start = time.perf_counter()
+        boundary = 0.0
         try:
-            result = self.pool.run_step(sync, ext, ys, scales, n)
+            self.pool.issue(t, sync, ext, ys, scales, n)
+            if self._pending_sync is not None:
+                # The overlap: step t's fill is already running on the
+                # workers while the driver finishes step t-1 here.  The
+                # version push inside is the release that admits step t's
+                # gated (backward / T2-recompute) waves.
+                b0 = time.perf_counter()
+                self._complete_pending_boundary()
+                boundary = time.perf_counter() - b0
+            result = self.pool.collect()
         except BaseException:
-            # However the step died, leave the model usable monolithically:
-            # live parameters back on the latest weight version (thread
-            # workers may have re-pointed them at historical arrays
-            # mid-step) and tied modules out of deferred mode — evaluation
-            # or checkpointing after a caught error must not silently read
+            # However the step died, first settle the *previous* step if
+            # its boundary is still owed (its gradients are intact — it
+            # completed), then leave the model usable monolithically: live
+            # parameters back on the latest weight version (thread workers
+            # may have re-pointed them at historical arrays mid-step) and
+            # tied modules out of deferred mode — evaluation or
+            # checkpointing after a caught error must not silently read
             # delayed weights or mis-route gradients.
+            if self._pending_sync is not None:
+                try:
+                    self._complete_pending_boundary()
+                except Exception:
+                    # The original step error outranks this one; the
+                    # half-applied boundary already wedged the pool, so
+                    # the failure is not silent — further steps are
+                    # rejected explicitly.
+                    pass
             self._abort_deferred_grads()
+            self._deferred_on = False
             plan.store.load_latest()
             raise
         finally:
-            # Borrowed per-slot version arrays are step-local state.
+            # Borrowed per-slot version arrays are step-local state; the
+            # workers are quiescent once collect returns (or aborted).
             for w in self.workers:
                 w.unload_borrowed()
+        if not self.overlap:
+            self._fold_pending_deferred()
+            b0 = time.perf_counter()
+            plan.finish_step_detached(sync)
+            self.pool.publish_plan_state()
+            plan.store.load_latest()
+            boundary = time.perf_counter() - b0
+            self._end_deferred()
+        else:
+            self._pending_sync = sync
         wall = time.perf_counter() - start
         # Stats commit atomically, and only for completed steps — aborted
-        # steps contribute neither busy nor wall time.
-        self.stats.commit(wall, result.busy, result.transport)
-        self._fold_deferred_grads()
-        plan.finish_step(sync)
-        self.pool.publish_plan_state()
+        # steps contribute neither busy nor wall time.  ``boundary`` is the
+        # non-overlapped boundary cost: the barrier path's full fold +
+        # optimizer + publish, zero on the overlapped path (where that work
+        # ran concurrently with this step's fill and is inside ``wall``
+        # anyway).
+        self.stats.commit(
+            wall, result.busy, result.transport, result.stall,
+            0.0 if self.overlap else boundary,
+        )
         return float(np.mean(result.losses))
 
+    def _complete_pending_boundary(self) -> None:
+        """Fold the pending step's deferred tied gradients, run its
+        detached optimizer boundary, and publish version t+1 — the publish
+        being the release the next step's version gates observe.
+
+        A failure here may leave the boundary half-applied (optimizer or
+        T2 state advanced with no version published), after which the
+        exact trajectory cannot be continued — so it wedges the runtime
+        explicitly instead of letting later steps silently diverge from
+        the simulator."""
+        sync = self._pending_sync
+        self._pending_sync = None
+        try:
+            self._fold_pending_deferred()
+            self.plan.finish_step_detached(sync)
+            self.pool.publish_plan_state()
+        except BaseException:
+            self.pool.wedged = True
+            raise
+
+    def _fold_pending_deferred(self) -> None:
+        """Fold deferred tied-gradient buffers into ``Parameter.grad`` and
+        re-zero them, staying in deferred mode — the per-boundary fold of
+        the overlapped protocol (ordering: strictly before the boundary's
+        version push releases the next step's backward waves, which write
+        these buffers again)."""
+        for m in self._deferred_modules:
+            for p, buf in m.deferred_grads():
+                p.grad += buf
+                buf.fill(0.0)
+
+    def _end_deferred(self) -> None:
+        """Leave deferred tied-gradient mode (buffers already folded)."""
+        for m in self._deferred_modules:
+            m.disable_deferred_grads()
+        self._deferred_on = False
+
+    def sync(self) -> None:
+        """Complete any pending (overlapped) optimizer boundary and point
+        the live model at the latest weights.  Idempotent and cheap when
+        there is nothing pending.  Called automatically by ``state_dict``,
+        ``load_state_dict`` and ``close``; :class:`~repro.train.PipelineTrainer`
+        calls it before each evaluation.  Direct users of ``train_step``
+        who read model weights between steps with overlap on should call
+        it first."""
+        if self._pending_sync is not None:
+            self._complete_pending_boundary()
+        if self._deferred_on:
+            self._end_deferred()
+        self.plan.store.load_latest()
+
+    # -- accounting --------------------------------------------------------------
+    def step_time(self) -> float:
+        # The next step to issue is one ahead of the plan's counter while a
+        # boundary is pending; the trainer calls this *before* train_step.
+        return self.plan.step_time_at(
+            self.plan.t + (1 if self._pending_sync is not None else 0)
+        )
+
     # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        self.sync()
+        return super().state_dict()
+
     def load_state_dict(self, state: dict) -> None:
+        self.sync()
         super().load_state_dict(state)
         self.pool.full_resync()
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers (idempotent).  Safe after a deadlock: thread
-        workers consume the shutdown sentinel once their own channel timeout
-        returns them to the command loop, and process workers are terminated
-        if they do not exit in time."""
+        """Stop the workers (idempotent).  Completes any pending overlapped
+        boundary first, so the model holds the latest weights afterwards.
+        Safe after a deadlock: thread workers consume the shutdown sentinel
+        once their own channel timeout returns them to the command loop,
+        and process workers are terminated if they do not exit in time."""
         if getattr(self, "_closed", False):
             return
         self._closed = True
+        try:
+            if getattr(self, "_pending_sync", None) is not None or getattr(
+                self, "_deferred_on", False
+            ):
+                self.sync()
+        except Exception:
+            pass
         pool = getattr(self, "pool", None)
         if pool is not None:
             pool.close()

@@ -343,6 +343,13 @@ class WorkerCompute:
             m for m in self.all_modules if isinstance(m, Dropout) and m.counter_based
         ]
         self._deferred = [m for m in self.all_modules if hasattr(m, "deferred_grads")]
+        # Every stage this slice *reads* weights from — owned bindings plus
+        # borrowed tied-weight coordinates.  The per-wave version gate is
+        # the max requirement over these stages.
+        self.read_stages: list[int] = sorted(
+            {b.stage for b in self.bindings}
+            | {s for borrow in self.borrows for s, _ in borrow.coords}
+        )
 
     @property
     def stages(self) -> list[int]:

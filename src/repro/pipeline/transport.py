@@ -531,8 +531,16 @@ class SharedGradMailbox:
     Workers write their accumulated gradients for the (stage, position)
     slots they own; the driver copies every slot into ``Parameter.grad``
     once all workers reported done.  Ownership is disjoint by construction
-    (each parameter belongs to exactly one worker compute), so no locking is
-    needed beyond the done-queue barrier.
+    (each parameter belongs to exactly one worker compute), so no locking
+    is needed — but with the overlapped optimizer boundary the done queue
+    is no longer a per-minibatch barrier, so every stage block carries a
+    **step stamp**: the worker stamps its stages with the step sequence
+    after the gradient writes, and the driver verifies all stamps match
+    the step it is collecting.  A worker cannot legitimately overwrite a
+    yet-unread slot (its next step's writes happen only after the driver
+    issued that step, which follows the previous collect), so a stamp
+    mismatch means lost gradients and fails loudly instead of folding a
+    stale or torn block.
     """
 
     def __init__(
@@ -544,17 +552,37 @@ class SharedGradMailbox:
         self.name = name
         self.stage_shapes = stage_shapes
         offsets, total = stage_block_layout(stage_shapes)
+        stamp_bytes = 8 * len(stage_shapes)
         if create:
-            self._shm = create_shm(name, max(total, 8))
+            self._shm = create_shm(name, max(stamp_bytes + total, 8))
         else:
             self._shm = attach_shm(name)
-        self._views = block_views(self._shm.buf, stage_shapes, 0, offsets)
+        self._stamps = np.ndarray(
+            (len(stage_shapes),), dtype=np.int64, buffer=self._shm.buf
+        )
+        if create:
+            self._stamps[:] = 0
+        self._views = block_views(self._shm.buf, stage_shapes, stamp_bytes, offsets)
 
     def write(self, stage: int, pos: int, grad: np.ndarray) -> None:
         np.copyto(self._views[stage][pos], grad)
 
     def read(self, stage: int, pos: int) -> np.ndarray:
         return self._views[stage][pos]
+
+    def stamp(self, stage: int, step: int) -> None:
+        """Mark ``stage``'s block as holding ``step``'s gradients (worker
+        side, after all of its writes for the step)."""
+        self._stamps[stage] = step
+
+    def check_stamps(self, step: int) -> None:
+        """Driver side: every stage block must carry ``step``'s stamp."""
+        stamps = [int(s) for s in self._stamps]
+        if any(s != step for s in stamps):
+            raise RuntimeError(
+                f"gradient mailbox stamps {stamps} do not all match step "
+                f"{step}; a worker's gradients were lost or overwritten"
+            )
 
     def close(self) -> None:
         try:

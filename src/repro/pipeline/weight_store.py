@@ -13,31 +13,52 @@ the T2 velocity buffers) that the driver republishes after every optimizer
 step, so process workers resolve the exact ``StepPlan`` delay slots through
 zero-copy views instead of deserializing arrays per microbatch.
 
-The **version-window republish invariant** that makes the mirror safe with
-no per-read locking: version ``v`` lives in slot ``v % history``; the
-driver copies the full payload in first and bumps the ``latest_version``
-header *last*, and workers only ever resolve versions in
-``(latest − history, latest]``.  Slot ``v % history`` is next rewritten
-when version ``v + history`` is pushed — which happens strictly after
-every worker finished the step that could still read ``v`` (the done-queue
-barrier at each minibatch) — so the single writer and the many readers
-never overlap on a slot.  Worker endpoints attach read-only: their views
-have the writeable flag cleared, so a stray in-place update fails loudly
-instead of corrupting every other worker's weights.  The same guarantee
-covers *readers of stages they do not own* (e.g. a tied output projection
-borrowing the embedding stage's weights on the last worker).
+The **version-window publish invariant** that makes both stores safe with
+no per-read locking, stated for the barrier-free (overlapped-boundary)
+protocol — the old done-queue-barrier argument is a degenerate case of it:
 
-On checkpoint restore the whole resident window is republished oldest
-version first (:meth:`SharedWeightMirror.sync_from_store`), so the header
-lands on the true latest and delayed reads resume exactly.
+* version ``v`` lives in slot ``v % history``; the driver copies the full
+  payload in first and advertises ``v`` *last* (``latest_version`` header
+  bump / condition notify).  That publication is the release operation the
+  per-wave version gates observe (``wait_version`` +
+  ``StepPlan.required_version``): a wave of minibatch t runs only once
+  every version it resolves is published.
+* slot ``v % history`` is next rewritten when version ``v + history`` is
+  pushed.  Version ``v + history`` is pushed at boundary
+  ``v + history − 1``, while at most minibatch ``v + history`` is in
+  flight — whose deepest delay slot resolves no older than
+  ``(v + history) − (history − 2) = v + 2``.  The single writer and the
+  many readers therefore never overlap on a slot even with a step's fill
+  already running during the push; no reader refcount is needed because
+  the window arithmetic (``DelayProfile.history_needed`` = deepest lag
+  + 2) leaves the reused slot strictly outside every live step's reach.
+* publication order within one boundary: T2 velocity buffers are written
+  *before* the version that advertises them
+  (:meth:`~repro.pipeline.runtime.ProcessWorkerPool.publish_plan_state`),
+  so a wave gated on version t+1 always sees the boundary-t velocities.
+
+Worker endpoints attach read-only: their views have the writeable flag
+cleared, so a stray in-place update fails loudly instead of corrupting
+every other worker's weights.  The same guarantee covers *readers of
+stages they do not own* (e.g. a tied output projection borrowing the
+embedding stage's weights on the last worker).
+
+On checkpoint restore the resident window is republished oldest version
+first (:meth:`SharedWeightMirror.sync_from_store`), so the header lands on
+the true latest and delayed reads resume exactly; versions too old for any
+future wave to resolve (``StepPlan.resolvable_versions``) are skipped.
 """
 
 from __future__ import annotations
+
+import threading
+import time
 
 import numpy as np
 
 from repro.pipeline.partition import Stage
 from repro.pipeline.transport import (
+    TransportTimeout,
     attach_shm,
     block_views,
     create_shm,
@@ -52,6 +73,13 @@ class WeightVersionStore:
 
     Version 0 is pushed at construction (the initial weights); version t+1
     must be pushed right after the t-th optimizer step.
+
+    Publication is a release operation: thread workers of an overlapped
+    step block in :meth:`wait_version` until the version their wave
+    resolves exists, and both push paths notify them under one condition
+    variable.  Pushes happen on the driver only; reads may come from any
+    worker thread (safe: a push never rewrites a slot a live wave can
+    still resolve — see the module docstring's window invariant).
     """
 
     def __init__(self, stages: list[Stage], history: int):
@@ -59,8 +87,13 @@ class WeightVersionStore:
             raise ValueError("need at least one stage")
         self.stages = stages
         self._buffers = [RingBuffer(history) for _ in stages]
+        self._published = threading.Condition()
         for stage, buf in zip(stages, self._buffers):
             buf.append(stage.current())
+        # Advertised version, bumped only after *every* stage buffer holds
+        # the payload — the release store lockless gate fast-paths read.
+        # Deriving it from a buffer would advertise mid-push.
+        self._latest = self._buffers[0].latest_version
 
     @property
     def num_stages(self) -> int:
@@ -68,14 +101,42 @@ class WeightVersionStore:
 
     @property
     def latest_version(self) -> int:
-        return self._buffers[0].latest_version
+        return self._latest
 
     def push_current(self) -> int:
         """Record the stages' current weights as the next version."""
+        return self.push_arrays([stage.current() for stage in self.stages])
+
+    def push_arrays(self, arrays_per_stage: list[list[np.ndarray]]) -> int:
+        """Record explicit per-stage arrays as the next version — the
+        overlapped boundary pushes the detached optimizer result without
+        routing it through live ``Parameter.data``.  All stage payloads
+        land first, then ``latest_version`` advertises them and every
+        :meth:`wait_version` waiter is notified (payload before publish,
+        the same release order the shared-memory mirror uses)."""
         version = -1
-        for stage, buf in zip(self.stages, self._buffers):
-            version = buf.append(stage.current())
+        with self._published:
+            for arrays, buf in zip(arrays_per_stage, self._buffers):
+                version = buf.append(list(arrays))
+            self._latest = version  # advertise last
+            self._published.notify_all()
         return version
+
+    def wait_version(self, version: int, timeout: float) -> None:
+        """Block until ``version`` is published (immediately true for
+        resident or evicted versions)."""
+        if self.latest_version >= version:
+            return
+        deadline = time.perf_counter() + timeout
+        with self._published:
+            while self.latest_version < version:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"weight version {version} was never published "
+                        f"(latest is {self.latest_version} after {timeout:g}s)"
+                    )
+                self._published.wait(remaining)
 
     def weights(self, stage: int, version: int) -> list[np.ndarray]:
         return self._buffers[stage][version]
@@ -120,6 +181,7 @@ class WeightVersionStore:
         start = int(state["oldest_version"])
         for buf, versions in zip(self._buffers, payloads):
             buf.seed(start, [[np.asarray(w) for w in v] for v in versions])
+        self._latest = self._buffers[0].latest_version
         self.load_latest()
 
 
@@ -133,11 +195,15 @@ class SharedWeightMirror:
     :class:`~repro.core.DiscrepancyCorrector` velocity buffers.
 
     The driver (``readonly=False``, ``create=True``) copies the new version
-    in after every optimizer step, *then* bumps ``latest_version``; workers
-    only ever resolve versions ``> latest − history``, and the slot of
-    version ``v`` is not rewritten until version ``v + history`` is pushed —
-    which happens strictly after every worker finished the step reading
-    ``v`` — so readers and the single writer never overlap on a slot.
+    in after every optimizer step, *then* bumps ``latest_version`` — the
+    release store worker-side :meth:`wait_version` gates spin on, which is
+    how an overlapped step's waves are admitted exactly when the versions
+    they resolve exist.  Workers only ever resolve versions
+    ``> latest − history``, and the slot of version ``v`` is not rewritten
+    until version ``v + history`` is pushed — whose concurrently running
+    step can resolve nothing older than ``v + 2`` (module docstring) — so
+    readers and the single writer never overlap on a slot even without a
+    per-minibatch done-queue barrier.
 
     Worker endpoints (``readonly=True``) get views with the writeable flag
     cleared; a stray in-place update in a worker fails loudly instead of
@@ -218,15 +284,43 @@ class SharedWeightMirror:
             for view, arr in zip(stage_views, arrays):
                 np.copyto(view, arr)
 
-    def sync_from_store(self, store: WeightVersionStore, corrector=None) -> None:
-        """Republish every resident version (oldest first, so the header
-        lands on the true latest) — the checkpoint-restore path."""
-        for v in store.resident_versions(0):
+    def sync_from_store(
+        self, store: WeightVersionStore, corrector=None, versions=None
+    ) -> None:
+        """Republish resident versions (oldest first, so the header lands on
+        the true latest) — the checkpoint-restore path.  ``versions``
+        restricts the copy to the slots future waves can still resolve
+        (``StepPlan.resolvable_versions``); ``None`` republishes the whole
+        window.  Velocity goes first so the header bump releases a
+        consistent (weights, velocity) pair."""
+        if corrector is not None and self.with_velocity:
+            self.publish_velocity(corrector.velocity)
+        resident = store.resident_versions(0)
+        publish = resident if versions is None else sorted(set(versions) & set(resident))
+        for v in publish:
             self.publish_version(
                 v, [store.weights(s, v) for s in range(store.num_stages)]
             )
-        if corrector is not None and self.with_velocity:
-            self.publish_velocity(corrector.velocity)
+
+    def wait_version(self, version: int, timeout: float) -> None:
+        """Spin until ``version`` is advertised by the header (immediately
+        true for resident or evicted versions) — the worker side of the
+        per-version readiness signal.  Mirrors :class:`ShmRing`'s hot-spin
+        then sleep backoff."""
+        if self.latest_version >= version:
+            return
+        deadline = time.perf_counter() + timeout
+        spins = 0
+        while self.latest_version < version:
+            spins += 1
+            if spins < 200:
+                continue
+            if time.perf_counter() > deadline:
+                raise TransportTimeout(
+                    f"weight version {version} was never published "
+                    f"(mirror header at {self.latest_version} after {timeout:g}s)"
+                )
+            time.sleep(1e-4)
 
     # -- worker side ----------------------------------------------------------
     def weights(self, stage: int, version: int) -> list[np.ndarray]:

@@ -87,6 +87,13 @@ class PipelineTrainer:
             for x, y in self.batch_fn(rng):
                 epoch_time += self.executor.step_time()
                 losses.append(self.executor.train_step(x, y))
+            # Concurrent runtimes with the overlapped optimizer boundary
+            # defer the last step's fold/step/publish; settle it so the
+            # divergence probe and eval_fn below read the latest weights
+            # (the same guarantee the simulator gives inline).
+            sync = getattr(self.executor, "sync", None)
+            if sync is not None:
+                sync()
             mean_loss = float(np.mean(losses)) if losses else math.nan
             norm = parameter_norm(self.executor.model)
             history.log(step=epoch, train_loss=mean_loss, param_norm=norm)

@@ -60,6 +60,12 @@ def pytest_configure(config):
         "timeout(seconds): fail the test if it runs longer than this "
         "(enforced via SIGALRM when pytest-timeout is not installed)",
     )
+    config.addinivalue_line(
+        "markers",
+        "overlap: overlapped-optimizer-boundary suites (two steps in flight"
+        " per pool); CI runs them as a dedicated lane with a tightened"
+        " timeout so a version-gating bug surfaces as a timeout, not a hang",
+    )
 
 
 @pytest.fixture(autouse=True)

@@ -90,6 +90,7 @@ class TestWorkerExceptionPath:
                 b = slice(i * 16, (i + 1) * 16)
                 assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
             assert rt.stats.steps == 3
+            rt.sync()
             for p1, p2 in zip(m1.parameters(), m2.parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
 

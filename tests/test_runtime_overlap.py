@@ -1,0 +1,444 @@
+"""The overlapped optimizer boundary: two steps in flight per worker pool.
+
+With ``overlap_boundary=True`` (the runtime default) step t+1 is issued to
+the workers *before* the driver folds step t's gradients, steps the
+optimizer and publishes version t+1 — the minibatch flush the barrier-mode
+runtime (and PipeDream-style schedules) pay for is gone.  Equivalence is
+preserved by version-gated weight reads: this file pins down
+
+* bit-for-bit equality of overlap-on, overlap-off and the simulator across
+  methods, techniques and both worker pools (the main differential suites
+  in ``test_runtime_equivalence.py`` / ``test_runtime_process.py`` /
+  ``test_runtime_translation.py`` already run overlap-on, since it is the
+  default — here the three modes are compared side by side);
+* the deferred-boundary state machine itself (the plan lags one step until
+  ``sync()``, which publishes and restores the latest weights);
+* error paths with a boundary pending: the pending step's update must land
+  and the latest weights must be live afterwards, whether the next step's
+  worker raised or died;
+* the no-copy microbatch routing contract (workers receive views of the
+  caller's minibatch);
+* the gradient-mailbox step stamps and the measured boundary-stall metric.
+
+Every test carries the ``overlap`` marker: CI runs ``-m overlap`` as a
+dedicated lane with a tightened ``--timeout`` so a version-gating bug (a
+wave waiting for a version that never publishes) surfaces as a timeout
+failure, not a hung job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    PipelineDeadlockError,
+    PipelineExecutor,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+from repro.pipeline.plan import split_views
+
+pytestmark = pytest.mark.overlap
+
+TIMEOUT = 15.0  # deadlock timeout for every concurrent runtime in this file
+
+
+def toy_classification(rng, d=6, c=3, n=96):
+    centers = rng.normal(size=(c, d)) * 2
+    y = rng.integers(0, c, size=n)
+    x = centers[y] + rng.normal(size=(n, d))
+    return x, y
+
+
+def build(cls, method="pipemare", *, num_stages=4, num_microbatches=2, cfg=None,
+          seed=7, **kw):
+    model = MLP([6, 8, 8, 8, 3], np.random.default_rng(seed))
+    stages = partition_model(model, num_stages)
+    opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+    backend = cls(
+        model, CrossEntropyLoss(), opt, stages, num_microbatches, method,
+        pipemare=cfg, **kw,
+    )
+    return model, backend
+
+
+TECHNIQUES = {
+    "plain": dict(cfg=None, kw={}),
+    "t1t2": dict(cfg=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5), kw={}),
+    "t3": dict(
+        cfg=PipeMareConfig.full(anneal_steps=50, warmup_steps=2, decay=0.5), kw={}
+    ),
+    "recompute": dict(
+        cfg=PipeMareConfig.t2_only(decay=0.5), kw={"recompute_segment": 2}
+    ),
+}
+
+
+class TestThreeWayDifferential:
+    """simulator vs barrier vs overlapped — all three must agree exactly."""
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("method", ["gpipe", "pipedream", "pipemare"])
+    def test_methods_match_bitwise(self, rng, backend, method):
+        x, y = toy_classification(rng)
+        runs = {}
+        for label, kw in (
+            ("simulator", None),
+            ("barrier", {"overlap_boundary": False}),
+            ("overlap", {"overlap_boundary": True}),
+        ):
+            if kw is None:
+                model, be = build(PipelineExecutor, method)
+            else:
+                model, be = build(
+                    AsyncPipelineRuntime, method, backend=backend,
+                    deadlock_timeout=TIMEOUT, **kw,
+                )
+            losses = []
+            try:
+                for i in range(6):
+                    b = slice(i * 16, (i + 1) * 16)
+                    losses.append(be.train_step(x[b], y[b]))
+                if hasattr(be, "sync"):
+                    be.sync()
+                runs[label] = (losses, [p.data.copy() for p in model.parameters()])
+            finally:
+                if hasattr(be, "close"):
+                    be.close()
+        ref_losses, ref_weights = runs["simulator"]
+        for label in ("barrier", "overlap"):
+            losses, weights = runs[label]
+            assert losses == ref_losses, f"{label} losses diverged"
+            for p, q in zip(weights, ref_weights):
+                np.testing.assert_array_equal(p, q, err_msg=label)
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    def test_techniques_match_bitwise(self, rng, backend, technique):
+        """T1/T2 velocity reads, T3's sync→async transition and recompute's
+        three-delay reads all resolve through the version gates."""
+        x, y = toy_classification(rng)
+        spec = TECHNIQUES[technique]
+        m1, ex = build(PipelineExecutor, cfg=spec["cfg"], **spec["kw"])
+        m2, rt = build(
+            AsyncPipelineRuntime, cfg=spec["cfg"], backend=backend,
+            deadlock_timeout=TIMEOUT, overlap_boundary=True, **spec["kw"],
+        )
+        with rt:
+            for i in range(8):
+                b = slice((i * 16) % 80, (i * 16) % 80 + 16)
+                l1 = ex.train_step(x[b], y[b])
+                l2 = rt.train_step(x[b], y[b])
+                assert l1 == l2, f"step {i}: {l1!r} != {l2!r}"
+            rt.sync()
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+
+class TestSlotReuseInvariant:
+    @pytest.mark.parametrize("method", ["gpipe", "pipedream", "pipemare"])
+    @pytest.mark.parametrize("num_stages,num_microbatches", [(1, 1), (2, 2), (4, 2), (4, 8), (7, 3)])
+    @pytest.mark.parametrize("recompute", [None, 2])
+    def test_no_wave_can_reach_the_slot_being_rewritten(
+        self, method, num_stages, num_microbatches, recompute
+    ):
+        """The barrier-free publish rewrites slot ``(t − history) % history``
+        while step t is in flight; every wave of step t must resolve
+        versions ≥ ``t − (history − 2)`` — the weight_store.py window
+        invariant the overlapped boundary relies on, checked over the
+        whole (op, stage, microbatch) grid."""
+        from repro.pipeline.plan import StepPlan
+
+        if recompute is not None and recompute > num_stages:
+            pytest.skip("segment larger than pipeline")
+        model = MLP([6] + [4] * num_stages + [3], np.random.default_rng(0))
+        stages = partition_model(model, num_stages)
+        plan = StepPlan(
+            params=model.parameters(),
+            optimizer=SGD(param_groups_from_stages(stages), lr=0.1),
+            stages=stages,
+            num_microbatches=num_microbatches,
+            method=method,
+            recompute_segment=recompute,
+        )
+        history = plan.profile.history_needed()
+        def reads(op, s, t, j, sync):
+            """Every store version the (op, stage, microbatch) wave loads."""
+            if sync:
+                return [t]
+            if op == "F":
+                return [plan.profile.fwd_version(s, t, j)]
+            if op == "B":
+                if method == "pipedream":
+                    return [plan.profile.bkwd_version(s, t, j)]
+                return [t]
+            return [plan._recompute_version(s, t, j)]
+
+        for t in (0, 1, history, history + 3, 50):
+            sync = plan.is_sync_step_at(t)
+            for op in ("F", "R", "B"):
+                if op == "R" and not plan.recompute_active(sync):
+                    continue
+                for s in range(num_stages):
+                    for j in range(num_microbatches):
+                        gate = plan.required_version(op, s, t, j, sync)
+                        assert gate <= t, (op, s, t, j)
+                        for v in reads(op, s, t, j, sync):
+                            assert v <= gate, (
+                                f"wave ({op}, {s}, {t}, {j}) reads version "
+                                f"{v} newer than its gate {gate}"
+                            )
+                            assert v >= max(0, t - (history - 2)), (
+                                f"wave ({op}, stage {s}, t {t}, j {j}) reads "
+                                f"version {v}, inside the slot being "
+                                f"rewritten (history {history})"
+                            )
+
+
+class TestStorePublishOrder:
+    def test_store_advertises_version_only_after_all_stages_land(self, rng):
+        """``push_arrays`` must be a release operation: ``latest_version``
+        may not advance until *every* stage buffer holds the new payload.
+        A lockless gate fast-path reading mid-push would otherwise resolve
+        a not-yet-written stage and KeyError (regression: the store used
+        to derive latest_version from stage 0's buffer, which is appended
+        first)."""
+        model = MLP([6, 8, 8, 3], np.random.default_rng(0))
+        stages = partition_model(model, 3)
+        from repro.pipeline.weight_store import WeightVersionStore
+
+        store = WeightVersionStore(stages, history=3)
+        observed = []
+        for buf in store._buffers:
+            real_append = buf.append
+
+            def spy(payload, _real=real_append):
+                observed.append(store.latest_version)
+                return _real(payload)
+
+            buf.append = spy
+        new = [[np.zeros_like(p.data) for p in s.params] for s in stages]
+        assert store.push_arrays(new) == 1
+        assert observed == [0, 0, 0], (
+            f"latest_version advanced mid-push: {observed}"
+        )
+        assert store.latest_version == 1
+
+
+class TestDeferredBoundaryStateMachine:
+    @pytest.mark.timeout(60)
+    def test_boundary_is_genuinely_deferred_until_sync(self, rng):
+        """White-box: after an overlapped train_step the optimizer has not
+        stepped (plan.t and the store's latest version lag by one);
+        ``sync()`` publishes the pending version and restores the live
+        weights — the cross-step pipelining this PR exists for."""
+        x, y = toy_classification(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=TIMEOUT)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            assert rt.plan.t == 0, "boundary ran inline — nothing overlapped"
+            assert rt.store.latest_version == 0
+            rt.train_step(x[16:32], y[16:32])
+            # step 0's boundary was completed while step 1 filled
+            assert rt.plan.t == 1
+            assert rt.store.latest_version == 1
+            rt.sync()
+            assert rt.plan.t == 2
+            assert rt.store.latest_version == 2
+            for s, stage in enumerate(rt.stages):
+                for p, stored in zip(
+                    stage.params, rt.store.weights(s, rt.store.latest_version)
+                ):
+                    assert p.data is stored
+
+    @pytest.mark.timeout(60)
+    def test_sync_is_idempotent_and_step_time_tracks_issue_index(self, rng):
+        """step_time() must describe the *next* step to issue (T3's warmup
+        window is indexed by minibatch), and repeated sync() is a no-op."""
+        x, y = toy_classification(rng)
+        cfg = PipeMareConfig.full(anneal_steps=50, warmup_steps=2, decay=0.5)
+        m1, ex = build(PipelineExecutor, cfg=cfg)
+        m2, rt = build(AsyncPipelineRuntime, cfg=cfg, deadlock_timeout=TIMEOUT)
+        with rt:
+            for i in range(4):
+                b = slice(i * 16, (i + 1) * 16)
+                assert ex.step_time() == rt.step_time(), f"step {i}"
+                l1 = ex.train_step(x[b], y[b])
+                l2 = rt.train_step(x[b], y[b])
+                assert l1 == l2
+            rt.sync()
+            rt.sync()
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    @pytest.mark.timeout(60)
+    def test_state_dict_settles_pending_boundary(self, rng):
+        """Checkpointing mid-pipeline must capture the post-step state the
+        simulator would have written, and restoring must continue the exact
+        trajectory."""
+        x, y = toy_classification(rng)
+        m1, ex = build(PipelineExecutor)
+        m2, rt = build(AsyncPipelineRuntime, deadlock_timeout=TIMEOUT)
+        with rt:
+            for i in range(3):
+                b = slice(i * 16, (i + 1) * 16)
+                assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+            state = rt.state_dict()  # auto-sync: boundary of step 2 lands here
+            assert rt.t == ex.t
+            m3, rt2 = build(AsyncPipelineRuntime, seed=11, deadlock_timeout=TIMEOUT)
+            with rt2:
+                m3.load_state_dict(m2.state_dict())
+                rt2.optimizer.load_state_dict(rt.optimizer.state_dict())
+                rt2.load_state_dict(state)
+                for i in range(3, 6):
+                    b = slice(i * 16, (i + 1) * 16)
+                    assert ex.train_step(x[b], y[b]) == rt2.train_step(x[b], y[b])
+
+
+class TestErrorPathsWithBoundaryPending:
+    @pytest.mark.timeout(60)
+    def test_worker_exception_lands_pending_update_and_restores(self, rng):
+        """Step t+1's worker raises while step t's boundary is pending: the
+        pending update must land (step t completed — its gradients are
+        intact) and the live weights must be the latest version, matching
+        the simulator after step t exactly."""
+        x, y = toy_classification(rng)
+        m1, ex = build(PipelineExecutor)
+        m2, rt = build(AsyncPipelineRuntime, deadlock_timeout=5.0)
+        ex.train_step(x[:16], y[:16])
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            assert rt.store.latest_version == 0  # boundary deferred
+            with pytest.raises(Exception):
+                rt.train_step(x[:16, :4], y[:16])  # wrong feature dim
+            assert rt.store.latest_version == 1, "pending step-0 update lost"
+            for s, stage in enumerate(rt.stages):
+                for p, stored in zip(
+                    stage.params, rt.store.weights(s, rt.store.latest_version)
+                ):
+                    assert p.data is stored
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+            # and the runtime keeps training, still bit-identical
+            assert ex.train_step(x[16:32], y[16:32]) == rt.train_step(x[16:32], y[16:32])
+            rt.sync()
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    @pytest.mark.timeout(120)
+    def test_process_worker_death_with_step_in_flight(self, rng):
+        """Step t+1 is in flight (and step t's boundary pending) when a
+        worker dies: both steps must drain — t's update published, t+1
+        aborted — with the latest weights live and the pool wedged."""
+        x, y = toy_classification(rng)
+        m, rt = build(
+            AsyncPipelineRuntime, backend="process",
+            deadlock_timeout=5.0, done_grace=2.0,
+        )
+        rt.train_step(x[:16], y[:16])
+        assert rt.store.latest_version == 0  # boundary deferred
+        # Sabotage one worker's command pipe so the *issue* of step 1 fails
+        # mid-overlap (the worker is gone between steps).
+        rt.pool._procs[1].terminate()
+        rt.pool._procs[1].join(timeout=5.0)
+        rt.pool._conns[1].close()
+        with pytest.raises(PipelineDeadlockError):
+            rt.train_step(x[16:32], y[16:32])
+        assert rt.pool.wedged
+        assert rt.store.latest_version == 1, "pending step-0 update lost"
+        for s, stage in enumerate(rt.stages):
+            for p, stored in zip(
+                stage.params, rt.store.weights(s, rt.store.latest_version)
+            ):
+                assert p.data is stored
+        with pytest.raises(RuntimeError, match="wedged"):
+            rt.train_step(x[:16], y[:16])
+        rt.close()
+
+
+class TestMicrobatchViews:
+    def test_split_views_matches_array_split_and_shares_memory(self, rng):
+        x = rng.normal(size=(19, 4))
+        for n in (1, 2, 3, 4, 8):
+            ours = split_views(x, n)
+            refs = np.array_split(x, n)
+            assert len(ours) == len(refs)
+            for a, b in zip(ours, refs):
+                np.testing.assert_array_equal(a, b)
+                assert np.shares_memory(a, x), "microbatch is a copy, not a view"
+
+    @pytest.mark.timeout(60)
+    def test_thread_workers_receive_views_of_the_minibatch(self, rng):
+        """The external-input routing must hand thread workers windows into
+        the caller's arrays — a per-step copy on this path is a perf
+        regression (the process backend necessarily copies into the
+        command pipe instead)."""
+        x, y = toy_classification(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=TIMEOUT)
+        captured = []
+        real_issue = rt.pool.issue
+
+        def spy_issue(t, sync, ext, ys, scales, n):
+            captured.append((ext, ys))
+            return real_issue(t, sync, ext, ys, scales, n)
+
+        rt.pool.issue = spy_issue
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            ext, ys = captured[0]
+            for stream in ext:
+                for xj in stream:
+                    assert np.shares_memory(xj, x), "worker input was copied"
+            for yj in ys:
+                assert np.shares_memory(yj, y), "worker target was copied"
+
+
+class TestMailboxAndMetrics:
+    @pytest.mark.timeout(120)
+    def test_mailbox_step_stamps(self, rng):
+        """Every stage block must carry the collected step's stamp, and a
+        stale stamp must fail loudly instead of folding silently."""
+        x, y = toy_classification(rng)
+        m, rt = build(AsyncPipelineRuntime, backend="process", deadlock_timeout=TIMEOUT)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            rt.pool.mailbox.check_stamps(1)  # first issued step
+            rt.train_step(x[16:32], y[16:32])
+            rt.pool.mailbox.check_stamps(2)
+            with pytest.raises(RuntimeError, match="mailbox"):
+                rt.pool.mailbox.check_stamps(7)
+
+    @pytest.mark.timeout(60)
+    def test_boundary_stall_metric_separates_the_modes(self, rng):
+        """Barrier mode pays a measurable non-overlapped boundary every
+        step; overlap mode must report zero non-overlapped boundary time
+        (its boundary runs inside the next step's fill; any residual cost
+        shows up as per-worker gate stalls instead)."""
+        x, y = toy_classification(rng)
+        m1, barrier = build(
+            AsyncPipelineRuntime, deadlock_timeout=TIMEOUT, overlap_boundary=False
+        )
+        with barrier:
+            for i in range(4):
+                b = slice(i * 16, (i + 1) * 16)
+                barrier.train_step(x[b], y[b])
+            assert barrier.stats.total_boundary > 0.0
+            assert barrier.stats.boundary_stall_fraction() > 0.0
+            assert all(s == 0.0 for s in barrier.stats.total_stall)
+        m2, overlap = build(
+            AsyncPipelineRuntime, deadlock_timeout=TIMEOUT, overlap_boundary=True
+        )
+        with overlap:
+            for i in range(4):
+                b = slice(i * 16, (i + 1) * 16)
+                overlap.train_step(x[b], y[b])
+            assert overlap.stats.total_boundary == 0.0
+            assert overlap.stats.steps == 4

@@ -63,6 +63,8 @@ def assert_equivalent(m1, ex, m2, rt, x, y, steps=6, batch=16):
         l1 = ex.train_step(x[b], y[b])
         l2 = rt.train_step(x[b], y[b])
         assert l1 == l2, f"step {i}: simulator loss {l1!r} != process loss {l2!r}"
+    if hasattr(rt, "sync"):
+        rt.sync()  # settle a pending overlapped boundary before comparing
     for p1, p2 in zip(m1.parameters(), m2.parameters()):
         np.testing.assert_array_equal(p1.data, p2.data)
 
@@ -127,6 +129,7 @@ class TestDifferentialGrid:
         with rt:
             for _ in range(4):
                 assert ex.train_step(x, y) == rt.train_step(x, y)
+            rt.sync()
             for p1, p2 in zip(m1.parameters(), m2.parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
 
@@ -176,6 +179,7 @@ class TestModelsAndState:
             assert rt.num_workers < 8
             for _ in range(3):
                 assert ex.train_step(x, y) == rt.train_step(x, y)
+            rt.sync()
             for p1, p2 in zip(models[0].parameters(), models[1].parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
             for m_sim, m_proc in zip(models[0].modules(), models[1].modules()):
@@ -259,6 +263,7 @@ class TestModelsAndState:
             for i in range(5):
                 b = slice(i * 8, i * 8 + 16)
                 assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+            rt.sync()
             for p1, p2 in zip(models[0].parameters(), models[1].parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
 
@@ -342,6 +347,7 @@ class TestRuntimeContract:
         m, rt = build_process_backend("pipemare", num_stages=4, num_microbatches=2)
         with rt:
             rt.train_step(x[:16], y[:16])
+            rt.sync()  # with the overlapped boundary, eval points read via sync()
             for s, stage in enumerate(rt.stages):
                 for p, stored in zip(stage.params, rt.store.weights(s, rt.store.latest_version)):
                     assert p.data is stored
@@ -393,6 +399,7 @@ class TestErrorPaths:
                     assert p.data is stored, "error left delayed weights live"
             assert rt.stats.steps == 1, "aborted step must not commit stats"
             assert ex.train_step(x[16:32], y[16:32]) == rt.train_step(x[16:32], y[16:32])
+            rt.sync()
             for p1, p2 in zip(m1.parameters(), m2.parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
 

@@ -59,6 +59,7 @@ def assert_equivalent(workload, runtime, steps=5, **bundle_kw):
             l1 = b_sim.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
             l2 = b_rt.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
             assert l1 == l2, f"step {i}: simulator loss {l1!r} != {runtime} loss {l2!r}"
+        b_rt.executor.sync()  # settle the overlapped boundary before comparing
         for p1, p2 in zip(b_sim.model.parameters(), b_rt.model.parameters()):
             np.testing.assert_array_equal(p1.data, p2.data)
     finally:

@@ -1,12 +1,14 @@
-"""``repro info`` — the experiment index: which command regenerates which
-paper artifact, plus package metadata."""
+"""``repro info`` — the experiment index plus, with ``--workload``, the
+partition table for a given ``--stages/--granularity/--partition``: which
+segments land on which worker, their parameter counts and estimated cost
+share, and the partition's max/mean imbalance."""
 
 from __future__ import annotations
 
 import argparse
 
 from repro._version import __version__
-from repro.cli._command import Command
+from repro.cli._command import Command, add_workload_arg, make_workload
 from repro.viz import format_table
 
 _INDEX = [
@@ -26,11 +28,115 @@ _INDEX = [
 
 
 def _add_arguments(parser: argparse.ArgumentParser) -> None:
-    del parser  # no options
+    add_workload_arg(parser)
+    parser.add_argument(
+        "--partition-table", action="store_true",
+        help="print the stage/worker partition table for --workload at "
+        "--stages/--granularity/--partition instead of the artifact index",
+    )
+    parser.add_argument(
+        "--stages", type=int, default=None,
+        help="stage count for the partition table (default: the workload's "
+        "default pipeline depth)",
+    )
+    parser.add_argument(
+        "--granularity", choices=["layer", "sublayer"], default="layer",
+        help="stage-graph slicing granularity for the partition table",
+    )
+    parser.add_argument(
+        "--partition", choices=["even", "auto", "profile"], default="even",
+        help="partition mode for the table (profile times a sample batch)",
+    )
+
+
+def partition_table(workload, num_stages, granularity: str, partition: str) -> str:
+    """Render the per-worker partition table: segments, parameter counts,
+    estimated cost shares, and the plan's max/mean imbalance."""
+    from repro.pipeline.stage_compute import build_worker_graph
+
+    from repro.pipeline import costmodel
+
+    model = workload.build_model(0)
+    plan = workload.partition_plan(model, num_stages, granularity, partition)
+    stages = plan.stages(model)
+    graph = build_worker_graph(model, stages, granularity=granularity)
+
+    # The even plan records uniform unit costs by design, so score its
+    # bounds under the analytic estimates — otherwise the table would
+    # report unit-count shares and a meaningless 1.0-ish imbalance.
+    unit_costs = (
+        [u.cost for u in costmodel.analytic_unit_costs(model)]
+        if plan.mode == "even"
+        else None
+    )
+    stage_costs = plan.stage_costs(unit_costs)
+    total_cost = sum(stage_costs) or 1.0
+    rows = []
+    for worker in graph.workers:
+        segments = [
+            f"{seg.node.name}[{'+'.join(sorted({type(el).__name__.lstrip('_') for el in seg.elements}))}]"
+            for seg in worker.segments
+        ]
+        owned = sorted(worker.stages)
+        span = (
+            f"{owned[0]}" if len(owned) == 1 else f"{owned[0]}-{owned[-1]}"
+        ) if owned else "-"
+        # A stage whose parameters span a worker boundary is shared: charge
+        # each worker its owned share, so the columns sum to the totals.
+        params = sum(p.size for b in worker.bindings for p in b.params)
+        cost = sum(
+            stage_costs[b.stage]
+            * (sum(p.size for p in b.params) / max(stages[b.stage].size, 1))
+            for b in worker.bindings
+        )
+        units = len({
+            name.rsplit(".", 1)[0] if "." in name else name
+            for b in worker.bindings
+            for name in (stages[b.stage].names[pos] for pos in b.positions)
+        })
+        rows.append([
+            str(worker.index),
+            span,
+            str(units),
+            str(params),
+            f"{100.0 * cost / total_cost:.1f}%",
+            ", ".join(segments),
+        ])
+    header = (
+        f"partition: workload={workload.name} stages={plan.num_stages} "
+        f"granularity={granularity} partition={partition} "
+        f"workers={graph.num_workers}"
+    )
+    table = format_table(
+        ["worker", "stages", "units", "params", "cost share", "segments"],
+        rows,
+        title=header,
+    )
+    mean = sum(stage_costs) / len(stage_costs)
+    source = "analytic estimates" if plan.mode == "even" else f"{plan.mode} costs"
+    summary = (
+        f"stage cost imbalance (max/mean): {plan.imbalance(unit_costs):.3f}  "
+        f"(max {max(stage_costs):.3g}, mean {mean:.3g} over "
+        f"{plan.num_stages} stages, {source})"
+    )
+    return f"{table}\n{summary}"
 
 
 def _run(args: argparse.Namespace) -> int:
-    del args
+    # Any partition-shaped flag (or a workload other than the shared
+    # default) asks for the table — never silently drop an argument.
+    wants_table = (
+        args.partition_table
+        or args.stages is not None
+        or args.granularity != "layer"
+        or args.partition != "even"
+        or args.workload != "cifar"
+    )
+    if wants_table:
+        workload = make_workload(args.workload)
+        num_stages = args.stages if args.stages is not None else workload.default_stages
+        print(partition_table(workload, num_stages, args.granularity, args.partition))
+        return 0
     print(f"repro {__version__} — PipeMare: Asynchronous Pipeline Parallel DNN Training")
     print("(Yang et al., MLSYS 2021; arXiv:1910.05124)\n")
     print(
@@ -41,6 +147,10 @@ def _run(args: argparse.Namespace) -> int:
         )
     )
     print("\nFull benchmark harness: pytest benchmarks/ --benchmark-only -s")
+    print(
+        "Partition table: repro info --partition-table --workload iwslt "
+        "--stages 12 --granularity sublayer --partition auto"
+    )
     return 0
 
 

@@ -44,6 +44,20 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "reads (default on; trajectories stay bit-identical either way; "
         "ignored by the simulator)",
     )
+    parser.add_argument(
+        "--granularity", choices=["layer", "sublayer"], default="layer",
+        help="stage-graph slicing granularity for the concurrent runtimes: "
+        "'sublayer' splits attention/FFN/norm-residual sub-chains into "
+        "separate elements, so fine partitions run with strictly more "
+        "workers than layers (trajectories stay bit-identical)",
+    )
+    parser.add_argument(
+        "--partition", choices=["even", "auto", "profile"], default="even",
+        help="how weight units split into stages: the paper's even-by-count "
+        "rule, the analytic flops/bytes balanced partition, or a "
+        "micro-profiled balanced partition timed on a sample batch "
+        "(see 'repro info --workload ... --stages N' for the table)",
+    )
     parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
 
 
@@ -91,7 +105,8 @@ def _run(args: argparse.Namespace) -> int:
     print(
         f"workload={workload.name} method={args.method} config={desc} "
         f"runtime={args.runtime} epochs={args.epochs} stages="
-        f"{args.stages if args.stages else workload.max_stages()}"
+        f"{args.stages if args.stages else workload.max_stages()} "
+        f"granularity={args.granularity} partition={args.partition}"
     )
     result = workload.run(
         method=args.method,
@@ -102,6 +117,8 @@ def _run(args: argparse.Namespace) -> int:
         recompute_segment=args.recompute_segment,
         runtime=args.runtime,
         overlap_boundary=args.overlap_boundary == "on",
+        granularity=args.granularity,
+        partition=args.partition,
     )
     metric = result.history.series("eval_metric")
     losses = result.history.series("train_loss")

@@ -32,13 +32,13 @@ from repro.pipeline import (
     AsyncPipelineRuntime,
     Method,
     ModelSpec,
+    Partitioner,
     PipelineExecutor,
     make_backend,
-    partition_model,
 )
 from repro.pipeline.plan import split_views
 from repro.pipeline.executor import param_groups_from_stages
-from repro.pipeline.partition import num_weight_units
+from repro.pipeline.partition import PartitionPlan, num_weight_units
 from repro.train import PipelineTrainer, evaluate_classifier, evaluate_translation
 from repro.train.pipeline_trainer import TrainResult
 
@@ -70,6 +70,37 @@ class _BaseWorkload:
     def resolve_stages(self, num_stages: int | None) -> int | None:
         return self.default_stages if num_stages is None else num_stages
 
+    def sample_profile_inputs(self) -> tuple:
+        """One small sample array per external model input — what the
+        ``profile`` partition mode times stage-graph elements on."""
+        raise NotImplementedError
+
+    def partition_plan(
+        self,
+        model: Module,
+        num_stages: int | None,
+        granularity: str = "layer",
+        partition: str = "even",
+    ) -> PartitionPlan:
+        """The workload's :class:`~repro.pipeline.partition.PartitionPlan`
+        for the requested stage count / granularity / cost mode.
+
+        Plans are cached per (partition, granularity, stages): profiling
+        timers are nondeterministic, so every bundle of one workload —
+        simulator and concurrent runtimes alike — must consume the *same*
+        plan object or their stage boundaries (and hence trajectories)
+        could silently diverge.  Costs depend only on parameter shapes,
+        which are seed-independent, so the cache is safe across seeds.
+        """
+        cache = self.__dict__.setdefault("_plan_cache", {})
+        key = (partition, granularity, num_stages)
+        if key not in cache:
+            sample = self.sample_profile_inputs() if partition == "profile" else None
+            cache[key] = Partitioner(partition, granularity).plan(
+                model, num_stages, sample_inputs=sample
+            )
+        return cache[key]
+
     def supported_runtimes(self) -> tuple[str, ...]:
         """Pipeline backends this workload can train on.  Every workload —
         including the two-stream Transformer, which slices through its
@@ -90,6 +121,8 @@ class _BaseWorkload:
         recompute_segment: int | None = None,
         runtime: str = "simulator",
         overlap_boundary: bool | None = None,
+        granularity: str = "layer",
+        partition: str = "even",
     ) -> WorkloadBundle:
         raise NotImplementedError
 
@@ -104,10 +137,12 @@ class _BaseWorkload:
         eval_every: int = 1,
         runtime: str = "simulator",
         overlap_boundary: bool | None = None,
+        granularity: str = "layer",
+        partition: str = "even",
     ) -> TrainResult:
         b = self.bundle(
             method, pipemare, num_stages, seed, recompute_segment, runtime,
-            overlap_boundary,
+            overlap_boundary, granularity, partition,
         )
         try:
             result = b.trainer.run(epochs, eval_every=eval_every)
@@ -202,12 +237,20 @@ class ImageWorkload(_BaseWorkload):
             )
         return PipeMareConfig.t1_t2(self.default_anneal_steps(), decay=self.tuned_decay)
 
+    def sample_profile_inputs(self) -> tuple:
+        micro = max(1, self.batch_size // self.num_microbatches)
+        return (self.data.train_x[:micro],)
+
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
-               overlap_boundary=None) -> WorkloadBundle:
+               overlap_boundary=None, granularity="layer",
+               partition="even") -> WorkloadBundle:
         model = self.build_model(seed)
         loss = CrossEntropyLoss()
-        stages = partition_model(model, self.resolve_stages(num_stages))
+        plan = self.partition_plan(
+            model, self.resolve_stages(num_stages), granularity, partition
+        )
+        stages = plan.stages(model)
         opt = SGD(
             param_groups_from_stages(stages),
             lr=self.lr,
@@ -218,6 +261,7 @@ class ImageWorkload(_BaseWorkload):
             runtime, model, loss, opt, stages, self.num_microbatches, method,
             pipemare=pipemare, base_schedule=self.base_schedule(),
             recompute_segment=recompute_segment, overlap_boundary=overlap_boundary,
+            granularity=granularity, partition_plan=plan,
         )
 
         def batch_fn(rng):
@@ -305,16 +349,33 @@ class TranslationWorkload(_BaseWorkload):
     def build_model(self, seed: int) -> Transformer:
         return transformer_tiny(np.random.default_rng(seed), **self._model_kwargs(seed))
 
-    def model_spec(self, seed: int, num_stages: int | None) -> ModelSpec:
+    def model_spec(
+        self,
+        seed: int,
+        num_stages: int | None,
+        plan: PartitionPlan | None = None,
+    ) -> ModelSpec:
         """Factory-based spec for process workers: replicas rebuild from the
         constructor recipe instead of a pickled snapshot, so only shapes and
-        deterministic attributes (dropout layer ids) matter."""
+        deterministic attributes (dropout layer ids) matter.  ``plan``
+        carries a non-even partition so every replica rebuilds the driver's
+        exact stage boundaries."""
         return ModelSpec(
             factory="repro.models.transformer:transformer_tiny",
             args=(np.random.default_rng(seed),),
             kwargs=self._model_kwargs(seed),
             num_stages=num_stages,
+            plan=plan,
         )
+
+    def sample_profile_inputs(self) -> tuple:
+        saved = self.task.rng
+        self.task.rng = np.random.default_rng(0)
+        try:
+            b = self.task.sample_batch(max(2, self.batch_size // self.num_microbatches))
+        finally:
+            self.task.rng = saved
+        return (b.src, b.tgt_in)
 
     def max_stages(self) -> int:
         return num_weight_units(self.build_model(0))
@@ -340,7 +401,8 @@ class TranslationWorkload(_BaseWorkload):
 
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
-               overlap_boundary=None) -> WorkloadBundle:
+               overlap_boundary=None, granularity="layer",
+               partition="even") -> WorkloadBundle:
         if runtime not in self.supported_runtimes():
             raise ValueError(
                 f"unknown runtime {runtime!r} for translation workloads "
@@ -350,7 +412,10 @@ class TranslationWorkload(_BaseWorkload):
         loss = SequenceCrossEntropyLoss(
             pad_id=self.task.pad_id, label_smoothing=self.label_smoothing
         )
-        stages = partition_model(model, self.resolve_stages(num_stages))
+        plan = self.partition_plan(
+            model, self.resolve_stages(num_stages), granularity, partition
+        )
+        stages = plan.stages(model)
         opt = AdamW(
             param_groups_from_stages(stages),
             lr=self.lr,
@@ -360,6 +425,7 @@ class TranslationWorkload(_BaseWorkload):
         common = dict(
             pipemare=pipemare, base_schedule=self.base_schedule(),
             grad_clip=self.grad_clip, recompute_segment=recompute_segment,
+            partition_plan=plan,
         )
         if runtime == "simulator":
             executor: object = _TranslationExecutor(
@@ -367,9 +433,10 @@ class TranslationWorkload(_BaseWorkload):
             )
         else:
             common["overlap_boundary"] = overlap_boundary
+            common["granularity"] = granularity
             if runtime == "process":
                 common["backend"] = "process"
-                common["model_spec"] = self.model_spec(seed, len(stages))
+                common["model_spec"] = self.model_spec(seed, len(stages), plan)
             executor = _TranslationRuntime(
                 model, loss, opt, stages, self.num_microbatches, method, **common
             )

@@ -76,6 +76,66 @@ class BasicBlock(Module):
         )
         return g_main + g_shortcut
 
+    def pipeline_chain(self, granularity: str = "layer") -> list:
+        """Chain elements for the concurrent runtime.  ``layer`` keeps the
+        block atomic (its two-branch dataflow internal to one element);
+        ``sublayer`` splits it into the first conv sub-chain and the
+        second-conv + shortcut join, carrying the block input through the
+        payload — so the finest partition yields strictly more workers than
+        residual blocks, with the exact arithmetic of :meth:`backward`."""
+        if granularity == "sublayer":
+            return [_BlockMainSlice(self), _BlockJoinSlice(self)]
+        return [self]
+
+
+class _BlockMainSlice(Module):
+    """First half of a :class:`BasicBlock` (conv1-norm1-relu) as its own
+    chain element: ``x → (h, x)``, the block input riding the payload to
+    the shortcut join.  Holds the block's *submodules*, so the two halves'
+    parameters slice independently at sublayer granularity."""
+
+    def __init__(self, block: BasicBlock):
+        super().__init__()
+        self.conv = block.conv1
+        self.norm = block.norm1
+        self.relu = block.relu1
+
+    def forward(self, x: np.ndarray):
+        return self.relu(self.norm(self.conv(x))), x
+
+    def backward(self, grad):
+        g_h, g_x = grad
+        g_main = self.conv.backward(self.norm.backward(self.relu.backward(g_h)))
+        return g_main + g_x
+
+
+class _BlockJoinSlice(Module):
+    """Second half of a :class:`BasicBlock`: conv2-norm2 plus the shortcut
+    add (projected when shapes change) and the output ReLU.  Backward
+    returns ``(g_h, g_x)`` for the payload, with the identical expressions
+    and operand order of :meth:`BasicBlock.backward`."""
+
+    def __init__(self, block: BasicBlock):
+        super().__init__()
+        self.conv = block.conv2
+        self.norm = block.norm2
+        self.relu_out = block.relu_out
+        self.has_projection = block.has_projection
+        if block.has_projection:
+            self.proj = block.proj
+
+    def forward(self, payload):
+        h, x = payload
+        hh = self.norm(self.conv(h))
+        shortcut = self.proj(x) if self.has_projection else x
+        return self.relu_out(hh + shortcut)
+
+    def backward(self, grad_out: np.ndarray):
+        g = self.relu_out.backward(grad_out)
+        g_shortcut = self.proj.backward(g) if self.has_projection else g
+        g_h = self.conv.backward(self.norm.backward(g))
+        return g_h, g_shortcut
+
 
 class ResNet(Module):
     """Stem + staged residual blocks + global pool + linear classifier.

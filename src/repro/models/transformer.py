@@ -305,7 +305,7 @@ class Transformer(Module):
         return None
 
     # -- pipeline slicing -------------------------------------------------------
-    def pipeline_graph(self):
+    def pipeline_graph(self, granularity: str = "layer"):
         """The two-stream stage-program graph (see
         :mod:`repro.pipeline.stage_compute`): the encoder and the target
         embedding run as parallel chains that merge at the decoder's
@@ -313,13 +313,37 @@ class Transformer(Module):
         ``(d, memory, tgt_keep, src_keep)`` so every decoder slice can
         attend over the encoder memory, and the memory gradient accumulates
         back along the chain in the exact order of :meth:`backward`.
+
+        ``granularity="layer"`` keeps one chain element per encoder/decoder
+        layer; ``"sublayer"`` splits every layer into its attention / FFN
+        (and, in the decoder, cross-attention) sub-chains — each sub-chain
+        one element, each still ending at its norm+residual — so the finest
+        partition yields strictly more workers than layers (the PipeMare
+        §4.1 direction: asynchronous pipelines get faster as stages get
+        finer).  Both granularities execute the exact arithmetic of
+        :meth:`forward`/:meth:`backward`, element by element.
         """
+        from repro.pipeline.partition import GRANULARITIES
         from repro.pipeline.stage_compute import GraphNode, StageGraph
 
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {granularity!r} (expected one of "
+                f"{GRANULARITIES})"
+            )
         enc: list[Module] = [_SrcStream(self)]
-        enc.extend(_EncoderSlice(layer) for layer in self.encoder_layers)
         dec: list[Module] = [_DecoderJoin()]
-        dec.extend(_DecoderSlice(layer) for layer in self.decoder_layers)
+        if granularity == "sublayer":
+            for layer in self.encoder_layers:
+                enc.append(_EncoderAttnSlice(layer))
+                enc.append(_EncoderFFNSlice(layer))
+            for layer in self.decoder_layers:
+                dec.append(_DecoderSelfAttnSlice(layer))
+                dec.append(_DecoderCrossAttnSlice(layer))
+                dec.append(_DecoderFFNSlice(layer))
+        else:
+            enc.extend(_EncoderSlice(layer) for layer in self.encoder_layers)
+            dec.extend(_DecoderSlice(layer) for layer in self.decoder_layers)
         dec.append(_OutputSlice(self.out_proj))
         return StageGraph([
             GraphNode("encoder", tuple(enc), ("ext:0",)),
@@ -423,6 +447,52 @@ class _EncoderSlice(Module):
         return self.layer.backward(grad)
 
 
+class _EncoderAttnSlice(Module):
+    """The self-attention sub-chain of one encoder layer (attention +
+    dropout + norm/residual) on the ``(h, src_keep)`` payload — the first
+    half of :meth:`EncoderLayer.forward`, as its own chain element so the
+    sublayer granularity can place it on its own worker.  Holds the layer's
+    *submodules* (not the layer), so each sub-chain's parameters slice
+    independently."""
+
+    def __init__(self, layer: EncoderLayer):
+        super().__init__()
+        self.attn = layer.self_attn
+        self.drop = layer.drop1
+        self.ln = layer.ln1
+
+    def forward(self, payload):
+        h, src_keep = payload
+        a = self.drop(self.attn(h, h, h, src_keep))
+        return self.ln(h + a), src_keep
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.ln.backward(grad)
+        dq, dk, dv = self.attn.backward(self.drop.backward(g))
+        return g + dq + dk + dv
+
+
+class _EncoderFFNSlice(Module):
+    """The feed-forward sub-chain of one encoder layer (FFN + dropout +
+    norm/residual) — the second half of :meth:`EncoderLayer.forward`."""
+
+    def __init__(self, layer: EncoderLayer):
+        super().__init__()
+        self.ff = layer.ff
+        self.drop = layer.drop2
+        self.ln = layer.ln2
+
+    def forward(self, payload):
+        h, src_keep = payload
+        f = self.drop(self.ff(h))
+        return self.ln(h + f), src_keep
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = self.ln.backward(grad)
+        g_ff = self.ff.backward(self.drop.backward(g))
+        return g + g_ff
+
+
 class _DecoderJoin(Module):
     """The cross-attention join: merges the target stream and the encoder
     output into the decoder payload.  Backward splits the gradient back
@@ -456,6 +526,75 @@ class _DecoderSlice(Module):
         g_d, g_mem = grad
         g_d, d_mem = self.layer.backward(g_d)
         return g_d, (d_mem if g_mem is None else g_mem + d_mem)
+
+
+class _DecoderSelfAttnSlice(Module):
+    """The causal self-attention sub-chain of one decoder layer on the
+    ``(d, memory, tgt_keep, src_keep)`` payload; backward payload is
+    ``(g_d, g_mem)`` with the memory gradient passed through untouched."""
+
+    def __init__(self, layer: DecoderLayer):
+        super().__init__()
+        self.attn = layer.self_attn
+        self.drop = layer.drop1
+        self.ln = layer.ln1
+
+    def forward(self, payload):
+        d, memory, tgt_keep, src_keep = payload
+        a = self.drop(self.attn(d, d, d, tgt_keep))
+        return self.ln(d + a), memory, tgt_keep, src_keep
+
+    def backward(self, grad):
+        g_d, g_mem = grad
+        g = self.ln.backward(g_d)
+        dq, dk, dv = self.attn.backward(self.drop.backward(g))
+        return g + dq + dk + dv, g_mem
+
+
+class _DecoderCrossAttnSlice(Module):
+    """The cross-attention sub-chain of one decoder layer: attends over the
+    encoder memory, and folds its memory gradient ``dk + dv`` into the
+    running total with the same operand order as
+    :meth:`DecoderLayer.backward` / :class:`_DecoderSlice`."""
+
+    def __init__(self, layer: DecoderLayer):
+        super().__init__()
+        self.attn = layer.cross_attn
+        self.drop = layer.drop2
+        self.ln = layer.ln2
+
+    def forward(self, payload):
+        d, memory, tgt_keep, src_keep = payload
+        c = self.drop(self.attn(d, memory, memory, src_keep))
+        return self.ln(d + c), memory, tgt_keep, src_keep
+
+    def backward(self, grad):
+        g_d, g_mem = grad
+        g = self.ln.backward(g_d)
+        dq, dk, dv = self.attn.backward(self.drop.backward(g))
+        d_mem = dk + dv
+        return g + dq, (d_mem if g_mem is None else g_mem + d_mem)
+
+
+class _DecoderFFNSlice(Module):
+    """The feed-forward sub-chain of one decoder layer."""
+
+    def __init__(self, layer: DecoderLayer):
+        super().__init__()
+        self.ff = layer.ff
+        self.drop = layer.drop3
+        self.ln = layer.ln3
+
+    def forward(self, payload):
+        d, memory, tgt_keep, src_keep = payload
+        f = self.drop(self.ff(d))
+        return self.ln(d + f), memory, tgt_keep, src_keep
+
+    def backward(self, grad):
+        g_d, g_mem = grad
+        g = self.ln.backward(g_d)
+        g = g + self.ff.backward(self.drop.backward(g))
+        return g, g_mem
 
 
 class _OutputSlice(Module):

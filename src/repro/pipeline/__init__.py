@@ -13,7 +13,19 @@ cost models reproduce Table 1, Table 4/5 and the Appendix A.3 throughput
 analysis.
 """
 
-from repro.pipeline.partition import Stage, partition_model, partition_units
+from repro.pipeline.partition import (
+    GRANULARITIES,
+    PARTITION_MODES,
+    PartitionPlan,
+    Partitioner,
+    Stage,
+    balanced_bounds,
+    check_stage_count,
+    even_bounds,
+    num_weight_units,
+    partition_model,
+    partition_units,
+)
 from repro.pipeline.delays import DelayProfile, Method
 from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
 from repro.pipeline.plan import ResolverSpec, StepPlan, WorkerPlanMirror
@@ -52,11 +64,13 @@ def make_backend(runtime: str, *args, **kwargs):
     additionally accept the :class:`AsyncPipelineRuntime` tuning knobs
     (``overlap_boundary``, ``deadlock_timeout``, and for ``process`` also
     ``model_spec``, ``start_method``, ``transport_slot_bytes``).  The
-    simulator has no minibatch barrier to overlap, so ``overlap_boundary``
-    is accepted and ignored there — callers can pass one backend-agnostic
-    kwargs dict."""
+    simulator has no minibatch barrier to overlap and executes the model
+    monolithically, so ``overlap_boundary``, ``granularity`` and
+    ``max_workers`` are accepted and ignored there — callers can pass one
+    backend-agnostic kwargs dict."""
     if runtime == "simulator":
-        kwargs.pop("overlap_boundary", None)
+        for concurrent_only in ("overlap_boundary", "granularity", "max_workers"):
+            kwargs.pop(concurrent_only, None)
         return PipelineExecutor(*args, **kwargs)
     if runtime == "async":
         return AsyncPipelineRuntime(*args, **kwargs)
@@ -69,6 +83,14 @@ __all__ = [
     "Stage",
     "partition_model",
     "partition_units",
+    "Partitioner",
+    "PartitionPlan",
+    "GRANULARITIES",
+    "PARTITION_MODES",
+    "balanced_bounds",
+    "check_stage_count",
+    "even_bounds",
+    "num_weight_units",
     "DelayProfile",
     "Method",
     "WeightVersionStore",

@@ -1,4 +1,6 @@
-"""Analytic hardware cost models — Table 1, Appendix A.1/A.3.
+"""Analytic hardware cost models — Table 1, Appendix A.1/A.3 — plus the
+per-unit cost estimates feeding the balanced partitioner
+(:class:`repro.pipeline.partition.Partitioner`).
 
 The paper estimates throughput analytically rather than on hardware ("The
 execution throughput is estimated using the throughput model in Section 2",
@@ -14,6 +16,8 @@ execution throughput is estimated using the throughput model in Section 2",
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -160,3 +164,155 @@ def time_to_accuracy(epochs_to_target: float, throughput: float) -> float:
     if throughput <= 0:
         raise ValueError("throughput must be positive")
     return epochs_to_target / throughput
+
+
+# -- per-unit partitioning costs ----------------------------------------------
+#
+# The balanced partitioner needs a relative cost per weight *unit* (module
+# prefix — the paper's §4.1 partition atom).  Two estimators:
+#
+# * analytic — flops/bytes from parameter shapes and module types.  A dense
+#   weight costs ~2 MACs per element per token; an embedding is a gather, so
+#   its cost scales with the row width, never the vocabulary — which is
+#   exactly why even-by-unit-count splitting (which would charge a 32k-vocab
+#   table like 32k dense rows) mis-balances embedding-heavy models.
+# * profiled — time each stage-graph element's forward on a sample batch and
+#   spread the measured seconds over the element's units in proportion to
+#   the analytic estimate.  This captures what shapes alone cannot (spatial
+#   extents of convs, cache effects); it runs once on the driver, and only
+#   the resulting PartitionPlan (plain indices) crosses process boundaries.
+
+#: Cost of touching one parameter byte, in flop-equivalents — folds memory
+#: traffic into the scalar the solver balances (weights are re-read every
+#: microbatch on every backend).
+BYTE_FLOP_EQUIV = 0.25
+
+#: np.float64 parameter storage.
+_PARAM_BYTES = 8
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """Analytic cost estimate for one weight unit."""
+
+    name: str
+    elements: int
+    flops: float
+    bytes: float
+
+    @property
+    def cost(self) -> float:
+        """The scalar the balanced-partition solver minimizes the max of."""
+        return self.flops + BYTE_FLOP_EQUIV * self.bytes
+
+
+def _named_modules(model, prefix: str = ""):
+    yield prefix.rstrip("."), model
+    for name, child in model._modules.items():
+        yield from _named_modules(child, f"{prefix}{name}.")
+
+
+def _unit_estimate(name: str, params, module) -> UnitCost:
+    """Flops/bytes for one unit, from its owning module's type and shapes."""
+    from repro.nn.embedding import Embedding
+
+    elements = sum(p.size for p in params)
+    if isinstance(module, Embedding):
+        # Gather + scatter-add: work and traffic scale with the embedding
+        # width (rows touched per token), not the table size.
+        width = params[0].shape[-1]
+        flops = 2.0 * width
+        bytes_ = float(width * _PARAM_BYTES)
+    else:
+        # Matmul-like default (Linear, Conv, attention projections, norms):
+        # ~2 MACs per weight element per token, weights fully re-read.
+        flops = 2.0 * elements
+        bytes_ = float(elements * _PARAM_BYTES)
+    return UnitCost(name=name, elements=elements, flops=flops, bytes=bytes_)
+
+
+def analytic_unit_costs(model) -> list["UnitCost"]:
+    """Per-unit analytic costs, in the model's unit (registration) order."""
+    from repro.pipeline.partition import _units_of
+
+    module_of_prefix = {name: m for name, m in _named_modules(model)}
+    out = []
+    for prefix, named in _units_of(model):
+        params = [p for _, p in named]
+        module = module_of_prefix.get(prefix)
+        out.append(_unit_estimate(prefix, params, module))
+    return out
+
+
+def profile_unit_costs(
+    model,
+    sample_inputs: tuple,
+    granularity: str = "layer",
+    repeats: int = 3,
+) -> list[float]:
+    """Micro-profile the model's stage-graph elements and return per-unit
+    cost estimates (seconds, distributed over each element's units in
+    proportion to their analytic cost).
+
+    The pass runs on a **pickled throwaway copy** of the model in eval
+    mode, so forward caches, RNG streams and running statistics of the live
+    model are untouched.  Each element's forward is timed ``repeats`` times
+    (min taken); backward is not timed — it tracks forward cost closely
+    enough for balancing, and timing it would require driving the full loss
+    machinery.
+    """
+    import pickle
+    import time
+
+    from repro.pipeline.partition import _units_of
+    from repro.pipeline.stage_compute import flatten_graph
+
+    if not isinstance(sample_inputs, (tuple, list)):
+        sample_inputs = (sample_inputs,)
+    copy = pickle.loads(pickle.dumps(model))
+    copy.eval()
+    graph = flatten_graph(copy, granularity=granularity)
+    if graph.num_external != len(sample_inputs):
+        raise ValueError(
+            f"model consumes {graph.num_external} external inputs, got "
+            f"{len(sample_inputs)} sample arrays"
+        )
+
+    units = _units_of(copy)
+    unit_of_param = {}
+    for uid, (_, named) in enumerate(units):
+        for _, p in named:
+            unit_of_param[id(p)] = uid
+    analytic = [u.cost for u in analytic_unit_costs(copy)]
+
+    costs = [0.0] * len(units)
+    outputs: dict[str, object] = {}
+    for node in graph.nodes:
+        ins = [
+            sample_inputs[int(i[4:])] if i.startswith("ext:") else outputs[i]
+            for i in node.inputs
+        ]
+        x = None
+        for e, element in enumerate(node.elements):
+            args = tuple(ins) if e == 0 else (x,)
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                x = element(*args)
+                best = min(best, time.perf_counter() - t0)
+            uids = sorted({
+                unit_of_param[id(p)]
+                for p in element.parameters()
+                if id(p) in unit_of_param
+            })
+            if uids:
+                weight_total = sum(analytic[u] for u in uids)
+                for u in uids:
+                    share = analytic[u] / weight_total if weight_total > 0 else 1.0 / len(uids)
+                    costs[u] += best * share
+        outputs[node.name] = x
+
+    # A unit no element touched (cannot happen for a well-formed graph, but
+    # keep the solver away from zero-cost degeneracies regardless).
+    floor = max(costs) * 1e-6 if max(costs) > 0 else 1.0
+    return [c if c > 0 else floor for c in costs]

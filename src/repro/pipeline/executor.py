@@ -87,6 +87,7 @@ class PipelineExecutor(PipelineBackend):
         base_schedule: LRSchedule | None = None,
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
+        partition_plan=None,
     ):
         super().__init__(
             model,
@@ -101,6 +102,7 @@ class PipelineExecutor(PipelineBackend):
                 base_schedule=base_schedule,
                 grad_clip=grad_clip,
                 recompute_segment=recompute_segment,
+                partition_plan=partition_plan,
             ),
         )
 

@@ -8,6 +8,17 @@ weights evenly into P stages."
 Our Module framework registers parameters in topological order, and a
 layer's weight+bias share the module prefix of their parameter names, so a
 *unit* is the group of parameters sharing a module prefix.
+
+Beyond the paper's even-by-unit-count rule this module hosts the
+**Partitioner subsystem**: per-unit cost estimates (analytic flops/bytes
+from :mod:`repro.pipeline.costmodel`, or a micro-profiling pass that times
+each stage-graph element on a sample batch) feed a contiguous
+balanced-partition solver, producing a picklable :class:`PartitionPlan`
+consumed uniformly by chain and graph models — the driver and every process
+worker rebuild bit-identical stage boundaries from the same plan.  Even
+splitting stays the default (``mode="even"``), and the solver reproduces it
+exactly whenever the costs are uniform, so existing trajectories are
+untouched unless a caller opts into ``auto``/``profile``.
 """
 
 from __future__ import annotations
@@ -17,6 +28,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+
+#: Slicing granularities understood by the stage-graph machinery
+#: (:mod:`repro.pipeline.stage_compute`): ``layer`` keeps each primary block
+#: (encoder/decoder layer, residual block) one chain element; ``sublayer``
+#: splits attention / FFN / norm+residual sub-chains into separate elements,
+#: so the finest partition yields strictly more workers than layers.
+GRANULARITIES = ("layer", "sublayer")
+
+#: Partition modes: ``even`` is the paper's even-by-unit-count rule;
+#: ``auto`` balances the analytic per-unit cost estimates; ``profile``
+#: balances micro-profiled element timings on a sample batch.
+PARTITION_MODES = ("even", "auto", "profile")
 
 
 @dataclass
@@ -65,29 +88,70 @@ def num_weight_units(model: Module) -> int:
     return len(_units_of(model))
 
 
-def partition_units(
-    units: list[tuple[str, list[tuple[str, Parameter]]]], num_stages: int
-) -> list[Stage]:
-    """Split an ordered unit list into ``num_stages`` contiguous stages,
-    as evenly as possible (numpy array_split semantics)."""
+def check_stage_count(
+    num_stages: int,
+    num_units: int,
+    model_name: str = "model",
+    granularity: str = "layer",
+) -> None:
+    """The single "too many stages for this model" validation path.
+
+    Every partition entry point — chain models through
+    :func:`partition_units`, graph models and the CLI through
+    :class:`Partitioner` — funnels the request through here, so an
+    over-fine stage count always fails with the same :class:`ValueError`
+    naming the model, its finest granularity, and the requested count.
+    """
     if num_stages < 1:
         raise ValueError(f"num_stages must be >= 1, got {num_stages}")
-    if num_stages > len(units):
+    if num_stages > num_units:
         raise ValueError(
-            f"cannot make {num_stages} stages from {len(units)} weight units "
-            "(each stage needs at least one unit)"
+            f"cannot split {model_name} into {num_stages} pipeline stages: "
+            f"its finest granularity is {num_units} weight units "
+            f"(granularity={granularity!r}; each stage needs at least one "
+            "unit)"
         )
-    boundaries = np.array_split(np.arange(len(units)), num_stages)
+
+
+def even_bounds(num_units: int, num_stages: int) -> tuple[int, ...]:
+    """Prefix boundaries of the even-by-count split — exactly
+    ``np.array_split`` arithmetic (first ``num_units % num_stages`` stages
+    one unit longer), which the paper's rule and every pre-plan trajectory
+    in this repo rely on bit-for-bit."""
+    size, extra = divmod(num_units, num_stages)
+    bounds = [0]
+    lo = 0
+    for i in range(num_stages):
+        lo += size + (1 if i < extra else 0)
+        bounds.append(lo)
+    return tuple(bounds)
+
+
+def _stages_from_bounds(
+    units: list[tuple[str, list[tuple[str, Parameter]]]],
+    bounds: tuple[int, ...],
+) -> list[Stage]:
     stages = []
-    for idx, unit_ids in enumerate(boundaries):
+    for idx in range(len(bounds) - 1):
         params: list[Parameter] = []
         names: list[str] = []
-        for uid in unit_ids:
+        for uid in range(bounds[idx], bounds[idx + 1]):
             for name, p in units[uid][1]:
                 params.append(p)
                 names.append(name)
         stages.append(Stage(index=idx, params=params, names=names))
     return stages
+
+
+def partition_units(
+    units: list[tuple[str, list[tuple[str, Parameter]]]],
+    num_stages: int,
+    model_name: str = "model",
+) -> list[Stage]:
+    """Split an ordered unit list into ``num_stages`` contiguous stages,
+    as evenly as possible (numpy array_split semantics)."""
+    check_stage_count(num_stages, len(units), model_name)
+    return _stages_from_bounds(units, even_bounds(len(units), num_stages))
 
 
 def partition_model(model: Module, num_stages: int | None = None) -> list[Stage]:
@@ -96,4 +160,283 @@ def partition_model(model: Module, num_stages: int | None = None) -> list[Stage]
     units = _units_of(model)
     if num_stages is None:
         num_stages = len(units)
-    return partition_units(units, num_stages)
+    return partition_units(units, num_stages, type(model).__name__)
+
+
+# -- the balanced-partition solver ---------------------------------------------
+
+
+def _blocks_of(costs: list[float], atoms: list[int] | None) -> list[tuple[int, int]]:
+    """Group consecutive units sharing an atom id into indivisible blocks;
+    ``atoms=None`` leaves every unit its own block."""
+    if atoms is None:
+        return [(i, i + 1) for i in range(len(costs))]
+    if len(atoms) != len(costs):
+        raise ValueError(f"{len(atoms)} atom ids for {len(costs)} units")
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, len(atoms) + 1):
+        if i == len(atoms) or atoms[i] != atoms[i - 1]:
+            blocks.append((start, i))
+            start = i
+    return blocks
+
+
+def _feasible(block_costs: list[float], num_stages: int, cap: float) -> bool:
+    """Can the blocks be covered by ``num_stages`` contiguous groups, each
+    of total cost ≤ cap?"""
+    groups = 1
+    acc = 0.0
+    for c in block_costs:
+        if c > cap:
+            return False
+        if acc + c > cap:
+            groups += 1
+            acc = c
+            if groups > num_stages:
+                return False
+        else:
+            acc += c
+    return True
+
+
+def balanced_bounds(
+    costs: list[float],
+    num_stages: int,
+    atoms: list[int] | None = None,
+) -> tuple[int, ...]:
+    """Contiguous partition of ``costs`` into ``num_stages`` non-empty
+    groups minimizing the maximum group cost.
+
+    Exact: the optimal bottleneck equals some contiguous-range sum, so a
+    binary search over the sorted range sums with a greedy feasibility
+    check finds it (no float-tolerance games).  ``atoms`` groups adjacent
+    units into indivisible blocks (tied/constrained modules) that are never
+    split across stages.  Uniform costs reproduce :func:`even_bounds`
+    exactly — the bit-for-bit fallback the differential suites pin.
+    """
+    u = len(costs)
+    check_stage_count(num_stages, u)
+    costs = [max(float(c), 0.0) for c in costs]
+    blocks = _blocks_of(costs, atoms)
+    if num_stages > len(blocks):
+        raise ValueError(
+            f"cannot make {num_stages} stages from {len(blocks)} indivisible "
+            f"unit blocks ({u} units; atom constraints forbid splitting)"
+        )
+    lo, hi = min(costs), max(costs)
+    if atoms is None and (hi - lo) <= 1e-12 * max(hi, 1.0):
+        return even_bounds(u, num_stages)
+
+    block_costs = [sum(costs[a:b]) for a, b in blocks]
+    prefix = [0.0]
+    for c in block_costs:
+        prefix.append(prefix[-1] + c)
+    sums = sorted({
+        prefix[j] - prefix[i]
+        for i in range(len(block_costs))
+        for j in range(i + 1, len(block_costs) + 1)
+    })
+    lo_i, hi_i = 0, len(sums) - 1
+    while lo_i < hi_i:
+        mid = (lo_i + hi_i) // 2
+        if _feasible(block_costs, num_stages, sums[mid]):
+            hi_i = mid
+        else:
+            lo_i = mid + 1
+    cap = sums[lo_i]
+
+    # Greedy fill at the optimal cap, reserving one block per still-unopened
+    # stage so every stage stays non-empty.  A forced cut (blocks left ==
+    # stages left to open) puts every remaining block in its own stage, so
+    # no stage ever exceeds the cap the feasibility search proved.
+    bounds = [0]
+    acc = 0.0
+    stage = 0
+    for k, (a, _b) in enumerate(blocks):
+        blocks_left = len(blocks) - k
+        stages_to_open = num_stages - 1 - stage
+        if a > bounds[-1] and stages_to_open > 0 and (
+            blocks_left == stages_to_open or acc + block_costs[k] > cap
+        ):
+            bounds.append(a)
+            stage += 1
+            acc = 0.0
+        acc += block_costs[k]
+    bounds.append(u)
+    if len(bounds) != num_stages + 1:
+        raise AssertionError(
+            f"solver produced {len(bounds) - 1} stages for {num_stages}"
+        )
+    return tuple(bounds)
+
+
+# -- the partition plan --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A picklable, model-independent record of one partition decision:
+    which contiguous unit range forms each stage, under which granularity
+    and cost mode.
+
+    The plan is the single artifact both sides of the process backend agree
+    on — the driver computes it once (cost estimation and the solver never
+    run inside workers) and ships it in the
+    :class:`~repro.pipeline.stage_compute.ModelSpec`; ``stages(model)``
+    rebuilds bit-identical :class:`Stage` boundaries on any replica with
+    the same parameter layout.
+    """
+
+    mode: str
+    granularity: str
+    unit_names: tuple[str, ...]
+    bounds: tuple[int, ...]
+    unit_costs: tuple[float, ...]
+    max_workers: int | None = None
+
+    def __post_init__(self):
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(f"unknown partition mode {self.mode!r}")
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+        if len(self.bounds) < 2 or self.bounds[0] != 0 or self.bounds[-1] != len(self.unit_names):
+            raise ValueError(f"bounds {self.bounds} do not cover {len(self.unit_names)} units")
+        if list(self.bounds) != sorted(self.bounds) or len(set(self.bounds)) != len(self.bounds):
+            raise ValueError(f"bounds {self.bounds} are not strictly increasing")
+        if len(self.unit_costs) != len(self.unit_names):
+            raise ValueError("one cost per unit required")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_units(self) -> int:
+        return len(self.unit_names)
+
+    def stage_units(self, stage: int) -> tuple[str, ...]:
+        return self.unit_names[self.bounds[stage]:self.bounds[stage + 1]]
+
+    def stage_costs(self, unit_costs=None) -> list[float]:
+        """Per-stage cost sums — over the plan's own recorded unit costs,
+        or over ``unit_costs`` when given.  Passing external costs is how
+        an *even* plan (which deliberately records uniform costs — its
+        boundaries must stay bit-for-bit the paper's rule) is scored under
+        analytic estimates for display and comparison."""
+        costs = self.unit_costs if unit_costs is None else unit_costs
+        if len(costs) != self.num_units:
+            raise ValueError(f"{len(costs)} costs for {self.num_units} units")
+        return [
+            float(sum(costs[self.bounds[s]:self.bounds[s + 1]]))
+            for s in range(self.num_stages)
+        ]
+
+    def imbalance(self, unit_costs=None) -> float:
+        """Max/mean estimated stage cost — 1.0 is a perfectly balanced
+        pipe; the slowest stage paces the whole pipeline at exactly this
+        multiple of the average.  ``unit_costs`` as in
+        :meth:`stage_costs`."""
+        costs = self.stage_costs(unit_costs)
+        mean = sum(costs) / len(costs)
+        if mean <= 0:
+            return 1.0
+        return max(costs) / mean
+
+    def stages(self, model: Module) -> list[Stage]:
+        """Rebuild the stage list on ``model`` (driver or worker replica),
+        validating that the model's unit layout matches the plan's."""
+        units = _units_of(model)
+        names = tuple(name for name, _ in units)
+        if names != self.unit_names:
+            raise ValueError(
+                f"partition plan does not match {type(model).__name__}: plan "
+                f"has {len(self.unit_names)} units, model has {len(names)} "
+                "(unit names differ)"
+            )
+        return _stages_from_bounds(units, self.bounds)
+
+    def describe(self) -> str:
+        return (
+            f"{self.mode}/{self.granularity}: {self.num_stages} stages over "
+            f"{self.num_units} units, imbalance {self.imbalance():.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Cost estimation + balanced solving behind one front door.
+
+    ``mode``:
+
+    * ``even`` — the paper's even-by-unit-count rule (unchanged default);
+    * ``auto`` — analytic flops/bytes estimates per unit
+      (:func:`repro.pipeline.costmodel.analytic_unit_costs`) feed
+      :func:`balanced_bounds`;
+    * ``profile`` — a micro-profiling pass times every stage-graph element
+      at ``granularity`` on ``sample_inputs``
+      (:func:`repro.pipeline.costmodel.profile_unit_costs`) and those
+      timings feed the solver.  Profiling runs once, on the driver; the
+      resulting :class:`PartitionPlan` is what crosses process boundaries,
+      so nondeterministic timers can never desynchronize replicas.
+    """
+
+    mode: str = "even"
+    granularity: str = "layer"
+
+    def __post_init__(self):
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.mode!r} (expected one of "
+                f"{PARTITION_MODES})"
+            )
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {self.granularity!r} (expected one of "
+                f"{GRANULARITIES})"
+            )
+
+    def plan(
+        self,
+        model: Module,
+        num_stages: int | None = None,
+        sample_inputs: tuple | None = None,
+        atoms: list[int] | None = None,
+        max_workers: int | None = None,
+    ) -> PartitionPlan:
+        from repro.pipeline import costmodel
+
+        units = _units_of(model)
+        names = tuple(name for name, _ in units)
+        if num_stages is None:
+            num_stages = len(units)
+        check_stage_count(
+            num_stages, len(units), type(model).__name__, self.granularity
+        )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+
+        if self.mode == "even":
+            costs = [1.0] * len(units)
+            bounds = even_bounds(len(units), num_stages)
+        else:
+            if self.mode == "profile":
+                if sample_inputs is None:
+                    raise ValueError(
+                        "partition mode 'profile' needs sample_inputs (one "
+                        "array per external model input) to time elements on"
+                    )
+                costs = costmodel.profile_unit_costs(
+                    model, sample_inputs, granularity=self.granularity
+                )
+            else:
+                costs = [u.cost for u in costmodel.analytic_unit_costs(model)]
+            bounds = balanced_bounds(costs, num_stages, atoms)
+        return PartitionPlan(
+            mode=self.mode,
+            granularity=self.granularity,
+            unit_names=names,
+            bounds=bounds,
+            unit_costs=tuple(float(c) for c in costs),
+            max_workers=max_workers,
+        )

@@ -210,11 +210,18 @@ class StepPlan(WeightResolver):
         base_schedule: LRSchedule | None = None,
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
+        partition_plan=None,
     ):
         self.params = params
         self.optimizer = optimizer
         self.stages = stages
         self.method = Method(method)
+        # The PartitionPlan behind ``stages`` (None for ad-hoc partitions).
+        # The delay profile below keys off the *stage* count it prescribes —
+        # a sublayer-granular plan deepens the pipe, so T1/T2/T3 see the
+        # correspondingly larger τ while worker counts remain a separate,
+        # coalescible knob (see stage_compute.build_worker_graph).
+        self.partition_plan = partition_plan
         self.profile = DelayProfile(len(stages), num_microbatches, self.method)
         self.store = WeightVersionStore(stages, self.profile.history_needed())
         self.base_schedule = base_schedule
@@ -594,6 +601,10 @@ class PipelineBackend:
     @property
     def recompute_segment(self) -> int | None:
         return self.plan.recompute_segment
+
+    @property
+    def partition_plan(self):
+        return self.plan.partition_plan
 
     @property
     def t(self) -> int:

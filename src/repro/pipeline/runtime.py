@@ -747,7 +747,10 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 f"worker {w}: model spec rebuilt a different partition than "
                 f"the driver's (stage parameter names differ)"
             )
-        graph = build_worker_graph(model, stages)
+        graph = build_worker_graph(
+            model, stages,
+            granularity=init["granularity"], max_workers=init["max_workers"],
+        )
         if graph.num_workers != k or graph.edge_spec() != init["edges"]:
             raise ValueError(
                 f"worker {w}: model spec rebuilt a different worker graph "
@@ -851,6 +854,8 @@ class ProcessWorkerPool(_WorkerPoolBase):
         done_grace: float,
         start_method: str | None = None,
         transport_slot_bytes: int = 1 << 16,
+        granularity: str = "layer",
+        max_workers: int | None = None,
     ):
         k = graph.num_workers
         super().__init__(k, deadlock_timeout, done_grace)
@@ -903,6 +908,8 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 "edges": graph.edge_spec(),
                 "resolver_spec": plan.resolver_spec(),
                 "model_spec": model_spec,
+                "granularity": granularity,
+                "max_workers": max_workers,
                 "loss_pickle": pickle.dumps(loss_fn),
                 "deadlock_timeout": deadlock_timeout,
                 # Seed each replica with the driver's *current* persistent
@@ -1130,6 +1137,9 @@ class AsyncPipelineRuntime(PipelineBackend):
         start_method: str | None = None,
         transport_slot_bytes: int = 1 << 16,
         done_grace: float = 10.0,
+        granularity: str = "layer",
+        max_workers: int | None = None,
+        partition_plan=None,
     ):
         super().__init__(
             model,
@@ -1144,18 +1154,26 @@ class AsyncPipelineRuntime(PipelineBackend):
                 base_schedule=base_schedule,
                 grad_clip=grad_clip,
                 recompute_segment=recompute_segment,
+                partition_plan=partition_plan,
             ),
         )
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown worker backend {backend!r}")
         self.backend = backend
+        self.granularity = granularity
+        if max_workers is None and partition_plan is not None:
+            # The plan can prescribe the worker cap; an explicit kwarg wins.
+            max_workers = partition_plan.max_workers
+        self.max_workers = max_workers
         self.overlap = True if overlap_boundary is None else bool(overlap_boundary)
         # Boundary-overlap bookkeeping (set before pool construction so a
         # failed constructor can still run close()/__del__ safely).
         self._pending_sync: bool | None = None
         self._deferred_on = False
         self.deadlock_timeout = deadlock_timeout
-        self.graph: WorkerGraph = build_worker_graph(model, stages)
+        self.graph: WorkerGraph = build_worker_graph(
+            model, stages, granularity=granularity, max_workers=max_workers
+        )
         self.workers: list[WorkerCompute] = self.graph.workers
         for w in self.workers:
             for m in w.all_modules:
@@ -1184,13 +1202,17 @@ class AsyncPipelineRuntime(PipelineBackend):
                 model_spec=(
                     model_spec
                     if model_spec is not None
-                    else ModelSpec.from_model(model, num_stages=len(stages))
+                    else ModelSpec.from_model(
+                        model, num_stages=len(stages), plan=partition_plan
+                    )
                 ),
                 num_microbatches=n,
                 deadlock_timeout=deadlock_timeout,
                 done_grace=done_grace,
                 start_method=start_method,
                 transport_slot_bytes=transport_slot_bytes,
+                granularity=granularity,
+                max_workers=max_workers,
             )
         else:
             self.pool = ThreadWorkerPool(

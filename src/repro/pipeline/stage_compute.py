@@ -67,6 +67,7 @@ exactly as in the sequential simulator.
 from __future__ import annotations
 
 import importlib
+import inspect
 import pickle
 from dataclasses import dataclass, field
 
@@ -74,24 +75,57 @@ import numpy as np
 
 from repro.nn.dropout import Dropout
 from repro.nn.module import Module, Parameter, Sequential
+from repro.pipeline.partition import GRANULARITIES, PartitionPlan, even_bounds
 
 
-def flatten_chain(model: Module) -> list[Module]:
+def _check_granularity(granularity: str) -> None:
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r} (expected one of "
+            f"{GRANULARITIES})"
+        )
+
+
+def _takes_granularity(fn) -> bool:
+    """Whether a model's ``pipeline_chain``/``pipeline_graph`` accepts the
+    ``granularity`` keyword.  Models that never declared one slice the same
+    at every granularity (their layer elements *are* their finest pieces),
+    so ``sublayer`` degrades to ``layer`` instead of erroring."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    return "granularity" in sig.parameters
+
+
+def flatten_chain(model: Module, granularity: str = "layer") -> list[Module]:
     """Flatten ``model`` into an ordered list of chain elements.
 
     Preference order: an explicit ``pipeline_chain()`` method, then
     ``Sequential`` flattening, then the module itself as one atomic element.
+    ``granularity`` is forwarded to any ``pipeline_chain`` that accepts it
+    (e.g. :class:`repro.models.resnet.BasicBlock` splits into its conv
+    sub-chains at ``"sublayer"``).
     """
+    _check_granularity(granularity)
     chain = getattr(model, "pipeline_chain", None)
     if callable(chain):
+        elements = (
+            chain(granularity=granularity) if _takes_granularity(chain) else chain()
+        )
         out: list[Module] = []
-        for element in chain():
-            out.extend(flatten_chain(element))
+        for element in elements:
+            if element is model:
+                # A module may answer "I stay atomic at this granularity"
+                # by returning itself — do not recurse into it again.
+                out.append(element)
+            else:
+                out.extend(flatten_chain(element, granularity))
         return out
     if isinstance(model, Sequential):
         out = []
         for layer in model.layers:
-            out.extend(flatten_chain(layer))
+            out.extend(flatten_chain(layer, granularity))
         return out
     return [model]
 
@@ -164,14 +198,20 @@ class StageGraph:
         self.num_external = max(len(ext), 1)
 
 
-def flatten_graph(model: Module) -> StageGraph:
+def flatten_graph(model: Module, granularity: str = "layer") -> StageGraph:
     """The model's stage-program graph: ``pipeline_graph()`` when the model
-    defines one, else its linear chain wrapped as a single-node graph."""
+    defines one, else its linear chain wrapped as a single-node graph.
+    ``granularity`` selects how fine the chain elements are sliced (see
+    :data:`repro.pipeline.partition.GRANULARITIES`); models that do not
+    declare sublayer slicing keep their layer elements."""
+    _check_granularity(granularity)
     graph = getattr(model, "pipeline_graph", None)
     if callable(graph):
+        if _takes_granularity(graph):
+            return graph(granularity=granularity)
         return graph()
     return StageGraph(
-        [GraphNode("chain", tuple(flatten_chain(model)), ("ext:0",))]
+        [GraphNode("chain", tuple(flatten_chain(model, granularity)), ("ext:0",))]
     )
 
 
@@ -258,21 +298,36 @@ class ModelSpec:
     function) or an import-path string ``"pkg.mod:attr"``; ``args`` /
     ``kwargs`` must pickle (NumPy ``Generator`` objects do, state and all,
     so seeded-rng constructor arguments reproduce the driver's build
-    exactly).  ``num_stages=None`` means the finest partition granularity,
-    as in :func:`repro.pipeline.partition_model`.
+    exactly).  The partition a worker rebuilds comes from ``plan`` (a
+    :class:`~repro.pipeline.partition.PartitionPlan` — the cost model and
+    solver never run inside workers, only the plan's plain unit boundaries
+    do), falling back to the even split at ``num_stages``
+    (``None`` = finest granularity, as in
+    :func:`repro.pipeline.partition_model`).
     """
 
     factory: object
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     num_stages: int | None = None
+    plan: PartitionPlan | None = None
 
     @classmethod
-    def from_model(cls, model: Module, num_stages: int | None = None) -> "ModelSpec":
+    def from_model(
+        cls,
+        model: Module,
+        num_stages: int | None = None,
+        plan: PartitionPlan | None = None,
+    ) -> "ModelSpec":
         """Spec that rebuilds ``model`` from a pickled snapshot — the
         convenience path when no module-level factory exists.  The snapshot
         is taken now, so later driver-side mutation is not reflected."""
-        return cls(factory=pickle.loads, args=(pickle.dumps(model),), num_stages=num_stages)
+        return cls(
+            factory=pickle.loads,
+            args=(pickle.dumps(model),),
+            num_stages=num_stages,
+            plan=plan,
+        )
 
     def build_model(self) -> Module:
         factory = self.factory
@@ -287,10 +342,13 @@ class ModelSpec:
 
     def build(self):
         """Construct ``(model, stages)`` — the worker-side mirror of the
-        driver's ``partition_model(model, num_stages)``."""
+        driver's partition (plan-based when a :class:`PartitionPlan` is
+        carried, else ``partition_model(model, num_stages)``)."""
         from repro.pipeline.partition import partition_model
 
         model = self.build_model()
+        if self.plan is not None:
+            return model, self.plan.stages(model)
         return model, partition_model(model, self.num_stages)
 
 
@@ -487,8 +545,22 @@ class WorkerGraph:
         return [(e.index, e.src_worker, e.dst.worker) for e in self.edges]
 
 
-def build_worker_graph(model: Module, stages) -> WorkerGraph:
+def build_worker_graph(
+    model: Module,
+    stages,
+    granularity: str = "layer",
+    max_workers: int | None = None,
+) -> WorkerGraph:
     """Slice ``model`` along the stage partition into the worker graph.
+
+    ``granularity`` selects how fine the model's chain elements slice
+    (``"sublayer"`` splits attention / FFN / norm+residual sub-chains into
+    separate elements, so the finest partition yields strictly more workers
+    than layers).  ``max_workers`` coalesces the distinct primary stages
+    onto at most that many workers (contiguous, in stage order) — the
+    segment→worker assignment is a knob of its own rather than the fixed
+    one-worker-per-primary-stage rule, so a deep partition (large τ) can
+    still run on a core-bounded host.
 
     Raises ``ValueError`` if the graph does not cover the model's parameters
     exactly (a model whose forward falls outside its declared graph would
@@ -496,7 +568,9 @@ def build_worker_graph(model: Module, stages) -> WorkerGraph:
     order, or if an edge would flow backward through the worker order (which
     would deadlock the interleaved schedule).
     """
-    graph = flatten_graph(model)
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    graph = flatten_graph(model, granularity)
 
     locator: dict[int, tuple[int, int]] = {}
     for s, stage in enumerate(stages):
@@ -579,8 +653,20 @@ def build_worker_graph(model: Module, stages) -> WorkerGraph:
             "whole forward"
         )
 
-    # Pass 2: workers — one per distinct primary stage, in stage order.
-    worker_of_primary = {p: w for w, p in enumerate(sorted({s.worker for s in all_segments}))}
+    # Pass 2: workers — by default one per distinct primary stage, in stage
+    # order; with ``max_workers`` the distinct primaries coalesce
+    # contiguously (array_split arithmetic) onto fewer workers.  The
+    # mapping is monotone in stage order either way, which is what keeps
+    # every edge flowing forward through the worker order below.
+    distinct = sorted({s.worker for s in all_segments})
+    if max_workers is not None and max_workers < len(distinct):
+        group_bounds = even_bounds(len(distinct), max_workers)
+        worker_of_primary = {}
+        for g in range(max_workers):
+            for i in range(group_bounds[g], group_bounds[g + 1]):
+                worker_of_primary[distinct[i]] = g
+    else:
+        worker_of_primary = {p: w for w, p in enumerate(distinct)}
     for seg in all_segments:
         seg.worker = worker_of_primary[seg.worker]
 

@@ -187,6 +187,42 @@ class TestTrainCmd:
         assert code == 2
         assert "unknown technique" in out
 
+    def test_granularity_and_partition_flags(self, capsys):
+        code, out = run_cli(
+            capsys, "train", "--workload", "cifar", "--epochs", "1",
+            "--stages", "6", "--runtime", "async",
+            "--granularity", "sublayer", "--partition", "auto",
+        )
+        assert code == 0
+        assert "granularity=sublayer" in out
+        assert "partition=auto" in out
+        assert "best test_accuracy" in out
+
+
+class TestInfoPartitionTable:
+    def test_partition_table_renders(self, capsys):
+        code, out = run_cli(
+            capsys, "info", "--partition-table", "--workload", "iwslt",
+            "--stages", "12", "--granularity", "sublayer",
+            "--partition", "auto",
+        )
+        assert code == 0
+        assert "granularity=sublayer" in out
+        assert "cost share" in out
+        assert "imbalance" in out
+        # sublayer slicing: more workers than encoder+decoder layers
+        workers = int(out.split("workers=")[1].split()[0])
+        assert workers > 4
+
+    def test_stages_flag_implies_table(self, capsys):
+        code, out = run_cli(capsys, "info", "--workload", "cifar", "--stages", "4")
+        assert code == 0
+        assert "partition: workload=cifar" in out
+
+    def test_too_many_stages_unified_error(self, capsys):
+        with pytest.raises(ValueError, match="cannot split ResNet into 999"):
+            run_cli(capsys, "info", "--workload", "cifar", "--stages", "999")
+
 
 class TestParseTechniques:
     @pytest.fixture(scope="class")

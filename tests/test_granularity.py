@@ -1,0 +1,283 @@
+"""Differential tests for sublayer-granular stage graphs and the
+profile-guided balanced partitioner.
+
+The acceptance bar of the granularity refactor: at ``sublayer`` granularity
+the Transformer runs with strictly more workers than encoder+decoder
+layers, and the differential grids (method × technique × thread/process ×
+overlap) stay bit-for-bit equal to the sequential simulator at both
+granularities and every partition mode (even / auto / profile).  The
+partitioner's plan is computed once per workload and shipped through
+``ModelSpec``, so process workers must rebuild identical placements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.experiments.workloads import make_image_workload, make_translation_workload
+from repro.models.resnet import resnet_tiny
+from repro.models.transformer import transformer_tiny
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    Partitioner,
+    PipelineExecutor,
+    build_worker_graph,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+from repro.pipeline.stage_compute import flatten_graph
+
+
+def small_translation(preset="iwslt", **overrides):
+    kw = dict(batches_per_epoch=4, batch_size=16, num_microbatches=4, eval_size=8)
+    kw.update(overrides)
+    return make_translation_workload(preset, **kw)
+
+
+def translation_batches(workload, n=4, batch=16, seed=5):
+    rng = np.random.default_rng(seed)
+    saved = workload.task.rng
+    workload.task.rng = rng
+    batches = [workload.task.sample_batch(batch) for _ in range(n)]
+    workload.task.rng = saved
+    return batches
+
+
+def assert_translation_equivalent(workload, runtime, steps=4, **bundle_kw):
+    batches = translation_batches(workload, n=steps)
+    b_sim = workload.bundle(runtime="simulator", seed=0, **bundle_kw)
+    b_rt = workload.bundle(runtime=runtime, seed=0, **bundle_kw)
+    try:
+        for i, bt in enumerate(batches):
+            l1 = b_sim.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+            l2 = b_rt.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+            assert l1 == l2, f"step {i}: simulator {l1!r} != {runtime} {l2!r}"
+        b_rt.executor.sync()
+        for p1, p2 in zip(b_sim.model.parameters(), b_rt.model.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        return b_rt.executor.num_workers
+    finally:
+        b_rt.executor.close()
+
+
+@pytest.fixture(scope="module")
+def iwslt():
+    return small_translation("iwslt")
+
+
+@pytest.fixture(scope="module")
+def wmt():
+    return small_translation("wmt")
+
+
+class TestSublayerStructure:
+    @pytest.mark.parametrize("share", [False, True])
+    def test_transformer_sublayer_yields_more_workers_than_layers(self, share):
+        """§4.1's direction made concrete: the finest sublayer partition
+        runs with strictly more workers than encoder+decoder layers (and
+        strictly more than the layer-granularity slicing gives)."""
+        model = transformer_tiny(np.random.default_rng(0), share_embeddings=share)
+        stages = partition_model(model, None)
+        layers = model.cfg.num_encoder_layers + model.cfg.num_decoder_layers
+        coarse = build_worker_graph(model, stages, granularity="layer")
+        fine = build_worker_graph(model, stages, granularity="sublayer")
+        assert fine.num_workers > layers
+        assert fine.num_workers > coarse.num_workers
+
+    def test_resnet_sublayer_yields_more_workers_than_blocks(self):
+        model = resnet_tiny(np.random.default_rng(0))
+        stages = partition_model(model, None)
+        blocks = len(model.body.layers)
+        coarse = build_worker_graph(model, stages, granularity="layer")
+        fine = build_worker_graph(model, stages, granularity="sublayer")
+        assert fine.num_workers > blocks
+        assert fine.num_workers > coarse.num_workers
+
+    def test_sublayer_elements_split_attention_from_ffn(self):
+        model = transformer_tiny(np.random.default_rng(0))
+        graph = flatten_graph(model, granularity="sublayer")
+        names = [type(e).__name__ for n in graph.nodes for e in n.elements]
+        assert "_EncoderAttnSlice" in names and "_EncoderFFNSlice" in names
+        assert "_DecoderCrossAttnSlice" in names
+
+    def test_models_without_sublayer_slicing_degrade_to_layer(self):
+        from repro.models import MLP
+
+        model = MLP([4, 4, 4, 2], np.random.default_rng(0))
+        a = flatten_graph(model, granularity="layer")
+        b = flatten_graph(model, granularity="sublayer")
+        assert len(a.nodes[0].elements) == len(b.nodes[0].elements)
+
+    def test_unknown_granularity_rejected(self):
+        model = transformer_tiny(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="granularity"):
+            flatten_graph(model, granularity="tensor")
+
+
+class TestThreadGranularityGrid:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("method", ["gpipe", "pipedream", "pipemare"])
+    def test_methods_match_bitwise_sublayer(self, iwslt, method):
+        workers = assert_translation_equivalent(
+            iwslt, "async", method=method, granularity="sublayer"
+        )
+        assert workers > 4  # encoder+decoder layers
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("technique", ["t1t2", "t3", "recompute"])
+    def test_techniques_match_bitwise_sublayer(self, iwslt, technique):
+        kw = {
+            "t1t2": dict(pipemare=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5)),
+            "t3": dict(
+                pipemare=PipeMareConfig.full(anneal_steps=50, warmup_steps=2, decay=0.5)
+            ),
+            "recompute": dict(
+                pipemare=PipeMareConfig.t2_only(decay=0.5), recompute_segment=2
+            ),
+        }[technique]
+        assert_translation_equivalent(
+            iwslt, "async", method="pipemare", granularity="sublayer", **kw
+        )
+
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("partition", ["even", "auto", "profile"])
+    @pytest.mark.parametrize("granularity", ["layer", "sublayer"])
+    def test_partition_modes_match_bitwise(self, iwslt, granularity, partition):
+        assert_translation_equivalent(
+            iwslt, "async", method="pipemare",
+            pipemare=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5),
+            granularity=granularity, partition=partition,
+        )
+
+    @pytest.mark.timeout(120)
+    def test_overlap_off_matches_bitwise_sublayer(self, iwslt):
+        assert_translation_equivalent(
+            iwslt, "async", method="pipemare", granularity="sublayer",
+            partition="auto", overlap_boundary=False,
+        )
+
+    @pytest.mark.timeout(180)
+    def test_finest_sublayer_partition_deepens_tau(self):
+        """The finest partition (one stage per weight unit — 45 for the
+        tiny Transformer) at sublayer granularity: the delay profile picks
+        up the deep stage count, so T1+T2 compensate a much larger τ than
+        any layer-granularity worker count ever exercised — and the
+        trajectory still matches the simulator bit-for-bit."""
+        workload = small_translation("iwslt", default_stages=None)
+        batches = translation_batches(workload, n=3)
+        b_sim = workload.bundle(
+            runtime="simulator", seed=0, num_stages=None,
+            pipemare=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5),
+            granularity="sublayer",
+        )
+        assert len(b_sim.executor.stages) == 45
+        b_rt = workload.bundle(
+            runtime="async", seed=0, num_stages=None,
+            pipemare=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5),
+            granularity="sublayer",
+        )
+        try:
+            assert b_rt.executor.num_workers > 4
+            for bt in batches:
+                l1 = b_sim.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+                l2 = b_rt.executor.train_step((bt.src, bt.tgt_in), bt.tgt_out)
+                assert l1 == l2
+            b_rt.executor.sync()
+            for p1, p2 in zip(b_sim.model.parameters(), b_rt.model.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+        finally:
+            b_rt.executor.close()
+
+
+class TestProcessGranularityGrid:
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("partition", ["even", "auto"])
+    def test_process_sublayer_matches_bitwise(self, iwslt, partition):
+        workers = assert_translation_equivalent(
+            iwslt, "process", method="pipemare", granularity="sublayer",
+            partition=partition,
+        )
+        assert workers > 4
+
+    @pytest.mark.timeout(180)
+    def test_process_shared_embeddings_sublayer_profile(self, wmt):
+        """Tied embedding + tied projection across process boundaries at
+        sublayer granularity, with a profiled plan shipped via ModelSpec —
+        replicas must rebuild the driver's exact placement."""
+        assert_translation_equivalent(
+            wmt, "process", method="pipemare", granularity="sublayer",
+            partition="profile",
+            pipemare=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5),
+        )
+
+
+class TestWorkerCoalescing:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("max_workers", [1, 3])
+    def test_coalesced_workers_match_bitwise(self, max_workers):
+        """max_workers replaces the one-worker-per-primary-stage rule: a
+        deep (large τ) partition runs on few workers, bit-for-bit."""
+        x = np.random.default_rng(0).normal(size=(16, 3, 8, 8))
+        y = np.random.default_rng(1).integers(0, 10, size=16)
+        models, backends = [], []
+        for cls, kw in (
+            (PipelineExecutor, {}),
+            (AsyncPipelineRuntime, {"granularity": "sublayer", "max_workers": max_workers}),
+        ):
+            model = resnet_tiny(np.random.default_rng(1))
+            stages = partition_model(model, 8)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+            backends.append(
+                cls(model, CrossEntropyLoss(), opt, stages, 4, "pipemare", **kw)
+            )
+            models.append(model)
+        ex, rt = backends
+        with rt:
+            assert rt.num_workers == max_workers
+            for _ in range(3):
+                assert ex.train_step(x, y) == rt.train_step(x, y)
+            rt.sync()
+            for p1, p2 in zip(models[0].parameters(), models[1].parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_invalid_max_workers_rejected(self):
+        model = resnet_tiny(np.random.default_rng(1))
+        stages = partition_model(model, 4)
+        with pytest.raises(ValueError, match="max_workers"):
+            build_worker_graph(model, stages, max_workers=0)
+
+
+class TestImageWorkloadGranularity:
+    @pytest.mark.timeout(120)
+    def test_cifar_async_sublayer_auto_matches(self):
+        iw = make_image_workload("cifar")
+        x, y = iw.data.train_x[:16], iw.data.train_y[:16]
+        b_sim = iw.bundle(
+            runtime="simulator", seed=0, granularity="sublayer",
+            partition="auto", num_stages=8,
+        )
+        b_rt = iw.bundle(
+            runtime="async", seed=0, granularity="sublayer",
+            partition="auto", num_stages=8,
+        )
+        try:
+            for _ in range(3):
+                assert b_sim.executor.train_step(x, y) == b_rt.executor.train_step(x, y)
+            b_rt.executor.sync()
+            for p1, p2 in zip(b_sim.model.parameters(), b_rt.model.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+        finally:
+            b_rt.executor.close()
+
+    def test_plan_cache_shared_across_bundles(self):
+        """Two bundles of one workload must consume the same plan object —
+        profile mode would otherwise re-time and desynchronize stage
+        boundaries between the simulator and the runtime."""
+        iw = make_image_workload("cifar")
+        p1 = iw.partition_plan(iw.build_model(0), 6, "sublayer", "profile")
+        p2 = iw.partition_plan(iw.build_model(1), 6, "sublayer", "profile")
+        assert p1 is p2

@@ -1,0 +1,238 @@
+"""Property tests for the balanced partitioner
+(:mod:`repro.pipeline.partition`): contiguity/exhaustiveness, the
+bit-for-bit even-split fallback on uniform costs, atom (tied-module)
+constraints, imbalance monotonicity vs the even split, and the unified
+"too many stages" validation path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.models.transformer import transformer_tiny
+from repro.pipeline import (
+    PartitionPlan,
+    Partitioner,
+    balanced_bounds,
+    build_worker_graph,
+    even_bounds,
+    num_weight_units,
+    partition_model,
+    partition_units,
+)
+from repro.pipeline.partition import _units_of, check_stage_count
+
+
+def random_costs(rng, n: int) -> list[float]:
+    """Skewed positive costs: lognormal with occasional heavy outliers."""
+    costs = rng.lognormal(0.0, 1.2, size=n)
+    spikes = rng.random(n) < 0.15
+    costs[spikes] *= 25.0
+    return [float(c) for c in costs]
+
+
+def imbalance(costs, bounds) -> float:
+    sums = [sum(costs[bounds[i]:bounds[i + 1]]) for i in range(len(bounds) - 1)]
+    return max(sums) / (sum(sums) / len(sums))
+
+
+class TestSolverProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_contiguous_and_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 40))
+        p = int(rng.integers(1, n + 1))
+        bounds = balanced_bounds(random_costs(rng, n), p)
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert len(bounds) == p + 1
+        assert all(a < b for a, b in zip(bounds, bounds[1:])), bounds
+
+    @pytest.mark.parametrize("n,p", [(7, 3), (12, 5), (9, 9), (20, 1), (6, 4)])
+    def test_uniform_costs_reproduce_even_split_exactly(self, n, p):
+        assert balanced_bounds([1.0] * n, p) == even_bounds(n, p)
+        assert balanced_bounds([3.7] * n, p) == even_bounds(n, p)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_imbalance_never_worse_than_even(self, seed):
+        """The solver minimizes the max stage cost and the mean is fixed,
+        so max/mean imbalance is monotonically non-increasing vs the even
+        split on any cost vector."""
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(4, 40))
+        p = int(rng.integers(2, n))
+        costs = random_costs(rng, n)
+        auto = imbalance(costs, balanced_bounds(costs, p))
+        even = imbalance(costs, even_bounds(n, p))
+        assert auto <= even + 1e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimal_vs_bruteforce(self, seed):
+        """On small instances the solver's bottleneck equals the true
+        optimum over all contiguous splits."""
+        import itertools
+
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(3, 9))
+        p = int(rng.integers(2, n + 1))
+        costs = random_costs(rng, n)
+
+        def max_cost(bounds):
+            return max(
+                sum(costs[bounds[i]:bounds[i + 1]]) for i in range(len(bounds) - 1)
+            )
+
+        best = min(
+            max_cost((0, *cuts, n))
+            for cuts in itertools.combinations(range(1, n), p - 1)
+        )
+        got = max_cost(balanced_bounds(costs, p))
+        assert got == pytest.approx(best)
+
+    def test_atoms_never_split(self):
+        """Units tied into one atom land in one stage, whatever the costs."""
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            n = int(rng.integers(6, 24))
+            costs = random_costs(rng, n)
+            # random contiguous atom grouping
+            atoms, aid = [], 0
+            for i in range(n):
+                if i and rng.random() < 0.6:
+                    aid += 1
+                atoms.append(aid)
+            num_blocks = aid + 1
+            p = int(rng.integers(1, num_blocks + 1))
+            bounds = balanced_bounds(costs, p, atoms=atoms)
+            for cut in bounds[1:-1]:
+                assert atoms[cut - 1] != atoms[cut], (
+                    f"cut at {cut} splits atom {atoms[cut]} (bounds {bounds})"
+                )
+
+    def test_more_stages_than_atoms_rejected(self):
+        with pytest.raises(ValueError, match="indivisible"):
+            balanced_bounds([1.0, 2.0, 3.0, 4.0], 3, atoms=[0, 0, 1, 1])
+
+
+class TestPartitionPlan:
+    def test_even_plan_matches_partition_model_bitwise(self):
+        model = MLP([6, 8, 8, 8, 3], np.random.default_rng(0))
+        for p in (1, 2, 3, 4):
+            legacy = partition_model(model, p)
+            plan = Partitioner("even").plan(model, p)
+            rebuilt = plan.stages(model)
+            assert [s.names for s in legacy] == [s.names for s in rebuilt]
+            assert [
+                [w is x for w, x in zip(a.params, b.params)]
+                for a, b in zip(legacy, rebuilt)
+            ]
+
+    def test_plan_pickles_and_reapplies(self):
+        model = transformer_tiny(np.random.default_rng(0))
+        plan = Partitioner("auto", "sublayer").plan(model, 12)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        replica = transformer_tiny(np.random.default_rng(3))  # other seed, same shapes
+        a = plan.stages(model)
+        b = clone.stages(replica)
+        assert [s.names for s in a] == [s.names for s in b]
+
+    def test_plan_rejects_mismatched_model(self):
+        model = MLP([6, 8, 3], np.random.default_rng(0))
+        plan = Partitioner("even").plan(model, 2)
+        other = MLP([6, 8, 8, 3], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="does not match"):
+            plan.stages(other)
+
+    def test_imbalance_metric(self):
+        plan = PartitionPlan(
+            mode="auto", granularity="layer",
+            unit_names=("a", "b", "c"), bounds=(0, 1, 3),
+            unit_costs=(3.0, 1.0, 1.0),
+        )
+        # stages cost 3 and 2, mean 2.5 -> 1.2
+        assert plan.imbalance() == pytest.approx(3.0 / 2.5)
+
+    def test_profile_mode_requires_sample_inputs(self):
+        model = MLP([6, 8, 3], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="sample_inputs"):
+            Partitioner("profile").plan(model, 2)
+
+    def test_profile_mode_has_no_side_effects(self):
+        """Profiling runs on a throwaway copy: the live model's caches,
+        parameters and training flag are untouched."""
+        model = transformer_tiny(np.random.default_rng(0))
+        before = pickle.dumps(model.state_dict())
+        assert model.training
+        src = np.random.default_rng(1).integers(3, 30, size=(4, 6))
+        tgt = np.random.default_rng(2).integers(3, 30, size=(4, 5))
+        Partitioner("profile", "sublayer").plan(model, 8, sample_inputs=(src, tgt))
+        assert model.training
+        assert pickle.dumps(model.state_dict()) == before
+
+    def test_auto_balances_skewed_mlp_better_than_even(self):
+        """A deliberately skewed MLP (two huge layers among tiny ones):
+        cost-aware splitting must beat even-by-unit-count."""
+        model = MLP([16, 256, 16, 16, 16, 256, 10], np.random.default_rng(0))
+        even = Partitioner("even").plan(model, 3)
+        auto = Partitioner("auto").plan(model, 3)
+        # score the even bounds under the same cost estimates
+        even_imb = imbalance(list(auto.unit_costs), even.bounds)
+        assert auto.imbalance() < even_imb
+        assert auto.bounds != even.bounds
+
+
+class TestUnifiedStageCountError:
+    """One ValueError wording — model name, finest granularity, requested
+    count — from every entry point (satellite: the chain path used to say
+    'cannot make N stages from M weight units' while graph models failed
+    elsewhere with different words)."""
+
+    def test_chain_entry_point(self):
+        model = MLP([6, 8, 3], np.random.default_rng(0))
+        units = num_weight_units(model)
+        with pytest.raises(ValueError, match=rf"cannot split MLP into {units + 1} pipeline stages"):
+            partition_model(model, units + 1)
+
+    def test_graph_model_entry_point(self):
+        model = transformer_tiny(np.random.default_rng(0))
+        units = num_weight_units(model)
+        with pytest.raises(ValueError, match="cannot split Transformer into 99 pipeline stages"):
+            partition_model(model, 99)
+        with pytest.raises(ValueError, match="finest granularity is 45 weight units"):
+            Partitioner("auto", "sublayer").plan(model, units + 5)
+
+    def test_partition_units_names_the_model(self):
+        model = MLP([6, 8, 3], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="cannot split MyNet into"):
+            partition_units(_units_of(model), 99, model_name="MyNet")
+
+    def test_message_carries_granularity(self):
+        with pytest.raises(ValueError, match="granularity='sublayer'"):
+            check_stage_count(9, 4, "Tiny", "sublayer")
+
+    def test_non_positive_stage_count(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_stage_count(0, 4)
+
+
+class TestTiedConstraintsSurviveAnyPartition:
+    @pytest.mark.parametrize("partition", ["even", "auto"])
+    @pytest.mark.parametrize("granularity", ["layer", "sublayer"])
+    def test_shared_embedding_transformer_builds_at_every_stage_count(
+        self, partition, granularity
+    ):
+        """The tied encoder/decoder embedding must land on one worker for
+        every plan the partitioner can produce — build_worker_graph raises
+        if a plan ever split the tie."""
+        model = transformer_tiny(np.random.default_rng(0), share_embeddings=True)
+        units = num_weight_units(model)
+        for p in [1, 2, 3, units // 2, units]:
+            plan = Partitioner(partition, granularity).plan(model, p)
+            graph = build_worker_graph(
+                model, plan.stages(model), granularity=granularity
+            )
+            assert graph.num_workers >= 1

@@ -90,6 +90,74 @@ def build_backend(cls, *, dims, num_stages, num_microbatches, method, seed, **kw
     return model, backend
 
 
+_ROW_DEFAULTS = dict(
+    partition=None, speedup_vs_simulator=None, bubble_fraction=None,
+    transport_fraction=None, boundary_stall_fraction=None,
+    imbalance_predicted=None, imbalance_measured=None,
+)
+
+
+def make_row(**fields) -> dict:
+    """Every JSON row carries the full unified key set (missing metrics are
+    explicit nulls, ``workers`` is always an integer) so consumers — and
+    ``bench_schema.json`` — see exactly one row shape."""
+    row = dict(_ROW_DEFAULTS)
+    row.update(fields)
+    return row
+
+
+def _schema_errors(value, schema, path, errors):
+    """Minimal JSON-Schema interpreter (type / enum / minimum / maximum /
+    required / properties / items) — enough for bench_schema.json without
+    pulling in a validator dependency."""
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        checks = {
+            "null": lambda v: v is None,
+            "boolean": lambda v: isinstance(v, bool),
+            "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+            "string": lambda v: isinstance(v, str),
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+        }
+        if not any(checks[t](value) for t in types):
+            errors.append(f"{path}: {value!r} is not of type {'/'.join(types)}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} below minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value!r} above maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _schema_errors(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _schema_errors(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Validate the --json payload against the checked-in schema; returns
+    human-readable mismatches (empty list = valid)."""
+    schema_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "bench_schema.json"
+    )
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    errors: list[str] = []
+    _schema_errors(payload, schema, "$", errors)
+    return errors
+
+
 def schedule_speedup(method: str, num_stages: int, num_microbatches: int) -> float:
     """Total compute slots / critical-path slots of the executed schedule."""
     programs = stage_programs(method, num_stages, num_microbatches)
@@ -190,7 +258,8 @@ def measure_translation(quick: bool, method: str, overlap: str, rows: list) -> b
             results[row_label(runtime, overlap_flag)] = dict(
                 backend=runtime, overlap=overlap_flag,
                 wall=wall, losses=losses,
-                workers=getattr(ex, "num_workers", None),
+                # the simulator is a single sequential worker
+                workers=getattr(ex, "num_workers", 1),
                 bubble=stats.bubble_fraction() if stats else None,
                 transport=stats.transport_fraction() if stats else None,
                 boundary_stall=stats.boundary_stall_fraction() if stats else None,
@@ -203,12 +272,12 @@ def measure_translation(quick: bool, method: str, overlap: str, rows: list) -> b
     for label, r in results.items():
         tput = micro / r["wall"]
         extra = ""
-        if r["workers"] is not None:
+        if r["backend"] != "simulator":
             extra = (f"  workers={r['workers']}  speedup={tput / sim_tput:.2f}x  "
                      f"bubble={r['bubble']:.3f}  transport={r['transport']:.1%}"
                      f"  boundary-stall={r['boundary_stall']:.3f}")
         print_row(label, tput, r["wall"], extra)
-        rows.append(dict(
+        rows.append(make_row(
             workload="translation", backend=r["backend"], overlap=r["overlap"],
             microbatches_per_sec=tput, speedup_vs_simulator=tput / sim_tput,
             bubble_fraction=r["bubble"], transport_fraction=r["transport"],
@@ -293,7 +362,7 @@ def measure_partition_balance(quick: bool, method: str, rows: list) -> bool:
             f"measured={r['measured']:.3f}  "
             f"equivalent={'OK' if r['equivalent'] else 'MISMATCH'}"
         )
-        rows.append(dict(
+        rows.append(make_row(
             workload="skewed-mlp", backend="thread", overlap=True,
             partition=mode,
             microbatches_per_sec=tput,
@@ -410,11 +479,10 @@ def main(argv=None) -> int:
     gpipe_bubble = (p - 1) / (n + p - 1)
 
     print_row("simulator", sim_tput, sim_wall)
-    rows.append(dict(
+    rows.append(make_row(
         workload="mlp", backend="simulator", overlap=None,
         microbatches_per_sec=sim_tput, speedup_vs_simulator=1.0,
-        bubble_fraction=None, transport_fraction=None,
-        boundary_stall_fraction=None, workers=None, equivalent=True,
+        workers=1, equivalent=True,
     ))
     for label, c in concurrent.items():
         tput = micro / c["wall"]
@@ -424,7 +492,7 @@ def main(argv=None) -> int:
             f"bubble={c['bubble']:.3f}  transport={c['transport']:.1%}  "
             f"boundary-stall={c['boundary_stall']:.3f}",
         )
-        rows.append(dict(
+        rows.append(make_row(
             workload="mlp", backend=c["backend"], overlap=c["overlap"],
             microbatches_per_sec=tput, speedup_vs_simulator=tput / sim_tput,
             bubble_fraction=c["bubble"], transport_fraction=c["transport"],
@@ -454,6 +522,11 @@ def main(argv=None) -> int:
             ),
             rows=rows,
         )
+        schema_errors = validate_payload(payload)
+        if schema_errors:
+            for err in schema_errors:
+                print(f"ERROR: bench JSON schema violation: {err}", file=sys.stderr)
+            return 1
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Gate a fresh bench_runtime_throughput.py --json run against a committed
+baseline.
+
+The CI perf-smoke lane regenerates the quick benchmark and fails the build
+when the thread backend's ``speedup_vs_simulator`` drops more than
+``--tolerance`` (default 10%) below the committed quick baseline on any
+matching row.  Speedups are dimensionless (concurrent wall over simulator
+wall measured in the same run), so the comparison survives runner-speed
+differences; core-count differences only help the fresh side.
+
+Rows are matched on (workload, backend, overlap, partition).  Only thread
+rows gate by default — process rows on shared CI runners are too noisy to
+block on — but every matched row is reported.  Both files are validated
+against ``bench_schema.json`` first, so a schema drift fails loudly here
+too.
+
+Quick-size runs on shared single-core runners are noisy, so the gate
+compares two deliberately asymmetric statistics:
+
+* ``--fresh`` accepts several JSON files (CI runs the bench a few times)
+  and each row gates on its **best** fresh speedup — the least
+  contended sample this runner produced;
+* the committed baseline holds each row's **floor** (per-row minimum over
+  several runs, written with ``--write-baseline``) — the worst speedup a
+  healthy build has been observed to produce.
+
+A best-of-N that still lands >10% below the historical floor is a real
+regression, not scheduler noise.
+
+Usage:
+    python benchmarks/check_perf_regression.py \
+        --fresh run1.json [run2.json ...] \
+        --baseline benchmarks/BENCH_runtime_quick.json [--tolerance 0.10]
+    python benchmarks/check_perf_regression.py \
+        --fresh run1.json run2.json ... --write-baseline out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_runtime_throughput import validate_payload  # noqa: E402
+
+
+def row_key(row: dict) -> tuple:
+    return (row["workload"], row["backend"], row["overlap"], row["partition"])
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    errors = validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"ERROR: {path}: schema violation: {err}", file=sys.stderr)
+        raise SystemExit(1)
+    return payload
+
+
+def _merge(runs: list[dict], better) -> dict:
+    merged = dict(runs[0], rows=[dict(r) for r in runs[0]["rows"]])
+    by_key = {row_key(r): r for r in merged["rows"]}
+    for run in runs[1:]:
+        for row in run["rows"]:
+            kept = by_key.get(row_key(row))
+            if kept is None:
+                merged["rows"].append(dict(row))
+                by_key[row_key(row)] = merged["rows"][-1]
+                continue
+            speedup = row["speedup_vs_simulator"]
+            if speedup is not None and (
+                kept["speedup_vs_simulator"] is None
+                or better(speedup, kept["speedup_vs_simulator"])
+            ):
+                kept.update(row)
+    return merged
+
+
+def merge_best(runs: list[dict]) -> dict:
+    """Per-row best ``speedup_vs_simulator`` — the fresh-side statistic."""
+    return _merge(runs, lambda new, old: new > old)
+
+
+def merge_floor(runs: list[dict]) -> dict:
+    """Per-row minimum ``speedup_vs_simulator`` — the committed-baseline
+    statistic (worst speedup a healthy build produced)."""
+    return _merge(runs, lambda new, old: new < old)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", required=True, nargs="+",
+        help="JSON file(s) from this run; rows gate on their best speedup",
+    )
+    parser.add_argument(
+        "--baseline", help="committed baseline JSON (floor statistic)"
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="instead of gating, write the per-row floor of the --fresh "
+        "runs as a new committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional speedup drop before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--gate-backends", default="thread",
+        help="comma-separated backends that gate (others are advisory)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = [load(path) for path in args.fresh]
+    if args.write_baseline:
+        floor = merge_floor(runs)
+        with open(args.write_baseline, "w") as fh:
+            json.dump(floor, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote floor of {len(runs)} runs to {args.write_baseline}")
+        return 0
+    if not args.baseline:
+        parser.error("--baseline is required unless --write-baseline is used")
+    baseline = load(args.baseline)
+    for path, run in zip(args.fresh, runs):
+        if run["config"]["quick"] != baseline["config"]["quick"]:
+            print(
+                f"ERROR: quick-mode mismatch between {path} "
+                f"({run['config']['quick']}) and baseline "
+                f"({baseline['config']['quick']}) — sizes are not comparable",
+                file=sys.stderr,
+            )
+            return 1
+    fresh = merge_best(runs)
+
+    gate = set(args.gate_backends.split(","))
+    base_rows = {row_key(r): r for r in baseline["rows"]}
+    failures = []
+    matched = 0
+    for row in fresh["rows"]:
+        ref = base_rows.get(row_key(row))
+        if ref is None:
+            continue
+        speedup, ref_speedup = row["speedup_vs_simulator"], ref["speedup_vs_simulator"]
+        if speedup is None or ref_speedup is None or ref_speedup <= 0:
+            continue
+        matched += 1
+        drop = 1.0 - speedup / ref_speedup
+        gating = row["backend"] in gate
+        verdict = "OK"
+        if drop > args.tolerance:
+            verdict = "REGRESSED" if gating else "regressed (advisory)"
+            if gating:
+                failures.append((row_key(row), ref_speedup, speedup, drop))
+        label = "/".join(str(k) for k in row_key(row) if k is not None)
+        print(
+            f"  {label:<32s} baseline={ref_speedup:6.3f}x  "
+            f"fresh={speedup:6.3f}x  drop={drop:+7.1%}  {verdict}"
+        )
+    if matched == 0:
+        print("ERROR: no comparable rows between fresh run and baseline",
+              file=sys.stderr)
+        return 1
+    if failures:
+        for key, ref_speedup, speedup, drop in failures:
+            print(
+                f"ERROR: perf regression on {key}: speedup_vs_simulator "
+                f"{ref_speedup:.3f}x -> {speedup:.3f}x "
+                f"({drop:.1%} > {args.tolerance:.0%} tolerance)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"perf check passed: {matched} rows within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,18 @@
-"""Parameter-free activation modules."""
+"""Parameter-free activation modules.
+
+All kernels allocate through :mod:`repro.nn.arena` and compute with
+``out=`` ufunc calls whose operand order matches the plain expressions
+they replaced, so results are bit-identical with or without an arena.
+Modules whose output is a pure elementwise function additionally expose
+``pipeline_out_meta``/``forward_into`` so the pipeline runtime can have
+them compute straight into a reserved transport slot.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import arena
 from repro.nn import functional as F
 from repro.nn.module import Module
 
@@ -13,16 +22,30 @@ class ReLU(Module):
         super().__init__()
         self._mask: np.ndarray | None = None
 
+    def pipeline_out_meta(self, x: np.ndarray) -> tuple[tuple[int, ...], np.dtype]:
+        return x.shape, np.result_type(x, 0.0)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
+        shape, dtype = self.pipeline_out_meta(x)
+        y = arena.empty(shape, dtype)
+        self.forward_into(x, y)
+        return y
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> None:
+        mask = arena.empty(x.shape, bool)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
         # np.maximum (not np.where on the mask) so NaNs propagate instead of
         # being silently zeroed — divergence must stay visible in the loss.
-        return np.maximum(x, 0.0)
+        np.maximum(x, 0.0, out=out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad_out, 0.0)
+        g = arena.empty(grad_out.shape, np.result_type(grad_out, 0.0))
+        g.fill(0.0)
+        np.copyto(g, grad_out, where=self._mask)
+        return g
 
 
 class GELU(Module):
@@ -37,7 +60,9 @@ class GELU(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * F.gelu_grad(self._x)
+        g = F.gelu_grad(self._x)
+        np.multiply(grad_out, g, out=g)
+        return g
 
 
 class Tanh(Module):
@@ -45,14 +70,27 @@ class Tanh(Module):
         super().__init__()
         self._y: np.ndarray | None = None
 
+    def pipeline_out_meta(self, x: np.ndarray) -> tuple[tuple[int, ...], np.dtype]:
+        return x.shape, np.result_type(x, 0.0)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._y = np.tanh(x)
-        return self._y
+        shape, dtype = self.pipeline_out_meta(x)
+        y = arena.empty(shape, dtype)
+        self.forward_into(x, y)
+        return y
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> None:
+        np.tanh(x, out=out)
+        self._y = out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._y is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * (1.0 - self._y**2)
+        t = arena.empty(self._y.shape, self._y.dtype)
+        np.square(self._y, out=t)  # what ``y**2`` lowers to (numpy fast scalar power)
+        np.subtract(1.0, t, out=t)
+        np.multiply(grad_out, t, out=t)
+        return t
 
 
 class Sigmoid(Module):
@@ -60,14 +98,31 @@ class Sigmoid(Module):
         super().__init__()
         self._y: np.ndarray | None = None
 
+    def pipeline_out_meta(self, x: np.ndarray) -> tuple[tuple[int, ...], np.dtype]:
+        return x.shape, np.result_type(x, 0.0)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._y = 1.0 / (1.0 + np.exp(-x))
-        return self._y
+        shape, dtype = self.pipeline_out_meta(x)
+        y = arena.empty(shape, dtype)
+        self.forward_into(x, y)
+        return y
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> None:
+        np.negative(x, out=out)
+        np.exp(out, out=out)
+        np.add(1.0, out, out=out)
+        np.divide(1.0, out, out=out)
+        self._y = out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._y is None:
             raise RuntimeError("backward called before forward")
-        return grad_out * self._y * (1.0 - self._y)
+        g = arena.empty(grad_out.shape, np.result_type(grad_out, self._y))
+        np.multiply(grad_out, self._y, out=g)
+        t = arena.empty(self._y.shape, self._y.dtype)
+        np.subtract(1.0, self._y, out=t)
+        np.multiply(g, t, out=g)
+        return g
 
 
 class Identity(Module):

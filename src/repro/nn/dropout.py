@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import arena
 from repro.nn.module import Module
 
 
@@ -38,7 +39,13 @@ def counter_mask(
         key=np.array([seed, layer_id], dtype=np.uint64),
         counter=np.array([step, microbatch, 0, 0], dtype=np.uint64),
     )
-    return (np.random.Generator(bits).random(shape) < keep) / keep
+    draws = arena.empty(tuple(shape), np.float64)
+    np.random.Generator(bits).random(out=draws)
+    hit = arena.empty(tuple(shape), bool)
+    np.less(draws, keep, out=hit)
+    mask = arena.empty(tuple(shape), np.float64)
+    np.divide(hit, keep, out=mask)
+    return mask
 
 
 class Dropout(Module):
@@ -95,9 +102,13 @@ class Dropout(Module):
             self._mask = counter_mask(self.seed, self.layer_id, t, j, x.shape, keep)
         else:
             self._mask = (self.rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        y = arena.empty(x.shape, np.result_type(x, self._mask))
+        np.multiply(x, self._mask, out=y)
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_out
-        return grad_out * self._mask
+        g = arena.empty(grad_out.shape, np.result_type(grad_out, self._mask))
+        np.multiply(grad_out, self._mask, out=g)
+        return g

@@ -10,38 +10,72 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import erf
 
+from repro.nn import arena
+
 _SQRT2 = np.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+# The big elementwise kernels below allocate through repro.nn.arena and
+# chain out= ufunc calls in the exact operand order of the plain
+# expressions they replaced — bit-identical results, no fresh temporaries
+# on the pipeline workers' steady-state path.
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / np.sum(e, axis=axis, keepdims=True)
+    t = arena.empty(x.shape, np.result_type(x, 0.0))
+    np.subtract(x, np.max(x, axis=axis, keepdims=True), out=t)
+    np.exp(t, out=t)
+    np.divide(t, np.sum(t, axis=axis, keepdims=True), out=t)
+    return t
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    shifted = arena.empty(x.shape, np.result_type(x, 0.0))
+    np.subtract(x, np.max(x, axis=axis, keepdims=True), out=shifted)
+    e = arena.empty(shifted.shape, shifted.dtype)
+    np.exp(shifted, out=e)
+    np.subtract(shifted, np.log(np.sum(e, axis=axis, keepdims=True)), out=shifted)
+    return shifted
 
 
 def softmax_backward(softmax_out: np.ndarray, grad_out: np.ndarray, axis: int = -1) -> np.ndarray:
     """Gradient through softmax given its output ``s``: ``s*(g - sum(g*s))``."""
-    inner = np.sum(grad_out * softmax_out, axis=axis, keepdims=True)
-    return softmax_out * (grad_out - inner)
+    t = arena.empty(grad_out.shape, np.result_type(grad_out, softmax_out))
+    np.multiply(grad_out, softmax_out, out=t)
+    inner = np.sum(t, axis=axis, keepdims=True)
+    np.subtract(grad_out, inner, out=t)
+    np.multiply(softmax_out, t, out=t)
+    return t
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
     """Exact GELU ``0.5 x (1 + erf(x/√2))``."""
-    return 0.5 * x * (1.0 + erf(x / _SQRT2))
+    t = arena.empty(x.shape, np.result_type(x, 0.0))
+    np.divide(x, _SQRT2, out=t)
+    erf(t, out=t)
+    np.add(1.0, t, out=t)
+    y = arena.empty(x.shape, t.dtype)
+    np.multiply(0.5, x, out=y)
+    np.multiply(y, t, out=y)
+    return y
 
 
 def gelu_grad(x: np.ndarray) -> np.ndarray:
     """d/dx GELU(x) = Φ(x) + x·φ(x)."""
-    cdf = 0.5 * (1.0 + erf(x / _SQRT2))
-    pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
-    return cdf + x * pdf
+    cdf = arena.empty(x.shape, np.result_type(x, 0.0))
+    np.divide(x, _SQRT2, out=cdf)
+    erf(cdf, out=cdf)
+    np.add(1.0, cdf, out=cdf)
+    np.multiply(0.5, cdf, out=cdf)
+    pdf = arena.empty(x.shape, cdf.dtype)
+    np.multiply(-0.5, x, out=pdf)
+    np.multiply(pdf, x, out=pdf)
+    np.exp(pdf, out=pdf)
+    np.multiply(_INV_SQRT_2PI, pdf, out=pdf)
+    np.multiply(x, pdf, out=pdf)
+    np.add(cdf, pdf, out=cdf)
+    return cdf
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
@@ -51,7 +85,8 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError("labels out of range for num_classes")
-    out = np.zeros((labels.shape[0], num_classes))
+    out = arena.empty((labels.shape[0], num_classes), np.float64)
+    out.fill(0.0)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import arena, init
 from repro.nn.module import Module, Parameter
 
 
@@ -38,14 +38,22 @@ class Linear(Module):
             self.bias = Parameter(init.zeros((out_features,)))
         self._x: np.ndarray | None = None
 
+    def pipeline_out_meta(self, x: np.ndarray) -> tuple[tuple[int, ...], np.dtype]:
+        return x.shape[:-1] + (self.out_features,), np.result_type(x, self.weight.data)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
+        shape, dtype = self.pipeline_out_meta(x)
+        y = arena.empty(shape, dtype)
+        self.forward_into(x, y)
+        return y
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> None:
         if x.shape[-1] != self.in_features:
             raise ValueError(f"expected trailing dim {self.in_features}, got {x.shape}")
         self._x = x
-        y = x @ self.weight.data
+        np.matmul(x, self.weight.data, out=out)
         if self.use_bias:
-            y = y + self.bias.data
-        return y
+            np.add(out, self.bias.data, out=out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         x = self._x
@@ -53,10 +61,19 @@ class Linear(Module):
             raise RuntimeError("backward called before forward")
         x2 = x.reshape(-1, self.in_features)
         g2 = grad_out.reshape(-1, self.out_features)
-        self.weight.grad += x2.T @ g2
+        gw = arena.empty(self.weight.data.shape, self.weight.grad.dtype)
+        np.matmul(x2.T, g2, out=gw)
+        self.weight.grad += gw
         if self.use_bias:
-            self.bias.grad += g2.sum(axis=0)
-        return grad_out @ self.weight.data.T
+            gb = arena.empty(self.bias.data.shape, self.bias.grad.dtype)
+            np.sum(g2, axis=0, out=gb)
+            self.bias.grad += gb
+        gx = arena.empty(
+            grad_out.shape[:-1] + (self.in_features,),
+            np.result_type(grad_out, self.weight.data),
+        )
+        np.matmul(grad_out, self.weight.data.T, out=gx)
+        return gx
 
 
 class Bias(Module):
@@ -66,11 +83,23 @@ class Bias(Module):
         super().__init__()
         self.bias = Parameter(init.zeros((features,)))
 
+    def pipeline_out_meta(self, x: np.ndarray) -> tuple[tuple[int, ...], np.dtype]:
+        return x.shape, np.result_type(x, self.bias.data)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return x + self.bias.data
+        shape, dtype = self.pipeline_out_meta(x)
+        y = arena.empty(shape, dtype)
+        self.forward_into(x, y)
+        return y
+
+    def forward_into(self, x: np.ndarray, out: np.ndarray) -> None:
+        np.add(x, self.bias.data, out=out)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        self.bias.grad += grad_out.reshape(-1, grad_out.shape[-1]).sum(axis=0)
+        g2 = grad_out.reshape(-1, grad_out.shape[-1])
+        gb = arena.empty(self.bias.data.shape, self.bias.grad.dtype)
+        np.sum(g2, axis=0, out=gb)
+        self.bias.grad += gb
         return grad_out
 
 

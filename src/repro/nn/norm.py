@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import init
+from repro.nn import arena, init
 from repro.nn.module import Module, Parameter
 
 
@@ -23,14 +23,24 @@ def _normalize(x: np.ndarray, eps: float) -> tuple[np.ndarray, np.ndarray]:
     mean = x.mean(axis=-1, keepdims=True)
     var = x.var(axis=-1, keepdims=True)
     ivar = 1.0 / np.sqrt(var + eps)
-    return (x - mean) * ivar, ivar
+    xhat = arena.empty(x.shape, np.result_type(x, ivar))
+    np.subtract(x, mean, out=xhat)
+    np.multiply(xhat, ivar, out=xhat)
+    return xhat, ivar
 
 
 def _normalize_backward(g: np.ndarray, xhat: np.ndarray, ivar: np.ndarray) -> np.ndarray:
     """Backward of :func:`_normalize` w.r.t. x, given grad w.r.t. xhat."""
     gm = g.mean(axis=-1, keepdims=True)
-    gxm = (g * xhat).mean(axis=-1, keepdims=True)
-    return ivar * (g - gm - xhat * gxm)
+    t = arena.empty(g.shape, np.result_type(g, xhat))
+    np.multiply(g, xhat, out=t)
+    gxm = t.mean(axis=-1, keepdims=True)
+    np.subtract(g, gm, out=t)
+    u = arena.empty(t.shape, t.dtype)
+    np.multiply(xhat, gxm, out=u)
+    np.subtract(t, u, out=t)
+    np.multiply(ivar, t, out=t)
+    return t
 
 
 class BatchNorm2d(Module):
@@ -134,7 +144,10 @@ class LayerNorm(Module):
             raise ValueError(f"expected trailing dim {self.features}, got {x.shape}")
         xhat, ivar = _normalize(x, self.eps)
         self._cache = (xhat, ivar)
-        return xhat * self.weight.data + self.bias.data
+        y = arena.empty(xhat.shape, np.result_type(xhat, self.weight.data))
+        np.multiply(xhat, self.weight.data, out=y)
+        np.add(y, self.bias.data, out=y)
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -142,7 +155,10 @@ class LayerNorm(Module):
         xhat, ivar = self._cache
         flat_g = grad_out.reshape(-1, self.features)
         flat_x = xhat.reshape(-1, self.features)
-        self.weight.grad += (flat_g * flat_x).sum(axis=0)
+        t = arena.empty(flat_g.shape, np.result_type(flat_g, flat_x))
+        np.multiply(flat_g, flat_x, out=t)
+        self.weight.grad += t.sum(axis=0)
         self.bias.grad += flat_g.sum(axis=0)
-        dxhat = grad_out * self.weight.data
+        dxhat = arena.empty(grad_out.shape, np.result_type(grad_out, self.weight.data))
+        np.multiply(grad_out, self.weight.data, out=dxhat)
         return _normalize_backward(dxhat, xhat, ivar)

@@ -211,6 +211,7 @@ class StepPlan(WeightResolver):
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
         partition_plan=None,
+        inflight_depth: int = 1,
     ):
         self.params = params
         self.optimizer = optimizer
@@ -223,7 +224,14 @@ class StepPlan(WeightResolver):
         # coalescible knob (see stage_compute.build_worker_graph).
         self.partition_plan = partition_plan
         self.profile = DelayProfile(len(stages), num_microbatches, self.method)
-        self.store = WeightVersionStore(stages, self.profile.history_needed())
+        if inflight_depth < 1:
+            raise ValueError(f"inflight_depth must be >= 1, got {inflight_depth}")
+        # Each extra in-flight step pushes the *newest* version one further
+        # ahead of the oldest slot a draining step still resolves, so the
+        # version window deepens accordingly.  Depth 1 reproduces the
+        # original ``history_needed()`` window exactly.
+        self.history = self.profile.history_needed() + (inflight_depth - 1)
+        self.store = WeightVersionStore(stages, self.history)
         self.base_schedule = base_schedule
         self.grad_clip = grad_clip
         self.t = 0  # minibatch (optimizer-step) counter
@@ -271,7 +279,7 @@ class StepPlan(WeightResolver):
             method=self.method.value,
             recompute_segment=self.recompute_segment,
             use_t2=self.corrector is not None,
-            history=self.profile.history_needed(),
+            history=self.history,
         )
 
     # -- gradient weighting ---------------------------------------------------
@@ -360,7 +368,7 @@ class StepPlan(WeightResolver):
         forward/recompute delay slot), so the last resident version is dead
         weight on the wire; see :meth:`DelayProfile.history_needed`."""
         latest = self.store.latest_version
-        oldest_needed = max(0, latest - (self.profile.history_needed() - 2))
+        oldest_needed = max(0, latest - (self.history - 2))
         return [v for v in self.store.resident_versions(0) if v >= oldest_needed]
 
     # -- accounting --------------------------------------------------------------

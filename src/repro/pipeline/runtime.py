@@ -96,11 +96,13 @@ import queue
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import PipeMareConfig
+from repro.nn import arena as nn_arena
 from repro.nn.dropout import Dropout
 from repro.nn.module import Module
 from repro.optim import Optimizer
@@ -149,6 +151,14 @@ class _StepContext:
     act_q: dict[int, queue.SimpleQueue]
     rec_q: dict[int, queue.SimpleQueue]
     grad_q: dict[int, queue.SimpleQueue]
+    # Early-loss signalling for the two-in-flight driver: ``outcome`` fires
+    # as soon as the sink worker finished every forward (``losses_done``) or
+    # any worker failed (``failed``) — whichever comes first.  The driver's
+    # await_losses() can then return this step's losses while its backward
+    # half is still draining.
+    losses_done: bool = False
+    failed: bool = False
+    outcome: threading.Event = field(default_factory=threading.Event)
 
 
 @dataclass
@@ -222,23 +232,34 @@ class RuntimeStats:
             self.total_stall[w] += s
 
     def bubble_fraction(self) -> float:
-        """1 − active/(wall × workers) over all steps so far: the measured
-        share of worker-time spent idle (queue waits + fill/drain).  Active
-        time includes transport copies — moving an activation is work, not
-        bubble."""
+        """Share of worker-time spent idle for *scheduling* reasons (queue
+        waits + fill/drain) over all steps so far.  Active time includes
+        transport copies — moving an activation is work, not bubble — and
+        the boundary-attributed losses (driver barrier time + version-gate
+        stalls) are carved out into :meth:`boundary_stall_fraction`.  All
+        three fractions share the steady-state denominator
+        ``wall × workers``, so they are disjoint slices of the same pie:
+        ``bubble + transport + boundary_stall <= 1`` always (pinned in
+        ``tests/test_runtime_errors.py``), with the remainder being the
+        workers' compute share."""
+        if not self.total_busy or self.total_wall <= 0:
+            return 0.0
+        k = len(self.total_busy)
+        denom = self.total_wall * k
+        active = sum(self.total_busy) + sum(self.total_transport)
+        lost = self.total_boundary * k + sum(self.total_stall)
+        return max(0.0, 1.0 - (active + lost) / denom)
+
+    def transport_fraction(self) -> float:
+        """Share of total worker-time (``wall × workers``) spent copying
+        payloads through the shared-memory transport.  Historically this
+        divided by worker *active* time instead, a different (smaller)
+        denominator than the other two fractions used — the shares were
+        not comparable and their sum could exceed 1."""
         if not self.total_busy or self.total_wall <= 0:
             return 0.0
         denom = self.total_wall * len(self.total_busy)
-        active = sum(self.total_busy) + sum(self.total_transport)
-        return max(0.0, 1.0 - active / denom)
-
-    def transport_fraction(self) -> float:
-        """Share of worker *active* time (compute + copies) spent copying
-        payloads through the shared-memory transport."""
-        active = sum(self.total_busy) + sum(self.total_transport)
-        if active <= 0:
-            return 0.0
-        return sum(self.total_transport) / active
+        return min(1.0, sum(self.total_transport) / denom)
 
     def boundary_stall_fraction(self) -> float:
         """Share of total worker-time lost to the minibatch boundary: the
@@ -278,6 +299,7 @@ def _execute_program(
     scales,
     losses,
     gate_timeout: float,
+    on_losses=None,
 ) -> tuple[float, float]:
     """Run one worker's (op, microbatch) list for minibatch ``t``.
 
@@ -295,6 +317,10 @@ def _execute_program(
     in flight.  In barrier mode every requirement is already satisfied and
     the gate is a branch on the store's latest version.
 
+    ``on_losses`` (sink worker only) fires once the last forward wave wrote
+    its loss — the signal that lets the driver return step t's training
+    loss while t's backward half (and the next step) are still draining.
+
     Returns ``(busy, stall)`` seconds: compute time (channel waits and
     payload copies excluded) and version-gate wait time.
     """
@@ -304,6 +330,8 @@ def _execute_program(
     busy = 0.0
     stall = 0.0
     gate_stages = compute.read_stages
+    f_total = sum(1 for op, _ in program if op == "F")
+    f_done = 0
 
     def gate(op: str, j: int) -> None:
         nonlocal stall
@@ -317,8 +345,9 @@ def _execute_program(
 
     def run_wave(kind: str, j: int, weights_for_stage) -> None:
         """One forward-style pass (op F on "act", op R on "rec")."""
-        nonlocal busy
+        nonlocal busy, f_done
         gate("F" if kind == "act" else "R", j)
+        chans.begin_wave(j)
         local: dict[int, object] = {}
         loaded = False
         for seg in compute.segments:
@@ -335,25 +364,43 @@ def _execute_program(
                 compute.load_weights(weights_for_stage)
                 compute.set_dropout_slot(t, j)
                 loaded = True
-            out = seg.forward(ins)
+            out_edge = seg.out_edge
+            if out_edge is not None and not out_edge.local and chans.can_reserve:
+                # In-ring compute: let the segment's last module write its
+                # output directly into a reserved transport slot; send()
+                # recognises the reserved view and publishes without a copy.
+                reserve = (
+                    lambda shape, dtype, _k=kind, _e=out_edge.index:
+                    chans.reserve(_k, _e, shape, dtype)
+                )
+                out = seg.forward(ins, reserve)
+            else:
+                out = seg.forward(ins)
             if seg.is_sink and kind == "act":
                 losses[j] = loss_fn(out, ys[j])
-                grads[j] = loss_fn.backward() * scales[j]
+                g = loss_fn.backward()
+                sg = nn_arena.empty(g.shape, np.result_type(g, scales[j]))
+                np.multiply(g, scales[j], out=sg)
+                grads[j] = sg
             busy += time.perf_counter() - t0
-            if seg.out_edge is not None:
-                e = seg.out_edge
-                if e.local:
-                    local[e.index] = out
+            if out_edge is not None:
+                if out_edge.local:
+                    local[out_edge.index] = out
                 else:
-                    chans.send(kind, e.index, out)
+                    chans.send(kind, out_edge.index, out)
         if kind == "rec" or not recompute:
             t0 = time.perf_counter()
             snapshots[j] = compute.cache_state()
             busy += time.perf_counter() - t0
+        if kind == "act":
+            f_done += 1
+            if on_losses is not None and f_done == f_total:
+                on_losses()
 
     def run_backward(j: int) -> None:
         nonlocal busy
         gate("B", j)
+        chans.begin_wave(j)
         local: dict[int, object] = {}
         restored = False
         for seg in reversed(compute.segments):
@@ -377,6 +424,9 @@ def _execute_program(
                     local[e.index] = gi
                 else:
                     chans.send("grad", e.index, gi)
+        # Microbatch j is finished on this worker: pinned transport views
+        # (its activations, recompute inputs and gradients) can be acked.
+        chans.release_wave(j)
 
     for op, j in program:
         if op == "F":
@@ -390,7 +440,11 @@ def _execute_program(
 
 class _QueueChannels:
     """Thread-backend channel set: one per-step in-process SimpleQueue per
-    cross-worker edge and payload kind."""
+    cross-worker edge and payload kind.  Payloads are handed off by
+    reference, so the pin/reserve hooks of the ring transport are no-ops
+    here (arena generation lifetime already covers cross-thread hand-offs)."""
+
+    can_reserve = False
 
     def __init__(self, ctx: _StepContext, w: int, timeout: float):
         self._by_kind = {"act": ctx.act_q, "rec": ctx.rec_q, "grad": ctx.grad_q}
@@ -409,6 +463,18 @@ class _QueueChannels:
     def send(self, kind: str, edge: int, payload) -> None:
         self._by_kind[kind][edge].put(payload)
 
+    def reserve(self, kind: str, edge: int, shape, dtype):
+        return None
+
+    def begin_wave(self, j: int) -> None:
+        pass
+
+    def release_wave(self, j: int) -> None:
+        pass
+
+    def release_all(self) -> None:
+        pass
+
 
 class _RingChannels:
     """Process-backend channel set: one shared-memory ring per cross-worker
@@ -417,12 +483,29 @@ class _RingChannels:
     Messages are tagged with the driver's step sequence; a tag older than
     the current step is residue from an aborted step and is discarded, so
     the channels self-heal after an error without any flush handshake.
+
+    Received single-array payloads are **zero-copy views** into the ring,
+    pinned (ack deferred) until the consuming microbatch's backward wave
+    finishes: :meth:`recv` files each pin under the wave
+    :meth:`begin_wave` opened, :meth:`release_wave` acks a finished
+    microbatch's pins, and :meth:`release_all` (worker per-step cleanup)
+    drops everything an aborted step left pinned so producers can never
+    starve on unacked slots.  :meth:`reserve` is the send-side twin: a
+    writable view of the next ring slot that lets the producing segment
+    compute straight into the transport (send() publishes it without a
+    copy).  Pin budget: a step pins at most N messages per ring while the
+    rings hold 2N slots, so a producer's slot-free wait can only be on a
+    message the consumer has already released.
     """
+
+    can_reserve = True
 
     def __init__(self, rings: dict[tuple[str, int], ShmRing], timeout: float):
         self._rings = rings
         self._timeout = timeout
         self.step = 0
+        self._wave = 0
+        self._pins: dict[int, list[tuple[ShmRing, object]]] = {}
 
     def xfer_seconds(self) -> float:
         return sum(r.xfer_seconds for r in self._rings.values())
@@ -430,15 +513,43 @@ class _RingChannels:
     def recv(self, kind: str, edge: int):
         ring = self._rings[(kind, edge)]
         while True:
-            tag, payload = ring.recv_msg(self._timeout)
-            if tag == self.step:
-                return payload
-            # stale message from an aborted step — drop and keep looking
+            tag, payload, token = ring.recv_msg_view(self._timeout)
+            if tag != self.step:
+                # stale message from an aborted step — drop and keep looking
+                if token is not None:
+                    ring.release(token)
+                continue
+            if token is not None:
+                self._pins.setdefault(self._wave, []).append((ring, token))
+            return payload
 
     def send(self, kind: str, edge: int, payload) -> None:
-        self._rings[(kind, edge)].send_msg(payload, self.step, self._timeout)
+        ring = self._rings[(kind, edge)]
+        if ring.commit_if_reserved(payload):
+            return
+        ring.cancel_reserved()
+        ring.send_msg(payload, self.step, self._timeout)
+
+    def reserve(self, kind: str, edge: int, shape, dtype):
+        return self._rings[(kind, edge)].reserve(shape, dtype, self.step, self._timeout)
+
+    def begin_wave(self, j: int) -> None:
+        self._wave = j
+
+    def release_wave(self, j: int) -> None:
+        for ring, token in self._pins.pop(j, []):
+            ring.release(token)
+
+    def release_all(self) -> None:
+        for pins in self._pins.values():
+            for ring, token in pins:
+                ring.release(token)
+        self._pins.clear()
+        for ring in self._rings.values():
+            ring.cancel_reserved()
 
     def close(self) -> None:
+        self.release_all()
         for r in self._rings.values():
             r.close()
 
@@ -492,6 +603,13 @@ class _WorkerPoolBase:
         self.done_grace = done_grace
         self.wedged = False
         self._seq = 0  # step sequence; tags commands, done reports, mailbox
+        # Issued-but-uncollected step sequences, oldest first.  With two
+        # steps in flight, done reports for step t+1 can land while the
+        # driver is still collecting step t; they are parked here instead
+        # of being treated as protocol violations.
+        self._issued: deque[int] = deque()
+        self._buffered: list = []
+        self._early_losses: dict[int, list] = {}
 
     def _get_done(self, timeout: float):
         raise NotImplementedError
@@ -520,6 +638,14 @@ class _WorkerPoolBase:
                         f"{self.deadlock_timeout + self.done_grace:.0f}s"
                     ) from None
 
+    def _take_done(self, seq: int, deadline: float):
+        """Next done message relevant to step ``seq``: a parked one if
+        available, otherwise fresh off the queue."""
+        for i, msg in enumerate(self._buffered):
+            if msg[1] <= seq:
+                return self._buffered.pop(i)
+        return self._next_done(deadline)
+
     def _collect(
         self, seq: int
     ) -> tuple[list[float], list[float], list[float], dict[int, object]]:
@@ -538,14 +664,20 @@ class _WorkerPoolBase:
             # worker exception already collected would be masked by a
             # spurious wedge.
             deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
-            w, msg_seq, kind, busy, xfer, stall, payload = self._next_done(deadline)
+            msg = self._take_done(seq, deadline)
+            w, msg_seq, kind, busy, xfer, stall, payload = msg
+            if kind == "losses":
+                # Early-loss report from a sink worker; never a done count.
+                if msg_seq >= seq:
+                    self._early_losses[msg_seq] = payload
+                continue
             if msg_seq < seq:
                 continue  # residue from an aborted step — discard
             if msg_seq > seq:
-                raise RuntimeError(
-                    f"worker {w} reported step {msg_seq} while the driver is "
-                    f"collecting step {seq} — issue/collect protocol violated"
-                )
+                # A later in-flight step finished a worker before this one
+                # drained; park the report for that step's collect.
+                self._buffered.append(msg)
+                continue
             got += 1
             busys[w] = busy
             xfers[w] = xfer
@@ -556,6 +688,8 @@ class _WorkerPoolBase:
                 deadlocks.append((w, payload))
             else:
                 extras[w] = payload
+        for s in [s for s in self._early_losses if s <= seq]:
+            del self._early_losses[s]
         if errors:
             # Real exceptions outrank the secondary starvation timeouts they
             # cause in neighbouring workers.
@@ -566,14 +700,25 @@ class _WorkerPoolBase:
             )
         return busys, xfers, stalls, extras
 
-    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> int:
         """Broadcast one step's commands; workers start as their version
-        gates allow.  Must be followed by exactly one :meth:`collect`."""
+        gates allow.  Returns the step's sequence tag; must eventually be
+        balanced by exactly one :meth:`collect` (steps collect in issue
+        order)."""
         raise NotImplementedError
 
     def collect(self) -> _StepResult:
-        """Gather the issued step's done reports (and, for processes, its
-        mailbox gradients)."""
+        """Gather the oldest issued step's done reports (and, for
+        processes, its mailbox gradients)."""
+        raise NotImplementedError
+
+    def await_losses(self, seq: int) -> list | None:
+        """Block until the sink worker of issued step ``seq`` has finished
+        every forward wave, and return that step's microbatch losses — the
+        early-return signal that lets the driver hand the caller step t's
+        loss while t's backward half (and a second in-flight step) are
+        still draining.  Returns ``None`` if the step failed or stalled
+        instead; the caller then collects normally to surface the error."""
         raise NotImplementedError
 
     def run_step(self, t, sync, ext, ys, scales, num_microbatches) -> _StepResult:
@@ -615,7 +760,7 @@ class ThreadWorkerPool(_WorkerPoolBase):
         )
         self._cross = [e.index for e in graph.cross_edges()]
         self.loss_fn = loss_fn
-        self._inflight: _StepContext | None = None
+        self._ctxs: dict[int, _StepContext] = {}
         self._cmd: list[queue.SimpleQueue] = [
             queue.SimpleQueue() for _ in range(self.num_workers)
         ]
@@ -632,7 +777,7 @@ class ThreadWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> int:
         self._seq += 1
         ctx = _StepContext(
             seq=self._seq,
@@ -647,19 +792,33 @@ class ThreadWorkerPool(_WorkerPoolBase):
             rec_q={e: queue.SimpleQueue() for e in self._cross},
             grad_q={e: queue.SimpleQueue() for e in self._cross},
         )
-        self._inflight = ctx
+        self._ctxs[self._seq] = ctx
+        self._issued.append(self._seq)
         for cq in self._cmd:
             cq.put(ctx)
+        return self._seq
 
     def collect(self) -> _StepResult:
-        ctx = self._inflight
-        self._inflight = None
-        busys, xfers, stalls, _ = self._collect(ctx.seq)
+        seq = self._issued.popleft()
+        ctx = self._ctxs.pop(seq)
+        busys, xfers, stalls, _ = self._collect(seq)
         return _StepResult(
             losses=list(ctx.losses), busy=busys, transport=xfers, stall=stalls
         )
 
+    def await_losses(self, seq: int) -> list | None:
+        ctx = self._ctxs[seq]
+        if not ctx.outcome.wait(self.deadlock_timeout + self.done_grace):
+            return None
+        return list(ctx.losses) if ctx.losses_done else None
+
     def _worker_loop(self, w: int) -> None:
+        # Each worker thread owns an arena; generation g (step seq) slabs
+        # are recycled when step seq+2 begins — by then both in-flight
+        # steps that could reference them have fully drained.
+        arena_obj = nn_arena.Arena()
+        nn_arena.set_current(arena_obj)
+        sink = w == self.num_workers - 1
         while True:
             ctx = self._cmd[w].get()
             if ctx is None:
@@ -667,16 +826,26 @@ class ThreadWorkerPool(_WorkerPoolBase):
             busy = stall = 0.0
             kind, payload = "ok", None
             chans = _QueueChannels(ctx, w, self.deadlock_timeout)
+            arena_obj.begin_program(ctx.seq)
+            if sink:
+                def on_losses(_ctx=ctx):
+                    _ctx.losses_done = True
+                    _ctx.outcome.set()
+            else:
+                on_losses = None
             try:
                 busy, stall = _execute_program(
                     self.workers[w], ctx.programs[w], self.plan, ctx.t, ctx.sync,
                     chans, self.loss_fn, ctx.ext, ctx.ys, ctx.scales, ctx.losses,
-                    self.deadlock_timeout,
+                    self.deadlock_timeout, on_losses,
                 )
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed to driver
                 kind, payload = "error", exc
+            if kind != "ok":
+                ctx.failed = True
+                ctx.outcome.set()
             self._done.put((w, ctx.seq, kind, busy, 0.0, stall, payload))
 
     def close(self) -> None:
@@ -777,6 +946,11 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
         has_pstate = compute.has_persistent_state()
         if init["pstate"][w] is not None:
             compute.load_persistent_state(init["pstate"][w])
+        # Per-worker activation/gradient arena: step seq's slabs are
+        # recycled when step seq+2 begins, matching the two-in-flight
+        # driver window.
+        arena_obj = nn_arena.Arena()
+        nn_arena.set_current(arena_obj)
     except BaseException as exc:  # noqa: BLE001 — reported to driver
         done.put((w, 0, "init_error", 0.0, 0.0, 0.0, _picklable_exc(exc)))
         return
@@ -801,6 +975,14 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
             busy = stall = 0.0
             kind, payload = "ok", None
             xfer0 = chans.xfer_seconds()
+            arena_obj.begin_program(step_seq)
+            if is_sink_worker:
+                def on_losses(_seq=step_seq, _losses=losses):
+                    # Early-loss report: the driver can return this step's
+                    # training loss before the backward half drains.
+                    done.put((w, _seq, "losses", 0.0, 0.0, 0.0, list(_losses)))
+            else:
+                on_losses = None
             try:
                 for b in compute.bindings:
                     for p in b.params:
@@ -808,11 +990,11 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 compute.zero_deferred()
                 busy, stall = _execute_program(
                     compute, programs[bool(sync)][w], resolver, t, sync, chans,
-                    loss_fn, ext, ys, scales, losses, timeout,
+                    loss_fn, ext, ys, scales, losses, timeout, on_losses,
                 )
                 for b in compute.bindings:
                     for pos, p in zip(b.positions, b.params):
-                        mailbox.write(b.stage, pos, p.grad)
+                        mailbox.write(b.stage, pos, p.grad, step_seq)
                 for s in {b.stage for b in compute.bindings}:
                     # Stamp after the writes: the driver folds this stage
                     # block only when the stamp matches the step it
@@ -826,6 +1008,10 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 kind, payload = "deadlock", str(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed to driver
                 kind, payload = "error", _picklable_exc(exc)
+            finally:
+                # Whatever happened, nothing from this step may stay pinned
+                # in the rings: an aborted step must not starve producers.
+                chans.release_all()
             done.put((w, step_seq, kind, busy, chans.xfer_seconds() - xfer0, stall, payload))
     finally:
         if chans is not None:
@@ -875,7 +1061,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
         self._base = base
         try:
             stage_shapes = [[tuple(p.shape) for p in s.params] for s in stages]
-            history = plan.profile.history_needed()
+            history = plan.history
             self.mirror = SharedWeightMirror(
                 f"{base}w", stage_shapes, history, plan.corrector is not None,
                 create=True,
@@ -977,9 +1163,10 @@ class ProcessWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
-    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> None:
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> int:
         k = self.num_workers
         self._seq += 1
+        self._issued.append(self._seq)
         for w, conn in enumerate(self._conns):
             try:
                 conn.send((
@@ -997,23 +1184,51 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 raise PipelineDeadlockError(
                     f"pipeline worker {w} is gone ({exc}); build a fresh runtime"
                 ) from None
+        return self._seq
 
     def collect(self) -> _StepResult:
         k = self.num_workers
-        busys, xfers, stalls, extras = self._collect(self._seq)
+        seq = self._issued.popleft()
+        busys, xfers, stalls, extras = self._collect(seq)
         losses, _ = extras[k - 1]
         for w, (_, pstate) in extras.items():
             if pstate is not None:
                 self.driver_workers[w].load_persistent_state(pstate)
         # Workers stamped their stage blocks after writing; a mismatch
         # would mean a block was overwritten before this fold read it.
-        self.mailbox.check_stamps(self._seq)
+        self.mailbox.check_stamps(seq)
         for s, stage in enumerate(self.stages):
             for pos, p in enumerate(stage.params):
-                p.grad[...] = self.mailbox.read(s, pos)
+                p.grad[...] = self.mailbox.read(s, pos, seq)
         return _StepResult(
             losses=list(losses), busy=busys, transport=xfers, stall=stalls
         )
+
+    def await_losses(self, seq: int) -> list | None:
+        if seq in self._early_losses:
+            return self._early_losses.pop(seq)
+        deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
+        while True:
+            # A parked failure report for this step means no losses are
+            # coming; let collect() surface the real error.
+            for msg in self._buffered:
+                if msg[1] == seq and msg[2] in ("error", "deadlock"):
+                    return None
+            try:
+                msg = self._get_done(0.2)
+            except queue.Empty:
+                if self._peer_failure() is not None:
+                    return None
+                if time.perf_counter() > deadline:
+                    return None
+                continue
+            if msg[2] == "losses":
+                if msg[1] == seq:
+                    return msg[6]
+                if msg[1] > seq:
+                    self._early_losses[msg[1]] = msg[6]
+                continue
+            self._buffered.append(msg)
 
     def publish_plan_state(self) -> None:
         # Velocity first: the version-header bump below is the release the
@@ -1140,7 +1355,17 @@ class AsyncPipelineRuntime(PipelineBackend):
         granularity: str = "layer",
         max_workers: int | None = None,
         partition_plan=None,
+        inflight_steps: int | None = None,
     ):
+        overlap = True if overlap_boundary is None else bool(overlap_boundary)
+        # Two steps in flight is the default with the overlapped boundary:
+        # step t+2's fill is admitted before step t+1 is collected, so the
+        # pipe never fully drains between minibatches.  The weight-version
+        # window is deepened by (depth - 1) so the oldest version an
+        # admitted step can resolve still exists.
+        depth = (2 if inflight_steps is None else int(inflight_steps)) if overlap else 1
+        if depth not in (1, 2):
+            raise ValueError(f"inflight_steps must be 1 or 2, got {inflight_steps!r}")
         super().__init__(
             model,
             loss_fn,
@@ -1155,6 +1380,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                 grad_clip=grad_clip,
                 recompute_segment=recompute_segment,
                 partition_plan=partition_plan,
+                inflight_depth=depth,
             ),
         )
         if backend not in ("thread", "process"):
@@ -1165,11 +1391,14 @@ class AsyncPipelineRuntime(PipelineBackend):
             # The plan can prescribe the worker cap; an explicit kwarg wins.
             max_workers = partition_plan.max_workers
         self.max_workers = max_workers
-        self.overlap = True if overlap_boundary is None else bool(overlap_boundary)
+        self.overlap = overlap
+        self.inflight_steps = depth
         # Boundary-overlap bookkeeping (set before pool construction so a
         # failed constructor can still run close()/__del__ safely).
         self._pending_sync: bool | None = None
         self._deferred_on = False
+        self._inflight: deque[tuple[int, int, bool]] = deque()
+        self._step_mark: float | None = None
         self.deadlock_timeout = deadlock_timeout
         self.graph: WorkerGraph = build_worker_graph(
             model, stages, granularity=granularity, max_workers=max_workers
@@ -1240,9 +1469,10 @@ class AsyncPipelineRuntime(PipelineBackend):
         xs, ys = self._split_minibatch(x, y, n)
         total = sum(self._num_samples(xj) for xj in xs)
         scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
-        # The minibatch index of the step being admitted: one ahead of the
-        # plan's counter while the previous boundary is still pending.
-        t = plan.t + (1 if self._pending_sync is not None else 0)
+        # The minibatch index of the step being admitted: ahead of the
+        # plan's counter by one per uncollected in-flight step plus one if
+        # the previous boundary is still pending.
+        t = plan.t + len(self._inflight) + (1 if self._pending_sync is not None else 0)
         sync = plan.is_sync_step_at(t)
         # Route each external model input to the graph edges that consume
         # it: multi-input models (the two-stream Transformer) yield tuple
@@ -1255,7 +1485,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         else:
             ext = [[xs[j][i] for j in range(n)] for i in range(self.graph.num_external)]
 
-        if self._pending_sync is None:
+        if self._pending_sync is None and not self._inflight:
             # Opening a fresh pipeline epoch (first step, or first after a
             # sync): no boundary will run before this step's backward
             # waves, so the gradient accumulators must be clean *before*
@@ -1264,6 +1494,9 @@ class AsyncPipelineRuntime(PipelineBackend):
         if not self._deferred_on:
             self._begin_deferred_grads()
             self._deferred_on = True
+
+        if self.overlap and self.inflight_steps >= 2:
+            return self._train_step_pipelined(t, sync, ext, ys, scales, n)
 
         start = time.perf_counter()
         boundary = 0.0
@@ -1328,6 +1561,82 @@ class AsyncPipelineRuntime(PipelineBackend):
         )
         return float(np.mean(result.losses))
 
+    def _train_step_pipelined(self, t, sync, ext, ys, scales, n) -> float:
+        """The two-in-flight driver loop: admit step t, settle the oldest
+        in-flight step (collect + its optimizer boundary) once the window
+        is full, and return as soon as the sink worker has step t's losses
+        — t's backward half keeps draining while the caller prepares the
+        next minibatch.  Wall time is measured settle-to-settle
+        (``_step_mark``), so per-step stats still sum to elapsed time."""
+        try:
+            seq = self.pool.issue(t, sync, ext, ys, scales, n)
+            if self._step_mark is None:
+                self._step_mark = time.perf_counter()
+            self._inflight.append((seq, t, sync))
+            if len(self._inflight) >= self.inflight_steps:
+                self._settle_oldest()
+            losses = self.pool.await_losses(seq)
+            if losses is None:
+                # The step failed or stalled before producing losses; drain
+                # the window so the real error surfaces.
+                while self._inflight:
+                    self._settle_oldest()
+                raise PipelineDeadlockError(
+                    "pipeline stalled before the sink produced losses"
+                )
+        except BaseException:
+            self._recover_after_failure()
+            raise
+        return float(np.mean(losses))
+
+    def _settle_oldest(self):
+        """Collect the oldest in-flight step and run its (now owed)
+        optimizer boundary; commit its stats."""
+        seq, t, sync = self._inflight.popleft()
+        result = self.pool.collect()
+        self._pending_sync = sync
+        self._complete_pending_boundary()
+        now = time.perf_counter()
+        wall = now - (self._step_mark if self._step_mark is not None else now)
+        self._step_mark = now
+        self.stats.commit(wall, result.busy, result.transport, result.stall, 0.0)
+        return result
+
+    def _recover_after_failure(self) -> None:
+        """Best-effort drain after a pipelined-step failure: settle what
+        still can be settled, then leave the model usable monolithically
+        (latest weights live, tied modules out of deferred mode) — same
+        contract as the barrier path's error handling."""
+        failed = False
+        while self._inflight:
+            if not failed:
+                try:
+                    self._settle_oldest()
+                    continue
+                except BaseException:
+                    failed = True
+                    continue
+            # A step already failed: later in-flight steps ran on state the
+            # failure may have polluted, so their gradients must not reach
+            # the optimizer — collect only to keep the pool's bookkeeping
+            # aligned.
+            self._inflight.popleft()
+            try:
+                self.pool.collect()
+            except BaseException:
+                pass
+        if self._pending_sync is not None:
+            try:
+                self._complete_pending_boundary()
+            except BaseException:
+                pass
+        self._step_mark = None
+        self._abort_deferred_grads()
+        self._deferred_on = False
+        self.plan.store.load_latest()
+        for w in self.workers:
+            w.unload_borrowed()
+
     def _complete_pending_boundary(self) -> None:
         """Fold the pending step's deferred tied gradients, run its
         detached optimizer boundary, and publish version t+1 — the publish
@@ -1373,18 +1682,32 @@ class AsyncPipelineRuntime(PipelineBackend):
         calls it before each evaluation.  Direct users of ``train_step``
         who read model weights between steps with overlap on should call
         it first."""
+        try:
+            while self._inflight:
+                self._settle_oldest()
+        except BaseException:
+            self._recover_after_failure()
+            raise
+        self._step_mark = None
         if self._pending_sync is not None:
             self._complete_pending_boundary()
         if self._deferred_on:
             self._end_deferred()
         self.plan.store.load_latest()
+        # The workers are quiescent now; drop any borrowed per-step version
+        # arrays they left loaded.
+        for w in self.workers:
+            w.unload_borrowed()
 
     # -- accounting --------------------------------------------------------------
     def step_time(self) -> float:
-        # The next step to issue is one ahead of the plan's counter while a
-        # boundary is pending; the trainer calls this *before* train_step.
+        # The next step to issue is ahead of the plan's counter by the
+        # in-flight window plus a pending boundary; the trainer calls this
+        # *before* train_step.
         return self.plan.step_time_at(
-            self.plan.t + (1 if self._pending_sync is not None else 0)
+            self.plan.t
+            + len(self._inflight)
+            + (1 if self._pending_sync is not None else 0)
         )
 
     # -- checkpointing -----------------------------------------------------------
@@ -1408,8 +1731,10 @@ class AsyncPipelineRuntime(PipelineBackend):
             return
         self._closed = True
         try:
-            if getattr(self, "_pending_sync", None) is not None or getattr(
-                self, "_deferred_on", False
+            if (
+                getattr(self, "_pending_sync", None) is not None
+                or getattr(self, "_deferred_on", False)
+                or getattr(self, "_inflight", None)
             ):
                 self.sync()
         except Exception:

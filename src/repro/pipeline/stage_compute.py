@@ -231,12 +231,28 @@ class Segment:
     in_edges: list["Edge"] = field(default_factory=list)
     out_edge: "Edge | None" = None
 
-    def forward(self, ins: list):
+    def forward(self, ins: list, reserve=None):
+        """Run the segment; when ``reserve`` is given (a ``(shape, dtype) ->
+        buffer-or-None`` callable from the transport layer), the last element
+        computes directly into the reserved transport slot when it supports
+        ``forward_into``, eliminating the producer-side copy."""
         head = self.elements[0]
+        if len(self.elements) == 1:
+            return self._apply_last(head, ins, reserve)
         x = head(*ins) if len(ins) > 1 else head(ins[0])
-        for element in self.elements[1:]:
+        for element in self.elements[1:-1]:
             x = element(x)
-        return x
+        return self._apply_last(self.elements[-1], [x], reserve)
+
+    @staticmethod
+    def _apply_last(element: Module, ins: list, reserve):
+        if reserve is not None and len(ins) == 1 and hasattr(element, "forward_into"):
+            shape, dtype = element.pipeline_out_meta(ins[0])
+            out = reserve(tuple(shape), dtype)
+            if out is not None:
+                element.forward_into(ins[0], out)
+                return out
+        return element(*ins) if len(ins) > 1 else element(ins[0])
 
     def backward(self, grad) -> list:
         """Returns one gradient payload per in-edge, in ``in_edges`` order."""

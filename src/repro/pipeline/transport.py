@@ -205,11 +205,18 @@ def _layout_perm(array: np.ndarray) -> tuple[int, ...] | None:
     C-contiguous view, so the payload can cross the ring without changing
     the element order in memory.  Genuinely strided views (slices with
     gaps, broadcasts) return ``None`` and fall back to a C-order copy.
+
+    Axes of size <= 1 carry arbitrary strides (NumPy's relaxed stride
+    checking ignores them), so they are pinned ahead of the load-bearing
+    axes instead of being ranked by those meaningless strides — a stride
+    tie or an oversized dummy stride must never scramble the order of the
+    real dimensions.
     """
     if array.flags.c_contiguous:
         return tuple(range(array.ndim))
-    perm = tuple(int(i) for i in np.argsort(
-        [-s for s in array.strides], kind="stable"
+    perm = tuple(sorted(
+        range(array.ndim),
+        key=lambda i: (array.shape[i] > 1, -array.strides[i], i),
     ))
     if array.transpose(perm).flags.c_contiguous:
         return perm
@@ -242,6 +249,13 @@ class ShmRing:
         self._msg = 0  # next message number on this endpoint
         self._gen = 1
         self.xfer_seconds = 0.0  # cumulative time spent copying payloads
+        # Writer: (slot, view) staked out by reserve(), published by
+        # commit_if_reserved().  Reader: count of views handed out by
+        # recv_msg_view() and not yet release()d, plus retired data
+        # generations kept mapped while any such view could reference them.
+        self._reserved: tuple[int, np.ndarray] | None = None
+        self._open_pins = 0
+        self._retired: list = []
         ctl_size = 8 * (_CTL_FIXED + 2 * slots)
         if create:
             self._ctl = create_shm(self._ctl_name(), ctl_size)
@@ -300,6 +314,7 @@ class ShmRing:
         stage-graph edge payload) — into the next free slot, tagged with
         ``step``.  The whole message occupies one slot, so the pub/ack
         hand-off stays one-per-payload however many components it has."""
+        self._reserved = None  # a stale reservation is superseded by this send
         deadline = time.perf_counter() + timeout
         m = self._msg
         i = m % self.slots
@@ -366,6 +381,79 @@ class ShmRing:
     def send(self, array: np.ndarray, step: int, timeout: float) -> None:
         """Single-array convenience wrapper over :meth:`send_msg`."""
         self.send_msg(np.asarray(array), step, timeout)
+
+    # -- in-ring compute (zero-copy send path) ---------------------------------
+    def reserve(
+        self, shape, dtype, step: int, timeout: float
+    ) -> np.ndarray | None:
+        """Stake out the next free slot and return a writable C-order view
+        of it, so the producer can compute its payload straight into the
+        ring; :meth:`commit_if_reserved` then publishes without any copy.
+        Headers (step tag, shape, identity perm) are written here, before
+        the payload — publication order is unchanged because ``pub`` only
+        advances at commit time.  Returns ``None`` for payloads the
+        zero-copy path cannot carry (unsupported dtype, rank > 8); the
+        caller falls back to a plain :meth:`send_msg`."""
+        self._reserved = None
+        dtype = np.dtype(dtype)
+        code = _DTYPE_CODE.get(dtype)
+        ndim = len(shape)
+        if code is None or ndim > _MAX_DIMS:
+            return None
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        need = _align8(_PART_BYTES) + nbytes
+        deadline = time.perf_counter() + timeout
+        m = self._msg
+        i = m % self.slots
+        self._wait(
+            lambda: self._ack[i] == self._pub[i], deadline,
+            f"ring {self.name}: peer never freed slot {i} (message {m})",
+        )
+        if need > self.slot_bytes:
+            self._grow(need, deadline)
+        base = i * (_BASE_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_BASE_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        hdr[0] = step
+        hdr[1] = 0  # bare array
+        hdr[2] = 1
+        hdr[3] = 0
+        off = _align8(_PART_BYTES)
+        phdr = np.ndarray(
+            (_PART_INTS,), dtype=np.int64, buffer=self._data.buf,
+            offset=base + _BASE_BYTES,
+        )
+        phdr[:] = 0
+        phdr[0] = 1
+        phdr[1] = code
+        phdr[2] = ndim
+        phdr[3] = off
+        phdr[4:4 + ndim] = shape
+        phdr[4 + _MAX_DIMS:4 + _MAX_DIMS + ndim] = range(ndim)
+        view = np.ndarray(
+            tuple(shape), dtype=dtype, buffer=self._data.buf,
+            offset=base + _BASE_BYTES + off,
+        )
+        self._reserved = (i, view)
+        return view
+
+    def commit_if_reserved(self, payload) -> bool:
+        """Publish the reserved slot if ``payload`` *is* its view (identity
+        check — the producer computed in-ring); returns False otherwise so
+        the caller can fall back to a copying send."""
+        if self._reserved is None:
+            return False
+        i, view = self._reserved
+        if payload is not view:
+            return False
+        self._reserved = None
+        self._pub[i] = self._msg + 1  # publish last: payload is complete
+        self._msg += 1
+        return True
+
+    def cancel_reserved(self) -> None:
+        """Drop a pending reservation (nothing was published; the slot is
+        simply reused by the next send or reserve)."""
+        self._reserved = None
 
     def _grow(self, nbytes: int, deadline: float) -> None:
         """Replace the data segment with a roomier generation.  Waits for the
@@ -438,6 +526,74 @@ class ShmRing:
         """Single-array convenience wrapper over :meth:`recv_msg`."""
         return self.recv_msg(timeout)  # type: ignore[return-value]
 
+    def recv_msg_view(
+        self, timeout: float
+    ) -> tuple[int, "np.ndarray | tuple", object]:
+        """Like :meth:`recv_msg` but zero-copy where possible: a bare
+        single-array message is returned as a **read-only view into the
+        ring slot** plus a pin token; the slot stays unacked (the writer
+        cannot reuse it) until :meth:`release` is called with the token.
+        Multi-part / tuple payloads take the copying path and are acked
+        immediately (token ``None``).  Pin discipline is the caller's: the
+        pipeline releases a microbatch's pins when its backward wave ends,
+        and at most N messages per ring are pinned per step against 2N
+        slots, so the writer's slot wait can only ever be on a message the
+        reader already finished with."""
+        deadline = time.perf_counter() + timeout
+        m = self._msg
+        i = m % self.slots
+        self._wait(
+            lambda: self._pub[i] == m + 1, deadline,
+            f"ring {self.name}: message {m} never arrived",
+        )
+        if self._ctl_ints[_CTL_GEN] != self._gen:
+            self._reattach()
+        base = i * (_BASE_BYTES + self.slot_bytes)
+        hdr = np.ndarray((_BASE_INTS,), dtype=np.int64, buffer=self._data.buf, offset=base)
+        step = int(hdr[0])
+        kind = int(hdr[1])
+        nparts = int(hdr[2])
+        if kind == 0 and nparts == 1:
+            phdr = np.ndarray(
+                (_PART_INTS,), dtype=np.int64, buffer=self._data.buf,
+                offset=base + _BASE_BYTES,
+            )
+            if int(phdr[0]) == 1:
+                dtype = _RING_DTYPES[int(phdr[1])]
+                ndim = int(phdr[2])
+                off = int(phdr[3])
+                shape = tuple(int(d) for d in phdr[4:4 + ndim])
+                perm = tuple(int(d) for d in phdr[4 + _MAX_DIMS:4 + _MAX_DIMS + ndim])
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=self._data.buf,
+                    offset=base + _BASE_BYTES + off,
+                )
+                view.setflags(write=False)
+                inv = np.argsort(perm) if ndim else ()
+                self._msg = m + 1
+                self._open_pins += 1
+                return step, view.transpose(inv), (i, m)
+        # Copying path (tuple payloads, absent parts): the message counter
+        # has not advanced, so recv_msg re-reads this same slot, copies it
+        # out and acks it.
+        step, payload = self.recv_msg(timeout)
+        return step, payload, None
+
+    def release(self, token) -> None:
+        """Ack a slot pinned by :meth:`recv_msg_view` — the writer may now
+        reuse it.  Out-of-order release across slots is fine (ack counters
+        are per-slot)."""
+        i, m = token
+        self._ack[i] = m + 1
+        self._open_pins -= 1
+        if self._open_pins == 0 and self._retired:
+            for shm in self._retired:
+                try:
+                    shm.close()
+                except Exception:
+                    pass
+            self._retired.clear()
+
     def _reattach(self) -> None:
         # Seqlock read of (gen, slot_bytes): retry if the writer swapped
         # generations between the two loads.
@@ -453,7 +609,16 @@ class ShmRing:
             if int(self._ctl_ints[_CTL_GEN]) != gen:
                 data.close()
                 continue
-            self._data.close()
+            if self._open_pins > 0:
+                # Defensive: a pinned view still references the old
+                # generation's mapping; keep it mapped until the pins
+                # drain.  (Unreachable in the pipeline protocol — the
+                # writer only grows when everything is acked, and pins
+                # block acks — but closing a mapped view would turn a
+                # protocol bug into a segfault.)
+                self._retired.append(self._data)
+            else:
+                self._data.close()
             self._data = data
             self._gen = gen
             self._slot_bytes = slot_bytes
@@ -462,11 +627,13 @@ class ShmRing:
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
         """Detach this endpoint (does not unlink)."""
-        for shm in (self._data, self._ctl):
+        self._reserved = None
+        for shm in (*self._retired, self._data, self._ctl):
             try:
                 shm.close()
             except Exception:
                 pass
+        self._retired.clear()
 
     def unlink(self) -> None:
         """Remove the segments (driver-side, after workers exited).  The
@@ -536,11 +703,15 @@ class SharedGradMailbox:
     is no longer a per-minibatch barrier, so every stage block carries a
     **step stamp**: the worker stamps its stages with the step sequence
     after the gradient writes, and the driver verifies all stamps match
-    the step it is collecting.  A worker cannot legitimately overwrite a
-    yet-unread slot (its next step's writes happen only after the driver
-    issued that step, which follows the previous collect), so a stamp
-    mismatch means lost gradients and fails loudly instead of folding a
-    stale or torn block.
+    the step it is collecting.
+
+    The mailbox is **double-buffered by step parity** (step ``seq`` uses
+    block ``seq % 2``): with two steps in flight a worker may legitimately
+    finish step t+1 — and write its gradients — before the driver has
+    folded step t's, so consecutive steps must not share a block.  Three
+    steps can never be outstanding (the driver collects t before issuing
+    t+2), so two blocks suffice, and a stamp mismatch still means lost
+    gradients and fails loudly instead of folding a stale or torn block.
     """
 
     def __init__(
@@ -552,32 +723,36 @@ class SharedGradMailbox:
         self.name = name
         self.stage_shapes = stage_shapes
         offsets, total = stage_block_layout(stage_shapes)
-        stamp_bytes = 8 * len(stage_shapes)
+        stamp_bytes = 8 * 2 * len(stage_shapes)
         if create:
-            self._shm = create_shm(name, max(stamp_bytes + total, 8))
+            self._shm = create_shm(name, max(stamp_bytes + 2 * total, 8))
         else:
             self._shm = attach_shm(name)
         self._stamps = np.ndarray(
-            (len(stage_shapes),), dtype=np.int64, buffer=self._shm.buf
+            (2, len(stage_shapes)), dtype=np.int64, buffer=self._shm.buf
         )
         if create:
             self._stamps[:] = 0
-        self._views = block_views(self._shm.buf, stage_shapes, stamp_bytes, offsets)
+        self._views = [
+            block_views(self._shm.buf, stage_shapes, stamp_bytes + p * total, offsets)
+            for p in range(2)
+        ]
 
-    def write(self, stage: int, pos: int, grad: np.ndarray) -> None:
-        np.copyto(self._views[stage][pos], grad)
+    def write(self, stage: int, pos: int, grad: np.ndarray, seq: int) -> None:
+        np.copyto(self._views[seq % 2][stage][pos], grad)
 
-    def read(self, stage: int, pos: int) -> np.ndarray:
-        return self._views[stage][pos]
+    def read(self, stage: int, pos: int, seq: int) -> np.ndarray:
+        return self._views[seq % 2][stage][pos]
 
     def stamp(self, stage: int, step: int) -> None:
-        """Mark ``stage``'s block as holding ``step``'s gradients (worker
-        side, after all of its writes for the step)."""
-        self._stamps[stage] = step
+        """Mark ``stage``'s parity block as holding ``step``'s gradients
+        (worker side, after all of its writes for the step)."""
+        self._stamps[step % 2][stage] = step
 
     def check_stamps(self, step: int) -> None:
-        """Driver side: every stage block must carry ``step``'s stamp."""
-        stamps = [int(s) for s in self._stamps]
+        """Driver side: every stage block of ``step``'s parity must carry
+        ``step``'s stamp."""
+        stamps = [int(s) for s in self._stamps[step % 2]]
         if any(s != step for s in stamps):
             raise RuntimeError(
                 f"gradient mailbox stamps {stamps} do not all match step "

@@ -180,7 +180,13 @@ class WeightVersionStore:
             )
         start = int(state["oldest_version"])
         for buf, versions in zip(self._buffers, payloads):
-            buf.seed(start, [[np.asarray(w) for w in v] for v in versions])
+            vs = [[np.asarray(w) for w in v] for v in versions]
+            # A checkpoint may come from a store with a different history
+            # depth: trim versions the shallower buffer can't hold, and
+            # allow a window narrower than the capacity (the delayed reads
+            # those extra slots would serve have already been consumed).
+            drop = max(0, len(vs) - buf.capacity)
+            buf.seed(start + drop, vs[drop:], allow_gap=True)
         self._latest = self._buffers[0].latest_version
         self.load_latest()
 

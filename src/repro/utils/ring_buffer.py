@@ -26,6 +26,10 @@ class RingBuffer:
         self._capacity = capacity
         self._slots: list[Any] = [None] * capacity
         self._next_version = 0
+        # Oldest version actually held; only ever raised above the natural
+        # ``next - capacity`` bound by seed(..., allow_gap=True) restoring
+        # a window shallower than the capacity.
+        self._floor = 0
 
     @property
     def capacity(self) -> int:
@@ -41,7 +45,7 @@ class RingBuffer:
         """Oldest version still resident (-1 when empty)."""
         if self._next_version == 0:
             return -1
-        return max(0, self._next_version - self._capacity)
+        return max(self._floor, self._next_version - self._capacity)
 
     def append(self, payload: Any) -> int:
         """Store ``payload`` as the next version; returns its version index."""
@@ -62,7 +66,9 @@ class RingBuffer:
         return self._slots[version % self._capacity]
 
     def __len__(self) -> int:
-        return min(self._next_version, self._capacity)
+        if self._next_version == 0:
+            return 0
+        return self._next_version - self.oldest_version
 
     def versions(self) -> Iterator[int]:
         """Iterate resident version indices, oldest first."""
@@ -70,11 +76,14 @@ class RingBuffer:
             return iter(())
         return iter(range(self.oldest_version, self._next_version))
 
-    def seed(self, start_version: int, payloads: list[Any]) -> None:
+    def seed(self, start_version: int, payloads: list[Any], *, allow_gap: bool = False) -> None:
         """Reset the buffer to hold ``payloads`` as consecutive versions
         ``start_version, start_version+1, ...`` — the checkpoint-restore
-        path.  The window must fit the capacity and be the newest prefix of
-        history (i.e. versions before ``start_version`` stay evicted)."""
+        path.  By default the window must fill the capacity exactly (be
+        the newest prefix of history); ``allow_gap=True`` accepts a window
+        shallower than the capacity (a checkpoint written by a buffer with
+        a smaller history), with versions between ``start_version -
+        capacity + len(payloads)`` and ``start_version`` simply absent."""
         if start_version < 0:
             raise ValueError(f"start_version must be >= 0, got {start_version}")
         if not payloads:
@@ -84,12 +93,13 @@ class RingBuffer:
                 f"{len(payloads)} payloads exceed capacity {self._capacity}"
             )
         end = start_version + len(payloads)
-        if start_version != max(0, end - self._capacity):
+        if not allow_gap and start_version != max(0, end - self._capacity):
             raise ValueError(
                 f"versions [{start_version}, {end}) are not the newest "
                 f"window for capacity {self._capacity}"
             )
         self._slots = [None] * self._capacity
         self._next_version = start_version
+        self._floor = start_version
         for payload in payloads:
             self.append(payload)

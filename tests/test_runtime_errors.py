@@ -89,8 +89,8 @@ class TestWorkerExceptionPath:
             for i in range(3):
                 b = slice(i * 16, (i + 1) * 16)
                 assert ex.train_step(x[b], y[b]) == rt.train_step(x[b], y[b])
+            rt.sync()  # drain in-flight steps so every wall clock is committed
             assert rt.stats.steps == 3
-            rt.sync()
             for p1, p2 in zip(m1.parameters(), m2.parameters()):
                 np.testing.assert_array_equal(p1.data, p2.data)
 
@@ -119,6 +119,7 @@ class TestDeadlockPath:
             rt.pool._programs = good_programs
             loss = rt.train_step(x[:16], y[:16])
             assert np.isfinite(loss)
+            rt.sync()  # the step's stats commit when it is collected
             assert rt.stats.steps == 1
 
     @pytest.mark.timeout(60)
@@ -164,3 +165,40 @@ class TestDeadlockPath:
                     stage.params, rt.store.weights(s, rt.store.latest_version)
                 ):
                     assert p.data is stored
+
+
+class TestStatsInvariants:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_fraction_decomposition_is_normalized(self, rng, backend, overlap):
+        """``bubble + transport + boundary_stall`` is a partition of lost
+        step time plus idle, all over the same denominator (wall x workers),
+        so the three fractions must each lie in [0, 1] and sum to <= 1 —
+        regression for the transport fraction using a busy-time denominator
+        while the others used wall time, which let the sum exceed 1."""
+        x, y = toy_data(rng)
+        m, rt = build(
+            AsyncPipelineRuntime,
+            backend=backend,
+            deadlock_timeout=30.0,
+            overlap_boundary=overlap,
+        )
+        with rt:
+            for i in range(3):
+                b = slice(i * 16, (i + 1) * 16)
+                rt.train_step(x[b], y[b])
+            rt.sync()
+        assert rt.stats.steps == 3
+        bubble = rt.stats.bubble_fraction()
+        transport = rt.stats.transport_fraction()
+        boundary = rt.stats.boundary_stall_fraction()
+        for name, f in (("bubble", bubble), ("transport", transport),
+                        ("boundary_stall", boundary)):
+            assert 0.0 <= f <= 1.0, f"{name} fraction {f} outside [0, 1]"
+        assert bubble + transport + boundary <= 1.0 + 1e-9, (
+            f"fractions overlap: bubble={bubble} transport={transport} "
+            f"boundary_stall={boundary}"
+        )
+        if backend == "thread":
+            assert transport == 0.0, "thread hand-offs must not count as transport"

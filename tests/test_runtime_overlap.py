@@ -339,9 +339,12 @@ class TestErrorPathsWithBoundaryPending:
         worker dies: both steps must drain — t's update published, t+1
         aborted — with the latest weights live and the pool wedged."""
         x, y = toy_classification(rng)
+        # Pin a single step in flight: this test is about the PR-4 deferred
+        # boundary (collected step, unpublished update), which needs the
+        # collect to happen inside train_step itself.
         m, rt = build(
             AsyncPipelineRuntime, backend="process",
-            deadlock_timeout=5.0, done_grace=2.0,
+            deadlock_timeout=5.0, done_grace=2.0, inflight_steps=1,
         )
         rt.train_step(x[:16], y[:16])
         assert rt.store.latest_version == 0  # boundary deferred
@@ -410,8 +413,10 @@ class TestMailboxAndMetrics:
         m, rt = build(AsyncPipelineRuntime, backend="process", deadlock_timeout=TIMEOUT)
         with rt:
             rt.train_step(x[:16], y[:16])
+            rt.sync()  # in-flight steps only stamp once collected
             rt.pool.mailbox.check_stamps(1)  # first issued step
             rt.train_step(x[16:32], y[16:32])
+            rt.sync()
             rt.pool.mailbox.check_stamps(2)
             with pytest.raises(RuntimeError, match="mailbox"):
                 rt.pool.mailbox.check_stamps(7)
@@ -440,5 +445,6 @@ class TestMailboxAndMetrics:
             for i in range(4):
                 b = slice(i * 16, (i + 1) * 16)
                 overlap.train_step(x[b], y[b])
+            overlap.sync()  # settle the in-flight tail so all 4 steps commit
             assert overlap.stats.total_boundary == 0.0
             assert overlap.stats.steps == 4

@@ -226,6 +226,7 @@ class TestModelsAndState:
         with rt:
             for _ in range(2):
                 assert ex.train_step(x, y) == rt.train_step(x, y)
+            rt.sync()  # persistent state syncs back when a step is collected
             for m_sim, m_proc in zip(models[0].modules(), models[1].modules()):
                 for name, value in m_sim.__dict__.items():
                     if (

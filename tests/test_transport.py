@@ -114,6 +114,98 @@ class TestShmRing:
         finally:
             w.close(); r.close(); owner.unlink()
 
+    def test_fortran_order_survives_unit_dims_and_stride_ties(self, rng):
+        """Regression for ``_layout_perm``: axes of size <= 1 carry
+        arbitrary strides (relaxed stride checking), so ranking axes by
+        raw stride could let a dummy axis scramble the order of the real
+        dimensions.  F-order payloads with unit dims must round-trip with
+        their layout intact."""
+        owner, w, r = make_ring("tring-f", slot_bytes=8192)
+        try:
+            f2 = np.asfortranarray(rng.normal(size=(4, 6)))
+            w.send(f2, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, f2)
+            assert out.strides == f2.strides, "F layout must survive"
+            # unit leading dim: its stride is meaningless, the real axes'
+            # F order must still be reproduced
+            f3 = np.asfortranarray(rng.normal(size=(1, 6, 5)))
+            w.send(f3, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, f3)
+            assert out.flags.f_contiguous
+            # dummy axis with a nonsense stride (as reshaped views can
+            # carry): data is contiguous, values and real-axis order survive
+            base = np.ascontiguousarray(rng.normal(size=(3, 4)))
+            weird = np.lib.stride_tricks.as_strided(
+                base, shape=(3, 1, 4), strides=(32, 999, 8)
+            )
+            w.send(weird, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, weird)
+            np.testing.assert_array_equal(out.reshape(3, 4), base)
+            # all-unit-dims corner: any permutation is valid, none may crash
+            one = np.asfortranarray(rng.normal(size=(1, 1)))
+            w.send(one, step=1, timeout=2.0)
+            _, out = r.recv(2.0)
+            np.testing.assert_array_equal(out, one)
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_reserve_commit_publishes_without_copy(self, rng):
+        """The in-ring compute path: a producer reserves the next slot,
+        fills it, and send() publishes it by identity — the consumer sees
+        exactly the reserved bytes."""
+        owner, w, r = make_ring("tring-rs", slot_bytes=8192)
+        try:
+            buf = w.reserve((3, 4), np.float64, step=1, timeout=2.0)
+            assert buf is not None and buf.shape == (3, 4)
+            buf[...] = rng.normal(size=(3, 4))
+            expect = buf.copy()
+            assert w.commit_if_reserved(buf)
+            tag, out = r.recv(2.0)
+            assert tag == 1
+            np.testing.assert_array_equal(out, expect)
+            # a non-reserved payload is NOT published by commit; send()
+            # falls back to the copying path after cancelling
+            other = rng.normal(size=(3, 4))
+            assert not w.commit_if_reserved(other)
+            w.cancel_reserved()
+            w.send(other, step=2, timeout=2.0)
+            tag, out = r.recv(2.0)
+            assert tag == 2
+            np.testing.assert_array_equal(out, other)
+            # unsupported dtypes decline the reservation instead of failing
+            assert w.reserve((2,), np.complex128, step=3, timeout=2.0) is None
+        finally:
+            w.close(); r.close(); owner.unlink()
+
+    def test_recv_view_pins_slot_until_release(self, rng):
+        """Zero-copy receive: the consumer gets a read-only view into the
+        ring and the slot stays unacked (producer blocks on reuse) until
+        the view's token is released."""
+        owner, w, r = make_ring("tring-pin", slots=2, slot_bytes=8192)
+        try:
+            first = rng.normal(size=(4, 3))
+            w.send(first, step=1, timeout=2.0)
+            tag, view, token = r.recv_msg_view(2.0)
+            assert tag == 1 and token is not None
+            assert not view.flags.writeable
+            np.testing.assert_array_equal(view, first)
+            # both slots filled, none acked: the producer must now block
+            w.send(rng.normal(size=(4, 3)), step=1, timeout=2.0)
+            with pytest.raises(TransportTimeout):
+                w.send(rng.normal(size=(4, 3)), step=1, timeout=0.2)
+            r.release(token)
+            _, _, t2 = r.recv_msg_view(2.0)
+            r.release(t2)
+            w.send(first * 2, step=1, timeout=2.0)  # slot free again
+            _, out, t3 = r.recv_msg_view(2.0)
+            np.testing.assert_array_equal(out, first * 2)
+            r.release(t3)
+        finally:
+            w.close(); r.close(); owner.unlink()
+
     def test_step_tags_allow_discarding_stale_messages(self, rng):
         """After an aborted step the reader finds old-step residue; the tag
         lets it drop those and resynchronise — the self-healing property the
@@ -154,8 +246,14 @@ class TestStageBlocks:
         peer = SharedGradMailbox(name, shapes)
         try:
             g = rng.normal(size=(3, 2))
-            peer.write(0, 0, g)
-            np.testing.assert_array_equal(owner.read(0, 0), g)
+            peer.write(0, 0, g, seq=1)
+            np.testing.assert_array_equal(owner.read(0, 0, seq=1), g)
+            # The parity double-buffer keeps two steps' blocks disjoint:
+            # writing the next step must not disturb the previous one.
+            g2 = rng.normal(size=(3, 2))
+            peer.write(0, 0, g2, seq=2)
+            np.testing.assert_array_equal(owner.read(0, 0, seq=2), g2)
+            np.testing.assert_array_equal(owner.read(0, 0, seq=1), g)
         finally:
             peer.close(); owner.unlink()
 

@@ -29,7 +29,12 @@ sliced through its stage graph) — and reports:
 * the **partition balance** section: even vs auto (cost-balanced)
   partitioning on a deliberately skewed MLP, reporting predicted and
   measured max/mean stage-time imbalance per mode — ``auto`` must not be
-  worse than ``even``, and both rows land in the JSON trajectory.
+  worse than ``even``, and both rows land in the JSON trajectory;
+* the **hybrid data × pipeline** section: the thread runtime at
+  ``num_replicas`` R = 1 (the single-pipeline baseline) and R = 2,
+  per-replica shard size held constant (weak scaling), reporting aggregate
+  samples/sec vs R — every row bit-for-bit checked against the sequential
+  simulator at the same replica count.
 
 On a single-core host (CI smoke) the wall-clock ratios degrade to ~1× by
 physics — there is no second core to overlap on — so the report prints the
@@ -94,6 +99,7 @@ _ROW_DEFAULTS = dict(
     partition=None, speedup_vs_simulator=None, bubble_fraction=None,
     transport_fraction=None, boundary_stall_fraction=None,
     imbalance_predicted=None, imbalance_measured=None,
+    replicas=1, samples_per_sec=None,
 )
 
 
@@ -394,6 +400,84 @@ def measure_partition_balance(quick: bool, method: str, rows: list) -> bool:
     return improved and equivalent
 
 
+def measure_hybrid(quick: bool, method: str, rows: list) -> bool:
+    """Hybrid data × pipeline rows: aggregate samples/sec vs replica count.
+
+    Each replica trains on its own 1/R shard of every minibatch, so the
+    per-replica shard is held constant and the minibatch grows with R
+    (weak scaling): aggregate samples/sec should approach R× the R=1
+    baseline on a host with >= R·P cores, and stays ~1× on a single core
+    by physics.  The R=1 row *is* the single-pipeline baseline; every row
+    is checked bit-for-bit against the sequential simulator run at the
+    same replica count (which models replica staleness exactly — the fold
+    adds no weight delay).  Returns the equivalence verdict; throughput is
+    trajectory data, never a gate.
+    """
+    p = 4
+    n = 8
+    width = 64 if quick else 256
+    shard = n * (8 if quick else 48)  # per-replica minibatch
+    steps = 2 if quick else 8
+    warmup = 1
+    dims = [width] * p + [10]
+    replica_counts = (1, 2)
+
+    print(f"\nhybrid data × pipeline: MLP P={p} N={n} width={width} "
+          f"shard={shard}/replica steps={steps} "
+          f"replicas={'/'.join(str(r) for r in replica_counts)}")
+    results = {}
+    for r in replica_counts:
+        batch = shard * r
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(batch, width))
+        y = rng.integers(0, 10, size=batch)
+        _, sim = build_backend(
+            PipelineExecutor, dims=dims, num_stages=p, num_microbatches=n,
+            method=method, seed=42, num_replicas=r,
+        )
+        sim_wall, sim_losses = measure(sim, x, y, steps, warmup)
+        _, rt = build_backend(
+            AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
+            method=method, seed=42, num_replicas=r,
+        )
+        try:
+            wall, losses = measure(rt, x, y, steps, warmup)
+            results[r] = dict(
+                wall=wall, sim_wall=sim_wall,
+                samples=batch * steps,
+                workers=rt.num_workers * r,
+                bubble=rt.stats.bubble_fraction(),
+                boundary_stall=rt.stats.boundary_stall_fraction(),
+                equivalent=losses == sim_losses,
+            )
+        finally:
+            rt.close()
+
+    base = results[replica_counts[0]]
+    base_sps = base["samples"] / base["wall"]
+    for r, res in results.items():
+        sps = res["samples"] / res["wall"]
+        sim_sps = res["samples"] / res["sim_wall"]
+        print(f"  R={r:<14d}: {sps:9.1f} samples/sec  ({res['wall']:.3f}s)"
+              f"  workers={res['workers']}  aggregate={sps / base_sps:.2f}x"
+              f"  vs-sim={sps / sim_sps:.2f}x"
+              f"  equivalent={'OK' if res['equivalent'] else 'MISMATCH'}")
+        rows.append(make_row(
+            workload="mlp-hybrid", backend="thread", overlap=True,
+            replicas=r, samples_per_sec=sps,
+            microbatches_per_sec=steps * n * r / res["wall"],
+            speedup_vs_simulator=sps / sim_sps,
+            bubble_fraction=res["bubble"],
+            boundary_stall_fraction=res["boundary_stall"],
+            workers=res["workers"],
+            equivalent=res["equivalent"],
+        ))
+    equivalent = all(res["equivalent"] for res in results.values())
+    print(f"  loss equivalence (bitwise)  : {'OK' if equivalent else 'MISMATCH'}"
+          f"  (simulator == thread group at every R)")
+    return equivalent
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke: tiny sizes")
@@ -422,6 +506,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-balance", action="store_true",
         help="skip the even-vs-auto partition balance section",
+    )
+    parser.add_argument(
+        "--skip-hybrid", action="store_true",
+        help="skip the hybrid data × pipeline (replica scaling) section",
     )
     args = parser.parse_args(argv)
 
@@ -513,6 +601,10 @@ def main(argv=None) -> int:
     if not args.skip_balance:
         balance_ok = measure_partition_balance(args.quick, args.method, rows)
 
+    hybrid_ok = True
+    if not args.skip_hybrid:
+        hybrid_ok = measure_hybrid(args.quick, args.method, rows)
+
     if args.json:
         payload = dict(
             config=dict(
@@ -532,7 +624,7 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"\nwrote {len(rows)} rows to {args.json}")
 
-    if not equivalent or not translation_ok:
+    if not equivalent or not translation_ok or not hybrid_ok:
         print("ERROR: backends diverged", file=sys.stderr)
         return 1
     if not balance_ok:

@@ -9,11 +9,19 @@ matching row.  Speedups are dimensionless (concurrent wall over simulator
 wall measured in the same run), so the comparison survives runner-speed
 differences; core-count differences only help the fresh side.
 
-Rows are matched on (workload, backend, overlap, partition).  Only thread
-rows gate by default — process rows on shared CI runners are too noisy to
-block on — but every matched row is reported.  Both files are validated
-against ``bench_schema.json`` first, so a schema drift fails loudly here
-too.
+Rows are matched on (workload, backend, overlap, partition, replicas) —
+fields are read tolerantly, so baselines written before a key existed
+(e.g. ``replicas``) still match under its default.  Only thread rows gate
+by default — process rows on shared CI runners are too noisy to block on —
+but every matched row is reported.  Both files are validated against
+``bench_schema.json`` first, so a schema drift fails loudly here too.
+
+A fresh row with no baseline counterpart is *skipped with a warning*, not
+an error: that is exactly what happens on the first CI run after a new
+bench section lands, before anyone re-runs ``--write-baseline``.  If *no*
+row matched but every fresh row was warned about, the check exits 0 with a
+clear "nothing to gate yet" message instead of crashing the lane; a
+matched-row regression still fails as before.
 
 Quick-size runs on shared single-core runners are noisy, so the gate
 compares two deliberately asymmetric statistics:
@@ -49,7 +57,16 @@ from bench_runtime_throughput import validate_payload  # noqa: E402
 
 
 def row_key(row: dict) -> tuple:
-    return (row["workload"], row["backend"], row["overlap"], row["partition"])
+    # Tolerant reads: older committed baselines predate some keys (the
+    # schema keeps them optional for exactly that reason), so missing
+    # fields match under their defaults instead of raising KeyError.
+    return (
+        row.get("workload"),
+        row.get("backend"),
+        row.get("overlap"),
+        row.get("partition"),
+        row.get("replicas", 1),
+    )
 
 
 def load(path: str) -> dict:
@@ -143,27 +160,47 @@ def main(argv=None) -> int:
     base_rows = {row_key(r): r for r in baseline["rows"]}
     failures = []
     matched = 0
+    unmatched = 0
     for row in fresh["rows"]:
+        label = "/".join(str(k) for k in row_key(row) if k is not None)
         ref = base_rows.get(row_key(row))
         if ref is None:
+            # New bench rows land before anyone refreshes the committed
+            # floor — warn and move on rather than crashing the lane.
+            unmatched += 1
+            print(
+                f"WARNING: {label}: no baseline row — skipping "
+                "(re-run --write-baseline to start gating it)",
+                file=sys.stderr,
+            )
             continue
-        speedup, ref_speedup = row["speedup_vs_simulator"], ref["speedup_vs_simulator"]
+        speedup = row.get("speedup_vs_simulator")
+        ref_speedup = ref.get("speedup_vs_simulator")
         if speedup is None or ref_speedup is None or ref_speedup <= 0:
             continue
         matched += 1
         drop = 1.0 - speedup / ref_speedup
-        gating = row["backend"] in gate
+        gating = row.get("backend") in gate
         verdict = "OK"
         if drop > args.tolerance:
             verdict = "REGRESSED" if gating else "regressed (advisory)"
             if gating:
                 failures.append((row_key(row), ref_speedup, speedup, drop))
-        label = "/".join(str(k) for k in row_key(row) if k is not None)
         print(
             f"  {label:<32s} baseline={ref_speedup:6.3f}x  "
             f"fresh={speedup:6.3f}x  drop={drop:+7.1%}  {verdict}"
         )
     if matched == 0:
+        if unmatched > 0:
+            # Every fresh row is new to the baseline (fresh bench section,
+            # stale committed floor): nothing to gate yet is not a failure.
+            print(
+                f"WARNING: nothing to gate yet — all {unmatched} fresh "
+                "row(s) are missing from the baseline (see warnings above); "
+                "refresh it with --write-baseline to arm the gate",
+                file=sys.stderr,
+            )
+            return 0
         print("ERROR: no comparable rows between fresh run and baseline",
               file=sys.stderr)
         return 1

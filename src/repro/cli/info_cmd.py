@@ -47,14 +47,26 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "--partition", choices=["even", "auto", "profile"], default="even",
         help="partition mode for the table (profile times a sample batch)",
     )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="hybrid data × pipeline parallelism: render the table for R "
+        "pipeline replicas (every replica runs the identical partition; "
+        "worker counts and minibatch shares scale by R)",
+    )
 
 
-def partition_table(workload, num_stages, granularity: str, partition: str) -> str:
+def partition_table(
+    workload, num_stages, granularity: str, partition: str, replicas: int = 1
+) -> str:
     """Render the per-worker partition table: segments, parameter counts,
-    estimated cost shares, and the plan's max/mean imbalance."""
+    estimated cost shares, and the plan's max/mean imbalance.  With
+    ``replicas`` > 1 the table describes one replica's pipeline (all R are
+    identical) and the summary reports the group totals."""
     from repro.pipeline.stage_compute import build_worker_graph
 
-    from repro.pipeline import costmodel
+    from repro.pipeline import check_replica_count, costmodel
+
+    check_replica_count(replicas, model_name=workload.name)
 
     model = workload.build_model(0)
     plan = workload.partition_plan(model, num_stages, granularity, partition)
@@ -107,6 +119,12 @@ def partition_table(workload, num_stages, granularity: str, partition: str) -> s
         f"granularity={granularity} partition={partition} "
         f"workers={graph.num_workers}"
     )
+    if replicas > 1:
+        header += (
+            f" replicas={replicas} "
+            f"total workers={graph.num_workers}×{replicas}"
+            f"={graph.num_workers * replicas}"
+        )
     table = format_table(
         ["worker", "stages", "units", "params", "cost share", "segments"],
         rows,
@@ -119,6 +137,12 @@ def partition_table(workload, num_stages, granularity: str, partition: str) -> s
         f"(max {max(stage_costs):.3g}, mean {mean:.3g} over "
         f"{plan.num_stages} stages, {source})"
     )
+    if replicas > 1:
+        summary += (
+            f"\nhybrid: {replicas} identical pipeline replicas, each training "
+            f"on 1/{replicas} of every minibatch; gradients fold into one "
+            f"optimizer step per minibatch (weight staleness unchanged)"
+        )
     return f"{table}\n{summary}"
 
 
@@ -130,12 +154,25 @@ def _run(args: argparse.Namespace) -> int:
         or args.stages is not None
         or args.granularity != "layer"
         or args.partition != "even"
+        or args.replicas != 1
         or args.workload != "cifar"
     )
     if wants_table:
         workload = make_workload(args.workload)
         num_stages = args.stages if args.stages is not None else workload.default_stages
-        print(partition_table(workload, num_stages, args.granularity, args.partition))
+        from repro.pipeline import check_replica_count
+
+        try:
+            check_replica_count(args.replicas, model_name=workload.name)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        print(
+            partition_table(
+                workload, num_stages, args.granularity, args.partition,
+                args.replicas,
+            )
+        )
         return 0
     print(f"repro {__version__} — PipeMare: Asynchronous Pipeline Parallel DNN Training")
     print("(Yang et al., MLSYS 2021; arXiv:1910.05124)\n")

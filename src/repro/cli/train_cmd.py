@@ -11,6 +11,7 @@ import argparse
 
 from repro.cli._command import Command, add_common_run_args, add_workload_arg, make_workload
 from repro.core import PipeMareConfig
+from repro.pipeline import check_replica_count
 from repro.viz import line_plot, sparkline
 
 
@@ -50,6 +51,14 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "'sublayer' splits attention/FFN/norm-residual sub-chains into "
         "separate elements, so fine partitions run with strictly more "
         "workers than layers (trajectories stay bit-identical)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="hybrid data × pipeline parallelism: R complete pipeline "
+        "replicas sharing one version clock, each training on its own "
+        "shard of every minibatch, gradients folded into one optimizer "
+        "step per minibatch (staleness is unchanged for any R; R=1 is "
+        "plain pipeline parallelism, bit for bit)",
     )
     parser.add_argument(
         "--partition", choices=["even", "auto", "profile"], default="even",
@@ -100,13 +109,19 @@ def _run(args: argparse.Namespace) -> int:
             "see README 'Runtime backends'"
         )
         return 2
+    try:
+        check_replica_count(args.replicas, model_name=workload.name)
+    except ValueError as exc:
+        print(exc)
+        return 2
 
     desc = cfg.describe() if cfg else "synchronous"
     print(
         f"workload={workload.name} method={args.method} config={desc} "
         f"runtime={args.runtime} epochs={args.epochs} stages="
         f"{args.stages if args.stages else workload.max_stages()} "
-        f"granularity={args.granularity} partition={args.partition}"
+        f"granularity={args.granularity} partition={args.partition} "
+        f"replicas={args.replicas}"
     )
     result = workload.run(
         method=args.method,
@@ -119,6 +134,7 @@ def _run(args: argparse.Namespace) -> int:
         overlap_boundary=args.overlap_boundary == "on",
         granularity=args.granularity,
         partition=args.partition,
+        replicas=args.replicas,
     )
     metric = result.history.series("eval_metric")
     losses = result.history.series("train_loss")

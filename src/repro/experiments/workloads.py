@@ -34,6 +34,7 @@ from repro.pipeline import (
     ModelSpec,
     Partitioner,
     PipelineExecutor,
+    check_replica_count,
     make_backend,
 )
 from repro.pipeline.plan import split_views
@@ -123,6 +124,7 @@ class _BaseWorkload:
         overlap_boundary: bool | None = None,
         granularity: str = "layer",
         partition: str = "even",
+        replicas: int = 1,
     ) -> WorkloadBundle:
         raise NotImplementedError
 
@@ -139,10 +141,11 @@ class _BaseWorkload:
         overlap_boundary: bool | None = None,
         granularity: str = "layer",
         partition: str = "even",
+        replicas: int = 1,
     ) -> TrainResult:
         b = self.bundle(
             method, pipemare, num_stages, seed, recompute_segment, runtime,
-            overlap_boundary, granularity, partition,
+            overlap_boundary, granularity, partition, replicas,
         )
         try:
             result = b.trainer.run(epochs, eval_every=eval_every)
@@ -151,6 +154,7 @@ class _BaseWorkload:
                 b.executor.close()
         result.meta["workload"] = self.name
         result.meta["runtime"] = runtime
+        result.meta["replicas"] = replicas
         return result
 
 
@@ -244,7 +248,8 @@ class ImageWorkload(_BaseWorkload):
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
                overlap_boundary=None, granularity="layer",
-               partition="even") -> WorkloadBundle:
+               partition="even", replicas=1) -> WorkloadBundle:
+        check_replica_count(replicas, model_name=f"{self.name} ResNet")
         model = self.build_model(seed)
         loss = CrossEntropyLoss()
         plan = self.partition_plan(
@@ -261,7 +266,7 @@ class ImageWorkload(_BaseWorkload):
             runtime, model, loss, opt, stages, self.num_microbatches, method,
             pipemare=pipemare, base_schedule=self.base_schedule(),
             recompute_segment=recompute_segment, overlap_boundary=overlap_boundary,
-            granularity=granularity, partition_plan=plan,
+            granularity=granularity, partition_plan=plan, num_replicas=replicas,
         )
 
         def batch_fn(rng):
@@ -402,12 +407,13 @@ class TranslationWorkload(_BaseWorkload):
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
                overlap_boundary=None, granularity="layer",
-               partition="even") -> WorkloadBundle:
+               partition="even", replicas=1) -> WorkloadBundle:
         if runtime not in self.supported_runtimes():
             raise ValueError(
                 f"unknown runtime {runtime!r} for translation workloads "
                 f"(supported: {', '.join(self.supported_runtimes())})"
             )
+        check_replica_count(replicas, model_name=f"{self.name} Transformer")
         model = self.build_model(seed)
         loss = SequenceCrossEntropyLoss(
             pad_id=self.task.pad_id, label_smoothing=self.label_smoothing
@@ -425,7 +431,7 @@ class TranslationWorkload(_BaseWorkload):
         common = dict(
             pipemare=pipemare, base_schedule=self.base_schedule(),
             grad_clip=self.grad_clip, recompute_segment=recompute_segment,
-            partition_plan=plan,
+            partition_plan=plan, num_replicas=replicas,
         )
         if runtime == "simulator":
             executor: object = _TranslationExecutor(
@@ -470,8 +476,17 @@ class _TranslationBatching:
         xs = list(zip(split_views(src, n), split_views(tgt_in, n)))
         return xs, split_views(y, n)
 
-    def _forward(self, xj):  # type: ignore[override]
-        return self.model(*xj)
+    def _shard_minibatch(self, x, y, r):  # type: ignore[override]
+        # Hybrid replicas shard the (src, tgt_in) tuple the same way the
+        # microbatch split does: per-replica (src, tgt_in) shard tuples.
+        src, tgt_in = x
+        xs = list(zip(split_views(src, r), split_views(tgt_in, r)))
+        return xs, split_views(y, r)
+
+    def _forward_model(self, model, xj):  # type: ignore[override]
+        # Overriding the model-explicit hook (not _forward) makes the tuple
+        # unpacking apply to every pipeline replica, not just the live model.
+        return model(*xj)
 
     def _num_samples(self, xj):  # type: ignore[override]
         return len(xj[0])

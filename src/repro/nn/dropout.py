@@ -29,15 +29,24 @@ from repro.nn.module import Module
 
 
 def counter_mask(
-    seed: int, layer_id: int, step: int, microbatch: int, shape, keep: float
+    seed: int,
+    layer_id: int,
+    step: int,
+    microbatch: int,
+    shape,
+    keep: float,
+    replica: int = 0,
 ) -> np.ndarray:
     """The counter-mode dropout mask: a Philox stream keyed by
-    ``(seed, layer_id)`` with counter ``(step, microbatch)``, so the draw is
-    a pure function of its coordinates — identical on every backend, worker
-    count, and recompute pass."""
+    ``(seed, layer_id)`` with counter ``(step, microbatch, replica)``, so the
+    draw is a pure function of its coordinates — identical on every backend,
+    worker count, and recompute pass.  ``replica`` occupies a previously-zero
+    counter word, so replica 0 draws the exact masks single-pipeline runs
+    always drew, while each extra pipeline replica gets an independent
+    stream."""
     bits = np.random.Philox(
         key=np.array([seed, layer_id], dtype=np.uint64),
-        counter=np.array([step, microbatch, 0, 0], dtype=np.uint64),
+        counter=np.array([step, microbatch, replica, 0], dtype=np.uint64),
     )
     draws = arena.empty(tuple(shape), np.float64)
     np.random.Generator(bits).random(out=draws)
@@ -75,6 +84,7 @@ class Dropout(Module):
         self.rng = rng
         self.seed = seed
         self.layer_id = layer_id
+        self.replica = 0  # pipeline replica index, set by ModelSpec/replica build
         self._slot = (0, 0)  # (optimizer step, microbatch), set by the backends
         self._mask: np.ndarray | None = None
 
@@ -99,7 +109,9 @@ class Dropout(Module):
         keep = 1.0 - self.p
         if self.counter_based:
             t, j = self._slot
-            self._mask = counter_mask(self.seed, self.layer_id, t, j, x.shape, keep)
+            self._mask = counter_mask(
+                self.seed, self.layer_id, t, j, x.shape, keep, self.replica
+            )
         else:
             self._mask = (self.rng.random(x.shape) < keep) / keep
         y = arena.empty(x.shape, np.result_type(x, self._mask))

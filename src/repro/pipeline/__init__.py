@@ -20,6 +20,7 @@ from repro.pipeline.partition import (
     Partitioner,
     Stage,
     balanced_bounds,
+    check_replica_count,
     check_stage_count,
     even_bounds,
     num_weight_units,
@@ -28,7 +29,7 @@ from repro.pipeline.partition import (
 )
 from repro.pipeline.delays import DelayProfile, Method
 from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
-from repro.pipeline.plan import ResolverSpec, StepPlan, WorkerPlanMirror
+from repro.pipeline.plan import ReplicaPlan, ResolverSpec, StepPlan, WorkerPlanMirror
 from repro.pipeline.executor import PipelineExecutor
 from repro.pipeline.stage_compute import (
     GraphNode,
@@ -42,6 +43,7 @@ from repro.pipeline.runtime import (
     AsyncPipelineRuntime,
     PipelineDeadlockError,
     ProcessWorkerPool,
+    ReplicaGroup,
     ThreadWorkerPool,
 )
 from repro.pipeline import costmodel
@@ -67,7 +69,10 @@ def make_backend(runtime: str, *args, **kwargs):
     simulator has no minibatch barrier to overlap and executes the model
     monolithically, so ``overlap_boundary``, ``granularity`` and
     ``max_workers`` are accepted and ignored there — callers can pass one
-    backend-agnostic kwargs dict."""
+    backend-agnostic kwargs dict.  ``num_replicas`` (hybrid data ×
+    pipeline parallelism) is honoured by every backend: the simulator runs
+    the R replicas sequentially with exact staleness, the concurrent
+    runtimes run them as a :class:`ReplicaGroup` of worker pools."""
     if runtime == "simulator":
         for concurrent_only in ("overlap_boundary", "granularity", "max_workers"):
             kwargs.pop(concurrent_only, None)
@@ -88,6 +93,7 @@ __all__ = [
     "GRANULARITIES",
     "PARTITION_MODES",
     "balanced_bounds",
+    "check_replica_count",
     "check_stage_count",
     "even_bounds",
     "num_weight_units",
@@ -96,10 +102,12 @@ __all__ = [
     "WeightVersionStore",
     "SharedWeightMirror",
     "StepPlan",
+    "ReplicaPlan",
     "ResolverSpec",
     "WorkerPlanMirror",
     "PipelineExecutor",
     "AsyncPipelineRuntime",
+    "ReplicaGroup",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "PipelineDeadlockError",

@@ -88,6 +88,25 @@ class DelayProfile:
     def max_tau_fwd(self) -> float:
         return self.tau_fwd(0)
 
+    def replica_extra_tau(self, num_replicas: int) -> float:
+        """Extra average weight delay (in optimizer steps) added by hybrid
+        data × pipeline parallelism with ``num_replicas`` pipelines folding
+        at every minibatch boundary: **zero**, for any R.
+
+        Every replica reads from the one shared version store, so each sees
+        exactly the single-pipeline ``τ_fwd,i`` / ``τ_bkwd,i`` above, and
+        the fold is synchronous at the boundary — the optimizer steps once
+        on the mean of all R replica gradients, so no version is ever
+        computed from a subset of the replicas.  This is the
+        staleness-exact contrast with asynchronous data parallelism
+        (Hogwild-style), where an update lands some κ > 0 steps after the
+        weights it read and the effective τ grows with the replica count;
+        here R changes the gradient's sample count, never its delay.
+        """
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        return 0.0
+
     # -- exact per-microbatch version indices --------------------------------
     def fwd_version(self, stage: int, minibatch: int, microbatch: int) -> int:
         """Integer weight version stage ``stage`` reads in the forward pass

@@ -31,12 +31,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import PipeMareConfig
+from repro.nn.dropout import Dropout
 from repro.nn.module import Module
 from repro.optim import Optimizer, ParamGroup
 from repro.optim.schedulers import LRSchedule
 from repro.pipeline.delays import Method
 from repro.pipeline.partition import Stage
-from repro.pipeline.plan import PipelineBackend, StepPlan
+from repro.pipeline.plan import PipelineBackend, ReplicaPlan, StepPlan
 
 
 def param_groups_from_stages(stages: list[Stage]) -> list[ParamGroup]:
@@ -73,6 +74,14 @@ class PipelineExecutor(PipelineBackend):
         Optional global-norm clipping threshold.
     recompute_segment:
         Segment size S for PipeMare Recompute (``None`` disables).
+    num_replicas:
+        R pipeline replicas for hybrid data × pipeline parallelism.  Every
+        replica reads the same delayed weight versions from the shared
+        store (identical staleness), computes gradients over its own
+        minibatch shard (``_shard_minibatch``) with its own dropout stream,
+        and the gradients fold in canonical replica order before the one
+        shared optimizer step (see :class:`repro.pipeline.plan.ReplicaPlan`).
+        R=1 is the original single-pipeline simulator, bit for bit.
     """
 
     def __init__(
@@ -88,6 +97,7 @@ class PipelineExecutor(PipelineBackend):
         grad_clip: float | None = None,
         recompute_segment: int | None = None,
         partition_plan=None,
+        num_replicas: int = 1,
     ):
         super().__init__(
             model,
@@ -103,46 +113,114 @@ class PipelineExecutor(PipelineBackend):
                 grad_clip=grad_clip,
                 recompute_segment=recompute_segment,
                 partition_plan=partition_plan,
+                num_replicas=num_replicas,
             ),
         )
+        if num_replicas > 1:
+            # Replica copies are pickle round-trips; a stream-mode dropout's
+            # generator would be duplicated with it, making two replicas
+            # draw *identical* masks — silently wrong statistics.  Counter
+            # mode keys masks on the replica index instead.
+            for m in model.modules():
+                if isinstance(m, Dropout) and m.p > 0.0 and not m.counter_based:
+                    raise ValueError(
+                        "stream-mode (generator) dropout cannot run with "
+                        "num_replicas > 1; use counter-based dropout "
+                        "(Dropout(p, seed=..., layer_id=...))"
+                    )
+        self.replica_plan = ReplicaPlan(self.plan, model, loss_fn)
 
     # -- weight loading -------------------------------------------------------
-    def _load_all(self, weights_for_stage) -> None:
-        for s, stage in enumerate(self.stages):
+    def _load_all(self, weights_for_stage, stages: list[Stage] | None = None) -> None:
+        for s, stage in enumerate(self.stages if stages is None else stages):
             stage.load(weights_for_stage(s))
 
     # -- training ---------------------------------------------------------------
     def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Run one minibatch; returns the mean microbatch training loss."""
+        """Run one minibatch; returns the mean microbatch training loss
+        (mean over all ``R × N`` microbatches when ``num_replicas > 1``)."""
         plan = self.plan
         n = plan.num_microbatches
-        xs, ys = self._split_minibatch(x, y, n)
-        total = sum(self._num_samples(xj) for xj in xs)
         sync = plan.is_sync_step()
+        if plan.num_replicas == 1:
+            xs, ys = self._split_minibatch(x, y, n)
+            total = sum(self._num_samples(xj) for xj in xs)
+
+            plan.begin_step()
+            self._begin_deferred_grads()
+            losses = []
+            t = plan.t
+            try:
+                for j in range(n):
+                    self._set_dropout_slot(j)
+                    self._load_all(lambda s: plan.forward_weights(s, t, j, sync))
+                    out = self._forward(xs[j])
+                    losses.append(self.loss_fn(out, ys[j]))
+                    grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
+                    if plan.recompute_active(sync):
+                        # Counter-based dropout makes this second forward exact:
+                        # the (step, microbatch) slot is unchanged, so the
+                        # regenerated activations use the same masks the first
+                        # forward drew.
+                        self._load_all(lambda s: plan.recompute_weights(s, t, j))
+                        self._forward(xs[j])  # regenerate caches at recompute weights
+                    self._load_all(lambda s: plan.backward_weights(s, t, j, sync))
+                    self.model.backward(grad)
+            except BaseException:
+                self._abort_deferred_grads()
+                raise
+            self._fold_deferred_grads()
+            plan.finish_step(sync)
+            return float(np.mean(losses))
+        return self._train_step_replicated(x, y, sync)
+
+    def _train_step_replicated(self, x, y, sync: bool) -> float:
+        """The R > 1 minibatch: replicas run sequentially (replica 0 on the
+        live model, then each copy), each over its own shard with the same
+        delay arithmetic — wall-clock order is irrelevant because every
+        wave's weights come from the version store and gradients fold in
+        replica-index order regardless of completion order."""
+        plan = self.plan
+        n = plan.num_microbatches
+        shards_x, shards_y = self._shard_minibatch(x, y, plan.num_replicas)
 
         plan.begin_step()
-        self._begin_deferred_grads()
-        losses = []
+        losses: list[float] = []
         t = plan.t
-        try:
-            for j in range(n):
-                self._set_dropout_slot(j)
-                self._load_all(lambda s: plan.forward_weights(s, t, j, sync))
-                out = self._forward(xs[j])
-                losses.append(self.loss_fn(out, ys[j]))
-                grad = self.loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
-                if plan.recompute_active(sync):
-                    # Counter-based dropout makes this second forward exact:
-                    # the (step, microbatch) slot is unchanged, so the
-                    # regenerated activations use the same masks the first
-                    # forward drew.
-                    self._load_all(lambda s: plan.recompute_weights(s, t, j))
-                    self._forward(xs[j])  # regenerate caches at recompute weights
-                self._load_all(lambda s: plan.backward_weights(s, t, j, sync))
-                self.model.backward(grad)
-        except BaseException:
-            self._abort_deferred_grads()
-            raise
-        self._fold_deferred_grads()
+        for r in range(plan.num_replicas):
+            rep = None if r == 0 else self.replica_plan.replicas[r - 1]
+            model = self.model if rep is None else rep.model
+            loss_fn = self.loss_fn if rep is None else rep.loss_fn
+            stages = None if rep is None else rep.stages
+            dropouts = self._counter_dropouts if rep is None else rep.counter_dropouts
+            deferred = self._deferred_modules if rep is None else rep.deferred_modules
+            xs, ys = self._split_minibatch(shards_x[r], shards_y[r], n)
+            total = sum(self._num_samples(xj) for xj in xs)
+            for m in deferred:
+                m.enable_deferred_grads()
+                for _, buf in m.deferred_grads():
+                    buf.fill(0.0)
+            try:
+                for j in range(n):
+                    for m in dropouts:
+                        m.set_slot(t, j)
+                    self._load_all(lambda s: plan.forward_weights(s, t, j, sync), stages)
+                    out = self._forward_model(model, xs[j])
+                    losses.append(loss_fn(out, ys[j]))
+                    grad = loss_fn.backward() * plan.grad_scale(self._num_samples(xs[j]), total)
+                    if plan.recompute_active(sync):
+                        self._load_all(lambda s: plan.recompute_weights(s, t, j), stages)
+                        self._forward_model(model, xs[j])
+                    self._load_all(lambda s: plan.backward_weights(s, t, j, sync), stages)
+                    model.backward(grad)
+            except BaseException:
+                for m in deferred:
+                    m.disable_deferred_grads()
+                raise
+            for m in deferred:
+                for p, buf in m.deferred_grads():
+                    p.grad += buf
+                m.disable_deferred_grads()
+        self.replica_plan.fold_replica_grads()
         plan.finish_step(sync)
         return float(np.mean(losses))

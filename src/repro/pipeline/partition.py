@@ -113,6 +113,37 @@ def check_stage_count(
         )
 
 
+def check_replica_count(
+    num_replicas: int,
+    model_name: str = "model",
+    workers_per_replica: int | None = None,
+    worker_budget: int | None = None,
+) -> None:
+    """The single "bad replica count" validation path for hybrid data ×
+    pipeline parallelism.
+
+    Every entry point that accepts a replica count — ``repro train
+    --replicas``, the workload bundle builders, and the runtime/simulator
+    constructors — funnels the request through here, so an invalid count
+    always fails with the same :class:`ValueError` naming the model, the
+    worker budget (when one applies), and the requested count.
+    """
+    if num_replicas < 1:
+        raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+    if (
+        workers_per_replica is not None
+        and worker_budget is not None
+        and num_replicas * workers_per_replica > worker_budget
+    ):
+        raise ValueError(
+            f"cannot run {num_replicas} pipeline replicas of {model_name}: "
+            f"each replica needs {workers_per_replica} workers and the "
+            f"worker budget is {worker_budget} "
+            f"({num_replicas} x {workers_per_replica} = "
+            f"{num_replicas * workers_per_replica} > {worker_budget})"
+        )
+
+
 def even_bounds(num_units: int, num_stages: int) -> tuple[int, ...]:
     """Prefix boundaries of the even-by-count split — exactly
     ``np.array_split`` arithmetic (first ``num_units % num_stages`` stages

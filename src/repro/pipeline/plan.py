@@ -39,7 +39,8 @@ minibatch, in a fixed order) and counter-based dropout slots
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -49,7 +50,7 @@ from repro.nn.module import Parameter
 from repro.optim import Optimizer, clip_grad_norm
 from repro.optim.schedulers import LRSchedule
 from repro.pipeline.delays import DelayProfile, Method, _ceil_div
-from repro.pipeline.partition import Stage
+from repro.pipeline.partition import Stage, check_replica_count
 from repro.pipeline.recompute import recompute_delay_slots, segment_heads
 from repro.pipeline.weight_store import SharedWeightMirror, WeightVersionStore
 
@@ -212,11 +213,19 @@ class StepPlan(WeightResolver):
         recompute_segment: int | None = None,
         partition_plan=None,
         inflight_depth: int = 1,
+        num_replicas: int = 1,
     ):
+        check_replica_count(num_replicas)
         self.params = params
         self.optimizer = optimizer
         self.stages = stages
         self.method = Method(method)
+        # Hybrid data × pipeline parallelism: R pipeline replicas share this
+        # one plan (one version clock, one optimizer, one weight store), and
+        # the boundary averages their folded gradients — so the per-step
+        # normalization below divides by n·R instead of n.  R=1 is the
+        # single-pipeline plan, bit for bit.
+        self.num_replicas = num_replicas
         # The PartitionPlan behind ``stages`` (None for ad-hoc partitions).
         # The delay profile below keys off the *stage* count it prescribes —
         # a sublayer-granular plan deepens the pipe, so T1/T2/T3 see the
@@ -299,7 +308,7 @@ class StepPlan(WeightResolver):
         (T1 only on async steps), step, push version t+1, update T2."""
         self.store.load_latest()
 
-        n = self.profile.num_microbatches
+        n = self.profile.num_microbatches * self.num_replicas
         for p in self.params:
             p.grad *= 1.0 / n
         if self.grad_clip is not None:
@@ -336,7 +345,7 @@ class StepPlan(WeightResolver):
         arrays in, same expressions, same optimizer state mutation — only
         where the result lands differs.
         """
-        n = self.profile.num_microbatches
+        n = self.profile.num_microbatches * self.num_replicas
         for p in self.params:
             p.grad *= 1.0 / n
         if self.grad_clip is not None:
@@ -416,6 +425,120 @@ class StepPlan(WeightResolver):
         self.store.load_state_dict(state["store"])
         if self.corrector is not None:
             self.corrector.load_state_dict(state["corrector"])
+
+
+@dataclass
+class PipelineReplica:
+    """One extra pipeline replica: a pickle round-trip copy of the driver's
+    ``(model, loss_fn)`` with stages rebuilt over the copy's parameters.
+
+    The copy's *initial weights are irrelevant*: every pipeline wave loads
+    the exact weight version the shared :class:`WeightVersionStore`
+    prescribes before computing, so only the copy's gradient buffers (and
+    its per-replica dropout streams / persistent state) carry information.
+    """
+
+    index: int
+    model: object
+    loss_fn: object
+    stages: list[Stage]
+    params: list[Parameter] = field(default_factory=list)
+    counter_dropouts: list = field(default_factory=list)
+    deferred_modules: list = field(default_factory=list)
+
+
+def build_pipeline_replicas(model, loss_fn, stages: list[Stage], num_replicas: int) -> list[PipelineReplica]:
+    """Replicas ``1 .. R-1`` for hybrid data × pipeline parallelism.
+
+    Each replica is a pickle round-trip of ``(model, loss_fn)``; its stages
+    are rebuilt positionally over the copy's flat parameter list (pickling
+    preserves registration order, including tied-parameter dedup), so the
+    copy partitions bit-identically to the driver.  Counter-based dropouts
+    on the copy are re-keyed to the replica index, giving each replica an
+    independent — but fully deterministic — mask stream.
+    """
+    primary = model.parameters()
+    pos_of = {id(p): i for i, p in enumerate(primary)}
+    replicas = []
+    for r in range(1, num_replicas):
+        copy_model, copy_loss = pickle.loads(pickle.dumps((model, loss_fn)))
+        copy_params = copy_model.parameters()
+        if len(copy_params) != len(primary):
+            raise ValueError(
+                f"replica copy has {len(copy_params)} parameters, "
+                f"driver model has {len(primary)}"
+            )
+        copy_stages = [
+            Stage(
+                index=s.index,
+                params=[copy_params[pos_of[id(p)]] for p in s.params],
+                names=list(s.names),
+            )
+            for s in stages
+        ]
+        counter_dropouts = []
+        deferred_modules = []
+        for m in copy_model.modules():
+            if hasattr(m, "deferred_grads"):
+                deferred_modules.append(m)
+            if isinstance(m, Dropout) and m.counter_based:
+                m.replica = r
+                counter_dropouts.append(m)
+        for p in copy_params:
+            p.zero_grad()
+        replicas.append(
+            PipelineReplica(
+                index=r,
+                model=copy_model,
+                loss_fn=copy_loss,
+                stages=copy_stages,
+                params=copy_params,
+                counter_dropouts=counter_dropouts,
+                deferred_modules=deferred_modules,
+            )
+        )
+    return replicas
+
+
+class ReplicaPlan:
+    """R pipeline replicas sharing one :class:`StepPlan` — hybrid data ×
+    pipeline parallelism with one version clock.
+
+    Replica 0 is the driver's live model; replicas ``1 .. R-1`` are
+    :class:`PipelineReplica` copies.  All replicas read weight versions from
+    the *same* store (so every replica sees the exact staleness the delay
+    profile prescribes, and the gating arithmetic in
+    :meth:`WeightResolver.required_version` is unchanged), and the optimizer
+    steps once per minibatch on the average of all replica gradients.
+
+    **Canonical fold order** (the bit-for-bit contract every backend obeys):
+    replica 0's ``Parameter.grad`` accumulates its own microbatch gradients
+    in microbatch order, then its deferred tied-gradient buffers; each copy
+    replica accumulates the same way into its *own* gradient buffers; then
+    :meth:`fold_replica_grads` adds the copies into replica 0 in ascending
+    replica index.  Addition order is therefore a function of indices only —
+    never of which replica finished first — so the fold is deterministic
+    under any completion order.  The shared plan's boundary then divides by
+    ``n·R`` (see :class:`StepPlan`), yielding the mean over all replicas'
+    microbatch-mean gradients.
+    """
+
+    def __init__(self, plan: StepPlan, model, loss_fn):
+        self.plan = plan
+        self.num_replicas = plan.num_replicas
+        self.replicas = build_pipeline_replicas(
+            model, loss_fn, plan.stages, plan.num_replicas
+        )
+
+    def fold_replica_grads(self) -> None:
+        """Fold every copy replica's accumulated gradients into the shared
+        plan's parameters (replica 0), ascending replica index, and zero the
+        copy buffers for the next step.  Callers fold each replica's
+        deferred tied gradients into that replica's own buffers first."""
+        for rep in self.replicas:
+            for p0, pr in zip(self.plan.params, rep.params):
+                p0.grad += pr.grad
+                pr.grad[...] = 0.0
 
 
 def split_views(arr, n: int) -> list:
@@ -623,6 +746,13 @@ class PipelineBackend:
         self.plan.t = value
 
     # -- microbatch plumbing (overridable for multi-input models) -------------
+    def _shard_minibatch(self, x, y, r: int) -> tuple[list, list]:
+        """Split (x, y) into R per-replica shard *views* along axis 0 (no
+        copies; :func:`split_views` semantics, so the assignment of samples
+        to replicas is deterministic in the data order).  Each shard is then
+        microbatched per replica via :meth:`_split_minibatch`."""
+        return split_views(x, r), split_views(y, r)
+
     def _split_minibatch(self, x, y, n: int) -> tuple[list, list]:
         """Split (x, y) into N microbatch *views* along axis 0 (no
         copies; see :func:`split_views`)."""
@@ -631,7 +761,13 @@ class PipelineBackend:
         return split_views(x, n), split_views(y, n)
 
     def _forward(self, xj):
-        return self.model(xj)
+        return self._forward_model(self.model, xj)
+
+    def _forward_model(self, model, xj):
+        """Forward ``xj`` through an explicit model — the hook replica
+        copies share with the live model, so a multi-input override (e.g.
+        translation's tuple unpacking) applies to every replica."""
+        return model(xj)
 
     def _num_samples(self, xj) -> int:
         return len(xj)

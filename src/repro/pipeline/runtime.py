@@ -108,8 +108,14 @@ from repro.nn.module import Module
 from repro.optim import Optimizer
 from repro.optim.schedulers import LRSchedule
 from repro.pipeline.delays import Method
-from repro.pipeline.partition import Stage
-from repro.pipeline.plan import PipelineBackend, ResolverSpec, StepPlan, WorkerPlanMirror
+from repro.pipeline.partition import Stage, check_replica_count
+from repro.pipeline.plan import (
+    PipelineBackend,
+    ReplicaPlan,
+    ResolverSpec,
+    StepPlan,
+    WorkerPlanMirror,
+)
 from repro.pipeline.schedule import stage_programs
 from repro.pipeline.stage_compute import (
     ModelSpec,
@@ -932,11 +938,18 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
         # modules are scoped per step by PipelineBackend instead).
         compute.enable_deferred()
         stage_shapes = init["stage_shapes"]
+        # Mirror and mailbox are named separately from the ring base: in a
+        # ReplicaGroup every replica pool has its own rings but all share
+        # replica 0's mirror (one published version window) and mailbox
+        # (one segment, one lane per replica).
         mirror = SharedWeightMirror(
-            f"{base}w", stage_shapes, spec.history, spec.use_t2, readonly=True
+            init["wname"], stage_shapes, spec.history, spec.use_t2, readonly=True
         )
         resolver = WorkerPlanMirror(spec, mirror)
-        mailbox = SharedGradMailbox(f"{base}mb", stage_shapes)
+        mailbox = SharedGradMailbox(
+            init["mbname"], stage_shapes, num_replicas=init["num_replicas"]
+        )
+        replica = init["replica"]
         is_sink_worker = w == k - 1
         loss_fn = pickle.loads(init["loss_pickle"]) if is_sink_worker else None
         chans = _RingChannels(_worker_rings(graph, w, base, init["slots"]), timeout)
@@ -994,12 +1007,12 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 )
                 for b in compute.bindings:
                     for pos, p in zip(b.positions, b.params):
-                        mailbox.write(b.stage, pos, p.grad, step_seq)
+                        mailbox.write(b.stage, pos, p.grad, step_seq, replica)
                 for s in {b.stage for b in compute.bindings}:
                     # Stamp after the writes: the driver folds this stage
                     # block only when the stamp matches the step it
                     # collects.
-                    mailbox.stamp(s, step_seq)
+                    mailbox.stamp(s, step_seq, replica)
                 payload = (
                     losses if is_sink_worker else None,
                     compute.persistent_state() if has_pstate else None,
@@ -1042,6 +1055,9 @@ class ProcessWorkerPool(_WorkerPoolBase):
         transport_slot_bytes: int = 1 << 16,
         granularity: str = "layer",
         max_workers: int | None = None,
+        replica: int = 0,
+        num_replicas: int = 1,
+        shared: tuple | None = None,
     ):
         k = graph.num_workers
         super().__init__(k, deadlock_timeout, done_grace)
@@ -1049,6 +1065,12 @@ class ProcessWorkerPool(_WorkerPoolBase):
         self.driver_workers = graph.workers
         self.plan = plan
         self.stages = stages
+        # Replica pools of a ReplicaGroup share replica 0's weight mirror
+        # and grad mailbox (``shared`` = that pool's ``shared_handles``);
+        # each still owns its own rings.  ``replica`` selects this pool's
+        # mailbox lane.  Defaults are the standalone single-pipeline pool.
+        self.replica = replica
+        self._owns_shared = shared is None
         # Cleanup state first: close() must be safe however far construction
         # got, so a failure mid-way (e.g. /dev/shm full after the mirror was
         # created) cannot leak segments for the driver's lifetime.
@@ -1062,14 +1084,20 @@ class ProcessWorkerPool(_WorkerPoolBase):
         try:
             stage_shapes = [[tuple(p.shape) for p in s.params] for s in stages]
             history = plan.history
-            self.mirror = SharedWeightMirror(
-                f"{base}w", stage_shapes, history, plan.corrector is not None,
-                create=True,
-            )
-            self.mirror.sync_from_store(
-                plan.store, plan.corrector, versions=plan.resolvable_versions()
-            )
-            self.mailbox = SharedGradMailbox(f"{base}mb", stage_shapes, create=True)
+            if shared is None:
+                self.mirror = SharedWeightMirror(
+                    f"{base}w", stage_shapes, history, plan.corrector is not None,
+                    create=True,
+                )
+                self.mirror.sync_from_store(
+                    plan.store, plan.corrector, versions=plan.resolvable_versions()
+                )
+                self.mailbox = SharedGradMailbox(
+                    f"{base}mb", stage_shapes, create=True, num_replicas=num_replicas
+                )
+                self._wname, self._mbname = f"{base}w", f"{base}mb"
+            else:
+                self.mirror, self.mailbox, self._wname, self._mbname = shared
             # One aborted step can leave up to N unconsumed messages in a
             # ring; 2N slots let the next step proceed while recv discards
             # the residue.
@@ -1086,6 +1114,10 @@ class ProcessWorkerPool(_WorkerPoolBase):
             self._done = ctx.Queue()
             init = {
                 "base": base,
+                "wname": self._wname,
+                "mbname": self._mbname,
+                "replica": replica,
+                "num_replicas": num_replicas,
                 "k": k,
                 "slots": slots,
                 "num_microbatches": num_microbatches,
@@ -1163,6 +1195,13 @@ class ProcessWorkerPool(_WorkerPoolBase):
     def _get_done(self, timeout: float):
         return self._done.get(timeout=timeout)
 
+    @property
+    def shared_handles(self) -> tuple:
+        """What a replica pool attaches instead of creating its own:
+        ``(mirror, mailbox, mirror_name, mailbox_name)`` — pass as the
+        ``shared`` constructor argument (see :class:`ReplicaGroup`)."""
+        return (self.mirror, self.mailbox, self._wname, self._mbname)
+
     def issue(self, t, sync, ext, ys, scales, num_microbatches) -> int:
         k = self.num_workers
         self._seq += 1
@@ -1196,10 +1235,10 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 self.driver_workers[w].load_persistent_state(pstate)
         # Workers stamped their stage blocks after writing; a mismatch
         # would mean a block was overwritten before this fold read it.
-        self.mailbox.check_stamps(seq)
+        self.mailbox.check_stamps(seq, self.replica)
         for s, stage in enumerate(self.stages):
             for pos, p in enumerate(stage.params):
-                p.grad[...] = self.mailbox.read(s, pos, seq)
+                p.grad[...] = self.mailbox.read(s, pos, seq, self.replica)
         return _StepResult(
             losses=list(losses), busy=busys, transport=xfers, stall=stalls
         )
@@ -1243,11 +1282,13 @@ class ProcessWorkerPool(_WorkerPoolBase):
         )
 
     def full_resync(self) -> None:
-        self.mirror.sync_from_store(
-            self.plan.store,
-            self.plan.corrector,
-            versions=self.plan.resolvable_versions(),
-        )
+        if self._owns_shared:
+            # Replica pools share this mirror; its owner resyncs it once.
+            self.mirror.sync_from_store(
+                self.plan.store,
+                self.plan.corrector,
+                versions=self.plan.resolvable_versions(),
+            )
         # Push driver-side persistent state (e.g. restored BatchNorm running
         # stats) down to the worker replicas; the pipe is FIFO, so workers
         # apply it before any subsequent step command.
@@ -1281,10 +1322,122 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 pass
         for ring in self._rings:
             ring.unlink()
-        if self.mirror is not None:
-            self.mirror.unlink()
-        if self.mailbox is not None:
-            self.mailbox.unlink()
+        if self._owns_shared:
+            if self.mirror is not None:
+                self.mirror.unlink()
+            if self.mailbox is not None:
+                self.mailbox.unlink()
+
+
+class ReplicaGroup:
+    """R worker pools — one per pipeline replica — behind the single-pool
+    issue/collect surface the scheduler loop drives.
+
+    Hybrid data × pipeline parallelism: every replica is a complete
+    pipeline (its own worker pool over its own copy of the model), all
+    reading weight versions from the *one* shared version clock, so each
+    replica sees exactly the staleness the delay profile prescribes.  The
+    scheduler never learns R — it issues one *group step* (a list of R
+    per-replica ``(ext, ys, scales)`` minibatch shards), collects one
+    merged result (losses and per-worker stats concatenated in replica
+    order), and runs one optimizer boundary on the folded gradients.
+
+    Pools are issued and collected in lockstep, so their step-sequence
+    counters stay equal — the process backend's shared grad mailbox (one
+    lane per replica, owned by replica 0's pool) relies on this for its
+    per-lane double-buffer parity, and :meth:`issue` fails loudly if the
+    invariant ever breaks.  R = 1 wraps the single pool with a thin
+    dispatch and no behavioural change.
+    """
+
+    def __init__(
+        self,
+        pools: list[_WorkerPoolBase],
+        graphs: list[WorkerGraph],
+        replica_plan,
+    ):
+        self.pools = pools
+        self.graphs = graphs
+        self.replica_plan = replica_plan
+        self.num_replicas = len(pools)
+
+    @property
+    def kind(self) -> str:
+        return self.pools[0].kind
+
+    @property
+    def wedged(self) -> bool:
+        return any(p.wedged for p in self.pools)
+
+    @wedged.setter
+    def wedged(self, value: bool) -> None:
+        for p in self.pools:
+            p.wedged = value
+
+    def issue(self, t, sync, steps, num_microbatches) -> int:
+        """Broadcast one group step: ``steps[r]`` is replica r's
+        ``(ext, ys, scales)`` shard.  Returns the common sequence tag."""
+        seqs = [
+            pool.issue(t, sync, ext, ys, scales, num_microbatches)
+            for pool, (ext, ys, scales) in zip(self.pools, steps)
+        ]
+        if any(s != seqs[0] for s in seqs):
+            self.wedged = True
+            raise RuntimeError(
+                f"replica pools fell out of lockstep (step sequences {seqs}); "
+                f"the shared-mailbox parity contract is broken"
+            )
+        return seqs[0]
+
+    def collect(self) -> _StepResult:
+        results: list[_StepResult] = []
+        first_exc: BaseException | None = None
+        for pool in self.pools:
+            try:
+                results.append(pool.collect())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                # Keep collecting: every pool's issued-step bookkeeping must
+                # advance together even when one replica's step failed.
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return _StepResult(
+            losses=[l for res in results for l in res.losses],
+            busy=[b for res in results for b in res.busy],
+            transport=[x for res in results for x in res.transport],
+            stall=[s for res in results for s in res.stall],
+        )
+
+    def await_losses(self, seq: int) -> list | None:
+        out: list = []
+        for pool in self.pools:
+            losses = pool.await_losses(seq)
+            if losses is None:
+                return None
+            out.extend(losses)
+        return out
+
+    def publish_plan_state(self) -> None:
+        # One shared mirror: replica 0's pool owns it and publishes for the
+        # whole group (thread pools are a no-op either way).
+        self.pools[0].publish_plan_state()
+
+    def full_resync(self) -> None:
+        primary = self.graphs[0].workers
+        for r, pool in enumerate(self.pools):
+            if r:
+                # A checkpoint restore rewrote the live model; re-seed each
+                # copy's persistent state (e.g. BatchNorm running stats)
+                # from it before the pool pushes state to its workers.
+                for cw, dw in zip(self.graphs[r].workers, primary):
+                    if dw.has_persistent_state():
+                        cw.load_persistent_state(dw.persistent_state())
+            pool.full_resync()
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.close()
 
 
 class AsyncPipelineRuntime(PipelineBackend):
@@ -1322,6 +1475,15 @@ class AsyncPipelineRuntime(PipelineBackend):
         where available), initial ring-slot capacity (rings grow on
         demand), and the extra driver-side wait beyond ``deadlock_timeout``
         before a silent worker wedges the runtime.
+    num_replicas:
+        R pipeline replicas for hybrid data × pipeline parallelism — a
+        :class:`ReplicaGroup` of R worker pools behind the one scheduler
+        loop.  Every replica reads the same delayed weight versions from
+        the shared version clock (identical staleness), trains on its own
+        contiguous shard of each minibatch with its own counter-based
+        dropout stream, and the gradients fold in canonical replica order
+        before the single (still overlapped) optimizer boundary.  R = 1 is
+        the original single-pipeline runtime, bit for bit.
 
     The model must be sliceable into a stage-program graph (see
     :mod:`repro.pipeline.stage_compute`); training-mode Dropout must be
@@ -1356,7 +1518,9 @@ class AsyncPipelineRuntime(PipelineBackend):
         max_workers: int | None = None,
         partition_plan=None,
         inflight_steps: int | None = None,
+        num_replicas: int = 1,
     ):
+        check_replica_count(num_replicas, model_name=type(model).__name__)
         overlap = True if overlap_boundary is None else bool(overlap_boundary)
         # Two steps in flight is the default with the overlapped boundary:
         # step t+2's fill is admitted before step t+1 is collected, so the
@@ -1381,6 +1545,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                 recompute_segment=recompute_segment,
                 partition_plan=partition_plan,
                 inflight_depth=depth,
+                num_replicas=num_replicas,
             ),
         )
         if backend not in ("thread", "process"):
@@ -1414,39 +1579,91 @@ class AsyncPipelineRuntime(PipelineBackend):
                         "counter-based dropout (Dropout(p, seed=...), see "
                         "repro.nn.dropout) or use the simulator backend"
                     )
+        # Hybrid data × pipeline parallelism: replicas 1..R-1 are pickle
+        # round-trip copies of (model, loss_fn), each sliced into its own
+        # worker graph.  Copy workers only ever run sliced steps, so their
+        # tied modules stay in deferred-gradient mode for the copies' whole
+        # lifetime (exactly like process workers); the live model's modules
+        # remain scoped per step by PipelineBackend.
+        self.num_replicas = num_replicas
+        self.replica_plan = ReplicaPlan(self.plan, model, loss_fn)
+        self.replica_graphs: list[WorkerGraph] = [self.graph]
+        for rep in self.replica_plan.replicas:
+            g = build_worker_graph(
+                rep.model, rep.stages, granularity=granularity,
+                max_workers=max_workers,
+            )
+            for wrk in g.workers:
+                wrk.enable_deferred()
+                wrk.zero_deferred()
+            self.replica_graphs.append(g)
+        self._all_graph_workers: list[WorkerCompute] = [
+            w for g in self.replica_graphs for w in g.workers
+        ]
         k, n = len(self.workers), num_microbatches
+        kt = k * num_replicas  # per-worker stats cover every replica's pool
         self.stats = RuntimeStats(
-            last_busy=[0.0] * k,
-            total_busy=[0.0] * k,
-            last_transport=[0.0] * k,
-            total_transport=[0.0] * k,
+            last_busy=[0.0] * kt,
+            total_busy=[0.0] * kt,
+            last_transport=[0.0] * kt,
+            total_transport=[0.0] * kt,
         )
         self._closed = False
-        if backend == "process":
-            self.pool: _WorkerPoolBase = ProcessWorkerPool(
-                graph=self.graph,
-                plan=self.plan,
-                stages=stages,
-                loss_fn=loss_fn,
-                model_spec=(
+        pools: list[_WorkerPoolBase] = []
+        try:
+            if backend == "process":
+                spec0 = (
                     model_spec
                     if model_spec is not None
                     else ModelSpec.from_model(
                         model, num_stages=len(stages), plan=partition_plan
                     )
-                ),
-                num_microbatches=n,
-                deadlock_timeout=deadlock_timeout,
-                done_grace=done_grace,
-                start_method=start_method,
-                transport_slot_bytes=transport_slot_bytes,
-                granularity=granularity,
-                max_workers=max_workers,
-            )
-        else:
-            self.pool = ThreadWorkerPool(
-                self.graph, self.plan, loss_fn, deadlock_timeout, done_grace,
-            )
+                )
+                for r in range(num_replicas):
+                    rep = None if r == 0 else self.replica_plan.replicas[r - 1]
+                    pools.append(
+                        ProcessWorkerPool(
+                            graph=self.replica_graphs[r],
+                            plan=self.plan,
+                            stages=stages if rep is None else rep.stages,
+                            loss_fn=loss_fn if rep is None else rep.loss_fn,
+                            model_spec=spec0 if r == 0 else spec0.for_replica(r),
+                            num_microbatches=n,
+                            deadlock_timeout=deadlock_timeout,
+                            done_grace=done_grace,
+                            start_method=start_method,
+                            transport_slot_bytes=transport_slot_bytes,
+                            granularity=granularity,
+                            max_workers=max_workers,
+                            replica=r,
+                            num_replicas=num_replicas,
+                            shared=None if r == 0 else pools[0].shared_handles,
+                        )
+                    )
+            else:
+                for r in range(num_replicas):
+                    rep = None if r == 0 else self.replica_plan.replicas[r - 1]
+                    pools.append(
+                        ThreadWorkerPool(
+                            self.replica_graphs[r],
+                            self.plan,
+                            loss_fn if rep is None else rep.loss_fn,
+                            deadlock_timeout,
+                            done_grace,
+                        )
+                    )
+        except BaseException:
+            for p in pools:
+                try:
+                    p.close()
+                except Exception:
+                    pass
+            raise
+        # The scheduler drives the group; ``pool`` stays the replica-0 pool
+        # for introspection (at R = 1 the group is a thin dispatch around
+        # it with no behavioural change).
+        self.group = ReplicaGroup(pools, self.replica_graphs, self.replica_plan)
+        self.pool: _WorkerPoolBase = pools[0]
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -1459,31 +1676,46 @@ class AsyncPipelineRuntime(PipelineBackend):
         microbatch training loss (bit-identical to the simulator's)."""
         if self._closed:
             raise RuntimeError("runtime is closed")
-        if self.pool.wedged:
+        if self.group.wedged:
             raise RuntimeError(
                 "runtime is wedged after a deadlock (a worker never reported "
                 "back); build a fresh runtime"
             )
         plan = self.plan
         n = plan.num_microbatches
-        xs, ys = self._split_minibatch(x, y, n)
-        total = sum(self._num_samples(xj) for xj in xs)
-        scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
+        # Hybrid sharding: each replica trains on its own contiguous view of
+        # the minibatch (replica 0 takes the first shard), with per-replica
+        # microbatch splits, loss scales and external-input routing.  R = 1
+        # reduces to the original single-pipeline step, bit for bit.
+        if plan.num_replicas == 1:
+            shards = [(x, y)]
+        else:
+            shards_x, shards_y = self._shard_minibatch(x, y, plan.num_replicas)
+            shards = list(zip(shards_x, shards_y))
+        steps = []
+        for xr, yr in shards:
+            xs, ys = self._split_minibatch(xr, yr, n)
+            total = sum(self._num_samples(xj) for xj in xs)
+            scales = [plan.grad_scale(self._num_samples(xj), total) for xj in xs]
+            # Route each external model input to the graph edges that consume
+            # it: multi-input models (the two-stream Transformer) yield tuple
+            # microbatches, transposed here into per-input streams.  The
+            # microbatches themselves are views of the caller's arrays — no
+            # copies on this path (the process backend copies once, into the
+            # command pipe).
+            if self.graph.num_external == 1:
+                ext = [xs]
+            else:
+                ext = [
+                    [xs[j][i] for j in range(n)]
+                    for i in range(self.graph.num_external)
+                ]
+            steps.append((ext, ys, scales))
         # The minibatch index of the step being admitted: ahead of the
         # plan's counter by one per uncollected in-flight step plus one if
         # the previous boundary is still pending.
         t = plan.t + len(self._inflight) + (1 if self._pending_sync is not None else 0)
         sync = plan.is_sync_step_at(t)
-        # Route each external model input to the graph edges that consume
-        # it: multi-input models (the two-stream Transformer) yield tuple
-        # microbatches, transposed here into per-input streams.  The
-        # microbatches themselves are views of the caller's arrays — no
-        # copies on this path (the process backend copies once, into the
-        # command pipe).
-        if self.graph.num_external == 1:
-            ext = [xs]
-        else:
-            ext = [[xs[j][i] for j in range(n)] for i in range(self.graph.num_external)]
 
         if self._pending_sync is None and not self._inflight:
             # Opening a fresh pipeline epoch (first step, or first after a
@@ -1496,12 +1728,12 @@ class AsyncPipelineRuntime(PipelineBackend):
             self._deferred_on = True
 
         if self.overlap and self.inflight_steps >= 2:
-            return self._train_step_pipelined(t, sync, ext, ys, scales, n)
+            return self._train_step_pipelined(t, sync, steps, n)
 
         start = time.perf_counter()
         boundary = 0.0
         try:
-            self.pool.issue(t, sync, ext, ys, scales, n)
+            self.group.issue(t, sync, steps, n)
             if self._pending_sync is not None:
                 # The overlap: step t's fill is already running on the
                 # workers while the driver finishes step t-1 here.  The
@@ -1510,7 +1742,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                 b0 = time.perf_counter()
                 self._complete_pending_boundary()
                 boundary = time.perf_counter() - b0
-            result = self.pool.collect()
+            result = self.group.collect()
         except BaseException:
             # However the step died, first settle the *previous* step if
             # its boundary is still owed (its gradients are intact — it
@@ -1531,18 +1763,20 @@ class AsyncPipelineRuntime(PipelineBackend):
                     pass
             self._abort_deferred_grads()
             self._deferred_on = False
+            self._zero_replica_grads()
             plan.store.load_latest()
             raise
         finally:
             # Borrowed per-slot version arrays are step-local state; the
             # workers are quiescent once collect returns (or aborted).
-            for w in self.workers:
+            for w in self._all_graph_workers:
                 w.unload_borrowed()
         if not self.overlap:
             self._fold_pending_deferred()
+            self._fold_replica_grads()
             b0 = time.perf_counter()
             plan.finish_step_detached(sync)
-            self.pool.publish_plan_state()
+            self.group.publish_plan_state()
             plan.store.load_latest()
             boundary = time.perf_counter() - b0
             self._end_deferred()
@@ -1561,21 +1795,21 @@ class AsyncPipelineRuntime(PipelineBackend):
         )
         return float(np.mean(result.losses))
 
-    def _train_step_pipelined(self, t, sync, ext, ys, scales, n) -> float:
+    def _train_step_pipelined(self, t, sync, steps, n) -> float:
         """The two-in-flight driver loop: admit step t, settle the oldest
         in-flight step (collect + its optimizer boundary) once the window
-        is full, and return as soon as the sink worker has step t's losses
-        — t's backward half keeps draining while the caller prepares the
-        next minibatch.  Wall time is measured settle-to-settle
+        is full, and return as soon as every sink worker has step t's
+        losses — t's backward half keeps draining while the caller prepares
+        the next minibatch.  Wall time is measured settle-to-settle
         (``_step_mark``), so per-step stats still sum to elapsed time."""
         try:
-            seq = self.pool.issue(t, sync, ext, ys, scales, n)
+            seq = self.group.issue(t, sync, steps, n)
             if self._step_mark is None:
                 self._step_mark = time.perf_counter()
             self._inflight.append((seq, t, sync))
             if len(self._inflight) >= self.inflight_steps:
                 self._settle_oldest()
-            losses = self.pool.await_losses(seq)
+            losses = self.group.await_losses(seq)
             if losses is None:
                 # The step failed or stalled before producing losses; drain
                 # the window so the real error surfaces.
@@ -1593,7 +1827,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         """Collect the oldest in-flight step and run its (now owed)
         optimizer boundary; commit its stats."""
         seq, t, sync = self._inflight.popleft()
-        result = self.pool.collect()
+        result = self.group.collect()
         self._pending_sync = sync
         self._complete_pending_boundary()
         now = time.perf_counter()
@@ -1622,7 +1856,7 @@ class AsyncPipelineRuntime(PipelineBackend):
             # aligned.
             self._inflight.popleft()
             try:
-                self.pool.collect()
+                self.group.collect()
             except BaseException:
                 pass
         if self._pending_sync is not None:
@@ -1633,8 +1867,9 @@ class AsyncPipelineRuntime(PipelineBackend):
         self._step_mark = None
         self._abort_deferred_grads()
         self._deferred_on = False
+        self._zero_replica_grads()
         self.plan.store.load_latest()
-        for w in self.workers:
+        for w in self._all_graph_workers:
             w.unload_borrowed()
 
     def _complete_pending_boundary(self) -> None:
@@ -1651,10 +1886,11 @@ class AsyncPipelineRuntime(PipelineBackend):
         self._pending_sync = None
         try:
             self._fold_pending_deferred()
+            self._fold_replica_grads()
             self.plan.finish_step_detached(sync)
-            self.pool.publish_plan_state()
+            self.group.publish_plan_state()
         except BaseException:
-            self.pool.wedged = True
+            self.group.wedged = True
             raise
 
     def _fold_pending_deferred(self) -> None:
@@ -1667,6 +1903,34 @@ class AsyncPipelineRuntime(PipelineBackend):
             for p, buf in m.deferred_grads():
                 p.grad += buf
                 buf.fill(0.0)
+
+    def _fold_replica_grads(self) -> None:
+        """The replica half of the boundary fold (no-op at R = 1): fold
+        each copy replica's deferred tied-gradient buffers into its own
+        accumulated gradients, then add every copy's gradients into the
+        live parameters in ascending replica index — the canonical fold
+        order, independent of which replica's pool finished first (see
+        :class:`~repro.pipeline.plan.ReplicaPlan`).  Runs strictly after
+        :meth:`_fold_pending_deferred` (replica 0's own deferred fold) and
+        strictly before the optimizer consumes ``Parameter.grad``."""
+        for rep in self.replica_plan.replicas:
+            for m in rep.deferred_modules:
+                for p, buf in m.deferred_grads():
+                    p.grad += buf
+                    buf.fill(0.0)
+        self.replica_plan.fold_replica_grads()
+
+    def _zero_replica_grads(self) -> None:
+        """Clear every copy replica's gradient and deferred buffers after
+        an aborted step — partial accumulations must not leak into the
+        next step's fold (replica 0's buffers are handled by the plan's
+        own begin_step / abort paths)."""
+        for rep in self.replica_plan.replicas:
+            for p in rep.params:
+                p.grad.fill(0.0)
+            for m in rep.deferred_modules:
+                for _, buf in m.deferred_grads():
+                    buf.fill(0.0)
 
     def _end_deferred(self) -> None:
         """Leave deferred tied-gradient mode (buffers already folded)."""
@@ -1696,7 +1960,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         self.plan.store.load_latest()
         # The workers are quiescent now; drop any borrowed per-step version
         # arrays they left loaded.
-        for w in self.workers:
+        for w in self._all_graph_workers:
             w.unload_borrowed()
 
     # -- accounting --------------------------------------------------------------
@@ -1718,7 +1982,7 @@ class AsyncPipelineRuntime(PipelineBackend):
     def load_state_dict(self, state: dict) -> None:
         self.sync()
         super().load_state_dict(state)
-        self.pool.full_resync()
+        self.group.full_resync()
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
@@ -1739,13 +2003,13 @@ class AsyncPipelineRuntime(PipelineBackend):
                 self.sync()
         except Exception:
             pass
-        pool = getattr(self, "pool", None)
-        if pool is not None:
-            pool.close()
+        group = getattr(self, "group", None)
+        if group is not None:
+            group.close()
         # A straggler thread on the deadlock path may have re-loaded a
         # borrowed version array after train_step's own unload; now that
         # every worker has stopped, detach them for good.
-        for w in getattr(self, "workers", []):
+        for w in getattr(self, "_all_graph_workers", getattr(self, "workers", [])):
             w.unload_borrowed()
 
     def __enter__(self) -> "AsyncPipelineRuntime":

@@ -69,7 +69,7 @@ from __future__ import annotations
 import importlib
 import inspect
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -320,6 +320,12 @@ class ModelSpec:
     do), falling back to the even split at ``num_stages``
     (``None`` = finest granularity, as in
     :func:`repro.pipeline.partition_model`).
+
+    ``replica`` is the hybrid data × pipeline replica index this rebuild
+    serves: :meth:`build` re-keys every counter-based dropout on the rebuilt
+    model to it, so a process worker of replica r draws replica r's mask
+    stream (see :mod:`repro.nn.dropout`).  Replica 0 — the default — is
+    bit-identical to a spec without the field.
     """
 
     factory: object
@@ -327,6 +333,7 @@ class ModelSpec:
     kwargs: dict = field(default_factory=dict)
     num_stages: int | None = None
     plan: PartitionPlan | None = None
+    replica: int = 0
 
     @classmethod
     def from_model(
@@ -334,6 +341,7 @@ class ModelSpec:
         model: Module,
         num_stages: int | None = None,
         plan: PartitionPlan | None = None,
+        replica: int = 0,
     ) -> "ModelSpec":
         """Spec that rebuilds ``model`` from a pickled snapshot — the
         convenience path when no module-level factory exists.  The snapshot
@@ -343,7 +351,12 @@ class ModelSpec:
             args=(pickle.dumps(model),),
             num_stages=num_stages,
             plan=plan,
+            replica=replica,
         )
+
+    def for_replica(self, replica: int) -> "ModelSpec":
+        """This spec re-targeted at another replica index."""
+        return replace(self, replica=replica)
 
     def build_model(self) -> Module:
         factory = self.factory
@@ -360,9 +373,14 @@ class ModelSpec:
         """Construct ``(model, stages)`` — the worker-side mirror of the
         driver's partition (plan-based when a :class:`PartitionPlan` is
         carried, else ``partition_model(model, num_stages)``)."""
+        from repro.nn.dropout import Dropout
         from repro.pipeline.partition import partition_model
 
         model = self.build_model()
+        if self.replica:
+            for m in model.modules():
+                if isinstance(m, Dropout) and m.counter_based:
+                    m.replica = self.replica
         if self.plan is not None:
             return model, self.plan.stages(model)
         return model, partition_model(model, self.num_stages)

@@ -712,6 +712,13 @@ class SharedGradMailbox:
     steps can never be outstanding (the driver collects t before issuing
     t+2), so two blocks suffice, and a stamp mismatch still means lost
     gradients and fails loudly instead of folding a stale or torn block.
+
+    With hybrid data × pipeline parallelism the mailbox grows a **replica
+    axis**: one independent double-buffered lane per pipeline replica
+    (layout ``[replica][parity][stage]``, stamps ``(R, 2, S)``), all in one
+    shared-memory block so a single mailbox name serves the whole replica
+    group.  Every accessor takes ``replica`` (default 0), and
+    ``num_replicas=1`` is the original single-lane mailbox bit for bit.
     """
 
     def __init__(
@@ -719,44 +726,59 @@ class SharedGradMailbox:
         name: str,
         stage_shapes: list[list[tuple[int, ...]]],
         create: bool = False,
+        num_replicas: int = 1,
     ):
         self.name = name
         self.stage_shapes = stage_shapes
+        self.num_replicas = num_replicas
         offsets, total = stage_block_layout(stage_shapes)
-        stamp_bytes = 8 * 2 * len(stage_shapes)
+        stamp_bytes = 8 * 2 * len(stage_shapes) * num_replicas
         if create:
-            self._shm = create_shm(name, max(stamp_bytes + 2 * total, 8))
+            self._shm = create_shm(
+                name, max(stamp_bytes + 2 * total * num_replicas, 8)
+            )
         else:
             self._shm = attach_shm(name)
         self._stamps = np.ndarray(
-            (2, len(stage_shapes)), dtype=np.int64, buffer=self._shm.buf
+            (num_replicas, 2, len(stage_shapes)), dtype=np.int64,
+            buffer=self._shm.buf,
         )
         if create:
             self._stamps[:] = 0
         self._views = [
-            block_views(self._shm.buf, stage_shapes, stamp_bytes + p * total, offsets)
-            for p in range(2)
+            [
+                block_views(
+                    self._shm.buf, stage_shapes,
+                    stamp_bytes + (r * 2 + p) * total, offsets,
+                )
+                for p in range(2)
+            ]
+            for r in range(num_replicas)
         ]
 
-    def write(self, stage: int, pos: int, grad: np.ndarray, seq: int) -> None:
-        np.copyto(self._views[seq % 2][stage][pos], grad)
+    def write(
+        self, stage: int, pos: int, grad: np.ndarray, seq: int, replica: int = 0
+    ) -> None:
+        np.copyto(self._views[replica][seq % 2][stage][pos], grad)
 
-    def read(self, stage: int, pos: int, seq: int) -> np.ndarray:
-        return self._views[seq % 2][stage][pos]
+    def read(self, stage: int, pos: int, seq: int, replica: int = 0) -> np.ndarray:
+        return self._views[replica][seq % 2][stage][pos]
 
-    def stamp(self, stage: int, step: int) -> None:
-        """Mark ``stage``'s parity block as holding ``step``'s gradients
-        (worker side, after all of its writes for the step)."""
-        self._stamps[step % 2][stage] = step
+    def stamp(self, stage: int, step: int, replica: int = 0) -> None:
+        """Mark ``stage``'s parity block in ``replica``'s lane as holding
+        ``step``'s gradients (worker side, after all of its writes for the
+        step)."""
+        self._stamps[replica][step % 2][stage] = step
 
-    def check_stamps(self, step: int) -> None:
-        """Driver side: every stage block of ``step``'s parity must carry
-        ``step``'s stamp."""
-        stamps = [int(s) for s in self._stamps[step % 2]]
+    def check_stamps(self, step: int, replica: int = 0) -> None:
+        """Driver side: every stage block of ``step``'s parity in
+        ``replica``'s lane must carry ``step``'s stamp."""
+        stamps = [int(s) for s in self._stamps[replica][step % 2]]
         if any(s != step for s in stamps):
             raise RuntimeError(
-                f"gradient mailbox stamps {stamps} do not all match step "
-                f"{step}; a worker's gradients were lost or overwritten"
+                f"gradient mailbox stamps {stamps} (replica {replica}) do "
+                f"not all match step {step}; a worker's gradients were lost "
+                "or overwritten"
             )
 
     def close(self) -> None:

@@ -66,6 +66,13 @@ def pytest_configure(config):
         " per pool); CI runs them as a dedicated lane with a tightened"
         " timeout so a version-gating bug surfaces as a timeout, not a hang",
     )
+    config.addinivalue_line(
+        "markers",
+        "hybrid: hybrid data × pipeline parallelism suites (replica groups"
+        " sharing one version clock); CI runs them as a dedicated lane with"
+        " a tightened timeout so a replica-lockstep bug surfaces as a"
+        " timeout, not a hang",
+    )
 
 
 @pytest.fixture(autouse=True)

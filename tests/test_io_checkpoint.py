@@ -275,6 +275,105 @@ class TestRingBufferSeed:
             assert clone[v] == ref[v]
 
 
+class TestMismatchedHistoryRoundTrip:
+    """Checkpoints cross history depths: a window saved by a deeper buffer
+    restores into a shallower one (trimmed to the newest versions) and a
+    shallow window restores into a deeper buffer (``allow_gap=True`` parks
+    ``_floor`` above the natural ``next - capacity`` bound, so the absent
+    older versions read as evicted instead of resolving stale slots)."""
+
+    def test_gap_seed_raises_floor_above_natural_bound(self):
+        buf = RingBuffer(3)
+        buf.seed(5, ["e"], allow_gap=True)  # newest-only window, capacity 3
+        assert buf.oldest_version == 5
+        assert buf.latest_version == 5
+        for absent in (3, 4):  # naturally resident for capacity 3, but absent
+            with pytest.raises(KeyError):
+                buf[absent]
+
+    def test_floor_decays_as_appends_refill_the_window(self):
+        buf = RingBuffer(3)
+        buf.seed(5, ["e"], allow_gap=True)
+        buf.append("f")
+        buf.append("g")
+        assert buf.oldest_version == 5  # floor still binds: 8 - 3 = 5
+        assert [buf[v] for v in buf.versions()] == ["e", "f", "g"]
+        buf.append("h")
+        # natural bound (9 - 3 = 6) has overtaken the floor
+        assert buf.oldest_version == 6
+        with pytest.raises(KeyError):
+            buf[5]
+
+    def _window(self, store, stage=0):
+        return {
+            v: [w.copy() for w in store.weights(stage, v)]
+            for v in store.resident_versions(stage)
+        }
+
+    def _make_store(self, history, seed=0, steps=0):
+        from repro.pipeline.weight_store import WeightVersionStore
+
+        model = MLP([6, 8, 8, 3], new_rng(seed))
+        stages = partition_model(model)
+        store = WeightVersionStore(stages, history=history)
+        rng = new_rng(99)
+        for _ in range(steps):
+            for stage in stages:
+                for p in stage.params:
+                    p.data = p.data + rng.normal(size=p.data.shape)
+            store.push_current()
+        return store
+
+    def test_save_depth2_load_depth1_trims_to_newest(self):
+        deep = self._make_store(history=2, steps=3)  # resident: versions 2, 3
+        state = deep.state_dict()
+        shallow = self._make_store(history=1, seed=5)
+        shallow.load_state_dict(state)
+        assert shallow.latest_version == deep.latest_version
+        for s in range(shallow.num_stages):
+            assert shallow.resident_versions(s) == [deep.latest_version]
+            for w_new, w_ref in zip(
+                shallow.weights(s, deep.latest_version),
+                deep.weights(s, deep.latest_version),
+            ):
+                np.testing.assert_array_equal(w_new, w_ref)
+            with pytest.raises(KeyError):  # trimmed, not silently stale
+                shallow.weights(s, deep.latest_version - 1)
+        # live parameters point at the restored latest
+        for stage, ref_stage in zip(shallow.stages, deep.stages):
+            for p, q in zip(stage.params, ref_stage.params):
+                np.testing.assert_array_equal(p.data, q.data)
+
+    def test_save_depth1_load_depth2_leaves_gap_below_floor(self):
+        shallow = self._make_store(history=1, steps=3)  # resident: version 3
+        state = shallow.state_dict()
+        deep = self._make_store(history=2, seed=5)
+        deep.load_state_dict(state)
+        assert deep.latest_version == shallow.latest_version
+        for s in range(deep.num_stages):
+            assert deep.resident_versions(s) == [shallow.latest_version]
+            with pytest.raises(KeyError):  # inside capacity, above _floor
+                deep.weights(s, shallow.latest_version - 1)
+        # the gap heals as new versions are pushed
+        deep.push_current()
+        for s in range(deep.num_stages):
+            assert deep.resident_versions(s) == [
+                shallow.latest_version, shallow.latest_version + 1
+            ]
+
+    def test_round_trip_through_both_depths_is_lossless_on_the_latest(self):
+        a = self._make_store(history=2, steps=4)
+        ref = self._window(a)
+        b = self._make_store(history=1, seed=6)
+        b.load_state_dict(a.state_dict())
+        c = self._make_store(history=2, seed=7)
+        c.load_state_dict(b.state_dict())
+        latest = a.latest_version
+        assert c.latest_version == latest
+        for w_new, w_ref in zip(c.weights(0, latest), ref[latest]):
+            np.testing.assert_array_equal(w_new, w_ref)
+
+
 class TestOptimizerStateKeys:
     def test_state_key_mismatch_raises(self, tmp_path):
         """A momentum-SGD checkpoint cannot restore into plain SGD: the

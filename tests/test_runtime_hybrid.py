@@ -1,0 +1,336 @@
+"""Hybrid data × pipeline parallelism: replica groups behind the scheduler.
+
+With ``num_replicas=R`` every backend runs R complete pipeline replicas
+sharing one version clock: each replica trains on its own 1/R shard of
+every minibatch, replica gradients fold into one optimizer step per
+minibatch (canonical ascending-index order, normalized by n·R), and all
+replicas read weight versions from the one shared store — so the delay
+profile, and therefore the trajectory's staleness, is *unchanged for any
+R*.  This file pins down
+
+* the replica differential grids: simulator vs thread vs process groups,
+  bit for bit on losses and final weights, at R ∈ {1, 2, 3} across
+  methods, techniques (T1/T2/T3, recompute) and both boundary modes;
+* that ``num_replicas=1`` is plain pipeline parallelism — bit-identical
+  to a runtime built without the knob at all;
+* fold determinism: gradient folding is a function of replica indices,
+  never of completion order, so permuted arrival interleavings and
+  repeated concurrent runs produce identical bits;
+* the unified ``check_replica_count`` validation path (including the
+  worker-budget clause) from every entry point.
+
+Every test carries the ``hybrid`` marker: CI runs ``-m hybrid`` as a
+dedicated lane with a tightened ``--timeout`` (mirroring the ``overlap``
+lane) so a replica-lockstep bug — one pool's step never collecting —
+surfaces as a timeout failure, not a hung job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipeMareConfig
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.pipeline import (
+    AsyncPipelineRuntime,
+    PipelineExecutor,
+    ReplicaPlan,
+    check_replica_count,
+    make_backend,
+    partition_model,
+)
+from repro.pipeline.executor import param_groups_from_stages
+from repro.pipeline.plan import StepPlan
+
+pytestmark = pytest.mark.hybrid
+
+TIMEOUT = 15.0  # deadlock timeout for every concurrent runtime in this file
+
+
+def toy_classification(rng, d=6, c=3, n=144):
+    centers = rng.normal(size=(c, d)) * 2
+    y = rng.integers(0, c, size=n)
+    x = centers[y] + rng.normal(size=(n, d))
+    return x, y
+
+
+def build(cls, method="pipemare", *, replicas, num_stages=4, num_microbatches=2,
+          cfg=None, seed=7, **kw):
+    model = MLP([6, 8, 8, 8, 3], np.random.default_rng(seed))
+    stages = partition_model(model, num_stages)
+    opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+    backend = cls(
+        model, CrossEntropyLoss(), opt, stages, num_microbatches, method,
+        pipemare=cfg, num_replicas=replicas, **kw,
+    )
+    return model, backend
+
+
+def run_steps(backend, x, y, steps, batch=24):
+    losses = []
+    for i in range(steps):
+        b = slice(i * batch, (i + 1) * batch)
+        losses.append(backend.train_step(x[b], y[b]))
+    if hasattr(backend, "sync"):
+        backend.sync()
+    return losses
+
+
+TECHNIQUES = {
+    "plain": dict(cfg=None, kw={}),
+    "t1t2": dict(cfg=PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5), kw={}),
+    "t3": dict(
+        cfg=PipeMareConfig.full(anneal_steps=50, warmup_steps=2, decay=0.5), kw={}
+    ),
+    "recompute": dict(
+        cfg=PipeMareConfig.t2_only(decay=0.5), kw={"recompute_segment": 2}
+    ),
+}
+
+
+class TestReplicaDifferential:
+    """simulator vs thread vs process replica groups — exact to the bit."""
+
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_replica_counts_match_bitwise(self, rng, backend, replicas):
+        """The R-replica concurrent group reproduces the R-replica
+        simulator exactly (pipemare + T1/T2, overlapped boundary)."""
+        x, y = toy_classification(rng)
+        cfg = PipeMareConfig.t1_t2(anneal_steps=50, decay=0.5)
+        m1, sim = build(PipelineExecutor, cfg=cfg, replicas=replicas)
+        m2, rt = build(
+            AsyncPipelineRuntime, cfg=cfg, replicas=replicas, backend=backend,
+            deadlock_timeout=TIMEOUT,
+        )
+        with rt:
+            assert run_steps(sim, x, y, 5) == run_steps(rt, x, y, 5)
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("method", ["gpipe", "pipedream", "pipemare"])
+    def test_methods_match_bitwise_both_boundary_modes(self, rng, method):
+        """At R=2, barrier and overlapped thread groups both reproduce the
+        simulator for every delay profile."""
+        x, y = toy_classification(rng)
+        runs = {}
+        for label, kw in (
+            ("simulator", None),
+            ("barrier", {"overlap_boundary": False}),
+            ("overlap", {"overlap_boundary": True}),
+        ):
+            if kw is None:
+                model, be = build(PipelineExecutor, method, replicas=2)
+            else:
+                model, be = build(
+                    AsyncPipelineRuntime, method, replicas=2,
+                    deadlock_timeout=TIMEOUT, **kw,
+                )
+            try:
+                losses = run_steps(be, x, y, 5)
+                runs[label] = (losses, [p.data.copy() for p in model.parameters()])
+            finally:
+                if hasattr(be, "close"):
+                    be.close()
+        ref_losses, ref_weights = runs["simulator"]
+        for label in ("barrier", "overlap"):
+            losses, weights = runs[label]
+            assert losses == ref_losses, f"{label} losses diverged"
+            for p, q in zip(weights, ref_weights):
+                np.testing.assert_array_equal(p, q, err_msg=label)
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    def test_techniques_match_bitwise(self, rng, technique):
+        """T1/T2 velocity reads, T3's sync→async transition and recompute
+        all resolve identically through the shared version clock at R=2."""
+        x, y = toy_classification(rng)
+        spec = TECHNIQUES[technique]
+        m1, sim = build(PipelineExecutor, cfg=spec["cfg"], replicas=2, **spec["kw"])
+        m2, rt = build(
+            AsyncPipelineRuntime, cfg=spec["cfg"], replicas=2,
+            deadlock_timeout=TIMEOUT, **spec["kw"],
+        )
+        with rt:
+            assert run_steps(sim, x, y, 5) == run_steps(rt, x, y, 5)
+            for p1, p2 in zip(m1.parameters(), m2.parameters()):
+                np.testing.assert_array_equal(p1.data, p2.data)
+
+    @pytest.mark.timeout(120)
+    def test_process_group_shares_one_mailbox_and_mirror(self, rng):
+        """The replica pools attach to one shared weight mirror and one
+        replica-striped gradient mailbox — owner creates, copies attach."""
+        x, y = toy_classification(rng)
+        m, rt = build(
+            AsyncPipelineRuntime, replicas=2, backend="process",
+            deadlock_timeout=TIMEOUT,
+        )
+        with rt:
+            pools = rt.group.pools
+            assert pools[0].mirror is pools[1].mirror
+            assert pools[0].mailbox is pools[1].mailbox
+            assert pools[0]._owns_shared and not pools[1]._owns_shared
+            run_steps(rt, x, y, 2)
+
+
+class TestReplicaOneIsPlainPipeline:
+    """``num_replicas=1`` must be the pre-hybrid runtime, bit for bit."""
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("runtime", ["simulator", "async", "process"])
+    def test_explicit_r1_matches_omitted_knob(self, rng, runtime):
+        x, y = toy_classification(rng)
+
+        def trajectory(pass_knob: bool):
+            model = MLP([6, 8, 8, 8, 3], np.random.default_rng(7))
+            stages = partition_model(model, 4)
+            opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
+            kw = dict(deadlock_timeout=TIMEOUT) if runtime != "simulator" else {}
+            if pass_knob:
+                kw["num_replicas"] = 1
+            be = make_backend(
+                runtime, model, CrossEntropyLoss(), opt, stages, 2, "pipemare",
+                **kw,
+            )
+            try:
+                losses = run_steps(be, x, y, 4)
+            finally:
+                if hasattr(be, "close"):
+                    be.close()
+            return losses, [p.data.copy() for p in model.parameters()]
+
+        losses_a, weights_a = trajectory(pass_knob=False)
+        losses_b, weights_b = trajectory(pass_knob=True)
+        assert losses_a == losses_b
+        for p, q in zip(weights_a, weights_b):
+            np.testing.assert_array_equal(p, q)
+
+    def test_r1_runs_a_single_pool(self, rng):
+        m, rt = build(AsyncPipelineRuntime, replicas=1, deadlock_timeout=TIMEOUT)
+        with rt:
+            assert rt.group.num_replicas == 1
+            assert rt.group.pools == [rt.pool]
+            assert rt.replica_plan.replicas == []
+
+
+class TestFoldDeterminism:
+    """The fold's addition order depends on replica indices only — never on
+    which replica's gradients arrived first."""
+
+    def _folded(self, plan, rp, contributions, arrival):
+        """Accumulate per-(replica, microbatch) contributions in the given
+        global arrival interleaving (each replica's own microbatch order is
+        preserved — that part the schedule guarantees), fold, and return
+        the folded driver gradients."""
+        all_params = [plan.params] + [rep.params for rep in rp.replicas]
+        for params in all_params:
+            for p in params:
+                p.grad[...] = 0.0
+        for r, j in arrival:
+            for p, g in zip(all_params[r], contributions[r][j]):
+                p.grad += g
+        rp.fold_replica_grads()
+        return [p.grad.copy() for p in plan.params]
+
+    def test_fold_is_arrival_order_invariant(self, rng):
+        model = MLP([6, 8, 8, 8, 3], np.random.default_rng(3))
+        stages = partition_model(model, 4)
+        plan = StepPlan(
+            params=model.parameters(),
+            optimizer=SGD(param_groups_from_stages(stages), lr=0.1),
+            stages=stages,
+            num_microbatches=2,
+            method="pipemare",
+            num_replicas=3,
+        )
+        rp = ReplicaPlan(plan, model, CrossEntropyLoss())
+        contributions = [
+            [
+                [rng.normal(size=p.data.shape) for p in params]
+                for _ in range(plan.num_microbatches)
+            ]
+            for params in [plan.params] + [rep.params for rep in rp.replicas]
+        ]
+        # Replica-major vs round-robin vs reversed-replica interleavings: a
+        # fold that accumulated arrivals straight into the driver's buffers
+        # would differ between these at the last float bit (FP addition is
+        # not associative); per-replica accumulation + ascending-index fold
+        # must not.
+        orders = [
+            [(r, j) for r in range(3) for j in range(2)],
+            [(r, j) for j in range(2) for r in range(3)],
+            [(r, j) for r in (2, 1, 0) for j in range(2)],
+        ]
+        reference = self._folded(plan, rp, contributions, orders[0])
+        for arrival in orders[1:]:
+            for g, ref in zip(self._folded(plan, rp, contributions, arrival), reference):
+                np.testing.assert_array_equal(g, ref)
+        # and the copies' buffers are zeroed, ready for the next step
+        for rep in rp.replicas:
+            assert all((p.grad == 0.0).all() for p in rep.params)
+
+    @pytest.mark.timeout(180)
+    def test_thread_group_repeats_bit_identically(self, rng):
+        """Thread completion order is scheduler noise; two full R=3 runs
+        must still produce identical losses and weights."""
+        x, y = toy_classification(rng)
+
+        def run():
+            m, rt = build(
+                AsyncPipelineRuntime, replicas=3, deadlock_timeout=TIMEOUT
+            )
+            with rt:
+                losses = run_steps(rt, x, y, 5)
+            return losses, [p.data.copy() for p in m.parameters()]
+
+        losses_a, weights_a = run()
+        losses_b, weights_b = run()
+        assert losses_a == losses_b
+        for p, q in zip(weights_a, weights_b):
+            np.testing.assert_array_equal(p, q)
+
+
+class TestReplicaValidation:
+    """One ``check_*``-style ValueError from every entry point."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_check_rejects_non_positive_counts(self, bad):
+        with pytest.raises(ValueError, match=f"num_replicas must be >= 1, got {bad}"):
+            check_replica_count(bad)
+
+    def test_worker_budget_clause_names_model_and_arithmetic(self):
+        with pytest.raises(ValueError) as err:
+            check_replica_count(
+                3, model_name="ResNet", workers_per_replica=4, worker_budget=10
+            )
+        msg = str(err.value)
+        assert "ResNet" in msg
+        assert "3 x 4 = 12 > 10" in msg
+        # within budget: no error
+        check_replica_count(
+            2, model_name="ResNet", workers_per_replica=4, worker_budget=10
+        )
+
+    @pytest.mark.parametrize("runtime", ["simulator", "async", "process"])
+    def test_backend_constructors_validate(self, runtime):
+        with pytest.raises(ValueError, match="num_replicas must be >= 1"):
+            build(
+                AsyncPipelineRuntime if runtime != "simulator" else PipelineExecutor,
+                replicas=0,
+                **({} if runtime == "simulator" else {
+                    "backend": {"async": "thread"}.get(runtime, runtime),
+                    "deadlock_timeout": TIMEOUT,
+                }),
+            )
+
+    def test_workload_entry_point_validates(self):
+        from repro.experiments.workloads import make_image_workload
+
+        workload = make_image_workload("cifar")
+        with pytest.raises(ValueError, match="num_replicas must be >= 1"):
+            workload.bundle(method="pipemare", seed=0, replicas=0)

@@ -33,10 +33,13 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         help="activation recompute segment size (Appendix D)",
     )
     parser.add_argument(
-        "--runtime", choices=["simulator", "async", "process"], default="simulator",
+        "--runtime", choices=["simulator", "async", "process", "socket"],
+        default="simulator",
         help="pipeline backend: the sequential simulator, the concurrent "
-        "thread-worker runtime, or the multi-process shared-memory runtime "
-        "(all bit-identical trajectories; see README 'Runtime backends')",
+        "thread-worker runtime, the multi-process shared-memory runtime, or "
+        "the framed-socket runtime with worker registry and typed failure "
+        "handling (all bit-identical trajectories; see README 'Runtime "
+        "backends')",
     )
     parser.add_argument(
         "--overlap-boundary", choices=["on", "off"], default="on",

@@ -106,9 +106,9 @@ class _BaseWorkload:
         """Pipeline backends this workload can train on.  Every workload —
         including the two-stream Transformer, which slices through its
         stage-program graph (:mod:`repro.pipeline.stage_compute`) — runs on
-        all three; the process backend rebuilds the model in each worker
-        from a picklable :class:`~repro.pipeline.ModelSpec`."""
-        return ("simulator", "async", "process")
+        all four; the process and socket backends rebuild the model in each
+        worker from a picklable :class:`~repro.pipeline.ModelSpec`."""
+        return ("simulator", "async", "process", "socket")
 
     def max_stages(self) -> int:
         raise NotImplementedError
@@ -285,7 +285,7 @@ class TranslationWorkload(_BaseWorkload):
     """Transformer on the reversal task, AdamW + warmup/inverse-sqrt
     (Table 7).
 
-    Runs on all three pipeline backends: the two-stream encoder/decoder
+    Runs on all four pipeline backends: the two-stream encoder/decoder
     dataflow slices through the stage-program graph
     (:meth:`repro.models.Transformer.pipeline_graph`), and training-mode
     dropout (``dropout > 0``) uses counter-based masks so every backend
@@ -440,8 +440,8 @@ class TranslationWorkload(_BaseWorkload):
         else:
             common["overlap_boundary"] = overlap_boundary
             common["granularity"] = granularity
-            if runtime == "process":
-                common["backend"] = "process"
+            if runtime in ("process", "socket"):
+                common["backend"] = runtime
                 common["model_spec"] = self.model_spec(seed, len(stages), plan)
             executor = _TranslationRuntime(
                 model, loss, opt, stages, self.num_microbatches, method, **common

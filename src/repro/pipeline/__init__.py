@@ -38,14 +38,26 @@ from repro.pipeline.stage_compute import (
     WorkerGraph,
     build_worker_graph,
 )
-from repro.pipeline.transport import ShmRing, TransportTimeout
+from repro.pipeline.transport import (
+    ShmRing,
+    TransportClosed,
+    TransportError,
+    TransportTimeout,
+)
+from repro.pipeline.registry import (
+    TaskState,
+    WorkerLostError,
+    WorkerRegistry,
+)
 from repro.pipeline.runtime import (
     AsyncPipelineRuntime,
     PipelineDeadlockError,
     ProcessWorkerPool,
     ReplicaGroup,
+    RuntimeWedgedError,
     ThreadWorkerPool,
 )
+from repro.pipeline.net import RemoteWeightMirror, SocketWorkerPool, Transport
 from repro.pipeline import costmodel
 from repro.pipeline import recompute
 from repro.pipeline.schedule import (
@@ -55,24 +67,27 @@ from repro.pipeline.schedule import (
     stage_programs,
 )
 
-RUNTIME_BACKENDS = ("simulator", "async", "process")
+RUNTIME_BACKENDS = ("simulator", "async", "process", "socket")
 
 
 def make_backend(runtime: str, *args, **kwargs):
     """Build the requested pipeline backend: the sequential ``simulator``,
-    the thread-worker ``async`` runtime, or the multi-process
-    shared-memory ``process`` runtime.  All accept the
-    :class:`PipelineExecutor` constructor arguments; the concurrent pair
-    additionally accept the :class:`AsyncPipelineRuntime` tuning knobs
-    (``overlap_boundary``, ``deadlock_timeout``, and for ``process`` also
-    ``model_spec``, ``start_method``, ``transport_slot_bytes``).  The
+    the thread-worker ``async`` runtime, the multi-process shared-memory
+    ``process`` runtime, or the framed-socket ``socket`` runtime (workers
+    over TCP/UDS with a registry and typed failure handling).  All accept
+    the :class:`PipelineExecutor` constructor arguments; the concurrent
+    ones additionally accept the :class:`AsyncPipelineRuntime` tuning
+    knobs (``overlap_boundary``, ``deadlock_timeout``, and for
+    ``process``/``socket`` also ``model_spec``, ``start_method``, plus
+    ``transport_slot_bytes`` or ``net_options`` respectively).  The
     simulator has no minibatch barrier to overlap and executes the model
     monolithically, so ``overlap_boundary``, ``granularity`` and
     ``max_workers`` are accepted and ignored there — callers can pass one
     backend-agnostic kwargs dict.  ``num_replicas`` (hybrid data ×
-    pipeline parallelism) is honoured by every backend: the simulator runs
-    the R replicas sequentially with exact staleness, the concurrent
-    runtimes run them as a :class:`ReplicaGroup` of worker pools."""
+    pipeline parallelism) is honoured by every backend except ``socket``:
+    the simulator runs the R replicas sequentially with exact staleness,
+    the thread/process runtimes run them as a :class:`ReplicaGroup` of
+    worker pools."""
     if runtime == "simulator":
         for concurrent_only in ("overlap_boundary", "granularity", "max_workers"):
             kwargs.pop(concurrent_only, None)
@@ -81,6 +96,8 @@ def make_backend(runtime: str, *args, **kwargs):
         return AsyncPipelineRuntime(*args, **kwargs)
     if runtime == "process":
         return AsyncPipelineRuntime(*args, backend="process", **kwargs)
+    if runtime == "socket":
+        return AsyncPipelineRuntime(*args, backend="socket", **kwargs)
     raise ValueError(f"unknown runtime {runtime!r} (expected one of {RUNTIME_BACKENDS})")
 
 
@@ -110,14 +127,23 @@ __all__ = [
     "ReplicaGroup",
     "ThreadWorkerPool",
     "ProcessWorkerPool",
+    "SocketWorkerPool",
     "PipelineDeadlockError",
+    "RuntimeWedgedError",
+    "WorkerLostError",
+    "WorkerRegistry",
+    "TaskState",
+    "Transport",
+    "RemoteWeightMirror",
     "ModelSpec",
     "StageGraph",
     "GraphNode",
     "WorkerGraph",
     "build_worker_graph",
     "ShmRing",
+    "TransportError",
     "TransportTimeout",
+    "TransportClosed",
     "RUNTIME_BACKENDS",
     "make_backend",
     "costmodel",

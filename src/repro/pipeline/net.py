@@ -1,0 +1,1373 @@
+"""Socket transport behind the ShmRing seam: the pipeline over real links.
+
+The shared-memory runtime (``pipeline/transport.py``) deliberately exposes
+two narrow seams:
+
+* **channels** — ``send(kind, edge, payload)`` / ``recv(kind, edge)`` of
+  step-tagged multi-part array payloads, one channel per cross-worker edge
+  and payload kind;
+* the **version-gated weight protocol** — ``weights(stage, version)`` /
+  ``latest_version`` / ``wait_version(version, timeout)`` (plus
+  ``velocity(stage)`` for T2), with velocity published *before* the
+  version that advertises it.
+
+This module fills both seams over TCP or Unix-domain sockets so the exact
+:class:`~repro.pipeline.plan.StepPlan` runs with workers that could sit on
+other hosts: :class:`Transport` frames the byte stream (length-prefixed,
+CRC-checked), the frame codec mirrors :class:`ShmRing`'s layout headers
+(dtype code, transposed-view shape, axis permutation — so an F-order array
+comes out F-order and BLAS takes bit-identical paths on both ends),
+:class:`RemoteWeightMirror` replays the driver's pushed version stream,
+and :class:`SocketWorkerPool` drives it all behind the unchanged
+issue/collect scheduler surface.
+
+Failure is a first-class state here, not an assertion: the pool keeps a
+:class:`~repro.pipeline.registry.WorkerRegistry` (CONNECTING → READY →
+RUNNING → LOST) fed by per-connection reader threads and heartbeats.  When
+a worker is lost the pool invalidates every step issued before the loss
+(``collect``/``await_losses`` fail fast instead of waiting out the
+deadlock timeout), and either respawns the *whole* worker set — the
+channel mesh is pairwise, so a lone fresh worker cannot rejoin — and
+republishes the resolvable weight window, or wedges with a typed
+:class:`~repro.pipeline.registry.WorkerLostError`.  Either way the runtime
+drains its in-flight window and restores the latest published weights, so
+a killed worker costs one minibatch, never a silent divergence.
+
+Addresses are ``"uds:/path/sock"`` or ``"tcp:host:port"`` (``port`` 0
+binds an ephemeral port; :class:`Listener` reports the real one).  The
+pool defaults to UDS loopback — single host, but every byte crosses a real
+socket, which is exactly what the fault-injection suites need.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import struct
+import tempfile
+import threading
+import time
+import zlib
+
+import numpy as np
+
+# One-way dependency: runtime imports this module only lazily, inside the
+# socket-backend branch, so a top-level import here cannot cycle.
+from repro.pipeline import runtime as _runtime
+from repro.pipeline.registry import (
+    Backoff,
+    TaskState,
+    WorkerLostError,
+    WorkerRegistry,
+)
+from repro.pipeline.stage_compute import ModelSpec, build_worker_graph
+from repro.pipeline.transport import (
+    _DTYPE_CODE,
+    _MAX_DIMS,
+    _RING_DTYPES,
+    TransportClosed,
+    TransportError,
+    TransportTimeout,
+    _layout_perm,
+)
+from repro.pipeline.weight_store import check_version_resident
+
+
+class FrameError(TransportError):
+    """The byte stream is corrupt — bad magic, checksum mismatch, or a
+    payload header that cannot describe any array.  Unlike a timeout the
+    stream cannot be resynchronised: framing is length-prefixed, so one
+    garbled frame poisons everything after it."""
+
+
+# -- wire framing --------------------------------------------------------------
+
+_MAGIC = 0x504D4652  # "PMFR"
+_HDR = struct.Struct("<IIQI")  # magic, frame kind, body length, crc32(body)
+_ARR_HDR = struct.Struct("<qqq")  # step tag, payload kind (0 bare / 1 tuple), nparts
+_PART_HDR = struct.Struct("<qqqq")  # present, dtype code, ndim, nbytes
+_MAX_FRAME = 1 << 40
+
+# Frame kinds.  OBJ carries pickled control messages (step commands, done
+# reports, handshake); ARRAYS carries one step-tagged edge payload in the
+# ring-compatible layout below; WEIGHTS/VELOCITY reuse the ARRAYS body on
+# the weight socket (the step field holds the version); RESET clears a
+# remote mirror's window before a checkpoint-restore republish.
+K_OBJ, K_ARRAYS, K_WEIGHTS, K_VELOCITY, K_RESET = 1, 2, 3, 4, 5
+
+
+def encode_arrays(payload, step: int) -> bytes:
+    """One multi-part array payload as a frame body.
+
+    Mirrors :meth:`ShmRing.send_msg`'s layout semantics exactly: each part
+    records its dtype code, the shape of the C-contiguous *transposed
+    view* (``array.transpose(perm)``) and the axis permutation, so the
+    receiver reconstructs the sender's shape **and memory layout** —
+    required for bit-determinism, since BLAS kernels take different
+    floating-point paths for different strides.  ``None`` parts (absent
+    optional inputs) are a present=0 header; a bare array is payload kind
+    0, a tuple kind 1.
+    """
+    kind = 1 if isinstance(payload, tuple) else 0
+    parts = list(payload) if kind else [payload]
+    chunks = [_ARR_HDR.pack(step, kind, len(parts))]
+    blobs: list[bytes] = []
+    for part in parts:
+        if part is None:
+            chunks.append(_PART_HDR.pack(0, 0, 0, 0))
+            continue
+        array = np.asarray(part)
+        code = _DTYPE_CODE.get(array.dtype)
+        if code is None:
+            raise TypeError(
+                f"cannot frame dtype {array.dtype} (supported: "
+                f"{', '.join(str(d) for d in _RING_DTYPES)})"
+            )
+        if array.ndim > _MAX_DIMS:
+            raise ValueError(f"cannot frame ndim {array.ndim} > {_MAX_DIMS}")
+        perm = _layout_perm(array)
+        if perm is None:
+            array = np.ascontiguousarray(array)
+            perm = tuple(range(array.ndim))
+        view = np.ascontiguousarray(array.transpose(perm))
+        chunks.append(_PART_HDR.pack(1, code, array.ndim, view.nbytes))
+        if array.ndim:
+            chunks.append(struct.pack(f"<{array.ndim}q", *view.shape))
+            chunks.append(struct.pack(f"<{array.ndim}q", *perm))
+        blobs.append(view.tobytes())
+    return b"".join(chunks) + b"".join(blobs)
+
+
+def decode_arrays(body) -> tuple[int, object]:
+    """Inverse of :func:`encode_arrays`: ``(step, payload)`` with every
+    part owning fresh memory in the sender's exact layout.  Any header
+    that cannot describe a real array — unknown dtype code, negative
+    sizes, a perm that is not a permutation, payload bytes that do not
+    add up — raises :class:`FrameError` (garbled stream), never returns
+    garbage arrays."""
+    body = memoryview(body)
+    try:
+        step, kind, nparts = _ARR_HDR.unpack_from(body, 0)
+    except struct.error:
+        raise FrameError("array frame shorter than its base header") from None
+    if kind not in (0, 1) or nparts < 0 or (kind == 0 and nparts != 1):
+        raise FrameError(
+            f"garbled array frame header (kind={kind}, nparts={nparts})"
+        )
+    pos = _ARR_HDR.size
+    metas = []
+    try:
+        for _ in range(nparts):
+            present, code, ndim, nbytes = _PART_HDR.unpack_from(body, pos)
+            pos += _PART_HDR.size
+            if not present:
+                metas.append(None)
+                continue
+            if not (0 <= code < len(_RING_DTYPES)) or not (0 <= ndim <= _MAX_DIMS):
+                raise FrameError(
+                    f"garbled part header (dtype code {code}, ndim {ndim})"
+                )
+            shape = struct.unpack_from(f"<{ndim}q", body, pos)
+            pos += 8 * ndim
+            perm = struct.unpack_from(f"<{ndim}q", body, pos)
+            pos += 8 * ndim
+            if any(s < 0 for s in shape) or sorted(perm) != list(range(ndim)):
+                raise FrameError(
+                    f"garbled part header (shape {shape}, perm {perm})"
+                )
+            metas.append((code, ndim, nbytes, shape, perm))
+    except struct.error:
+        raise FrameError("array frame truncated inside a part header") from None
+    parts: list[np.ndarray | None] = []
+    for meta in metas:
+        if meta is None:
+            parts.append(None)
+            continue
+        code, ndim, nbytes, shape, perm = meta
+        dtype = _RING_DTYPES[code]
+        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        if nbytes != count * dtype.itemsize or pos + nbytes > len(body):
+            raise FrameError(
+                f"part payload does not match its header "
+                f"({nbytes} bytes claimed for shape {shape} {dtype})"
+            )
+        flat = np.frombuffer(body, dtype=dtype, count=count, offset=pos)
+        pos += nbytes
+        # .copy() owns the memory C-contiguously in the transposed-view
+        # shape; the inverse permutation restores the sender's shape and
+        # strides — same recipe as ShmRing.recv_msg.
+        out = flat.reshape(shape).copy()
+        inv = tuple(np.argsort(perm)) if ndim else ()
+        parts.append(out.transpose(inv))
+    if pos != len(body):
+        raise FrameError(f"{len(body) - pos} trailing bytes after array frame")
+    return step, (tuple(parts) if kind else parts[0])
+
+
+# -- connected endpoints -------------------------------------------------------
+
+
+def _parse_address(address: str):
+    if address.startswith("uds:"):
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - platform
+            raise ValueError("uds: addresses need AF_UNIX support")
+        return socket.AF_UNIX, address[4:]
+    if address.startswith("tcp:"):
+        host, sep, port = address[4:].rpartition(":")
+        if not sep:
+            raise ValueError(f"tcp address must be tcp:host:port, got {address!r}")
+        return socket.AF_INET, (host, int(port))
+    raise ValueError(f"address must start with uds: or tcp:, got {address!r}")
+
+
+class Listener:
+    """A bound, listening socket handing out :class:`Transport` endpoints.
+    ``tcp:host:0`` binds an ephemeral port; :attr:`address` always names
+    the real endpoint peers should connect to."""
+
+    def __init__(self, address: str, backlog: int = 16):
+        family, addr = _parse_address(address)
+        self._family = family
+        self._path = addr if family == getattr(socket, "AF_UNIX", None) else None
+        self._sock = socket.socket(family, socket.SOCK_STREAM)
+        try:
+            if family == socket.AF_INET:
+                self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._sock.bind(addr)
+            self._sock.listen(backlog)
+        except BaseException:
+            self._sock.close()
+            raise
+        if family == socket.AF_INET:
+            host, port = self._sock.getsockname()[:2]
+            self.address = f"tcp:{host}:{port}"
+        else:
+            self.address = address
+
+    def accept(self, timeout: float) -> "Transport":
+        self._sock.settimeout(timeout)
+        try:
+            conn, _ = self._sock.accept()
+        except socket.timeout:
+            raise TransportTimeout(
+                f"no connection on {self.address} within {timeout:g}s"
+            ) from None
+        except OSError as exc:
+            raise TransportClosed(f"listener {self.address} is gone ({exc})") from None
+        return Transport(conn)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        finally:
+            if self._path is not None:
+                try:
+                    os.unlink(self._path)
+                except OSError:
+                    pass
+
+
+def connect(
+    address: str, timeout: float = 10.0, backoff: Backoff | None = None
+) -> "Transport":
+    """Dial ``address`` with bounded retry + exponential backoff — a worker
+    typically races the peer's ``bind``/``listen``, so refusals inside the
+    budget are retried; expiry raises :class:`TransportTimeout`."""
+    family, addr = _parse_address(address)
+    clock = (backoff or Backoff(total=timeout)).start()
+    while True:
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(addr)
+            return Transport(sock)
+        except (ConnectionError, FileNotFoundError, socket.timeout, OSError) as exc:
+            sock.close()
+            last = exc
+        if not clock.sleep():
+            raise TransportTimeout(
+                f"could not connect to {address} within {timeout:g}s "
+                f"after {clock.attempts + 1} attempts ({last})"
+            ) from None
+
+
+class Transport:
+    """One connected framed stream endpoint — the network twin of
+    :class:`ShmRing`'s send/recv surface.
+
+    Frames are ``(magic, kind, length, crc32)`` headers plus body; a short
+    read raises :class:`TransportClosed` (peer gone mid-frame), a bad
+    magic or checksum :class:`FrameError` (garbled stream), a deadline
+    :class:`TransportTimeout`.  Sends are serialised by a lock so a
+    heartbeat thread can share the control socket with the worker's done
+    reports without interleaving frames.  :attr:`xfer_seconds` accumulates
+    wall time spent moving *array* payloads (``send_msg``/``recv_msg``),
+    matching the ring transport's accounting.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        if sock.family == socket.AF_INET:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self.xfer_seconds = 0.0
+
+    # -- raw framing -----------------------------------------------------------
+    def _recv_exact(self, n: int, deadline: float | None) -> memoryview:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"frame read stalled ({got}/{n} bytes arrived)"
+                    )
+            try:
+                # settimeout is inside the typed wrapping too: on a socket
+                # close() raced from another thread it raises EBADF.
+                self._sock.settimeout(remaining)
+                k = self._sock.recv_into(view[got:])
+            except socket.timeout:
+                raise TransportTimeout(
+                    f"frame read stalled ({got}/{n} bytes arrived)"
+                ) from None
+            except OSError as exc:
+                raise TransportClosed(f"connection lost mid-read ({exc})") from None
+            if k == 0:
+                raise TransportClosed(
+                    "peer closed the connection mid-frame"
+                    if got
+                    else "peer closed the connection"
+                )
+            got += k
+        return view
+
+    def send_frame(self, kind: int, body: bytes, timeout: float | None = None) -> None:
+        header = _HDR.pack(_MAGIC, kind, len(body), zlib.crc32(body) & 0xFFFFFFFF)
+        with self._send_lock:
+            if self._closed:
+                raise TransportClosed("endpoint is closed")
+            try:
+                self._sock.settimeout(timeout)
+                self._sock.sendall(header + body)
+            except socket.timeout:
+                raise TransportTimeout(
+                    f"frame send stalled for {timeout:g}s (peer not draining)"
+                ) from None
+            except OSError as exc:
+                raise TransportClosed(f"connection lost mid-send ({exc})") from None
+
+    def recv_frame(self, timeout: float | None = None) -> tuple[int, memoryview]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if self._closed:
+            raise TransportClosed("endpoint is closed")
+        header = self._recv_exact(_HDR.size, deadline)
+        magic, kind, length, crc = _HDR.unpack(header)
+        if magic != _MAGIC:
+            raise FrameError(f"bad frame magic 0x{magic:08x} — stream corrupt")
+        if length > _MAX_FRAME:
+            raise FrameError(f"frame length {length} exceeds the 1 TiB cap")
+        body = self._recv_exact(length, deadline)
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise FrameError("frame checksum mismatch — stream corrupt")
+        return kind, body
+
+    # -- typed convenience -----------------------------------------------------
+    def send_obj(self, obj, timeout: float | None = None) -> None:
+        self.send_frame(K_OBJ, pickle.dumps(obj), timeout)
+
+    def recv_obj(self, timeout: float | None = None):
+        kind, body = self.recv_frame(timeout)
+        if kind != K_OBJ:
+            raise FrameError(f"expected an OBJ frame, got kind {kind}")
+        return pickle.loads(body)
+
+    def send_msg(self, payload, step: int, timeout: float | None = None) -> None:
+        t0 = time.perf_counter()
+        self.send_frame(K_ARRAYS, encode_arrays(payload, step), timeout)
+        self.xfer_seconds += time.perf_counter() - t0
+
+    def recv_msg(self, timeout: float | None = None) -> tuple[int, object]:
+        t0 = time.perf_counter()
+        kind, body = self.recv_frame(timeout)
+        if kind != K_ARRAYS:
+            raise FrameError(f"expected an ARRAYS frame, got kind {kind}")
+        out = decode_arrays(body)
+        self.xfer_seconds += time.perf_counter() - t0
+        return out
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+# -- the two seams -------------------------------------------------------------
+
+
+class _SocketChannels:
+    """Socket-backend channel set: one framed connection per cross-worker
+    edge and payload kind — the drop-in sibling of ``_QueueChannels`` and
+    ``_RingChannels``.
+
+    Messages carry the driver's step-sequence tag; residue from an aborted
+    step is discarded on receive, exactly like the ring transport, so the
+    channels self-heal after an error with no flush handshake.  Streams
+    copy on both ends (no shared slots to pin), so the reserve/pin surface
+    degenerates to no-ops and ``can_reserve`` is False.
+    """
+
+    can_reserve = False
+
+    def __init__(self, conns: dict[tuple[str, int], Transport], timeout: float):
+        self._conns = conns
+        self._timeout = timeout
+        self.step = 0
+
+    def xfer_seconds(self) -> float:
+        return sum(c.xfer_seconds for c in self._conns.values())
+
+    def recv(self, kind: str, edge: int):
+        conn = self._conns[(kind, edge)]
+        deadline = time.monotonic() + self._timeout
+        while True:
+            try:
+                tag, payload = conn.recv_msg(max(0.0, deadline - time.monotonic()))
+            except TransportTimeout:
+                raise TransportTimeout(
+                    f"waited >{self._timeout}s for a {kind} payload on edge "
+                    f"{edge} that never arrived"
+                ) from None
+            if tag != self.step:
+                continue  # stale message from an aborted step — discard
+            return payload
+
+    def send(self, kind: str, edge: int, payload) -> None:
+        self._conns[(kind, edge)].send_msg(payload, self.step, self._timeout)
+
+    def reserve(self, kind: str, edge: int, shape, dtype):
+        return None
+
+    def begin_wave(self, j: int) -> None:
+        pass
+
+    def release_wave(self, j: int) -> None:
+        pass
+
+    def release_all(self) -> None:
+        pass
+
+    def disconnect(self, kind: str, edge: int) -> None:
+        """Sever one channel (fault injection / tests)."""
+        self._conns[(kind, edge)].close()
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+
+
+class RemoteWeightMirror:
+    """Worker-side endpoint of the version-gated weight protocol over a
+    socket: the driver *pushes* velocity and version frames after every
+    optimizer boundary and this mirror replays them, in arrival order,
+    into a resident window of the last ``history`` versions.
+
+    The seam is identical to :class:`SharedWeightMirror`'s worker side —
+    ``weights``/``latest_version``/``wait_version``/``velocity`` — so
+    :class:`~repro.pipeline.plan.WorkerPlanMirror` runs unmodified.
+    A dedicated drainer thread folds frames into the window *eagerly*, in
+    arrival order — the driver's ``sendall`` must never block on a worker
+    that happens not to need a version right now, or a weight window
+    larger than the kernel socket buffer deadlocks the publish (the
+    worker would only start reading once a step arrives on the control
+    channel, which the blocked driver never sends).  In-order delivery
+    guarantees that once version v is visible, every older resident
+    version and v's boundary velocities (sent first, same as the shared
+    mirror's publish order) are too.  The driver's latest can only run
+    *ahead* of this view, never behind it, so the ``v > latest_version``
+    gate check stays correct; the one non-monotone event — checkpoint
+    restore — is fenced by :meth:`await_reset` (a RESET frame plus a
+    control-channel marker).
+    """
+
+    def __init__(
+        self,
+        conn: Transport,
+        stage_shapes: list[list[tuple[int, ...]]],
+        history: int,
+        with_velocity: bool,
+    ):
+        self._conn = conn
+        self._counts = [len(shapes) for shapes in stage_shapes]
+        self.history = history
+        self.with_velocity = with_velocity
+        self._window: dict[int, list[list[np.ndarray]]] = {}
+        self._velocity: list[list[np.ndarray]] | None = None
+        self._latest = -1
+        self._cond = threading.Condition()
+        self._resets = 0  # RESET frames folded so far
+        self._resets_consumed = 0  # acknowledged by await_reset
+        self._broken: BaseException | None = None
+        self._drainer = threading.Thread(
+            target=self._drain_loop, name="weight-drain", daemon=True
+        )
+        self._drainer.start()
+
+    def _drain_loop(self) -> None:
+        while True:
+            try:
+                kind, body = self._conn.recv_frame(None)
+            except TransportError as exc:
+                with self._cond:
+                    self._broken = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                try:
+                    if self._apply(kind, body):
+                        self._resets += 1
+                except BaseException as exc:
+                    self._broken = exc
+                    self._cond.notify_all()
+                    return
+                self._cond.notify_all()
+
+    def _wait_for(self, ready, deadline: float, describe) -> None:
+        with self._cond:
+            while not ready():
+                if self._broken is not None:
+                    raise TransportClosed(
+                        f"weight channel broke while {describe()} "
+                        f"({self._broken})"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportTimeout(describe())
+                self._cond.wait(remaining)
+
+    @property
+    def latest_version(self) -> int:
+        return self._latest
+
+    def _regroup(self, flat) -> list[list[np.ndarray]]:
+        arrays = list(flat) if isinstance(flat, tuple) else [flat]
+        if len(arrays) != sum(self._counts):
+            raise FrameError(
+                f"weight frame carried {len(arrays)} arrays, expected "
+                f"{sum(self._counts)}"
+            )
+        stages, pos = [], 0
+        for count in self._counts:
+            group = arrays[pos:pos + count]
+            for arr in group:
+                arr.setflags(write=False)  # workers must never write weights
+            stages.append(group)
+            pos += count
+        return stages
+
+    def _apply(self, kind: int, body) -> bool:
+        """Fold one weight-socket frame into the window; True for RESET."""
+        if kind == K_RESET:
+            self._window.clear()
+            self._latest = -1
+            return True
+        version, payload = decode_arrays(body)
+        stages = self._regroup(payload)
+        if kind == K_VELOCITY:
+            self._velocity = stages
+            return False
+        if kind != K_WEIGHTS:
+            raise FrameError(f"unexpected frame kind {kind} on the weight socket")
+        self._window[version] = stages
+        self._latest = max(self._latest, version)
+        for old in [v for v in self._window if v <= self._latest - self.history]:
+            del self._window[old]
+        return False
+
+    def wait_version(self, version: int, timeout: float) -> None:
+        if self._latest >= version:
+            return
+        self._wait_for(
+            lambda: self._latest >= version,
+            time.monotonic() + timeout,
+            lambda: (
+                f"weight version {version} was never published "
+                f"(remote mirror at {self._latest} after {timeout:g}s)"
+            ),
+        )
+
+    def await_reset(self, version: int, timeout: float) -> None:
+        """Checkpoint-restore fence: wait until a RESET frame has been
+        folded and the republished window's header lands on ``version``.
+        The driver sends the weight frames first and then the
+        control-channel marker that triggers this call, so the drainer
+        may have folded the RESET already — each fence consumes one RESET
+        frame, whether it landed before or after this call."""
+        self._wait_for(
+            lambda: self._resets > self._resets_consumed
+            and self._latest == version,
+            time.monotonic() + timeout,
+            lambda: (
+                f"weight window was never republished to version "
+                f"{version} after a restore (at {self._latest} after "
+                f"{timeout:g}s)"
+            ),
+        )
+        with self._cond:
+            self._resets_consumed += 1
+
+    def weights(self, stage: int, version: int) -> list[np.ndarray]:
+        with self._cond:
+            check_version_resident(
+                version, self._latest, self.history, "remote mirror"
+            )
+            return self._window[version][stage]
+
+    def velocity(self, stage: int) -> list[np.ndarray]:
+        if not self.with_velocity:
+            raise RuntimeError("mirror was built without velocity buffers")
+        if self._velocity is None:
+            raise RuntimeError(
+                "no velocity frame received yet (driver must publish velocity "
+                "before the version that needs it)"
+            )
+        return self._velocity[stage]
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _channel_keys(edges, w: int):
+    """Which (kind, edge) channels worker ``w`` listens on vs dials, from
+    the worker graph's picklable edge spec ``(index, src_worker,
+    dst_worker)``.  The *receiver* of a channel owns its listener:
+    activations/recomputes flow src→dst, gradients dst→src — the socket
+    projection of ``_worker_rings``'s role assignment."""
+    listen, dial = [], []
+    for index, src_w, dst_w in edges:
+        if dst_w == w:
+            listen += [("act", index), ("rec", index)]
+            dial += [("grad", index)]
+        elif src_w == w:
+            dial += [("act", index), ("rec", index)]
+            listen += [("grad", index)]
+    return listen, dial
+
+
+def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
+    """Entry point of one socket stage worker.
+
+    Only the bootstrap address crosses the process boundary; everything
+    else — the model spec (as wire bytes), resolver spec, channel
+    topology, initial persistent state — arrives over the control socket,
+    so the same entry point would serve a worker started on another host
+    by any launcher.  Phases: dial the driver (control + weight
+    connections), receive init, build the model slice, bind channel
+    listeners, report them, receive the full address map, dial send-side
+    channels then accept recv-side ones, report ready, serve step
+    commands until shutdown or EOF.
+    """
+    rt = _runtime
+    from repro.nn import arena as nn_arena
+    from repro.pipeline.delays import Method
+    from repro.pipeline.plan import WorkerPlanMirror
+
+    handshake = opts["handshake_timeout"]
+    timeout = opts["deadlock_timeout"]
+    backoff = Backoff(total=opts["connect_timeout"])
+    try:
+        ctl = connect(ctl_address, opts["connect_timeout"], backoff)
+        ctl.send_obj(("hello", w), handshake)
+        wconn = connect(ctl_address, opts["connect_timeout"], backoff)
+        wconn.send_obj(("weights", w), handshake)
+    except TransportError:
+        return  # driver gone before the handshake; nothing to report to
+    chans = None
+    mirror = None
+    listeners: dict[tuple[str, int], Listener] = {}
+
+    def report(seq, kind, busy=0.0, xfer=0.0, stall=0.0, payload=None):
+        ctl.send_obj(("done", (w, seq, kind, busy, xfer, stall, payload)), timeout)
+
+    try:
+        try:
+            tag, init = ctl.recv_obj(handshake)
+            if tag != "init":
+                raise FrameError(f"expected init, got {tag!r}")
+            k = init["k"]
+            n = init["num_microbatches"]
+            spec = init["resolver_spec"]
+            model, stages = ModelSpec.from_wire(init["model_wire"]).build()
+            names = [list(s.names) for s in stages]
+            if names != init["stage_names"]:
+                raise ValueError(
+                    f"worker {w}: model spec rebuilt a different partition "
+                    f"than the driver's (stage parameter names differ)"
+                )
+            graph = build_worker_graph(
+                model, stages,
+                granularity=init["granularity"], max_workers=init["max_workers"],
+            )
+            if graph.num_workers != k or graph.edge_spec() != init["edges"]:
+                raise ValueError(
+                    f"worker {w}: model spec rebuilt a different worker graph "
+                    f"than the driver's ({graph.num_workers} workers, edges "
+                    f"{graph.edge_spec()!r} vs {init['edges']!r})"
+                )
+            compute = graph.workers[w]
+            compute.enable_deferred()
+            mirror = RemoteWeightMirror(
+                wconn, init["stage_shapes"], spec.history, spec.use_t2
+            )
+            resolver = WorkerPlanMirror(spec, mirror)
+            is_sink_worker = w == k - 1
+            loss_fn = pickle.loads(init["loss_pickle"]) if is_sink_worker else None
+            for key, address in init["listen"].items():
+                listeners[key] = Listener(address, backlog=2)
+        except BaseException as exc:  # noqa: BLE001 — reported to driver
+            report(0, "init_error", payload=rt._picklable_exc(exc))
+            return
+        ctl.send_obj(
+            ("bound", w, {key: l.address for key, l in listeners.items()}), timeout
+        )
+        try:
+            tag, addresses = ctl.recv_obj(handshake)
+            if tag != "addresses":
+                raise FrameError(f"expected addresses, got {tag!r}")
+            conns: dict[tuple[str, int], Transport] = {}
+            # Dial first, accept second: every peer listener reported bound
+            # before the address broadcast, so dials complete against the
+            # backlog without waiting for the peer's accept — no ordering
+            # deadlock however the mesh is shaped.
+            for key in init["dial"]:
+                conns[key] = connect(addresses[key], opts["connect_timeout"], backoff)
+            for key, listener in listeners.items():
+                conns[key] = listener.accept(handshake)
+                listener.close()
+            listeners.clear()
+            chans = rt._wrap_channels(_SocketChannels(conns, timeout), w)
+            programs = rt._build_programs(
+                Method(spec.method), k, n, spec.recompute_segment is not None
+            )
+            has_pstate = compute.has_persistent_state()
+            if init["pstate"] is not None:
+                compute.load_persistent_state(init["pstate"])
+            arena_obj = nn_arena.Arena()
+            nn_arena.set_current(arena_obj)
+        except BaseException as exc:  # noqa: BLE001 — reported to driver
+            report(0, "init_error", payload=rt._picklable_exc(exc))
+            return
+        report(0, "ready")
+
+        stop_beats = threading.Event()
+
+        def _heartbeat():
+            while not stop_beats.wait(opts["heartbeat_interval"]):
+                try:
+                    ctl.send_obj(("hb", w), timeout)
+                except TransportError:
+                    return
+
+        threading.Thread(
+            target=_heartbeat, name=f"pipe-sock-hb-{w}", daemon=True
+        ).start()
+
+        while True:
+            try:
+                msg = ctl.recv_obj(None)
+            except TransportClosed:
+                break  # driver is gone; exit quietly
+            if msg[0] == "shutdown":
+                break
+            if msg[0] == "pstate":
+                compute.load_persistent_state(msg[1])
+                continue
+            if msg[0] == "resync":
+                # Checkpoint restore: fence on the republished window so a
+                # stale (higher) latest can never satisfy a gate against
+                # the restored timeline.
+                mirror.await_reset(msg[1], timeout)
+                continue
+            step_seq, t, sync, scales, ext, ys = msg[1]
+            resolver.t = t
+            chans.step = step_seq
+            losses = [0.0] * n
+            busy = stall = 0.0
+            kind, payload = "ok", None
+            xfer0 = chans.xfer_seconds()
+            arena_obj.begin_program(step_seq)
+            if is_sink_worker:
+                def on_losses(_seq=step_seq, _losses=losses):
+                    report(_seq, "losses", payload=list(_losses))
+            else:
+                on_losses = None
+            try:
+                for b in compute.bindings:
+                    for p in b.params:
+                        p.grad.fill(0.0)
+                compute.zero_deferred()
+                busy, stall = rt._execute_program(
+                    compute, programs[bool(sync)][w], resolver, t, sync, chans,
+                    loss_fn, ext, ys, scales, losses, timeout, on_losses,
+                )
+                # Gradients ride the done report (no shared mailbox over a
+                # socket): per-binding (stage, positions, arrays), disjoint
+                # across workers, folded driver-side in worker order.
+                grads = [
+                    (b.stage, list(b.positions), [p.grad for p in b.params])
+                    for b in compute.bindings
+                ]
+                payload = (
+                    losses if is_sink_worker else None,
+                    compute.persistent_state() if has_pstate else None,
+                    grads,
+                )
+            except TransportTimeout as exc:
+                kind, payload = "deadlock", str(exc)
+            except BaseException as exc:  # noqa: BLE001 — relayed to driver
+                kind, payload = "error", rt._picklable_exc(exc)
+            finally:
+                chans.release_all()
+            try:
+                report(
+                    step_seq, kind, busy, chans.xfer_seconds() - xfer0, stall, payload
+                )
+            except TransportError:
+                break  # driver is gone mid-report
+        stop_beats.set()
+    except TransportError:
+        pass  # driver-side teardown raced the serve loop
+    finally:
+        for listener in listeners.values():
+            listener.close()
+        if chans is not None:
+            chans.close()
+        if mirror is not None:
+            mirror.close()
+        ctl.close()
+
+
+# -- driver-side pool ----------------------------------------------------------
+
+
+class SocketWorkerPool(_runtime._WorkerPoolBase):
+    """Per-stage workers over framed sockets, behind the unchanged
+    issue/collect scheduler surface — ``AsyncPipelineRuntime`` drives it
+    exactly like the thread and process pools, so the same ``StepPlan``
+    runs bit-for-bit.
+
+    What is different is the failure story.  A :class:`WorkerRegistry`
+    tracks every worker's task state, fed by one reader thread per control
+    connection (done reports, early losses, heartbeats) and by process
+    liveness; ``_peer_failure`` consults it, so a lost worker surfaces as
+    a typed :class:`WorkerLostError` instead of a generic deadlock.  On
+    loss the pool invalidates all steps issued before the event
+    (``_dead_before`` — their collects fail fast rather than waiting out
+    the deadlock timeout) and, if ``max_restarts`` allows, tears the whole
+    worker set down and respawns it: fresh handshake, republished
+    resolvable weight window, driver-side persistent state seeded through
+    init.  The runtime's normal error path then restores the latest
+    published weights, so the failed minibatch is simply retried.
+
+    ``family="uds"`` (default) runs over Unix-domain sockets in a private
+    tmpdir; ``family="tcp"`` binds loopback TCP with ephemeral ports — the
+    single-host stand-in for the multi-host topology, with every byte on a
+    real socket either way.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        *,
+        graph,
+        plan,
+        stages,
+        loss_fn,
+        model_spec: ModelSpec,
+        num_microbatches: int,
+        deadlock_timeout: float,
+        done_grace: float,
+        granularity: str = "layer",
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        family: str = "uds",
+        host: str = "127.0.0.1",
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float | None = None,
+        connect_timeout: float = 10.0,
+        handshake_timeout: float = 120.0,
+        max_restarts: int = 0,
+    ):
+        super().__init__(graph.num_workers, deadlock_timeout, done_grace)
+        if family not in ("uds", "tcp"):
+            raise ValueError(f"family must be 'uds' or 'tcp', got {family!r}")
+        self.graph = graph
+        self.driver_workers = graph.workers
+        self.plan = plan
+        self.stages = stages
+        self._loss_pickle = pickle.dumps(loss_fn)
+        self._model_wire = model_spec.to_wire()
+        self._num_microbatches = num_microbatches
+        self._granularity = granularity
+        self._max_workers = max_workers
+        self._start_method = start_method
+        self._family = family
+        self._host = host
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else max(10 * heartbeat_interval, 5.0)
+        )
+        self._connect_timeout = connect_timeout
+        self._handshake_timeout = handshake_timeout
+        self._send_timeout = deadlock_timeout + done_grace
+        self.max_restarts = max_restarts
+        self._restarts_left = max_restarts
+        self._generation = 0
+        # Steps issued at or before this sequence died with a lost worker:
+        # their collects fail fast with WorkerLostError instead of waiting
+        # out the deadlock timeout (the runtime drains them on recovery).
+        self._dead_before = 0
+        self._lost_worker: int | None = None
+        self._done: queue.SimpleQueue = queue.SimpleQueue()
+        self._dir = tempfile.mkdtemp(prefix="pmnet-") if family == "uds" else None
+        self.registry = WorkerRegistry(graph.num_workers, self._heartbeat_timeout)
+        self._ctls: list[Transport] = []
+        self._weight_conns: list[Transport] = []
+        self._procs: list = []
+        self._ext_needs = [graph.ext_needs(w) for w in range(graph.num_workers)]
+        self._stage_shapes = [[tuple(p.shape) for p in s.params] for s in stages]
+        self._edges = graph.edge_spec()
+        # Channels exist only for cross-worker edges (local and external
+        # edges never touch a transport), same set _worker_rings covers.
+        self._cross = [
+            (e.index, e.src_worker, e.dst.worker) for e in graph.cross_edges()
+        ]
+        try:
+            self._spawn_workers()
+        except BaseException:
+            self.close()
+            raise
+
+    def _get_done(self, timeout: float):
+        return self._done.get(timeout=timeout)
+
+    # -- topology --------------------------------------------------------------
+    def _address(self, name: str) -> str:
+        if self._family == "uds":
+            return f"uds:{self._dir}/{name}"
+        return f"tcp:{self._host}:0"
+
+    def _spawn_workers(self) -> None:
+        """Launch and handshake a complete worker set (initial bring-up and
+        every respawn): accept control + weight connections, ship init
+        (model spec over the wire), gather bound channel listeners,
+        broadcast the address map, await ready, publish the resolvable
+        weight window."""
+        k = self.num_workers
+        gen = self._generation
+        self._generation += 1
+        self.registry = WorkerRegistry(k, self._heartbeat_timeout)
+        registry = self.registry
+        listener = Listener(self._address(f"ctl{gen}"), backlog=2 * k)
+        opts = {
+            "connect_timeout": self._connect_timeout,
+            "handshake_timeout": self._handshake_timeout,
+            "heartbeat_interval": self._heartbeat_interval,
+            "deadlock_timeout": self.deadlock_timeout,
+        }
+        ctx = multiprocessing.get_context(
+            self._start_method or _runtime._default_start_method()
+        )
+        try:
+            for w in range(k):
+                proc = ctx.Process(
+                    target=_socket_worker_main,
+                    args=(w, listener.address, opts),
+                    name=f"pipe-sock-{gen}-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+            ctls: list[Transport | None] = [None] * k
+            wconns: list[Transport | None] = [None] * k
+            deadline = time.monotonic() + self._handshake_timeout
+            pending = 2 * k
+            while pending:
+                try:
+                    conn = listener.accept(0.2)
+                except TransportTimeout:
+                    dead = self._proc_failure()
+                    if dead is not None:
+                        raise WorkerLostError(
+                            f"socket worker failed to start: {dead}"
+                        ) from None
+                    if time.monotonic() > deadline:
+                        raise TransportTimeout(
+                            f"worker handshake incomplete after "
+                            f"{self._handshake_timeout:g}s"
+                        ) from None
+                    continue
+                tag, w = conn.recv_obj(self._handshake_timeout)
+                if tag == "hello":
+                    ctls[w] = conn
+                elif tag == "weights":
+                    wconns[w] = conn
+                else:
+                    raise FrameError(f"unexpected handshake frame {tag!r}")
+                pending -= 1
+            self._ctls = ctls
+            self._weight_conns = wconns
+            for w in range(k):
+                listen, dial = _channel_keys(self._cross, w)
+                init = {
+                    "k": k,
+                    "num_microbatches": self._num_microbatches,
+                    "stage_shapes": self._stage_shapes,
+                    "stage_names": [list(s.names) for s in self.stages],
+                    "edges": self._edges,
+                    "resolver_spec": self.plan.resolver_spec(),
+                    "model_wire": self._model_wire,
+                    "granularity": self._granularity,
+                    "max_workers": self._max_workers,
+                    "loss_pickle": self._loss_pickle if w == k - 1 else b"",
+                    "listen": {
+                        key: self._address(f"c{gen}_{key[0]}{key[1]}")
+                        for key in listen
+                    },
+                    "dial": dial,
+                    "pstate": (
+                        self.driver_workers[w].persistent_state()
+                        if self.driver_workers[w].has_persistent_state()
+                        else None
+                    ),
+                }
+                ctls[w].send_obj(("init", init), self._handshake_timeout)
+            addresses: dict[tuple[str, int], str] = {}
+            for w in range(k):
+                msg = ctls[w].recv_obj(self._handshake_timeout)
+                if msg[0] == "done" and msg[1][2] == "init_error":
+                    raise msg[1][6]
+                if msg[0] != "bound":
+                    raise FrameError(f"expected bound from worker {w}, got {msg[0]!r}")
+                addresses.update(msg[2])
+            for w in range(k):
+                ctls[w].send_obj(("addresses", addresses), self._handshake_timeout)
+            for w in range(k):
+                threading.Thread(
+                    target=self._reader,
+                    args=(w, ctls[w], registry),
+                    name=f"pipe-sock-reader-{gen}-{w}",
+                    daemon=True,
+                ).start()
+            self._await_ready(k)
+            self._publish_window()
+        finally:
+            listener.close()
+
+    def _reader(self, w: int, conn: Transport, registry: WorkerRegistry) -> None:
+        """Drain worker ``w``'s control connection for the lifetime of one
+        worker generation: done reports and early losses go to the done
+        queue, heartbeats refresh the registry, EOF/corruption marks the
+        worker LOST.  The registry is captured, not read off self: after a
+        respawn a straggling reader can only mutate its own generation's
+        (discarded) records."""
+        while True:
+            try:
+                msg = conn.recv_obj(None)
+            except TransportError as exc:
+                registry.mark_lost(w, f"worker {w} connection lost ({exc})")
+                return
+            registry.beat(w)
+            if msg[0] == "hb":
+                continue
+            if msg[0] == "done":
+                report = msg[1]
+                if report[2] in ("ok", "error", "deadlock"):
+                    try:
+                        registry.transition(w, TaskState.READY)
+                    except RuntimeError:
+                        pass  # racing a LOST mark; LOST wins
+                self._done.put(report)
+                continue
+            registry.mark_lost(w, f"worker {w} spoke garbage ({msg[0]!r})")
+            return
+
+    def _await_ready(self, k: int) -> None:
+        ready = 0
+        deadline = time.monotonic() + self._handshake_timeout
+        while ready < k:
+            try:
+                w, _, kind, _, _, _, payload = self._done.get(timeout=0.2)
+            except queue.Empty:
+                dead = self._peer_failure()
+                if dead is not None:
+                    raise WorkerLostError(
+                        f"socket worker failed to start: {dead}"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise TransportTimeout(
+                        "socket workers did not come up in time"
+                    ) from None
+                continue
+            if kind == "init_error":
+                raise payload
+            if kind == "ready":
+                self.registry.transition(w, TaskState.READY)
+                ready += 1
+
+    # -- failure detection -----------------------------------------------------
+    def _proc_failure(self) -> str | None:
+        # _teardown_workers empties the list, so it always holds exactly the
+        # current generation's processes, in worker order.
+        for w, proc in enumerate(self._procs):
+            if not proc.is_alive() and proc.exitcode != 0:
+                self.registry.mark_lost(
+                    w, f"worker process {proc.name} died with exit code "
+                    f"{proc.exitcode}"
+                )
+        rec = self.registry.first_lost()
+        if rec is None:
+            return None
+        self._lost_worker = rec.worker
+        return f"pipeline worker {rec.worker} was lost: {rec.reason}"
+
+    def _peer_failure(self) -> str | None:
+        return self._proc_failure()
+
+    def _peer_error(self, dead: str) -> BaseException:
+        return WorkerLostError(dead, worker=self._lost_worker)
+
+    # -- scheduler surface -----------------------------------------------------
+    def issue(self, t, sync, ext, ys, scales, num_microbatches) -> int:
+        k = self.num_workers
+        self._seq += 1
+        self._issued.append(self._seq)
+        for w, conn in enumerate(self._ctls):
+            try:
+                conn.send_obj(
+                    (
+                        "step",
+                        (
+                            self._seq,
+                            t,
+                            sync,
+                            scales,
+                            {i: ext[i] for i in self._ext_needs[w]},
+                            ys if w == k - 1 else None,
+                        ),
+                    ),
+                    self._send_timeout,
+                )
+            except TransportError as exc:
+                # The worker died between steps.  Nobody will ever collect
+                # this sequence (the runtime has not recorded it yet), so
+                # withdraw it before handling the loss.
+                self.registry.mark_lost(w, f"unreachable at issue ({exc})")
+                self._issued.pop()
+                err = WorkerLostError(
+                    f"pipeline worker {w} is gone ({exc})", worker=w
+                )
+                self._handle_loss()
+                raise err from None
+            try:
+                self.registry.transition(w, TaskState.RUNNING)
+            except RuntimeError:
+                pass  # already LOST or still RUNNING a buffered prior step
+        return self._seq
+
+    def collect(self):
+        k = self.num_workers
+        seq = self._issued.popleft()
+        if seq <= self._dead_before:
+            raise WorkerLostError(
+                f"step {seq} was in flight when a worker was lost; its "
+                f"results are gone (weights were restored to the latest "
+                f"published version)",
+                worker=self._lost_worker,
+            )
+        try:
+            busys, xfers, stalls, extras = self._collect(seq)
+        except (WorkerLostError, TransportClosed) as exc:
+            err = (
+                exc
+                if isinstance(exc, WorkerLostError)
+                else WorkerLostError(f"a worker's channel closed mid-step: {exc}")
+            )
+            self._handle_loss()
+            raise err from exc
+        losses, _, _ = extras[k - 1]
+        for w in sorted(extras):
+            _, pstate, grads = extras[w]
+            if pstate is not None:
+                self.driver_workers[w].load_persistent_state(pstate)
+            # Each worker owns disjoint (stage, position) coordinates, so
+            # the fold order cannot matter; sorted for determinism anyway.
+            for s, positions, arrays in grads:
+                params = self.stages[s].params
+                for pos, arr in zip(positions, arrays):
+                    params[pos].grad[...] = arr
+        return _runtime._StepResult(
+            losses=list(losses), busy=busys, transport=xfers, stall=stalls
+        )
+
+    def await_losses(self, seq: int):
+        if seq <= self._dead_before:
+            return None
+        return super().await_losses(seq)
+
+    def publish_plan_state(self) -> None:
+        # Velocity first, version last: in-order frame delivery makes the
+        # version frame the release operation, same as the shared mirror's
+        # header bump.
+        if self.plan.corrector is not None:
+            self._broadcast_weights(
+                K_VELOCITY, encode_arrays(_flatten(self.plan.corrector.velocity), -1)
+            )
+        store = self.plan.store
+        v = store.latest_version
+        self._broadcast_weights(
+            K_WEIGHTS,
+            encode_arrays(
+                _flatten([store.weights(s, v) for s in range(store.num_stages)]), v
+            ),
+        )
+
+    def full_resync(self) -> None:
+        """Checkpoint restore: clear every remote window, republish the
+        resolvable versions, then fence each worker through its control
+        channel (FIFO with the next step command) so a stale higher
+        ``latest`` can never satisfy a gate against the restored
+        timeline."""
+        self._broadcast_weights(K_RESET, b"")
+        self._publish_window()
+        v = self.plan.store.latest_version
+        for w, (conn, compute) in enumerate(zip(self._ctls, self.driver_workers)):
+            try:
+                conn.send_obj(("resync", v), self._send_timeout)
+                if compute.has_persistent_state():
+                    conn.send_obj(
+                        ("pstate", compute.persistent_state()), self._send_timeout
+                    )
+            except TransportError as exc:
+                self.registry.mark_lost(w, f"unreachable at resync ({exc})")
+                self.wedged = True
+                raise WorkerLostError(
+                    f"pipeline worker {w} is gone ({exc})", worker=w
+                ) from None
+
+    def _publish_window(self) -> None:
+        plan = self.plan
+        if plan.corrector is not None:
+            self._broadcast_weights(
+                K_VELOCITY, encode_arrays(_flatten(plan.corrector.velocity), -1)
+            )
+        store = plan.store
+        resident = set(store.resident_versions(0))
+        for v in sorted(set(plan.resolvable_versions()) & resident):
+            self._broadcast_weights(
+                K_WEIGHTS,
+                encode_arrays(
+                    _flatten([store.weights(s, v) for s in range(store.num_stages)]),
+                    v,
+                ),
+            )
+
+    def _broadcast_weights(self, kind: int, body: bytes) -> None:
+        for w, conn in enumerate(self._weight_conns):
+            if conn is None:
+                continue
+            try:
+                conn.send_frame(kind, body, self._send_timeout)
+            except TransportError as exc:
+                self.registry.mark_lost(w, f"unreachable at publish ({exc})")
+                self.wedged = True
+                raise WorkerLostError(
+                    f"pipeline worker {w} is gone ({exc})", worker=w
+                ) from None
+
+    # -- loss handling ---------------------------------------------------------
+    def _handle_loss(self) -> None:
+        """A worker is LOST.  Invalidate everything issued before now, then
+        either respawn the whole worker set (restart budget permitting) or
+        wedge.  Respawn replaces connections, processes, registry and the
+        remote weight windows wholesale — the channel mesh is pairwise, so
+        partial reconnection of one worker is not a thing."""
+        self._dead_before = self._seq
+        self._buffered.clear()
+        self._early_losses.clear()
+        while True:
+            try:
+                self._done.get_nowait()
+            except queue.Empty:
+                break
+        if self._restarts_left > 0:
+            self._restarts_left -= 1
+            self._teardown_workers()
+            try:
+                self._spawn_workers()
+            except BaseException:
+                self.wedged = True  # respawn itself failed; no third option
+                raise
+            self.wedged = False
+        else:
+            self.wedged = True
+
+    def _teardown_workers(self) -> None:
+        for conn in self._ctls:
+            if conn is None:
+                continue
+            try:
+                conn.send_obj(("shutdown",), 0.5)
+            except TransportError:
+                pass
+        for conn in list(self._ctls) + list(self._weight_conns):
+            if conn is not None:
+                conn.close()
+        self._ctls = []
+        self._weight_conns = []
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        self._procs = []
+
+    def close(self) -> None:
+        self._teardown_workers()
+        if self._dir is not None:
+            try:
+                for name in os.listdir(self._dir):
+                    try:
+                        os.unlink(os.path.join(self._dir, name))
+                    except OSError:
+                        pass
+                os.rmdir(self._dir)
+            except OSError:
+                pass
+            self._dir = None
+
+
+def _flatten(per_stage) -> tuple:
+    """Per-stage array lists as the flat tuple a weight frame carries (the
+    remote mirror regroups by the stage shape counts shipped in init)."""
+    return tuple(arr for stage in per_stage for arr in stage)

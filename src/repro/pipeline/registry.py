@@ -1,0 +1,190 @@
+"""Driver-side worker registry for the socket runtime.
+
+The shared-memory pools can treat a missing worker as a protocol bug: the
+processes are children on the same host and the only way to lose one is a
+crash.  A networked pipeline must treat worker loss as a *state*, not an
+exception path bolted on afterwards — connections take time to come up,
+heartbeats go quiet before sockets report errors, and the driver has to
+decide between respawning the stage and surfacing a typed error.
+
+:class:`WorkerRegistry` tracks one :class:`TaskState` machine per worker::
+
+    CONNECTING ──► READY ──► RUNNING
+        │            │    ◄──┘   │
+        └────────────┴───► LOST ◄┘
+
+``CONNECTING``
+    spawned, handshake (hello / init / bound / addresses) in progress.
+``READY``
+    handshake complete, between steps.
+``RUNNING``
+    a step command is outstanding on the worker.
+``LOST``
+    terminal: socket EOF, process death, or a stale heartbeat.  A lost
+    worker never comes back — the pool replaces the whole worker set (the
+    channel mesh is pairwise, so one fresh worker cannot rejoin alone) or
+    wedges with :class:`WorkerLostError`.
+
+The registry itself is passive bookkeeping (no threads); the pool's reader
+threads call :meth:`beat` / :meth:`mark_lost` and its scheduler-side code
+polls :meth:`first_lost`.  All methods take the registry lock, so readers
+and the driver may call in concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class WorkerLostError(RuntimeError):
+    """A pipeline worker was lost (connection dropped, process died, or
+    heartbeats went stale) and the in-flight step cannot complete.  The
+    runtime drains the remaining in-flight steps and restores the latest
+    published weights before this surfaces; if the pool had restart budget
+    left it respawned the worker set first and the *next* step will run."""
+
+    def __init__(self, message: str, worker: int | None = None):
+        super().__init__(message)
+        self.worker = worker
+
+
+class TaskState(enum.Enum):
+    CONNECTING = "connecting"
+    READY = "ready"
+    RUNNING = "running"
+    LOST = "lost"
+
+
+# Legal transitions; everything else is a driver-side protocol bug.
+_TRANSITIONS = {
+    TaskState.CONNECTING: {TaskState.READY, TaskState.LOST},
+    TaskState.READY: {TaskState.RUNNING, TaskState.LOST},
+    TaskState.RUNNING: {TaskState.READY, TaskState.LOST},
+    TaskState.LOST: set(),
+}
+
+
+@dataclass
+class WorkerRecord:
+    worker: int
+    state: TaskState = TaskState.CONNECTING
+    last_beat: float = field(default_factory=time.monotonic)
+    reason: str = ""  # why the worker is LOST (empty otherwise)
+
+
+class WorkerRegistry:
+    """Per-worker task states + heartbeat freshness for one socket pool.
+
+    ``heartbeat_timeout`` is how long a silent worker stays trusted: a
+    worker that neither reports nor beats for that long is marked LOST even
+    if its socket has not errored yet (a SIGSTOP'd or livelocked peer looks
+    exactly like a slow network until then).
+    """
+
+    def __init__(self, num_workers: int, heartbeat_timeout: float):
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._records = [WorkerRecord(w) for w in range(num_workers)]
+
+    def __getitem__(self, w: int) -> WorkerRecord:
+        return self._records[w]
+
+    def states(self) -> list[TaskState]:
+        with self._lock:
+            return [r.state for r in self._records]
+
+    def transition(self, w: int, state: TaskState, reason: str = "") -> None:
+        with self._lock:
+            rec = self._records[w]
+            if rec.state is state:
+                return
+            if state not in _TRANSITIONS[rec.state]:
+                raise RuntimeError(
+                    f"worker {w}: illegal task-state transition "
+                    f"{rec.state.value} -> {state.value}"
+                )
+            rec.state = state
+            rec.last_beat = time.monotonic()
+            if state is TaskState.LOST:
+                rec.reason = reason or "lost"
+
+    def beat(self, w: int) -> None:
+        """Refresh worker ``w``'s heartbeat (any inbound traffic counts)."""
+        with self._lock:
+            rec = self._records[w]
+            if rec.state is not TaskState.LOST:
+                rec.last_beat = time.monotonic()
+
+    def mark_lost(self, w: int, reason: str) -> None:
+        """Idempotent LOST transition (reader threads race on EOF vs the
+        stale-heartbeat sweep; first reason wins)."""
+        with self._lock:
+            rec = self._records[w]
+            if rec.state is not TaskState.LOST:
+                rec.state = TaskState.LOST
+                rec.reason = reason
+
+    def sweep_heartbeats(self) -> None:
+        """Mark workers whose heartbeat went stale as LOST."""
+        horizon = time.monotonic() - self.heartbeat_timeout
+        with self._lock:
+            for rec in self._records:
+                if rec.state is TaskState.LOST or rec.state is TaskState.CONNECTING:
+                    continue
+                if rec.last_beat < horizon:
+                    rec.state = TaskState.LOST
+                    rec.reason = (
+                        f"no heartbeat for more than "
+                        f"{self.heartbeat_timeout:g}s (worker frozen or "
+                        f"network partitioned)"
+                    )
+
+    def first_lost(self) -> WorkerRecord | None:
+        """The lowest-indexed LOST worker, or None — the pool's
+        ``_peer_failure`` probe (after a heartbeat sweep)."""
+        self.sweep_heartbeats()
+        with self._lock:
+            for rec in self._records:
+                if rec.state is TaskState.LOST:
+                    return rec
+        return None
+
+
+@dataclass
+class Backoff:
+    """Bounded retry schedule for connection attempts: exponential delay
+    from ``base`` capped at ``ceiling``, all attempts bounded by
+    ``total`` seconds.  :meth:`sleep` returns False once the budget is
+    exhausted (the caller then raises its typed timeout)."""
+
+    base: float = 0.02
+    ceiling: float = 0.5
+    total: float = 10.0
+
+    def start(self) -> "_BackoffClock":
+        return _BackoffClock(self)
+
+
+class _BackoffClock:
+    def __init__(self, spec: Backoff):
+        self._spec = spec
+        self._delay = spec.base
+        self._deadline = time.monotonic() + spec.total
+        self.attempts = 0
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._deadline
+
+    def sleep(self) -> bool:
+        """Back off before the next attempt; False if the budget is spent."""
+        now = time.monotonic()
+        if now >= self._deadline:
+            return False
+        time.sleep(min(self._delay, self._deadline - now))
+        self._delay = min(self._delay * 2, self._spec.ceiling)
+        self.attempts += 1
+        return True

@@ -126,6 +126,7 @@ from repro.pipeline.stage_compute import (
 from repro.pipeline.transport import (
     SharedGradMailbox,
     ShmRing,
+    TransportClosed,
     TransportTimeout,
 )
 from repro.pipeline.weight_store import SharedWeightMirror
@@ -134,6 +135,27 @@ from repro.pipeline.weight_store import SharedWeightMirror
 class PipelineDeadlockError(RuntimeError):
     """A worker waited longer than ``deadlock_timeout`` for an activation or
     gradient that never arrived — the schedule's dataflow stalled."""
+
+
+class RuntimeWedgedError(RuntimeError):
+    """The runtime is wedged: a previous step left a worker that will never
+    report back (deadlock, silent death, or an unrecoverable worker loss),
+    so no further steps can run — build a fresh runtime.  Raised by
+    :meth:`AsyncPipelineRuntime.train_step` on entry, distinct from the
+    error that wedged the pool in the first place."""
+
+
+# Test seam: when set, every worker-side channel object is passed through
+# this hook before use, letting the fault-injection harness wrap transports
+# with drop/delay/duplicate/disconnect behaviour.  With the default fork
+# start method, child processes inherit a monkeypatched value.
+_channel_hook = None
+
+
+def _wrap_channels(chans, w: int):
+    if _channel_hook is None:
+        return chans
+    return _channel_hook(chans, w)
 
 
 @dataclass
@@ -625,6 +647,12 @@ class _WorkerPoolBase:
         segfaulted); threads cannot die silently."""
         return None
 
+    def _peer_error(self, dead: str) -> BaseException:
+        """The typed error a dead peer surfaces as: the shared-memory pools
+        report a deadlock, the socket pool overrides this with
+        :class:`~repro.pipeline.registry.WorkerLostError`."""
+        return PipelineDeadlockError(dead)
+
     def _next_done(self, deadline: float):
         """One done message, failing fast on dead peers.  A worker that will
         never report wedges the pool: don't reuse it, but close() can still
@@ -636,7 +664,7 @@ class _WorkerPoolBase:
                 dead = self._peer_failure()
                 if dead is not None:
                     self.wedged = True
-                    raise PipelineDeadlockError(dead) from None
+                    raise self._peer_error(dead) from None
                 if time.perf_counter() > deadline:
                     self.wedged = True
                     raise PipelineDeadlockError(
@@ -724,8 +752,35 @@ class _WorkerPoolBase:
         early-return signal that lets the driver hand the caller step t's
         loss while t's backward half (and a second in-flight step) are
         still draining.  Returns ``None`` if the step failed or stalled
-        instead; the caller then collects normally to surface the error."""
-        raise NotImplementedError
+        instead; the caller then collects normally to surface the error.
+
+        This base implementation drains the done queue for the sink's
+        early-loss report (process and socket pools); the thread pool
+        overrides it with an event wait on the shared step context."""
+        if seq in self._early_losses:
+            return self._early_losses.pop(seq)
+        deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
+        while True:
+            # A parked failure report for this step means no losses are
+            # coming; let collect() surface the real error.
+            for msg in self._buffered:
+                if msg[1] == seq and msg[2] in ("error", "deadlock"):
+                    return None
+            try:
+                msg = self._get_done(0.2)
+            except queue.Empty:
+                if self._peer_failure() is not None:
+                    return None
+                if time.perf_counter() > deadline:
+                    return None
+                continue
+            if msg[2] == "losses":
+                if msg[1] == seq:
+                    return msg[6]
+                if msg[1] > seq:
+                    self._early_losses[msg[1]] = msg[6]
+                continue
+            self._buffered.append(msg)
 
     def run_step(self, t, sync, ext, ys, scales, num_microbatches) -> _StepResult:
         """Barrier-mode convenience: issue then immediately collect."""
@@ -831,7 +886,7 @@ class ThreadWorkerPool(_WorkerPoolBase):
                 return
             busy = stall = 0.0
             kind, payload = "ok", None
-            chans = _QueueChannels(ctx, w, self.deadlock_timeout)
+            chans = _wrap_channels(_QueueChannels(ctx, w, self.deadlock_timeout), w)
             arena_obj.begin_program(ctx.seq)
             if sink:
                 def on_losses(_ctx=ctx):
@@ -952,7 +1007,9 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
         replica = init["replica"]
         is_sink_worker = w == k - 1
         loss_fn = pickle.loads(init["loss_pickle"]) if is_sink_worker else None
-        chans = _RingChannels(_worker_rings(graph, w, base, init["slots"]), timeout)
+        chans = _wrap_channels(
+            _RingChannels(_worker_rings(graph, w, base, init["slots"]), timeout), w
+        )
         programs = _build_programs(
             Method(spec.method), k, n, spec.recompute_segment is not None
         )
@@ -1243,32 +1300,6 @@ class ProcessWorkerPool(_WorkerPoolBase):
             losses=list(losses), busy=busys, transport=xfers, stall=stalls
         )
 
-    def await_losses(self, seq: int) -> list | None:
-        if seq in self._early_losses:
-            return self._early_losses.pop(seq)
-        deadline = time.perf_counter() + self.deadlock_timeout + self.done_grace
-        while True:
-            # A parked failure report for this step means no losses are
-            # coming; let collect() surface the real error.
-            for msg in self._buffered:
-                if msg[1] == seq and msg[2] in ("error", "deadlock"):
-                    return None
-            try:
-                msg = self._get_done(0.2)
-            except queue.Empty:
-                if self._peer_failure() is not None:
-                    return None
-                if time.perf_counter() > deadline:
-                    return None
-                continue
-            if msg[2] == "losses":
-                if msg[1] == seq:
-                    return msg[6]
-                if msg[1] > seq:
-                    self._early_losses[msg[1]] = msg[6]
-                continue
-            self._buffered.append(msg)
-
     def publish_plan_state(self) -> None:
         # Velocity first: the version-header bump below is the release the
         # workers' version gates observe, and a wave admitted for version v
@@ -1447,9 +1478,18 @@ class AsyncPipelineRuntime(PipelineBackend):
     plus:
 
     backend:
-        ``"thread"`` (default; the CLI's ``async`` runtime) or
+        ``"thread"`` (default; the CLI's ``async`` runtime),
         ``"process"`` (the CLI's ``process`` runtime — stage workers in
-        separate processes over shared-memory transport).
+        separate processes over shared-memory transport), or ``"socket"``
+        (stage workers over framed TCP/UDS sockets with a worker registry
+        and typed failure handling; see :mod:`repro.pipeline.net`).
+    net_options:
+        Socket-backend tuning forwarded to
+        :class:`~repro.pipeline.net.SocketWorkerPool`: ``family``
+        ("uds"/"tcp"), ``heartbeat_interval``, ``heartbeat_timeout``,
+        ``connect_timeout``, ``handshake_timeout``, ``max_restarts``
+        (respawn budget after a lost worker; default 0 = wedge with
+        :class:`~repro.pipeline.registry.WorkerLostError`).
     overlap_boundary:
         ``True`` (default): the optimizer boundary of step t is deferred
         and executed while step t+1's fill is already running, with every
@@ -1519,6 +1559,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         partition_plan=None,
         inflight_steps: int | None = None,
         num_replicas: int = 1,
+        net_options: dict | None = None,
     ):
         check_replica_count(num_replicas, model_name=type(model).__name__)
         overlap = True if overlap_boundary is None else bool(overlap_boundary)
@@ -1548,8 +1589,10 @@ class AsyncPipelineRuntime(PipelineBackend):
                 num_replicas=num_replicas,
             ),
         )
-        if backend not in ("thread", "process"):
+        if backend not in ("thread", "process", "socket"):
             raise ValueError(f"unknown worker backend {backend!r}")
+        if backend != "socket" and net_options:
+            raise ValueError("net_options only applies to the socket backend")
         self.backend = backend
         self.granularity = granularity
         if max_workers is None and partition_plan is not None:
@@ -1640,6 +1683,38 @@ class AsyncPipelineRuntime(PipelineBackend):
                             shared=None if r == 0 else pools[0].shared_handles,
                         )
                     )
+            elif backend == "socket":
+                # Lazy import: net.py imports this module at its top, so the
+                # dependency must point this way only when actually used.
+                from repro.pipeline.net import SocketWorkerPool
+
+                if num_replicas != 1:
+                    raise ValueError(
+                        "socket backend does not support num_replicas > 1 yet"
+                    )
+                spec0 = (
+                    model_spec
+                    if model_spec is not None
+                    else ModelSpec.from_model(
+                        model, num_stages=len(stages), plan=partition_plan
+                    )
+                )
+                pools.append(
+                    SocketWorkerPool(
+                        graph=self.graph,
+                        plan=self.plan,
+                        stages=stages,
+                        loss_fn=loss_fn,
+                        model_spec=spec0,
+                        num_microbatches=n,
+                        deadlock_timeout=deadlock_timeout,
+                        done_grace=done_grace,
+                        granularity=granularity,
+                        max_workers=max_workers,
+                        start_method=start_method,
+                        **(net_options or {}),
+                    )
+                )
             else:
                 for r in range(num_replicas):
                     rep = None if r == 0 else self.replica_plan.replicas[r - 1]
@@ -1677,7 +1752,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         if self._closed:
             raise RuntimeError("runtime is closed")
         if self.group.wedged:
-            raise RuntimeError(
+            raise RuntimeWedgedError(
                 "runtime is wedged after a deadlock (a worker never reported "
                 "back); build a fresh runtime"
             )

@@ -93,10 +93,23 @@ def _check_memory_order() -> None:
     )
 
 
-class TransportTimeout(RuntimeError):
-    """A shared-memory channel operation exceeded its deadline — the
-    process-pipeline analogue of ``queue.Empty``: the schedule's dataflow
-    stalled (peer crashed, wedged, or never produced the message)."""
+class TransportError(RuntimeError):
+    """Base of the typed transport failures.  Every channel implementation
+    behind the ring/socket seam raises subclasses of this, so error paths
+    dispatch on type instead of grepping message strings."""
+
+
+class TransportTimeout(TransportError):
+    """A channel operation exceeded its deadline — the pipeline analogue of
+    ``queue.Empty``: the schedule's dataflow stalled (peer crashed, wedged,
+    or never produced the message)."""
+
+
+class TransportClosed(TransportError):
+    """The peer's end of a channel is gone — connection reset, EOF
+    mid-frame, or an operation on an endpoint already shut down.  Unlike a
+    :class:`TransportTimeout` (the peer may merely be slow), the channel
+    can never deliver again."""
 
 
 # Names this process created (and therefore legitimately tracks); attaching

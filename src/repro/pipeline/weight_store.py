@@ -68,6 +68,21 @@ from repro.pipeline.transport import (
 from repro.utils.ring_buffer import RingBuffer
 
 
+def check_version_resident(
+    version: int, latest: int, history: int, where: str = "mirror"
+) -> None:
+    """Shared window check of the version-gated weight protocol: every
+    worker-side mirror (shared-memory or socket) keeps exactly the last
+    ``history`` versions and rejects reads outside ``(latest - history,
+    latest]`` with the same error text, so a gating bug looks identical
+    whichever transport exposed it."""
+    if version < 0 or version <= latest - history or version > latest:
+        raise KeyError(
+            f"version {version} not resident in {where} "
+            f"(have ({latest - history}, {latest}])"
+        )
+
+
 class WeightVersionStore:
     """Holds the last ``history`` versions of every stage's weights.
 
@@ -332,12 +347,7 @@ class SharedWeightMirror:
     def weights(self, stage: int, version: int) -> list[np.ndarray]:
         """Views of ``version``'s arrays for ``stage`` (the worker-side dual
         of :meth:`WeightVersionStore.weights`)."""
-        latest = self.latest_version
-        if version < 0 or version <= latest - self.history or version > latest:
-            raise KeyError(
-                f"version {version} not resident in mirror "
-                f"(have ({latest - self.history}, {latest}])"
-            )
+        check_version_resident(version, self.latest_version, self.history)
         return self._slot_views[version % self.history][stage]
 
     def velocity(self, stage: int) -> list[np.ndarray]:

@@ -73,6 +73,13 @@ def pytest_configure(config):
         " a tightened timeout so a replica-lockstep bug surfaces as a"
         " timeout, not a hang",
     )
+    config.addinivalue_line(
+        "markers",
+        "net: socket-transport suites (wire framing, the socket runtime's"
+        " differential grid, and fault injection across all backends); CI"
+        " runs them as a dedicated lane with a tightened timeout so a lost"
+        " frame or a broken failure path surfaces as a timeout, not a hang",
+    )
 
 
 @pytest.fixture(autouse=True)

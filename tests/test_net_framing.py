@@ -1,0 +1,356 @@
+"""Property tests for the socket wire format.
+
+The frame codec (``encode_arrays``/``decode_arrays``) is the network twin
+of ``ShmRing.send_msg``/``recv_msg`` and carries the same bit-determinism
+obligation: every payload must come back with the sender's exact value,
+dtype, shape **and memory layout** (BLAS kernels take different
+floating-point paths for different strides).  These tests sweep the
+codec over shapes × dtypes × C/F/transposed layouts × ``None`` parts ×
+zero-size arrays — mirroring the ShmRing layout regression suite — and
+then prove the garbled-stream contract: any header that cannot describe
+a real array raises :class:`FrameError`, never returns garbage.
+
+The ``Transport`` half runs over ``socketpair()`` plus real UDS/TCP
+listeners: round trips, deadline behaviour, peer-close semantics, and
+corrupted-byte detection via the frame checksum.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.pipeline.net import (
+    _HDR,
+    _MAGIC,
+    K_ARRAYS,
+    K_OBJ,
+    FrameError,
+    Listener,
+    Transport,
+    connect,
+    decode_arrays,
+    encode_arrays,
+)
+from repro.pipeline.registry import Backoff
+from repro.pipeline.transport import (
+    _RING_DTYPES,
+    TransportClosed,
+    TransportTimeout,
+)
+
+pytestmark = pytest.mark.net
+
+SHAPES = [(), (0,), (3,), (2, 3), (4, 1, 3), (2, 3, 4, 5)]
+
+
+def roundtrip(payload, step=0):
+    got_step, got = decode_arrays(encode_arrays(payload, step))
+    assert got_step == step
+    return got
+
+
+def assert_same_array(out, src):
+    assert out.dtype == src.dtype
+    assert out.shape == src.shape
+    np.testing.assert_array_equal(out, src)
+    if src.size:
+        # Axes of size <= 1 carry arbitrary strides (relaxed stride
+        # checking) and no BLAS kernel can observe them; compare the
+        # strides that matter.  Zero-size arrays have none at all.
+        def effective(a):
+            return tuple(s for s, n in zip(a.strides, a.shape) if n > 1)
+
+        assert effective(out) == effective(src), (
+            "memory layout must survive the wire"
+        )
+    assert out.base is None or out.base.base is None  # owns fresh memory
+
+
+def make_array(shape, dtype, order, rng):
+    if np.issubdtype(dtype, np.floating):
+        arr = rng.normal(size=shape).astype(dtype)
+    elif dtype == np.bool_:
+        arr = rng.integers(0, 2, size=shape).astype(np.bool_)
+    else:
+        arr = rng.integers(-50, 50, size=shape).astype(dtype)
+    if order == "F":
+        return np.asfortranarray(arr)
+    if order == "T":
+        if arr.ndim < 2:
+            return arr
+        return np.ascontiguousarray(arr.transpose()).transpose()
+    return np.ascontiguousarray(arr)
+
+
+class TestCodec:
+    @pytest.mark.parametrize("dtype", _RING_DTYPES, ids=str)
+    @pytest.mark.parametrize("order", ["C", "F", "T"])
+    def test_single_arrays_survive_value_dtype_shape_layout(
+        self, rng, dtype, order
+    ):
+        for shape in SHAPES:
+            src = make_array(shape, dtype, order, rng)
+            assert_same_array(roundtrip(src), src)
+
+    def test_bare_array_stays_bare_and_tuple_stays_tuple(self, rng):
+        bare = rng.normal(size=(3, 2))
+        out = roundtrip(bare)
+        assert isinstance(out, np.ndarray)
+        out = roundtrip((bare,))
+        assert isinstance(out, tuple) and len(out) == 1
+
+    def test_multipart_tuples_with_none_and_zero_size(self, rng):
+        payload = (
+            rng.normal(size=(2, 3)),
+            None,
+            np.zeros((0, 4)),
+            rng.integers(0, 9, size=(5,)),
+            None,
+            np.float64(3.25).reshape(()),  # 0-d
+        )
+        out = roundtrip(payload, step=7)
+        assert len(out) == len(payload)
+        for got, src in zip(out, payload):
+            if src is None:
+                assert got is None
+            else:
+                assert_same_array(got, np.asarray(src))
+
+    def test_empty_tuple(self):
+        assert roundtrip(()) == ()
+
+    def test_step_tags_roundtrip_including_negative(self, rng):
+        arr = rng.normal(size=(2,))
+        for step in (0, 1, -1, 2**40, -(2**40)):
+            got_step, _ = decode_arrays(encode_arrays(arr, step))
+            assert got_step == step
+
+    def test_noncontiguous_view_values_survive(self, rng):
+        base = rng.normal(size=(4, 6, 5))
+        view = base[:, ::2, :]  # gaps: C-copy fallback, values must survive
+        np.testing.assert_array_equal(roundtrip(view), view)
+
+    def test_unsupported_dtype_is_rejected_at_encode(self):
+        with pytest.raises(TypeError, match="cannot frame dtype"):
+            encode_arrays(np.zeros(3, dtype=np.complex128), 0)
+
+
+class TestGarbledFrames:
+    """Every malformed body must raise FrameError — never garbage arrays,
+    never an unbounded allocation."""
+
+    def body(self, rng):
+        return bytearray(
+            encode_arrays((rng.normal(size=(2, 3)), rng.normal(size=(4,))), 5)
+        )
+
+    def test_truncated_everywhere_is_rejected(self, rng):
+        body = self.body(rng)
+        for cut in (0, 5, 23, 24, 40, len(body) // 2, len(body) - 1):
+            with pytest.raises(FrameError):
+                decode_arrays(bytes(body[:cut]))
+
+    def test_trailing_bytes_are_rejected(self, rng):
+        with pytest.raises(FrameError, match="trailing"):
+            decode_arrays(bytes(self.body(rng)) + b"\x00")
+
+    def test_bad_payload_kind_and_counts(self, rng):
+        body = self.body(rng)
+        bad = body.copy()
+        struct.pack_into("<q", bad, 8, 7)  # payload kind 7
+        with pytest.raises(FrameError, match="garbled array frame header"):
+            decode_arrays(bytes(bad))
+        bad = body.copy()
+        struct.pack_into("<q", bad, 16, -2)  # negative nparts
+        with pytest.raises(FrameError):
+            decode_arrays(bytes(bad))
+
+    def test_bad_dtype_code_and_ndim(self, rng):
+        body = self.body(rng)
+        bad = body.copy()
+        struct.pack_into("<q", bad, 24 + 8, 99)  # dtype code of part 0
+        with pytest.raises(FrameError, match="garbled part header"):
+            decode_arrays(bytes(bad))
+        bad = body.copy()
+        struct.pack_into("<q", bad, 24 + 16, 99)  # ndim of part 0
+        with pytest.raises(FrameError, match="garbled part header"):
+            decode_arrays(bytes(bad))
+
+    def test_perm_that_is_not_a_permutation(self, rng):
+        body = self.body(rng)
+        # part 0 is (2, 3): base 24 + part header 32 + shape 16 → perm at 72
+        struct.pack_into("<qq", body, 72, 0, 0)
+        with pytest.raises(FrameError, match="perm"):
+            decode_arrays(bytes(body))
+
+    def test_negative_shape_is_rejected(self, rng):
+        body = self.body(rng)
+        struct.pack_into("<q", body, 24 + 32, -3)  # first shape entry
+        with pytest.raises(FrameError):
+            decode_arrays(bytes(body))
+
+    def test_nbytes_header_mismatch(self, rng):
+        body = self.body(rng)
+        # nbytes field of part 0 (claims 48 for a (2,3) float64)
+        struct.pack_into("<q", body, 24 + 24, 8)
+        with pytest.raises(FrameError, match="does not match its header"):
+            decode_arrays(bytes(body))
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    ta, tb = Transport(a), Transport(b)
+    yield ta, tb
+    ta.close()
+    tb.close()
+
+
+class TestTransport:
+    def test_msg_roundtrip_with_step_tags(self, rng, pair):
+        ta, tb = pair
+        src = (rng.normal(size=(3, 4)), None, np.asfortranarray(rng.normal(size=(2, 2))))
+        ta.send_msg(src, step=-3, timeout=5.0)
+        step, out = tb.recv_msg(timeout=5.0)
+        assert step == -3
+        for got, want in zip(out, src):
+            if want is None:
+                assert got is None
+            else:
+                assert_same_array(got, want)
+        assert ta.xfer_seconds > 0 and tb.xfer_seconds > 0
+
+    def test_obj_roundtrip(self, pair):
+        ta, tb = pair
+        ta.send_obj(("hello", 3, {"a": [1, 2]}), timeout=5.0)
+        assert tb.recv_obj(timeout=5.0) == ("hello", 3, {"a": [1, 2]})
+
+    def test_recv_deadline_raises_typed_timeout(self, pair):
+        _, tb = pair
+        with pytest.raises(TransportTimeout, match="stalled"):
+            tb.recv_frame(timeout=0.1)
+
+    def test_peer_close_raises_typed_closed(self, pair):
+        ta, tb = pair
+        ta.close()
+        with pytest.raises(TransportClosed, match="closed the connection"):
+            tb.recv_frame(timeout=5.0)
+
+    def test_truncated_frame_raises_closed_mid_frame(self, pair):
+        ta, tb = pair
+        body = encode_arrays(np.zeros(8), 1)
+        header = _HDR.pack(_MAGIC, K_ARRAYS, len(body), zlib.crc32(body))
+        ta._sock.sendall(header + body[: len(body) // 2])
+        ta.close()
+        with pytest.raises(TransportClosed, match="mid-frame"):
+            tb.recv_frame(timeout=5.0)
+
+    def test_flipped_byte_fails_the_checksum(self, pair):
+        ta, tb = pair
+        body = bytearray(encode_arrays(np.arange(8.0), 1))
+        header = _HDR.pack(_MAGIC, K_ARRAYS, len(body), zlib.crc32(bytes(body)))
+        body[-1] ^= 0x40  # corrupt one payload byte in transit
+        ta._sock.sendall(header + bytes(body))
+        with pytest.raises(FrameError, match="checksum"):
+            tb.recv_frame(timeout=5.0)
+
+    def test_bad_magic_is_rejected(self, pair):
+        ta, tb = pair
+        ta._sock.sendall(_HDR.pack(0xDEADBEEF, K_OBJ, 0, 0))
+        with pytest.raises(FrameError, match="magic"):
+            tb.recv_frame(timeout=5.0)
+
+    def test_absurd_length_is_rejected_before_allocating(self, pair):
+        ta, tb = pair
+        ta._sock.sendall(_HDR.pack(_MAGIC, K_OBJ, 1 << 50, 0))
+        with pytest.raises(FrameError, match="cap"):
+            tb.recv_frame(timeout=5.0)
+
+    def test_wrong_frame_kind_for_msg(self, pair):
+        ta, tb = pair
+        ta.send_obj("not arrays", timeout=5.0)
+        with pytest.raises(FrameError, match="expected an ARRAYS frame"):
+            tb.recv_msg(timeout=5.0)
+
+    def test_send_after_close_raises_closed(self, pair):
+        ta, _ = pair
+        ta.close()
+        with pytest.raises(TransportClosed, match="closed"):
+            ta.send_obj("x", timeout=1.0)
+
+
+class TestEndpoints:
+    def test_uds_listener_connect_roundtrip(self, rng, tmp_path):
+        lis = Listener(f"uds:{tmp_path}/s")
+        try:
+            dial = connect(lis.address, timeout=5.0)
+            serve = lis.accept(timeout=5.0)
+            arr = rng.normal(size=(4, 4))
+            dial.send_msg(arr, step=2, timeout=5.0)
+            step, out = serve.recv_msg(timeout=5.0)
+            assert step == 2
+            np.testing.assert_array_equal(out, arr)
+            dial.close(); serve.close()
+        finally:
+            lis.close()
+
+    def test_tcp_listener_resolves_ephemeral_port(self, rng):
+        lis = Listener("tcp:127.0.0.1:0")
+        try:
+            assert not lis.address.endswith(":0")
+            dial = connect(lis.address, timeout=5.0)
+            serve = lis.accept(timeout=5.0)
+            serve.send_obj("over tcp", timeout=5.0)
+            assert dial.recv_obj(timeout=5.0) == "over tcp"
+            dial.close(); serve.close()
+        finally:
+            lis.close()
+
+    def test_accept_deadline_is_typed(self, tmp_path):
+        lis = Listener(f"uds:{tmp_path}/s2")
+        try:
+            with pytest.raises(TransportTimeout, match="no connection"):
+                lis.accept(timeout=0.1)
+        finally:
+            lis.close()
+
+    def test_connect_retries_then_reports_attempt_count(self, tmp_path):
+        backoff = Backoff(base=0.01, ceiling=0.02, total=0.2)
+        with pytest.raises(TransportTimeout, match="attempts"):
+            connect(f"uds:{tmp_path}/nobody-home", timeout=0.2, backoff=backoff)
+
+    def test_connect_wins_a_race_with_late_bind(self, tmp_path):
+        """Dialling before the peer binds must succeed within the backoff
+        budget — the all-dial-then-accept bring-up depends on it."""
+        import threading
+
+        path = f"{tmp_path}/late"
+        holder = {}
+
+        def late_bind():
+            import time
+            time.sleep(0.15)
+            holder["lis"] = Listener(f"uds:{path}")
+
+        t = threading.Thread(target=late_bind)
+        t.start()
+        try:
+            dial = connect(f"uds:{path}", timeout=5.0)
+            t.join()
+            serve = holder["lis"].accept(timeout=5.0)
+            dial.send_obj("made it", timeout=5.0)
+            assert serve.recv_obj(timeout=5.0) == "made it"
+            dial.close(); serve.close()
+        finally:
+            t.join()
+            if "lis" in holder:
+                holder["lis"].close()
+
+    def test_bad_address_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            Listener("carrier-pigeon:coop:7")

@@ -28,6 +28,7 @@ from repro.pipeline import (
     AsyncPipelineRuntime,
     PipelineDeadlockError,
     PipelineExecutor,
+    RuntimeWedgedError,
     partition_model,
 )
 from repro.pipeline.executor import param_groups_from_stages
@@ -141,7 +142,7 @@ class TestDeadlockPath:
             rt.train_step(x[:16], y[:16])
         assert rt.pool.wedged
         assert_stats_untouched(rt)
-        with pytest.raises(RuntimeError, match="wedged"):
+        with pytest.raises(RuntimeWedgedError, match="wedged"):
             rt.train_step(x[:16], y[:16])
         t0 = time.perf_counter()
         rt.close()

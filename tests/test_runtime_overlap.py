@@ -39,6 +39,7 @@ from repro.pipeline import (
     AsyncPipelineRuntime,
     PipelineDeadlockError,
     PipelineExecutor,
+    RuntimeWedgedError,
     partition_model,
 )
 from repro.pipeline.executor import param_groups_from_stages
@@ -362,7 +363,7 @@ class TestErrorPathsWithBoundaryPending:
                 stage.params, rt.store.weights(s, rt.store.latest_version)
             ):
                 assert p.data is stored
-        with pytest.raises(RuntimeError, match="wedged"):
+        with pytest.raises(RuntimeWedgedError, match="wedged"):
             rt.train_step(x[:16], y[:16])
         rt.close()
 

@@ -25,6 +25,7 @@ from repro.pipeline import (
     ModelSpec,
     PipelineDeadlockError,
     PipelineExecutor,
+    RuntimeWedgedError,
     make_backend,
     partition_model,
 )
@@ -417,7 +418,7 @@ class TestErrorPaths:
         rt.pool._procs[1].join(timeout=5.0)
         with pytest.raises(PipelineDeadlockError):
             rt.train_step(x[:16], y[:16])
-        with pytest.raises(RuntimeError, match="wedged"):
+        with pytest.raises(RuntimeWedgedError, match="wedged"):
             rt.train_step(x[:16], y[:16])
         t0 = time.perf_counter()
         rt.close()

@@ -153,7 +153,9 @@ class TestTrainerIntegration:
         assert len(res.tracker) == 1
 
     def test_all_runtimes_supported(self, iwslt):
-        assert iwslt.supported_runtimes() == ("simulator", "async", "process")
+        assert iwslt.supported_runtimes() == (
+            "simulator", "async", "process", "socket",
+        )
 
     def test_unknown_runtime_rejected(self, iwslt):
         with pytest.raises(ValueError, match="unknown runtime"):

@@ -45,6 +45,7 @@ import multiprocessing
 import os
 import pickle
 import queue
+import select
 import socket
 import struct
 import tempfile
@@ -312,32 +313,52 @@ class Transport:
         self._sock = sock
         if sock.family == socket.AF_INET:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Deadlines are per-operation select() waits over a non-blocking
+        # socket, never settimeout(): the timeout there is socket-global
+        # state, and this endpoint is explicitly shared between a sender
+        # and a receiver thread (driver reader vs issue(); worker serve
+        # loop vs heartbeat), so one direction's deadline must not leak
+        # into the other's blocking call.
+        sock.setblocking(False)
         self._send_lock = threading.Lock()
         self._closed = False
         self.xfer_seconds = 0.0
 
     # -- raw framing -----------------------------------------------------------
+    def _wait_io(self, read: bool, deadline: float | None, stalled) -> None:
+        """Block until the socket is ready for one recv/send, or the
+        operation's own deadline expires (typed timeout) — no shared
+        timeout state with the opposite direction."""
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout(stalled())
+        try:
+            if read:
+                ready = select.select([self._sock], [], [], remaining)[0]
+            else:
+                ready = select.select([], [self._sock], [], remaining)[1]
+        except (OSError, ValueError) as exc:
+            # close() raced from another thread: the fd is gone (EBADF /
+            # fileno -1), which is a peer-side story for this caller.
+            raise TransportClosed(f"connection lost mid-wait ({exc})") from None
+        if not ready:
+            raise TransportTimeout(stalled())
+
     def _recv_exact(self, n: int, deadline: float | None) -> memoryview:
         buf = bytearray(n)
         view = memoryview(buf)
         got = 0
         while got < n:
-            remaining = None
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TransportTimeout(
-                        f"frame read stalled ({got}/{n} bytes arrived)"
-                    )
             try:
-                # settimeout is inside the typed wrapping too: on a socket
-                # close() raced from another thread it raises EBADF.
-                self._sock.settimeout(remaining)
                 k = self._sock.recv_into(view[got:])
-            except socket.timeout:
-                raise TransportTimeout(
-                    f"frame read stalled ({got}/{n} bytes arrived)"
-                ) from None
+            except (BlockingIOError, InterruptedError):
+                self._wait_io(
+                    True, deadline,
+                    lambda: f"frame read stalled ({got}/{n} bytes arrived)",
+                )
+                continue
             except OSError as exc:
                 raise TransportClosed(f"connection lost mid-read ({exc})") from None
             if k == 0:
@@ -351,18 +372,27 @@ class Transport:
 
     def send_frame(self, kind: int, body: bytes, timeout: float | None = None) -> None:
         header = _HDR.pack(_MAGIC, kind, len(body), zlib.crc32(body) & 0xFFFFFFFF)
+        data = memoryview(header + body)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._send_lock:
             if self._closed:
                 raise TransportClosed("endpoint is closed")
-            try:
-                self._sock.settimeout(timeout)
-                self._sock.sendall(header + body)
-            except socket.timeout:
-                raise TransportTimeout(
-                    f"frame send stalled for {timeout:g}s (peer not draining)"
-                ) from None
-            except OSError as exc:
-                raise TransportClosed(f"connection lost mid-send ({exc})") from None
+            sent = 0
+            while sent < len(data):
+                try:
+                    sent += self._sock.send(data[sent:])
+                except (BlockingIOError, InterruptedError):
+                    self._wait_io(
+                        False, deadline,
+                        lambda: (
+                            f"frame send stalled for {timeout:g}s "
+                            f"(peer not draining)"
+                        ),
+                    )
+                except OSError as exc:
+                    raise TransportClosed(
+                        f"connection lost mid-send ({exc})"
+                    ) from None
 
     def recv_frame(self, timeout: float | None = None) -> tuple[int, memoryview]:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -1008,6 +1038,12 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                 self._procs.append(proc)
             ctls: list[Transport | None] = [None] * k
             wconns: list[Transport | None] = [None] * k
+            # Visible to _teardown_workers from the first accept: if the
+            # handshake dies partway (worker death, timeout, garbage),
+            # close() must reach the connections already accepted, not
+            # just a fully-assembled set.
+            self._ctls = ctls
+            self._weight_conns = wconns
             deadline = time.monotonic() + self._handshake_timeout
             pending = 2 * k
             while pending:
@@ -1025,16 +1061,18 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                             f"{self._handshake_timeout:g}s"
                         ) from None
                     continue
-                tag, w = conn.recv_obj(self._handshake_timeout)
-                if tag == "hello":
-                    ctls[w] = conn
-                elif tag == "weights":
-                    wconns[w] = conn
-                else:
-                    raise FrameError(f"unexpected handshake frame {tag!r}")
+                try:
+                    tag, w = conn.recv_obj(self._handshake_timeout)
+                    if tag == "hello":
+                        ctls[w] = conn
+                    elif tag == "weights":
+                        wconns[w] = conn
+                    else:
+                        raise FrameError(f"unexpected handshake frame {tag!r}")
+                except BaseException:
+                    conn.close()  # not in any slot yet; nobody else can
+                    raise
                 pending -= 1
-            self._ctls = ctls
-            self._weight_conns = wconns
             for w in range(k):
                 listen, dial = _channel_keys(self._cross, w)
                 init = {

@@ -283,6 +283,48 @@ class TestTransport:
         with pytest.raises(TransportClosed, match="closed"):
             ta.send_obj("x", timeout=1.0)
 
+    def test_concurrent_send_and_recv_deadlines_are_independent(self, pair):
+        # The endpoint is explicitly shared between a sender and a
+        # receiver thread (driver reader vs issue(); worker serve loop vs
+        # heartbeat).  Deadlines must be per-operation: a finite send
+        # timeout racing a blocking recv on the same socket must neither
+        # time the recv out spuriously nor let the send inherit the
+        # recv's infinite wait.
+        import threading
+
+        ta, tb = pair
+        errs: list[BaseException] = []
+        got: list[object] = []
+
+        def receiver():
+            try:
+                for _ in range(200):
+                    got.append(tb.recv_obj(None))  # blocking, no deadline
+            except BaseException as exc:  # noqa: BLE001 — asserted below
+                errs.append(exc)
+
+        def sender():
+            try:
+                for i in range(200):
+                    ta.send_obj(("msg", i), timeout=0.05)
+            except BaseException as exc:  # noqa: BLE001 — asserted below
+                errs.append(exc)
+
+        threads = [
+            threading.Thread(target=receiver),
+            threading.Thread(target=sender),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errs
+        assert not any(t.is_alive() for t in threads)
+        assert got == [("msg", i) for i in range(200)]
+        # A finite recv deadline still fires on the shared socket.
+        with pytest.raises(TransportTimeout, match="stalled"):
+            tb.recv_frame(timeout=0.1)
+
 
 class TestEndpoints:
     def test_uds_listener_connect_roundtrip(self, rng, tmp_path):

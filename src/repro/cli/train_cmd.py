@@ -70,6 +70,22 @@ def _add_arguments(parser: argparse.ArgumentParser) -> None:
         "micro-profiled balanced partition timed on a sample batch "
         "(see 'repro info --workload ... --stages N' for the table)",
     )
+    parser.add_argument(
+        "--autosave-every", type=int, default=None, metavar="N",
+        help="crash-safe checkpointing: every N optimizer steps, write a "
+        "rolling snapshot (atomic rename + per-array checksums + 'latest' "
+        "pointer) into --autosave-dir; a killed run restarted with "
+        "--resume continues bit-exactly from the last snapshot",
+    )
+    parser.add_argument(
+        "--autosave-dir", default=None, metavar="DIR",
+        help="snapshot directory for --autosave-every",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load the newest snapshot from --autosave-dir before training "
+        "(no-op if the directory is empty)",
+    )
     parser.add_argument("--plot", action="store_true", help="ASCII learning curve")
 
 
@@ -117,6 +133,12 @@ def _run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc)
         return 2
+    if (args.autosave_every is not None) != (args.autosave_dir is not None):
+        print("--autosave-every and --autosave-dir must be given together")
+        return 2
+    if args.resume and args.autosave_dir is None:
+        print("--resume requires --autosave-every/--autosave-dir")
+        return 2
 
     desc = cfg.describe() if cfg else "synchronous"
     print(
@@ -138,6 +160,9 @@ def _run(args: argparse.Namespace) -> int:
         granularity=args.granularity,
         partition=args.partition,
         replicas=args.replicas,
+        autosave_every=args.autosave_every,
+        autosave_dir=args.autosave_dir,
+        resume=args.resume,
     )
     metric = result.history.series("eval_metric")
     losses = result.history.series("train_loss")

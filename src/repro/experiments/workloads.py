@@ -125,6 +125,8 @@ class _BaseWorkload:
         granularity: str = "layer",
         partition: str = "even",
         replicas: int = 1,
+        autosave_every: int | None = None,
+        autosave_dir: str | None = None,
     ) -> WorkloadBundle:
         raise NotImplementedError
 
@@ -142,13 +144,17 @@ class _BaseWorkload:
         granularity: str = "layer",
         partition: str = "even",
         replicas: int = 1,
+        autosave_every: int | None = None,
+        autosave_dir: str | None = None,
+        resume: bool = False,
     ) -> TrainResult:
         b = self.bundle(
             method, pipemare, num_stages, seed, recompute_segment, runtime,
             overlap_boundary, granularity, partition, replicas,
+            autosave_every=autosave_every, autosave_dir=autosave_dir,
         )
         try:
-            result = b.trainer.run(epochs, eval_every=eval_every)
+            result = b.trainer.run(epochs, eval_every=eval_every, resume=resume)
         finally:
             if hasattr(b.executor, "close"):
                 b.executor.close()
@@ -248,7 +254,8 @@ class ImageWorkload(_BaseWorkload):
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
                overlap_boundary=None, granularity="layer",
-               partition="even", replicas=1) -> WorkloadBundle:
+               partition="even", replicas=1,
+               autosave_every=None, autosave_dir=None) -> WorkloadBundle:
         check_replica_count(replicas, model_name=f"{self.name} ResNet")
         model = self.build_model(seed)
         loss = CrossEntropyLoss()
@@ -277,7 +284,10 @@ class ImageWorkload(_BaseWorkload):
         def eval_fn():
             return evaluate_classifier(model, self.data.test_x, self.data.test_y)
 
-        trainer = PipelineTrainer(executor, batch_fn, eval_fn, seed=seed)
+        trainer = PipelineTrainer(
+            executor, batch_fn, eval_fn, seed=seed,
+            autosave_every=autosave_every, autosave_dir=autosave_dir,
+        )
         return WorkloadBundle(model, executor, trainer, len(stages))
 
 
@@ -407,7 +417,8 @@ class TranslationWorkload(_BaseWorkload):
     def bundle(self, method=Method.PIPEMARE, pipemare=None, num_stages=None,
                seed=0, recompute_segment=None, runtime="simulator",
                overlap_boundary=None, granularity="layer",
-               partition="even", replicas=1) -> WorkloadBundle:
+               partition="even", replicas=1,
+               autosave_every=None, autosave_dir=None) -> WorkloadBundle:
         if runtime not in self.supported_runtimes():
             raise ValueError(
                 f"unknown runtime {runtime!r} for translation workloads "
@@ -459,7 +470,10 @@ class TranslationWorkload(_BaseWorkload):
         def eval_fn():
             return evaluate_translation(model, task, self.eval_pairs)
 
-        trainer = PipelineTrainer(executor, batch_fn, eval_fn, seed=seed)
+        trainer = PipelineTrainer(
+            executor, batch_fn, eval_fn, seed=seed,
+            autosave_every=autosave_every, autosave_dir=autosave_dir,
+        )
         return WorkloadBundle(model, executor, trainer, len(stages))
 
 

@@ -9,7 +9,9 @@ equivalence tests).
 """
 
 from repro.io.checkpoint import (
+    CheckpointCorruptError,
     CheckpointError,
+    CheckpointManager,
     load_checkpoint,
     load_model,
     save_checkpoint,
@@ -17,7 +19,9 @@ from repro.io.checkpoint import (
 )
 
 __all__ = [
+    "CheckpointCorruptError",
     "CheckpointError",
+    "CheckpointManager",
     "load_checkpoint",
     "load_model",
     "save_checkpoint",

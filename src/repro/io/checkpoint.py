@@ -13,12 +13,27 @@ The nested ``state_dict`` structures live on the classes themselves
 (:meth:`Module.state_dict`, :meth:`Optimizer.state_dict`,
 :meth:`PipelineExecutor.state_dict`); this module only flattens them to
 npz entries and back.
+
+Crash safety
+------------
+Writes are atomic: the npz is assembled in a temp file in the target
+directory, fsync'd, and ``os.replace``'d into place — a driver killed
+mid-save leaves either the old file or the new one, never a torn half.
+``meta`` carries a crc32 per array blob, verified on load; any mismatch,
+truncation, or unreadable zip raises :class:`CheckpointCorruptError` (a
+:class:`CheckpointError`) instead of silently restoring garbage.
+:class:`CheckpointManager` adds a rolling directory of snapshots with a
+``latest`` pointer and falls back to the previous good snapshot when the
+newest is corrupt.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import zipfile
+import zlib
 from typing import Any
 
 import numpy as np
@@ -34,20 +49,107 @@ class CheckpointError(RuntimeError):
     """A checkpoint file is missing, malformed, or incompatible."""
 
 
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but its bytes are damaged — unreadable
+    zip container, truncated entry, or a crc32 mismatch on an array blob.
+    Distinct from plain :class:`CheckpointError` so callers (e.g.
+    :meth:`CheckpointManager.load_latest`) can fall back to an older
+    snapshot on corruption but still surface incompatibility loudly."""
+
+
+# -- crash-safe primitives -----------------------------------------------------
+
+def _checksums(arrays: dict[str, np.ndarray]) -> dict[str, int]:
+    """crc32 per array blob, over the C-contiguous bytes (layout-independent:
+    the checksum covers values, the npz entry preserves layout)."""
+    return {
+        key: zlib.crc32(np.ascontiguousarray(arr).tobytes())
+        for key, arr in arrays.items()
+    }
+
+
+def _atomic_savez(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> str:
+    """``np.savez`` into a temp file in the target directory, fsync, then
+    ``os.replace`` over ``path``.  Mirrors np.savez's string-path behavior
+    of appending ``.npz``; returns the final path."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _open_npz(path: str | os.PathLike):
+    """``np.load`` with damage mapped to :class:`CheckpointCorruptError`
+    (missing file stays a plain :class:`CheckpointError`)."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"{path}: no such checkpoint")
+    try:
+        return np.load(path, allow_pickle=False)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        # BadZipFile is a plain Exception (not OSError); a torn npz shows
+        # up as any of these depending on where the damage landed.
+        raise CheckpointCorruptError(f"{path}: unreadable npz: {exc}") from exc
+
+
+def _verify_checksums(data, meta: dict, path) -> None:
+    sums = meta.get("checksums")
+    if sums is None:
+        return  # pre-crc32 checkpoint (same FORMAT_VERSION): still loadable
+    for key, expect in sums.items():
+        if key not in data.files:
+            raise CheckpointCorruptError(
+                f"{path}: entry {key!r} listed in checksums but missing"
+            )
+        try:
+            arr = data[key]
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+            raise CheckpointCorruptError(
+                f"{path}: entry {key!r} unreadable: {exc}"
+            ) from exc
+        got = zlib.crc32(np.ascontiguousarray(arr).tobytes())
+        if got != expect:
+            raise CheckpointCorruptError(
+                f"{path}: crc32 mismatch on {key!r} "
+                f"(stored {expect:#010x}, computed {got:#010x})"
+            )
+
+
 # -- model-only convenience ----------------------------------------------------
 
 def save_model(path: str | os.PathLike, model: Module) -> None:
     """Write just the model weights (``model/<name>`` entries)."""
     arrays = {f"model/{name}": arr for name, arr in model.state_dict().items()}
     arrays["meta"] = np.array(
-        json.dumps({"format_version": FORMAT_VERSION, "kind": "model"})
+        json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "kind": "model",
+                "checksums": _checksums(arrays),
+            }
+        )
     )
-    np.savez(path, **arrays)
+    _atomic_savez(path, arrays)
 
 
 def load_model(path: str | os.PathLike, model: Module) -> None:
     """Load weights saved by :func:`save_model` or :func:`save_checkpoint`."""
-    with np.load(path, allow_pickle=False) as data:
+    with _open_npz(path) as data:
+        meta = _read_meta(data)
+        _verify_checksums(data, meta, path)
         state = {
             key[len("model/"):]: data[key]
             for key in data.files
@@ -115,14 +217,18 @@ def save_checkpoint(
                 for pj, v in enumerate(stage):
                     arrays[f"exec/corrector/s{si}/p{pj}"] = v
 
+    meta["checksums"] = _checksums(arrays)
     arrays["meta"] = np.array(json.dumps(meta))
-    np.savez(path, **arrays)
+    _atomic_savez(path, arrays)
 
 
 def _read_meta(data) -> dict:
     if "meta" not in data.files:
         raise CheckpointError("file has no 'meta' entry — not a repro checkpoint")
-    meta = json.loads(str(data["meta"]))
+    try:
+        meta = json.loads(str(data["meta"]))
+    except (OSError, ValueError, EOFError) as exc:
+        raise CheckpointCorruptError(f"damaged 'meta' entry: {exc}") from exc
     if meta.get("format_version") != FORMAT_VERSION:
         raise CheckpointError(
             f"unsupported checkpoint format {meta.get('format_version')!r} "
@@ -148,8 +254,9 @@ def load_checkpoint(
     this function restores their mutable state.  Returns the ``extra`` dict
     passed at save time.
     """
-    with np.load(path, allow_pickle=False) as data:
+    with _open_npz(path) as data:
         meta = _read_meta(data)
+        _verify_checksums(data, meta, path)
         if meta.get("kind") != "checkpoint":
             raise CheckpointError(
                 f"{path}: kind={meta.get('kind')!r} is not a training checkpoint"
@@ -223,3 +330,137 @@ def load_checkpoint(
                 raise CheckpointError(f"{path}: incompatible executor: {exc}") from exc
 
     return meta["extra"]
+
+
+# -- rolling snapshot directory ------------------------------------------------
+
+class CheckpointManager:
+    """A directory of rolling snapshots with a crash-safe ``latest`` pointer.
+
+    ``save`` writes ``ckpt-<n>.npz`` atomically, then atomically updates a
+    ``latest`` pointer file, then prunes beyond ``keep`` snapshots.  The
+    ordering makes every crash window safe: dying before the pointer
+    update leaves the pointer on the previous good snapshot; dying after
+    leaves an extra file that the next save prunes.
+
+    ``load_latest`` follows the pointer first, and on
+    :class:`CheckpointCorruptError` walks the remaining snapshots newest
+    to oldest — the autosave cadence guarantees at most one torn file, so
+    the previous snapshot is good unless the directory was damaged
+    externally.
+    """
+
+    POINTER = "latest"
+    PREFIX = "ckpt-"
+
+    def __init__(self, directory: str | os.PathLike, keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = os.fspath(directory)
+        self.keep = keep
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _snapshots(self) -> list[str]:
+        """Snapshot filenames, oldest first (by sequence number)."""
+        names = [
+            n
+            for n in os.listdir(self.directory)
+            if n.startswith(self.PREFIX) and n.endswith(".npz")
+        ]
+        return sorted(names, key=self._seq)
+
+    @staticmethod
+    def _seq(name: str) -> int:
+        try:
+            return int(name[len(CheckpointManager.PREFIX):-len(".npz")])
+        except ValueError:
+            return -1
+
+    def latest_path(self) -> str | None:
+        """The pointer target if it exists on disk, else the newest
+        snapshot, else None."""
+        pointer = os.path.join(self.directory, self.POINTER)
+        try:
+            with open(pointer, "r", encoding="utf-8") as fh:
+                name = fh.read().strip()
+            if name and os.path.exists(os.path.join(self.directory, name)):
+                return os.path.join(self.directory, name)
+        except OSError:
+            pass
+        names = self._snapshots()
+        return os.path.join(self.directory, names[-1]) if names else None
+
+    # -- save / load -----------------------------------------------------------
+
+    def save(
+        self,
+        model: Module,
+        optimizer: Optimizer | None = None,
+        executor: PipelineExecutor | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> str:
+        names = self._snapshots()
+        seq = self._seq(names[-1]) + 1 if names else 0
+        name = f"{self.PREFIX}{seq:06d}.npz"
+        path = os.path.join(self.directory, name)
+        save_checkpoint(path, model, optimizer, executor, extra)
+
+        # Pointer update is its own atomic rename, *after* the data file
+        # is durable — a crash between the two leaves the old pointer.
+        pointer = os.path.join(self.directory, self.POINTER)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(name)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, pointer)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+        for old in self._snapshots()[: -self.keep]:
+            try:
+                os.unlink(os.path.join(self.directory, old))
+            except OSError:
+                pass
+        return path
+
+    def load_latest(
+        self,
+        model: Module,
+        optimizer: Optimizer | None = None,
+        executor: PipelineExecutor | None = None,
+    ) -> dict[str, Any]:
+        """Restore the newest loadable snapshot; returns its ``extra``.
+
+        Raises :class:`CheckpointError` if the directory holds no
+        snapshots, :class:`CheckpointCorruptError` if every snapshot is
+        damaged.  Incompatibility (wrong shapes, missing optimizer state)
+        is *not* fallback-worthy and re-raises immediately.
+        """
+        candidates: list[str] = []
+        pointed = self.latest_path()
+        if pointed is not None:
+            candidates.append(pointed)
+        for name in reversed(self._snapshots()):
+            path = os.path.join(self.directory, name)
+            if path not in candidates:
+                candidates.append(path)
+        if not candidates:
+            raise CheckpointError(f"{self.directory}: no snapshots to load")
+        last_corrupt: CheckpointCorruptError | None = None
+        for path in candidates:
+            try:
+                return load_checkpoint(path, model, optimizer, executor)
+            except CheckpointCorruptError as exc:
+                last_corrupt = exc
+        raise CheckpointCorruptError(
+            f"{self.directory}: every snapshot is corrupt "
+            f"(last error: {last_corrupt})"
+        )

@@ -45,6 +45,7 @@ import multiprocessing
 import os
 import pickle
 import queue
+import random
 import select
 import socket
 import struct
@@ -503,6 +504,19 @@ class _SocketChannels:
         """Sever one channel (fault injection / tests)."""
         self._conns[(kind, edge)].close()
 
+    def drop(self, key: tuple[str, int]) -> None:
+        """Remove and close one channel — its peer is being replaced, so
+        the dead connection must not linger in the set (a later ``recv``
+        on it would surface a confusing TransportClosed instead of using
+        the re-dialed socket)."""
+        conn = self._conns.pop(key, None)
+        if conn is not None:
+            conn.close()
+
+    def adopt(self, key: tuple[str, int], conn: Transport) -> None:
+        """Install the re-dialed connection for a dropped channel."""
+        self._conns[key] = conn
+
     def close(self) -> None:
         for conn in self._conns.values():
             conn.close()
@@ -719,7 +733,14 @@ def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
 
     handshake = opts["handshake_timeout"]
     timeout = opts["deadlock_timeout"]
-    backoff = Backoff(total=opts["connect_timeout"])
+    # Jitter desynchronizes the retry schedules of workers (re)connecting
+    # after the same event — a whole generation dialing the driver, or every
+    # mesh neighbor re-dialing one replacement — so attempts don't stampede
+    # the listener backlog in lockstep.  Seeded by worker index: each worker
+    # draws a distinct but reproducible schedule.
+    backoff = Backoff(
+        total=opts["connect_timeout"], jitter=0.25, rng=random.Random(w)
+    )
     try:
         ctl = connect(ctl_address, opts["connect_timeout"], backoff)
         ctl.send_obj(("hello", w), handshake)
@@ -833,6 +854,64 @@ def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
                 # the restored timeline.
                 mirror.await_reset(msg[1], timeout)
                 continue
+            if msg[0] == "fence":
+                # Quiesce ping after a per-worker replacement.  FIFO on the
+                # control channel means reaching this message proves every
+                # step command queued before it has fully run (or aborted)
+                # — this worker can no longer be blocked on a stale-tagged
+                # recv that would swallow the retried step's payloads.
+                ctl.send_obj(("fenced", w, msg[1]), timeout)
+                continue
+            if msg[0] == "rewire":
+                # A mesh neighbor was replaced inside this generation:
+                # drop the channels that died with it, rebind fresh
+                # listeners for the keys this worker owns (the receiver
+                # listens, same role assignment as bring-up), report the
+                # new addresses, then dial-then-accept against the merged
+                # map exactly like the original handshake.  Every other
+                # connection — control, weights, channels to unaffected
+                # neighbors — survives untouched.  Failure is fatal for
+                # this worker; the driver falls back to a generation
+                # respawn.
+                spec = msg[1]
+                new_listeners: dict[tuple[str, int], Listener] = {}
+                try:
+                    for key in spec["close"]:
+                        chans.drop(key)
+                    for key, address in spec["listen"].items():
+                        new_listeners[key] = Listener(address, backlog=2)
+                    ctl.send_obj(
+                        (
+                            "rewire_bound",
+                            w,
+                            {key: l.address for key, l in new_listeners.items()},
+                        ),
+                        timeout,
+                    )
+                    tag, addresses = ctl.recv_obj(handshake)
+                    if tag != "rewire_addresses":
+                        raise FrameError(
+                            f"expected rewire_addresses, got {tag!r}"
+                        )
+                    for key in spec["dial"]:
+                        chans.adopt(
+                            key,
+                            connect(
+                                addresses[key], opts["connect_timeout"], backoff
+                            ),
+                        )
+                    for key, listener in new_listeners.items():
+                        chans.adopt(key, listener.accept(handshake))
+                except BaseException as exc:  # noqa: BLE001 — reported
+                    try:
+                        report(0, "init_error", payload=rt._picklable_exc(exc))
+                    except TransportError:
+                        pass
+                    break
+                finally:
+                    for listener in new_listeners.values():
+                        listener.close()
+                continue
             step_seq, t, sync, scales, ext, ys = msg[1]
             resolver.t = t
             chans.step = step_seq
@@ -943,10 +1022,39 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
         connect_timeout: float = 10.0,
         handshake_timeout: float = 120.0,
         max_restarts: int = 0,
+        max_worker_restarts: int = 0,
     ):
         super().__init__(graph.num_workers, deadlock_timeout, done_grace)
         if family not in ("uds", "tcp"):
             raise ValueError(f"family must be 'uds' or 'tcp', got {family!r}")
+        # Fail loudly on a misconfigured net_options dict: a negative
+        # timeout or a heartbeat_timeout at/below the beat interval would
+        # not error anywhere — it would just mark every healthy worker
+        # LOST on the first sweep, which reads like a cluster outage.
+        for key, value in (
+            ("heartbeat_interval", heartbeat_interval),
+            ("connect_timeout", connect_timeout),
+            ("handshake_timeout", handshake_timeout),
+        ):
+            if value <= 0:
+                raise ValueError(
+                    f"net_options[{key!r}] must be positive, got {value!r}"
+                )
+        if heartbeat_timeout is not None and heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                f"net_options['heartbeat_timeout'] ({heartbeat_timeout!r}) "
+                f"must exceed net_options['heartbeat_interval'] "
+                f"({heartbeat_interval!r}); a timeout at or below the beat "
+                f"interval marks every healthy worker LOST"
+            )
+        for key, value in (
+            ("max_restarts", max_restarts),
+            ("max_worker_restarts", max_worker_restarts),
+        ):
+            if value < 0:
+                raise ValueError(
+                    f"net_options[{key!r}] must be >= 0, got {value!r}"
+                )
         self.graph = graph
         self.driver_workers = graph.workers
         self.plan = plan
@@ -970,7 +1078,17 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
         self._send_timeout = deadlock_timeout + done_grace
         self.max_restarts = max_restarts
         self._restarts_left = max_restarts
+        self.max_worker_restarts = max_worker_restarts
+        self._worker_restarts_left = max_worker_restarts
         self._generation = 0
+        self._rewires = 0  # per-worker replacements (names fresh uds paths)
+        # Survivors' ("rewire_bound", w, addrs) replies arrive on control
+        # connections owned by reader threads; they are routed here for the
+        # driver thread running the replacement handshake.
+        self._rewire_q: queue.SimpleQueue = queue.SimpleQueue()
+        # ("fenced", w, token) replies to the post-replacement quiesce ping
+        # (see _await_quiesce), routed the same way.
+        self._fence_q: queue.SimpleQueue = queue.SimpleQueue()
         # Steps issued at or before this sequence died with a lost worker:
         # their collects fail fast with WorkerLostError instead of waiting
         # out the deadlock timeout (the runtime drains them on recovery).
@@ -1131,10 +1249,25 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
             try:
                 msg = conn.recv_obj(None)
             except TransportError as exc:
-                registry.mark_lost(w, f"worker {w} connection lost ({exc})")
+                # Only the connection currently registered for this slot may
+                # declare it lost: during a per-worker replacement the old
+                # conn is closed and its slot re-pointed at the new one, so
+                # a straggling reader observing the *old* socket die must
+                # not poison the replacement's record.
+                ctls = self._ctls
+                if w < len(ctls) and ctls[w] is conn:
+                    registry.mark_lost(w, f"worker {w} connection lost ({exc})")
                 return
             registry.beat(w)
             if msg[0] == "hb":
+                continue
+            if msg[0] == "rewire_bound":
+                # Survivor's reply in the replacement handshake; the driver
+                # thread inside _replace_worker is waiting on it.
+                self._rewire_q.put(msg)
+                continue
+            if msg[0] == "fenced":
+                self._fence_q.put(msg)
                 continue
             if msg[0] == "done":
                 report = msg[1]
@@ -1311,11 +1444,16 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                     f"pipeline worker {w} is gone ({exc})", worker=w
                 ) from None
 
-    def _publish_window(self) -> None:
+    def _publish_window(self, workers=None) -> None:
+        """Publish every resolvable resident version — to all workers on
+        bring-up/respawn, or (``workers=...``) to just a replacement whose
+        fresh mirror starts empty while survivors keep their windows."""
         plan = self.plan
         if plan.corrector is not None:
             self._broadcast_weights(
-                K_VELOCITY, encode_arrays(_flatten(plan.corrector.velocity), -1)
+                K_VELOCITY,
+                encode_arrays(_flatten(plan.corrector.velocity), -1),
+                workers=workers,
             )
         store = plan.store
         resident = set(store.resident_versions(0))
@@ -1326,11 +1464,12 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                     _flatten([store.weights(s, v) for s in range(store.num_stages)]),
                     v,
                 ),
+                workers=workers,
             )
 
-    def _broadcast_weights(self, kind: int, body: bytes) -> None:
+    def _broadcast_weights(self, kind: int, body: bytes, workers=None) -> None:
         for w, conn in enumerate(self._weight_conns):
-            if conn is None:
+            if conn is None or (workers is not None and w not in workers):
                 continue
             try:
                 conn.send_frame(kind, body, self._send_timeout)
@@ -1342,13 +1481,7 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                 ) from None
 
     # -- loss handling ---------------------------------------------------------
-    def _handle_loss(self) -> None:
-        """A worker is LOST.  Invalidate everything issued before now, then
-        either respawn the whole worker set (restart budget permitting) or
-        wedge.  Respawn replaces connections, processes, registry and the
-        remote weight windows wholesale — the channel mesh is pairwise, so
-        partial reconnection of one worker is not a thing."""
-        self._dead_before = self._seq
+    def _drain_residue(self) -> None:
         self._buffered.clear()
         self._early_losses.clear()
         while True:
@@ -1356,6 +1489,50 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                 self._done.get_nowait()
             except queue.Empty:
                 break
+
+    def _handle_loss(self) -> None:
+        """A worker is LOST.  Invalidate everything issued before now, then
+        recover along the cheapest path that still has budget:
+
+        1. *Per-worker replacement* (``max_worker_restarts``): exactly one
+           worker is lost — respawn just that slot inside the current
+           generation.  Survivors keep their processes, control/weight
+           connections and mirror windows; only the channels adjacent to
+           the dead worker are re-dialed (see :meth:`_replace_worker`).
+        2. *Generation respawn* (``max_restarts``): connections,
+           processes, registry and remote weight windows are replaced
+           wholesale — the fallback when several workers died at once or
+           a replacement handshake itself failed.
+        3. *Wedge*: no budget left; every further step raises.
+
+        Either recovery leaves the failed minibatch for the caller to
+        retry (collects for steps at or before ``_dead_before`` fail fast
+        with :class:`WorkerLostError`)."""
+        self._dead_before = self._seq
+        self._drain_residue()
+        lost = [
+            w
+            for w, s in enumerate(self.registry.states())
+            if s is TaskState.LOST
+        ]
+        if len(lost) == 1 and self._worker_restarts_left > 0:
+            self._worker_restarts_left -= 1
+            try:
+                self._replace_worker(lost[0])
+            except BaseException:
+                # The replacement handshake failed (slot or a survivor went
+                # down mid-rewire, or it timed out).  Record the outcome and
+                # fall through to the blunt recovery below.
+                try:
+                    self.registry.transition(
+                        lost[0], TaskState.LOST, "replacement handshake failed"
+                    )
+                except RuntimeError:
+                    pass  # already LOST (e.g. a survivor died instead)
+                self._drain_residue()
+            else:
+                self.wedged = False
+                return
         if self._restarts_left > 0:
             self._restarts_left -= 1
             self._teardown_workers()
@@ -1367,6 +1544,285 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
             self.wedged = False
         else:
             self.wedged = True
+
+    def _replace_worker(self, w: int) -> None:
+        """Respawn slot ``w`` inside the current generation.
+
+        Protocol (driver thread; survivors answer from their serve loops,
+        so a survivor still aborting the failed step joins as soon as it
+        has reported it):
+
+        1. retire the old slot: null the conn slots (so the straggling
+           reader cannot poison the new record), close them, reap the
+           process, move the registry LOST → REPLACING;
+        2. bootstrap the replacement exactly like bring-up — fresh
+           listener, hello/weights dial-back, init with the driver's
+           current persistent state and *fresh* channel addresses;
+        3. tell every mesh neighbor to ``rewire``: drop the channels that
+           died with ``w``, rebind fresh listeners for the keys it owns,
+           reply ``rewire_bound`` (routed here via ``_rewire_q``);
+        4. merge the replacement's ``bound`` with the survivors' replies
+           and broadcast the address map to all affected workers — every
+           listener is bound before anyone dials, the same ordering that
+           makes bring-up deadlock-free;
+        5. await the replacement's ``ready``, publish the resolvable
+           weight window to *its* mirror only, reseed survivors'
+           persistent state, move the registry REPLACING → READY.
+
+        Any failure raises; the caller falls back to a generation respawn
+        (or wedges)."""
+        registry = self.registry
+        old_ctl, old_wconn = self._ctls[w], self._weight_conns[w]
+        self._ctls[w] = None
+        self._weight_conns[w] = None
+        for conn in (old_ctl, old_wconn):
+            if conn is not None:
+                conn.close()
+        old_proc = self._procs[w]
+        old_proc.join(timeout=2.0)
+        if old_proc.is_alive():
+            old_proc.terminate()
+            old_proc.join(timeout=2.0)
+        registry.transition(w, TaskState.REPLACING)
+        for q in (self._rewire_q, self._fence_q):
+            while True:  # residue from an earlier failed attempt
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    break
+        self._rewires += 1
+        r = self._rewires
+        opts = {
+            "connect_timeout": self._connect_timeout,
+            "handshake_timeout": self._handshake_timeout,
+            "heartbeat_interval": self._heartbeat_interval,
+            "deadlock_timeout": self.deadlock_timeout,
+        }
+        ctx = multiprocessing.get_context(
+            self._start_method or _runtime._default_start_method()
+        )
+        bootstrap = Listener(self._address(f"ctl_r{r}"), backlog=2)
+        try:
+            proc = ctx.Process(
+                target=_socket_worker_main,
+                args=(w, bootstrap.address, opts),
+                name=f"pipe-sock-r{r}-{w}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs[w] = proc
+            deadline = time.monotonic() + self._handshake_timeout
+            pending = 2
+            while pending:
+                try:
+                    conn = bootstrap.accept(0.2)
+                except TransportTimeout:
+                    if not proc.is_alive() and proc.exitcode != 0:
+                        raise WorkerLostError(
+                            f"replacement for worker {w} died on startup "
+                            f"(exit code {proc.exitcode})",
+                            worker=w,
+                        ) from None
+                    if time.monotonic() > deadline:
+                        raise TransportTimeout(
+                            f"replacement for worker {w} did not dial back "
+                            f"within {self._handshake_timeout:g}s"
+                        ) from None
+                    continue
+                try:
+                    tag, ww = conn.recv_obj(self._handshake_timeout)
+                    if tag == "hello" and ww == w:
+                        self._ctls[w] = conn
+                    elif tag == "weights" and ww == w:
+                        self._weight_conns[w] = conn
+                    else:
+                        raise FrameError(
+                            f"unexpected handshake frame {tag!r} from "
+                            f"replacement worker {ww}"
+                        )
+                except BaseException:
+                    conn.close()
+                    raise
+                pending -= 1
+        finally:
+            bootstrap.close()
+
+        k = self.num_workers
+        ctl = self._ctls[w]
+        listen, dial = _channel_keys(self._cross, w)
+        init = {
+            "k": k,
+            "num_microbatches": self._num_microbatches,
+            "stage_shapes": self._stage_shapes,
+            "stage_names": [list(s.names) for s in self.stages],
+            "edges": self._edges,
+            "resolver_spec": self.plan.resolver_spec(),
+            "model_wire": self._model_wire,
+            "granularity": self._granularity,
+            "max_workers": self._max_workers,
+            "loss_pickle": self._loss_pickle if w == k - 1 else b"",
+            "listen": {
+                key: self._address(f"cr{r}_{key[0]}{key[1]}") for key in listen
+            },
+            "dial": dial,
+            "pstate": (
+                self.driver_workers[w].persistent_state()
+                if self.driver_workers[w].has_persistent_state()
+                else None
+            ),
+        }
+        ctl.send_obj(("init", init), self._handshake_timeout)
+
+        # Survivor rewires: each neighbor's spec covers exactly the channel
+        # keys on edges it shares with w (every such key has one listener —
+        # the receiver — so one fresh-address namespace covers the lot).
+        adjacent = [(i, s, d) for (i, s, d) in self._cross if w in (s, d)]
+        neighbors: dict[int, dict] = {}
+        for u in range(k):
+            if u == w:
+                continue
+            mine = [(i, s, d) for (i, s, d) in adjacent if u in (s, d)]
+            if not mine:
+                continue
+            u_listen, u_dial = _channel_keys(mine, u)
+            neighbors[u] = {
+                "close": sorted(u_listen + u_dial),
+                "listen": {
+                    key: self._address(f"cr{r}_{key[0]}{key[1]}")
+                    for key in u_listen
+                },
+                "dial": u_dial,
+            }
+        for u, spec in neighbors.items():
+            self._ctls[u].send_obj(("rewire", spec), self._send_timeout)
+
+        # Merge bound replies.  The replacement's arrives on its ctl (no
+        # reader thread yet); survivors' are routed via _rewire_q — and a
+        # survivor blocked mid-aborted-step only answers after that step's
+        # deadline, so the wait window covers step deadline + handshake.
+        addresses: dict[tuple[str, int], str] = {}
+        msg = ctl.recv_obj(
+            self.deadlock_timeout + self.done_grace + self._handshake_timeout
+        )
+        if msg[0] == "done" and msg[1][2] == "init_error":
+            raise msg[1][6]
+        if msg[0] != "bound":
+            raise FrameError(
+                f"expected bound from replacement worker {w}, got {msg[0]!r}"
+            )
+        addresses.update(msg[2])
+        deadline = time.monotonic() + (
+            self.deadlock_timeout + self.done_grace + self._handshake_timeout
+        )
+        got = 0
+        while got < len(neighbors):
+            try:
+                msg = self._rewire_q.get(timeout=0.2)
+            except queue.Empty:
+                dead = self._proc_failure()
+                if dead is not None:
+                    raise WorkerLostError(dead, worker=self._lost_worker) from None
+                if not self._procs[w].is_alive() and self._procs[w].exitcode != 0:
+                    raise WorkerLostError(
+                        f"replacement for worker {w} died mid-handshake "
+                        f"(exit code {self._procs[w].exitcode})",
+                        worker=w,
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise TransportTimeout(
+                        "survivors did not rebind their channels in time"
+                    ) from None
+                continue
+            addresses.update(msg[2])
+            got += 1
+
+        ctl.send_obj(("addresses", addresses), self._handshake_timeout)
+        for u in neighbors:
+            self._ctls[u].send_obj(("rewire_addresses", addresses), self._send_timeout)
+
+        threading.Thread(
+            target=self._reader,
+            args=(w, ctl, registry),
+            name=f"pipe-sock-reader-r{r}-{w}",
+            daemon=True,
+        ).start()
+        deadline = time.monotonic() + (
+            self.deadlock_timeout + self.done_grace + self._handshake_timeout
+        )
+        while True:
+            try:
+                ww, _, kind, _, _, _, payload = self._done.get(timeout=0.2)
+            except queue.Empty:
+                dead = self._proc_failure()
+                if dead is not None:
+                    raise WorkerLostError(dead, worker=self._lost_worker) from None
+                if time.monotonic() > deadline:
+                    raise TransportTimeout(
+                        f"replacement for worker {w} never reported ready"
+                    ) from None
+                continue
+            if kind == "init_error":
+                raise payload
+            if kind == "ready" and ww == w:
+                break
+            # anything else is residue from the aborted step — discard
+
+        # The fresh mirror starts empty; survivors keep their windows, so
+        # publish resolvable versions to the replacement alone.  Reseed
+        # survivors' persistent state from the driver copies (which hold
+        # only collected-step state) so the retried minibatch replays the
+        # exact trajectory, matching generation-respawn semantics.
+        self._publish_window(workers=(w,))
+        for u in neighbors:
+            compute = self.driver_workers[u]
+            if compute.has_persistent_state():
+                self._ctls[u].send_obj(
+                    ("pstate", compute.persistent_state()), self._send_timeout
+                )
+        registry.transition(w, TaskState.READY)
+        self._await_quiesce(r)
+
+    def _await_quiesce(self, token: int) -> None:
+        """Fence every worker's serve loop before the caller may retry.
+
+        The rewire handshake only synchronizes the dead worker's mesh
+        *neighbors*; a survivor elsewhere in the pipeline can still be
+        blocked inside an aborted step — or, with the overlapped boundary,
+        still hold a queued step command issued before the loss.  Such a
+        straggler waits on channel recvs for a *stale* step tag, and the
+        tag-discard rule would make it consume and drop the retried step's
+        payloads, starving the whole pipeline.  (Generation respawn never
+        faces this: teardown kills every straggler.)
+
+        A ``fence`` ping rides the FIFO control channel behind everything
+        already queued, so the ``fenced`` reply proves the worker is back
+        in its serve loop with no step commands outstanding.  Each queued
+        zombie step can burn a full deadlock window before aborting, so
+        the deadline scales with the in-flight count."""
+        for conn in self._ctls:
+            conn.send_obj(("fence", token), self._send_timeout)
+        waiting = set(range(self.num_workers))
+        deadline = time.monotonic() + (
+            self.deadlock_timeout * (len(self._issued) + 1)
+            + self.done_grace
+            + self._handshake_timeout
+        )
+        while waiting:
+            try:
+                _, ww, tok = self._fence_q.get(timeout=0.2)
+            except queue.Empty:
+                dead = self._proc_failure()
+                if dead is not None:
+                    raise WorkerLostError(dead, worker=self._lost_worker) from None
+                if time.monotonic() > deadline:
+                    raise TransportTimeout(
+                        f"workers {sorted(waiting)} did not quiesce after a "
+                        f"replacement"
+                    ) from None
+                continue
+            if tok == token:
+                waiting.discard(ww)
+        self._drain_residue()
 
     def _teardown_workers(self) -> None:
         for conn in self._ctls:

@@ -298,6 +298,18 @@ class StepPlan(WeightResolver):
         :meth:`finish_step`)."""
         return microbatch_len * self.profile.num_microbatches / total
 
+    def set_num_replicas(self, m: int) -> None:
+        """Renormalize the boundary for elastic replica degradation or
+        rejoin: subsequent boundaries divide the folded gradient by
+        ``n·m`` instead of ``n·R``.  Only legal between optimizer
+        boundaries — the runtime calls this from its failure-recovery
+        path (after every in-flight boundary has either run or been
+        aborted) and from :meth:`~AsyncPipelineRuntime.rejoin_replica`
+        (at a synced boundary), never mid-step."""
+        if m < 1:
+            raise ValueError(f"active replica count must be >= 1, got {m}")
+        self.num_replicas = int(m)
+
     # -- optimizer-step boundary ----------------------------------------------
     def begin_step(self) -> None:
         self.optimizer.zero_grad()
@@ -530,12 +542,22 @@ class ReplicaPlan:
             model, loss_fn, plan.stages, plan.num_replicas
         )
 
-    def fold_replica_grads(self) -> None:
+    def fold_replica_grads(self, active=None) -> None:
         """Fold every copy replica's accumulated gradients into the shared
         plan's parameters (replica 0), ascending replica index, and zero the
         copy buffers for the next step.  Callers fold each replica's
-        deferred tied gradients into that replica's own buffers first."""
+        deferred tied gradients into that replica's own buffers first.
+
+        ``active`` (a set of replica indices, or None for all) restricts
+        the fold to replicas that are still training — a degraded group
+        must not fold a dropped replica's stale buffers (see
+        :meth:`AsyncPipelineRuntime._maybe_degrade`).  Skipping indices
+        preserves the canonical ascending order over the survivors, so a
+        degraded fold is bit-identical to a from-scratch run at the
+        reduced replica count with the same shard assignment."""
         for rep in self.replicas:
+            if active is not None and rep.index not in active:
+                continue
             for p0, pr in zip(self.plan.params, rep.params):
                 p0.grad += pr.grad
                 pr.grad[...] = 0.0

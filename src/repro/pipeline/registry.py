@@ -12,6 +12,8 @@ decide between respawning the stage and surfacing a typed error.
     CONNECTING ──► READY ──► RUNNING
         │            │    ◄──┘   │
         └────────────┴───► LOST ◄┘
+                             │ ▲
+                     REPLACING └─(replacement handshake failed)
 
 ``CONNECTING``
     spawned, handshake (hello / init / bound / addresses) in progress.
@@ -20,10 +22,20 @@ decide between respawning the stage and surfacing a typed error.
 ``RUNNING``
     a step command is outstanding on the worker.
 ``LOST``
-    terminal: socket EOF, process death, or a stale heartbeat.  A lost
-    worker never comes back — the pool replaces the whole worker set (the
-    channel mesh is pairwise, so one fresh worker cannot rejoin alone) or
-    wedges with :class:`WorkerLostError`.
+    socket EOF, process death, or a stale heartbeat.  Terminal unless the
+    pool has per-worker restart budget left, in which case the slot moves
+    to ``REPLACING`` while a fresh process re-handshakes into the existing
+    mesh; otherwise the pool replaces the whole worker set (generation
+    respawn) or wedges with :class:`WorkerLostError`.
+``REPLACING``
+    a replacement process for this slot is mid-handshake: it dials the
+    driver, binds fresh channel listeners, and its surviving mesh
+    neighbors re-dial it.  Ends in ``READY`` (rejoined) or back in
+    ``LOST`` (replacement failed; generation respawn is the fallback).
+
+Every state a record ever enters is appended to ``WorkerRecord.history``,
+so tests can assert e.g. that surviving workers never left READY/RUNNING
+while a neighbor was replaced.
 
 The registry itself is passive bookkeeping (no threads); the pool's reader
 threads call :meth:`beat` / :meth:`mark_lost` and its scheduler-side code
@@ -56,6 +68,7 @@ class TaskState(enum.Enum):
     READY = "ready"
     RUNNING = "running"
     LOST = "lost"
+    REPLACING = "replacing"
 
 
 # Legal transitions; everything else is a driver-side protocol bug.
@@ -63,7 +76,8 @@ _TRANSITIONS = {
     TaskState.CONNECTING: {TaskState.READY, TaskState.LOST},
     TaskState.READY: {TaskState.RUNNING, TaskState.LOST},
     TaskState.RUNNING: {TaskState.READY, TaskState.LOST},
-    TaskState.LOST: set(),
+    TaskState.LOST: {TaskState.REPLACING},
+    TaskState.REPLACING: {TaskState.READY, TaskState.LOST},
 }
 
 
@@ -73,6 +87,9 @@ class WorkerRecord:
     state: TaskState = TaskState.CONNECTING
     last_beat: float = field(default_factory=time.monotonic)
     reason: str = ""  # why the worker is LOST (empty otherwise)
+    # every state this slot ever entered, in order (starts at CONNECTING);
+    # the elastic-recovery tests assert on survivors' histories
+    history: list = field(default_factory=lambda: [TaskState.CONNECTING])
 
 
 class WorkerRegistry:
@@ -107,9 +124,12 @@ class WorkerRegistry:
                     f"{rec.state.value} -> {state.value}"
                 )
             rec.state = state
+            rec.history.append(state)
             rec.last_beat = time.monotonic()
             if state is TaskState.LOST:
                 rec.reason = reason or "lost"
+            elif state is TaskState.READY:
+                rec.reason = ""  # a replaced worker is healthy again
 
     def beat(self, w: int) -> None:
         """Refresh worker ``w``'s heartbeat (any inbound traffic counts)."""
@@ -120,11 +140,16 @@ class WorkerRegistry:
 
     def mark_lost(self, w: int, reason: str) -> None:
         """Idempotent LOST transition (reader threads race on EOF vs the
-        stale-heartbeat sweep; first reason wins)."""
+        stale-heartbeat sweep; first reason wins).  A ``REPLACING`` slot is
+        exempt: its fate is decided by the driver thread running the
+        replacement handshake, not by stragglers observing the *old*
+        connection die (the reader for the dead connection may only get
+        scheduled after the replacement has already begun)."""
         with self._lock:
             rec = self._records[w]
-            if rec.state is not TaskState.LOST:
+            if rec.state not in (TaskState.LOST, TaskState.REPLACING):
                 rec.state = TaskState.LOST
+                rec.history.append(TaskState.LOST)
                 rec.reason = reason
 
     def sweep_heartbeats(self) -> None:
@@ -132,10 +157,17 @@ class WorkerRegistry:
         horizon = time.monotonic() - self.heartbeat_timeout
         with self._lock:
             for rec in self._records:
-                if rec.state is TaskState.LOST or rec.state is TaskState.CONNECTING:
+                if rec.state in (
+                    TaskState.LOST,
+                    TaskState.CONNECTING,
+                    TaskState.REPLACING,
+                ):
+                    # CONNECTING/REPLACING handshakes have their own
+                    # deadline; a LOST worker is already accounted for.
                     continue
                 if rec.last_beat < horizon:
                     rec.state = TaskState.LOST
+                    rec.history.append(TaskState.LOST)
                     rec.reason = (
                         f"no heartbeat for more than "
                         f"{self.heartbeat_timeout:g}s (worker frozen or "
@@ -158,11 +190,27 @@ class Backoff:
     """Bounded retry schedule for connection attempts: exponential delay
     from ``base`` capped at ``ceiling``, all attempts bounded by
     ``total`` seconds.  :meth:`sleep` returns False once the budget is
-    exhausted (the caller then raises its typed timeout)."""
+    exhausted (the caller then raises its typed timeout).
+
+    ``jitter`` spreads each delay uniformly over ``[delay·(1−j),
+    delay·(1+j)]`` so that N workers reconnecting after the same failure
+    do not dial the driver in lockstep (a reconnect stampede serializes
+    on the accept loop and can push the slowest worker past its
+    handshake deadline).  The draw comes from ``rng`` — an object with a
+    ``random()`` method, e.g. :class:`random.Random` — so tests inject a
+    seeded generator and stay deterministic; ``rng=None`` with a nonzero
+    jitter creates a fresh unseeded one per clock.
+    """
 
     base: float = 0.02
     ceiling: float = 0.5
     total: float = 10.0
+    jitter: float = 0.0
+    rng: object = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
     def start(self) -> "_BackoffClock":
         return _BackoffClock(self)
@@ -174,6 +222,11 @@ class _BackoffClock:
         self._delay = spec.base
         self._deadline = time.monotonic() + spec.total
         self.attempts = 0
+        self._rng = spec.rng
+        if self._rng is None and spec.jitter > 0.0:
+            import random
+
+            self._rng = random.Random()
 
     @property
     def expired(self) -> bool:
@@ -184,7 +237,10 @@ class _BackoffClock:
         now = time.monotonic()
         if now >= self._deadline:
             return False
-        time.sleep(min(self._delay, self._deadline - now))
+        delay = self._delay
+        if self._spec.jitter > 0.0:
+            delay *= 1.0 + self._spec.jitter * (2.0 * self._rng.random() - 1.0)
+        time.sleep(min(delay, self._deadline - now))
         self._delay = min(self._delay * 2, self._spec.ceiling)
         self.attempts += 1
         return True

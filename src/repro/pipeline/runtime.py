@@ -218,6 +218,12 @@ class RuntimeStats:
       duration).  The barrier-mode cost the overlap erases; an overlapped
       boundary runs inside the next step's wall window and contributes 0
       here.
+
+    ``degradations`` records elastic replica-group events — one dict per
+    drop (``kind="degrade"``) or rejoin (``kind="rejoin"``) with the
+    minibatch index, the replica involved, and the active count after the
+    event — so a run's loss curve can be aligned with the moments its
+    effective data parallelism changed.
     """
 
     steps: int = 0
@@ -231,6 +237,7 @@ class RuntimeStats:
     total_stall: list[float] = field(default_factory=list)
     last_boundary: float = 0.0
     total_boundary: float = 0.0
+    degradations: list = field(default_factory=list)
 
     def commit(
         self,
@@ -794,6 +801,13 @@ class _WorkerPoolBase:
     def full_resync(self) -> None:
         """Called after a checkpoint restore rewrote the version window."""
 
+    def stop_workers(self) -> None:
+        """Stop this pool's workers but leave any shared segments other
+        pools still use alive — what :meth:`ReplicaGroup.drop_replica`
+        calls on a degraded replica.  Pools without shared segments just
+        close."""
+        self.close()
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -1333,7 +1347,13 @@ class ProcessWorkerPool(_WorkerPoolBase):
                         f"pipeline worker {w} is gone ({exc}); build a fresh runtime"
                     ) from None
 
-    def close(self) -> None:
+    def stop_workers(self) -> None:
+        """Stop the worker processes and close their command pipes,
+        leaving every shared-memory segment (rings, mirror, mailbox)
+        alive.  This is the degraded-replica teardown: a dropped replica's
+        mirror may be the one its surviving siblings still map (replica 0
+        owns the group's shared mirror and mailbox), so segment release
+        must wait for :meth:`close`.  Idempotent."""
         for conn in self._conns:
             try:
                 conn.send(None)
@@ -1351,13 +1371,21 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 conn.close()
             except Exception:
                 pass
+        self._conns = []
+        self._procs = []
+
+    def close(self) -> None:
+        self.stop_workers()
         for ring in self._rings:
             ring.unlink()
+        self._rings = []
         if self._owns_shared:
             if self.mirror is not None:
                 self.mirror.unlink()
+                self.mirror = None
             if self.mailbox is not None:
                 self.mailbox.unlink()
+                self.mailbox = None
 
 
 class ReplicaGroup:
@@ -1379,6 +1407,16 @@ class ReplicaGroup:
     per-lane double-buffer parity, and :meth:`issue` fails loudly if the
     invariant ever breaks.  R = 1 wraps the single pool with a thin
     dispatch and no behavioural change.
+
+    **Elastic degradation**: ``active`` is the sorted list of replica
+    indices still training.  :meth:`drop_replica` stops a wedged
+    replica's workers (keeping shared segments alive — replica 0 owns
+    the group's mirror and mailbox) and removes it from ``active``;
+    issue/collect then run over the survivors only, whose sequence
+    counters remain in lockstep because every past step was issued to
+    all of them together.  :meth:`readmit` puts a freshly built pool
+    back in at an optimizer boundary (see
+    :meth:`AsyncPipelineRuntime.rejoin_replica`).
     """
 
     def __init__(
@@ -1391,6 +1429,10 @@ class ReplicaGroup:
         self.graphs = graphs
         self.replica_plan = replica_plan
         self.num_replicas = len(pools)
+        self.active: list[int] = list(range(len(pools)))
+        # Stopped pools replaced by readmit(); they may still own shared
+        # segments, so they are released at close() and not before.
+        self._retired: list[_WorkerPoolBase] = []
 
     @property
     def kind(self) -> str:
@@ -1398,7 +1440,7 @@ class ReplicaGroup:
 
     @property
     def wedged(self) -> bool:
-        return any(p.wedged for p in self.pools)
+        return any(self.pools[r].wedged for r in self.active)
 
     @wedged.setter
     def wedged(self, value: bool) -> None:
@@ -1406,12 +1448,28 @@ class ReplicaGroup:
             p.wedged = value
 
     def issue(self, t, sync, steps, num_microbatches) -> int:
-        """Broadcast one group step: ``steps[r]`` is replica r's
-        ``(ext, ys, scales)`` shard.  Returns the common sequence tag."""
-        seqs = [
-            pool.issue(t, sync, ext, ys, scales, num_microbatches)
-            for pool, (ext, ys, scales) in zip(self.pools, steps)
-        ]
+        """Broadcast one group step: ``steps[i]`` is the ``(ext, ys,
+        scales)`` shard of the i-th *active* replica (ascending replica
+        index).  Returns the common sequence tag.
+
+        The broadcast completes for every pool even when one raises (a
+        dead process worker surfaces here as a broken command pipe): a
+        pool's sequence counter advances whether or not its send
+        succeeded, so stopping mid-broadcast would leave the later pools
+        one step behind the earlier ones — and the group permanently out
+        of lockstep even after the failed replica is dropped."""
+        seqs = []
+        first_exc: BaseException | None = None
+        for r, (ext, ys, scales) in zip(self.active, steps):
+            try:
+                seqs.append(
+                    self.pools[r].issue(t, sync, ext, ys, scales, num_microbatches)
+                )
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
         if any(s != seqs[0] for s in seqs):
             self.wedged = True
             raise RuntimeError(
@@ -1423,9 +1481,9 @@ class ReplicaGroup:
     def collect(self) -> _StepResult:
         results: list[_StepResult] = []
         first_exc: BaseException | None = None
-        for pool in self.pools:
+        for r in self.active:
             try:
-                results.append(pool.collect())
+                results.append(self.pools[r].collect())
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 # Keep collecting: every pool's issued-step bookkeeping must
                 # advance together even when one replica's step failed.
@@ -1442,8 +1500,8 @@ class ReplicaGroup:
 
     def await_losses(self, seq: int) -> list | None:
         out: list = []
-        for pool in self.pools:
-            losses = pool.await_losses(seq)
+        for r in self.active:
+            losses = self.pools[r].await_losses(seq)
             if losses is None:
                 return None
             out.extend(losses)
@@ -1451,12 +1509,15 @@ class ReplicaGroup:
 
     def publish_plan_state(self) -> None:
         # One shared mirror: replica 0's pool owns it and publishes for the
-        # whole group (thread pools are a no-op either way).
+        # whole group (thread pools are a no-op either way).  The publish
+        # is a driver-side write into the shared segment, so it keeps
+        # working even when replica 0 itself has been dropped — its
+        # segments outlive its workers (see drop_replica).
         self.pools[0].publish_plan_state()
 
     def full_resync(self) -> None:
         primary = self.graphs[0].workers
-        for r, pool in enumerate(self.pools):
+        for r in self.active:
             if r:
                 # A checkpoint restore rewrote the live model; re-seed each
                 # copy's persistent state (e.g. BatchNorm running stats)
@@ -1464,11 +1525,49 @@ class ReplicaGroup:
                 for cw, dw in zip(self.graphs[r].workers, primary):
                     if dw.has_persistent_state():
                         cw.load_persistent_state(dw.persistent_state())
-            pool.full_resync()
+            self.pools[r].full_resync()
+        if 0 not in self.active:
+            # Replica 0 owns the shared mirror; with its workers stopped,
+            # its full_resync degenerates to exactly the mirror rewrite
+            # the surviving replicas need (there are no pipes to push
+            # persistent state down).
+            self.pools[0].full_resync()
+
+    def drop_replica(self, r: int) -> None:
+        """Degrade the group: stop replica ``r``'s workers and remove it
+        from the active set.  Shared segments stay alive (replica 0's
+        pool owns the mirror and mailbox every process replica maps), so
+        survivors keep reading weight versions and writing their own
+        mailbox lanes.  The caller renormalizes the fold (``StepPlan.
+        set_num_replicas``) and zeroes the dropped copy's buffers."""
+        if r not in self.active:
+            raise ValueError(f"replica {r} is not active")
+        if len(self.active) == 1:
+            raise ValueError("cannot drop the last active replica")
+        self.pools[r].stop_workers()
+        self.active.remove(r)
+
+    def readmit(self, r: int, pool: _WorkerPoolBase) -> None:
+        """Put a freshly built pool back into slot ``r`` (previously
+        dropped).  The caller has already aligned the pool's step
+        sequence with the survivors' lockstep value."""
+        if r in self.active:
+            raise ValueError(f"replica {r} is already active")
+        old = self.pools[r]
+        if old is not pool:
+            self._retired.append(old)
+        self.pools[r] = pool
+        self.active.append(r)
+        self.active.sort()
 
     def close(self) -> None:
+        # Non-owner pools release nothing shared; the retired owners (if
+        # any) and replica 0's pool unlink the segments last.
         for pool in self.pools:
             pool.close()
+        for pool in self._retired:
+            pool.close()
+        self._retired = []
 
 
 class AsyncPipelineRuntime(PipelineBackend):
@@ -1487,9 +1586,15 @@ class AsyncPipelineRuntime(PipelineBackend):
         Socket-backend tuning forwarded to
         :class:`~repro.pipeline.net.SocketWorkerPool`: ``family``
         ("uds"/"tcp"), ``heartbeat_interval``, ``heartbeat_timeout``,
-        ``connect_timeout``, ``handshake_timeout``, ``max_restarts``
-        (respawn budget after a lost worker; default 0 = wedge with
-        :class:`~repro.pipeline.registry.WorkerLostError`).
+        ``connect_timeout``, ``handshake_timeout``,
+        ``max_worker_restarts`` (per-worker replacement budget: a LOST
+        worker is replaced inside the current generation, survivors keep
+        their connections), and ``max_restarts`` (whole-generation
+        respawn budget, the fallback once per-worker replacement is
+        exhausted or fails; both default 0 = wedge with
+        :class:`~repro.pipeline.registry.WorkerLostError`).  Timeouts are
+        validated at construction; ``heartbeat_timeout`` must exceed
+        ``heartbeat_interval``.
     overlap_boundary:
         ``True`` (default): the optimizer boundary of step t is deferred
         and executed while step t+1's fill is already running, with every
@@ -1524,6 +1629,13 @@ class AsyncPipelineRuntime(PipelineBackend):
         dropout stream, and the gradients fold in canonical replica order
         before the single (still overlapped) optimizer boundary.  R = 1 is
         the original single-pipeline runtime, bit for bit.
+
+        Hybrid groups degrade elastically: a failure that wedges some but
+        not all replicas drops the wedged ones (recorded in
+        ``stats.degradations``), renormalizes the fold to the surviving
+        count, and the next ``train_step`` — the caller retries the
+        aborted minibatch — runs at R−1.  :meth:`rejoin_replica` readmits
+        a dropped replica at a synced optimizer boundary.
 
     The model must be sliceable into a stage-program graph (see
     :mod:`repro.pipeline.stage_compute`); training-mode Dropout must be
@@ -1608,6 +1720,12 @@ class AsyncPipelineRuntime(PipelineBackend):
         self._inflight: deque[tuple[int, int, bool]] = deque()
         self._step_mark: float | None = None
         self.deadlock_timeout = deadlock_timeout
+        # Kept for elastic rejoin: a dropped replica's pool is rebuilt with
+        # the same tuning the original pools were (see rejoin_replica).
+        self._done_grace = done_grace
+        self._start_method = start_method
+        self._transport_slot_bytes = transport_slot_bytes
+        self._model_spec0: ModelSpec | None = None
         self.graph: WorkerGraph = build_worker_graph(
             model, stages, granularity=granularity, max_workers=max_workers
         )
@@ -1662,6 +1780,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                         model, num_stages=len(stages), plan=partition_plan
                     )
                 )
+                self._model_spec0 = spec0
                 for r in range(num_replicas):
                     rep = None if r == 0 else self.replica_plan.replicas[r - 1]
                     pools.append(
@@ -1840,6 +1959,7 @@ class AsyncPipelineRuntime(PipelineBackend):
             self._deferred_on = False
             self._zero_replica_grads()
             plan.store.load_latest()
+            self._maybe_degrade()
             raise
         finally:
             # Borrowed per-slot version arrays are step-local state; the
@@ -1946,6 +2066,159 @@ class AsyncPipelineRuntime(PipelineBackend):
         self.plan.store.load_latest()
         for w in self._all_graph_workers:
             w.unload_borrowed()
+        self._maybe_degrade()
+
+    def _maybe_degrade(self) -> None:
+        """Elastic replica degradation: if a failure wedged *some* of the
+        group's active replicas but not all, drop the wedged ones and
+        continue at the reduced count — the hybrid group trades data
+        parallelism for liveness instead of wedging the whole run.
+
+        Runs at the tail of both failure paths (barrier and pipelined),
+        after every in-flight step was drained and the model restored to
+        the latest published weights.  The caller's exception still
+        propagates: the failed minibatch was aborted, and the *caller*
+        retries it — now sharded over the survivors, with the boundary
+        renormalized from n·R to n·(R−1) (``StepPlan.set_num_replicas``).
+        A from-scratch run at the reduced count with the same shard
+        assignment computes the same fold bit-for-bit (see
+        :meth:`~repro.pipeline.plan.ReplicaPlan.fold_replica_grads`).
+
+        A half-applied optimizer boundary wedges *all* pools
+        (:meth:`_complete_pending_boundary`), so this declines exactly
+        the failures that poisoned shared state no survivor can recover
+        from — those still wedge the runtime."""
+        group = self.group
+        changed = False
+        while True:
+            wedged = [r for r in group.active if group.pools[r].wedged]
+            if not wedged or len(wedged) == len(group.active):
+                break
+            for r in wedged:
+                group.drop_replica(r)
+                if r > 0:
+                    # The dropped copy's buffers must never reach a fold
+                    # again.
+                    rep = self.replica_plan.replicas[r - 1]
+                    for p in rep.params:
+                        p.grad.fill(0.0)
+                    for m in rep.deferred_modules:
+                        for _, buf in m.deferred_grads():
+                            buf.fill(0.0)
+                self.stats.degradations.append({
+                    "kind": "degrade",
+                    "minibatch": self.plan.t,
+                    "replica": r,
+                    "reason": group.pools[r].kind + " worker pool wedged",
+                    "active": list(group.active),
+                })
+            # Drain the survivors' residue.  A group issue that failed
+            # mid-broadcast left every healthy pool with an issued step
+            # the scheduler will never collect — and its workers are
+            # executing that step *right now*, so the caller's retry
+            # would race their gradient writes.  Wait for those steps to
+            # finish and discard the results.  A survivor that fails
+            # here wedges itself and the outer loop drops it too.
+            for r in list(group.active):
+                pool = group.pools[r]
+                while pool._issued:
+                    try:
+                        pool.collect()
+                    except BaseException:  # noqa: BLE001 — best-effort
+                        break
+            changed = True
+        if changed:
+            # The drain may have re-polluted gradient buffers and left
+            # thread workers' borrowed version arrays loaded; restore the
+            # post-abort invariants the failure paths established.
+            self._zero_replica_grads()
+            for w in self._all_graph_workers:
+                w.unload_borrowed()
+            self.plan.store.load_latest()
+            self.plan.set_num_replicas(len(group.active))
+
+    def rejoin_replica(self, r: int) -> None:
+        """Version-fenced rejoin of a previously dropped replica at an
+        optimizer boundary.
+
+        :meth:`sync` runs first (every in-flight step settled, the
+        store's latest version live), then a fresh worker pool is built
+        for slot ``r``, its step-sequence counter aligned to the
+        survivors' lockstep value, its gradient buffers zeroed, and the
+        boundary renormalization restored to the new active count.
+        Process pools attach the group's existing shared mirror and
+        mailbox (the replica's lane was never reused), so the rejoined
+        workers read the same weight versions the survivors do from
+        their first wave — the version fence is the sync itself.
+
+        The rejoined replica resumes its own persistent-state stream
+        (e.g. BatchNorm running statistics) from where it froze at the
+        drop; per-replica streams are independent, so survivors are
+        unaffected."""
+        if self._closed:
+            raise RuntimeError("runtime is closed")
+        group = self.group
+        if not 0 <= r < self.num_replicas:
+            raise ValueError(f"no such replica {r}")
+        if r in group.active:
+            raise ValueError(f"replica {r} is already active")
+        if group.wedged:
+            raise RuntimeWedgedError(
+                "cannot rejoin a replica into a wedged group; build a "
+                "fresh runtime"
+            )
+        self.sync()
+        rep = None if r == 0 else self.replica_plan.replicas[r - 1]
+        if self.backend == "process":
+            spec0 = self._model_spec0
+            pool = ProcessWorkerPool(
+                graph=self.replica_graphs[r],
+                plan=self.plan,
+                stages=self.plan.stages if rep is None else rep.stages,
+                loss_fn=self.loss_fn if rep is None else rep.loss_fn,
+                model_spec=spec0 if r == 0 else spec0.for_replica(r),
+                num_microbatches=self.plan.num_microbatches,
+                deadlock_timeout=self.deadlock_timeout,
+                done_grace=self._done_grace,
+                start_method=self._start_method,
+                transport_slot_bytes=self._transport_slot_bytes,
+                granularity=self.granularity,
+                max_workers=self.max_workers,
+                replica=r,
+                num_replicas=self.num_replicas,
+                shared=group.pools[0].shared_handles,
+            )
+        elif self.backend == "thread":
+            pool = ThreadWorkerPool(
+                self.replica_graphs[r],
+                self.plan,
+                self.loss_fn if rep is None else rep.loss_fn,
+                self.deadlock_timeout,
+                self._done_grace,
+            )
+        else:
+            raise ValueError(
+                f"rejoin_replica is not supported on the {self.backend!r} "
+                f"backend"
+            )
+        # Lockstep: the new pool must tag its first step with the same
+        # sequence number the survivors will (the shared-mailbox parity
+        # contract keys off this).
+        pool._seq = group.pools[group.active[0]]._seq
+        if rep is not None:
+            for p in rep.params:
+                p.grad.fill(0.0)
+            for m in rep.deferred_modules:
+                for _, buf in m.deferred_grads():
+                    buf.fill(0.0)
+        group.readmit(r, pool)
+        self.plan.set_num_replicas(len(group.active))
+        self.stats.degradations.append({
+            "kind": "rejoin",
+            "minibatch": self.plan.t,
+            "replica": r,
+            "active": list(group.active),
+        })
 
     def _complete_pending_boundary(self) -> None:
         """Fold the pending step's deferred tied gradients, run its
@@ -1987,13 +2260,18 @@ class AsyncPipelineRuntime(PipelineBackend):
         order, independent of which replica's pool finished first (see
         :class:`~repro.pipeline.plan.ReplicaPlan`).  Runs strictly after
         :meth:`_fold_pending_deferred` (replica 0's own deferred fold) and
-        strictly before the optimizer consumes ``Parameter.grad``."""
+        strictly before the optimizer consumes ``Parameter.grad``.  A
+        degraded group folds its *active* replicas only — a dropped
+        replica's buffers are stale and were zeroed at the drop."""
+        active = set(self.group.active)
         for rep in self.replica_plan.replicas:
+            if rep.index not in active:
+                continue
             for m in rep.deferred_modules:
                 for p, buf in m.deferred_grads():
                     p.grad += buf
                     buf.fill(0.0)
-        self.replica_plan.fold_replica_grads()
+        self.replica_plan.fold_replica_grads(active=active)
 
     def _zero_replica_grads(self) -> None:
         """Clear every copy replica's gradient and deferred buffers after
@@ -2069,13 +2347,28 @@ class AsyncPipelineRuntime(PipelineBackend):
         if getattr(self, "_closed", False):
             return
         self._closed = True
+        pending = (
+            getattr(self, "_pending_sync", None) is not None
+            or getattr(self, "_deferred_on", False)
+            or getattr(self, "_inflight", None)
+        )
+        wedged = getattr(getattr(self, "group", None), "wedged", False)
         try:
-            if (
-                getattr(self, "_pending_sync", None) is not None
-                or getattr(self, "_deferred_on", False)
-                or getattr(self, "_inflight", None)
-            ):
+            if pending and not wedged:
                 self.sync()
+            elif pending:
+                # A wedged pipe cannot be drained — syncing would block on
+                # done reports that will never arrive.  Abandon the
+                # in-flight steps and leave the model monolithically
+                # usable (latest published weights, tied modules out of
+                # deferred mode), exactly like the failure paths do.
+                self._inflight.clear()
+                self._pending_sync = None
+                self._step_mark = None
+                self._abort_deferred_grads()
+                self._deferred_on = False
+                self._zero_replica_grads()
+                self.plan.store.load_latest()
         except Exception:
             pass
         group = getattr(self, "group", None)

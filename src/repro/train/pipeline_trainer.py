@@ -58,6 +58,24 @@ class PipelineTrainer:
         the latest weights at that point.
     divergence_norm:
         Abort threshold on the global parameter norm.
+    autosave_every:
+        Crash-safe checkpointing: every N optimizer steps the trainer
+        syncs the executor (settling any overlapped boundary) and writes
+        a rolling snapshot via
+        :class:`repro.io.CheckpointManager` — atomic writes, per-array
+        checksums, ``latest`` pointer with fallback to the previous good
+        snapshot.  ``None`` (default) disables autosave.  Because the
+        per-epoch minibatch stream is a pure function of ``(seed,
+        epoch)``, a killed driver resumes **bit-exactly**: ``run(...,
+        resume=True)`` loads the newest snapshot and fast-forwards to
+        the exact minibatch after the save point.  The sync at each save
+        is arithmetic-neutral, so a run with autosave on matches one
+        with it off bit for bit.
+    autosave_dir:
+        Snapshot directory (required when ``autosave_every`` is set).
+    autosave_keep:
+        Rolling snapshots to retain (default 2 — the crash window can
+        tear at most the newest one).
     """
 
     def __init__(
@@ -67,26 +85,97 @@ class PipelineTrainer:
         eval_fn: Callable[[], float],
         seed: int = 0,
         divergence_norm: float = 1e6,
+        autosave_every: int | None = None,
+        autosave_dir: str | None = None,
+        autosave_keep: int = 2,
     ):
         self.executor = executor
         self.batch_fn = batch_fn
         self.eval_fn = eval_fn
         self.seed = seed
         self.divergence_norm = divergence_norm
+        if autosave_every is not None and autosave_every < 1:
+            raise ValueError(f"autosave_every must be >= 1, got {autosave_every}")
+        if autosave_every is not None and autosave_dir is None:
+            raise ValueError("autosave_every requires autosave_dir")
+        self.autosave_every = autosave_every
+        self.manager = None
+        if autosave_every is not None:
+            from repro.io import CheckpointManager
 
-    def run(self, epochs: int, eval_every: int = 1) -> TrainResult:
+            self.manager = CheckpointManager(autosave_dir, keep=autosave_keep)
+
+    def _autosave(self, epoch: int, batch: int, losses: list, epoch_time: float) -> None:
+        """Snapshot at a synced optimizer boundary.  ``batch`` is the
+        number of this epoch's minibatches already consumed, so a resumed
+        run knows exactly where in the deterministic batch stream to
+        continue; the epoch-local loss/time accumulators ride along so
+        the resumed epoch's logged metrics match the uninterrupted run's."""
+        sync = getattr(self.executor, "sync", None)
+        if sync is not None:
+            sync()
+        self.manager.save(
+            self.executor.model,
+            self.executor.optimizer,
+            self.executor,
+            extra={
+                "epoch": epoch,
+                "batch": batch,
+                "losses": [float(l) for l in losses],
+                "epoch_time": float(epoch_time),
+            },
+        )
+
+    def run(self, epochs: int, eval_every: int = 1, resume: bool = False) -> TrainResult:
+        """Train for ``epochs`` epochs.  With ``resume=True`` (and
+        autosave configured), restore the newest loadable snapshot first
+        and continue from the exact minibatch after it — bit-identical
+        to the uninterrupted run from there on.  If the snapshot
+        directory is empty, start from scratch.  History and tracker
+        cover the resumed portion only (epochs before the restore point
+        were logged by the killed run)."""
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
+        start_epoch = start_batch = 0
+        carry_losses: list = []
+        carry_time = 0.0
+        if resume:
+            if self.manager is None:
+                raise ValueError("resume=True requires autosave to be configured")
+            from repro.io import CheckpointError
+
+            try:
+                extra = self.manager.load_latest(
+                    self.executor.model, self.executor.optimizer, self.executor
+                )
+            except CheckpointError:
+                extra = None  # nothing saved yet: fresh start
+            if extra is not None:
+                start_epoch = int(extra["epoch"])
+                start_batch = int(extra["batch"])
+                carry_losses = list(extra["losses"])
+                carry_time = float(extra["epoch_time"])
+        steps_done = 0
         history = History()
         tracker = MetricTracker(mode="max")
         diverged = False
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             rng = np.random.default_rng((self.seed, epoch))
-            epoch_time = 0.0
-            losses = []
-            for x, y in self.batch_fn(rng):
+            resuming = epoch == start_epoch and (start_batch or carry_losses)
+            epoch_time = carry_time if resuming else 0.0
+            losses = list(carry_losses) if resuming else []
+            skip = start_batch if epoch == start_epoch else 0
+            for i, (x, y) in enumerate(self.batch_fn(rng)):
+                if i < skip:
+                    continue  # replayed deterministically; already trained on
                 epoch_time += self.executor.step_time()
                 losses.append(self.executor.train_step(x, y))
+                steps_done += 1
+                if (
+                    self.autosave_every is not None
+                    and steps_done % self.autosave_every == 0
+                ):
+                    self._autosave(epoch, i + 1, losses, epoch_time)
             # Concurrent runtimes with the overlapped optimizer boundary
             # defer the last step's fold/step/publish; settle it so the
             # divergence probe and eval_fn below read the latest weights

@@ -80,6 +80,13 @@ def pytest_configure(config):
         " runs them as a dedicated lane with a tightened timeout so a lost"
         " frame or a broken failure path surfaces as a timeout, not a hang",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: seeded chaos soaks (random kills/drops/delays against the"
+        " elastic-recovery stack); CI runs them as a dedicated lane with a"
+        " tight timeout and uploads the per-seed fault logs from"
+        " $CHAOS_LOG_DIR as artifacts when the lane fails",
+    )
 
 
 @pytest.fixture(autouse=True)

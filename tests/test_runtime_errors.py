@@ -203,3 +203,60 @@ class TestStatsInvariants:
         )
         if backend == "thread":
             assert transport == 0.0, "thread hand-offs must not count as transport"
+
+
+class TestCloseIdempotency:
+    """``close()`` must be safe to call at any moment, any number of
+    times: after clean runs, after a wedge, and with work still in
+    flight after a chaos-style kill — always prompt, never raising."""
+
+    @pytest.mark.timeout(60)
+    def test_double_close_after_clean_run(self, rng):
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=10.0)
+        rt.train_step(x[:16], y[:16])
+        rt.close()
+        t0 = time.perf_counter()
+        rt.close()  # second close: no-op, no error
+        assert time.perf_counter() - t0 < 1.0
+
+    @pytest.mark.timeout(60)
+    def test_double_close_after_wedge(self, rng):
+        """Wedge the pool with a silent worker, then close twice: both
+        calls must return promptly (the second as a no-op) without trying
+        to sync the unfinishable in-flight step."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=0.5)
+        inner_forward = rt.workers[1].segments[0].forward
+        rt.workers[1].segments[0].forward = (
+            lambda ins: (time.sleep(3.0), inner_forward(ins))[1]
+        )
+        with pytest.raises(PipelineDeadlockError):
+            rt.train_step(x[:16], y[:16])
+        assert rt.pool.wedged
+        t0 = time.perf_counter()
+        rt.close()
+        rt.close()
+        assert time.perf_counter() - t0 < 5.0, "close() hung after a wedge"
+
+    @pytest.mark.timeout(60)
+    def test_close_with_inflight_step_after_process_kill(self, rng):
+        """Chaos-style: SIGKILL a process worker while a step is in
+        flight (overlapped boundary, so the driver hasn't collected it),
+        then close without ever touching the failure.  close() must
+        abandon the unfinishable step instead of waiting out sync(), and
+        a second close must still be a no-op."""
+        x, y = toy_data(rng)
+        m, rt = build(
+            AsyncPipelineRuntime, backend="process",
+            deadlock_timeout=0.5, done_grace=0.5, overlap_boundary=True,
+        )
+        rt.train_step(x[:16], y[:16])
+        rt.train_step(x[16:32], y[16:32])  # one step now rides in flight
+        rt.pool._procs[1].kill()
+        rt.pool._procs[1].join(5.0)
+        t0 = time.perf_counter()
+        rt.close()
+        rt.close()
+        assert time.perf_counter() - t0 < 10.0, "close() hung on a dead worker"
+        assert rt._closed

@@ -24,6 +24,13 @@ sliced through its stage graph) — and reports:
 * the schedule-limited speedup — total compute slots / critical-path slots
   of the interleaved 1F1B schedule actually executed, i.e. the wall-clock
   ratio an unconstrained-core host converges to;
+* the **wave fusion** comparison: every concurrent MLP row runs twice,
+  with the compiled fused command blocks (``workload="mlp"``, the runtime
+  default) and with per-wave commands (``workload="mlp-nofuse"``, the
+  differential reference), reporting ``commands_per_step`` for both — the
+  scheduler hand-off count fusion exists to collapse — so the committed
+  trajectory records both the hand-off reduction and its throughput
+  effect (``check_perf_regression.py`` gates fused-vs-unfused);
 * a loss-equivalence check (every row must match the simulator bit for
   bit, overlap on or off);
 * the **partition balance** section: even vs auto (cost-balanced)
@@ -99,7 +106,7 @@ _ROW_DEFAULTS = dict(
     partition=None, speedup_vs_simulator=None, bubble_fraction=None,
     transport_fraction=None, boundary_stall_fraction=None,
     imbalance_predicted=None, imbalance_measured=None,
-    replicas=1, samples_per_sec=None,
+    replicas=1, samples_per_sec=None, commands_per_step=None,
 )
 
 
@@ -537,25 +544,29 @@ def main(argv=None) -> int:
 
     concurrent = {}
     for backend, overlap_flag in concurrent_variants(args.overlap):
-        _, rt = build_backend(
-            AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
-            method=args.method, seed=42, backend=backend,
-            overlap_boundary=overlap_flag,
-        )
-        try:
-            wall, losses = measure(rt, x, y, steps, warmup)
-            concurrent[row_label(backend, overlap_flag)] = dict(
-                backend=backend,
-                overlap=overlap_flag,
-                wall=wall,
-                losses=losses,
-                bubble=rt.stats.bubble_fraction(),
-                transport=rt.stats.transport_fraction(),
-                boundary_stall=rt.stats.boundary_stall_fraction(),
-                workers=rt.num_workers,
+        for fuse in (True, False):
+            _, rt = build_backend(
+                AsyncPipelineRuntime, dims=dims, num_stages=p, num_microbatches=n,
+                method=args.method, seed=42, backend=backend,
+                overlap_boundary=overlap_flag, fuse_waves=fuse,
             )
-        finally:
-            rt.close()
+            label = row_label(backend, overlap_flag) + ("" if fuse else "/nofuse")
+            try:
+                wall, losses = measure(rt, x, y, steps, warmup)
+                concurrent[label] = dict(
+                    backend=backend,
+                    overlap=overlap_flag,
+                    fuse=fuse,
+                    wall=wall,
+                    losses=losses,
+                    bubble=rt.stats.bubble_fraction(),
+                    transport=rt.stats.transport_fraction(),
+                    boundary_stall=rt.stats.boundary_stall_fraction(),
+                    commands=rt.stats.commands_per_step(),
+                    workers=rt.num_workers,
+                )
+            finally:
+                rt.close()
 
     equivalent = all(sim_losses == c["losses"] for c in concurrent.values())
     micro = steps * n
@@ -578,15 +589,24 @@ def main(argv=None) -> int:
             label, tput, c["wall"],
             f"  workers={c['workers']}  speedup={tput / sim_tput:.2f}x  "
             f"bubble={c['bubble']:.3f}  transport={c['transport']:.1%}  "
-            f"boundary-stall={c['boundary_stall']:.3f}",
+            f"boundary-stall={c['boundary_stall']:.3f}  "
+            f"commands/step={c['commands']:.0f}",
         )
         rows.append(make_row(
-            workload="mlp", backend=c["backend"], overlap=c["overlap"],
+            workload="mlp" if c["fuse"] else "mlp-nofuse",
+            backend=c["backend"], overlap=c["overlap"],
             microbatches_per_sec=tput, speedup_vs_simulator=tput / sim_tput,
             bubble_fraction=c["bubble"], transport_fraction=c["transport"],
             boundary_stall_fraction=c["boundary_stall"], workers=c["workers"],
+            commands_per_step=c["commands"],
             equivalent=sim_losses == c["losses"],
         ))
+    fused_cmds = [c["commands"] for c in concurrent.values() if c["fuse"]]
+    unfused_cmds = [c["commands"] for c in concurrent.values() if not c["fuse"]]
+    if fused_cmds and unfused_cmds:
+        print(f"  wave-fusion command drop    : {max(unfused_cmds):.0f} -> "
+              f"{max(fused_cmds):.0f} commands/step "
+              f"({max(unfused_cmds) / max(fused_cmds):.1f}x fewer hand-offs)")
     print(f"  schedule-limited speedup    : {sched:.2f}x  "
           f"(wall-clock ceiling with >= {workers} cores)")
     print(f"  gpipe closed-form bubble    : {gpipe_bubble:.3f}  ((P-1)/(N+P-1))")

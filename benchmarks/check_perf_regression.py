@@ -36,6 +36,17 @@ compares two deliberately asymmetric statistics:
 A best-of-N that still lands >10% below the historical floor is a real
 regression, not scheduler noise.
 
+Independently of the committed baseline, the check also gates **wave
+fusion** inside the fresh runs themselves: every concurrent MLP
+configuration appears twice (``workload="mlp"`` fused, ``"mlp-nofuse"``
+per-wave reference) measured back-to-back on the same runner, and a fused
+row more than ``--tolerance`` slower in ``microbatches_per_sec`` than its
+unfused twin fails the lane for gating backends — a runner-independent
+comparison, so it needs no baseline at all.  Like the partition-balance
+verdict in the bench itself, the fusion gate is advisory on hosts with
+fewer cores than workers, where thread wall clock is scheduler-noise
+dominated.
+
 Usage:
     python benchmarks/check_perf_regression.py \
         --fresh run1.json [run2.json ...] \
@@ -110,6 +121,68 @@ def merge_floor(runs: list[dict]) -> dict:
     return _merge(runs, lambda new, old: new < old)
 
 
+def check_fusion(fresh: dict, tolerance: float, gate: set) -> list[str]:
+    """Fused-vs-unfused gate, *within* the merged fresh runs.
+
+    The bench emits every concurrent MLP configuration twice — compiled
+    fused command blocks (``workload="mlp"``) and the per-wave reference
+    (``workload="mlp-nofuse"``) — measured back-to-back in the same
+    process on the same runner, so their ``microbatches_per_sec`` ratio is
+    runner-independent in a way absolute numbers and even cross-run
+    speedups are not.  Fusion exists to *remove* scheduler hand-off cost:
+    a fused row more than ``tolerance`` slower than its own unfused twin
+    means the compiled path itself regressed, and fails the lane for
+    gating backends.  Returns the failure messages (empty = pass).
+
+    On a host with fewer cores than workers the comparison is advisory
+    only (same rule as the partition-balance section): the worker threads
+    time-slice one core, so per-run wall clock is dominated by scheduler
+    interleaving noise — interleaved A/B medians show fusion ahead, but a
+    single quick sample can swing either way by far more than the
+    tolerance."""
+    cores = fresh.get("config", {}).get("cores") or 1
+    unfused = {
+        row_key(r)[1:]: r for r in fresh["rows"] if r.get("workload") == "mlp-nofuse"
+    }
+    failures: list[str] = []
+    checked = 0
+    for row in fresh["rows"]:
+        if row.get("workload") != "mlp" or row.get("backend") == "simulator":
+            continue
+        twin = unfused.get(row_key(row)[1:])
+        if twin is None:
+            continue
+        fused_mbs = row.get("microbatches_per_sec")
+        unfused_mbs = twin.get("microbatches_per_sec")
+        if not fused_mbs or not unfused_mbs:
+            continue
+        checked += 1
+        drop = 1.0 - fused_mbs / unfused_mbs
+        gating = row.get("backend") in gate and cores >= row.get("workers", 1)
+        label = "/".join(str(k) for k in row_key(row)[1:] if k is not None)
+        verdict = "OK"
+        if drop > tolerance:
+            if gating:
+                verdict = "REGRESSED"
+            elif cores < row.get("workers", 1):
+                verdict = "regressed (advisory: cores < workers)"
+            else:
+                verdict = "regressed (advisory backend)"
+            if gating:
+                failures.append(
+                    f"fused {label} is {drop:.1%} slower than its unfused "
+                    f"twin ({fused_mbs:.1f} vs {unfused_mbs:.1f} mb/s, "
+                    f"tolerance {tolerance:.0%})"
+                )
+        print(
+            f"  fusion {label:<25s} unfused={unfused_mbs:8.1f}  "
+            f"fused={fused_mbs:8.1f} mb/s  drop={drop:+7.1%}  {verdict}"
+        )
+    if checked:
+        print(f"fusion check: {checked} fused/unfused pair(s) compared")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -157,6 +230,7 @@ def main(argv=None) -> int:
     fresh = merge_best(runs)
 
     gate = set(args.gate_backends.split(","))
+    fusion_failures = check_fusion(fresh, args.tolerance, gate)
     base_rows = {row_key(r): r for r in baseline["rows"]}
     failures = []
     matched = 0
@@ -190,6 +264,10 @@ def main(argv=None) -> int:
             f"  {label:<32s} baseline={ref_speedup:6.3f}x  "
             f"fresh={speedup:6.3f}x  drop={drop:+7.1%}  {verdict}"
         )
+    if fusion_failures:
+        for msg in fusion_failures:
+            print(f"ERROR: {msg}", file=sys.stderr)
+        return 1
     if matched == 0:
         if unmatched > 0:
             # Every fresh row is new to the baseline (fresh bench section,

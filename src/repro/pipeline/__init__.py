@@ -58,6 +58,12 @@ from repro.pipeline.runtime import (
     ThreadWorkerPool,
 )
 from repro.pipeline.net import RemoteWeightMirror, SocketWorkerPool, Transport
+from repro.pipeline.waveprogram import (
+    WaveBlock,
+    WaveCompileError,
+    WaveProgram,
+    compile_wave_programs,
+)
 from repro.pipeline import costmodel
 from repro.pipeline import recompute
 from repro.pipeline.schedule import (
@@ -81,15 +87,20 @@ def make_backend(runtime: str, *args, **kwargs):
     ``process``/``socket`` also ``model_spec``, ``start_method``, plus
     ``transport_slot_bytes`` or ``net_options`` respectively).  The
     simulator has no minibatch barrier to overlap and executes the model
-    monolithically, so ``overlap_boundary``, ``granularity`` and
-    ``max_workers`` are accepted and ignored there — callers can pass one
+    monolithically, so ``overlap_boundary``, ``granularity``,
+    ``max_workers`` and ``fuse_waves`` are accepted and ignored there — callers can pass one
     backend-agnostic kwargs dict.  ``num_replicas`` (hybrid data ×
     pipeline parallelism) is honoured by every backend except ``socket``:
     the simulator runs the R replicas sequentially with exact staleness,
     the thread/process runtimes run them as a :class:`ReplicaGroup` of
     worker pools."""
     if runtime == "simulator":
-        for concurrent_only in ("overlap_boundary", "granularity", "max_workers"):
+        for concurrent_only in (
+            "overlap_boundary",
+            "granularity",
+            "max_workers",
+            "fuse_waves",
+        ):
             kwargs.pop(concurrent_only, None)
         return PipelineExecutor(*args, **kwargs)
     if runtime == "async":
@@ -140,6 +151,10 @@ __all__ = [
     "GraphNode",
     "WorkerGraph",
     "build_worker_graph",
+    "WaveBlock",
+    "WaveCompileError",
+    "WaveProgram",
+    "compile_wave_programs",
     "ShmRing",
     "TransportError",
     "TransportTimeout",

@@ -74,6 +74,8 @@ from repro.pipeline.transport import (
     TransportError,
     TransportTimeout,
     _layout_perm,
+    pack_lanes,
+    unpack_lanes,
 )
 from repro.pipeline.weight_store import check_version_resident
 
@@ -812,8 +814,12 @@ def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
                 listener.close()
             listeners.clear()
             chans = rt._wrap_channels(_SocketChannels(conns, timeout), w)
-            programs = rt._build_programs(
-                Method(spec.method), k, n, spec.recompute_segment is not None
+            # Compiled locally from the resolver mirror — identical
+            # arithmetic and deterministic graph ⇒ identical fused blocks
+            # to every other backend's, and no compiled program on the wire.
+            programs = rt._build_wave_programs(
+                Method(spec.method), resolver, graph, n,
+                spec.recompute_segment is not None, init["fuse_waves"],
             )
             has_pstate = compute.has_persistent_state()
             if init["pstate"] is not None:
@@ -930,13 +936,16 @@ def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
                     for p in b.params:
                         p.grad.fill(0.0)
                 compute.zero_deferred()
-                busy, stall = rt._execute_program(
+                busy, stall, lanes = rt._execute_program(
                     compute, programs[bool(sync)][w], resolver, t, sync, chans,
                     loss_fn, ext, ys, scales, losses, timeout, on_losses,
                 )
                 # Gradients ride the done report (no shared mailbox over a
                 # socket): per-binding (stage, positions, arrays), disjoint
-                # across workers, folded driver-side in worker order.
+                # across workers, folded driver-side in worker order.  One
+                # done frame per step carries the whole block's lanes — the
+                # coarsened report; frames-per-step on the wire is
+                # unchanged by block count.
                 grads = [
                     (b.stage, list(b.positions), [p.grad for p in b.params])
                     for b in compute.bindings
@@ -945,6 +954,7 @@ def _socket_worker_main(w: int, ctl_address: str, opts: dict) -> None:
                     losses if is_sink_worker else None,
                     compute.persistent_state() if has_pstate else None,
                     grads,
+                    pack_lanes(lanes),
                 )
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
@@ -1023,6 +1033,7 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
         handshake_timeout: float = 120.0,
         max_restarts: int = 0,
         max_worker_restarts: int = 0,
+        fuse_waves: bool = True,
     ):
         super().__init__(graph.num_workers, deadlock_timeout, done_grace)
         if family not in ("uds", "tcp"):
@@ -1064,6 +1075,7 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
         self._num_microbatches = num_microbatches
         self._granularity = granularity
         self._max_workers = max_workers
+        self.fuse_waves = fuse_waves
         self._start_method = start_method
         self._family = family
         self._host = host
@@ -1203,6 +1215,7 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                     "model_wire": self._model_wire,
                     "granularity": self._granularity,
                     "max_workers": self._max_workers,
+                    "fuse_waves": self.fuse_waves,
                     "loss_pickle": self._loss_pickle if w == k - 1 else b"",
                     "listen": {
                         key: self._address(f"c{gen}_{key[0]}{key[1]}")
@@ -1384,9 +1397,9 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
             )
             self._handle_loss()
             raise err from exc
-        losses, _, _ = extras[k - 1]
+        losses, _, _, _ = extras[k - 1]
         for w in sorted(extras):
-            _, pstate, grads = extras[w]
+            _, pstate, grads, _ = extras[w]
             if pstate is not None:
                 self.driver_workers[w].load_persistent_state(pstate)
             # Each worker owns disjoint (stage, position) coordinates, so
@@ -1395,8 +1408,16 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
                 params = self.stages[s].params
                 for pos, arr in zip(positions, arrays):
                     params[pos].grad[...] = arr
+        lanes = [unpack_lanes(extras[w][3]) for w in range(k)]
+        blocks = sum(len(lane) for lane in lanes)
         return _runtime._StepResult(
-            losses=list(losses), busy=busys, transport=xfers, stall=stalls
+            losses=list(losses),
+            busy=busys,
+            transport=xfers,
+            stall=stalls,
+            commands=blocks,
+            reports=blocks,
+            lanes=lanes,
         )
 
     def await_losses(self, seq: int):
@@ -1660,6 +1681,7 @@ class SocketWorkerPool(_runtime._WorkerPoolBase):
             "model_wire": self._model_wire,
             "granularity": self._granularity,
             "max_workers": self._max_workers,
+            "fuse_waves": self.fuse_waves,
             "loss_pickle": self._loss_pickle if w == k - 1 else b"",
             "listen": {
                 key: self._address(f"cr{r}_{key[0]}{key[1]}") for key in listen

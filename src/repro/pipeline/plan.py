@@ -182,6 +182,26 @@ class WeightResolver:
         expiry.  Both store kinds implement the wait."""
         self.store.wait_version(version, timeout)
 
+    def wave_programs(
+        self,
+        programs: list[list[tuple[str, int]]],
+        read_stages: list[list[int]],
+        fwd_peers: list[list[int]],
+        bwd_peers: list[list[int]],
+        sync: bool,
+        fuse: bool = True,
+    ):
+        """Compile per-worker wave schedules into fused command blocks (see
+        :mod:`repro.pipeline.waveprogram`).  Defined on the resolver base so
+        the driver's :class:`StepPlan` and a process/socket worker's
+        :class:`WorkerPlanMirror` compile byte-identical programs from the
+        same store-free version arithmetic."""
+        from repro.pipeline.waveprogram import compile_wave_programs
+
+        return compile_wave_programs(
+            self, programs, read_stages, fwd_peers, bwd_peers, sync, fuse
+        )
+
     def _init_recompute(self, recompute_segment: int | None) -> None:
         self.recompute_segment = recompute_segment
         if recompute_segment is not None:

@@ -128,7 +128,10 @@ from repro.pipeline.transport import (
     ShmRing,
     TransportClosed,
     TransportTimeout,
+    pack_lanes,
+    unpack_lanes,
 )
+from repro.pipeline.waveprogram import WaveProgram
 from repro.pipeline.weight_store import SharedWeightMirror
 
 
@@ -174,7 +177,7 @@ class _StepContext:
     ext: list
     ys: list
     scales: list[float]
-    programs: list[list[tuple[str, int]]]
+    programs: list[WaveProgram]
     losses: list[float]
     act_q: dict[int, queue.SimpleQueue]
     rec_q: dict[int, queue.SimpleQueue]
@@ -224,6 +227,17 @@ class RuntimeStats:
     minibatch index, the replica involved, and the active count after the
     event — so a run's loss curve can be aligned with the moments its
     effective data parallelism changed.
+
+    With fused wave programs the scheduler hand-off is counted too:
+    ``commands``/``reports`` tally the per-step command blocks issued and
+    done reports collected (equal in steady state — one report per block),
+    and ``last_lanes[w]`` keeps worker ``w``'s per-block
+    ``(num_waves, busy, stall, xfer)`` breakdown from the last step.  The
+    per-worker busy/stall scalars are the lane *sums*, so coarsened reports
+    feed the three fraction methods without double-counting a block's stall
+    across its member waves.  :meth:`commands_per_step` is the observable
+    the fusion optimisation moves: one command per wave unfused, one per
+    fused block otherwise.
     """
 
     steps: int = 0
@@ -237,6 +251,11 @@ class RuntimeStats:
     total_stall: list[float] = field(default_factory=list)
     last_boundary: float = 0.0
     total_boundary: float = 0.0
+    last_commands: int = 0
+    total_commands: int = 0
+    last_reports: int = 0
+    total_reports: int = 0
+    last_lanes: list = field(default_factory=list)
     degradations: list = field(default_factory=list)
 
     def commit(
@@ -246,6 +265,9 @@ class RuntimeStats:
         transport: list[float],
         stall: list[float] | None = None,
         boundary: float = 0.0,
+        commands: int = 0,
+        reports: int = 0,
+        lanes: list | None = None,
     ) -> None:
         """Fold one *completed* step into the running totals."""
         self.steps += 1
@@ -259,12 +281,29 @@ class RuntimeStats:
             self.total_stall = [0.0] * len(busy)
         self.last_boundary = boundary
         self.total_boundary += boundary
+        self.last_commands = commands
+        self.total_commands += commands
+        self.last_reports = reports
+        self.total_reports += reports
+        self.last_lanes = list(lanes) if lanes is not None else []
         for w, b in enumerate(busy):
             self.total_busy[w] += b
         for w, x in enumerate(transport):
             self.total_transport[w] += x
         for w, s in enumerate(stall):
             self.total_stall[w] += s
+
+    def commands_per_step(self) -> float:
+        """Scheduler→worker command blocks issued per completed step,
+        summed over workers (and active replicas).  Unfused this equals the
+        wave count of the step schedule; fusion collapses it to the number
+        of fused blocks."""
+        return self.total_commands / self.steps if self.steps else 0.0
+
+    def reports_per_step(self) -> float:
+        """Worker→driver done reports collected per completed step — one
+        per command block, so it mirrors :meth:`commands_per_step`."""
+        return self.total_reports / self.steps if self.steps else 0.0
 
     def bubble_fraction(self) -> float:
         """Share of worker-time spent idle for *scheduling* reasons (queue
@@ -316,6 +355,9 @@ class _StepResult:
     busy: list[float]
     transport: list[float]
     stall: list[float]
+    commands: int = 0
+    reports: int = 0
+    lanes: list = field(default_factory=list)
 
 
 # -- the shared per-worker program interpreter --------------------------------
@@ -323,7 +365,7 @@ class _StepResult:
 
 def _execute_program(
     compute: WorkerCompute,
-    program: list[tuple[str, int]],
+    program: "WaveProgram",
     resolver,
     t: int,
     sync: bool,
@@ -335,56 +377,54 @@ def _execute_program(
     losses,
     gate_timeout: float,
     on_losses=None,
-) -> tuple[float, float]:
-    """Run one worker's (op, microbatch) list for minibatch ``t``.
+) -> tuple[float, float, list[tuple[int, float, float, float]]]:
+    """Run one worker's compiled :class:`~repro.pipeline.waveprogram.WaveProgram`
+    for minibatch ``t``, one fused block at a time.
 
-    Identical for both backends: only ``chans`` (queue- or ring-backed) and
-    ``resolver`` (driver :class:`StepPlan` or a worker's
+    Identical for all backends: only ``chans`` (queue-, ring- or
+    socket-backed) and ``resolver`` (driver :class:`StepPlan` or a worker's
     :class:`WorkerPlanMirror`) differ.  Each op walks the worker's segments
     in graph order (forward) or reverse (backward); same-worker edges hand
     payloads off through a local dict, cross-worker edges through the
     channel of that edge.
 
-    Every wave is **version-gated**: before loading weights it waits until
-    the newest version it resolves (over all stages this worker reads,
-    borrowed tied weights included) is published — the admission rule that
-    lets a step run while the previous step's optimizer boundary is still
-    in flight.  In barrier mode every requirement is already satisfied and
-    the gate is a branch on the store's latest version.
+    Every **block** is version-gated at entry: the compiler guarantees no
+    wave inside the block requires a version newer than the entry gate
+    (``max(0, t - gate_delay)``), so one wait admits the whole block — the
+    admission rule that lets a step run while the previous step's optimizer
+    boundary is still in flight.  Unfused programs have one wave per block,
+    reproducing the historical per-wave gate exactly.  Weight re-pointing
+    is skipped where the compiler proved the previous wave in the block
+    loaded the same versions (``WaveBlock.loads``); dropout slots, cache
+    snapshots and arena pinning (``begin_wave``/``release_wave``) remain
+    per-wave, so trajectories are bit-for-bit unchanged.
 
     ``on_losses`` (sink worker only) fires once the last forward wave wrote
     its loss — the signal that lets the driver return step t's training
     loss while t's backward half (and the next step) are still draining.
 
-    Returns ``(busy, stall)`` seconds: compute time (channel waits and
-    payload copies excluded) and version-gate wait time.
+    Returns ``(busy, stall, lanes)``: total compute seconds (channel waits
+    and payload copies excluded), total version-gate wait seconds, and one
+    ``(num_waves, busy, stall, xfer)`` lane per executed block — the
+    coarsened done-report detail.  ``busy``/``stall`` equal the lane sums
+    by construction.
     """
     snapshots: dict[int, list[dict]] = {}
     grads: dict[int, np.ndarray] = {}
     recompute = resolver.recompute_active(sync)
     busy = 0.0
     stall = 0.0
-    gate_stages = compute.read_stages
-    f_total = sum(1 for op, _ in program if op == "F")
+    lanes: list[tuple[int, float, float, float]] = []
+    f_total = program.num_forwards
     f_done = 0
+    xfer_fn = getattr(chans, "xfer_seconds", None)
 
-    def gate(op: str, j: int) -> None:
-        nonlocal stall
-        if not gate_stages:
-            return
-        v = resolver.wave_gate_version(op, gate_stages, t, j, sync)
-        if v > resolver.store.latest_version:
-            t0 = time.perf_counter()
-            resolver.wait_version(v, gate_timeout)
-            stall += time.perf_counter() - t0
-
-    def run_wave(kind: str, j: int, weights_for_stage) -> None:
+    def run_wave(kind: str, j: int, load: bool) -> None:
         """One forward-style pass (op F on "act", op R on "rec")."""
         nonlocal busy, f_done
-        gate("F" if kind == "act" else "R", j)
         chans.begin_wave(j)
         local: dict[int, object] = {}
-        loaded = False
+        prepared = False
         for seg in compute.segments:
             ins = []
             for e in seg.in_edges:
@@ -395,10 +435,18 @@ def _execute_program(
                 else:
                     ins.append(chans.recv(kind, e.index))
             t0 = time.perf_counter()
-            if not loaded:
-                compute.load_weights(weights_for_stage)
+            if not prepared:
+                if load:
+                    if kind == "act":
+                        compute.load_weights(
+                            lambda s: resolver.forward_weights(s, t, j, sync)
+                        )
+                    else:
+                        compute.load_weights(
+                            lambda s: resolver.recompute_weights(s, t, j)
+                        )
                 compute.set_dropout_slot(t, j)
-                loaded = True
+                prepared = True
             out_edge = seg.out_edge
             if out_edge is not None and not out_edge.local and chans.can_reserve:
                 # In-ring compute: let the segment's last module write its
@@ -432,9 +480,8 @@ def _execute_program(
             if on_losses is not None and f_done == f_total:
                 on_losses()
 
-    def run_backward(j: int) -> None:
+    def run_backward(j: int, load: bool) -> None:
         nonlocal busy
-        gate("B", j)
         chans.begin_wave(j)
         local: dict[int, object] = {}
         restored = False
@@ -448,7 +495,10 @@ def _execute_program(
             t0 = time.perf_counter()
             if not restored:
                 compute.load_cache_state(snapshots.pop(j))
-                compute.load_weights(lambda s: resolver.backward_weights(s, t, j, sync))
+                if load:
+                    compute.load_weights(
+                        lambda s: resolver.backward_weights(s, t, j, sync)
+                    )
                 restored = True
             gins = seg.backward(g)
             busy += time.perf_counter() - t0
@@ -463,14 +513,25 @@ def _execute_program(
         # (its activations, recompute inputs and gradients) can be acked.
         chans.release_wave(j)
 
-    for op, j in program:
-        if op == "F":
-            run_wave("act", j, lambda s: resolver.forward_weights(s, t, j, sync))
-        elif op == "R":
-            run_wave("rec", j, lambda s: resolver.recompute_weights(s, t, j))
-        else:  # "B"
-            run_backward(j)
-    return busy, stall
+    for block in program.blocks:
+        busy0, stall0 = busy, stall
+        xfer0 = xfer_fn() if xfer_fn is not None else 0.0
+        if block.gate_delay is not None:
+            v = max(0, t - block.gate_delay)
+            if v > resolver.store.latest_version:
+                t0 = time.perf_counter()
+                resolver.wait_version(v, gate_timeout)
+                stall += time.perf_counter() - t0
+        for (op, j), load in zip(block.ops, block.loads):
+            if op == "F":
+                run_wave("act", j, load)
+            elif op == "R":
+                run_wave("rec", j, load)
+            else:  # "B"
+                run_backward(j, load)
+        xfer1 = xfer_fn() if xfer_fn is not None else 0.0
+        lanes.append((len(block.ops), busy - busy0, stall - stall0, xfer1 - xfer0))
+    return busy, stall, lanes
 
 
 class _QueueChannels:
@@ -605,6 +666,44 @@ def _build_programs(
     return {
         True: stage_programs(Method.GPIPE, num_workers, num_microbatches, recompute=False),
         False: stage_programs(method, num_workers, num_microbatches, recompute=recompute),
+    }
+
+
+def _graph_recv_peers(graph: WorkerGraph) -> tuple[list[list[int]], list[list[int]]]:
+    """Per-worker producer sets for the fusion compiler's cross-worker
+    boundary rule: ``fwd_peers[w]`` are the workers whose forward/recompute
+    waves feed ``w`` activations, ``bwd_peers[w]`` those whose backward
+    waves feed it gradients (gradients flow dst → src along each edge)."""
+    fwd: list[set[int]] = [set() for _ in range(graph.num_workers)]
+    bwd: list[set[int]] = [set() for _ in range(graph.num_workers)]
+    for e in graph.cross_edges():
+        fwd[e.dst.worker].add(e.src.worker)
+        bwd[e.src.worker].add(e.dst.worker)
+    return [sorted(s) for s in fwd], [sorted(s) for s in bwd]
+
+
+def _build_wave_programs(
+    method: Method,
+    resolver,
+    graph: WorkerGraph,
+    num_microbatches: int,
+    recompute: bool,
+    fuse: bool,
+) -> dict[bool, list[WaveProgram]]:
+    """Compile :func:`_build_programs`'s wave schedules into per-worker
+    :class:`~repro.pipeline.waveprogram.WaveProgram` command blocks, keyed
+    by the step's sync flag.  Thread pools build this once on the driver;
+    process and socket workers rebuild the identical dict from their
+    resolver mirror (same arithmetic, same deterministic graph), so no
+    compiled program ever crosses a process boundary."""
+    programs = _build_programs(method, graph.num_workers, num_microbatches, recompute)
+    read_stages = [w.read_stages for w in graph.workers]
+    fwd_peers, bwd_peers = _graph_recv_peers(graph)
+    return {
+        sync: resolver.wave_programs(
+            programs[sync], read_stages, fwd_peers, bwd_peers, sync, fuse
+        )
+        for sync in (True, False)
     }
 
 
@@ -824,14 +923,16 @@ class ThreadWorkerPool(_WorkerPoolBase):
         loss_fn,
         deadlock_timeout: float,
         done_grace: float,
+        fuse_waves: bool = True,
     ):
         super().__init__(graph.num_workers, deadlock_timeout, done_grace)
         self.graph = graph
         self.workers = graph.workers
         self.plan = plan
-        self._programs = _build_programs(
-            plan.method, graph.num_workers, plan.num_microbatches,
-            plan.recompute_segment is not None,
+        self.fuse_waves = fuse_waves
+        self._programs = _build_wave_programs(
+            plan.method, plan, graph, plan.num_microbatches,
+            plan.recompute_segment is not None, fuse_waves,
         )
         self._cross = [e.index for e in graph.cross_edges()]
         self.loss_fn = loss_fn
@@ -876,9 +977,14 @@ class ThreadWorkerPool(_WorkerPoolBase):
     def collect(self) -> _StepResult:
         seq = self._issued.popleft()
         ctx = self._ctxs.pop(seq)
-        busys, xfers, stalls, _ = self._collect(seq)
+        busys, xfers, stalls, extras = self._collect(seq)
+        lanes = [
+            unpack_lanes(extras.get(w) or ()) for w in range(self.num_workers)
+        ]
+        blocks = sum(len(l) for l in lanes)
         return _StepResult(
-            losses=list(ctx.losses), busy=busys, transport=xfers, stall=stalls
+            losses=list(ctx.losses), busy=busys, transport=xfers, stall=stalls,
+            commands=blocks, reports=blocks, lanes=lanes,
         )
 
     def await_losses(self, seq: int) -> list | None:
@@ -909,11 +1015,12 @@ class ThreadWorkerPool(_WorkerPoolBase):
             else:
                 on_losses = None
             try:
-                busy, stall = _execute_program(
+                busy, stall, lanes = _execute_program(
                     self.workers[w], ctx.programs[w], self.plan, ctx.t, ctx.sync,
                     chans, self.loss_fn, ctx.ext, ctx.ys, ctx.scales, ctx.losses,
                     self.deadlock_timeout, on_losses,
                 )
+                payload = pack_lanes(lanes)
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
             except BaseException as exc:  # noqa: BLE001 — relayed to driver
@@ -1024,8 +1131,11 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
         chans = _wrap_channels(
             _RingChannels(_worker_rings(graph, w, base, init["slots"]), timeout), w
         )
-        programs = _build_programs(
-            Method(spec.method), k, n, spec.recompute_segment is not None
+        # Compiled locally from the resolver mirror — identical arithmetic
+        # and deterministic graph ⇒ identical fused blocks to the driver's.
+        programs = _build_wave_programs(
+            Method(spec.method), resolver, graph, n,
+            spec.recompute_segment is not None, init["fuse_waves"],
         )
         has_pstate = compute.has_persistent_state()
         if init["pstate"][w] is not None:
@@ -1072,7 +1182,7 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                     for p in b.params:
                         p.grad.fill(0.0)
                 compute.zero_deferred()
-                busy, stall = _execute_program(
+                busy, stall, lanes = _execute_program(
                     compute, programs[bool(sync)][w], resolver, t, sync, chans,
                     loss_fn, ext, ys, scales, losses, timeout, on_losses,
                 )
@@ -1087,6 +1197,7 @@ def _process_worker_main(w: int, conn, done, init: dict) -> None:
                 payload = (
                     losses if is_sink_worker else None,
                     compute.persistent_state() if has_pstate else None,
+                    pack_lanes(lanes),
                 )
             except TransportTimeout as exc:
                 kind, payload = "deadlock", str(exc)
@@ -1129,6 +1240,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
         replica: int = 0,
         num_replicas: int = 1,
         shared: tuple | None = None,
+        fuse_waves: bool = True,
     ):
         k = graph.num_workers
         super().__init__(k, deadlock_timeout, done_grace)
@@ -1136,6 +1248,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
         self.driver_workers = graph.workers
         self.plan = plan
         self.stages = stages
+        self.fuse_waves = fuse_waves
         # Replica pools of a ReplicaGroup share replica 0's weight mirror
         # and grad mailbox (``shared`` = that pool's ``shared_handles``);
         # each still owns its own rings.  ``replica`` selects this pool's
@@ -1201,6 +1314,7 @@ class ProcessWorkerPool(_WorkerPoolBase):
                 "max_workers": max_workers,
                 "loss_pickle": pickle.dumps(loss_fn),
                 "deadlock_timeout": deadlock_timeout,
+                "fuse_waves": fuse_waves,
                 # Seed each replica with the driver's *current* persistent
                 # state (BatchNorm running stats): a factory spec rebuilds a
                 # fresh model, whose pristine stats must not clobber stats
@@ -1300,10 +1414,12 @@ class ProcessWorkerPool(_WorkerPoolBase):
         k = self.num_workers
         seq = self._issued.popleft()
         busys, xfers, stalls, extras = self._collect(seq)
-        losses, _ = extras[k - 1]
-        for w, (_, pstate) in extras.items():
+        losses, _, _ = extras[k - 1]
+        for w, (_, pstate, _) in extras.items():
             if pstate is not None:
                 self.driver_workers[w].load_persistent_state(pstate)
+        lanes = [unpack_lanes(extras[w][2]) for w in range(k)]
+        blocks = sum(len(l) for l in lanes)
         # Workers stamped their stage blocks after writing; a mismatch
         # would mean a block was overwritten before this fold read it.
         self.mailbox.check_stamps(seq, self.replica)
@@ -1311,7 +1427,8 @@ class ProcessWorkerPool(_WorkerPoolBase):
             for pos, p in enumerate(stage.params):
                 p.grad[...] = self.mailbox.read(s, pos, seq, self.replica)
         return _StepResult(
-            losses=list(losses), busy=busys, transport=xfers, stall=stalls
+            losses=list(losses), busy=busys, transport=xfers, stall=stalls,
+            commands=blocks, reports=blocks, lanes=lanes,
         )
 
     def publish_plan_state(self) -> None:
@@ -1496,6 +1613,9 @@ class ReplicaGroup:
             busy=[b for res in results for b in res.busy],
             transport=[x for res in results for x in res.transport],
             stall=[s for res in results for s in res.stall],
+            commands=sum(res.commands for res in results),
+            reports=sum(res.reports for res in results),
+            lanes=[lane for res in results for lane in res.lanes],
         )
 
     def await_losses(self, seq: int) -> list | None:
@@ -1662,6 +1782,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         deadlock_timeout: float = 30.0,
         backend: str = "thread",
         overlap_boundary: bool | None = None,
+        fuse_waves: bool | None = None,
         model_spec: ModelSpec | None = None,
         start_method: str | None = None,
         transport_slot_bytes: int = 1 << 16,
@@ -1713,6 +1834,11 @@ class AsyncPipelineRuntime(PipelineBackend):
         self.max_workers = max_workers
         self.overlap = overlap
         self.inflight_steps = depth
+        # Fused wave programs are the default on every concurrent backend;
+        # ``fuse_waves=False`` keeps the one-command-per-wave path alive as
+        # the differential reference (trajectories are bit-identical either
+        # way — fusion only batches the scheduler hand-off).
+        self.fuse_waves = True if fuse_waves is None else bool(fuse_waves)
         # Boundary-overlap bookkeeping (set before pool construction so a
         # failed constructor can still run close()/__del__ safely).
         self._pending_sync: bool | None = None
@@ -1800,6 +1926,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                             replica=r,
                             num_replicas=num_replicas,
                             shared=None if r == 0 else pools[0].shared_handles,
+                            fuse_waves=self.fuse_waves,
                         )
                     )
             elif backend == "socket":
@@ -1831,6 +1958,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                         granularity=granularity,
                         max_workers=max_workers,
                         start_method=start_method,
+                        fuse_waves=self.fuse_waves,
                         **(net_options or {}),
                     )
                 )
@@ -1844,6 +1972,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                             loss_fn if rep is None else rep.loss_fn,
                             deadlock_timeout,
                             done_grace,
+                            fuse_waves=self.fuse_waves,
                         )
                     )
         except BaseException:
@@ -1987,6 +2116,7 @@ class AsyncPipelineRuntime(PipelineBackend):
         self.stats.commit(
             wall, result.busy, result.transport, result.stall,
             0.0 if self.overlap else boundary,
+            commands=result.commands, reports=result.reports, lanes=result.lanes,
         )
         return float(np.mean(result.losses))
 
@@ -2028,7 +2158,10 @@ class AsyncPipelineRuntime(PipelineBackend):
         now = time.perf_counter()
         wall = now - (self._step_mark if self._step_mark is not None else now)
         self._step_mark = now
-        self.stats.commit(wall, result.busy, result.transport, result.stall, 0.0)
+        self.stats.commit(
+            wall, result.busy, result.transport, result.stall, 0.0,
+            commands=result.commands, reports=result.reports, lanes=result.lanes,
+        )
         return result
 
     def _recover_after_failure(self) -> None:
@@ -2187,6 +2320,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                 replica=r,
                 num_replicas=self.num_replicas,
                 shared=group.pools[0].shared_handles,
+                fuse_waves=self.fuse_waves,
             )
         elif self.backend == "thread":
             pool = ThreadWorkerPool(
@@ -2195,6 +2329,7 @@ class AsyncPipelineRuntime(PipelineBackend):
                 self.loss_fn if rep is None else rep.loss_fn,
                 self.deadlock_timeout,
                 self._done_grace,
+                fuse_waves=self.fuse_waves,
             )
         else:
             raise ValueError(

@@ -670,6 +670,42 @@ class ShmRing:
         unlink_quietly(self._ctl)
 
 
+# -- coarsened done-report lanes ----------------------------------------------
+#
+# With fused wave programs a worker sends ONE done report per command block
+# instead of one per wave; the per-wave cost detail rides along as "lanes":
+# one (num_waves, busy_seconds, stall_seconds, xfer_seconds) record per
+# executed block.  The per-worker busy/stall scalars the stats consume are
+# defined as the lane sums, so coarsening can never double-count a block's
+# stall across its member waves (the RuntimeStats fraction invariant).
+
+
+def pack_lanes(lanes) -> tuple:
+    """Normalise a worker's per-block lane list for the done mailbox: a
+    tuple of ``(num_waves, busy, stall, xfer)`` tuples — plain ints/floats,
+    safe to pickle across the process and socket transports."""
+    return tuple(
+        (int(n), float(busy), float(stall), float(xfer))
+        for n, busy, stall, xfer in lanes
+    )
+
+
+def unpack_lanes(obj) -> list[tuple[int, float, float, float]]:
+    """Validate and rebuild a packed lane tuple from a done report.  A
+    malformed payload raises :class:`TransportError` (the done path's
+    typed-failure convention) instead of corrupting the stats."""
+    try:
+        lanes = [
+            (int(n), float(busy), float(stall), float(xfer))
+            for n, busy, stall, xfer in obj
+        ]
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"malformed done-report lanes: {obj!r}") from exc
+    if any(n < 0 or busy < 0 or stall < 0 or xfer < 0 for n, busy, stall, xfer in lanes):
+        raise TransportError(f"negative field in done-report lanes: {lanes!r}")
+    return lanes
+
+
 # -- per-stage parameter-shaped blocks ----------------------------------------
 
 

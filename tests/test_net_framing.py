@@ -40,7 +40,10 @@ from repro.pipeline.registry import Backoff
 from repro.pipeline.transport import (
     _RING_DTYPES,
     TransportClosed,
+    TransportError,
     TransportTimeout,
+    pack_lanes,
+    unpack_lanes,
 )
 
 pytestmark = pytest.mark.net
@@ -396,3 +399,49 @@ class TestEndpoints:
     def test_bad_address_scheme_rejected(self):
         with pytest.raises(ValueError):
             Listener("carrier-pigeon:coop:7")
+
+
+class TestLaneFraming:
+    """Coarsened done reports: with fused wave programs one framed done
+    message per step carries the worker's whole per-block lane breakdown
+    (``pack_lanes``), and the driver rebuilds it with ``unpack_lanes`` —
+    same typed-failure contract as every other decode path."""
+
+    def test_done_frame_carries_block_lanes(self, pair):
+        ta, tb = pair
+        lanes = pack_lanes([(4, 0.5, 0.0, 0.125), (1, 0.25, 0.0625, 0.0)])
+        done = ("done", (2, 7, "ok", 0.75, 0.125, 0.0625, (None, None, [], lanes)))
+        ta.send_obj(done, timeout=5.0)
+        tag, (w, seq, kind, busy, xfer, stall, payload) = tb.recv_obj(timeout=5.0)
+        assert (tag, w, seq, kind) == ("done", 2, 7, "ok")
+        assert unpack_lanes(payload[3]) == [
+            (4, 0.5, 0.0, 0.125),
+            (1, 0.25, 0.0625, 0.0),
+        ]
+
+    def test_pack_normalises_numpy_scalars(self):
+        lanes = pack_lanes([(np.int64(3), np.float64(0.5), 0.0, np.float32(0.0))])
+        assert lanes == ((3, 0.5, 0.0, 0.0),)
+        assert all(
+            type(v) in (int, float) for lane in lanes for v in lane
+        ), "packed lanes must pickle as plain builtins"
+
+    def test_unpack_rejects_malformed_lanes(self):
+        for bad in (
+            [(1, 0.5)],            # wrong arity
+            [("x", 0.0, 0.0, 0.0)],  # non-numeric field
+            [None],                # not a record at all
+            3,                     # not iterable
+        ):
+            with pytest.raises(TransportError, match="lanes"):
+                unpack_lanes(bad)
+
+    def test_unpack_rejects_negative_fields(self):
+        with pytest.raises(TransportError, match="negative"):
+            unpack_lanes([(1, -0.5, 0.0, 0.0)])
+        with pytest.raises(TransportError, match="negative"):
+            unpack_lanes([(-1, 0.0, 0.0, 0.0)])
+
+    def test_empty_lanes_roundtrip(self):
+        assert pack_lanes([]) == ()
+        assert unpack_lanes(()) == []

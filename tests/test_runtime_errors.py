@@ -32,6 +32,7 @@ from repro.pipeline import (
     partition_model,
 )
 from repro.pipeline.executor import param_groups_from_stages
+from repro.pipeline.waveprogram import WaveBlock, WaveProgram
 
 
 def toy_data(rng, n=96):
@@ -46,6 +47,21 @@ def build(cls, seed=7, **kw):
     stages = partition_model(model, 4)
     opt = SGD(param_groups_from_stages(stages), lr=0.05, momentum=0.9)
     return model, cls(model, CrossEntropyLoss(), opt, stages, 2, "pipemare", **kw)
+
+
+def starved_programs(rt):
+    """Compiled programs whose dataflow can never be satisfied: worker 0
+    waits for a gradient nobody sends, everyone else idles."""
+    starved = WaveProgram(
+        blocks=(WaveBlock(ops=(("B", 0),), gate_delay=None, loads=(True,)),),
+        num_waves=1,
+        num_forwards=0,
+    )
+    idle = WaveProgram(blocks=(), num_waves=0, num_forwards=0)
+    return {
+        False: [starved] + [idle for _ in range(rt.num_workers - 1)],
+        True: rt.pool._programs[True],
+    }
 
 
 def assert_stats_untouched(rt):
@@ -108,10 +124,7 @@ class TestDeadlockPath:
         m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=5.0)
         with rt:
             good_programs = rt.pool._programs
-            rt.pool._programs = {
-                False: [[("B", 0)]] + [[] for _ in range(rt.num_workers - 1)],
-                True: good_programs[True],
-            }
+            rt.pool._programs = starved_programs(rt)
             with pytest.raises(PipelineDeadlockError):
                 rt.train_step(x[:16], y[:16])
             assert_stats_untouched(rt)
@@ -155,10 +168,7 @@ class TestDeadlockPath:
         m, rt = build(AsyncPipelineRuntime, deadlock_timeout=0.3, done_grace=5.0)
         with rt:
             rt.train_step(x[:16], y[:16])
-            rt.pool._programs = {
-                False: [[("B", 0)]] + [[] for _ in range(rt.num_workers - 1)],
-                True: rt.pool._programs[True],
-            }
+            rt.pool._programs = starved_programs(rt)
             with pytest.raises(PipelineDeadlockError):
                 rt.train_step(x[:16], y[:16])
             for s, stage in enumerate(rt.stages):
@@ -172,18 +182,22 @@ class TestStatsInvariants:
     @pytest.mark.timeout(120)
     @pytest.mark.parametrize("backend", ["thread", "process"])
     @pytest.mark.parametrize("overlap", [False, True])
-    def test_fraction_decomposition_is_normalized(self, rng, backend, overlap):
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_fraction_decomposition_is_normalized(self, rng, backend, overlap, fuse):
         """``bubble + transport + boundary_stall`` is a partition of lost
         step time plus idle, all over the same denominator (wall x workers),
         so the three fractions must each lie in [0, 1] and sum to <= 1 —
         regression for the transport fraction using a busy-time denominator
-        while the others used wall time, which let the sum exceed 1."""
+        while the others used wall time, which let the sum exceed 1.  Runs
+        fused and unfused: the coarsened per-block done reports must not
+        double-count stall or busy seconds into the fractions."""
         x, y = toy_data(rng)
         m, rt = build(
             AsyncPipelineRuntime,
             backend=backend,
             deadlock_timeout=30.0,
             overlap_boundary=overlap,
+            fuse_waves=fuse,
         )
         with rt:
             for i in range(3):
@@ -203,6 +217,37 @@ class TestStatsInvariants:
         )
         if backend == "thread":
             assert transport == 0.0, "thread hand-offs must not count as transport"
+
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_lane_breakdowns_sum_to_worker_totals(self, rng, fuse):
+        """The coarsened done report carries one ``(waves, busy, stall,
+        xfer)`` lane per block; per-worker busy/stall totals must equal the
+        lane sums (no block's seconds counted twice, none dropped), the
+        lanes must tile the step's wave schedule exactly, and
+        commands == reports == number of blocks collected."""
+        x, y = toy_data(rng)
+        m, rt = build(AsyncPipelineRuntime, deadlock_timeout=30.0, fuse_waves=fuse)
+        with rt:
+            rt.train_step(x[:16], y[:16])
+            rt.sync()
+        lanes = rt.stats.last_lanes
+        assert len(lanes) == rt.num_workers
+        blocks = sum(len(per_worker) for per_worker in lanes)
+        assert rt.stats.last_commands == blocks
+        assert rt.stats.last_reports == blocks
+        assert rt.stats.total_commands == blocks
+        if not fuse:
+            # unfused = the per-wave reference: one singleton block per wave
+            assert all(n == 1 for per_worker in lanes for (n, *_rest) in per_worker)
+        waves = sum(n for per_worker in lanes for (n, *_rest) in per_worker)
+        assert waves == sum(p.num_waves for p in rt.pool._programs[True])
+        for w, per_worker in enumerate(lanes):
+            busy = sum(lane[1] for lane in per_worker)
+            stall = sum(lane[2] for lane in per_worker)
+            assert busy == pytest.approx(rt.stats.last_busy[w], rel=1e-9, abs=1e-12)
+            assert stall == pytest.approx(rt.stats.last_stall[w], rel=1e-9, abs=1e-12)
+            assert all(v >= 0.0 for lane in per_worker for v in lane)
 
 
 class TestCloseIdempotency:
